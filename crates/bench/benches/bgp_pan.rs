@@ -1,0 +1,49 @@
+//! Criterion benches contrasting the two routing substrates of §II:
+//! BGP path-vector convergence (and oscillation detection) vs. PAN
+//! beaconing and header-path forwarding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgp_sim::{gadgets, policy, Engine, Schedule};
+use pan_core::Agreement;
+use pan_sim::{beaconing, Network};
+use pan_topology::fixtures::{asn, fig1};
+
+fn bench_bgp(c: &mut Criterion) {
+    let g = fig1();
+    let grc = policy::grc_instance(&g, asn('A'), 6).expect("valid instance");
+    c.bench_function("bgp/grc_convergence_fig1", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(&grc);
+            black_box(engine.run(Schedule::round_robin(), 1_000))
+        });
+    });
+    let bad = gadgets::bad_gadget();
+    c.bench_function("bgp/bad_gadget_oscillation_detection", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(&bad);
+            black_box(engine.run(Schedule::round_robin(), 1_000))
+        });
+    });
+    c.bench_function("bgp/stable_paths_solver_disagree", |b| {
+        b.iter(|| black_box(bgp_sim::stable_paths::solve(&gadgets::disagree())));
+    });
+}
+
+fn bench_pan(c: &mut Criterion) {
+    let g = fig1();
+    c.bench_function("pan/beaconing_fig1", |b| {
+        b.iter(|| black_box(beaconing::run_beaconing(black_box(&g), 6, 4)));
+    });
+    let mut network = Network::new(g);
+    let ma = Agreement::mutuality(network.graph(), asn('D'), asn('E')).expect("peers");
+    network.authorize_agreement(&ma);
+    let path = [asn('H'), asn('D'), asn('E'), asn('B'), asn('G')];
+    c.bench_function("pan/forward_5_hop_ma_path", |b| {
+        b.iter(|| black_box(network.send(black_box(&path)).expect("authorized")));
+    });
+}
+
+criterion_group!(benches, bench_bgp, bench_pan);
+criterion_main!(benches);

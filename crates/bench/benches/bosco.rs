@@ -1,0 +1,70 @@
+//! Criterion benches for the BOSCO mechanism (backs Fig. 2): best-response
+//! computation, equilibrium search, and Price-of-Dishonesty evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pan_bosco::{
+    best_response, expected_nash_product, expected_truthful_nash_product, find_equilibrium,
+    BargainingGame, ChoiceSet, ThresholdStrategy, UtilityDistribution,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn game(choices: usize, seed: u64) -> BargainingGame {
+    let d = UtilityDistribution::uniform(-1.0, 1.0).expect("valid");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let cx = ChoiceSet::sample_from(&d, choices, &mut rng).expect("positive count");
+    let cy = ChoiceSet::sample_from(&d, choices, &mut rng).expect("positive count");
+    BargainingGame::new(d, d, cx, cy)
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bosco/best_response");
+    for &w in &[10usize, 30, 60] {
+        let g = game(w, 1);
+        let opponent = ThresholdStrategy::floor(g.choices_y.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                black_box(best_response(
+                    &g.choices_x,
+                    black_box(&opponent),
+                    &g.distribution_y,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_equilibrium(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bosco/find_equilibrium");
+    group.sample_size(20);
+    for &w in &[10usize, 30, 60] {
+        let g = game(w, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| black_box(find_equilibrium(black_box(&g), 600).expect("converges")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_efficiency(c: &mut Criterion) {
+    let g = game(40, 3);
+    let eq = find_equilibrium(&g, 600).expect("converges");
+    c.bench_function("bosco/expected_nash_product", |b| {
+        b.iter(|| black_box(expected_nash_product(black_box(&g), black_box(&eq))));
+    });
+    c.bench_function("bosco/expected_truthful_nash_product_512", |b| {
+        b.iter(|| {
+            black_box(expected_truthful_nash_product(
+                &g.distribution_x,
+                &g.distribution_y,
+                512,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_best_response, bench_equilibrium, bench_efficiency);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches for agreement optimization (§IV): the flow-volume
+//! Nash-product optimizer vs. the cash-compensation optimizer, plus the
+//! grid-resolution ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pan_core::{Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer};
+use pan_econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
+use pan_topology::fixtures::{asn, fig1};
+
+fn model() -> BusinessModel {
+    let g = fig1();
+    let mut book = PricingBook::new();
+    for (p, c, rate) in [
+        ('A', 'D', 2.0),
+        ('B', 'E', 2.0),
+        ('B', 'G', 2.0),
+        ('D', 'H', 3.0),
+        ('E', 'I', 3.0),
+    ] {
+        book.set_transit_price(
+            asn(p),
+            asn(c),
+            PricingFunction::per_usage(rate).expect("valid rate"),
+        );
+    }
+    let mut m = BusinessModel::new(g, book);
+    m.set_internal_cost(asn('D'), CostFunction::linear(0.05).expect("valid"));
+    m.set_internal_cost(asn('E'), CostFunction::linear(0.05).expect("valid"));
+    m
+}
+
+fn scenario(model: &BusinessModel) -> AgreementScenario<'_> {
+    let ma = Agreement::mutuality(model.graph(), asn('D'), asn('E')).expect("D,E peer");
+    let mut fd = FlowVec::new(asn('D'));
+    fd.set(asn('A'), 30.0);
+    fd.set(asn('H'), 25.0);
+    fd.set(asn('E'), 5.0);
+    let mut fe = FlowVec::new(asn('E'));
+    fe.set(asn('B'), 28.0);
+    fe.set(asn('I'), 22.0);
+    fe.set(asn('D'), 5.0);
+    AgreementScenario::with_default_opportunities(model, ma, fd, fe, 0.6, 0.4)
+        .expect("valid scenario")
+}
+
+fn bench_flow_volume(c: &mut Criterion) {
+    let m = model();
+    let s = scenario(&m);
+    let mut group = c.benchmark_group("optimization/flow_volume");
+    group.sample_size(10);
+    // Grid-resolution ablation: coarser grids trade optimality for speed.
+    for &grid in &[9usize, 17, 33] {
+        let optimizer = FlowVolumeOptimizer {
+            grid_points: grid,
+            ..FlowVolumeOptimizer::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| black_box(optimizer.optimize(black_box(&s)).expect("optimizes")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cash(c: &mut Criterion) {
+    let m = model();
+    let s = scenario(&m);
+    let mut group = c.benchmark_group("optimization/cash");
+    group.sample_size(10);
+    let optimizer = CashOptimizer::new();
+    group.bench_function("default", |b| {
+        b.iter(|| black_box(optimizer.optimize(black_box(&s)).expect("optimizes")));
+    });
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let m = model();
+    let s = scenario(&m);
+    let point = pan_core::OperatingPoint::uniform(s.dimension(), 0.5, 0.5).expect("valid");
+    c.bench_function("optimization/evaluate_once", |b| {
+        b.iter(|| black_box(pan_core::evaluate(black_box(&s), black_box(&point)).expect("evaluates")));
+    });
+}
+
+criterion_group!(benches, bench_flow_volume, bench_cash, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for the path-diversity pipeline (backs Figs. 3–6):
+//! length-3 enumeration, the sampled diversity analysis, and the
+//! geodistance/bandwidth pair analyses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_pathdiv::bandwidth::{analyze as analyze_bw, BandwidthConfig};
+use pan_pathdiv::diversity::{analyze_sample, DiversityConfig};
+use pan_pathdiv::geodistance::{analyze as analyze_geo, GeodistanceConfig};
+use pan_pathdiv::length3::Length3Enumerator;
+
+fn net(n: usize) -> SyntheticInternet {
+    SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: n,
+            ..InternetConfig::default()
+        },
+        42,
+    )
+    .expect("valid config")
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let internet = net(1_000);
+    let enumerator = Length3Enumerator::new(&internet.graph);
+    let mut group = c.benchmark_group("pathdiv/enumerate_all_sources");
+    group.sample_size(20);
+    group.bench_function("grc", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for src in 0..internet.graph.node_count() as u32 {
+                total += enumerator.count_grc(src);
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("ma_all", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for src in 0..internet.graph.node_count() as u32 {
+                total += enumerator.count_ma_all(src);
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathdiv/analyze_sample_50");
+    group.sample_size(10);
+    for &n in &[500usize, 1_000] {
+        let internet = net(n);
+        let config = DiversityConfig {
+            sample_size: 50,
+            seed: 1,
+            top_n: vec![1, 5, 50],
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(analyze_sample(&internet.graph, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_analyses(c: &mut Criterion) {
+    let internet = net(600);
+    let mut group = c.benchmark_group("pathdiv/pair_analyses_30");
+    group.sample_size(10);
+    group.bench_function("geodistance", |b| {
+        b.iter(|| {
+            black_box(analyze_geo(
+                &internet.graph,
+                &internet.geo,
+                &GeodistanceConfig {
+                    sample_size: 30,
+                    seed: 1,
+                },
+            ))
+        });
+    });
+    group.bench_function("bandwidth", |b| {
+        b.iter(|| {
+            black_box(analyze_bw(
+                &internet.graph,
+                &internet.capacities,
+                &BandwidthConfig {
+                    sample_size: 30,
+                    seed: 1,
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_diversity, bench_pair_analyses);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the topology substrate: synthetic Internet
+//! generation and CAIDA serial-2 round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_topology::caida;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/generate");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let config = InternetConfig {
+            num_ases: n,
+            ..InternetConfig::default()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(SyntheticInternet::generate(&config, 42).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_caida_round_trip(c: &mut Criterion) {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 2_000,
+            ..InternetConfig::default()
+        },
+        42,
+    )
+    .expect("valid");
+    let text = caida::to_string(&net.graph);
+    let mut group = c.benchmark_group("topology/caida");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("serialize", |b| {
+        b.iter(|| black_box(caida::to_string(black_box(&net.graph))));
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(caida::parse(black_box(&text)).expect("round trip parses")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_caida_round_trip);
+criterion_main!(benches);

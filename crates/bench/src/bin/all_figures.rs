@@ -1,0 +1,24 @@
+//! Runs every figure binary's pipeline in sequence (quick settings by
+//! default are *not* implied — pass `--quick` for a smoke run).
+//!
+//! This is a convenience wrapper so `cargo run -p pan-bench --bin
+//! all_figures -- --quick` regenerates the whole evaluation in one go.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe resolves")
+        .parent()
+        .expect("exe has a parent directory")
+        .to_path_buf();
+    for figure in ["fig2", "fig3", "fig4", "fig5", "fig6"] {
+        println!("\n================ {figure} ================\n");
+        let status = Command::new(exe_dir.join(figure))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {figure}: {e}"));
+        assert!(status.success(), "{figure} exited with {status}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Calibration sweep over peering densities: prints the Fig. 5/6 headline
+//! fractions so the synthetic topology can be tuned to CAIDA-like
+//! peering richness. Not part of the figure pipeline.
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_pathdiv::bandwidth::{analyze as analyze_bw, BandwidthConfig};
+use pan_pathdiv::geodistance::{analyze as analyze_geo, GeodistanceConfig};
+
+fn main() {
+    let cells: &[(usize, f64, f64, f64, f64, f64)] = &[
+        // (n, tp, sp, hub_frac, hub_same, hub_cross)
+        (4000, 12.0, 2.0, 0.06, 0.6, 0.08),
+        (4000, 12.0, 2.0, 0.08, 0.7, 0.10),
+        (4000, 12.0, 2.0, 0.12, 0.8, 0.15),
+    ];
+    for &(n, tp, sp, hf, hs, hc) in cells {
+        let config = InternetConfig {
+            num_ases: n,
+            tier1_count: 8,
+            transit_peer_degree: tp,
+            stub_peer_degree: sp,
+            hub_fraction: hf,
+            hub_same_region_attach: hs,
+            hub_cross_region_attach: hc,
+            ..InternetConfig::default()
+        };
+        let net = SyntheticInternet::generate(&config, 42).expect("valid");
+        let geo = analyze_geo(
+            &net.graph,
+            &net.geo,
+            &GeodistanceConfig {
+                sample_size: 80,
+                seed: 5,
+            },
+        );
+        let bw = analyze_bw(
+            &net.graph,
+            &net.capacities,
+            &BandwidthConfig {
+                sample_size: 80,
+                seed: 6,
+            },
+        );
+        println!(
+            "n={n:5} tp={tp:4.1} sp={sp:4.1} hub=({hf:.2},{hs:.2},{hc:.2}) | peering {:6} | pairs {:6} | geo<min k1 {:5.1}% k5 {:5.1}% | bw>max k1 {:5.1}% | geo med red {:4.1}% | bw med inc {:5.0}%",
+            net.graph.peering_link_count(),
+            geo.pairs.len(),
+            geo.fraction_below_min(1) * 100.0,
+            geo.fraction_below_min(5) * 100.0,
+            bw.fraction_above_max(1) * 100.0,
+            geo.reduction_cdf().median().unwrap_or(0.0) * 100.0,
+            bw.increase_cdf().median().unwrap_or(0.0) * 100.0,
+        );
+    }
+}

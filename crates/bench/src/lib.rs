@@ -1,0 +1,168 @@
+//! Shared harness utilities for the figure-regeneration binaries and
+//! Criterion benches.
+//!
+//! Every figure of the paper has a binary in `src/bin/` that prints the
+//! same series the paper plots (as aligned text tables plus optional
+//! JSON):
+//!
+//! | binary | paper figure | what it prints |
+//! |--------|--------------|----------------|
+//! | `fig2` | Fig. 2 | Price of Dishonesty (min & mean) vs. choice count |
+//! | `fig3` | Fig. 3 | CDF of length-3 paths per AS under GRC/Top-n/MA*/MA |
+//! | `fig4` | Fig. 4 | CDF of destinations reachable over length-3 paths |
+//! | `fig5` | Fig. 5 | geodistance: paths beating GRC min/median/max + reduction CDF |
+//! | `fig6` | Fig. 6 | bandwidth: paths beating GRC max/median/min + increase CDF |
+//! | `all_figures` | all | everything above with quick settings |
+//!
+//! All binaries accept `--quick` (smaller topology/trials for smoke
+//! runs), `--seed <u64>`, and `--json` (machine-readable dump after the
+//! table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureOptions {
+    /// Use reduced problem sizes for a fast smoke run.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Emit a JSON dump after the human-readable table.
+    pub json: bool,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions {
+            quick: false,
+            seed: 42,
+            json: false,
+        }
+    }
+}
+
+impl FigureOptions {
+    /// Parses options from `std::env::args`-style input; unknown flags
+    /// abort with a usage message.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on unknown flags or malformed seeds.
+    #[must_use]
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut options = FigureOptions::default();
+        let mut args = args.skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => options.quick = true,
+                "--json" => options.json = true,
+                "--seed" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--seed requires a value"));
+                    options.seed = value
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--seed expects a u64, got {value:?}"));
+                }
+                other => panic!("unknown flag {other:?}; known: --quick, --seed <u64>, --json"),
+            }
+        }
+        options
+    }
+}
+
+/// The standard evaluation topology: the full-size variant mirrors the
+/// structural richness the §VI analysis needs; the quick variant keeps
+/// smoke runs under a second.
+#[must_use]
+pub fn evaluation_internet(options: &FigureOptions) -> SyntheticInternet {
+    let config = if options.quick {
+        InternetConfig {
+            num_ases: 600,
+            tier1_count: 8,
+            ..InternetConfig::default()
+        }
+    } else {
+        InternetConfig::default() // 4,000 ASes
+    };
+    SyntheticInternet::generate(&config, options.seed).expect("default configs are valid")
+}
+
+/// Sample size for per-AS analyses (paper: 500).
+#[must_use]
+pub fn sample_size(options: &FigureOptions) -> usize {
+    if options.quick {
+        100
+    } else {
+        500
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:5.1}%", fraction * 100.0)
+}
+
+/// Prints a standard figure header.
+pub fn print_header(figure: &str, description: &str, options: &FigureOptions) {
+    println!("# {figure} — {description}");
+    println!(
+        "# mode: {}, seed: {}",
+        if options.quick { "quick" } else { "full" },
+        options.seed
+    );
+}
+
+/// Quantile grid used when printing CDF summaries.
+pub const CDF_QUANTILES: [f64; 9] = [0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> std::vec::IntoIter<String> {
+        let mut all = vec!["bin".to_owned()];
+        all.extend(items.iter().map(|s| (*s).to_owned()));
+        all.into_iter()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = FigureOptions::parse(args(&[]));
+        assert_eq!(o, FigureOptions::default());
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = FigureOptions::parse(args(&["--quick", "--seed", "7", "--json"]));
+        assert!(o.quick);
+        assert!(o.json);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn parse_rejects_unknown() {
+        let _ = FigureOptions::parse(args(&["--wat"]));
+    }
+
+    #[test]
+    fn quick_internet_is_small() {
+        let o = FigureOptions {
+            quick: true,
+            ..FigureOptions::default()
+        };
+        let net = evaluation_internet(&o);
+        assert_eq!(net.graph.node_count(), 600);
+        assert_eq!(sample_size(&o), 100);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.0%");
+    }
+}

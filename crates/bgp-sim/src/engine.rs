@@ -1,0 +1,321 @@
+//! Asynchronous path-vector dynamics over an SPP instance.
+//!
+//! Each activation lets one AS re-evaluate its route choice: among its
+//! permitted paths, those whose next hop currently selects exactly the
+//! path's tail are *available*; the AS adopts the best-ranked available
+//! path (or withdraws). This is the standard abstract model of BGP's
+//! decision process; the next-hop principle of §II is captured by the
+//! availability condition.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::{RoutePath, SppInstance};
+
+/// The routing state: each AS's currently selected path (if any).
+pub type RoutingState = BTreeMap<Asn, Option<RoutePath>>;
+
+/// An activation schedule: the order in which ASes re-evaluate routes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Every AS activates once per round, in ascending ASN order.
+    RoundRobin,
+    /// Every AS activates once per round, in a seeded random order that
+    /// is reshuffled each round.
+    Random {
+        /// RNG seed for the shuffles.
+        seed: u64,
+    },
+    /// An explicit, cyclic activation sequence.
+    Explicit {
+        /// Activation order (repeated until convergence or budget).
+        order: Vec<Asn>,
+    },
+}
+
+impl Schedule {
+    /// Round-robin schedule.
+    #[must_use]
+    pub fn round_robin() -> Self {
+        Schedule::RoundRobin
+    }
+
+    /// Seeded random schedule.
+    #[must_use]
+    pub fn random(seed: u64) -> Self {
+        Schedule::Random { seed }
+    }
+
+    /// Explicit cyclic schedule.
+    #[must_use]
+    pub fn explicit(order: Vec<Asn>) -> Self {
+        Schedule::Explicit { order }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunResult {
+    /// A full round produced no change: the state is stable.
+    Converged {
+        /// The stable routing state.
+        state: RoutingState,
+        /// Number of rounds executed (including the final quiet round).
+        rounds: usize,
+    },
+    /// A previously seen state recurred after changes: the dynamics
+    /// oscillate persistently (e.g. BAD GADGET).
+    Oscillated {
+        /// Round at which the repeated state was first seen.
+        first_seen_round: usize,
+        /// Round at which it recurred.
+        repeat_round: usize,
+    },
+}
+
+impl RunResult {
+    /// Returns the stable state if the run converged.
+    #[must_use]
+    pub fn converged_state(&self) -> Option<&RoutingState> {
+        match self {
+            RunResult::Converged { state, .. } => Some(state),
+            RunResult::Oscillated { .. } => None,
+        }
+    }
+
+    /// Returns `true` if the run converged.
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        matches!(self, RunResult::Converged { .. })
+    }
+}
+
+/// The path-vector simulation engine.
+#[derive(Debug, Clone)]
+pub struct Engine<'a> {
+    instance: &'a SppInstance,
+    state: RoutingState,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine in the initial state: only the origin has a
+    /// path (its trivial one); everyone else has withdrawn.
+    #[must_use]
+    pub fn new(instance: &'a SppInstance) -> Self {
+        let mut state = RoutingState::new();
+        for asn in instance.ases() {
+            let initial = if asn == instance.origin() {
+                Some(instance.permitted(asn)[0].clone())
+            } else {
+                None
+            };
+            state.insert(asn, initial);
+        }
+        Engine { instance, state }
+    }
+
+    /// The current routing state.
+    #[must_use]
+    pub fn state(&self) -> &RoutingState {
+        &self.state
+    }
+
+    /// Overrides the current state (for exploring specific configurations).
+    pub fn set_state(&mut self, state: RoutingState) {
+        self.state = state;
+    }
+
+    /// The best available path of `asn` under the current state.
+    #[must_use]
+    pub fn best_available(&self, asn: Asn) -> Option<RoutePath> {
+        if asn == self.instance.origin() {
+            return Some(self.instance.permitted(asn)[0].clone());
+        }
+        self.instance
+            .permitted(asn)
+            .iter()
+            .find(|path| self.is_available(path))
+            .cloned()
+    }
+
+    /// A path is available iff its next hop currently selects its tail
+    /// (the next-hop principle).
+    #[must_use]
+    pub fn is_available(&self, path: &RoutePath) -> bool {
+        let Some(next) = path.next_hop() else {
+            return true;
+        };
+        match self.state.get(&next) {
+            Some(Some(selected)) => selected.hops() == path.tail(),
+            _ => false,
+        }
+    }
+
+    /// Activates one AS; returns `true` if its selection changed.
+    pub fn activate(&mut self, asn: Asn) -> bool {
+        if asn == self.instance.origin() {
+            return false;
+        }
+        let best = self.best_available(asn);
+        let changed = self.state.get(&asn) != Some(&best);
+        self.state.insert(asn, best);
+        changed
+    }
+
+    /// Runs rounds of the schedule until convergence, state recurrence,
+    /// or the round budget is exhausted (which is reported as an
+    /// oscillation, since no progress guarantee remains).
+    pub fn run(&mut self, schedule: Schedule, max_rounds: usize) -> RunResult {
+        let ases: Vec<Asn> = self
+            .instance
+            .ases()
+            .filter(|&a| a != self.instance.origin())
+            .collect();
+        let mut rng = match &schedule {
+            Schedule::Random { seed } => Some(ChaCha12Rng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        seen.insert(self.state_hash(), 0);
+
+        for round in 1..=max_rounds {
+            let order: Vec<Asn> = match &schedule {
+                Schedule::RoundRobin => ases.clone(),
+                Schedule::Random { .. } => {
+                    let mut shuffled = ases.clone();
+                    shuffled.shuffle(rng.as_mut().expect("random schedule has an RNG"));
+                    shuffled
+                }
+                Schedule::Explicit { order } => order.clone(),
+            };
+            let mut any_change = false;
+            for asn in order {
+                any_change |= self.activate(asn);
+            }
+            if !any_change {
+                return RunResult::Converged {
+                    state: self.state.clone(),
+                    rounds: round,
+                };
+            }
+            let h = self.state_hash();
+            if let Some(&first) = seen.get(&h) {
+                return RunResult::Oscillated {
+                    first_seen_round: first,
+                    repeat_round: round,
+                };
+            }
+            seen.insert(h, round);
+        }
+        RunResult::Oscillated {
+            first_seen_round: 0,
+            repeat_round: max_rounds,
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.state.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn trivial_instance_converges_immediately() {
+        let spp = SppInstance::new(a(0));
+        let mut engine = Engine::new(&spp);
+        let result = engine.run(Schedule::round_robin(), 10);
+        assert!(result.is_converged());
+    }
+
+    #[test]
+    fn linear_chain_converges() {
+        let mut spp = SppInstance::new(a(0));
+        spp.set_permitted(a(1), vec![RoutePath::new(vec![a(1), a(0)]).unwrap()])
+            .unwrap();
+        spp.set_permitted(a(2), vec![RoutePath::new(vec![a(2), a(1), a(0)]).unwrap()])
+            .unwrap();
+        let mut engine = Engine::new(&spp);
+        let result = engine.run(Schedule::round_robin(), 100);
+        let state = result.converged_state().expect("chain converges");
+        assert_eq!(
+            state[&a(2)].as_ref().unwrap().hops(),
+            &[a(2), a(1), a(0)]
+        );
+    }
+
+    #[test]
+    fn disagree_converges_but_nondeterministically() {
+        let spp = gadgets::disagree();
+        // Two explicit schedules reaching the two different stable states:
+        // activating 1 before 2 lets 1 grab its preferred route via 2? No —
+        // whoever moves *second* sees the other's direct route and climbs
+        // onto it.
+        let mut e1 = Engine::new(&spp);
+        let r1 = e1.run(Schedule::explicit(vec![a(1), a(2), a(1), a(2)]), 100);
+        let mut e2 = Engine::new(&spp);
+        let r2 = e2.run(Schedule::explicit(vec![a(2), a(1), a(2), a(1)]), 100);
+        let s1 = r1.converged_state().expect("DISAGREE converges");
+        let s2 = r2.converged_state().expect("DISAGREE converges");
+        assert_ne!(s1, s2, "different activation orders reach different stable states");
+    }
+
+    #[test]
+    fn bad_gadget_oscillates_under_every_schedule() {
+        let spp = gadgets::bad_gadget();
+        for schedule in [
+            Schedule::round_robin(),
+            Schedule::random(1),
+            Schedule::random(2),
+        ] {
+            let mut engine = Engine::new(&spp);
+            let result = engine.run(schedule.clone(), 5_000);
+            assert!(
+                !result.is_converged(),
+                "BAD GADGET converged under {schedule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn availability_respects_next_hop_principle() {
+        let spp = gadgets::disagree();
+        let engine = Engine::new(&spp);
+        // Initially only the origin has a route, so 1's path via 2 is
+        // unavailable but its direct path is available.
+        let via2 = RoutePath::new(vec![a(1), a(2), a(0)]).unwrap();
+        let direct = RoutePath::new(vec![a(1), a(0)]).unwrap();
+        assert!(!engine.is_available(&via2));
+        assert!(engine.is_available(&direct));
+    }
+
+    #[test]
+    fn converged_state_is_a_fixpoint() {
+        let spp = gadgets::disagree();
+        let mut engine = Engine::new(&spp);
+        let result = engine.run(Schedule::round_robin(), 100);
+        let state = result.converged_state().unwrap().clone();
+        // Re-activating anyone must not change anything.
+        for asn in [a(1), a(2)] {
+            assert!(!engine.activate(asn));
+        }
+        assert_eq!(engine.state(), &state);
+    }
+}

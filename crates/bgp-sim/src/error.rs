@@ -1,0 +1,45 @@
+use std::fmt;
+
+use pan_topology::Asn;
+
+/// Errors produced by the BGP simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BgpError {
+    /// A permitted path is structurally invalid.
+    InvalidPath {
+        /// The AS the path was registered for.
+        asn: Asn,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation referenced an AS with no permitted paths.
+    UnknownAs {
+        /// The missing AS.
+        asn: Asn,
+    },
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::InvalidPath { asn, reason } => {
+                write!(f, "invalid permitted path for {asn}: {reason}")
+            }
+            BgpError::UnknownAs { asn } => write!(f, "{asn} is not part of the SPP instance"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let err = BgpError::UnknownAs { asn: Asn::new(9) };
+        assert!(err.to_string().contains("AS9"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Classic SPP gadgets (§II): DISAGREE, BAD GADGET, and the paper's
+//! Fig. 1 wedgie.
+//!
+//! The convention follows Griffin–Wilfong: AS 0 is the origin; each AS's
+//! permitted paths are listed most-preferred first.
+
+use pan_topology::Asn;
+
+use crate::{RoutePath, SppInstance};
+
+fn a(n: u32) -> Asn {
+    Asn::new(n)
+}
+
+fn path(hops: &[u32]) -> RoutePath {
+    RoutePath::new(hops.iter().map(|&h| a(h)).collect()).expect("gadget paths are valid")
+}
+
+/// The DISAGREE gadget: two ASes each prefer the route through the other
+/// over their direct route.
+///
+/// DISAGREE always converges, but **non-deterministically**: it has two
+/// stable states ("BGP wedgie"), and which one is reached depends on
+/// message timing.
+#[must_use]
+pub fn disagree() -> SppInstance {
+    let mut spp = SppInstance::new(a(0));
+    spp.set_permitted(a(1), vec![path(&[1, 2, 0]), path(&[1, 0])])
+        .expect("valid");
+    spp.set_permitted(a(2), vec![path(&[2, 1, 0]), path(&[2, 0])])
+        .expect("valid");
+    spp
+}
+
+/// The BAD GADGET: three ASes in a cyclic preference pattern (each
+/// prefers the route through its clockwise neighbor). No stable state
+/// exists and BGP oscillates forever.
+#[must_use]
+pub fn bad_gadget() -> SppInstance {
+    let mut spp = SppInstance::new(a(0));
+    spp.set_permitted(a(1), vec![path(&[1, 2, 0]), path(&[1, 0])])
+        .expect("valid");
+    spp.set_permitted(a(2), vec![path(&[2, 3, 0]), path(&[2, 0])])
+        .expect("valid");
+    spp.set_permitted(a(3), vec![path(&[3, 1, 0]), path(&[3, 0])])
+        .expect("valid");
+    spp
+}
+
+/// The GOOD GADGET: like BAD GADGET but with one preference reversed;
+/// it is safe (converges under every schedule) and has a unique solution.
+#[must_use]
+pub fn good_gadget() -> SppInstance {
+    let mut spp = SppInstance::new(a(0));
+    spp.set_permitted(a(1), vec![path(&[1, 2, 0]), path(&[1, 0])])
+        .expect("valid");
+    spp.set_permitted(a(2), vec![path(&[2, 3, 0]), path(&[2, 0])])
+        .expect("valid");
+    spp.set_permitted(a(3), vec![path(&[3, 0]), path(&[3, 1, 0])])
+        .expect("valid");
+    spp
+}
+
+/// The Fig. 1 wedgie of §II: ASes `D` (4) and `E` (5) forward the routes
+/// learned from their respective providers `A` (1) and `B` (2) to each
+/// other — a GRC violation — and both prefer peer-learned routes.
+///
+/// Destination: a prefix in `A` (the origin is `A` itself, ASN 1).
+/// `D` can reach it directly via its provider `A`; `E` via `B–A` (the two
+/// tier-1s peer) or over the GRC-violating peer route `E–D–A`. `D`'s
+/// alternative `D–E–B–A` makes the instance a DISAGREE-style wedgie.
+#[must_use]
+pub fn fig1_wedgie() -> SppInstance {
+    let mut spp = SppInstance::new(a(1)); // origin A
+    // B reaches A over the tier-1 peering.
+    spp.set_permitted(a(2), vec![path(&[2, 1])]).expect("valid");
+    // D prefers the peer route via E over its provider route via A.
+    spp.set_permitted(a(4), vec![path(&[4, 5, 2, 1]), path(&[4, 1])])
+        .expect("valid");
+    // E prefers the peer route via D over its provider route via B.
+    spp.set_permitted(a(5), vec![path(&[5, 4, 1]), path(&[5, 2, 1])])
+        .expect("valid");
+    spp
+}
+
+/// Extends [`fig1_wedgie`] with AS `C` (3) concluding similar
+/// GRC-violating agreements with both `D` and `E` — the "single
+/// additional AS" of §II that turns the wedgie into a BAD GADGET with
+/// persistent oscillation.
+///
+/// `C` is given its own transit path to the destination (`C–A`) and the
+/// cyclic peer preferences: `D` prefers via `E`, `E` via `C`, `C` via
+/// `D`, each preferred path running over the next AS's direct route —
+/// exactly the classic BAD GADGET structure.
+#[must_use]
+pub fn fig1_bad_gadget() -> SppInstance {
+    let mut spp = SppInstance::new(a(1));
+    spp.set_permitted(a(2), vec![path(&[2, 1])]).expect("valid");
+    spp.set_permitted(a(4), vec![path(&[4, 5, 2, 1]), path(&[4, 1])])
+        .expect("valid");
+    spp.set_permitted(a(5), vec![path(&[5, 3, 1]), path(&[5, 2, 1])])
+        .expect("valid");
+    spp.set_permitted(a(3), vec![path(&[3, 4, 1]), path(&[3, 1])])
+        .expect("valid");
+    spp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable_paths::solve;
+    use crate::{Engine, Schedule};
+
+    #[test]
+    fn disagree_has_exactly_two_solutions() {
+        let solutions = solve(&disagree());
+        assert_eq!(solutions.len(), 2, "DISAGREE is the classic wedgie");
+    }
+
+    #[test]
+    fn bad_gadget_has_no_solution() {
+        assert!(solve(&bad_gadget()).is_empty());
+    }
+
+    #[test]
+    fn good_gadget_is_safe_and_unique() {
+        assert_eq!(solve(&good_gadget()).len(), 1);
+        for seed in 0..5 {
+            let spp = good_gadget();
+            let mut engine = Engine::new(&spp);
+            assert!(engine.run(Schedule::random(seed), 1000).is_converged());
+        }
+    }
+
+    #[test]
+    fn fig1_wedgie_is_a_wedgie() {
+        let solutions = solve(&fig1_wedgie());
+        assert_eq!(
+            solutions.len(),
+            2,
+            "the D–E sibling agreement creates a two-state wedgie"
+        );
+    }
+
+    #[test]
+    fn fig1_bad_gadget_oscillates() {
+        let spp = fig1_bad_gadget();
+        assert!(solve(&spp).is_empty(), "no stable state exists");
+        let mut engine = Engine::new(&spp);
+        assert!(!engine.run(Schedule::round_robin(), 5_000).is_converged());
+    }
+}

@@ -1,0 +1,245 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::{BgpError, Result};
+
+/// An AS-level route: the path from the owning AS (first element) to the
+/// instance origin (last element).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoutePath(Vec<Asn>);
+
+impl RoutePath {
+    /// Creates a route path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgpError::InvalidPath`] for empty or looping paths.
+    pub fn new(hops: Vec<Asn>) -> Result<Self> {
+        let Some(&first) = hops.first() else {
+            return Err(BgpError::InvalidPath {
+                asn: Asn::new(0),
+                reason: "route paths must be non-empty".to_owned(),
+            });
+        };
+        let mut sorted = hops.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(BgpError::InvalidPath {
+                asn: first,
+                reason: "route paths must be loop-free".to_owned(),
+            });
+        }
+        Ok(RoutePath(hops))
+    }
+
+    /// The hops, owner first, origin last.
+    #[must_use]
+    pub fn hops(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// The AS owning (advertising from) this path.
+    #[must_use]
+    pub fn owner(&self) -> Asn {
+        self.0[0]
+    }
+
+    /// The next hop, or `None` for the origin's trivial path.
+    #[must_use]
+    pub fn next_hop(&self) -> Option<Asn> {
+        self.0.get(1).copied()
+    }
+
+    /// The sub-path starting at the next hop (what the neighbor must have
+    /// selected for this path to be available).
+    #[must_use]
+    pub fn tail(&self) -> &[Asn] {
+        &self.0[1..]
+    }
+
+    /// Number of hops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Route paths are validated non-empty, so this is always `false`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` for the origin's trivial single-hop path.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.0.len() == 1
+    }
+}
+
+impl fmt::Display for RoutePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(ToString::to_string).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// A stable-paths-problem instance: an origin AS plus, for every other
+/// participating AS, a ranked list of permitted paths (most preferred
+/// first). The empty route (no path to the origin) is always implicitly
+/// permitted and ranked last.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SppInstance {
+    origin: Asn,
+    /// Ranked permitted paths per AS (most preferred first).
+    permitted: BTreeMap<Asn, Vec<RoutePath>>,
+}
+
+impl SppInstance {
+    /// Creates an instance with the given origin and no other ASes yet.
+    #[must_use]
+    pub fn new(origin: Asn) -> Self {
+        let mut permitted = BTreeMap::new();
+        permitted.insert(
+            origin,
+            vec![RoutePath(vec![origin])],
+        );
+        SppInstance { origin, permitted }
+    }
+
+    /// The origin (destination) AS.
+    #[must_use]
+    pub fn origin(&self) -> Asn {
+        self.origin
+    }
+
+    /// Registers the ranked permitted paths of an AS (most preferred
+    /// first). Replaces any previous registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BgpError::InvalidPath`] if a path does not start at
+    /// `asn`, does not end at the origin, or `asn` is the origin itself.
+    pub fn set_permitted(&mut self, asn: Asn, paths: Vec<RoutePath>) -> Result<()> {
+        if asn == self.origin {
+            return Err(BgpError::InvalidPath {
+                asn,
+                reason: "the origin's permitted path is fixed".to_owned(),
+            });
+        }
+        for path in &paths {
+            if path.owner() != asn {
+                return Err(BgpError::InvalidPath {
+                    asn,
+                    reason: format!("path {path} does not start at {asn}"),
+                });
+            }
+            if *path.hops().last().expect("paths are non-empty") != self.origin {
+                return Err(BgpError::InvalidPath {
+                    asn,
+                    reason: format!("path {path} does not end at the origin {}", self.origin),
+                });
+            }
+        }
+        self.permitted.insert(asn, paths);
+        Ok(())
+    }
+
+    /// The ranked permitted paths of an AS (empty slice if unknown).
+    #[must_use]
+    pub fn permitted(&self, asn: Asn) -> &[RoutePath] {
+        self.permitted.get(&asn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Rank of a path in its owner's preference list (0 = best).
+    #[must_use]
+    pub fn rank(&self, path: &RoutePath) -> Option<usize> {
+        self.permitted(path.owner()).iter().position(|p| p == path)
+    }
+
+    /// All participating ASes (origin included), in ascending ASN order.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.permitted.keys().copied()
+    }
+
+    /// Number of participating ASes including the origin.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.permitted.len()
+    }
+
+    /// An instance always contains at least the origin.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn route_path_validation() {
+        assert!(RoutePath::new(vec![]).is_err());
+        assert!(RoutePath::new(vec![a(1), a(2), a(1)]).is_err());
+        let p = RoutePath::new(vec![a(1), a(2), a(0)]).unwrap();
+        assert_eq!(p.owner(), a(1));
+        assert_eq!(p.next_hop(), Some(a(2)));
+        assert_eq!(p.tail(), &[a(2), a(0)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_string(), "AS1 AS2 AS0");
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = RoutePath::new(vec![a(0)]).unwrap();
+        assert!(p.is_trivial());
+        assert_eq!(p.next_hop(), None);
+    }
+
+    #[test]
+    fn instance_set_permitted_validates() {
+        let mut spp = SppInstance::new(a(0));
+        // Path not starting at the AS.
+        assert!(spp
+            .set_permitted(a(1), vec![RoutePath::new(vec![a(2), a(0)]).unwrap()])
+            .is_err());
+        // Path not ending at the origin.
+        assert!(spp
+            .set_permitted(a(1), vec![RoutePath::new(vec![a(1), a(2)]).unwrap()])
+            .is_err());
+        // The origin cannot be reconfigured.
+        assert!(spp.set_permitted(a(0), vec![]).is_err());
+        // Valid registration.
+        assert!(spp
+            .set_permitted(a(1), vec![RoutePath::new(vec![a(1), a(0)]).unwrap()])
+            .is_ok());
+        assert_eq!(spp.permitted(a(1)).len(), 1);
+    }
+
+    #[test]
+    fn rank_reflects_registration_order() {
+        let mut spp = SppInstance::new(a(0));
+        let p1 = RoutePath::new(vec![a(1), a(2), a(0)]).unwrap();
+        let p2 = RoutePath::new(vec![a(1), a(0)]).unwrap();
+        spp.set_permitted(a(1), vec![p1.clone(), p2.clone()]).unwrap();
+        assert_eq!(spp.rank(&p1), Some(0));
+        assert_eq!(spp.rank(&p2), Some(1));
+    }
+
+    #[test]
+    fn origin_has_trivial_path() {
+        let spp = SppInstance::new(a(0));
+        assert_eq!(spp.permitted(a(0)).len(), 1);
+        assert!(spp.permitted(a(0))[0].is_trivial());
+        assert_eq!(spp.len(), 1);
+    }
+}

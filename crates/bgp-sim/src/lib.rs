@@ -1,0 +1,56 @@
+//! A BGP route-propagation simulator with policy control.
+//!
+//! §II of Scherrer et al. (DSN 2021) argues that the Gao–Rexford
+//! conditions (GRC) are needed for stability in a BGP/IP Internet but not
+//! in a path-aware one. This crate provides the machinery behind that
+//! argument:
+//!
+//! - [`SppInstance`]: the *stable-paths problem* formulation of BGP
+//!   (Griffin–Shepherd–Wilfong): per-AS ranked lists of permitted paths
+//!   to an origin.
+//! - [`policy`]: derives SPP instances from an
+//!   [`AsGraph`](pan_topology::AsGraph) under Gao–Rexford export and
+//!   preference rules — or under GRC-violating "sibling"/mutuality
+//!   policies.
+//! - [`Engine`]: asynchronous path-vector dynamics under configurable
+//!   activation schedules, detecting convergence, oscillation, and
+//!   schedule-dependent (non-deterministic) outcomes.
+//! - [`gadgets`]: the classic DISAGREE and BAD GADGET instances plus the
+//!   paper's Fig. 1 wedgie.
+//! - [`stable_paths`]: an exhaustive solver enumerating *all* stable
+//!   states of small instances (DISAGREE has two, BAD GADGET none).
+//!
+//! # Example: BAD GADGET oscillates, GRC converges
+//!
+//! ```
+//! use bgp_sim::{gadgets, Engine, RunResult, Schedule};
+//!
+//! let bad = gadgets::bad_gadget();
+//! let mut engine = Engine::new(&bad);
+//! match engine.run(Schedule::round_robin(), 10_000) {
+//!     RunResult::Oscillated { .. } => {} // persistent route oscillation
+//!     RunResult::Converged { .. } => panic!("BAD GADGET must not converge"),
+//! }
+//!
+//! let disagree = gadgets::disagree();
+//! assert_eq!(bgp_sim::stable_paths::solve(&disagree).len(), 2); // wedgie
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod engine;
+mod error;
+mod instance;
+
+pub mod gadgets;
+pub mod policy;
+pub mod safety;
+pub mod stable_paths;
+
+pub use engine::{Engine, RunResult, Schedule};
+pub use error::BgpError;
+pub use instance::{RoutePath, SppInstance};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, BgpError>;

@@ -1,0 +1,212 @@
+//! Exhaustive safety analysis of SPP instances.
+//!
+//! The [`Engine`] samples *particular* activation
+//! schedules; this module explores **all** of them. The transition system
+//! has one state per routing assignment and one transition per single-AS
+//! activation that changes the state. An instance is *safe* iff no cycle
+//! is reachable from the initial state — i.e. every fair execution
+//! converges — which is decidable by exhaustive search for gadget-scale
+//! instances.
+//!
+//! This gives the precise version of the §II claims: Gao–Rexford
+//! instances are safe, DISAGREE is safe but reaches two distinct sinks
+//! (non-determinism), and BAD GADGET is unsafe.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::engine::RoutingState;
+use crate::{Engine, SppInstance};
+
+/// The verdict of exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyReport {
+    /// `true` iff no activation interleaving can cycle: every execution
+    /// converges.
+    pub safe: bool,
+    /// All *sink* states (states where no activation changes anything)
+    /// reachable from the initial state. More than one sink means the
+    /// protocol outcome is schedule-dependent (a "wedgie").
+    pub reachable_sinks: Vec<RoutingState>,
+    /// Number of distinct states explored.
+    pub states_explored: usize,
+}
+
+impl SafetyReport {
+    /// `true` iff the instance is safe *and* has a unique reachable
+    /// outcome — the gold standard GRC instances meet.
+    #[must_use]
+    pub fn is_deterministically_convergent(&self) -> bool {
+        self.safe && self.reachable_sinks.len() == 1
+    }
+}
+
+/// Exhaustively explores the activation transition system.
+///
+/// # Panics
+///
+/// Panics if more than `state_budget` distinct states are reachable —
+/// the explorer is meant for gadget-scale instances (the state space is
+/// bounded by `Π (|permitted(v)| + 1)`).
+#[must_use]
+pub fn explore(instance: &SppInstance, state_budget: usize) -> SafetyReport {
+    let ases: Vec<Asn> = instance
+        .ases()
+        .filter(|&a| a != instance.origin())
+        .collect();
+    let engine = Engine::new(instance);
+    let initial = engine.state().clone();
+
+    // Iterative DFS with colors for cycle detection (white/grey/black).
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        Grey,
+        Black,
+    }
+    let mut colors: HashMap<RoutingState, Color> = HashMap::new();
+    let mut sinks: HashSet<BTreeSet<(Asn, Option<String>)>> = HashSet::new();
+    let mut sink_states: Vec<RoutingState> = Vec::new();
+    let mut safe = true;
+
+    // Stack frames: (state, next successor index, successors).
+    let successors = |state: &RoutingState| -> Vec<RoutingState> {
+        let mut result = Vec::new();
+        for &asn in &ases {
+            let mut e = Engine::new(instance);
+            e.set_state(state.clone());
+            if e.activate(asn) {
+                result.push(e.state().clone());
+            }
+        }
+        result
+    };
+
+    let mut stack: Vec<(RoutingState, usize, Vec<RoutingState>)> = Vec::new();
+    let initial_succ = successors(&initial);
+    colors.insert(initial.clone(), Color::Grey);
+    stack.push((initial.clone(), 0, initial_succ));
+
+    while let Some((state, idx, succ)) = stack.last_mut() {
+        if succ.is_empty() && *idx == 0 {
+            // Sink state: record once.
+            let key: BTreeSet<(Asn, Option<String>)> = state
+                .iter()
+                .map(|(&a, p)| (a, p.as_ref().map(ToString::to_string)))
+                .collect();
+            if sinks.insert(key) {
+                sink_states.push(state.clone());
+            }
+        }
+        if *idx >= succ.len() {
+            colors.insert(state.clone(), Color::Black);
+            stack.pop();
+            continue;
+        }
+        let next = succ[*idx].clone();
+        *idx += 1;
+        match colors.get(&next) {
+            Some(Color::Grey) => {
+                // Back edge: a cycle of activations exists.
+                safe = false;
+            }
+            Some(Color::Black) => {}
+            None => {
+                assert!(
+                    colors.len() < state_budget,
+                    "state budget of {state_budget} exhausted; \
+                     the explorer is for gadget-scale instances"
+                );
+                let next_succ = successors(&next);
+                colors.insert(next.clone(), Color::Grey);
+                stack.push((next, 0, next_succ));
+            }
+        }
+    }
+
+    SafetyReport {
+        safe,
+        reachable_sinks: sink_states,
+        states_explored: colors.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+    use crate::policy::grc_instance;
+    use crate::stable_paths::solve;
+    use pan_topology::fixtures::{asn, fig1};
+
+    #[test]
+    fn disagree_is_safe_but_nondeterministic() {
+        let report = explore(&gadgets::disagree(), 10_000);
+        assert!(report.safe, "DISAGREE always converges");
+        assert_eq!(
+            report.reachable_sinks.len(),
+            2,
+            "…but to two different states"
+        );
+        assert!(!report.is_deterministically_convergent());
+    }
+
+    #[test]
+    fn bad_gadget_is_unsafe() {
+        let report = explore(&gadgets::bad_gadget(), 100_000);
+        assert!(!report.safe, "BAD GADGET has an activation cycle");
+        assert!(
+            report.reachable_sinks.is_empty(),
+            "and no reachable stable state"
+        );
+    }
+
+    #[test]
+    fn fig1_gadgets() {
+        let wedgie = explore(&gadgets::fig1_wedgie(), 100_000);
+        assert!(wedgie.safe);
+        assert_eq!(wedgie.reachable_sinks.len(), 2);
+        let bad = explore(&gadgets::fig1_bad_gadget(), 1_000_000);
+        assert!(!bad.safe);
+    }
+
+    #[test]
+    fn good_gadget_is_deterministically_convergent() {
+        let report = explore(&gadgets::good_gadget(), 100_000);
+        assert!(report.is_deterministically_convergent());
+    }
+
+    #[test]
+    fn grc_instances_are_safe() {
+        let g = fig1();
+        for dest in ['A', 'H'] {
+            // Bound path length to keep the state space tractable.
+            let spp = grc_instance(&g, asn(dest), 4).unwrap();
+            let report = explore(&spp, 5_000_000);
+            assert!(report.safe, "GRC instance for {dest} must be safe");
+            assert!(!report.reachable_sinks.is_empty());
+        }
+    }
+
+    #[test]
+    fn reachable_sinks_are_solver_solutions() {
+        for instance in [gadgets::disagree(), gadgets::good_gadget()] {
+            let report = explore(&instance, 100_000);
+            let solutions = solve(&instance);
+            for sink in &report.reachable_sinks {
+                assert!(
+                    solutions.contains(sink),
+                    "explorer sink is not a solver solution"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_counts_are_reported() {
+        let report = explore(&gadgets::disagree(), 10_000);
+        assert!(report.states_explored >= 3);
+    }
+}

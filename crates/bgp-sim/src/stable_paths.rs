@@ -1,0 +1,152 @@
+//! Exhaustive stable-state enumeration for small SPP instances.
+//!
+//! A routing state is **stable** when every AS's selected path is exactly
+//! its best available path. The solver enumerates the full product space
+//! of per-AS choices (each permitted path or the empty route), which is
+//! exponential but entirely adequate for the gadget-scale instances of
+//! §II — and doubles as a ground-truth oracle for the
+//! [`Engine`] dynamics in tests.
+
+use crate::engine::RoutingState;
+use crate::{Engine, SppInstance};
+
+/// Enumerates **all** stable states of an instance.
+///
+/// DISAGREE yields two (the BGP-wedgie non-determinism), BAD GADGET
+/// yields none (persistent oscillation), and every Gao–Rexford-conforming
+/// instance yields at least one.
+///
+/// # Panics
+///
+/// Panics if the instance's choice space exceeds `2^28` combinations —
+/// this solver is for gadget-scale instances only.
+#[must_use]
+pub fn solve(instance: &SppInstance) -> Vec<RoutingState> {
+    let ases: Vec<_> = instance
+        .ases()
+        .filter(|&asn| asn != instance.origin())
+        .collect();
+    let choice_counts: Vec<usize> = ases
+        .iter()
+        .map(|&asn| instance.permitted(asn).len() + 1) // + empty route
+        .collect();
+    let total: usize = choice_counts.iter().product();
+    assert!(
+        total <= 1 << 28,
+        "instance too large for exhaustive solving ({total} combinations)"
+    );
+
+    let mut solutions = Vec::new();
+    for mut code in 0..total {
+        let mut state = RoutingState::new();
+        state.insert(
+            instance.origin(),
+            Some(instance.permitted(instance.origin())[0].clone()),
+        );
+        for (i, &asn) in ases.iter().enumerate() {
+            let k = code % choice_counts[i];
+            code /= choice_counts[i];
+            let choice = if k == instance.permitted(asn).len() {
+                None
+            } else {
+                Some(instance.permitted(asn)[k].clone())
+            };
+            state.insert(asn, choice);
+        }
+        if is_stable(instance, &state) {
+            solutions.push(state);
+        }
+    }
+    solutions
+}
+
+/// Checks whether a state is stable: every AS selects its best available
+/// path, and every selected path is actually available.
+#[must_use]
+pub fn is_stable(instance: &SppInstance, state: &RoutingState) -> bool {
+    let mut engine = Engine::new(instance);
+    engine.set_state(state.clone());
+    for asn in instance.ases() {
+        if asn == instance.origin() {
+            continue;
+        }
+        let best = engine.best_available(asn);
+        if state.get(&asn) != Some(&best) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+    use crate::{RoutePath, Schedule};
+    use pan_topology::Asn;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn disagree_solutions_are_the_two_wedgie_states() {
+        let spp = gadgets::disagree();
+        let solutions = solve(&spp);
+        assert_eq!(solutions.len(), 2);
+        // In each solution exactly one AS gets its preferred route via the
+        // other, and the other uses its direct route.
+        for state in &solutions {
+            let p1 = state[&a(1)].as_ref().unwrap();
+            let p2 = state[&a(2)].as_ref().unwrap();
+            let via_count = [p1, p2].iter().filter(|p| p.len() == 3).count();
+            assert_eq!(via_count, 1, "exactly one AS rides the other: {state:?}");
+        }
+    }
+
+    #[test]
+    fn engine_outcomes_are_always_solver_solutions() {
+        let spp = gadgets::disagree();
+        let solutions = solve(&spp);
+        for seed in 0..10 {
+            let mut engine = Engine::new(&spp);
+            if let Some(state) = engine
+                .run(Schedule::random(seed), 1000)
+                .converged_state()
+            {
+                assert!(
+                    solutions.contains(state),
+                    "engine reached a state the solver missed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_gadget_truly_has_no_stable_state() {
+        assert!(solve(&gadgets::bad_gadget()).is_empty());
+        assert!(solve(&gadgets::fig1_bad_gadget()).is_empty());
+    }
+
+    #[test]
+    fn is_stable_detects_instability() {
+        let spp = gadgets::disagree();
+        // Both ASes on their direct routes: each would prefer the (now
+        // available) route via the other → unstable.
+        let mut state = RoutingState::new();
+        state.insert(a(0), Some(RoutePath::new(vec![a(0)]).unwrap()));
+        state.insert(a(1), Some(RoutePath::new(vec![a(1), a(0)]).unwrap()));
+        state.insert(a(2), Some(RoutePath::new(vec![a(2), a(0)]).unwrap()));
+        assert!(!is_stable(&spp, &state));
+    }
+
+    #[test]
+    fn withdrawn_everything_is_unstable_when_routes_exist() {
+        let spp = gadgets::disagree();
+        let mut state = RoutingState::new();
+        state.insert(a(0), Some(RoutePath::new(vec![a(0)]).unwrap()));
+        state.insert(a(1), None);
+        state.insert(a(2), None);
+        assert!(!is_stable(&spp, &state), "direct routes are available");
+    }
+}

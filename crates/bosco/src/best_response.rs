@@ -1,0 +1,301 @@
+//! Best-response computation (§V-C4, Algorithm 1).
+//!
+//! Given the opponent's threshold strategy and utility distribution, the
+//! expected after-negotiation utility of playing choice `v_{X,i}` is a
+//! *linear function* of the true utility: `m_i·u_X + q_i` (Eq. 16–17).
+//! The best response is therefore the upper envelope of `W` lines, which
+//! is itself a threshold strategy. [`best_response`] implements the
+//! paper's Algorithm 1 (threshold-series computation via successive
+//! crossing points), with dominated equal-slope lines pruned first.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ChoiceSet, ThresholdStrategy, UtilityDistribution};
+
+/// The linear expected-utility response of one choice: `E[u'_X] = m·u + q`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseLine {
+    /// Conclusion probability `m_i = P[σ_Y(u_Y) ≥ −v_{X,i}]` (Eq. 16).
+    pub m: f64,
+    /// Expected transfer gain `q_i` (Eq. 17).
+    pub q: f64,
+}
+
+/// Computes the response lines `(m_i, q_i)` of every own choice against
+/// the opponent's strategy (Eq. 16–17).
+#[must_use]
+pub fn response_lines(
+    my_choices: &ChoiceSet,
+    opponent: &ThresholdStrategy,
+    opponent_distribution: &UtilityDistribution,
+) -> Vec<ResponseLine> {
+    let opp_len = opponent.choices().len();
+    // Precompute P[σ_Y = v_{Y,j}] for every opponent choice.
+    let probs: Vec<f64> = (0..opp_len)
+        .map(|j| opponent.choice_probability(opponent_distribution, j))
+        .collect();
+
+    my_choices
+        .choices()
+        .iter()
+        .map(|&v_x| {
+            if v_x == f64::NEG_INFINITY {
+                // Cancellation: the agreement is never concluded.
+                return ResponseLine { m: 0.0, q: 0.0 };
+            }
+            let mut m = 0.0;
+            let mut q = 0.0;
+            for (j, &p) in probs.iter().enumerate() {
+                let v_y = opponent.choices().choice(j);
+                // The opponent's cancellation (−∞) never satisfies
+                // v_Y ≥ −v_X for finite v_X.
+                if v_y.is_finite() && v_y >= -v_x {
+                    m += p;
+                    q += p * (v_y - v_x) / 2.0;
+                }
+            }
+            ResponseLine { m, q }
+        })
+        .collect()
+}
+
+/// The crossing point `I(i, j) = (q_j − q_i)/(m_i − m_j)` of two response
+/// lines (Eq. 18). Requires `m_i ≠ m_j`.
+fn crossing(a: ResponseLine, b: ResponseLine) -> f64 {
+    (b.q - a.q) / (a.m - b.m)
+}
+
+/// Computes party `X`'s best-response strategy to the opponent's strategy
+/// — the paper's Algorithm 1.
+///
+/// The returned strategy assigns to every true utility the choice whose
+/// response line is highest; unplayed choices receive empty intervals.
+#[must_use]
+pub fn best_response(
+    my_choices: &ChoiceSet,
+    opponent: &ThresholdStrategy,
+    opponent_distribution: &UtilityDistribution,
+) -> ThresholdStrategy {
+    let lines = response_lines(my_choices, opponent, opponent_distribution);
+    let thresholds = algorithm1(&lines);
+    ThresholdStrategy::new(my_choices.clone(), thresholds)
+}
+
+/// Algorithm 1: best-response threshold computation from response lines.
+///
+/// Walks the upper envelope of the lines from `u = −∞` upward: starting at
+/// the cancellation line `(0, 0)`, repeatedly jumps to the line in
+/// `J⁺(i)` with the nearest crossing point. Dominated equal-slope lines
+/// (same `m`, lower `q`) are never visited; the final fill loop assigns
+/// empty intervals to unplayed choices exactly as in the paper.
+#[must_use]
+pub fn algorithm1(lines: &[ResponseLine]) -> Vec<f64> {
+    let w = lines.len();
+    let mut thresholds = vec![f64::INFINITY; w + 1];
+    thresholds[0] = f64::NEG_INFINITY;
+    if w == 0 {
+        return thresholds;
+    }
+
+    // Start at the line that is best as u → −∞: minimal slope, and among
+    // those, maximal intercept (first index breaks exact ties). With the
+    // cancellation option always present this is `(m, q) = (0, 0)` unless
+    // another zero-slope line has positive q (impossible: q > 0 needs
+    // conclusion probability > 0, i.e. m > 0 — but we stay general).
+    let mut i = 0;
+    for (j, line) in lines.iter().enumerate() {
+        let best = lines[i];
+        if line.m < best.m - f64::EPSILON
+            || ((line.m - best.m).abs() <= f64::EPSILON && line.q > best.q + f64::EPSILON)
+        {
+            i = j;
+        }
+    }
+
+    loop {
+        // J⁺(i): later-crossing candidates are all lines with strictly
+        // greater slope that are not dominated at the crossing by an
+        // equal-slope twin (handled implicitly by taking, among equal
+        // crossings, the steepest line).
+        let current = lines[i];
+        let mut next: Option<(usize, f64)> = None;
+        for (j, line) in lines.iter().enumerate() {
+            if line.m <= current.m + f64::EPSILON {
+                continue; // J⁺ requires m_j ≠ m_i (and only steeper lines win as u grows)
+            }
+            let at = crossing(current, *line);
+            let better = match next {
+                None => true,
+                Some((jn, tn)) => {
+                    at < tn - 1e-15
+                        || ((at - tn).abs() <= 1e-15 && line.m > lines[jn].m)
+                }
+            };
+            if better {
+                next = Some((j, at));
+            }
+        }
+        match next {
+            Some((j, at)) => {
+                thresholds[j] = at;
+                i = j;
+            }
+            None => break,
+        }
+    }
+
+    // Fill loop (Algorithm 1 lines 9–11): unplayed choices get empty
+    // intervals collapsed onto the next played threshold.
+    for k in (1..w).rev() {
+        if thresholds[k] == f64::INFINITY && thresholds[k + 1] != f64::INFINITY {
+            thresholds[k] = thresholds[k + 1];
+        } else if thresholds[k] == f64::INFINITY {
+            // Everything above k is unplayed: collapse to +∞ is fine —
+            // but Algorithm 1 collapses to min_{j>k} t_j, which is +∞ here.
+        }
+    }
+    // Ensure monotonicity against numeric noise.
+    for k in 1..=w {
+        if thresholds[k] < thresholds[k - 1] {
+            thresholds[k] = thresholds[k - 1];
+        }
+    }
+    thresholds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn uniform() -> UtilityDistribution {
+        UtilityDistribution::uniform(-1.0, 1.0).unwrap()
+    }
+
+    /// Brute-force best response: evaluate every line on a dense grid.
+    fn brute_force_claim(lines: &[ResponseLine], choices: &ChoiceSet, u: f64) -> f64 {
+        let mut best = 0;
+        let mut best_val = f64::NEG_INFINITY;
+        for (i, line) in lines.iter().enumerate() {
+            let val = line.m * u + line.q;
+            if val > best_val + 1e-12 {
+                best_val = val;
+                best = i;
+            }
+        }
+        choices.choice(best)
+    }
+
+    #[test]
+    fn cancel_line_is_zero() {
+        let cs = ChoiceSet::new([0.0, 0.5]).unwrap();
+        let opp = ThresholdStrategy::floor(cs.clone());
+        let lines = response_lines(&cs, &opp, &uniform());
+        assert_eq!(lines[0], ResponseLine { m: 0.0, q: 0.0 });
+    }
+
+    #[test]
+    fn slopes_are_nondecreasing_in_choice() {
+        // Eq. 16: m_X(v) is a CCDF, so higher claims conclude at least as often.
+        let cs = ChoiceSet::new([-0.6, -0.2, 0.3, 0.8]).unwrap();
+        let opp = ThresholdStrategy::floor(cs.clone());
+        let lines = response_lines(&cs, &opp, &uniform());
+        for pair in lines.windows(2) {
+            assert!(pair[1].m >= pair[0].m - 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_response_matches_brute_force_on_fixed_set() {
+        let cs = ChoiceSet::new([-0.6, -0.2, 0.3, 0.8]).unwrap();
+        let opp = ThresholdStrategy::floor(cs.clone());
+        let dist = uniform();
+        let lines = response_lines(&cs, &opp, &dist);
+        let br = best_response(&cs, &opp, &dist);
+        for step in 0..400 {
+            let u = -2.0 + step as f64 * 0.01;
+            let expected = brute_force_claim(&lines, &cs, u);
+            let actual = br.claim(u);
+            let exp_line = lines[cs.choices().iter().position(|&c| c == expected).unwrap()];
+            let act_line = lines[br.claim_index(u)];
+            // Ties between lines are fine as long as the value matches.
+            let ev_exp = exp_line.m * u + exp_line.q;
+            let ev_act = act_line.m * u + act_line.q;
+            assert!(
+                (ev_exp - ev_act).abs() < 1e-9,
+                "u={u}: expected claim {expected} (value {ev_exp}), got {actual} (value {ev_act})"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_utilities_cancel() {
+        // A party with very negative utility should pick −∞ (cancel):
+        // any conclusion would leave it worse off than 0.
+        let cs = ChoiceSet::new([-0.4, 0.1, 0.6]).unwrap();
+        let opp = ThresholdStrategy::floor(cs.clone());
+        let br = best_response(&cs, &opp, &uniform());
+        assert_eq!(br.claim(-50.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn high_utilities_claim_something_finite() {
+        let cs = ChoiceSet::new([-0.4, 0.1, 0.6]).unwrap();
+        let opp = ThresholdStrategy::floor(cs.clone());
+        let br = best_response(&cs, &opp, &uniform());
+        assert!(br.claim(10.0).is_finite());
+    }
+
+    #[test]
+    fn algorithm1_on_trivial_lines() {
+        // Single cancellation line: always cancel.
+        let thresholds = algorithm1(&[ResponseLine { m: 0.0, q: 0.0 }]);
+        assert_eq!(thresholds, vec![f64::NEG_INFINITY, f64::INFINITY]);
+    }
+
+    #[test]
+    fn dominated_equal_slope_line_is_never_played() {
+        let lines = [
+            ResponseLine { m: 0.0, q: 0.0 },
+            ResponseLine { m: 0.5, q: -0.2 }, // dominated by the next line
+            ResponseLine { m: 0.5, q: 0.1 },
+        ];
+        let thresholds = algorithm1(&lines);
+        // Choice 1's interval [t1, t2) must be empty.
+        assert!(
+            thresholds[1] >= thresholds[2] - 1e-12,
+            "dominated line got interval {:?}",
+            &thresholds[1..3]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Algorithm 1 must agree with brute-force envelope evaluation in
+        /// expected value for random choice sets and random opponents.
+        #[test]
+        fn algorithm1_matches_brute_force(seed in 0u64..500) {
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+            let dist = uniform();
+            let my = ChoiceSet::sample_from(&dist, 8, &mut rng).unwrap();
+            let opp_cs = ChoiceSet::sample_from(&dist, 8, &mut rng).unwrap();
+            let opp = ThresholdStrategy::floor(opp_cs);
+            let lines = response_lines(&my, &opp, &dist);
+            let br = best_response(&my, &opp, &dist);
+            for step in 0..100 {
+                let u = -1.5 + step as f64 * 0.03;
+                let act_line = lines[br.claim_index(u)];
+                let best_val = lines
+                    .iter()
+                    .map(|l| l.m * u + l.q)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(
+                    (act_line.m * u + act_line.q - best_val).abs() < 1e-9,
+                    "u={u}: algorithm1 picked a sub-optimal line"
+                );
+            }
+        }
+    }
+}

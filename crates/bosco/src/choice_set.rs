@@ -1,0 +1,159 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{BoscoError, Result, UtilityDistribution};
+
+/// A finite, ordered set of claims available to one party (§V-C2).
+///
+/// Every choice set implicitly contains `−∞` — the cancellation option
+/// required for strong individual rationality — stored explicitly at
+/// index 0. The remaining (finite) choices are strictly increasing, so
+/// `v_{Z,i} < v_{Z,j}` for `i < j` as the paper requires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceSet {
+    /// `choices[0] == −∞`; the rest are finite and strictly increasing.
+    choices: Vec<f64>,
+}
+
+impl ChoiceSet {
+    /// Creates a choice set from finite claim values.
+    ///
+    /// Values are sorted and deduplicated; the cancellation option `−∞`
+    /// is prepended automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoscoError::InvalidChoiceSet`] if no finite values are
+    /// supplied or any value is NaN/infinite.
+    pub fn new(values: impl IntoIterator<Item = f64>) -> Result<Self> {
+        let mut finite: Vec<f64> = values.into_iter().collect();
+        if finite.iter().any(|v| !v.is_finite()) {
+            return Err(BoscoError::InvalidChoiceSet {
+                reason: "claim values must be finite (−∞ is added automatically)".to_owned(),
+            });
+        }
+        if finite.is_empty() {
+            return Err(BoscoError::InvalidChoiceSet {
+                reason: "need at least one finite claim value".to_owned(),
+            });
+        }
+        finite.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        finite.dedup();
+        let mut choices = Vec::with_capacity(finite.len() + 1);
+        choices.push(f64::NEG_INFINITY);
+        choices.extend(finite);
+        Ok(ChoiceSet { choices })
+    }
+
+    /// Samples `count` claims from a utility distribution (§V-E: random
+    /// choice-set generation "works reasonably well in practice").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoscoError::InvalidChoiceSet`] if `count == 0`.
+    pub fn sample_from<R: Rng + ?Sized>(
+        distribution: &UtilityDistribution,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if count == 0 {
+            return Err(BoscoError::InvalidChoiceSet {
+                reason: "cannot sample an empty choice set".to_owned(),
+            });
+        }
+        let values: Vec<f64> = (0..count).map(|_| distribution.sample(rng)).collect();
+        ChoiceSet::new(values)
+    }
+
+    /// All choices including the cancellation option at index 0.
+    #[must_use]
+    pub fn choices(&self) -> &[f64] {
+        &self.choices
+    }
+
+    /// The choice at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn choice(&self, index: usize) -> f64 {
+        self.choices[index]
+    }
+
+    /// Cardinality `W_Z` including the cancellation option.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// A choice set is never empty (it always holds `−∞`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the largest choice that is at most `value`, i.e. the
+    /// "truthful-ish" claim for a party with true utility `value`.
+    /// Falls back to the cancellation option when every finite choice
+    /// exceeds `value`.
+    #[must_use]
+    pub fn floor_index(&self, value: f64) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.choices.iter().enumerate() {
+            if c <= value {
+                best = i;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_sorts_dedups_and_prepends_cancel() {
+        let cs = ChoiceSet::new([0.5, -0.5, 0.5, 0.0]).unwrap();
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs.choice(0), f64::NEG_INFINITY);
+        assert_eq!(cs.choices()[1..], [-0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(ChoiceSet::new([]).is_err());
+        assert!(ChoiceSet::new([f64::NAN]).is_err());
+        assert!(ChoiceSet::new([f64::INFINITY]).is_err());
+        assert!(ChoiceSet::new([f64::NEG_INFINITY]).is_err());
+    }
+
+    #[test]
+    fn choices_are_strictly_increasing() {
+        let cs = ChoiceSet::new([3.0, 1.0, 2.0]).unwrap();
+        assert!(cs.choices().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sampling_produces_requested_cardinality_or_less() {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(3);
+        let cs = ChoiceSet::sample_from(&d, 16, &mut rng).unwrap();
+        // 16 finite samples (collisions are measure-zero) + cancel.
+        assert_eq!(cs.len(), 17);
+        assert!(ChoiceSet::sample_from(&d, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn floor_index() {
+        let cs = ChoiceSet::new([-0.5, 0.0, 0.5]).unwrap();
+        assert_eq!(cs.floor_index(-1.0), 0, "below all finite → cancel");
+        assert_eq!(cs.floor_index(-0.5), 1);
+        assert_eq!(cs.floor_index(0.2), 2);
+        assert_eq!(cs.floor_index(9.0), 3);
+    }
+}

@@ -1,0 +1,281 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{BoscoError, Result};
+
+/// A utility distribution `U_Z(u)`: the BOSCO service's probabilistic
+/// knowledge of how much utility party `Z` derives from the agreement
+/// (§V-C1).
+///
+/// Supported shapes cover the paper's evaluation (uniform) plus a
+/// triangular variant for asymmetric beliefs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UtilityDistribution {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower support bound.
+        lo: f64,
+        /// Upper support bound.
+        hi: f64,
+    },
+    /// Triangular on `[lo, hi]` with the given mode.
+    Triangular {
+        /// Lower support bound.
+        lo: f64,
+        /// Mode (peak) of the density.
+        mode: f64,
+        /// Upper support bound.
+        hi: f64,
+    },
+}
+
+impl UtilityDistribution {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoscoError::InvalidDistribution`] unless `lo < hi` and
+    /// both bounds are finite.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(BoscoError::InvalidDistribution {
+                reason: format!("uniform bounds must satisfy lo < hi, got [{lo}, {hi}]"),
+            });
+        }
+        Ok(UtilityDistribution::Uniform { lo, hi })
+    }
+
+    /// Creates a triangular distribution on `[lo, hi]` with peak `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoscoError::InvalidDistribution`] unless
+    /// `lo ≤ mode ≤ hi`, `lo < hi`, and all are finite.
+    pub fn triangular(lo: f64, mode: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !mode.is_finite() || !hi.is_finite() || lo >= hi || mode < lo || mode > hi
+        {
+            return Err(BoscoError::InvalidDistribution {
+                reason: format!("triangular requires lo ≤ mode ≤ hi, got ({lo}, {mode}, {hi})"),
+            });
+        }
+        Ok(UtilityDistribution::Triangular { lo, mode, hi })
+    }
+
+    /// Lower bound of the support.
+    #[must_use]
+    pub fn support_lo(&self) -> f64 {
+        match *self {
+            UtilityDistribution::Uniform { lo, .. }
+            | UtilityDistribution::Triangular { lo, .. } => lo,
+        }
+    }
+
+    /// Upper bound of the support.
+    #[must_use]
+    pub fn support_hi(&self) -> f64 {
+        match *self {
+            UtilityDistribution::Uniform { hi, .. }
+            | UtilityDistribution::Triangular { hi, .. } => hi,
+        }
+    }
+
+    /// The cumulative distribution function `P[u ≤ x]`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            UtilityDistribution::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            UtilityDistribution::Triangular { lo, mode, hi } => {
+                if x <= lo {
+                    0.0
+                } else if x >= hi {
+                    1.0
+                } else if x <= mode {
+                    (x - lo).powi(2) / ((hi - lo) * (mode - lo).max(f64::MIN_POSITIVE))
+                } else {
+                    1.0 - (hi - x).powi(2) / ((hi - lo) * (hi - mode).max(f64::MIN_POSITIVE))
+                }
+            }
+        }
+    }
+
+    /// Probability mass of the half-open interval `[lo, hi)`.
+    ///
+    /// (The distributions are continuous, so open/closed boundaries do
+    /// not matter.)
+    #[must_use]
+    pub fn mass(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.cdf(hi) - self.cdf(lo)).max(0.0)
+    }
+
+    /// Mean of the distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            UtilityDistribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            UtilityDistribution::Triangular { lo, mode, hi } => (lo + mode + hi) / 3.0,
+        }
+    }
+
+    /// Conditional mean `E[u | u ∈ [lo, hi)]`, or `None` if the interval
+    /// carries no mass.
+    ///
+    /// Computed by (exact) integration for the uniform case and adaptive
+    /// Simpson quadrature over the clipped support otherwise.
+    #[must_use]
+    pub fn mean_in(&self, lo: f64, hi: f64) -> Option<f64> {
+        let a = lo.max(self.support_lo());
+        let b = hi.min(self.support_hi());
+        if b <= a {
+            return None;
+        }
+        let mass = self.mass(a, b);
+        if mass <= 0.0 {
+            return None;
+        }
+        match *self {
+            UtilityDistribution::Uniform { .. } => Some((a + b) / 2.0),
+            UtilityDistribution::Triangular { .. } => {
+                // Numeric ∫ u·f(u) du over [a, b] via the CDF (midpoint on
+                // a fine grid — the integrand is piecewise smooth).
+                const STEPS: usize = 512;
+                let h = (b - a) / STEPS as f64;
+                let mut acc = 0.0;
+                for k in 0..STEPS {
+                    let u0 = a + k as f64 * h;
+                    let u1 = u0 + h;
+                    let cell_mass = self.mass(u0, u1);
+                    acc += cell_mass * (u0 + u1) / 2.0;
+                }
+                Some(acc / mass)
+            }
+        }
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let p: f64 = rng.gen_range(0.0..1.0);
+        self.quantile(p)
+    }
+
+    /// The quantile function (inverse CDF).
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match *self {
+            UtilityDistribution::Uniform { lo, hi } => lo + p * (hi - lo),
+            UtilityDistribution::Triangular { lo, mode, hi } => {
+                let fc = (mode - lo) / (hi - lo);
+                if p < fc {
+                    lo + (p * (hi - lo) * (mode - lo)).sqrt()
+                } else {
+                    hi - ((1.0 - p) * (hi - lo) * (hi - mode)).sqrt()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_validation() {
+        assert!(UtilityDistribution::uniform(1.0, 1.0).is_err());
+        assert!(UtilityDistribution::uniform(2.0, 1.0).is_err());
+        assert!(UtilityDistribution::uniform(f64::NAN, 1.0).is_err());
+        assert!(UtilityDistribution::uniform(-1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn triangular_validation() {
+        assert!(UtilityDistribution::triangular(0.0, -1.0, 1.0).is_err());
+        assert!(UtilityDistribution::triangular(0.0, 2.0, 1.0).is_err());
+        assert!(UtilityDistribution::triangular(0.0, 0.5, 1.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_cdf_and_mass() {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(1.0), 1.0);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((d.mass(-0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(d.mass(2.0, 3.0), 0.0);
+        assert_eq!(d.mass(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn uniform_means() {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.mean_in(0.0, 1.0), Some(0.5));
+        assert_eq!(d.mean_in(-10.0, 10.0), Some(0.0));
+        assert_eq!(d.mean_in(5.0, 6.0), None);
+    }
+
+    #[test]
+    fn triangular_cdf_boundaries() {
+        let d = UtilityDistribution::triangular(0.0, 0.5, 1.0).unwrap();
+        assert_eq!(d.cdf(-0.1), 0.0);
+        assert_eq!(d.cdf(1.1), 1.0);
+        assert!((d.cdf(0.5) - 0.5).abs() < 1e-12, "symmetric mode splits mass");
+    }
+
+    #[test]
+    fn triangular_mean_in_matches_known_mean() {
+        let d = UtilityDistribution::triangular(0.0, 0.5, 1.0).unwrap();
+        let m = d.mean_in(0.0, 1.0).unwrap();
+        assert!((m - 0.5).abs() < 1e-3, "mean {m}");
+    }
+
+    #[test]
+    fn sampling_stays_in_support() {
+        let d = UtilityDistribution::uniform(-2.0, 3.0).unwrap();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..256 {
+            let u = d.sample(&mut rng);
+            assert!((-2.0..=3.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn sample_mean_approximates_mean() {
+        let d = UtilityDistribution::triangular(-1.0, 0.0, 2.0).unwrap();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.02, "sample mean {mean} vs {}", d.mean());
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(
+            x in -3.0..3.0f64,
+            dx in 0.0..2.0f64,
+        ) {
+            for d in [
+                UtilityDistribution::uniform(-1.0, 1.0).unwrap(),
+                UtilityDistribution::triangular(-1.0, 0.25, 1.0).unwrap(),
+            ] {
+                prop_assert!(d.cdf(x + dx) >= d.cdf(x) - 1e-12);
+            }
+        }
+
+        #[test]
+        fn quantile_inverts_cdf(p in 0.001..0.999f64) {
+            for d in [
+                UtilityDistribution::uniform(-1.0, 1.0).unwrap(),
+                UtilityDistribution::triangular(-1.0, 0.25, 1.0).unwrap(),
+            ] {
+                let x = d.quantile(p);
+                prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Bargaining efficiency: expected Nash products and the Price of
+//! Dishonesty (§V-C6, Eq. 19–20).
+
+use crate::{BargainingGame, BoscoError, Equilibrium, Result, UtilityDistribution};
+
+/// Expected Nash bargaining product `E[N | σ*]` of an equilibrium
+/// (Eq. 19), computed **exactly**: both strategies are piecewise
+/// constant, so the double integral decomposes into rectangles on which
+/// the claims — and hence the transfer — are fixed, and independence
+/// factorizes the integrand:
+///
+/// `E[(u_X − Π)(u_Y + Π) | rect] = (E[u_X | I_i] − Π)(E[u_Y | I_j] + Π)`.
+#[must_use]
+pub fn expected_nash_product(game: &BargainingGame, equilibrium: &Equilibrium) -> f64 {
+    let sx = &equilibrium.strategy_x;
+    let sy = &equilibrium.strategy_y;
+    let (dx, dy) = (&game.distribution_x, &game.distribution_y);
+
+    let mut total = 0.0;
+    for i in 0..sx.choices().len() {
+        let px = sx.choice_probability(dx, i);
+        if px <= 0.0 {
+            continue;
+        }
+        let vx = sx.choices().choice(i);
+        if !vx.is_finite() {
+            continue; // cancellation: contributes 0
+        }
+        let mean_x = match dx.mean_in(sx.thresholds()[i], sx.thresholds()[i + 1]) {
+            Some(m) => m,
+            None => continue,
+        };
+        for j in 0..sy.choices().len() {
+            let py = sy.choice_probability(dy, j);
+            if py <= 0.0 {
+                continue;
+            }
+            let vy = sy.choices().choice(j);
+            if !vy.is_finite() || vx + vy < 0.0 {
+                continue; // cancellation or negative apparent surplus
+            }
+            let mean_y = match dy.mean_in(sy.thresholds()[j], sy.thresholds()[j + 1]) {
+                Some(m) => m,
+                None => continue,
+            };
+            let transfer = (vx - vy) / 2.0;
+            total += px * py * (mean_x - transfer) * (mean_y + transfer);
+        }
+    }
+    total
+}
+
+/// Expected Nash bargaining product under universal truthfulness
+/// `E[N | σ^⊤]` — the denominator of the Price of Dishonesty.
+///
+/// Truthful claims vary continuously, so this integral is evaluated
+/// numerically with a midpoint rule on a `grid × grid` tessellation of
+/// the joint support. The integrand `((u_X + u_Y)/2)²·1{u_X + u_Y ≥ 0}`
+/// is piecewise smooth; a 512-point grid gives ≈4 significant digits.
+#[must_use]
+pub fn expected_truthful_nash_product(
+    distribution_x: &UtilityDistribution,
+    distribution_y: &UtilityDistribution,
+    grid: usize,
+) -> f64 {
+    let grid = grid.max(16);
+    let (ax, bx) = (distribution_x.support_lo(), distribution_x.support_hi());
+    let (ay, by) = (distribution_y.support_lo(), distribution_y.support_hi());
+    let hx = (bx - ax) / grid as f64;
+    let hy = (by - ay) / grid as f64;
+    let mut total = 0.0;
+    for i in 0..grid {
+        let x0 = ax + i as f64 * hx;
+        let x1 = x0 + hx;
+        let px = distribution_x.mass(x0, x1);
+        if px <= 0.0 {
+            continue;
+        }
+        let ux = (x0 + x1) / 2.0;
+        for j in 0..grid {
+            let y0 = ay + j as f64 * hy;
+            let y1 = y0 + hy;
+            let py = distribution_y.mass(y0, y1);
+            if py <= 0.0 {
+                continue;
+            }
+            let uy = (y0 + y1) / 2.0;
+            if ux + uy >= 0.0 {
+                let half = (ux + uy) / 2.0;
+                total += px * py * half * half;
+            }
+        }
+    }
+    total
+}
+
+/// The Price of Dishonesty of an equilibrium (Eq. 20):
+/// `PoD(σ*) = 1 − E[N | σ*] / E[N | σ^⊤]`, clamped into `[0, 1]`
+/// (Theorem 3 guarantees the un-clamped value lies there up to numerics).
+///
+/// # Errors
+///
+/// Returns [`BoscoError::UndefinedPriceOfDishonesty`] when the truthful
+/// expectation is (numerically) zero — the agreement is unviable even
+/// under honesty, the uninteresting case the paper disregards.
+pub fn price_of_dishonesty(game: &BargainingGame, equilibrium: &Equilibrium) -> Result<f64> {
+    let truthful =
+        expected_truthful_nash_product(&game.distribution_x, &game.distribution_y, 512);
+    if truthful <= f64::EPSILON {
+        return Err(BoscoError::UndefinedPriceOfDishonesty);
+    }
+    let actual = expected_nash_product(game, equilibrium);
+    Ok((1.0 - actual / truthful).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_equilibrium, ChoiceSet};
+    use rand::SeedableRng;
+
+    fn u(lo: f64, hi: f64) -> UtilityDistribution {
+        UtilityDistribution::uniform(lo, hi).unwrap()
+    }
+
+    /// Analytic value of E[N | σ^⊤] for U(1) = Unif[−1,1]²: with
+    /// s = x + y, ∫∫_{s≥0} (s/2)² dx dy over the square equals
+    /// (1/4)·∫₀² s²(2−s) ds = 1/3, and dividing by the square's area 4
+    /// gives E = 1/12.
+    #[test]
+    fn truthful_expectation_matches_closed_form() {
+        let e = expected_truthful_nash_product(&u(-1.0, 1.0), &u(-1.0, 1.0), 1024);
+        assert!(
+            (e - 1.0 / 12.0).abs() < 5e-4,
+            "E[N|truth] = {e}, expected 1/12 ≈ 0.0833"
+        );
+    }
+
+    #[test]
+    fn truthful_expectation_zero_for_hopeless_agreements() {
+        // Supports entirely below zero: never viable.
+        let e = expected_truthful_nash_product(&u(-2.0, -1.0), &u(-2.0, -1.0), 256);
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn pod_undefined_for_hopeless_agreements() {
+        let d = u(-2.0, -1.0);
+        let cs = ChoiceSet::new([-1.5]).unwrap();
+        let game = BargainingGame::new(d, d, cs.clone(), cs);
+        let eq = find_equilibrium(&game, 100).unwrap();
+        assert!(matches!(
+            price_of_dishonesty(&game, &eq),
+            Err(BoscoError::UndefinedPriceOfDishonesty)
+        ));
+    }
+
+    #[test]
+    fn pod_is_in_unit_interval_for_random_games() {
+        let d = u(-1.0, 1.0);
+        for seed in 0..15 {
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+            let cx = ChoiceSet::sample_from(&d, 12, &mut rng).unwrap();
+            let cy = ChoiceSet::sample_from(&d, 12, &mut rng).unwrap();
+            let game = BargainingGame::new(d, d, cx, cy);
+            let eq = find_equilibrium(&game, 300).unwrap();
+            let pod = price_of_dishonesty(&game, &eq).unwrap();
+            assert!((0.0..=1.0).contains(&pod), "seed {seed}: PoD = {pod}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_product_never_exceeds_truthful() {
+        // Theorem 3's core inequality in expectation.
+        let d = u(-0.5, 1.0); // the paper's U(2) marginal
+        for seed in 20..30 {
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+            let cx = ChoiceSet::sample_from(&d, 16, &mut rng).unwrap();
+            let cy = ChoiceSet::sample_from(&d, 16, &mut rng).unwrap();
+            let game = BargainingGame::new(d, d, cx, cy);
+            let eq = find_equilibrium(&game, 300).unwrap();
+            let actual = expected_nash_product(&game, &eq);
+            let truthful = expected_truthful_nash_product(&d, &d, 512);
+            assert!(
+                actual <= truthful + 1e-6,
+                "seed {seed}: E[N|σ*] = {actual} > E[N|σ⊤] = {truthful}"
+            );
+            assert!(actual >= 0.0);
+        }
+    }
+
+    #[test]
+    fn more_choices_tend_to_reduce_pod() {
+        // The qualitative trend behind Fig. 2: a 3-choice game is worse
+        // (higher PoD) than the best of several 40-choice games.
+        let d = u(-1.0, 1.0);
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(99);
+        let small = {
+            let cx = ChoiceSet::sample_from(&d, 3, &mut rng).unwrap();
+            let cy = ChoiceSet::sample_from(&d, 3, &mut rng).unwrap();
+            let game = BargainingGame::new(d, d, cx, cy);
+            let eq = find_equilibrium(&game, 300).unwrap();
+            price_of_dishonesty(&game, &eq).unwrap()
+        };
+        let mut best_large = f64::INFINITY;
+        for _ in 0..8 {
+            let cx = ChoiceSet::sample_from(&d, 40, &mut rng).unwrap();
+            let cy = ChoiceSet::sample_from(&d, 40, &mut rng).unwrap();
+            let game = BargainingGame::new(d, d, cx, cy);
+            let eq = find_equilibrium(&game, 300).unwrap();
+            best_large = best_large.min(price_of_dishonesty(&game, &eq).unwrap());
+        }
+        assert!(
+            best_large <= small + 1e-9,
+            "best 40-choice PoD {best_large} should not exceed 3-choice PoD {small}"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Nash-equilibrium computation via best-response dynamics (§V-C5).
+//!
+//! The bargaining game is not a potential game, so convergence of
+//! alternating best responses is not guaranteed in theory — but, as the
+//! paper reports, it "always converged in our diverse simulations". The
+//! iteration budget makes the assumption explicit:
+//! [`BoscoError::NonConvergence`] is returned if it is exhausted.
+
+use serde::{Deserialize, Serialize};
+
+use crate::best_response::best_response;
+use crate::{BargainingGame, BoscoError, Result, ThresholdStrategy};
+
+/// A Nash equilibrium of the bargaining game: a pair of strategies, each
+/// a best response to the other.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Equilibrium {
+    /// Party `X`'s equilibrium strategy `σ*_X`.
+    pub strategy_x: ThresholdStrategy,
+    /// Party `Y`'s equilibrium strategy `σ*_Y`.
+    pub strategy_y: ThresholdStrategy,
+    /// Best-response iterations performed until the fixed point.
+    pub iterations: usize,
+}
+
+impl Equilibrium {
+    /// Verifies the equilibrium property: both strategies are best
+    /// responses to each other (up to threshold tolerance `tol`).
+    ///
+    /// The paper notes the parties can and should perform this check on
+    /// the mechanism-information set before playing.
+    #[must_use]
+    pub fn verify(&self, game: &BargainingGame, tol: f64) -> bool {
+        let bx = best_response(
+            self.strategy_x.choices(),
+            &self.strategy_y,
+            &game.distribution_y,
+        );
+        let by = best_response(
+            self.strategy_y.choices(),
+            &self.strategy_x,
+            &game.distribution_x,
+        );
+        self.strategy_x.approx_eq(&bx, tol) && self.strategy_y.approx_eq(&by, tol)
+    }
+}
+
+/// Runs best-response dynamics from the "floor" strategies until a fixed
+/// point.
+///
+/// # Errors
+///
+/// Returns [`BoscoError::NonConvergence`] if no fixed point is reached
+/// within `max_iterations`.
+pub fn find_equilibrium(game: &BargainingGame, max_iterations: usize) -> Result<Equilibrium> {
+    const TOL: f64 = 1e-12;
+    let mut strategy_x = ThresholdStrategy::floor(game.choices_x.clone());
+    let mut strategy_y = ThresholdStrategy::floor(game.choices_y.clone());
+
+    for iteration in 1..=max_iterations {
+        let next_x = best_response(&game.choices_x, &strategy_y, &game.distribution_y);
+        let next_y = best_response(&game.choices_y, &next_x, &game.distribution_x);
+        let fixed_x = strategy_x.approx_eq(&next_x, TOL);
+        let fixed_y = strategy_y.approx_eq(&next_y, TOL);
+        strategy_x = next_x;
+        strategy_y = next_y;
+        if fixed_x && fixed_y {
+            return Ok(Equilibrium {
+                strategy_x,
+                strategy_y,
+                iterations: iteration,
+            });
+        }
+    }
+    Err(BoscoError::NonConvergence {
+        iterations: max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChoiceSet, UtilityDistribution};
+    use rand::SeedableRng;
+
+    fn symmetric_game(seed: u64, choices: usize) -> BargainingGame {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let cx = ChoiceSet::sample_from(&d, choices, &mut rng).unwrap();
+        let cy = ChoiceSet::sample_from(&d, choices, &mut rng).unwrap();
+        BargainingGame::new(d, d, cx, cy)
+    }
+
+    #[test]
+    fn dynamics_converge_on_small_games() {
+        for seed in 0..20 {
+            let game = symmetric_game(seed, 8);
+            let eq = find_equilibrium(&game, 200)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(eq.verify(&game, 1e-9), "seed {seed}: fixed point is not an equilibrium");
+        }
+    }
+
+    #[test]
+    fn dynamics_converge_on_larger_games() {
+        for seed in 0..5 {
+            let game = symmetric_game(100 + seed, 40);
+            let eq = find_equilibrium(&game, 500).unwrap();
+            assert!(eq.verify(&game, 1e-9));
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_individually_rational_pointwise() {
+        // Theorem 1: after-negotiation utility is non-negative for every
+        // realization of the true utilities.
+        let game = symmetric_game(7, 12);
+        let eq = find_equilibrium(&game, 200).unwrap();
+        for i in 0..60 {
+            let ux = -1.0 + i as f64 * (2.0 / 59.0);
+            for j in 0..60 {
+                let uy = -1.0 + j as f64 * (2.0 / 59.0);
+                let outcome =
+                    game.play_with_strategies(&eq.strategy_x, &eq.strategy_y, ux, uy);
+                if let crate::GameOutcome::Concluded {
+                    utility_x_after,
+                    utility_y_after,
+                    ..
+                } = outcome
+                {
+                    assert!(
+                        utility_x_after >= -1e-9,
+                        "ux={ux}, uy={uy}: X ends at {utility_x_after}"
+                    );
+                    assert!(
+                        utility_y_after >= -1e-9,
+                        "ux={ux}, uy={uy}: Y ends at {utility_y_after}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_sound() {
+        // Theorem 2: conclusion implies non-negative true surplus.
+        let game = symmetric_game(11, 12);
+        let eq = find_equilibrium(&game, 200).unwrap();
+        for i in 0..80 {
+            let ux = -1.0 + i as f64 * (2.0 / 79.0);
+            for j in 0..80 {
+                let uy = -1.0 + j as f64 * (2.0 / 79.0);
+                let outcome =
+                    game.play_with_strategies(&eq.strategy_x, &eq.strategy_y, ux, uy);
+                if outcome.is_concluded() {
+                    assert!(
+                        ux + uy >= -1e-9,
+                        "concluded a non-viable agreement at ux={ux}, uy={uy}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_privacy_preserving() {
+        // Theorem 4: no claim interval is a single point, so exact utility
+        // reconstruction is impossible.
+        let game = symmetric_game(13, 12);
+        let eq = find_equilibrium(&game, 200).unwrap();
+        for strategy in [&eq.strategy_x, &eq.strategy_y] {
+            let t = strategy.thresholds();
+            for k in 0..strategy.choices().len() {
+                assert!(
+                    t[k + 1] >= t[k],
+                    "interval {k} is malformed: [{}, {})",
+                    t[k],
+                    t[k + 1]
+                );
+                // Non-empty intervals are genuine ranges, never points.
+                if t[k] < t[k + 1] {
+                    assert!(t[k + 1] - t[k] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonconvergence_budget_is_reported() {
+        let game = symmetric_game(3, 8);
+        // Zero iterations can never converge.
+        assert!(matches!(
+            find_equilibrium(&game, 0),
+            Err(BoscoError::NonConvergence { iterations: 0 })
+        ));
+    }
+}

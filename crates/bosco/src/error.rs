@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced by the BOSCO mechanism.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoscoError {
+    /// A distribution parameter is invalid (e.g. `lo ≥ hi`).
+    InvalidDistribution {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A choice set is empty or contains non-finite values other than the
+    /// implicit cancellation option.
+    InvalidChoiceSet {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Best-response dynamics did not reach a fixed point within the
+    /// iteration budget. The paper observed convergence in all
+    /// simulations; this variant makes the assumption explicit.
+    NonConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The Price of Dishonesty is undefined because the agreement is
+    /// unviable even under universal truthfulness
+    /// (`E[N | σ^⊤] = 0`, §V-C6).
+    UndefinedPriceOfDishonesty,
+}
+
+impl fmt::Display for BoscoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoscoError::InvalidDistribution { reason } => {
+                write!(f, "invalid utility distribution: {reason}")
+            }
+            BoscoError::InvalidChoiceSet { reason } => {
+                write!(f, "invalid choice set: {reason}")
+            }
+            BoscoError::NonConvergence { iterations } => write!(
+                f,
+                "best-response dynamics did not converge within {iterations} iterations"
+            ),
+            BoscoError::UndefinedPriceOfDishonesty => write!(
+                f,
+                "Price of Dishonesty undefined: agreement unviable even under truthfulness"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BoscoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BoscoError::NonConvergence { iterations: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(BoscoError::UndefinedPriceOfDishonesty
+            .to_string()
+            .contains("undefined"));
+    }
+}

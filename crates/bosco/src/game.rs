@@ -1,0 +1,208 @@
+//! The one-shot bargaining game (§V-C3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ChoiceSet, ThresholdStrategy, UtilityDistribution};
+
+/// Outcome of one play of the bargaining game.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GameOutcome {
+    /// The apparent surplus `v_X + v_Y` was non-negative: the agreement is
+    /// concluded with cash compensation `Π_{X→Y} = (v_X − v_Y)/2`.
+    Concluded {
+        /// Claim submitted by `X`.
+        claim_x: f64,
+        /// Claim submitted by `Y`.
+        claim_y: f64,
+        /// Cash compensation `Π_{X→Y}`.
+        transfer_x_to_y: f64,
+        /// True after-negotiation utility of `X` (`u_X − Π`).
+        utility_x_after: f64,
+        /// True after-negotiation utility of `Y` (`u_Y + Π`).
+        utility_y_after: f64,
+    },
+    /// The apparent surplus was negative: both parties get 0.
+    Cancelled,
+}
+
+impl GameOutcome {
+    /// Returns `true` if the agreement was concluded.
+    #[must_use]
+    pub fn is_concluded(&self) -> bool {
+        matches!(self, GameOutcome::Concluded { .. })
+    }
+
+    /// The realized Nash bargaining product (Eq. 13); 0 when cancelled.
+    #[must_use]
+    pub fn nash_product(&self) -> f64 {
+        match *self {
+            GameOutcome::Concluded {
+                utility_x_after,
+                utility_y_after,
+                ..
+            } => utility_x_after * utility_y_after,
+            GameOutcome::Cancelled => 0.0,
+        }
+    }
+}
+
+/// A fully specified bargaining game: the utility distributions and
+/// choice sets of both parties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BargainingGame {
+    /// The BOSCO service's belief about `X`'s utility.
+    pub distribution_x: UtilityDistribution,
+    /// The BOSCO service's belief about `Y`'s utility.
+    pub distribution_y: UtilityDistribution,
+    /// Claims available to `X`.
+    pub choices_x: ChoiceSet,
+    /// Claims available to `Y`.
+    pub choices_y: ChoiceSet,
+}
+
+impl BargainingGame {
+    /// Creates a game.
+    #[must_use]
+    pub fn new(
+        distribution_x: UtilityDistribution,
+        distribution_y: UtilityDistribution,
+        choices_x: ChoiceSet,
+        choices_y: ChoiceSet,
+    ) -> Self {
+        BargainingGame {
+            distribution_x,
+            distribution_y,
+            choices_x,
+            choices_y,
+        }
+    }
+
+    /// Resolves one play: conclude iff `v_X + v_Y ≥ 0`.
+    ///
+    /// `−∞` claims always cancel (any sum involving `−∞` is negative).
+    #[must_use]
+    pub fn play(
+        &self,
+        true_utility_x: f64,
+        true_utility_y: f64,
+        claim_x: f64,
+        claim_y: f64,
+    ) -> GameOutcome {
+        if claim_x.is_finite() && claim_y.is_finite() && claim_x + claim_y >= 0.0 {
+            let transfer = (claim_x - claim_y) / 2.0;
+            GameOutcome::Concluded {
+                claim_x,
+                claim_y,
+                transfer_x_to_y: transfer,
+                utility_x_after: true_utility_x - transfer,
+                utility_y_after: true_utility_y + transfer,
+            }
+        } else {
+            GameOutcome::Cancelled
+        }
+    }
+
+    /// Plays the game with both parties following the given strategies.
+    #[must_use]
+    pub fn play_with_strategies(
+        &self,
+        strategy_x: &ThresholdStrategy,
+        strategy_y: &ThresholdStrategy,
+        true_utility_x: f64,
+        true_utility_y: f64,
+    ) -> GameOutcome {
+        self.play(
+            true_utility_x,
+            true_utility_y,
+            strategy_x.claim(true_utility_x),
+            strategy_y.claim(true_utility_y),
+        )
+    }
+
+    /// Expected after-negotiation utility of `X` for a given claim
+    /// against `Y`'s strategy (Eq. 14) — exposed for analysis and tests.
+    #[must_use]
+    pub fn expected_utility_x(
+        &self,
+        strategy_y: &ThresholdStrategy,
+        true_utility_x: f64,
+        claim_x: f64,
+    ) -> f64 {
+        if !claim_x.is_finite() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for j in 0..strategy_y.choices().len() {
+            let v_y = strategy_y.choices().choice(j);
+            if v_y.is_finite() && v_y >= -claim_x {
+                let p = strategy_y.choice_probability(&self.distribution_y, j);
+                acc += p * (true_utility_x - (claim_x - v_y) / 2.0);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> BargainingGame {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        let cs = ChoiceSet::new([-0.5, 0.0, 0.5]).unwrap();
+        BargainingGame::new(d, d, cs.clone(), cs)
+    }
+
+    #[test]
+    fn conclusion_rule() {
+        let g = game();
+        assert!(g.play(1.0, 1.0, 0.5, -0.5).is_concluded());
+        assert!(!g.play(1.0, 1.0, -0.5, 0.0).is_concluded());
+        assert!(!g.play(1.0, 1.0, f64::NEG_INFINITY, 0.5).is_concluded());
+    }
+
+    #[test]
+    fn transfer_is_budget_balanced() {
+        // What X pays is exactly what Y receives: the sum of after-
+        // negotiation utilities equals the true surplus.
+        let g = game();
+        if let GameOutcome::Concluded {
+            utility_x_after,
+            utility_y_after,
+            transfer_x_to_y,
+            ..
+        } = g.play(0.8, 0.4, 0.5, 0.0)
+        {
+            assert!((transfer_x_to_y - 0.25).abs() < 1e-12);
+            assert!(((utility_x_after + utility_y_after) - 1.2).abs() < 1e-12);
+        } else {
+            panic!("should conclude");
+        }
+    }
+
+    #[test]
+    fn nash_product_of_cancellation_is_zero() {
+        assert_eq!(GameOutcome::Cancelled.nash_product(), 0.0);
+    }
+
+    #[test]
+    fn expected_utility_matches_manual_computation() {
+        let g = game();
+        let sy = ThresholdStrategy::floor(g.choices_y.clone());
+        // Claim 0.5: Y's claims ≥ −0.5 are −0.5, 0.0, 0.5.
+        // Under floor strategy on U[−1,1]: P[−0.5] = P[u∈[−0.5,0)] = 0.25,
+        // P[0.0] = 0.25, P[0.5] = P[u∈[0.5,∞)] = 0.25.
+        let e = g.expected_utility_x(&sy, 1.0, 0.5);
+        let manual = 0.25 * (1.0 - (0.5 - -0.5) / 2.0)
+            + 0.25 * (1.0 - (0.5 - 0.0) / 2.0)
+            + 0.25 * (1.0 - (0.5 - 0.5) / 2.0);
+        assert!((e - manual).abs() < 1e-12, "e={e}, manual={manual}");
+    }
+
+    #[test]
+    fn expected_utility_of_cancel_is_zero() {
+        let g = game();
+        let sy = ThresholdStrategy::floor(g.choices_y.clone());
+        assert_eq!(g.expected_utility_x(&sy, 5.0, f64::NEG_INFINITY), 0.0);
+    }
+}

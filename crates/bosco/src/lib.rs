@@ -1,0 +1,71 @@
+//! BOSCO: **B**argaining in **O**ne **S**hot with **C**hoice
+//! **O**ptimization — the automated negotiation mechanism of §V of
+//! Scherrer et al. (DSN 2021).
+//!
+//! Two ASes want to conclude a cash-compensation agreement but hold their
+//! true agreement utilities privately. BOSCO structures the negotiation as
+//! a one-shot bargaining game:
+//!
+//! 1. The BOSCO service estimates a [`UtilityDistribution`] for each party
+//!    and constructs a finite [`ChoiceSet`] of permissible claims (always
+//!    including `−∞`, the cancellation option).
+//! 2. It computes a Nash equilibrium of the induced game — a pair of
+//!    [`ThresholdStrategy`]s, each a best response to the other
+//!    ([`best_response`] implements the paper's Algorithm 1).
+//! 3. It rates the equilibrium by its **Price of Dishonesty**
+//!    ([`price_of_dishonesty`], Eq. 20): the relative loss in expected
+//!    Nash bargaining product versus universal truthfulness.
+//! 4. The parties apply their equilibrium strategies to their true
+//!    utilities and commit claims; the service concludes the agreement iff
+//!    the apparent surplus is non-negative, with transfer `(v_X − v_Y)/2`.
+//!
+//! The mechanism is budget-balanced, strongly individually rational
+//! (Theorem 1), sound (Theorem 2), has `PoD ∈ [0, 1]` (Theorem 3), and is
+//! privacy-preserving (Theorem 4) — all of which are verified by this
+//! crate's test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use pan_bosco::{BoscoService, ServiceConfig, UtilityDistribution};
+//!
+//! // U(1) of the paper: both utilities uniform on [−1, 1].
+//! let ux = UtilityDistribution::uniform(-1.0, 1.0)?;
+//! let uy = UtilityDistribution::uniform(-1.0, 1.0)?;
+//! let config = ServiceConfig { choices: 20, trials: 25, ..ServiceConfig::default() };
+//! let service = BoscoService::construct(&config, ux, uy, 42)?;
+//! assert!(service.price_of_dishonesty() < 0.7);
+//!
+//! // Parties with true utilities 0.8 and 0.5 negotiate:
+//! let outcome = service.execute(0.8, 0.5);
+//! assert!(outcome.is_concluded());
+//! # Ok::<(), pan_bosco::BoscoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod best_response;
+mod choice_set;
+mod distribution;
+mod efficiency;
+mod equilibrium;
+mod error;
+mod game;
+mod service;
+mod strategy;
+
+pub mod vcg;
+
+pub use best_response::{best_response, response_lines, ResponseLine};
+pub use choice_set::ChoiceSet;
+pub use distribution::UtilityDistribution;
+pub use efficiency::{expected_nash_product, expected_truthful_nash_product, price_of_dishonesty};
+pub use equilibrium::{find_equilibrium, Equilibrium};
+pub use error::BoscoError;
+pub use game::{BargainingGame, GameOutcome};
+pub use service::{BoscoService, MechanismInfoSet, ServiceConfig};
+pub use strategy::ThresholdStrategy;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, BoscoError>;

@@ -1,0 +1,276 @@
+//! The BOSCO service (§V-C): choice-set construction, equilibrium
+//! selection, and negotiation execution.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::efficiency::price_of_dishonesty;
+use crate::equilibrium::find_equilibrium;
+use crate::{
+    BargainingGame, BoscoError, ChoiceSet, Equilibrium, GameOutcome, Result, ThresholdStrategy,
+    UtilityDistribution,
+};
+
+/// Configuration of the BOSCO service's choice-set search (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Number of finite choices sampled per party (`W_X = W_Y`, excluding
+    /// the automatic `−∞` cancellation option).
+    pub choices: usize,
+    /// Number of random choice-set combinations to try; the one with the
+    /// lowest Price of Dishonesty wins.
+    pub trials: usize,
+    /// Iteration budget for best-response dynamics per trial.
+    pub max_iterations: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            choices: 50,
+            trials: 200,
+            max_iterations: 500,
+        }
+    }
+}
+
+/// The mechanism-information set `(U_X, U_Y, V_X, V_Y, σ*)` the service
+/// communicates to the parties (§V-C6), who can verify the equilibrium
+/// before playing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismInfoSet {
+    /// The service's belief about `X`'s utility.
+    pub distribution_x: UtilityDistribution,
+    /// The service's belief about `Y`'s utility.
+    pub distribution_y: UtilityDistribution,
+    /// `X`'s choice set.
+    pub choices_x: ChoiceSet,
+    /// `Y`'s choice set.
+    pub choices_y: ChoiceSet,
+    /// The selected Nash equilibrium.
+    pub equilibrium: Equilibrium,
+}
+
+/// A configured BOSCO service instance for one negotiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoscoService {
+    game: BargainingGame,
+    equilibrium: Equilibrium,
+    price_of_dishonesty: f64,
+    mean_price_of_dishonesty: f64,
+    trials_converged: usize,
+}
+
+impl BoscoService {
+    /// Constructs the mechanism: samples `config.trials` random choice-set
+    /// combinations from the utility distributions, finds an equilibrium
+    /// for each, and keeps the one with the lowest Price of Dishonesty.
+    ///
+    /// # Errors
+    ///
+    /// - [`BoscoError::NonConvergence`] if no trial converged.
+    /// - [`BoscoError::UndefinedPriceOfDishonesty`] if the agreement is
+    ///   unviable even under truthfulness.
+    /// - [`BoscoError::InvalidChoiceSet`] for `config.choices == 0`.
+    pub fn construct(
+        config: &ServiceConfig,
+        distribution_x: UtilityDistribution,
+        distribution_y: UtilityDistribution,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut best: Option<(BargainingGame, Equilibrium, f64)> = None;
+        let mut pod_sum = 0.0;
+        let mut converged = 0usize;
+        let mut last_error = BoscoError::NonConvergence {
+            iterations: config.max_iterations,
+        };
+
+        for _ in 0..config.trials.max(1) {
+            let choices_x = ChoiceSet::sample_from(&distribution_x, config.choices, &mut rng)?;
+            let choices_y = ChoiceSet::sample_from(&distribution_y, config.choices, &mut rng)?;
+            let game = BargainingGame::new(distribution_x, distribution_y, choices_x, choices_y);
+            let equilibrium = match find_equilibrium(&game, config.max_iterations) {
+                Ok(eq) => eq,
+                Err(err) => {
+                    last_error = err;
+                    continue;
+                }
+            };
+            let pod = match price_of_dishonesty(&game, &equilibrium) {
+                Ok(pod) => pod,
+                Err(err) => {
+                    last_error = err;
+                    continue;
+                }
+            };
+            pod_sum += pod;
+            converged += 1;
+            let better = best.as_ref().is_none_or(|(_, _, best_pod)| pod < *best_pod);
+            if better {
+                best = Some((game, equilibrium, pod));
+            }
+        }
+
+        match best {
+            Some((game, equilibrium, pod)) => Ok(BoscoService {
+                game,
+                equilibrium,
+                price_of_dishonesty: pod,
+                mean_price_of_dishonesty: pod_sum / converged as f64,
+                trials_converged: converged,
+            }),
+            None => Err(last_error),
+        }
+    }
+
+    /// The Price of Dishonesty of the selected equilibrium (the "min"
+    /// series of the paper's Fig. 2).
+    #[must_use]
+    pub fn price_of_dishonesty(&self) -> f64 {
+        self.price_of_dishonesty
+    }
+
+    /// Mean Price of Dishonesty over all converged trials (the "mean"
+    /// series of Fig. 2).
+    #[must_use]
+    pub fn mean_price_of_dishonesty(&self) -> f64 {
+        self.mean_price_of_dishonesty
+    }
+
+    /// Number of trials whose best-response dynamics converged.
+    #[must_use]
+    pub fn trials_converged(&self) -> usize {
+        self.trials_converged
+    }
+
+    /// The selected game.
+    #[must_use]
+    pub fn game(&self) -> &BargainingGame {
+        &self.game
+    }
+
+    /// The selected equilibrium.
+    #[must_use]
+    pub fn equilibrium(&self) -> &Equilibrium {
+        &self.equilibrium
+    }
+
+    /// `X`'s equilibrium strategy.
+    #[must_use]
+    pub fn strategy_x(&self) -> &ThresholdStrategy {
+        &self.equilibrium.strategy_x
+    }
+
+    /// `Y`'s equilibrium strategy.
+    #[must_use]
+    pub fn strategy_y(&self) -> &ThresholdStrategy {
+        &self.equilibrium.strategy_y
+    }
+
+    /// The mechanism-information set communicated to the parties.
+    #[must_use]
+    pub fn info_set(&self) -> MechanismInfoSet {
+        MechanismInfoSet {
+            distribution_x: self.game.distribution_x,
+            distribution_y: self.game.distribution_y,
+            choices_x: self.game.choices_x.clone(),
+            choices_y: self.game.choices_y.clone(),
+            equilibrium: self.equilibrium.clone(),
+        }
+    }
+
+    /// Executes one negotiation: both parties apply their equilibrium
+    /// strategies to their true utilities; the service resolves the game.
+    #[must_use]
+    pub fn execute(&self, true_utility_x: f64, true_utility_y: f64) -> GameOutcome {
+        self.game.play_with_strategies(
+            &self.equilibrium.strategy_x,
+            &self.equilibrium.strategy_y,
+            true_utility_x,
+            true_utility_y,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u1() -> UtilityDistribution {
+        UtilityDistribution::uniform(-1.0, 1.0).unwrap()
+    }
+
+    fn quick() -> ServiceConfig {
+        ServiceConfig {
+            choices: 15,
+            trials: 20,
+            max_iterations: 300,
+        }
+    }
+
+    #[test]
+    fn construction_finds_a_reasonable_mechanism() {
+        let service = BoscoService::construct(&quick(), u1(), u1(), 1).unwrap();
+        assert!(service.trials_converged() > 0);
+        assert!((0.0..=1.0).contains(&service.price_of_dishonesty()));
+        assert!(service.price_of_dishonesty() <= service.mean_price_of_dishonesty() + 1e-12);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = BoscoService::construct(&quick(), u1(), u1(), 5).unwrap();
+        let b = BoscoService::construct(&quick(), u1(), u1(), 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn info_set_equilibrium_verifies() {
+        let service = BoscoService::construct(&quick(), u1(), u1(), 2).unwrap();
+        let info = service.info_set();
+        assert!(info.equilibrium.verify(service.game(), 1e-9));
+    }
+
+    #[test]
+    fn execution_is_individually_rational_and_sound() {
+        let service = BoscoService::construct(&quick(), u1(), u1(), 3).unwrap();
+        for i in 0..30 {
+            let ux = -1.0 + i as f64 * (2.0 / 29.0);
+            for j in 0..30 {
+                let uy = -1.0 + j as f64 * (2.0 / 29.0);
+                match service.execute(ux, uy) {
+                    GameOutcome::Concluded {
+                        utility_x_after,
+                        utility_y_after,
+                        ..
+                    } => {
+                        assert!(utility_x_after >= -1e-9);
+                        assert!(utility_y_after >= -1e-9);
+                        assert!(ux + uy >= -1e-9, "soundness violated");
+                    }
+                    GameOutcome::Cancelled => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn viable_high_surplus_agreements_usually_conclude() {
+        let service = BoscoService::construct(&quick(), u1(), u1(), 4).unwrap();
+        // Both parties near the top of their support: large surplus.
+        assert!(
+            service.execute(0.9, 0.9).is_concluded(),
+            "high-surplus agreement should conclude"
+        );
+    }
+
+    #[test]
+    fn hopeless_distributions_error() {
+        let dead = UtilityDistribution::uniform(-2.0, -1.0).unwrap();
+        assert!(matches!(
+            BoscoService::construct(&quick(), dead, dead, 1),
+            Err(BoscoError::UndefinedPriceOfDishonesty)
+        ));
+    }
+}

@@ -1,0 +1,230 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ChoiceSet, UtilityDistribution};
+
+/// A threshold bargaining strategy `σ_Z(u_Z)` (§V-C4): the party claims
+/// choice `v_{Z,i}` whenever its true utility lies in `[t_i, t_{i+1})`.
+///
+/// The threshold series has one entry per choice plus a terminator:
+/// `t_1 = −∞` and `t_{W+1} = ∞`. Choices whose interval is empty
+/// (`t_i ≥ t_{i+1}`) are never played.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdStrategy {
+    choices: ChoiceSet,
+    /// `thresholds.len() == choices.len() + 1`.
+    thresholds: Vec<f64>,
+}
+
+impl ThresholdStrategy {
+    /// Creates a strategy from a choice set and a threshold series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds.len() != choices.len() + 1` or the series is
+    /// not non-decreasing.
+    #[must_use]
+    pub fn new(choices: ChoiceSet, thresholds: Vec<f64>) -> Self {
+        assert_eq!(
+            thresholds.len(),
+            choices.len() + 1,
+            "need one threshold per choice plus a terminator"
+        );
+        assert!(
+            thresholds.windows(2).all(|w| w[0] <= w[1]),
+            "thresholds must be non-decreasing"
+        );
+        ThresholdStrategy {
+            choices,
+            thresholds,
+        }
+    }
+
+    /// The "floor" strategy: claim the largest choice not exceeding the
+    /// true utility. A natural starting point for best-response dynamics.
+    #[must_use]
+    pub fn floor(choices: ChoiceSet) -> Self {
+        let w = choices.len();
+        let mut thresholds = Vec::with_capacity(w + 1);
+        thresholds.push(f64::NEG_INFINITY);
+        for i in 1..w {
+            thresholds.push(choices.choice(i));
+        }
+        thresholds.push(f64::INFINITY);
+        ThresholdStrategy {
+            choices,
+            thresholds,
+        }
+    }
+
+    /// The claim for true utility `u`.
+    #[must_use]
+    pub fn claim(&self, u: f64) -> f64 {
+        self.choices.choice(self.claim_index(u))
+    }
+
+    /// Index of the claim for true utility `u`.
+    #[must_use]
+    pub fn claim_index(&self, u: f64) -> usize {
+        // σ(u) = v_i for u ∈ [t_i, t_{i+1}); scan from the top so empty
+        // intervals are skipped naturally.
+        let w = self.choices.len();
+        for i in (0..w).rev() {
+            if u >= self.thresholds[i]
+                && self.thresholds[i] < self.thresholds[i + 1]
+                && u < self.thresholds[i + 1]
+            {
+                return i;
+            }
+        }
+        0
+    }
+
+    /// The underlying choice set.
+    #[must_use]
+    pub fn choices(&self) -> &ChoiceSet {
+        &self.choices
+    }
+
+    /// The threshold series `t_1, …, t_{W+1}`.
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Probability that this strategy plays choice `i`, under the given
+    /// utility distribution: `P[σ_Z(u_Z) = v_{Z,i}]` (Eq. 15).
+    #[must_use]
+    pub fn choice_probability(&self, distribution: &UtilityDistribution, i: usize) -> f64 {
+        distribution.mass(self.thresholds[i], self.thresholds[i + 1])
+    }
+
+    /// Number of *equilibrium choices*: choices played with positive
+    /// probability under the distribution (the paper observes this
+    /// saturates around 4, §V-E).
+    #[must_use]
+    pub fn active_choice_count(&self, distribution: &UtilityDistribution) -> usize {
+        (0..self.choices.len())
+            .filter(|&i| self.choice_probability(distribution, i) > 0.0)
+            .count()
+    }
+
+    /// Returns `true` if the two strategies assign the same choice to
+    /// every utility (thresholds equal up to `tol` and same choice sets).
+    #[must_use]
+    pub fn approx_eq(&self, other: &ThresholdStrategy, tol: f64) -> bool {
+        if self.choices != other.choices {
+            return false;
+        }
+        self.thresholds
+            .iter()
+            .zip(&other.thresholds)
+            .all(|(a, b)| {
+                (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+                    || (a - b).abs() <= tol
+            })
+    }
+
+    /// Length of the shortest non-empty finite claim interval — the
+    /// privacy measure suggested after Theorem 4 (shorter intervals allow
+    /// more precise utility inference).
+    #[must_use]
+    pub fn shortest_interval(&self) -> Option<f64> {
+        let mut shortest: Option<f64> = None;
+        for i in 0..self.choices.len() {
+            let (lo, hi) = (self.thresholds[i], self.thresholds[i + 1]);
+            if lo < hi && lo.is_finite() && hi.is_finite() {
+                let len = hi - lo;
+                shortest = Some(shortest.map_or(len, |s: f64| s.min(len)));
+            }
+        }
+        shortest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs() -> ChoiceSet {
+        ChoiceSet::new([-0.5, 0.0, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn floor_strategy_claims_floor() {
+        let s = ThresholdStrategy::floor(cs());
+        assert_eq!(s.claim(-2.0), f64::NEG_INFINITY);
+        assert_eq!(s.claim(-0.5), -0.5);
+        assert_eq!(s.claim(-0.2), -0.5);
+        assert_eq!(s.claim(0.3), 0.0);
+        assert_eq!(s.claim(5.0), 0.5);
+    }
+
+    #[test]
+    fn empty_intervals_are_skipped() {
+        // Choice 1 (−0.5) gets an empty interval [0, 0).
+        let s = ThresholdStrategy::new(
+            cs(),
+            vec![f64::NEG_INFINITY, 0.0, 0.0, 0.4, f64::INFINITY],
+        );
+        assert_eq!(s.claim(0.1), 0.0, "claims choice 2 (value 0.0)");
+        assert_eq!(s.claim(-1.0), f64::NEG_INFINITY);
+        assert_eq!(s.claim(0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per choice")]
+    fn wrong_threshold_count_panics() {
+        let _ = ThresholdStrategy::new(cs(), vec![f64::NEG_INFINITY, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_thresholds_panic() {
+        let _ = ThresholdStrategy::new(
+            cs(),
+            vec![f64::NEG_INFINITY, 0.5, 0.0, 0.6, f64::INFINITY],
+        );
+    }
+
+    #[test]
+    fn choice_probabilities_sum_to_one() {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        let s = ThresholdStrategy::floor(cs());
+        let total: f64 = (0..s.choices().len())
+            .map(|i| s.choice_probability(&d, i))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_choice_count() {
+        let d = UtilityDistribution::uniform(-1.0, 1.0).unwrap();
+        let s = ThresholdStrategy::floor(cs());
+        // Cancel [−∞,−0.5), −0.5 on [−0.5,0), 0.0 on [0,0.5), 0.5 on [0.5,∞):
+        // all four intersect [−1,1].
+        assert_eq!(s.active_choice_count(&d), 4);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_shifts() {
+        let a = ThresholdStrategy::floor(cs());
+        let mut thresholds = a.thresholds().to_vec();
+        thresholds[1] += 1e-12;
+        let b = ThresholdStrategy::new(cs(), thresholds);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&ThresholdStrategy::new(
+            cs(),
+            vec![f64::NEG_INFINITY, 0.3, 0.4, 0.5, f64::INFINITY],
+        ), 1e-9));
+    }
+
+    #[test]
+    fn shortest_interval_measures_privacy() {
+        let s = ThresholdStrategy::new(
+            cs(),
+            vec![f64::NEG_INFINITY, -0.5, 0.0, 0.1, f64::INFINITY],
+        );
+        // Finite intervals: [−0.5, 0) length 0.5 and [0, 0.1) length 0.1.
+        assert!((s.shortest_interval().unwrap() - 0.1).abs() < 1e-12);
+    }
+}

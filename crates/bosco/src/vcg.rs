@@ -1,0 +1,150 @@
+//! The Vickrey–Clarke–Groves mechanism for bilateral agreement
+//! conclusion — the comparison point of §V-B.
+//!
+//! The Myerson–Satterthwaite theorem says no mechanism can be individually
+//! rational, ex-post efficient, and budget-balanced at once. BOSCO keeps
+//! rationality and budget balance and gives up perfect efficiency; VCG
+//! (implemented here as the pivot/Clarke mechanism) keeps rationality and
+//! efficiency and gives up budget balance: every concluded negotiation
+//! needs an **external subsidy equal to the full surplus**. The tests
+//! verify all of this, including dominant-strategy incentive
+//! compatibility — the property BOSCO deliberately relaxes.
+//!
+//! Mechanics for two parties reporting `v_X, v_Y`:
+//!
+//! - conclude iff `v_X + v_Y ≥ 0` (the efficient decision);
+//! - on conclusion each party receives the *other's* reported value as a
+//!   pivot payment (`t_X = v_Y`, `t_Y = v_X`), making truthful reporting
+//!   a dominant strategy;
+//! - the mechanism's budget is `−(v_X + v_Y) ≤ 0`: a deficit.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one VCG-mediated negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VcgOutcome {
+    /// The agreement is concluded with pivot payments.
+    Concluded {
+        /// Payment received by `X` (the opponent's report).
+        payment_to_x: f64,
+        /// Payment received by `Y`.
+        payment_to_y: f64,
+        /// True after-negotiation utility of `X` (`u_X + t_X`).
+        utility_x_after: f64,
+        /// True after-negotiation utility of `Y`.
+        utility_y_after: f64,
+        /// External subsidy the mechanism needs (`t_X + t_Y = v_X + v_Y`).
+        subsidy_required: f64,
+    },
+    /// The reports summed negative; no agreement.
+    Cancelled,
+}
+
+impl VcgOutcome {
+    /// Returns `true` if the agreement was concluded.
+    #[must_use]
+    pub fn is_concluded(&self) -> bool {
+        matches!(self, VcgOutcome::Concluded { .. })
+    }
+
+    /// The after-negotiation utility of `X` (0 when cancelled).
+    #[must_use]
+    pub fn utility_x(&self) -> f64 {
+        match *self {
+            VcgOutcome::Concluded { utility_x_after, .. } => utility_x_after,
+            VcgOutcome::Cancelled => 0.0,
+        }
+    }
+
+    /// The after-negotiation utility of `Y` (0 when cancelled).
+    #[must_use]
+    pub fn utility_y(&self) -> f64 {
+        match *self {
+            VcgOutcome::Concluded { utility_y_after, .. } => utility_y_after,
+            VcgOutcome::Cancelled => 0.0,
+        }
+    }
+}
+
+/// Runs the pivot (VCG) mechanism on the parties' reports.
+#[must_use]
+pub fn run(true_utility_x: f64, true_utility_y: f64, report_x: f64, report_y: f64) -> VcgOutcome {
+    if report_x.is_finite() && report_y.is_finite() && report_x + report_y >= 0.0 {
+        VcgOutcome::Concluded {
+            payment_to_x: report_y,
+            payment_to_y: report_x,
+            utility_x_after: true_utility_x + report_y,
+            utility_y_after: true_utility_y + report_x,
+            subsidy_required: report_x + report_y,
+        }
+    } else {
+        VcgOutcome::Cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn concludes_exactly_when_reported_surplus_nonnegative() {
+        assert!(run(1.0, 1.0, 1.0, 1.0).is_concluded());
+        assert!(run(1.0, 1.0, 3.0, -3.0).is_concluded());
+        assert!(!run(1.0, 1.0, -3.0, 2.0).is_concluded());
+    }
+
+    #[test]
+    fn subsidy_equals_reported_surplus() {
+        if let VcgOutcome::Concluded { subsidy_required, .. } = run(5.0, 3.0, 5.0, 3.0) {
+            assert!((subsidy_required - 8.0).abs() < 1e-12);
+        } else {
+            panic!("should conclude");
+        }
+    }
+
+    proptest! {
+        /// Dominant-strategy incentive compatibility: whatever the
+        /// opponent reports, truth-telling maximizes a party's utility.
+        #[test]
+        fn truth_is_dominant(
+            ux in -20.0..20.0f64,
+            uy in -20.0..20.0f64,
+            opponent_report in -20.0..20.0f64,
+            deviation in -20.0..20.0f64,
+        ) {
+            let truthful = run(ux, uy, ux, opponent_report).utility_x();
+            let deviated = run(ux, uy, deviation, opponent_report).utility_x();
+            prop_assert!(truthful >= deviated - 1e-9,
+                "misreporting {deviation} beats truth {ux}: {deviated} > {truthful}");
+        }
+
+        /// Ex-post efficiency under truth: conclusion iff the true
+        /// surplus is non-negative.
+        #[test]
+        fn efficient_under_truth(ux in -20.0..20.0f64, uy in -20.0..20.0f64) {
+            let outcome = run(ux, uy, ux, uy);
+            prop_assert_eq!(outcome.is_concluded(), ux + uy >= 0.0);
+        }
+
+        /// Individual rationality under truth.
+        #[test]
+        fn individually_rational_under_truth(ux in -20.0..20.0f64, uy in -20.0..20.0f64) {
+            let outcome = run(ux, uy, ux, uy);
+            prop_assert!(outcome.utility_x() >= -1e-9);
+            prop_assert!(outcome.utility_y() >= -1e-9);
+        }
+
+        /// …but never budget-balanced on strictly viable agreements: the
+        /// deficit equals the entire surplus, which is why the paper
+        /// rejects VCG for inter-AS negotiation.
+        #[test]
+        fn budget_deficit_equals_surplus(ux in 0.0..20.0f64, uy in 0.0..20.0f64) {
+            if let VcgOutcome::Concluded { subsidy_required, .. } = run(ux, uy, ux, uy) {
+                prop_assert!((subsidy_required - (ux + uy)).abs() < 1e-9);
+            } else {
+                prop_assert!(false, "viable agreement must conclude");
+            }
+        }
+    }
+}

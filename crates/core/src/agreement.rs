@@ -1,0 +1,557 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn, NeighborKind};
+
+use crate::{AgreementError, Result};
+
+/// The set of neighbors one party grants the other access to:
+/// the `(↑π', →ε', ↓γ')` triple of Eq. (2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grant {
+    providers: BTreeSet<Asn>,
+    peers: BTreeSet<Asn>,
+    customers: BTreeSet<Asn>,
+}
+
+impl Grant {
+    /// Creates an empty grant.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a grant from explicit provider/peer/customer sets.
+    #[must_use]
+    pub fn from_sets(
+        providers: impl IntoIterator<Item = Asn>,
+        peers: impl IntoIterator<Item = Asn>,
+        customers: impl IntoIterator<Item = Asn>,
+    ) -> Self {
+        Grant {
+            providers: providers.into_iter().collect(),
+            peers: peers.into_iter().collect(),
+            customers: customers.into_iter().collect(),
+        }
+    }
+
+    /// Adds a provider (`↑`) to the grant.
+    pub fn add_provider(&mut self, asn: Asn) -> &mut Self {
+        self.providers.insert(asn);
+        self
+    }
+
+    /// Adds a peer (`→`) to the grant.
+    pub fn add_peer(&mut self, asn: Asn) -> &mut Self {
+        self.peers.insert(asn);
+        self
+    }
+
+    /// Adds a customer (`↓`) to the grant.
+    pub fn add_customer(&mut self, asn: Asn) -> &mut Self {
+        self.customers.insert(asn);
+        self
+    }
+
+    /// The granted providers `π'`.
+    #[must_use]
+    pub fn providers(&self) -> &BTreeSet<Asn> {
+        &self.providers
+    }
+
+    /// The granted peers `ε'`.
+    #[must_use]
+    pub fn peers(&self) -> &BTreeSet<Asn> {
+        &self.peers
+    }
+
+    /// The granted customers `γ'`.
+    #[must_use]
+    pub fn customers(&self) -> &BTreeSet<Asn> {
+        &self.customers
+    }
+
+    /// All granted ASes: the union `a_X = π' ∪ ε' ∪ γ'`.
+    pub fn all(&self) -> impl Iterator<Item = (Asn, NeighborKind)> + '_ {
+        self.providers
+            .iter()
+            .map(|&a| (a, NeighborKind::Provider))
+            .chain(self.peers.iter().map(|&a| (a, NeighborKind::Peer)))
+            .chain(self.customers.iter().map(|&a| (a, NeighborKind::Customer)))
+    }
+
+    /// Total number of granted ASes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.providers.len() + self.peers.len() + self.customers.len()
+    }
+
+    /// Returns `true` if nothing is granted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A new length-3 path segment created by an agreement: the
+/// `beneficiary` can now reach `target` via its agreement partner `via`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NewSegment {
+    /// The party gaining the path.
+    pub beneficiary: Asn,
+    /// The partner through which the path runs.
+    pub via: Asn,
+    /// The granted neighbor of `via` now reachable by `beneficiary`.
+    pub target: Asn,
+    /// The role of `target` from `via`'s perspective (determines who pays
+    /// whom for the last hop).
+    pub target_role: NeighborKind,
+}
+
+impl fmt::Display for NewSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} → {} → {} ({})",
+            self.beneficiary, self.via, self.target, self.target_role
+        )
+    }
+}
+
+/// An interconnection agreement between two ASes (Eq. 2):
+///
+/// ```text
+/// a = [X(↑π'_X, →ε'_X, ↓γ'_X); Y(↑π'_Y, →ε'_Y, ↓γ'_Y)]
+/// ```
+///
+/// `grant_by_x` lists the neighbors of `X` that `Y` gains access to, and
+/// vice versa.
+///
+/// # Example: the paper's agreement of Eq. (6)
+///
+/// ```
+/// use pan_core::{Agreement, Grant};
+/// use pan_topology::fixtures::{asn, fig1};
+///
+/// let graph = fig1();
+/// // a = [D(↑{A}); E(↑{B}, →{F})]
+/// let a = Agreement::new(
+///     asn('D'),
+///     asn('E'),
+///     Grant::from_sets([asn('A')], [], []),
+///     Grant::from_sets([asn('B')], [asn('F')], []),
+/// )?;
+/// a.validate(&graph)?;
+/// assert_eq!(a.new_segments(&graph).len(), 3); // D–E–B, D–E–F, E–D–A
+/// # Ok::<(), pan_core::AgreementError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Agreement {
+    x: Asn,
+    y: Asn,
+    grant_by_x: Grant,
+    grant_by_y: Grant,
+}
+
+impl Agreement {
+    /// Creates an agreement between `x` and `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::SameParty`] if `x == y`. Role correctness
+    /// of the grants is checked separately by [`validate`](Self::validate).
+    pub fn new(x: Asn, y: Asn, grant_by_x: Grant, grant_by_y: Grant) -> Result<Self> {
+        if x == y {
+            return Err(AgreementError::SameParty { asn: x });
+        }
+        Ok(Agreement {
+            x,
+            y,
+            grant_by_x,
+            grant_by_y,
+        })
+    }
+
+    /// First party.
+    #[must_use]
+    pub fn x(&self) -> Asn {
+        self.x
+    }
+
+    /// Second party.
+    #[must_use]
+    pub fn y(&self) -> Asn {
+        self.y
+    }
+
+    /// The grant made by `x` (what `y` gains).
+    #[must_use]
+    pub fn grant_by_x(&self) -> &Grant {
+        &self.grant_by_x
+    }
+
+    /// The grant made by `y` (what `x` gains).
+    #[must_use]
+    pub fn grant_by_y(&self) -> &Grant {
+        &self.grant_by_y
+    }
+
+    /// The grant made by `party`, which must be one of the two parties.
+    #[must_use]
+    pub fn grant_by(&self, party: Asn) -> Option<&Grant> {
+        if party == self.x {
+            Some(&self.grant_by_x)
+        } else if party == self.y {
+            Some(&self.grant_by_y)
+        } else {
+            None
+        }
+    }
+
+    /// The partner of `party`, if `party` is one of the two parties.
+    #[must_use]
+    pub fn partner_of(&self, party: Asn) -> Option<Asn> {
+        if party == self.x {
+            Some(self.y)
+        } else if party == self.y {
+            Some(self.x)
+        } else {
+            None
+        }
+    }
+
+    /// Validates the grants against a topology: every granted AS must be a
+    /// neighbor of the grantor in the declared role, and no party may be
+    /// granted access to itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidGrant`] on the first violation.
+    pub fn validate(&self, graph: &AsGraph) -> Result<()> {
+        for (grantor, grantee, grant) in [
+            (self.x, self.y, &self.grant_by_x),
+            (self.y, self.x, &self.grant_by_y),
+        ] {
+            for (target, claimed_role) in grant.all() {
+                if target == grantee {
+                    return Err(AgreementError::InvalidGrant {
+                        grantor,
+                        target,
+                        reason: "cannot grant a party access to itself".to_owned(),
+                    });
+                }
+                if target == grantor {
+                    return Err(AgreementError::InvalidGrant {
+                        grantor,
+                        target,
+                        reason: "cannot grant access to the grantor itself".to_owned(),
+                    });
+                }
+                match graph.neighbor_kind(grantor, target) {
+                    None => {
+                        return Err(AgreementError::InvalidGrant {
+                            grantor,
+                            target,
+                            reason: "not a neighbor of the grantor".to_owned(),
+                        })
+                    }
+                    Some(actual) if actual != claimed_role => {
+                        return Err(AgreementError::InvalidGrant {
+                            grantor,
+                            target,
+                            reason: format!(
+                                "declared as {claimed_role} but actually a {actual} of the grantor"
+                            ),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The new path segments created by the agreement, one per granted AS.
+    ///
+    /// Target roles are resolved against `graph` (falling back to the
+    /// declared role if the graph lacks the link, which cannot happen for
+    /// validated agreements).
+    #[must_use]
+    pub fn new_segments(&self, graph: &AsGraph) -> Vec<NewSegment> {
+        let mut segments = Vec::with_capacity(self.grant_by_x.len() + self.grant_by_y.len());
+        for (beneficiary, via, grant) in [
+            (self.x, self.y, &self.grant_by_y),
+            (self.y, self.x, &self.grant_by_x),
+        ] {
+            for (target, declared_role) in grant.all() {
+                let target_role = graph.neighbor_kind(via, target).unwrap_or(declared_role);
+                segments.push(NewSegment {
+                    beneficiary,
+                    via,
+                    target,
+                    target_role,
+                });
+            }
+        }
+        segments
+    }
+
+    /// Builds the classic peering agreement of §III-B1: both parties grant
+    /// access to **all** of their customers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::SameParty`] if `x == y`.
+    pub fn classic_peering(graph: &AsGraph, x: Asn, y: Asn) -> Result<Self> {
+        let gx = Grant::from_sets([], [], graph.customers(x).filter(|&c| c != y));
+        let gy = Grant::from_sets([], [], graph.customers(y).filter(|&c| c != x));
+        Agreement::new(x, y, gx, gy)
+    }
+
+    /// Builds the mutuality-based agreement (MA) of §VI between two
+    /// existing peers: each party grants the other access to **all of its
+    /// providers and peers that are not customers of the partner**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::NotPeers`] if `x` and `y` do not peer in
+    /// `graph`, or [`AgreementError::SameParty`] if `x == y`.
+    pub fn mutuality(graph: &AsGraph, x: Asn, y: Asn) -> Result<Self> {
+        if x == y {
+            return Err(AgreementError::SameParty { asn: x });
+        }
+        if graph.neighbor_kind(x, y) != Some(NeighborKind::Peer) {
+            return Err(AgreementError::NotPeers { x, y });
+        }
+        let grant_of = |grantor: Asn, grantee: Asn| {
+            let customers_of_grantee: BTreeSet<Asn> = graph.customers(grantee).collect();
+            let providers = graph
+                .providers(grantor)
+                .filter(|a| *a != grantee && !customers_of_grantee.contains(a));
+            let peers = graph
+                .peers(grantor)
+                .filter(|a| *a != grantee && !customers_of_grantee.contains(a));
+            Grant::from_sets(providers, peers, [])
+        };
+        Agreement::new(x, y, grant_of(x, y), grant_of(y, x))
+    }
+}
+
+impl fmt::Display for Agreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_set = |set: &BTreeSet<Asn>| -> String {
+            let items: Vec<String> = set.iter().map(ToString::to_string).collect();
+            items.join(",")
+        };
+        write!(
+            f,
+            "[{}(↑{{{}}}, →{{{}}}, ↓{{{}}}); {}(↑{{{}}}, →{{{}}}, ↓{{{}}})]",
+            self.x,
+            fmt_set(&self.grant_by_x.providers),
+            fmt_set(&self.grant_by_x.peers),
+            fmt_set(&self.grant_by_x.customers),
+            self.y,
+            fmt_set(&self.grant_by_y.providers),
+            fmt_set(&self.grant_by_y.peers),
+            fmt_set(&self.grant_by_y.customers),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn eq6(graph: &AsGraph) -> Agreement {
+        let a = Agreement::new(
+            asn('D'),
+            asn('E'),
+            Grant::from_sets([asn('A')], [], []),
+            Grant::from_sets([asn('B')], [asn('F')], []),
+        )
+        .unwrap();
+        a.validate(graph).unwrap();
+        a
+    }
+
+    #[test]
+    fn same_party_is_rejected() {
+        assert!(matches!(
+            Agreement::new(asn('D'), asn('D'), Grant::new(), Grant::new()),
+            Err(AgreementError::SameParty { .. })
+        ));
+    }
+
+    #[test]
+    fn eq6_agreement_validates_and_segments() {
+        let g = fig1();
+        let a = eq6(&g);
+        let segments = a.new_segments(&g);
+        assert_eq!(segments.len(), 3);
+        // D gains D–E–B (provider of E) and D–E–F (peer of E).
+        assert!(segments.iter().any(|s| s.beneficiary == asn('D')
+            && s.via == asn('E')
+            && s.target == asn('B')
+            && s.target_role == NeighborKind::Provider));
+        assert!(segments.iter().any(|s| s.beneficiary == asn('D')
+            && s.target == asn('F')
+            && s.target_role == NeighborKind::Peer));
+        // E gains E–D–A.
+        assert!(segments.iter().any(|s| s.beneficiary == asn('E')
+            && s.via == asn('D')
+            && s.target == asn('A')
+            && s.target_role == NeighborKind::Provider));
+    }
+
+    #[test]
+    fn wrong_role_grant_is_rejected() {
+        let g = fig1();
+        // A is D's provider, not customer.
+        let a = Agreement::new(
+            asn('D'),
+            asn('E'),
+            Grant::from_sets([], [], [asn('A')]),
+            Grant::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            a.validate(&g),
+            Err(AgreementError::InvalidGrant { .. })
+        ));
+    }
+
+    #[test]
+    fn non_neighbor_grant_is_rejected() {
+        let g = fig1();
+        // I is not a neighbor of D.
+        let a = Agreement::new(
+            asn('D'),
+            asn('E'),
+            Grant::from_sets([], [], [asn('I')]),
+            Grant::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            a.validate(&g),
+            Err(AgreementError::InvalidGrant { .. })
+        ));
+    }
+
+    #[test]
+    fn self_grant_is_rejected() {
+        let g = fig1();
+        // D "granting" E access to E makes no sense.
+        let a = Agreement::new(
+            asn('D'),
+            asn('E'),
+            Grant::from_sets([], [asn('E')], []),
+            Grant::new(),
+        )
+        .unwrap();
+        assert!(a.validate(&g).is_err());
+    }
+
+    #[test]
+    fn classic_peering_grants_all_customers() {
+        let g = fig1();
+        let ap = Agreement::classic_peering(&g, asn('D'), asn('E')).unwrap();
+        ap.validate(&g).unwrap();
+        assert_eq!(
+            ap.grant_by_x().customers().iter().copied().collect::<Vec<_>>(),
+            vec![asn('H')]
+        );
+        assert_eq!(
+            ap.grant_by_y().customers().iter().copied().collect::<Vec<_>>(),
+            vec![asn('I')]
+        );
+        assert!(ap.grant_by_x().providers().is_empty());
+    }
+
+    #[test]
+    fn mutuality_matches_section_vi_rule() {
+        let g = fig1();
+        let ma = Agreement::mutuality(&g, asn('D'), asn('E')).unwrap();
+        ma.validate(&g).unwrap();
+        // D grants its provider A and its peer C (E excluded as partner).
+        assert!(ma.grant_by_x().providers().contains(&asn('A')));
+        assert!(ma.grant_by_x().peers().contains(&asn('C')));
+        assert!(!ma.grant_by_x().peers().contains(&asn('E')));
+        // E grants its provider B and its peer F.
+        assert!(ma.grant_by_y().providers().contains(&asn('B')));
+        assert!(ma.grant_by_y().peers().contains(&asn('F')));
+        assert!(ma.grant_by_x().customers().is_empty());
+    }
+
+    #[test]
+    fn mutuality_requires_peering() {
+        let g = fig1();
+        assert!(matches!(
+            Agreement::mutuality(&g, asn('D'), asn('H')),
+            Err(AgreementError::NotPeers { .. })
+        ));
+        assert!(matches!(
+            Agreement::mutuality(&g, asn('A'), asn('E')),
+            Err(AgreementError::NotPeers { .. })
+        ));
+    }
+
+    #[test]
+    fn mutuality_excludes_partners_customers() {
+        use pan_topology::{AsGraphBuilder, Relationship};
+        // X peers Y; X's provider P is also Y's customer → must be excluded.
+        let mut b = AsGraphBuilder::new();
+        let (x, y, p) = (Asn::new(1), Asn::new(2), Asn::new(3));
+        b.add_link(x, y, Relationship::PeerToPeer).unwrap();
+        b.add_link(p, x, Relationship::ProviderToCustomer).unwrap();
+        b.add_link(y, p, Relationship::ProviderToCustomer).unwrap();
+        let g = b.build().unwrap();
+        let ma = Agreement::mutuality(&g, x, y).unwrap();
+        assert!(
+            ma.grant_by_x().providers().is_empty(),
+            "P is Y's customer and must not be granted"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let g = fig1();
+        let a = eq6(&g);
+        assert_eq!(a.partner_of(asn('D')), Some(asn('E')));
+        assert_eq!(a.partner_of(asn('E')), Some(asn('D')));
+        assert_eq!(a.partner_of(asn('A')), None);
+        assert!(a.grant_by(asn('D')).is_some());
+        assert!(a.grant_by(asn('Z')).is_none());
+        assert_eq!(a.grant_by_y().len(), 2);
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        let g = fig1();
+        let a = eq6(&g);
+        let text = a.to_string();
+        assert!(text.contains("AS4"), "{text}");
+        assert!(text.contains('↑'), "{text}");
+    }
+
+    #[test]
+    fn grant_iteration_covers_all_roles() {
+        let grant = Grant::from_sets([Asn::new(1)], [Asn::new(2)], [Asn::new(3)]);
+        let all: Vec<_> = grant.all().collect();
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&(Asn::new(1), NeighborKind::Provider)));
+        assert!(all.contains(&(Asn::new(2), NeighborKind::Peer)));
+        assert!(all.contains(&(Asn::new(3), NeighborKind::Customer)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = fig1();
+        let a = eq6(&g);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Agreement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

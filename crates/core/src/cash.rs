@@ -1,0 +1,340 @@
+//! Agreement optimization via cash compensation (§IV-B, Eq. 10–11).
+//!
+//! Instead of limiting flow volumes, the parties agree on a cash transfer
+//! `Π_{X→Y}` compensating whoever benefits less. The optimization problem
+//! of Eq. (10) has a solution iff the joint utility `u_X + u_Y` is
+//! non-negative, in which case the Nash Bargaining Solution of Eq. (11)
+//! splits the surplus equally.
+//!
+//! [`CashOptimizer`] additionally chooses the *operating point*
+//! maximizing the joint utility — the extra flexibility the paper credits
+//! cash agreements with (§IV-C): a transfer can make any
+//! positive-joint-surplus operating point acceptable, so the parties can
+//! run the flows that maximize total welfare rather than the constrained
+//! Nash product.
+
+use serde::{Deserialize, Serialize};
+
+use crate::nash::{bargaining_transfer, post_transfer_utilities};
+use crate::utility::{evaluate, OperatingPoint};
+use crate::{AgreementScenario, Result};
+
+/// Tolerance for treating a joint utility as non-negative.
+pub const JOINT_TOLERANCE: f64 = 1e-9;
+
+/// The settlement of a cash-compensation agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CashSettlement {
+    /// Cash transfer `Π_{X→Y}` (negative: `Y` pays `X`), Eq. (11).
+    pub transfer_x_to_y: f64,
+    /// Party `X`'s utility after the transfer.
+    pub utility_x_after: f64,
+    /// Party `Y`'s utility after the transfer.
+    pub utility_y_after: f64,
+}
+
+/// Computes the cash settlement for claimed/estimated utilities.
+///
+/// Returns `None` when `u_X + u_Y < 0`: one party would lose more than
+/// the other gains, so no transfer can rescue the agreement (Eq. 10 has
+/// no solution).
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidUtility`](crate::AgreementError::InvalidUtility)
+/// for non-finite utilities.
+pub fn settle(utility_x: f64, utility_y: f64) -> Result<Option<CashSettlement>> {
+    let transfer = bargaining_transfer(utility_x, utility_y)?;
+    if utility_x + utility_y < -JOINT_TOLERANCE {
+        return Ok(None);
+    }
+    let (after_x, after_y) = post_transfer_utilities(utility_x, utility_y)?;
+    Ok(Some(CashSettlement {
+        transfer_x_to_y: transfer,
+        utility_x_after: after_x,
+        utility_y_after: after_y,
+    }))
+}
+
+/// A concluded cash-compensation agreement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CashAgreement {
+    /// The operating point maximizing joint utility.
+    pub point: OperatingPoint,
+    /// Party `X`'s utility before the transfer.
+    pub utility_x_before: f64,
+    /// Party `Y`'s utility before the transfer.
+    pub utility_y_before: f64,
+    /// The settlement (transfer and post-transfer utilities).
+    pub settlement: CashSettlement,
+}
+
+impl CashAgreement {
+    /// Joint utility (equals twice the post-transfer utility of each party).
+    #[must_use]
+    pub fn joint_utility(&self) -> f64 {
+        self.utility_x_before + self.utility_y_before
+    }
+}
+
+/// Outcome of cash-compensation optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CashOutcome {
+    /// The agreement is concluded with the given settlement.
+    Concluded(CashAgreement),
+    /// Even the welfare-maximizing operating point has negative joint
+    /// utility; the agreement is not viable.
+    NotViable {
+        /// Best joint utility found.
+        best_joint_utility: f64,
+    },
+}
+
+impl CashOutcome {
+    /// Returns the concluded agreement, if any.
+    #[must_use]
+    pub fn concluded(&self) -> Option<&CashAgreement> {
+        match self {
+            CashOutcome::Concluded(agreement) => Some(agreement),
+            CashOutcome::NotViable { .. } => None,
+        }
+    }
+
+    /// Returns `true` if the agreement was concluded.
+    #[must_use]
+    pub fn is_concluded(&self) -> bool {
+        matches!(self, CashOutcome::Concluded(_))
+    }
+}
+
+/// Optimizer for cash-compensation agreements: maximizes the joint
+/// utility `u_X + u_Y` over operating points, then settles via the NBS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CashOptimizer {
+    /// Number of grid samples per coordinate scan.
+    pub grid_points: usize,
+    /// Maximum coordinate-ascent passes.
+    pub max_passes: usize,
+    /// Convergence tolerance on the objective between passes.
+    pub tolerance: f64,
+}
+
+impl Default for CashOptimizer {
+    fn default() -> Self {
+        CashOptimizer {
+            grid_points: 17,
+            max_passes: 12,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+impl CashOptimizer {
+    /// Creates an optimizer with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves Eq. (10) for the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn optimize(&self, scenario: &AgreementScenario<'_>) -> Result<CashOutcome> {
+        let n = scenario.dimension();
+        if n == 0 {
+            return Ok(CashOutcome::NotViable {
+                best_joint_utility: 0.0,
+            });
+        }
+        let starts = [
+            OperatingPoint::zero(n),
+            OperatingPoint::full(n),
+            OperatingPoint::uniform(n, 0.5, 0.5).expect("valid fractions"),
+        ];
+        let mut best_point = OperatingPoint::zero(n);
+        let mut best_joint = self.joint(scenario, &best_point)?;
+        for start in starts {
+            let (point, joint) = self.ascend(scenario, start)?;
+            if joint > best_joint {
+                best_joint = joint;
+                best_point = point;
+            }
+        }
+        let eval = evaluate(scenario, &best_point)?;
+        match settle(eval.utility_x, eval.utility_y)? {
+            Some(settlement) if best_joint > JOINT_TOLERANCE => {
+                Ok(CashOutcome::Concluded(CashAgreement {
+                    point: best_point,
+                    utility_x_before: eval.utility_x,
+                    utility_y_before: eval.utility_y,
+                    settlement,
+                }))
+            }
+            _ => Ok(CashOutcome::NotViable {
+                best_joint_utility: best_joint,
+            }),
+        }
+    }
+
+    fn ascend(
+        &self,
+        scenario: &AgreementScenario<'_>,
+        mut point: OperatingPoint,
+    ) -> Result<(OperatingPoint, f64)> {
+        let mut current = self.joint(scenario, &point)?;
+        for _ in 0..self.max_passes {
+            let before = current;
+            for k in 0..point.coordinate_count() {
+                let original = point.coordinate(k);
+                let mut best_value = original;
+                let mut best_score = current;
+                let m = self.grid_points.max(3);
+                for step in 0..m {
+                    let candidate = step as f64 / (m - 1) as f64;
+                    point.set_coordinate(k, candidate);
+                    let score = self.joint(scenario, &point)?;
+                    if score > best_score {
+                        best_score = score;
+                        best_value = candidate;
+                    }
+                }
+                let mut width = 1.0 / (m - 1) as f64;
+                for _ in 0..20 {
+                    width /= 2.0;
+                    let mut improved = false;
+                    for candidate in [best_value - width, best_value + width] {
+                        if !(0.0..=1.0).contains(&candidate) {
+                            continue;
+                        }
+                        point.set_coordinate(k, candidate);
+                        let score = self.joint(scenario, &point)?;
+                        if score > best_score {
+                            best_score = score;
+                            best_value = candidate;
+                            improved = true;
+                        }
+                    }
+                    if !improved && width < 1e-6 {
+                        break;
+                    }
+                }
+                point.set_coordinate(k, best_value);
+                current = best_score;
+            }
+            if current - before <= self.tolerance {
+                break;
+            }
+        }
+        Ok((point, current))
+    }
+
+    fn joint(&self, scenario: &AgreementScenario<'_>, point: &OperatingPoint) -> Result<f64> {
+        let eval = evaluate(scenario, point)?;
+        Ok(eval.utility_x + eval.utility_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow_volume::{FlowVolumeOptimizer, FlowVolumeOutcome};
+    use crate::scenario::tests::{baselines, eq6_agreement, fig1_model};
+    use crate::AgreementScenario;
+    use proptest::prelude::*;
+
+    fn scenario(model: &pan_econ::BusinessModel) -> AgreementScenario<'_> {
+        let (fd, fe) = baselines();
+        AgreementScenario::with_default_opportunities(model, eq6_agreement(), fd, fe, 0.6, 0.4)
+            .unwrap()
+    }
+
+    #[test]
+    fn settle_splits_surplus_equally() {
+        let s = settle(10.0, 4.0).unwrap().unwrap();
+        assert!((s.transfer_x_to_y - 3.0).abs() < 1e-12);
+        assert!((s.utility_x_after - 7.0).abs() < 1e-12);
+        assert!((s.utility_y_after - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settle_rescues_one_sided_losses() {
+        // Y loses 2 but X gains 10: viable with compensation.
+        let s = settle(10.0, -2.0).unwrap().unwrap();
+        assert!(s.utility_y_after >= 0.0);
+        assert!((s.utility_x_after - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settle_refuses_negative_surplus() {
+        assert!(settle(1.0, -5.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn optimizer_concludes_on_viable_scenario() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let outcome = CashOptimizer::new().optimize(&s).unwrap();
+        let agreement = outcome.concluded().expect("viable scenario");
+        assert!(agreement.joint_utility() > 0.0);
+        assert!(
+            (agreement.settlement.utility_x_after - agreement.settlement.utility_y_after).abs()
+                < 1e-9,
+            "NBS equalizes post-transfer utilities"
+        );
+    }
+
+    /// §IV-C: cash agreements achieve at least the joint utility of the
+    /// flow-volume optimum (they are strictly more flexible).
+    #[test]
+    fn cash_joint_utility_dominates_flow_volume() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let cash = CashOptimizer::new().optimize(&s).unwrap();
+        let fv = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        let cash_joint = cash.concluded().unwrap().joint_utility();
+        if let FlowVolumeOutcome::Concluded(agreement) = fv {
+            assert!(
+                cash_joint >= agreement.utility_x + agreement.utility_y - 1e-6,
+                "cash joint {cash_joint} < flow-volume joint {}",
+                agreement.utility_x + agreement.utility_y
+            );
+        }
+    }
+
+    #[test]
+    fn empty_scenario_is_not_viable() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let s = AgreementScenario::new(&m, eq6_agreement(), fd, fe).unwrap();
+        assert!(!CashOptimizer::new().optimize(&s).unwrap().is_concluded());
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let a = CashOptimizer::new().optimize(&s).unwrap();
+        let b = CashOptimizer::new().optimize(&s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// Eq. (10) has a solution iff `u_X + u_Y ≥ 0`.
+        #[test]
+        fn settlement_exists_iff_joint_nonnegative(
+            ux in -50.0..50.0f64,
+            uy in -50.0..50.0f64,
+        ) {
+            let settlement = settle(ux, uy).unwrap();
+            if ux + uy >= JOINT_TOLERANCE {
+                let s = settlement.expect("positive surplus must settle");
+                prop_assert!(s.utility_x_after >= -1e-9);
+                prop_assert!(s.utility_y_after >= -1e-9);
+            } else if ux + uy < -JOINT_TOLERANCE {
+                prop_assert!(settlement.is_none());
+            }
+        }
+    }
+}

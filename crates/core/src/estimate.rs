@@ -1,0 +1,186 @@
+//! Utility-distribution estimation for mechanism-assisted negotiation
+//! (§V-C1).
+//!
+//! The BOSCO service "does not know the true utility … but can estimate a
+//! utility distribution, … on the basis of heuristics, taking standard
+//! transit and network-equipment prices into account". This module
+//! implements that estimation step: given an [`AgreementScenario`] built
+//! from *standard* (public) prices, it evaluates the utility a party
+//! could derive across the whole operating-point box and widens the range
+//! by an uncertainty factor reflecting how far the party's private costs
+//! may deviate from the standard assumptions.
+//!
+//! The result is a `[lo, hi]` interval per party, ready to be turned into
+//! a `pan_bosco::UtilityDistribution::uniform(lo, hi)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::utility::{evaluate, OperatingPoint};
+use crate::{AgreementError, AgreementScenario, Result};
+
+/// An estimated utility range for one agreement party.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityRange {
+    /// Lower bound of the plausible utility.
+    pub lo: f64,
+    /// Upper bound of the plausible utility.
+    pub hi: f64,
+}
+
+impl UtilityRange {
+    /// Width of the range.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the range.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Returns `true` if `utility` lies inside the range.
+    #[must_use]
+    pub fn contains(&self, utility: f64) -> bool {
+        (self.lo..=self.hi).contains(&utility)
+    }
+}
+
+/// Estimated utility ranges for both agreement parties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityEstimate {
+    /// Range for party `X`.
+    pub x: UtilityRange,
+    /// Range for party `Y`.
+    pub y: UtilityRange,
+}
+
+/// Estimates the utility ranges of both parties by sweeping a coarse grid
+/// of operating points under the scenario's (standard-price) business
+/// model and widening the observed span by `uncertainty`.
+///
+/// `uncertainty = 0.25` means the private true utility may lie 25% of the
+/// observed span beyond either end — covering deviations of the party's
+/// private transit contracts and internal costs from the standard prices
+/// the estimator used. `grid` is the number of samples per axis of the
+/// (reroute, attract) sweep.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidFraction`] for a negative or
+/// non-finite `uncertainty`, and propagates evaluation errors.
+pub fn estimate_utility_ranges(
+    scenario: &AgreementScenario<'_>,
+    grid: usize,
+    uncertainty: f64,
+) -> Result<UtilityEstimate> {
+    if !uncertainty.is_finite() || uncertainty < 0.0 {
+        return Err(AgreementError::InvalidFraction { value: uncertainty });
+    }
+    let grid = grid.max(2);
+    let n = scenario.dimension();
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for i in 0..grid {
+        let reroute = i as f64 / (grid - 1) as f64;
+        for j in 0..grid {
+            let attract = j as f64 / (grid - 1) as f64;
+            let point = OperatingPoint::uniform(n, reroute, attract)?;
+            let eval = evaluate(scenario, &point)?;
+            min_x = min_x.min(eval.utility_x);
+            max_x = max_x.max(eval.utility_x);
+            min_y = min_y.min(eval.utility_y);
+            max_y = max_y.max(eval.utility_y);
+        }
+    }
+    let widen = |lo: f64, hi: f64| {
+        let span = (hi - lo).max(1e-6);
+        UtilityRange {
+            lo: lo - uncertainty * span,
+            hi: hi + uncertainty * span,
+        }
+    };
+    Ok(UtilityEstimate {
+        x: widen(min_x, max_x),
+        y: widen(min_y, max_y),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tests::{baselines, eq6_agreement, fig1_model};
+    use crate::AgreementScenario;
+
+    fn scenario(model: &pan_econ::BusinessModel) -> AgreementScenario<'_> {
+        let (fd, fe) = baselines();
+        AgreementScenario::with_default_opportunities(model, eq6_agreement(), fd, fe, 0.6, 0.4)
+            .unwrap()
+    }
+
+    #[test]
+    fn ranges_cover_actual_utilities() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let estimate = estimate_utility_ranges(&s, 5, 0.25).unwrap();
+        // Every evaluated point's utilities must be inside the ranges.
+        for i in 0..4 {
+            for j in 0..4 {
+                let point =
+                    OperatingPoint::uniform(s.dimension(), i as f64 / 3.0, j as f64 / 3.0)
+                        .unwrap();
+                let eval = evaluate(&s, &point).unwrap();
+                assert!(
+                    estimate.x.contains(eval.utility_x) || eval.utility_x.abs() < 1e-9,
+                    "u_x {} outside [{}, {}]",
+                    eval.utility_x,
+                    estimate.x.lo,
+                    estimate.x.hi
+                );
+                assert!(estimate.y.contains(eval.utility_y) || eval.utility_y.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uncertainty_widens_the_range() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let tight = estimate_utility_ranges(&s, 4, 0.0).unwrap();
+        let wide = estimate_utility_ranges(&s, 4, 0.5).unwrap();
+        assert!(wide.x.width() > tight.x.width());
+        assert!(wide.y.width() > tight.y.width());
+        assert!(wide.x.lo <= tight.x.lo && wide.x.hi >= tight.x.hi);
+    }
+
+    #[test]
+    fn ranges_include_zero_for_zero_point() {
+        // The zero operating point yields zero utility, so the widened
+        // range always straddles (or touches) zero.
+        let m = fig1_model();
+        let s = scenario(&m);
+        let estimate = estimate_utility_ranges(&s, 4, 0.1).unwrap();
+        assert!(estimate.x.lo <= 0.0 && estimate.x.hi >= 0.0);
+        assert!(estimate.y.lo <= 0.0 && estimate.y.hi >= 0.0);
+    }
+
+    #[test]
+    fn invalid_uncertainty_is_rejected() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        assert!(estimate_utility_ranges(&s, 4, -0.1).is_err());
+        assert!(estimate_utility_ranges(&s, 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn range_helpers() {
+        let r = UtilityRange { lo: -1.0, hi: 3.0 };
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.midpoint(), 1.0);
+        assert!(r.contains(0.0));
+        assert!(!r.contains(4.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Extension of agreement paths (§III-B3).
+//!
+//! A path segment created by one agreement can itself become the subject
+//! of another: in the paper's example, after `a = [D(↑{A}); E(↑{B}, →{F})]`
+//! creates segment `E–D–A`, AS `E` can offer `F` access to that segment in
+//! a follow-up agreement `a′`. The follow-up is *interdependent* with the
+//! base agreement: traffic admitted under `a′` consumes base-agreement
+//! allowance, so `a′` must be negotiated such that the base targets can
+//! still be respected.
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::utility::SegmentTarget;
+use crate::{AgreementError, NewSegment, Result};
+
+/// An extension offer: `grantor` (a party of the base agreement) offers
+/// `new_partner` access to a base-agreement segment, extending it by one
+/// hop at the front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathExtension {
+    /// The party of the base agreement making the offer.
+    pub grantor: Asn,
+    /// The AS gaining access to the extended path.
+    pub new_partner: Asn,
+    /// The base-agreement segment being extended (the grantor must be its
+    /// beneficiary).
+    pub base_segment: NewSegment,
+    /// Flow allowance granted to the new partner on the extended path.
+    pub allowance: f64,
+}
+
+impl PathExtension {
+    /// Creates an extension offer.
+    ///
+    /// # Errors
+    ///
+    /// - [`AgreementError::InvalidGrant`] if the grantor is not the
+    ///   beneficiary of the base segment, or the new partner already
+    ///   appears on the segment.
+    /// - [`AgreementError::InvalidFraction`] for a negative or non-finite
+    ///   allowance.
+    pub fn new(
+        grantor: Asn,
+        new_partner: Asn,
+        base_segment: NewSegment,
+        allowance: f64,
+    ) -> Result<Self> {
+        if base_segment.beneficiary != grantor {
+            return Err(AgreementError::InvalidGrant {
+                grantor,
+                target: base_segment.target,
+                reason: "only the beneficiary of a segment may extend it".to_owned(),
+            });
+        }
+        if new_partner == base_segment.via
+            || new_partner == base_segment.target
+            || new_partner == grantor
+        {
+            return Err(AgreementError::InvalidGrant {
+                grantor,
+                target: new_partner,
+                reason: "the new partner must not already be on the segment".to_owned(),
+            });
+        }
+        if !allowance.is_finite() || allowance < 0.0 {
+            return Err(AgreementError::InvalidFraction { value: allowance });
+        }
+        Ok(PathExtension {
+            grantor,
+            new_partner,
+            base_segment,
+            allowance,
+        })
+    }
+
+    /// The extended AS-level path `new_partner → grantor → via → target`.
+    #[must_use]
+    pub fn extended_path(&self) -> [Asn; 4] {
+        [
+            self.new_partner,
+            self.grantor,
+            self.base_segment.via,
+            self.base_segment.target,
+        ]
+    }
+}
+
+/// Checks the interdependency constraint of §III-B3: the combined usage
+/// of a base segment — the grantor's own traffic plus all extension
+/// allowances — must stay within the base agreement's flow-volume target.
+///
+/// `own_usage` is the grantor's planned traffic on the segment;
+/// `extensions` are the extensions sold on that same segment.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidFraction`] for negative or non-finite
+/// `own_usage`.
+pub fn respects_base_target(
+    base_target: &SegmentTarget,
+    own_usage: f64,
+    extensions: &[PathExtension],
+) -> Result<bool> {
+    if !own_usage.is_finite() || own_usage < 0.0 {
+        return Err(AgreementError::InvalidFraction { value: own_usage });
+    }
+    let extension_total: f64 = extensions
+        .iter()
+        .filter(|e| e.base_segment == base_target.segment)
+        .map(|e| e.allowance)
+        .sum();
+    Ok(own_usage + extension_total <= base_target.total_allowance + 1e-9)
+}
+
+/// The largest allowance that can still be sold on a base segment given
+/// the grantor's own usage and previously sold extensions.
+#[must_use]
+pub fn remaining_allowance(
+    base_target: &SegmentTarget,
+    own_usage: f64,
+    extensions: &[PathExtension],
+) -> f64 {
+    let used: f64 = extensions
+        .iter()
+        .filter(|e| e.base_segment == base_target.segment)
+        .map(|e| e.allowance)
+        .sum::<f64>()
+        + own_usage.max(0.0);
+    (base_target.total_allowance - used).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::asn;
+    use pan_topology::NeighborKind;
+
+    /// The paper's example: segment E–D–A created by agreement `a`,
+    /// extended to F by agreement `a′`.
+    fn eda_segment() -> NewSegment {
+        NewSegment {
+            beneficiary: asn('E'),
+            via: asn('D'),
+            target: asn('A'),
+            target_role: NeighborKind::Provider,
+        }
+    }
+
+    fn target(total: f64) -> SegmentTarget {
+        SegmentTarget {
+            segment: eda_segment(),
+            total_allowance: total,
+            attracted_allowance: 0.0,
+        }
+    }
+
+    #[test]
+    fn paper_example_extension() {
+        let ext = PathExtension::new(asn('E'), asn('F'), eda_segment(), 5.0).unwrap();
+        assert_eq!(ext.extended_path(), [asn('F'), asn('E'), asn('D'), asn('A')]);
+    }
+
+    #[test]
+    fn only_beneficiary_may_extend() {
+        assert!(matches!(
+            PathExtension::new(asn('D'), asn('F'), eda_segment(), 5.0),
+            Err(AgreementError::InvalidGrant { .. })
+        ));
+    }
+
+    #[test]
+    fn partner_must_be_off_segment() {
+        for on_path in ['D', 'A', 'E'] {
+            assert!(
+                PathExtension::new(asn('E'), asn(on_path), eda_segment(), 5.0).is_err(),
+                "{on_path} is already on the segment"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_allowance_rejected() {
+        assert!(PathExtension::new(asn('E'), asn('F'), eda_segment(), -1.0).is_err());
+        assert!(PathExtension::new(asn('E'), asn('F'), eda_segment(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn interdependency_constraint() {
+        let base = target(10.0);
+        let ext = PathExtension::new(asn('E'), asn('F'), eda_segment(), 4.0).unwrap();
+        assert!(respects_base_target(&base, 5.0, std::slice::from_ref(&ext)).unwrap());
+        assert!(!respects_base_target(&base, 7.0, &[ext]).unwrap());
+    }
+
+    #[test]
+    fn unrelated_extensions_do_not_count() {
+        let base = target(10.0);
+        let other_segment = NewSegment {
+            beneficiary: asn('E'),
+            via: asn('D'),
+            target: asn('C'),
+            target_role: NeighborKind::Peer,
+        };
+        let ext = PathExtension::new(asn('E'), asn('F'), other_segment, 100.0).unwrap();
+        assert!(respects_base_target(&base, 5.0, &[ext]).unwrap());
+    }
+
+    #[test]
+    fn remaining_allowance_computation() {
+        let base = target(10.0);
+        let ext = PathExtension::new(asn('E'), asn('F'), eda_segment(), 4.0).unwrap();
+        assert!((remaining_allowance(&base, 3.0, &[ext]) - 3.0).abs() < 1e-12);
+        assert_eq!(remaining_allowance(&base, 20.0, &[]), 0.0);
+    }
+
+    #[test]
+    fn invalid_own_usage_rejected() {
+        let base = target(10.0);
+        assert!(respects_base_target(&base, -1.0, &[]).is_err());
+    }
+}

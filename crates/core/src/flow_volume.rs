@@ -1,0 +1,371 @@
+//! Agreement optimization via flow-volume targets (§IV-A, Eq. 9).
+//!
+//! The optimizer searches the box `[0, 1]^{2n}` of operating points
+//! (reroute and attract fractions per segment) for the point maximizing
+//! the Nash product `u_X · u_Y` subject to the rationality constraints
+//! `u_X ≥ 0`, `u_Y ≥ 0`. Constraints (II) and (III) of Eq. (9) hold by
+//! construction of [`OperatingPoint`].
+//!
+//! The search is a deterministic multi-start projected coordinate ascent:
+//! each pass scans every coordinate with a coarse grid followed by local
+//! refinement; several structured starting points avoid the Nash
+//! product's zero plateaus. This is adequate for the low-dimensional,
+//! smooth programs arising from bilateral agreements (a handful of
+//! segments each).
+
+use serde::{Deserialize, Serialize};
+
+use crate::utility::{evaluate, segment_targets, OperatingPoint, SegmentTarget};
+use crate::{AgreementScenario, Result};
+
+/// Tolerance below which a utility is treated as zero (agreements with
+/// sub-tolerance surplus are considered degenerate rather than concluded).
+pub const UTILITY_TOLERANCE: f64 = 1e-9;
+
+/// A concluded flow-volume agreement: the optimized operating point, the
+/// resulting per-segment targets, and the achieved utilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowVolumeAgreement {
+    /// The optimized operating point.
+    pub point: OperatingPoint,
+    /// Flow-volume targets to be written into the agreement.
+    pub targets: Vec<SegmentTarget>,
+    /// Agreement utility of party `X` at the optimum.
+    pub utility_x: f64,
+    /// Agreement utility of party `Y` at the optimum.
+    pub utility_y: f64,
+}
+
+impl FlowVolumeAgreement {
+    /// The achieved Nash product.
+    #[must_use]
+    pub fn nash_product(&self) -> f64 {
+        self.utility_x * self.utility_y
+    }
+
+    /// Total flow allowance across all segments.
+    #[must_use]
+    pub fn total_allowance(&self) -> f64 {
+        self.targets.iter().map(|t| t.total_allowance).sum()
+    }
+}
+
+/// Outcome of flow-volume optimization.
+///
+/// As §IV-C notes, for dissimilar cost structures the program can have
+/// only the all-zero solution — the agreement "cannot be concluded"; that
+/// case is reported as [`Degenerate`](Self::Degenerate) rather than as an
+/// error, since it is an economically meaningful result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowVolumeOutcome {
+    /// A mutually beneficial operating point was found.
+    Concluded(FlowVolumeAgreement),
+    /// Only the zero-volume solution satisfies the rationality
+    /// constraints; no flow-volume agreement is worth concluding.
+    Degenerate {
+        /// Utilities at the best feasible point found (≈ 0).
+        best_nash_product: f64,
+    },
+}
+
+impl FlowVolumeOutcome {
+    /// Returns the concluded agreement, if any.
+    #[must_use]
+    pub fn concluded(&self) -> Option<&FlowVolumeAgreement> {
+        match self {
+            FlowVolumeOutcome::Concluded(agreement) => Some(agreement),
+            FlowVolumeOutcome::Degenerate { .. } => None,
+        }
+    }
+
+    /// Returns `true` if the agreement was concluded.
+    #[must_use]
+    pub fn is_concluded(&self) -> bool {
+        matches!(self, FlowVolumeOutcome::Concluded(_))
+    }
+}
+
+/// Configuration of the flow-volume optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowVolumeOptimizer {
+    /// Number of grid samples per coordinate scan.
+    pub grid_points: usize,
+    /// Maximum coordinate-ascent passes over all coordinates.
+    pub max_passes: usize,
+    /// Convergence tolerance on the objective between passes.
+    pub tolerance: f64,
+}
+
+impl Default for FlowVolumeOptimizer {
+    fn default() -> Self {
+        FlowVolumeOptimizer {
+            grid_points: 17,
+            max_passes: 12,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+impl FlowVolumeOptimizer {
+    /// Creates an optimizer with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves Eq. (9) for the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (invalid flows, unknown ASes).
+    pub fn optimize(&self, scenario: &AgreementScenario<'_>) -> Result<FlowVolumeOutcome> {
+        let n = scenario.dimension();
+        if n == 0 {
+            return Ok(FlowVolumeOutcome::Degenerate {
+                best_nash_product: 0.0,
+            });
+        }
+
+        // Structured starts: zero, full, half, reroute-only, attract-only.
+        let starts = [
+            OperatingPoint::zero(n),
+            OperatingPoint::full(n),
+            OperatingPoint::uniform(n, 0.5, 0.5).expect("0.5 is a valid fraction"),
+            OperatingPoint::uniform(n, 1.0, 0.0).expect("valid fractions"),
+            OperatingPoint::uniform(n, 0.0, 1.0).expect("valid fractions"),
+        ];
+
+        let mut best_point = OperatingPoint::zero(n);
+        let mut best_score = self.score(scenario, &best_point)?;
+        for start in starts {
+            let (point, score) = self.ascend(scenario, start)?;
+            if score > best_score {
+                best_score = score;
+                best_point = point;
+            }
+        }
+
+        let eval = evaluate(scenario, &best_point)?;
+        let feasible =
+            eval.utility_x >= -UTILITY_TOLERANCE && eval.utility_y >= -UTILITY_TOLERANCE;
+        let product = eval.utility_x.max(0.0) * eval.utility_y.max(0.0);
+        let targets = segment_targets(scenario, &best_point)?;
+        let any_volume = targets.iter().any(|t| t.total_allowance > UTILITY_TOLERANCE);
+        if !feasible || !any_volume || product <= UTILITY_TOLERANCE {
+            return Ok(FlowVolumeOutcome::Degenerate {
+                best_nash_product: product.max(0.0),
+            });
+        }
+        Ok(FlowVolumeOutcome::Concluded(FlowVolumeAgreement {
+            point: best_point,
+            targets,
+            utility_x: eval.utility_x,
+            utility_y: eval.utility_y,
+        }))
+    }
+
+    /// Coordinate ascent from a starting point; returns the local optimum
+    /// and its score.
+    fn ascend(
+        &self,
+        scenario: &AgreementScenario<'_>,
+        mut point: OperatingPoint,
+    ) -> Result<(OperatingPoint, f64)> {
+        let mut current = self.score(scenario, &point)?;
+        for _ in 0..self.max_passes {
+            let before = current;
+            for k in 0..point.coordinate_count() {
+                current = self.optimize_coordinate(scenario, &mut point, k, current)?;
+            }
+            if current - before <= self.tolerance {
+                break;
+            }
+        }
+        Ok((point, current))
+    }
+
+    /// Grid scan plus local refinement of a single coordinate.
+    fn optimize_coordinate(
+        &self,
+        scenario: &AgreementScenario<'_>,
+        point: &mut OperatingPoint,
+        k: usize,
+        current: f64,
+    ) -> Result<f64> {
+        let original = point.coordinate(k);
+        let mut best_value = original;
+        let mut best_score = current;
+
+        let m = self.grid_points.max(3);
+        for step in 0..m {
+            let candidate = step as f64 / (m - 1) as f64;
+            point.set_coordinate(k, candidate);
+            let score = self.score(scenario, point)?;
+            if score > best_score {
+                best_score = score;
+                best_value = candidate;
+            }
+        }
+        // Local refinement around the best grid value.
+        let mut width = 1.0 / (m - 1) as f64;
+        for _ in 0..20 {
+            width /= 2.0;
+            let mut improved = false;
+            for candidate in [best_value - width, best_value + width] {
+                if !(0.0..=1.0).contains(&candidate) {
+                    continue;
+                }
+                point.set_coordinate(k, candidate);
+                let score = self.score(scenario, point)?;
+                if score > best_score {
+                    best_score = score;
+                    best_value = candidate;
+                    improved = true;
+                }
+            }
+            if !improved && width < 1e-6 {
+                break;
+            }
+        }
+        point.set_coordinate(k, best_value);
+        Ok(best_score)
+    }
+
+    /// The penalized objective: the Nash product on the feasible region
+    /// (with an infinitesimal joint-utility tiebreak to escape the zero
+    /// plateaus along the axes), and a steep negative penalty outside it.
+    fn score(&self, scenario: &AgreementScenario<'_>, point: &OperatingPoint) -> Result<f64> {
+        let eval = evaluate(scenario, point)?;
+        let (ux, uy) = (eval.utility_x, eval.utility_y);
+        if ux >= -UTILITY_TOLERANCE && uy >= -UTILITY_TOLERANCE {
+            Ok(ux.max(0.0) * uy.max(0.0) + 1e-7 * (ux + uy))
+        } else {
+            Ok(-(ux.min(0.0).abs() + uy.min(0.0).abs()) - 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tests::{baselines, eq6_agreement, fig1_model};
+    use crate::utility::evaluate;
+    use crate::AgreementScenario;
+    use pan_econ::{BusinessModel, CostFunction, PricingBook, PricingFunction};
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn symmetric_scenario(model: &BusinessModel) -> AgreementScenario<'_> {
+        let (fd, fe) = baselines();
+        AgreementScenario::with_default_opportunities(model, eq6_agreement(), fd, fe, 0.6, 0.4)
+            .unwrap()
+    }
+
+    #[test]
+    fn symmetric_agreement_concludes_with_positive_utilities() {
+        let m = fig1_model();
+        let s = symmetric_scenario(&m);
+        let outcome = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        let agreement = outcome.concluded().expect("should conclude");
+        assert!(agreement.utility_x > 0.0, "u_D = {}", agreement.utility_x);
+        assert!(agreement.utility_y > 0.0, "u_E = {}", agreement.utility_y);
+        assert!(agreement.total_allowance() > 0.0);
+    }
+
+    #[test]
+    fn optimum_beats_corner_points() {
+        let m = fig1_model();
+        let s = symmetric_scenario(&m);
+        let outcome = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        let best = outcome.concluded().unwrap().nash_product();
+        for point in [
+            OperatingPoint::zero(s.dimension()),
+            OperatingPoint::full(s.dimension()),
+            OperatingPoint::uniform(s.dimension(), 0.5, 0.5).unwrap(),
+        ] {
+            let eval = evaluate(&s, &point).unwrap();
+            let corner = eval.utility_x.max(0.0) * eval.utility_y.max(0.0);
+            assert!(
+                best >= corner - 1e-6,
+                "corner {corner} beats optimum {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_respects_rationality_constraints() {
+        let m = fig1_model();
+        let s = symmetric_scenario(&m);
+        if let FlowVolumeOutcome::Concluded(agreement) =
+            FlowVolumeOptimizer::new().optimize(&s).unwrap()
+        {
+            assert!(agreement.utility_x >= -UTILITY_TOLERANCE);
+            assert!(agreement.utility_y >= -UTILITY_TOLERANCE);
+        }
+    }
+
+    /// §IV-C: with very dissimilar cost structures the flow-volume program
+    /// degenerates to the zero solution.
+    #[test]
+    fn dissimilar_costs_degenerate() {
+        let g = fig1();
+        let mut book = PricingBook::new();
+        // E pays its provider B an enormous rate, and D's provider is
+        // cheap: any traffic D sends over E ruins E, and E has nothing
+        // to gain because D's reroutable savings are tiny.
+        book.set_transit_price(asn('A'), asn('D'), PricingFunction::per_usage(0.01).unwrap());
+        book.set_transit_price(asn('B'), asn('E'), PricingFunction::per_usage(50.0).unwrap());
+        let mut model = BusinessModel::new(g, book);
+        model.set_internal_cost(asn('D'), CostFunction::linear(5.0).unwrap());
+        model.set_internal_cost(asn('E'), CostFunction::linear(5.0).unwrap());
+        let (fd, fe) = baselines();
+        let s = AgreementScenario::with_default_opportunities(
+            &model,
+            eq6_agreement(),
+            fd,
+            fe,
+            0.6,
+            0.0,
+        )
+        .unwrap();
+        let outcome = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        assert!(
+            !outcome.is_concluded(),
+            "hostile economics should degenerate, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn empty_scenario_degenerates() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let s = AgreementScenario::new(&m, eq6_agreement(), fd, fe).unwrap();
+        let outcome = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        assert!(!outcome.is_concluded());
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let m = fig1_model();
+        let s = symmetric_scenario(&m);
+        let a = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        let b = FlowVolumeOptimizer::new().optimize(&s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn targets_are_consistent_with_point() {
+        let m = fig1_model();
+        let s = symmetric_scenario(&m);
+        if let FlowVolumeOutcome::Concluded(agreement) =
+            FlowVolumeOptimizer::new().optimize(&s).unwrap()
+        {
+            for (target, opp) in agreement.targets.iter().zip(s.opportunities()) {
+                assert!(target.total_allowance <= opp.reroutable_total() + opp.attractable_total() + 1e-9);
+                assert!(target.attracted_allowance <= opp.attractable_total() + 1e-9);
+                assert!(target.rerouted_allowance() >= -1e-9);
+            }
+        } else {
+            panic!("expected conclusion");
+        }
+    }
+}

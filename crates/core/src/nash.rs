@@ -1,0 +1,113 @@
+//! Nash-bargaining primitives shared by both optimization methods.
+
+use crate::{AgreementError, Result};
+
+/// The Nash product `u_X · u_Y` — the objective of Eq. (8). Maximizing it
+/// over feasible agreements yields Pareto-optimal and fair utilities.
+#[must_use]
+pub fn nash_product(utility_x: f64, utility_y: f64) -> f64 {
+    utility_x * utility_y
+}
+
+/// The Nash Bargaining Solution transfer of Eq. (11):
+/// `Π_{X→Y} = u_X − (u_X + u_Y)/2`.
+///
+/// A positive value means `X` pays `Y`; negative means `Y` pays `X`.
+/// After the transfer both parties hold exactly `(u_X + u_Y)/2`.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidUtility`] for non-finite utilities.
+pub fn bargaining_transfer(utility_x: f64, utility_y: f64) -> Result<f64> {
+    for v in [utility_x, utility_y] {
+        if !v.is_finite() {
+            return Err(AgreementError::InvalidUtility { value: v });
+        }
+    }
+    Ok(utility_x - (utility_x + utility_y) / 2.0)
+}
+
+/// Post-transfer utilities under the NBS: both parties receive the equal
+/// split `(u_X + u_Y)/2`.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidUtility`] for non-finite utilities.
+pub fn post_transfer_utilities(utility_x: f64, utility_y: f64) -> Result<(f64, f64)> {
+    let transfer = bargaining_transfer(utility_x, utility_y)?;
+    Ok((utility_x - transfer, utility_y + transfer))
+}
+
+/// Returns `true` if utility pair `a` Pareto-dominates pair `b`: at least
+/// as good for both parties and strictly better for one.
+#[must_use]
+pub fn pareto_dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 >= b.0 && a.1 >= b.1 && (a.0 > b.0 || a.1 > b.1)
+}
+
+/// The fairness gap `|u_X − u_Y|`; the NBS over transferable utility
+/// drives this to zero.
+#[must_use]
+pub fn fairness_gap(utility_x: f64, utility_y: f64) -> f64 {
+    (utility_x - utility_y).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_matches_eq_11() {
+        // u_D = 10, u_E = 4 → Π = 10 − 7 = 3 (D pays E 3).
+        let transfer = bargaining_transfer(10.0, 4.0).unwrap();
+        assert!((transfer - 3.0).abs() < 1e-12);
+        let (ux, uy) = post_transfer_utilities(10.0, 4.0).unwrap();
+        assert!((ux - 7.0).abs() < 1e-12);
+        assert!((uy - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_transfer_means_y_pays_x() {
+        let transfer = bargaining_transfer(-2.0, 8.0).unwrap();
+        assert!(transfer < 0.0);
+        let (ux, uy) = post_transfer_utilities(-2.0, 8.0).unwrap();
+        assert!((ux - 3.0).abs() < 1e-12);
+        assert!((uy - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_utilities_are_rejected() {
+        assert!(bargaining_transfer(f64::NAN, 1.0).is_err());
+        assert!(bargaining_transfer(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pareto_dominance() {
+        assert!(pareto_dominates((2.0, 2.0), (1.0, 2.0)));
+        assert!(!pareto_dominates((2.0, 1.0), (1.0, 2.0)));
+        assert!(!pareto_dominates((1.0, 1.0), (1.0, 1.0)), "equal is not dominant");
+    }
+
+    proptest! {
+        #[test]
+        fn nbs_always_equalizes(ux in -100.0..100.0f64, uy in -100.0..100.0f64) {
+            let (px, py) = post_transfer_utilities(ux, uy).unwrap();
+            prop_assert!(fairness_gap(px, py) < 1e-9);
+            // Transfers conserve total utility.
+            prop_assert!(((px + py) - (ux + uy)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn nbs_maximizes_nash_product_over_transfers(
+            ux in 0.0..100.0f64,
+            uy in 0.0..100.0f64,
+            other in -50.0..50.0f64,
+        ) {
+            let nbs = bargaining_transfer(ux, uy).unwrap();
+            let best = nash_product(ux - nbs, uy + nbs);
+            let candidate = nash_product(ux - other, uy + other);
+            prop_assert!(best >= candidate - 1e-9);
+        }
+    }
+}

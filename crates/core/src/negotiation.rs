@@ -1,0 +1,255 @@
+//! Negotiation interfaces: how two parties turn utility estimates into a
+//! concluded (or cancelled) cash-compensation agreement (§V problem
+//! statement).
+//!
+//! A [`Mechanism`] maps the parties' *claims* `v_X, v_Y` to an outcome:
+//! conclude with transfer `(v_X − v_Y)/2` when `v_X + v_Y ≥ 0`, cancel
+//! otherwise. The claims may be truthful ([`TruthfulMechanism`] — the
+//! idealized offline negotiation between honest parties) or strategic
+//! ([`ClaimedMechanism`] — each party reports whatever it likes, as in
+//! unassisted bargaining). The BOSCO mechanism in the `pan-bosco` crate
+//! computes *equilibrium* claims that keep the efficiency loss small.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AgreementError, Result};
+
+/// The result of one bilateral negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NegotiationOutcome {
+    /// The agreement is concluded.
+    Concluded {
+        /// Cash transfer `Π_{X→Y}` computed from the claims.
+        transfer_x_to_y: f64,
+        /// `X`'s true after-negotiation utility `u_X − Π`.
+        utility_x_after: f64,
+        /// `Y`'s true after-negotiation utility `u_Y + Π`.
+        utility_y_after: f64,
+    },
+    /// The apparent surplus was negative; both parties walk away with 0.
+    Cancelled,
+}
+
+impl NegotiationOutcome {
+    /// Returns `true` if the agreement was concluded.
+    #[must_use]
+    pub fn is_concluded(&self) -> bool {
+        matches!(self, NegotiationOutcome::Concluded { .. })
+    }
+
+    /// The realized Nash product (0 when cancelled).
+    #[must_use]
+    pub fn nash_product(&self) -> f64 {
+        match self {
+            NegotiationOutcome::Concluded {
+                utility_x_after,
+                utility_y_after,
+                ..
+            } => utility_x_after * utility_y_after,
+            NegotiationOutcome::Cancelled => 0.0,
+        }
+    }
+}
+
+/// Resolves a negotiation from claims and true utilities: the §V
+/// bargaining game. Concludes iff `v_X + v_Y ≥ 0` with transfer
+/// `Π = (v_X − v_Y)/2` (Eq. 12-13 context).
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidUtility`] for non-finite inputs.
+pub fn resolve(
+    true_utility_x: f64,
+    true_utility_y: f64,
+    claim_x: f64,
+    claim_y: f64,
+) -> Result<NegotiationOutcome> {
+    for v in [true_utility_x, true_utility_y, claim_y] {
+        if v.is_nan() {
+            return Err(AgreementError::InvalidUtility { value: v });
+        }
+    }
+    if claim_x.is_nan() {
+        return Err(AgreementError::InvalidUtility { value: claim_x });
+    }
+    // −∞ claims are the cancellation option and are legal.
+    if claim_x + claim_y >= 0.0 {
+        let transfer = (claim_x - claim_y) / 2.0;
+        Ok(NegotiationOutcome::Concluded {
+            transfer_x_to_y: transfer,
+            utility_x_after: true_utility_x - transfer,
+            utility_y_after: true_utility_y + transfer,
+        })
+    } else {
+        Ok(NegotiationOutcome::Cancelled)
+    }
+}
+
+/// A bargaining mechanism: given the parties' true utilities it produces
+/// the claims each party submits.
+pub trait Mechanism {
+    /// The claims `(v_X, v_Y)` the two parties submit when their true
+    /// utilities are `u_X` and `u_Y`.
+    fn claims(&self, true_utility_x: f64, true_utility_y: f64) -> (f64, f64);
+
+    /// Runs the full negotiation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidUtility`] for non-finite utilities.
+    fn negotiate(&self, true_utility_x: f64, true_utility_y: f64) -> Result<NegotiationOutcome> {
+        let (vx, vy) = self.claims(true_utility_x, true_utility_y);
+        resolve(true_utility_x, true_utility_y, vx, vy)
+    }
+}
+
+/// The idealized truthful mechanism: both parties report `v = u`.
+/// Realizes the optimal Nash bargaining product for every viable
+/// agreement — the benchmark against which the Price of Dishonesty is
+/// measured (Eq. 20 denominator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthfulMechanism;
+
+impl Mechanism for TruthfulMechanism {
+    fn claims(&self, true_utility_x: f64, true_utility_y: f64) -> (f64, f64) {
+        (true_utility_x, true_utility_y)
+    }
+}
+
+/// A mechanism where both parties understate their utility by fixed
+/// margins — the "equal dishonesty" setting of §V-B, which still
+/// optimizes the Nash product when the margins are equal and the apparent
+/// surplus stays non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClaimedMechanism {
+    /// Amount by which `X` understates its utility.
+    pub understatement_x: f64,
+    /// Amount by which `Y` understates its utility.
+    pub understatement_y: f64,
+}
+
+impl Mechanism for ClaimedMechanism {
+    fn claims(&self, true_utility_x: f64, true_utility_y: f64) -> (f64, f64) {
+        (
+            true_utility_x - self.understatement_x,
+            true_utility_y - self.understatement_y,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn truthful_negotiation_concludes_viable_agreements() {
+        let outcome = TruthfulMechanism.negotiate(10.0, -4.0).unwrap();
+        match outcome {
+            NegotiationOutcome::Concluded {
+                utility_x_after,
+                utility_y_after,
+                ..
+            } => {
+                assert!((utility_x_after - 3.0).abs() < 1e-12);
+                assert!((utility_y_after - 3.0).abs() < 1e-12);
+            }
+            NegotiationOutcome::Cancelled => panic!("viable agreement cancelled"),
+        }
+    }
+
+    #[test]
+    fn truthful_negotiation_cancels_unviable_agreements() {
+        assert_eq!(
+            TruthfulMechanism.negotiate(1.0, -4.0).unwrap(),
+            NegotiationOutcome::Cancelled
+        );
+    }
+
+    #[test]
+    fn dishonesty_shifts_the_transfer() {
+        // X understates by 4: claims 6 instead of 10 → transfer drops.
+        let honest = TruthfulMechanism.negotiate(10.0, 2.0).unwrap();
+        let shaded = ClaimedMechanism {
+            understatement_x: 4.0,
+            understatement_y: 0.0,
+        }
+        .negotiate(10.0, 2.0)
+        .unwrap();
+        let (NegotiationOutcome::Concluded { utility_x_after: hx, .. },
+             NegotiationOutcome::Concluded { utility_x_after: sx, .. }) = (honest, shaded)
+        else {
+            panic!("both should conclude");
+        };
+        assert!(sx > hx, "understating improves X's cut ({sx} vs {hx})");
+    }
+
+    #[test]
+    fn mutual_overshading_breaks_negotiation() {
+        // Both understate by 4; apparent surplus 10+2−8 = 4 ≥ 0 still OK…
+        let outcome = ClaimedMechanism {
+            understatement_x: 4.0,
+            understatement_y: 4.0,
+        }
+        .negotiate(10.0, 2.0)
+        .unwrap();
+        assert!(outcome.is_concluded());
+        // …but understating by 7 each pushes the apparent surplus below 0.
+        let outcome = ClaimedMechanism {
+            understatement_x: 7.0,
+            understatement_y: 7.0,
+        }
+        .negotiate(10.0, 2.0)
+        .unwrap();
+        assert_eq!(outcome, NegotiationOutcome::Cancelled);
+    }
+
+    #[test]
+    fn negative_infinity_claim_cancels() {
+        let outcome = resolve(5.0, 5.0, f64::NEG_INFINITY, 5.0).unwrap();
+        assert_eq!(outcome, NegotiationOutcome::Cancelled);
+    }
+
+    #[test]
+    fn nan_claims_are_rejected() {
+        assert!(resolve(1.0, 1.0, f64::NAN, 0.0).is_err());
+        assert!(resolve(f64::NAN, 1.0, 0.0, 0.0).is_err());
+    }
+
+    proptest! {
+        /// §V-B: equal dishonesty preserves the optimal Nash product as
+        /// long as the apparent surplus stays non-negative.
+        #[test]
+        fn equal_dishonesty_preserves_nash_product(
+            ux in 0.0..50.0f64,
+            uy in 0.0..50.0f64,
+            shade in 0.0..10.0f64,
+        ) {
+            prop_assume!(ux + uy - 2.0 * shade >= 0.0);
+            let honest = TruthfulMechanism.negotiate(ux, uy).unwrap();
+            let shaded = ClaimedMechanism {
+                understatement_x: shade,
+                understatement_y: shade,
+            }
+            .negotiate(ux, uy)
+            .unwrap();
+            prop_assert!((honest.nash_product() - shaded.nash_product()).abs() < 1e-6);
+        }
+
+        /// Transfers never manufacture utility: the after-negotiation sum
+        /// equals the true surplus whenever the agreement concludes.
+        #[test]
+        fn conclusion_conserves_surplus(
+            ux in -50.0..50.0f64,
+            uy in -50.0..50.0f64,
+            vx in -50.0..50.0f64,
+            vy in -50.0..50.0f64,
+        ) {
+            if let NegotiationOutcome::Concluded { utility_x_after, utility_y_after, .. } =
+                resolve(ux, uy, vx, vy).unwrap()
+            {
+                prop_assert!(((utility_x_after + utility_y_after) - (ux + uy)).abs() < 1e-9);
+            }
+        }
+    }
+}

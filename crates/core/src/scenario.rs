@@ -1,0 +1,444 @@
+use serde::{Deserialize, Serialize};
+
+use pan_econ::{BusinessModel, FlowVec};
+use pan_topology::{Asn, NeighborKind};
+
+use crate::{Agreement, AgreementError, NewSegment, Result};
+
+/// The economic opportunity attached to one new path segment: which
+/// existing flows the beneficiary could reroute onto it, and how much new
+/// customer demand it could attract (§III-B2, §IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentOpportunity {
+    /// The new segment this opportunity concerns.
+    pub segment: NewSegment,
+    /// Existing traffic of the beneficiary towards the segment target that
+    /// currently flows via the beneficiary's providers: `(provider,
+    /// volume)` pairs. Rerouting moves (part of) these volumes onto the
+    /// partner link, saving transit cost (the `f↕` terms of Eq. 7c).
+    pub reroutable: Vec<(Asn, f64)>,
+    /// Maximum *additional* customer demand for the new segment, per
+    /// customer of the beneficiary (the `Δf^max_ZP` bounds of constraint
+    /// III in Eq. 9). The beneficiary's own ASN denotes its end-host
+    /// demand `Γ`.
+    pub attractable: Vec<(Asn, f64)>,
+}
+
+impl SegmentOpportunity {
+    /// Total reroutable volume.
+    #[must_use]
+    pub fn reroutable_total(&self) -> f64 {
+        self.reroutable.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Total attractable volume (the segment's `Σ_Z Δf^max_ZP`).
+    #[must_use]
+    pub fn attractable_total(&self) -> f64 {
+        self.attractable.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// A fully specified evaluation context for one agreement: the business
+/// model, the baseline flows of both parties, and the per-segment
+/// opportunities.
+///
+/// The scenario fixes everything except the *operating point* (how much
+/// flow actually uses each new segment); see
+/// [`OperatingPoint`](crate::OperatingPoint) and
+/// [`evaluate`](crate::evaluate).
+#[derive(Debug, Clone)]
+pub struct AgreementScenario<'a> {
+    model: &'a BusinessModel,
+    agreement: Agreement,
+    baseline_x: FlowVec,
+    baseline_y: FlowVec,
+    opportunities: Vec<SegmentOpportunity>,
+}
+
+impl<'a> AgreementScenario<'a> {
+    /// Creates a scenario with no opportunities yet.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the agreement does not validate against the model's graph
+    /// or the baseline flow vectors do not belong to the agreement parties.
+    pub fn new(
+        model: &'a BusinessModel,
+        agreement: Agreement,
+        baseline_x: FlowVec,
+        baseline_y: FlowVec,
+    ) -> Result<Self> {
+        agreement.validate(model.graph())?;
+        if baseline_x.asn() != agreement.x() {
+            return Err(AgreementError::InvalidGrant {
+                grantor: agreement.x(),
+                target: baseline_x.asn(),
+                reason: "baseline_x must describe party X".to_owned(),
+            });
+        }
+        if baseline_y.asn() != agreement.y() {
+            return Err(AgreementError::InvalidGrant {
+                grantor: agreement.y(),
+                target: baseline_y.asn(),
+                reason: "baseline_y must describe party Y".to_owned(),
+            });
+        }
+        Ok(AgreementScenario {
+            model,
+            agreement,
+            baseline_x,
+            baseline_y,
+            opportunities: Vec::new(),
+        })
+    }
+
+    /// Creates a scenario and synthesizes one opportunity per new segment
+    /// from the baselines:
+    ///
+    /// - `reroutable`: a `reroute_share` of the beneficiary's baseline
+    ///   provider flows, split evenly across the beneficiary's segments so
+    ///   the same provider flow is never claimed twice;
+    /// - `attractable`: an `attract_share` of each customer's (and the
+    ///   end-hosts') baseline flow, likewise split per segment.
+    ///
+    /// This is the standard way to build evaluation workloads when no
+    /// per-destination traffic data is available.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new), plus
+    /// [`AgreementError::InvalidFraction`] for shares outside `[0, 1]`.
+    pub fn with_default_opportunities(
+        model: &'a BusinessModel,
+        agreement: Agreement,
+        baseline_x: FlowVec,
+        baseline_y: FlowVec,
+        reroute_share: f64,
+        attract_share: f64,
+    ) -> Result<Self> {
+        for share in [reroute_share, attract_share] {
+            if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+                return Err(AgreementError::InvalidFraction { value: share });
+            }
+        }
+        let mut scenario = AgreementScenario::new(model, agreement, baseline_x, baseline_y)?;
+        let segments = scenario.agreement.new_segments(model.graph());
+        let count_for = |beneficiary: Asn| {
+            segments
+                .iter()
+                .filter(|s| s.beneficiary == beneficiary)
+                .count()
+                .max(1) as f64
+        };
+        for segment in &segments {
+            let baseline = scenario.baseline_of(segment.beneficiary);
+            let nsegs = count_for(segment.beneficiary);
+            let graph = model.graph();
+            let reroutable: Vec<(Asn, f64)> = graph
+                .providers(segment.beneficiary)
+                .filter(|&p| p != segment.via)
+                .map(|p| (p, reroute_share * baseline.get(p) / nsegs))
+                .filter(|(_, v)| *v > 0.0)
+                .collect();
+            let mut attractable: Vec<(Asn, f64)> = graph
+                .customers(segment.beneficiary)
+                .map(|c| (c, attract_share * baseline.get(c) / nsegs))
+                .filter(|(_, v)| *v > 0.0)
+                .collect();
+            let end_host = attract_share * baseline.end_host_flow() / nsegs;
+            if end_host > 0.0 {
+                attractable.push((segment.beneficiary, end_host));
+            }
+            let opportunity = SegmentOpportunity {
+                segment: *segment,
+                reroutable,
+                attractable,
+            };
+            scenario.push_opportunity(opportunity)?;
+        }
+        Ok(scenario)
+    }
+
+    /// Adds an opportunity after validating it against the agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidGrant`] if the segment does not
+    /// belong to the agreement, a reroutable entry names a non-provider,
+    /// an attractable entry names a non-customer (other than the
+    /// beneficiary's own end-host key), or any volume is negative.
+    pub fn push_opportunity(&mut self, opportunity: SegmentOpportunity) -> Result<()> {
+        let graph = self.model.graph();
+        let segment = &opportunity.segment;
+        let belongs = self
+            .agreement
+            .new_segments(graph)
+            .iter()
+            .any(|s| s == segment);
+        if !belongs {
+            return Err(AgreementError::InvalidGrant {
+                grantor: segment.via,
+                target: segment.target,
+                reason: "segment is not created by this agreement".to_owned(),
+            });
+        }
+        for &(provider, volume) in &opportunity.reroutable {
+            if graph.neighbor_kind(segment.beneficiary, provider) != Some(NeighborKind::Provider) {
+                return Err(AgreementError::InvalidGrant {
+                    grantor: segment.beneficiary,
+                    target: provider,
+                    reason: "reroutable entries must name providers of the beneficiary".to_owned(),
+                });
+            }
+            if !volume.is_finite() || volume < 0.0 {
+                return Err(AgreementError::InvalidFraction { value: volume });
+            }
+        }
+        for &(customer, volume) in &opportunity.attractable {
+            let is_end_host = customer == segment.beneficiary;
+            let is_customer = graph.neighbor_kind(segment.beneficiary, customer)
+                == Some(NeighborKind::Customer);
+            if !is_end_host && !is_customer {
+                return Err(AgreementError::InvalidGrant {
+                    grantor: segment.beneficiary,
+                    target: customer,
+                    reason: "attractable entries must name customers of the beneficiary"
+                        .to_owned(),
+                });
+            }
+            if !volume.is_finite() || volume < 0.0 {
+                return Err(AgreementError::InvalidFraction { value: volume });
+            }
+        }
+        self.opportunities.push(opportunity);
+        Ok(())
+    }
+
+    /// The business model.
+    #[must_use]
+    pub fn model(&self) -> &BusinessModel {
+        self.model
+    }
+
+    /// The agreement under evaluation.
+    #[must_use]
+    pub fn agreement(&self) -> &Agreement {
+        &self.agreement
+    }
+
+    /// Baseline flows of party `X`.
+    #[must_use]
+    pub fn baseline_x(&self) -> &FlowVec {
+        &self.baseline_x
+    }
+
+    /// Baseline flows of party `Y`.
+    #[must_use]
+    pub fn baseline_y(&self) -> &FlowVec {
+        &self.baseline_y
+    }
+
+    /// Baseline flows of the given party.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party` is neither of the agreement parties.
+    #[must_use]
+    pub fn baseline_of(&self, party: Asn) -> &FlowVec {
+        if party == self.agreement.x() {
+            &self.baseline_x
+        } else if party == self.agreement.y() {
+            &self.baseline_y
+        } else {
+            panic!("{party} is not a party of the agreement")
+        }
+    }
+
+    /// The segment opportunities (defines the optimizer's dimension).
+    #[must_use]
+    pub fn opportunities(&self) -> &[SegmentOpportunity] {
+        &self.opportunities
+    }
+
+    /// Number of opportunities, i.e. the per-kind dimension of an
+    /// [`OperatingPoint`](crate::OperatingPoint).
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.opportunities.len()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::Grant;
+    use pan_econ::{CostFunction, PricingBook, PricingFunction};
+    use pan_topology::fixtures::{asn, fig1};
+
+    pub(crate) fn fig1_model() -> BusinessModel {
+        let g = fig1();
+        let mut book = PricingBook::new();
+        for (p, c, rate) in [
+            ('A', 'D', 2.0),
+            ('B', 'E', 2.0),
+            ('B', 'G', 2.0),
+            ('D', 'H', 3.0),
+            ('E', 'I', 3.0),
+        ] {
+            book.set_transit_price(asn(p), asn(c), PricingFunction::per_usage(rate).unwrap());
+        }
+        let mut m = BusinessModel::new(g, book);
+        for c in ['D', 'E'] {
+            m.set_internal_cost(asn(c), CostFunction::linear(0.05).unwrap());
+        }
+        m
+    }
+
+    pub(crate) fn eq6_agreement() -> Agreement {
+        Agreement::new(
+            asn('D'),
+            asn('E'),
+            Grant::from_sets([asn('A')], [], []),
+            Grant::from_sets([asn('B')], [asn('F')], []),
+        )
+        .unwrap()
+    }
+
+    pub(crate) fn baselines() -> (FlowVec, FlowVec) {
+        let mut fd = FlowVec::new(asn('D'));
+        fd.set(asn('A'), 30.0); // D sends/receives 30 via provider A
+        fd.set(asn('H'), 25.0); // customer H
+        fd.set(asn('E'), 5.0); // existing peering
+        let mut fe = FlowVec::new(asn('E'));
+        fe.set(asn('B'), 28.0);
+        fe.set(asn('I'), 22.0);
+        fe.set(asn('D'), 5.0);
+        (fd, fe)
+    }
+
+    #[test]
+    fn scenario_construction_validates_parties() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let a = eq6_agreement();
+        assert!(AgreementScenario::new(&m, a.clone(), fd.clone(), fe.clone()).is_ok());
+        // Swapped baselines are rejected.
+        assert!(AgreementScenario::new(&m, a, fe, fd).is_err());
+    }
+
+    #[test]
+    fn default_opportunities_cover_all_segments() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let s = AgreementScenario::with_default_opportunities(
+            &m,
+            eq6_agreement(),
+            fd,
+            fe,
+            0.5,
+            0.2,
+        )
+        .unwrap();
+        assert_eq!(s.dimension(), 3);
+        // D's segments (to B and F) may reroute from provider A.
+        let d_opps: Vec<_> = s
+            .opportunities()
+            .iter()
+            .filter(|o| o.segment.beneficiary == asn('D'))
+            .collect();
+        assert_eq!(d_opps.len(), 2);
+        for opp in &d_opps {
+            assert_eq!(opp.reroutable.len(), 1);
+            assert_eq!(opp.reroutable[0].0, asn('A'));
+            // 0.5 share of 30, split across 2 segments.
+            assert!((opp.reroutable[0].1 - 7.5).abs() < 1e-9);
+            // Attractable from customer H: 0.2 × 25 / 2.
+            assert!((opp.attractable[0].1 - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_opportunities_validate_shares() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        assert!(AgreementScenario::with_default_opportunities(
+            &m,
+            eq6_agreement(),
+            fd,
+            fe,
+            1.5,
+            0.2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn foreign_segment_is_rejected() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let mut s = AgreementScenario::new(&m, eq6_agreement(), fd, fe).unwrap();
+        let bogus = SegmentOpportunity {
+            segment: NewSegment {
+                beneficiary: asn('D'),
+                via: asn('E'),
+                target: asn('I'), // not granted in Eq. 6
+                target_role: NeighborKind::Customer,
+            },
+            reroutable: vec![],
+            attractable: vec![],
+        };
+        assert!(s.push_opportunity(bogus).is_err());
+    }
+
+    #[test]
+    fn reroutable_must_name_providers() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let mut s = AgreementScenario::new(&m, eq6_agreement(), fd, fe).unwrap();
+        let segment = s.agreement().new_segments(m.graph())[0];
+        let bad = SegmentOpportunity {
+            segment,
+            reroutable: vec![(asn('H'), 5.0)], // H is a customer, not provider
+            attractable: vec![],
+        };
+        assert!(s.push_opportunity(bad).is_err());
+    }
+
+    #[test]
+    fn attractable_accepts_end_host_key() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let mut s = AgreementScenario::new(&m, eq6_agreement(), fd, fe).unwrap();
+        let segment = *s
+            .agreement()
+            .new_segments(m.graph())
+            .iter()
+            .find(|seg| seg.beneficiary == asn('D'))
+            .unwrap();
+        let opp = SegmentOpportunity {
+            segment,
+            reroutable: vec![],
+            attractable: vec![(asn('D'), 3.0)], // end-host demand
+        };
+        assert!(s.push_opportunity(opp).is_ok());
+    }
+
+    #[test]
+    fn negative_volumes_are_rejected() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let mut s = AgreementScenario::new(&m, eq6_agreement(), fd, fe).unwrap();
+        let segment = *s
+            .agreement()
+            .new_segments(m.graph())
+            .iter()
+            .find(|seg| seg.beneficiary == asn('D'))
+            .unwrap();
+        let bad = SegmentOpportunity {
+            segment,
+            reroutable: vec![(asn('A'), -1.0)],
+            attractable: vec![],
+        };
+        assert!(s.push_opportunity(bad).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Agreement-utility evaluation: Eq. (3) and Eq. (7) of the paper.
+//!
+//! Given a scenario (baseline flows + opportunities) and an
+//! [`OperatingPoint`] (how much of each opportunity is exercised), this
+//! module computes the post-agreement flow vectors of both parties and
+//! the agreement utilities `u_X(a) = U_X(f^{(a)}_X) − U_X(f_X)`.
+
+use serde::{Deserialize, Serialize};
+
+use pan_econ::FlowVec;
+
+use crate::{AgreementError, AgreementScenario, Result};
+
+/// The decision variables of agreement optimization (Eq. 9): for every
+/// segment opportunity `i`, the fraction of its reroutable volume that is
+/// actually moved (`reroute[i]`) and the fraction of its maximum
+/// attractable demand that is admitted (`attract[i]`), both in `[0, 1]`.
+///
+/// Together with the scenario these define the flow-volume targets
+/// `f^{(a)}_P = reroute·R_P + attract·Δf^max_P` and
+/// `Δf^{(a)}_P = attract·Δf^max_P` — so constraint (II) of Eq. (9) holds
+/// by construction and constraint (III) is the box bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    reroute: Vec<f64>,
+    attract: Vec<f64>,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point from explicit fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::DimensionMismatch`] if the two vectors
+    /// differ in length, or [`AgreementError::InvalidFraction`] for values
+    /// outside `[0, 1]`.
+    pub fn new(reroute: Vec<f64>, attract: Vec<f64>) -> Result<Self> {
+        if reroute.len() != attract.len() {
+            return Err(AgreementError::DimensionMismatch {
+                expected: reroute.len(),
+                actual: attract.len(),
+            });
+        }
+        for &v in reroute.iter().chain(attract.iter()) {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(AgreementError::InvalidFraction { value: v });
+            }
+        }
+        Ok(OperatingPoint { reroute, attract })
+    }
+
+    /// The all-zero point (agreement concluded but unused).
+    #[must_use]
+    pub fn zero(dimension: usize) -> Self {
+        OperatingPoint {
+            reroute: vec![0.0; dimension],
+            attract: vec![0.0; dimension],
+        }
+    }
+
+    /// The all-one point (every opportunity fully exercised).
+    #[must_use]
+    pub fn full(dimension: usize) -> Self {
+        OperatingPoint {
+            reroute: vec![1.0; dimension],
+            attract: vec![1.0; dimension],
+        }
+    }
+
+    /// A uniform point with the same fractions everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidFraction`] for values outside
+    /// `[0, 1]`.
+    pub fn uniform(dimension: usize, reroute: f64, attract: f64) -> Result<Self> {
+        OperatingPoint::new(vec![reroute; dimension], vec![attract; dimension])
+    }
+
+    /// Reroute fractions, one per opportunity.
+    #[must_use]
+    pub fn reroute(&self) -> &[f64] {
+        &self.reroute
+    }
+
+    /// Attract fractions, one per opportunity.
+    #[must_use]
+    pub fn attract(&self) -> &[f64] {
+        &self.attract
+    }
+
+    /// The per-kind dimension.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.reroute.len()
+    }
+
+    /// Total number of free coordinates (`2 × dimension`).
+    #[must_use]
+    pub fn coordinate_count(&self) -> usize {
+        2 * self.reroute.len()
+    }
+
+    /// Reads coordinate `k`: the first `dimension` coordinates are the
+    /// reroute fractions, the rest the attract fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn coordinate(&self, k: usize) -> f64 {
+        let n = self.reroute.len();
+        if k < n {
+            self.reroute[k]
+        } else {
+            self.attract[k - n]
+        }
+    }
+
+    /// Writes coordinate `k`, clamping into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn set_coordinate(&mut self, k: usize, value: f64) {
+        let clamped = value.clamp(0.0, 1.0);
+        let n = self.reroute.len();
+        if k < n {
+            self.reroute[k] = clamped;
+        } else {
+            self.attract[k - n] = clamped;
+        }
+    }
+}
+
+/// The result of evaluating an agreement at an operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Agreement utility `u_X(a)` of party `X` (Eq. 3).
+    pub utility_x: f64,
+    /// Agreement utility `u_Y(a)` of party `Y`.
+    pub utility_y: f64,
+    /// Post-agreement flow vector `f^{(a)}_X`.
+    pub flows_x: FlowVec,
+    /// Post-agreement flow vector `f^{(a)}_Y`.
+    pub flows_y: FlowVec,
+}
+
+impl Evaluation {
+    /// The Nash product `u_X · u_Y` (the objective of Eq. 8).
+    #[must_use]
+    pub fn nash_product(&self) -> f64 {
+        self.utility_x * self.utility_y
+    }
+
+    /// The joint utility `u_X + u_Y` (the viability criterion for
+    /// cash-compensation agreements, Eq. 10).
+    #[must_use]
+    pub fn joint_utility(&self) -> f64 {
+        self.utility_x + self.utility_y
+    }
+}
+
+/// Evaluates the agreement utilities at an operating point (Eq. 3/7).
+///
+/// The post-agreement flow vectors are derived from the baselines:
+///
+/// - **Beneficiary side** of each segment `X–via–Z`: rerouted volume
+///   moves from the named providers onto the partner link; attracted
+///   volume enters from the named customers and leaves towards the
+///   partner (Eq. 7c).
+/// - **Partner side**: the full segment volume transits the partner,
+///   entering on the beneficiary link and leaving on the target link —
+///   raising provider cost if the target is the partner's provider,
+///   revenue if it is a customer, and only internal cost for a peer.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::DimensionMismatch`] if the point and
+/// scenario disagree in dimension, and propagates economic errors.
+pub fn evaluate(scenario: &AgreementScenario<'_>, point: &OperatingPoint) -> Result<Evaluation> {
+    if point.dimension() != scenario.dimension() {
+        return Err(AgreementError::DimensionMismatch {
+            expected: scenario.dimension(),
+            actual: point.dimension(),
+        });
+    }
+    let agreement = scenario.agreement();
+    let x = agreement.x();
+    let mut flows_x = scenario.baseline_x().clone();
+    let mut flows_y = scenario.baseline_y().clone();
+
+    for (i, opportunity) in scenario.opportunities().iter().enumerate() {
+        let segment = &opportunity.segment;
+        let reroute_frac = point.reroute()[i];
+        let attract_frac = point.attract()[i];
+        let beneficiary_is_x = segment.beneficiary == x;
+        let (bene_flows, partner_flows) = if beneficiary_is_x {
+            (&mut flows_x, &mut flows_y)
+        } else {
+            (&mut flows_y, &mut flows_x)
+        };
+
+        let mut segment_volume = 0.0;
+        for &(provider, volume) in &opportunity.reroutable {
+            let moved = reroute_frac * volume;
+            bene_flows.add(provider, -moved);
+            bene_flows.add(segment.via, moved);
+            segment_volume += moved;
+        }
+        for &(customer, volume) in &opportunity.attractable {
+            let added = attract_frac * volume;
+            bene_flows.add(customer, added);
+            bene_flows.add(segment.via, added);
+            segment_volume += added;
+        }
+
+        // The partner transits the whole segment volume.
+        partner_flows.add(segment.beneficiary, segment_volume);
+        partner_flows.add(segment.target, segment_volume);
+    }
+
+    let model = scenario.model();
+    let utility_x = model.utility(&flows_x)? - model.utility(scenario.baseline_x())?;
+    let utility_y = model.utility(&flows_y)? - model.utility(scenario.baseline_y())?;
+    Ok(Evaluation {
+        utility_x,
+        utility_y,
+        flows_x,
+        flows_y,
+    })
+}
+
+/// The flow-volume targets extracted from an operating point: the
+/// quantities written into a flow-volume agreement (§IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentTarget {
+    /// The segment the target applies to.
+    pub segment: crate::NewSegment,
+    /// Total flow allowance `f^{(a)}_P` on the segment.
+    pub total_allowance: f64,
+    /// The share of the allowance reserved for newly attracted customer
+    /// traffic, `Δf^{(a)}_P`.
+    pub attracted_allowance: f64,
+}
+
+impl SegmentTarget {
+    /// The rerouted share `f^{(a)↕}_P = f^{(a)}_P − Δf^{(a)}_P`.
+    #[must_use]
+    pub fn rerouted_allowance(&self) -> f64 {
+        self.total_allowance - self.attracted_allowance
+    }
+}
+
+/// Converts an operating point into per-segment flow-volume targets.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::DimensionMismatch`] if the point and
+/// scenario disagree in dimension.
+pub fn segment_targets(
+    scenario: &AgreementScenario<'_>,
+    point: &OperatingPoint,
+) -> Result<Vec<SegmentTarget>> {
+    if point.dimension() != scenario.dimension() {
+        return Err(AgreementError::DimensionMismatch {
+            expected: scenario.dimension(),
+            actual: point.dimension(),
+        });
+    }
+    Ok(scenario
+        .opportunities()
+        .iter()
+        .enumerate()
+        .map(|(i, opportunity)| {
+            let rerouted = point.reroute()[i] * opportunity.reroutable_total();
+            let attracted = point.attract()[i] * opportunity.attractable_total();
+            SegmentTarget {
+                segment: opportunity.segment,
+                total_allowance: rerouted + attracted,
+                attracted_allowance: attracted,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tests::{baselines, eq6_agreement, fig1_model};
+    use crate::AgreementScenario;
+    use pan_topology::fixtures::asn;
+
+    fn scenario(model: &pan_econ::BusinessModel) -> AgreementScenario<'_> {
+        let (fd, fe) = baselines();
+        AgreementScenario::with_default_opportunities(model, eq6_agreement(), fd, fe, 0.5, 0.2)
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_point_has_zero_utility() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let eval = evaluate(&s, &OperatingPoint::zero(s.dimension())).unwrap();
+        assert!(eval.utility_x.abs() < 1e-9);
+        assert!(eval.utility_y.abs() < 1e-9);
+        assert_eq!(eval.flows_x, s.baseline_x().clone());
+    }
+
+    #[test]
+    fn rerouting_saves_provider_cost() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        // Exercise only rerouting: D moves traffic from provider A (2.0 per
+        // unit) to the settlement-free E link; E symmetrically from B.
+        let point = OperatingPoint::uniform(s.dimension(), 1.0, 0.0).unwrap();
+        let eval = evaluate(&s, &point).unwrap();
+        // D reroutes 15 units away from A: saves 30 in transit, but also
+        // carries E's rerouted traffic to A (14 units → pays 28) — plus
+        // internal-cost changes. The sum is what matters here: both sides
+        // save on their own transit but pay for the partner's.
+        assert!(eval.flows_x.get(asn('A')) < s.baseline_x().get(asn('A')) + 14.01);
+        // Flow towards the peer link grew on both sides.
+        assert!(eval.flows_x.get(asn('E')) > s.baseline_x().get(asn('E')));
+        assert!(eval.flows_y.get(asn('D')) > s.baseline_y().get(asn('D')));
+    }
+
+    #[test]
+    fn pure_reroute_conserves_beneficiary_total() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let point = OperatingPoint::uniform(s.dimension(), 1.0, 0.0).unwrap();
+        let eval = evaluate(&s, &point).unwrap();
+        // D's own traffic only changes next-hop; growth comes solely from
+        // transiting E's traffic (E reroutes 14 units to A via D → +28 on
+        // D's total: in from E, out to A).
+        let d_expected = s.baseline_x().total() + 2.0 * 14.0;
+        assert!(
+            (eval.flows_x.total() - d_expected).abs() < 1e-9,
+            "total {} expected {}",
+            eval.flows_x.total(),
+            d_expected
+        );
+    }
+
+    #[test]
+    fn attracting_raises_customer_revenue() {
+        let m = fig1_model();
+        let (fd, fe) = baselines();
+        let mut model = fig1_model();
+        // Give D revenue per unit from H so attraction is profitable.
+        model.book_mut().set_transit_price(
+            asn('D'),
+            asn('H'),
+            pan_econ::PricingFunction::per_usage(3.0).unwrap(),
+        );
+        let s = AgreementScenario::with_default_opportunities(
+            &model,
+            eq6_agreement(),
+            fd,
+            fe,
+            0.0,
+            1.0,
+        )
+        .unwrap();
+        let point = OperatingPoint::uniform(s.dimension(), 0.0, 1.0).unwrap();
+        let eval = evaluate(&s, &point).unwrap();
+        // D attracts 25 extra units from H (attract_share = 1.0 across 2
+        // segments: 12.5 + 12.5): revenue +75.
+        assert!(eval.flows_x.get(asn('H')) > s.baseline_x().get(asn('H')));
+        assert!(eval.utility_x > 0.0, "u_D = {}", eval.utility_x);
+        drop(m);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        assert!(matches!(
+            evaluate(&s, &OperatingPoint::zero(s.dimension() + 1)),
+            Err(AgreementError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn operating_point_validation() {
+        assert!(OperatingPoint::new(vec![0.5], vec![0.5, 0.5]).is_err());
+        assert!(OperatingPoint::new(vec![1.5], vec![0.5]).is_err());
+        assert!(OperatingPoint::new(vec![f64::NAN], vec![0.5]).is_err());
+        assert!(OperatingPoint::uniform(3, 0.2, 0.8).is_ok());
+    }
+
+    #[test]
+    fn coordinate_access_round_trips() {
+        let mut p = OperatingPoint::zero(2);
+        assert_eq!(p.coordinate_count(), 4);
+        p.set_coordinate(0, 0.25);
+        p.set_coordinate(3, 0.75);
+        p.set_coordinate(1, 7.0); // clamps
+        assert_eq!(p.coordinate(0), 0.25);
+        assert_eq!(p.coordinate(1), 1.0);
+        assert_eq!(p.coordinate(3), 0.75);
+        assert_eq!(p.reroute(), &[0.25, 1.0]);
+        assert_eq!(p.attract(), &[0.0, 0.75]);
+    }
+
+    #[test]
+    fn segment_targets_match_point() {
+        let m = fig1_model();
+        let s = scenario(&m);
+        let point = OperatingPoint::uniform(s.dimension(), 0.5, 0.5).unwrap();
+        let targets = segment_targets(&s, &point).unwrap();
+        assert_eq!(targets.len(), s.dimension());
+        for (target, opp) in targets.iter().zip(s.opportunities()) {
+            let expected_total =
+                0.5 * opp.reroutable_total() + 0.5 * opp.attractable_total();
+            assert!((target.total_allowance - expected_total).abs() < 1e-9);
+            assert!(
+                (target.attracted_allowance - 0.5 * opp.attractable_total()).abs() < 1e-9
+            );
+            assert!(target.rerouted_allowance() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn evaluation_helpers() {
+        let eval = Evaluation {
+            utility_x: 3.0,
+            utility_y: 2.0,
+            flows_x: FlowVec::new(asn('D')),
+            flows_y: FlowVec::new(asn('E')),
+        };
+        assert_eq!(eval.nash_product(), 6.0);
+        assert_eq!(eval.joint_utility(), 5.0);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+use pan_topology::TopologyError;
+
+/// Errors produced while generating or joining synthetic datasets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A generator configuration is structurally impossible.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying topology operation failed.
+    Topology(TopologyError),
+    /// A prefix string could not be parsed.
+    InvalidPrefix {
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+            DatasetError::Topology(err) => write!(f, "topology error: {err}"),
+            DatasetError::InvalidPrefix { text } => {
+                write!(f, "cannot parse {text:?} as an IPv4 prefix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Topology(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for DatasetError {
+    fn from(err: TopologyError) -> Self {
+        DatasetError::Topology(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_topology_errors() {
+        let err: DatasetError = TopologyError::SelfLoop {
+            asn: pan_topology::Asn::new(1),
+        }
+        .into();
+        assert!(err.to_string().contains("AS1"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

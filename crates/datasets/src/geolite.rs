@@ -1,0 +1,159 @@
+//! Synthetic prefix geolocation (GeoLite2 stand-in) and the AS-centroid join.
+//!
+//! The paper determines an AS's location by geolocating each of its
+//! prefixes with MaxMind's GeoLite2 database and averaging the coordinates
+//! into a "center of gravity" (§VI-B). `locate_prefixes` is the
+//! synthetic GeoLite2: each prefix of an AS is placed near the AS's home
+//! location with a spread that grows with the AS's tier, reproducing the
+//! paper's observation that geographically distributed top-tier ASes end
+//! up with averaged, inland centroids. [`as_centroids`] performs the same
+//! join as the paper.
+
+use std::collections::HashMap;
+
+use pan_topology::geo::{GeoAnnotations, GeoPoint};
+
+use crate::internet::{jitter, Skeleton, Tier};
+use crate::prefix::{Ipv4Prefix, PrefixTable};
+use crate::rng::DeterministicRng;
+
+/// A synthetic per-prefix geolocation database.
+pub type PrefixLocations = HashMap<Ipv4Prefix, GeoPoint>;
+
+/// Geolocates every prefix of the table near its origin AS's home.
+///
+/// Spread by tier: tier-1 prefixes scatter over ±25° (global backbones),
+/// transit ASes over ±6° (regional footprints), stubs over ±1.5°
+/// (metropolitan footprints).
+#[must_use]
+pub(crate) fn locate_prefixes(
+    skeleton: &Skeleton,
+    prefixes: &PrefixTable,
+    rng: &mut DeterministicRng,
+) -> PrefixLocations {
+    let mut locations = PrefixLocations::new();
+    // Iterate ASes in graph order for determinism (HashMap iteration of
+    // `prefixes.ases()` would be platform-dependent).
+    for asn in skeleton.graph.ases() {
+        let home = skeleton.homes[&asn];
+        let spread = match skeleton.tiers[&asn] {
+            Tier::Tier1 => 25.0,
+            Tier::Transit => 6.0,
+            Tier::Stub => 1.5,
+        };
+        for &prefix in prefixes.prefixes_of(asn) {
+            locations.insert(prefix, jitter(home, spread, rng));
+        }
+    }
+    locations
+}
+
+/// Joins prefixes with their locations into per-AS centroids, exactly as
+/// the paper does: the center of gravity of an AS is the arithmetic mean
+/// of its prefix coordinates.
+///
+/// ASes without any located prefix receive no annotation.
+#[must_use]
+pub fn as_centroids(prefixes: &PrefixTable, locations: &PrefixLocations) -> GeoAnnotations {
+    let mut geo = GeoAnnotations::new();
+    for asn in prefixes.ases() {
+        let points: Vec<GeoPoint> = prefixes
+            .prefixes_of(asn)
+            .iter()
+            .filter_map(|p| locations.get(p).copied())
+            .collect();
+        if let Some(centroid) = GeoPoint::centroid(&points) {
+            geo.set_as_location(asn, centroid);
+        }
+    }
+    geo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::generate_topology;
+    use crate::rng;
+    use crate::InternetConfig;
+    use pan_topology::Asn;
+
+    fn skeleton() -> Skeleton {
+        let config = InternetConfig {
+            num_ases: 150,
+            tier1_count: 5,
+            ..InternetConfig::default()
+        };
+        generate_topology(&config, 17).unwrap()
+    }
+
+    #[test]
+    fn every_prefix_gets_a_location() {
+        let sk = skeleton();
+        let prefixes = crate::prefix::generate(&sk, &mut rng::substream(17, "prefixes"));
+        let locations = locate_prefixes(&sk, &prefixes, &mut rng::substream(17, "geolite"));
+        assert_eq!(locations.len(), prefixes.len());
+    }
+
+    #[test]
+    fn centroids_are_near_home_for_stubs() {
+        let sk = skeleton();
+        let prefixes = crate::prefix::generate(&sk, &mut rng::substream(17, "prefixes"));
+        let locations = locate_prefixes(&sk, &prefixes, &mut rng::substream(17, "geolite"));
+        let geo = as_centroids(&prefixes, &locations);
+        // The last AS is a stub; its prefix cloud is tight (±1.5°), so the
+        // centroid must lie within a few hundred km of home.
+        let stub = Asn::new(150);
+        let home = sk.homes[&stub];
+        let centroid = geo.as_location(stub).unwrap();
+        assert!(
+            home.distance_km(centroid) < 400.0,
+            "stub centroid {:?} too far from home {:?}",
+            centroid,
+            home
+        );
+    }
+
+    #[test]
+    fn tier1_prefix_cloud_is_wider_than_stub_cloud() {
+        let sk = skeleton();
+        let prefixes = crate::prefix::generate(&sk, &mut rng::substream(17, "prefixes"));
+        let locations = locate_prefixes(&sk, &prefixes, &mut rng::substream(17, "geolite"));
+        let spread_of = |asn: Asn| {
+            let points: Vec<GeoPoint> = prefixes
+                .prefixes_of(asn)
+                .iter()
+                .map(|p| locations[p])
+                .collect();
+            let c = GeoPoint::centroid(&points).unwrap();
+            points.iter().map(|p| c.distance_km(*p)).sum::<f64>() / points.len() as f64
+        };
+        let tier1_spread = spread_of(Asn::new(1));
+        let stub_spread = spread_of(Asn::new(150));
+        assert!(
+            tier1_spread > stub_spread,
+            "tier-1 spread {tier1_spread} should exceed stub spread {stub_spread}"
+        );
+    }
+
+    #[test]
+    fn join_is_deterministic() {
+        let sk = skeleton();
+        let p1 = crate::prefix::generate(&sk, &mut rng::substream(17, "prefixes"));
+        let l1 = locate_prefixes(&sk, &p1, &mut rng::substream(17, "geolite"));
+        let p2 = crate::prefix::generate(&sk, &mut rng::substream(17, "prefixes"));
+        let l2 = locate_prefixes(&sk, &p2, &mut rng::substream(17, "geolite"));
+        let g1 = as_centroids(&p1, &l1);
+        let g2 = as_centroids(&p2, &l2);
+        for asn in sk.graph.ases() {
+            assert_eq!(g1.as_location(asn), g2.as_location(asn));
+        }
+    }
+
+    #[test]
+    fn ases_without_prefixes_get_no_annotation() {
+        let prefixes = PrefixTable::new();
+        let locations = PrefixLocations::new();
+        let geo = as_centroids(&prefixes, &locations);
+        assert_eq!(geo.annotated_as_count(), 0);
+    }
+}

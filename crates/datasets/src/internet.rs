@@ -1,0 +1,712 @@
+//! Synthetic Internet-topology generator.
+//!
+//! Generates tiered, heavy-tailed AS graphs whose structure mirrors the
+//! properties of the CAIDA AS-relationship dataset that the paper's
+//! path-diversity analysis (§VI) depends on:
+//!
+//! - a small clique of **tier-1** ASes with no providers,
+//! - a layer of **transit** (tier-2) ASes attaching to providers by
+//!   preferential attachment (producing a heavy-tailed customer-degree
+//!   distribution),
+//! - a majority of **stub** ASes purchasing transit from one to three
+//!   providers,
+//! - dense **peering** among transit ASes, biased towards geographic
+//!   proximity (real peering requires co-location at an IXP), plus sparse
+//!   stub-to-stub peering.
+//!
+//! The generator is deterministic given a seed, and its output round-trips
+//! through the CAIDA serial-2 format of
+//! [`pan_topology::caida`], so real snapshots can replace it directly.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_topology::bandwidth::LinkCapacities;
+use pan_topology::geo::{GeoAnnotations, GeoPoint};
+use pan_topology::{AsGraph, AsGraphBuilder, Asn, Relationship};
+
+use crate::rng::{self, DeterministicRng};
+use crate::{geolite, georel, prefix, DatasetError, Result};
+
+/// The hierarchy layer of a synthetic AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Provider-free core AS (member of the tier-1 clique).
+    Tier1,
+    /// Transit AS: has providers and sells transit to others.
+    Transit,
+    /// Stub AS: purchases transit, has no customers of its own.
+    Stub,
+}
+
+/// A geographic region with a population weight and an interconnection hub.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable name, e.g. `"europe-west"`.
+    pub name: &'static str,
+    /// The region's main interconnection hub.
+    pub hub: GeoPoint,
+    /// Relative share of ASes homed in the region.
+    pub weight: f64,
+}
+
+/// The built-in region table (continental interconnection hubs).
+#[must_use]
+pub fn default_regions() -> Vec<Region> {
+    let p = |lat: f64, lon: f64| GeoPoint::new(lat, lon).expect("static coordinates are valid");
+    vec![
+        Region { name: "north-america-east", hub: p(40.7, -74.0), weight: 0.18 },
+        Region { name: "north-america-west", hub: p(37.4, -122.1), weight: 0.10 },
+        Region { name: "europe-west", hub: p(50.1, 8.7), weight: 0.22 },
+        Region { name: "europe-east", hub: p(52.2, 21.0), weight: 0.10 },
+        Region { name: "asia-east", hub: p(35.7, 139.7), weight: 0.14 },
+        Region { name: "asia-south", hub: p(19.1, 72.9), weight: 0.10 },
+        Region { name: "south-america", hub: p(-23.5, -46.6), weight: 0.08 },
+        Region { name: "oceania", hub: p(-33.9, 151.2), weight: 0.04 },
+        Region { name: "africa", hub: p(6.5, 3.4), weight: 0.04 },
+    ]
+}
+
+/// Configuration of the synthetic Internet generator.
+///
+/// The defaults produce a ~4,000-AS topology that is large enough for the
+/// heavy-tailed effects the paper's evaluation relies on while keeping the
+/// full figure pipeline fast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InternetConfig {
+    /// Total number of ASes.
+    pub num_ases: usize,
+    /// Number of tier-1 ASes (full peering clique, no providers).
+    pub tier1_count: usize,
+    /// Fraction of ASes that are transit (tier-2) ASes.
+    pub transit_fraction: f64,
+    /// Mean number of providers beyond the first for multihomed ASes.
+    pub mean_extra_providers: f64,
+    /// Target mean peering degree of transit ASes.
+    pub transit_peer_degree: f64,
+    /// Target mean peering degree of stub ASes.
+    pub stub_peer_degree: f64,
+    /// Multiplier applied to peering probability for same-region pairs.
+    pub same_region_bias: f64,
+    /// Fraction of transit ASes acting as **open-peering hubs** (IXP
+    /// route-server style networks that peer with a large share of all
+    /// ASes, like Hurricane Electric in the real Internet). These hubs
+    /// are what make mutuality-based agreements reach most AS pairs in
+    /// the CAIDA topology.
+    pub hub_fraction: f64,
+    /// Probability that a same-region AS peers with an open hub.
+    pub hub_same_region_attach: f64,
+    /// Probability that a cross-region AS peers with an open hub.
+    pub hub_cross_region_attach: f64,
+    /// Scale factor of the degree-gravity capacity model.
+    pub capacity_scale: f64,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            num_ases: 4_000,
+            tier1_count: 12,
+            transit_fraction: 0.15,
+            mean_extra_providers: 0.8,
+            transit_peer_degree: 12.0,
+            stub_peer_degree: 2.0,
+            same_region_bias: 8.0,
+            hub_fraction: 0.06,
+            hub_same_region_attach: 0.6,
+            hub_cross_region_attach: 0.08,
+            capacity_scale: 1.0,
+        }
+    }
+}
+
+impl InternetConfig {
+    /// Validates structural feasibility of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when the parameters cannot
+    /// produce a well-formed topology.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| Err(DatasetError::InvalidConfig { reason });
+        if self.num_ases < 4 {
+            return fail(format!("need at least 4 ASes, got {}", self.num_ases));
+        }
+        if self.tier1_count < 2 || self.tier1_count >= self.num_ases {
+            return fail(format!(
+                "tier1_count must be in [2, num_ases), got {}",
+                self.tier1_count
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.transit_fraction) {
+            return fail(format!(
+                "transit_fraction must be in [0, 1], got {}",
+                self.transit_fraction
+            ));
+        }
+        if self.tier1_count + self.transit_count() >= self.num_ases {
+            return fail("tier-1 plus transit ASes exhaust the AS budget; no stubs left".into());
+        }
+        for (name, v) in [
+            ("mean_extra_providers", self.mean_extra_providers),
+            ("transit_peer_degree", self.transit_peer_degree),
+            ("stub_peer_degree", self.stub_peer_degree),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return fail(format!("{name} must be non-negative and finite, got {v}"));
+            }
+        }
+        if !self.same_region_bias.is_finite() || self.same_region_bias < 1.0 {
+            return fail(format!(
+                "same_region_bias must be >= 1, got {}",
+                self.same_region_bias
+            ));
+        }
+        for (name, v) in [
+            ("hub_fraction", self.hub_fraction),
+            ("hub_same_region_attach", self.hub_same_region_attach),
+            ("hub_cross_region_attach", self.hub_cross_region_attach),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return fail(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if !self.capacity_scale.is_finite() || self.capacity_scale <= 0.0 {
+            return fail(format!(
+                "capacity_scale must be positive, got {}",
+                self.capacity_scale
+            ));
+        }
+        Ok(())
+    }
+
+    fn transit_count(&self) -> usize {
+        ((self.num_ases as f64) * self.transit_fraction).round() as usize
+    }
+}
+
+/// A fully generated synthetic Internet: topology plus every annotation the
+/// paper's evaluation needs.
+#[derive(Debug, Clone)]
+pub struct SyntheticInternet {
+    /// The AS-level topology.
+    pub graph: AsGraph,
+    /// Hierarchy tier of every AS.
+    pub tiers: HashMap<Asn, Tier>,
+    /// Region index (into [`SyntheticInternet::regions`]) of every AS.
+    pub as_region: HashMap<Asn, usize>,
+    /// The region table used during generation.
+    pub regions: Vec<Region>,
+    /// Synthetic prefix-to-AS table (CAIDA Routeviews stand-in).
+    pub prefixes: prefix::PrefixTable,
+    /// Geographic annotations: AS centroids (from the prefix join, as in
+    /// the paper) and per-link interconnection facilities.
+    pub geo: GeoAnnotations,
+    /// Degree-gravity link capacities.
+    pub capacities: LinkCapacities,
+}
+
+impl SyntheticInternet {
+    /// Runs the full generation pipeline.
+    ///
+    /// Stages (each on an independent random substream of `seed`):
+    /// topology → prefix table → prefix geolocation → AS centroids →
+    /// link facilities → link capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for infeasible configurations.
+    pub fn generate(config: &InternetConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+
+        let skeleton = generate_topology(config, seed)?;
+        let prefixes = prefix::generate(&skeleton, &mut rng::substream(seed, "prefixes"));
+        let locations = geolite::locate_prefixes(
+            &skeleton,
+            &prefixes,
+            &mut rng::substream(seed, "geolite"),
+        );
+        let mut geo = geolite::as_centroids(&prefixes, &locations);
+        georel::add_facilities(
+            &skeleton.graph,
+            &mut geo,
+            &mut rng::substream(seed, "facilities"),
+        );
+        let capacities = LinkCapacities::degree_gravity(&skeleton.graph, config.capacity_scale);
+
+        Ok(SyntheticInternet {
+            graph: skeleton.graph,
+            tiers: skeleton.tiers,
+            as_region: skeleton.as_region,
+            regions: skeleton.regions,
+            prefixes,
+            geo,
+            capacities,
+        })
+    }
+
+    /// Tier of an AS (defaults to [`Tier::Stub`] for unknown ASes).
+    #[must_use]
+    pub fn tier(&self, asn: Asn) -> Tier {
+        self.tiers.get(&asn).copied().unwrap_or(Tier::Stub)
+    }
+}
+
+/// Intermediate product of stage 1: graph plus tier/region/home tables.
+#[derive(Debug, Clone)]
+pub(crate) struct Skeleton {
+    pub(crate) graph: AsGraph,
+    pub(crate) tiers: HashMap<Asn, Tier>,
+    pub(crate) as_region: HashMap<Asn, usize>,
+    pub(crate) regions: Vec<Region>,
+    /// "Home" location of each AS (hub + jitter) — the ground truth the
+    /// prefix clouds are sampled around. The analysis only ever sees the
+    /// centroid reconstructed from prefixes, mirroring the paper.
+    pub(crate) homes: HashMap<Asn, GeoPoint>,
+}
+
+pub(crate) fn generate_topology(config: &InternetConfig, seed: u64) -> Result<Skeleton> {
+    let mut rng = rng::substream(seed, "topology");
+    let regions = default_regions();
+    let n = config.num_ases;
+    let n_tier1 = config.tier1_count;
+    let n_transit = config.transit_count();
+
+    // ASNs are assigned 1..=n in placement order: tier-1 first, then
+    // transit, then stubs. Providers are always drawn from earlier ASes,
+    // which guarantees an acyclic provider hierarchy by construction.
+    let asns: Vec<Asn> = (1..=n as u32).map(Asn::new).collect();
+    let mut tiers = HashMap::with_capacity(n);
+    for (i, &asn) in asns.iter().enumerate() {
+        let tier = if i < n_tier1 {
+            Tier::Tier1
+        } else if i < n_tier1 + n_transit {
+            Tier::Transit
+        } else {
+            Tier::Stub
+        };
+        tiers.insert(asn, tier);
+    }
+
+    // Region assignment: tier-1 ASes round-robin across the major regions
+    // (they are global networks anyway); everyone else samples by weight.
+    let region_weights: Vec<f64> = regions.iter().map(|r| r.weight).collect();
+    let mut as_region = HashMap::with_capacity(n);
+    for (i, &asn) in asns.iter().enumerate() {
+        let region = if i < n_tier1 {
+            i % regions.len()
+        } else {
+            rng::weighted_index(&mut rng, &region_weights).expect("regions are non-empty")
+        };
+        as_region.insert(asn, region);
+    }
+
+    // Home locations: hub plus jitter that grows with tier footprint.
+    let mut homes = HashMap::with_capacity(n);
+    for &asn in &asns {
+        let hub = regions[as_region[&asn]].hub;
+        let spread = match tiers[&asn] {
+            Tier::Tier1 => 10.0,
+            Tier::Transit => 5.0,
+            Tier::Stub => 2.5,
+        };
+        homes.insert(asn, jitter(hub, spread, &mut rng));
+    }
+
+    let mut builder = AsGraphBuilder::with_capacity(n, n * 3);
+    for &asn in &asns {
+        builder.add_as(asn);
+    }
+
+    // Tier-1 clique.
+    for i in 0..n_tier1 {
+        for j in (i + 1)..n_tier1 {
+            builder.add_link(asns[i], asns[j], Relationship::PeerToPeer)?;
+        }
+    }
+
+    // Transit and stub ASes choose providers among earlier ASes by
+    // region-biased preferential attachment on customer degree.
+    let mut customer_degree = vec![0usize; n];
+    for (i, &asn) in asns.iter().enumerate().skip(n_tier1) {
+        let is_transit = i < n_tier1 + n_transit;
+        // Candidate providers: tier-1 and transit ASes placed before us.
+        let pool_end = if is_transit { i } else { n_tier1 + n_transit };
+        let candidates: Vec<usize> = (0..pool_end.min(i)).collect();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&c| {
+                let base = (customer_degree[c] + 1) as f64;
+                let region_factor = if as_region[&asns[c]] == as_region[&asn] {
+                    config.same_region_bias
+                } else {
+                    1.0
+                };
+                // Stubs prefer regional transit over the tier-1 core.
+                let tier_factor = match (is_transit, tiers[&asns[c]]) {
+                    (false, Tier::Tier1) => 0.25,
+                    _ => 1.0,
+                };
+                base * region_factor * tier_factor
+            })
+            .collect();
+
+        let provider_count = 1 + sample_geometric(config.mean_extra_providers, &mut rng);
+        let mut chosen: Vec<usize> = Vec::with_capacity(provider_count);
+        for _ in 0..provider_count.min(candidates.len()) {
+            // Rejection-sample distinct providers; the pool is large
+            // relative to provider_count, so this terminates quickly.
+            for _ in 0..64 {
+                let pick = candidates
+                    [rng::weighted_index(&mut rng, &weights).expect("candidates non-empty")];
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                    break;
+                }
+            }
+        }
+        for provider in chosen {
+            builder.add_link(asns[provider], asn, Relationship::ProviderToCustomer)?;
+            customer_degree[provider] += 1;
+        }
+    }
+
+    // Peering among transit ASes: sample pairs with region bias until the
+    // target mean degree is met.
+    add_peering(
+        &mut builder,
+        &asns[n_tier1..n_tier1 + n_transit],
+        &as_region,
+        config.transit_peer_degree,
+        config.same_region_bias,
+        &mut rng,
+    )?;
+    // Sparse stub peering (IXP-style, same-region only in expectation).
+    add_peering(
+        &mut builder,
+        &asns[n_tier1 + n_transit..],
+        &as_region,
+        config.stub_peer_degree,
+        config.same_region_bias,
+        &mut rng,
+    )?;
+
+    // Open-peering hubs: the best-connected transit ASes peer with a
+    // large share of all other ASes, same-region preferentially — the
+    // route-server/IXP effect that dominates real peering meshes.
+    let hub_count = ((n_transit as f64) * config.hub_fraction).round() as usize;
+    // Hubs are spread evenly across the transit tier: placement order
+    // correlates with customer-cone size (preferential attachment), so
+    // an even spread mixes HE-style giants (big transit *and* peering)
+    // with IXP-route-server profiles (tiny cones, huge peering meshes) —
+    // both exist in the real Internet and they affect valley-free paths
+    // very differently.
+    let hubs: Vec<Asn> = if hub_count > 0 && n_transit > 0 {
+        (0..hub_count)
+            .map(|k| {
+                let offset = (k * n_transit) / hub_count;
+                asns[n_tier1 + offset]
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for &hub in &hubs {
+        for &other in asns.iter().skip(n_tier1) {
+            if other == hub {
+                continue;
+            }
+            let p = if as_region[&hub] == as_region[&other] {
+                config.hub_same_region_attach
+            } else {
+                config.hub_cross_region_attach
+            };
+            if rng.gen_range(0.0..1.0) < p {
+                match builder.add_link(hub, other, Relationship::PeerToPeer) {
+                    Ok(_) => {}
+                    // A transit link already connects the pair — skip.
+                    Err(pan_topology::TopologyError::ConflictingLink { .. }) => {}
+                    Err(other_err) => return Err(other_err.into()),
+                }
+            }
+        }
+    }
+
+    let graph = builder.build()?;
+    Ok(Skeleton {
+        graph,
+        tiers,
+        as_region,
+        regions,
+        homes,
+    })
+}
+
+/// Adds peering links among `members` until the mean peering degree reaches
+/// `target_degree`, preferring same-region pairs by `bias`.
+fn add_peering(
+    builder: &mut AsGraphBuilder,
+    members: &[Asn],
+    as_region: &HashMap<Asn, usize>,
+    target_degree: f64,
+    bias: f64,
+    rng: &mut DeterministicRng,
+) -> Result<()> {
+    let m = members.len();
+    if m < 2 || target_degree <= 0.0 {
+        return Ok(());
+    }
+    let target_links = ((m as f64) * target_degree / 2.0).round() as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = target_links.saturating_mul(50) + 1000;
+    while added < target_links && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        if i == j {
+            continue;
+        }
+        let same_region = as_region[&members[i]] == as_region[&members[j]];
+        // Accept cross-region pairs with probability 1/bias.
+        if !same_region && rng.gen_range(0.0..1.0) > 1.0 / bias {
+            continue;
+        }
+        match builder.add_link(members[i], members[j], Relationship::PeerToPeer) {
+            Ok(_) => added += 1,
+            // A transit link already connects the pair — skip it.
+            Err(pan_topology::TopologyError::ConflictingLink { .. }) => {}
+            Err(other) => return Err(other.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Samples from a geometric-like distribution with the given mean
+/// (number of Bernoulli successes with p = mean/(1+mean), capped at 4).
+fn sample_geometric(mean: f64, rng: &mut DeterministicRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = mean / (1.0 + mean);
+    let mut count = 0;
+    while count < 4 && rng.gen_range(0.0..1.0) < p {
+        count += 1;
+    }
+    count
+}
+
+/// Jitters a point by a uniform offset of up to `spread_deg` degrees in
+/// each coordinate, clamping into the valid range.
+pub(crate) fn jitter(point: GeoPoint, spread_deg: f64, rng: &mut DeterministicRng) -> GeoPoint {
+    let lat = (point.lat_deg() + rng.gen_range(-spread_deg..=spread_deg)).clamp(-89.0, 89.0);
+    let lon_raw = point.lon_deg() + rng.gen_range(-spread_deg..=spread_deg);
+    let lon = wrap_lon(lon_raw);
+    GeoPoint::new(lat, lon).expect("clamped coordinates are valid")
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l > 180.0 {
+        l -= 360.0;
+    }
+    while l < -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> InternetConfig {
+        InternetConfig {
+            num_ases: 300,
+            tier1_count: 6,
+            ..InternetConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = small_config();
+        let a = SyntheticInternet::generate(&config, 11).unwrap();
+        let b = SyntheticInternet::generate(&config, 11).unwrap();
+        assert_eq!(a.graph.link_count(), b.graph.link_count());
+        let la: Vec<_> = a.graph.links().collect();
+        let lb: Vec<_> = b.graph.links().collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = small_config();
+        let a = SyntheticInternet::generate(&config, 1).unwrap();
+        let b = SyntheticInternet::generate(&config, 2).unwrap();
+        let la: Vec<_> = a.graph.links().collect();
+        let lb: Vec<_> = b.graph.links().collect();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn tier1_forms_provider_free_clique() {
+        let net = SyntheticInternet::generate(&small_config(), 3).unwrap();
+        let tier1: Vec<Asn> = (1..=6).map(Asn::new).collect();
+        for &a in &tier1 {
+            assert_eq!(net.graph.providers(a).count(), 0, "{a} has a provider");
+            for &b in &tier1 {
+                if a != b {
+                    assert!(net.graph.peers(a).any(|p| p == b), "{a} not peering {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_as_has_a_provider() {
+        let net = SyntheticInternet::generate(&small_config(), 3).unwrap();
+        for asn in net.graph.ases() {
+            if net.tier(asn) != Tier::Tier1 {
+                assert!(
+                    net.graph.providers(asn).count() >= 1,
+                    "{asn} ({:?}) has no provider",
+                    net.tier(asn)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let net = SyntheticInternet::generate(&small_config(), 3).unwrap();
+        for asn in net.graph.ases() {
+            if net.tier(asn) == Tier::Stub {
+                assert_eq!(net.graph.customers(asn).count(), 0, "{asn} has customers");
+            }
+        }
+    }
+
+    #[test]
+    fn customer_degree_is_heavy_tailed() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 1_000,
+                ..InternetConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        let mut degrees: Vec<usize> = net
+            .graph
+            .ases()
+            .map(|a| net.graph.customers(a).count())
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = degrees.iter().sum();
+        let top10: usize = degrees.iter().take(10).sum();
+        // Preferential attachment concentrates customers on few providers.
+        assert!(
+            top10 as f64 > 0.2 * total as f64,
+            "top-10 providers hold only {top10}/{total} customer links"
+        );
+    }
+
+    #[test]
+    fn every_as_has_geo_centroid_and_region() {
+        let net = SyntheticInternet::generate(&small_config(), 3).unwrap();
+        assert_eq!(net.geo.annotated_as_count(), 300);
+        for asn in net.graph.ases() {
+            assert!(net.as_region.contains_key(&asn));
+            assert!(net.geo.as_location(asn).is_some());
+        }
+    }
+
+    #[test]
+    fn caida_round_trip() {
+        let net = SyntheticInternet::generate(&small_config(), 3).unwrap();
+        let text = pan_topology::caida::to_string(&net.graph);
+        let back = pan_topology::caida::parse(&text).unwrap();
+        assert_eq!(back.node_count(), net.graph.node_count());
+        assert_eq!(back.link_count(), net.graph.link_count());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = [
+            InternetConfig { num_ases: 2, ..InternetConfig::default() },
+            InternetConfig { tier1_count: 1, ..InternetConfig::default() },
+            InternetConfig { transit_fraction: 1.5, ..InternetConfig::default() },
+            InternetConfig { same_region_bias: 0.5, ..InternetConfig::default() },
+            InternetConfig { capacity_scale: 0.0, ..InternetConfig::default() },
+            InternetConfig {
+                num_ases: 100,
+                tier1_count: 10,
+                transit_fraction: 0.95,
+                ..InternetConfig::default()
+            },
+        ];
+        for config in bad {
+            assert!(
+                SyntheticInternet::generate(&config, 1).is_err(),
+                "config {config:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn region_bias_concentrates_peering() {
+        let net = SyntheticInternet::generate(&small_config(), 9).unwrap();
+        // Compare peering *rates* (links per opportunity pair), since
+        // cross-region pairs vastly outnumber same-region ones and hubs
+        // deliberately peer across regions.
+        let mut same_links = 0usize;
+        let mut cross_links = 0usize;
+        for link in net.graph.links() {
+            let clique = net.tier(link.a) == Tier::Tier1 && net.tier(link.b) == Tier::Tier1;
+            if link.relationship.is_peering() && !clique {
+                if net.as_region[&link.a] == net.as_region[&link.b] {
+                    same_links += 1;
+                } else {
+                    cross_links += 1;
+                }
+            }
+        }
+        let mut same_pairs = 0usize;
+        let mut cross_pairs = 0usize;
+        let ases: Vec<Asn> = net.graph.ases().collect();
+        for (i, &a) in ases.iter().enumerate() {
+            for &b in ases.iter().skip(i + 1) {
+                if net.as_region[&a] == net.as_region[&b] {
+                    same_pairs += 1;
+                } else {
+                    cross_pairs += 1;
+                }
+            }
+        }
+        let same_rate = same_links as f64 / same_pairs as f64;
+        let cross_rate = cross_links as f64 / cross_pairs as f64;
+        assert!(
+            same_rate > 2.0 * cross_rate,
+            "same-region peering rate {same_rate:.5} should far exceed cross-region rate {cross_rate:.5}"
+        );
+    }
+
+    #[test]
+    fn wrap_lon_behaves() {
+        assert!((wrap_lon(190.0) - -170.0).abs() < 1e-12);
+        assert!((wrap_lon(-190.0) - 170.0).abs() < 1e-12);
+        assert!((wrap_lon(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_geometric_mean_is_plausible() {
+        let mut rng = rng::seeded(7);
+        let n = 4000;
+        let sum: usize = (0..n).map(|_| sample_geometric(0.8, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((0.55..1.05).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,307 @@
+//! Synthetic prefix-to-AS table (CAIDA Routeviews stand-in).
+//!
+//! The paper geolocates an AS by looking up the IP prefixes originated by
+//! the AS (CAIDA prefix-to-AS dataset) and averaging their locations. This
+//! module provides the prefix side of that join: [`Ipv4Prefix`],
+//! [`PrefixTable`], and a deterministic generator assigning larger prefix
+//! portfolios to higher-tier ASes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::internet::{Skeleton, Tier};
+use crate::rng::DeterministicRng;
+use crate::DatasetError;
+
+/// An IPv4 prefix in CIDR notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, masking host bits off `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    #[must_use]
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length must be at most 32, got {len}");
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Ipv4Prefix {
+            addr: addr & mask,
+            len,
+        }
+    }
+
+    /// The network address as a 32-bit integer.
+    #[must_use]
+    pub const fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    ///
+    /// (A "length" in the CIDR sense — an `is_empty` counterpart would be
+    /// meaningless, hence the lint allowance.)
+    #[allow(clippy::len_without_is_empty)]
+    #[must_use]
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Returns `true` for the zero-length (default-route) prefix.
+    #[must_use]
+    pub const fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `other` is fully contained in `self`.
+    #[must_use]
+    pub fn contains(self, other: Ipv4Prefix) -> bool {
+        if other.len < self.len {
+            return false;
+        }
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
+        (other.addr & mask) == self.addr
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            a >> 24,
+            (a >> 16) & 0xff,
+            (a >> 8) & 0xff,
+            a & 0xff,
+            self.len
+        )
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = DatasetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || DatasetError::InvalidPrefix { text: s.to_owned() };
+        let (addr_part, len_part) = s.trim().split_once('/').ok_or_else(err)?;
+        let len: u8 = len_part.parse().map_err(|_| err())?;
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = addr_part.split('.');
+        let mut addr: u32 = 0;
+        for _ in 0..4 {
+            let octet: u8 = octets.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            addr = (addr << 8) | u32::from(octet);
+        }
+        if octets.next().is_some() {
+            return Err(err());
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+/// A prefix-to-AS mapping, the synthetic equivalent of the CAIDA
+/// Routeviews prefix-to-AS dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrefixTable {
+    origin: HashMap<Ipv4Prefix, Asn>,
+    by_as: HashMap<Asn, Vec<Ipv4Prefix>>,
+}
+
+impl PrefixTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `asn` originates `prefix`.
+    ///
+    /// A prefix can only have one origin; re-inserting an existing prefix
+    /// replaces the previous origin.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, asn: Asn) {
+        if let Some(prev) = self.origin.insert(prefix, asn) {
+            if let Some(list) = self.by_as.get_mut(&prev) {
+                list.retain(|p| *p != prefix);
+            }
+        }
+        self.by_as.entry(asn).or_default().push(prefix);
+    }
+
+    /// The origin AS of a prefix, if known.
+    #[must_use]
+    pub fn origin(&self, prefix: Ipv4Prefix) -> Option<Asn> {
+        self.origin.get(&prefix).copied()
+    }
+
+    /// All prefixes originated by an AS (possibly empty).
+    #[must_use]
+    pub fn prefixes_of(&self, asn: Asn) -> &[Ipv4Prefix] {
+        self.by_as.get(&asn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of prefixes in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Returns `true` if the table contains no prefixes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.origin.is_empty()
+    }
+
+    /// Iterates over all ASes that originate at least one prefix.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.by_as.keys().copied()
+    }
+
+    /// Longest-prefix match of a host address.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<(Ipv4Prefix, Asn)> {
+        (0..=32u8)
+            .rev()
+            .map(|len| Ipv4Prefix::new(addr, len))
+            .find_map(|candidate| self.origin(candidate).map(|asn| (candidate, asn)))
+    }
+}
+
+/// Generates a prefix portfolio for every AS of a topology skeleton.
+///
+/// Portfolio sizes mirror real-world footprints: tier-1 ASes originate
+/// tens of prefixes, transit ASes a handful, stubs one to four. Prefixes
+/// are allocated from disjoint /16 blocks per AS, so the table never
+/// contains duplicate origins.
+pub(crate) fn generate(skeleton: &Skeleton, rng: &mut DeterministicRng) -> PrefixTable {
+    let mut table = PrefixTable::new();
+    for (block, asn) in skeleton.graph.ases().enumerate() {
+        let count = match skeleton.tiers[&asn] {
+            Tier::Tier1 => rng.gen_range(24..=64),
+            Tier::Transit => rng.gen_range(4..=16),
+            Tier::Stub => rng.gen_range(1..=4),
+        };
+        // Each AS owns the /16 block 10.<block>... shifted into unique space.
+        let base = (block as u32) << 16;
+        for slot in 0..count {
+            // Distinct /24s inside the AS's /16.
+            let prefix = Ipv4Prefix::new(base | ((slot as u32) << 8), 24);
+            table.insert(prefix, asn);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let p = Ipv4Prefix::new(0x0a00_0100, 24);
+        assert_eq!(p.to_string(), "10.0.1.0/24");
+        assert_eq!("10.0.1.0/24".parse::<Ipv4Prefix>().unwrap(), p);
+    }
+
+    #[test]
+    fn new_masks_host_bits() {
+        let p = Ipv4Prefix::new(0x0a00_01ff, 24);
+        assert_eq!(p.addr(), 0x0a00_0100);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "10.0.0.0", "10.0.0/24", "10.0.0.0.0/24", "10.0.0.0/33", "a.b.c.d/8"] {
+            assert!(text.parse::<Ipv4Prefix>().is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let narrow: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        let other: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(wide.contains(narrow));
+        assert!(!narrow.contains(wide));
+        assert!(!wide.contains(other));
+        assert!(wide.contains(wide));
+    }
+
+    #[test]
+    fn default_prefix_contains_everything() {
+        let default = Ipv4Prefix::new(0, 0);
+        assert!(default.is_default());
+        assert!(default.contains("203.0.113.0/24".parse().unwrap()));
+    }
+
+    #[test]
+    fn table_insert_and_lookup() {
+        let mut t = PrefixTable::new();
+        let p: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        t.insert(p, Asn::new(42));
+        assert_eq!(t.origin(p), Some(Asn::new(42)));
+        assert_eq!(t.prefixes_of(Asn::new(42)), &[p]);
+        assert_eq!(t.lookup(0x0a01_1234), Some((p, Asn::new(42))));
+        assert_eq!(t.lookup(0x0b00_0000), None);
+    }
+
+    #[test]
+    fn reinsert_moves_origin() {
+        let mut t = PrefixTable::new();
+        let p: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        t.insert(p, Asn::new(1));
+        t.insert(p, Asn::new(2));
+        assert_eq!(t.origin(p), Some(Asn::new(2)));
+        assert!(t.prefixes_of(Asn::new(1)).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_match_prefers_specific() {
+        let mut t = PrefixTable::new();
+        t.insert("10.0.0.0/8".parse().unwrap(), Asn::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), Asn::new(2));
+        let (p, asn) = t.lookup(0x0a01_0001).unwrap();
+        assert_eq!(asn, Asn::new(2));
+        assert_eq!(p.len(), 16);
+        let (_, asn) = t.lookup(0x0a02_0001).unwrap();
+        assert_eq!(asn, Asn::new(1));
+    }
+
+    #[test]
+    fn generated_portfolios_scale_with_tier() {
+        let config = crate::InternetConfig {
+            num_ases: 120,
+            tier1_count: 4,
+            ..crate::InternetConfig::default()
+        };
+        let net = crate::SyntheticInternet::generate(&config, 5).unwrap();
+        let tier1_mean: f64 = (1..=4)
+            .map(|i| net.prefixes.prefixes_of(Asn::new(i)).len())
+            .sum::<usize>() as f64
+            / 4.0;
+        let stub_count = net
+            .prefixes
+            .prefixes_of(Asn::new(120))
+            .len();
+        assert!(tier1_mean >= 24.0);
+        assert!((1..=4).contains(&stub_count));
+    }
+}

@@ -1,0 +1,310 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::{CostFunction, FlowVec, PricingFunction, Result};
+
+/// The pricing functions of all provider–customer links.
+///
+/// Keys are directed `(provider, customer)` pairs. The **virtual end-host
+/// link** `ℓ' = (X, Γ_X)` of an AS `X` is stored under `(X, X)`, matching
+/// the [`FlowVec`] convention. Links without an explicit entry fall back
+/// to the book's default function (initially [`PricingFunction::free`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PricingBook {
+    prices: HashMap<(Asn, Asn), PricingFunction>,
+    default: PricingFunction,
+}
+
+impl Default for PricingBook {
+    fn default() -> Self {
+        PricingBook {
+            prices: HashMap::new(),
+            default: PricingFunction::free(),
+        }
+    }
+}
+
+impl PricingBook {
+    /// Creates an empty book whose default price is free.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty book with an explicit fallback pricing function.
+    #[must_use]
+    pub fn with_default(default: PricingFunction) -> Self {
+        PricingBook {
+            prices: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Sets the price `provider` charges `customer`.
+    pub fn set_transit_price(
+        &mut self,
+        provider: Asn,
+        customer: Asn,
+        price: PricingFunction,
+    ) {
+        self.prices.insert((provider, customer), price);
+    }
+
+    /// Sets the price AS `asn` charges its own end-hosts (virtual link `ℓ'`).
+    pub fn set_end_host_price(&mut self, asn: Asn, price: PricingFunction) {
+        self.prices.insert((asn, asn), price);
+    }
+
+    /// The pricing function of the link `provider → customer`.
+    #[must_use]
+    pub fn transit_price(&self, provider: Asn, customer: Asn) -> PricingFunction {
+        self.prices
+            .get(&(provider, customer))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// The end-host pricing function of `asn`.
+    #[must_use]
+    pub fn end_host_price(&self, asn: Asn) -> PricingFunction {
+        self.transit_price(asn, asn)
+    }
+
+    /// Returns `true` if an explicit entry exists for `provider → customer`.
+    #[must_use]
+    pub fn has_explicit_price(&self, provider: Asn, customer: Asn) -> bool {
+        self.prices.contains_key(&(provider, customer))
+    }
+
+    /// Number of explicit entries in the book.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Returns `true` if the book has no explicit entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+}
+
+/// The business calculation of Eq. (1): revenue, cost, and utility of an
+/// AS given its flow decomposition.
+///
+/// ```text
+/// r_X(f_X) = Σ_{Y ∈ γ(X)} p_XY(f_XY)            (+ end-host revenue)
+/// c_X(f_X) = i_X(f_X) + Σ_{Y ∈ π(X)} p_YX(f_XY)
+/// U_X(f_X) = r_X(f_X) − c_X(f_X)
+/// ```
+///
+/// Peering links are settlement-free and contribute neither revenue nor
+/// link cost (they do contribute internal cost through the total flow).
+#[derive(Debug, Clone)]
+pub struct BusinessModel {
+    graph: AsGraph,
+    book: PricingBook,
+    internal_costs: HashMap<Asn, CostFunction>,
+}
+
+impl BusinessModel {
+    /// Creates a model over a topology and a pricing book.
+    ///
+    /// All ASes start with zero internal cost; see
+    /// [`set_internal_cost`](Self::set_internal_cost).
+    #[must_use]
+    pub fn new(graph: AsGraph, book: PricingBook) -> Self {
+        BusinessModel {
+            graph,
+            book,
+            internal_costs: HashMap::new(),
+        }
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// The pricing book.
+    #[must_use]
+    pub fn book(&self) -> &PricingBook {
+        &self.book
+    }
+
+    /// Mutable access to the pricing book.
+    pub fn book_mut(&mut self) -> &mut PricingBook {
+        &mut self.book
+    }
+
+    /// Sets the internal-cost function of an AS.
+    pub fn set_internal_cost(&mut self, asn: Asn, cost: CostFunction) {
+        self.internal_costs.insert(asn, cost);
+    }
+
+    /// The internal-cost function of an AS (defaults to zero).
+    #[must_use]
+    pub fn internal_cost(&self, asn: Asn) -> CostFunction {
+        self.internal_costs
+            .get(&asn)
+            .copied()
+            .unwrap_or(CostFunction::Zero)
+    }
+
+    /// Revenue `r_X(f_X)`: customer transit charges plus end-host revenue
+    /// (Eq. 1a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`](crate::EconError::Topology) if the AS is unknown and
+    /// [`EconError::InvalidFlow`](crate::EconError::InvalidFlow) for invalid volumes.
+    pub fn revenue(&self, flows: &FlowVec) -> Result<f64> {
+        let x = flows.asn();
+        self.graph.index_of(x)?;
+        let mut revenue = 0.0;
+        for customer in self.graph.customers(x) {
+            revenue += self
+                .book
+                .transit_price(x, customer)
+                .price(flows.get(customer))?;
+        }
+        revenue += self.book.end_host_price(x).price(flows.end_host_flow())?;
+        Ok(revenue)
+    }
+
+    /// Cost `c_X(f_X)`: internal cost plus provider transit charges (Eq. 1b).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`](crate::EconError::Topology) if the AS is unknown and
+    /// [`EconError::InvalidFlow`](crate::EconError::InvalidFlow) for invalid volumes.
+    pub fn cost(&self, flows: &FlowVec) -> Result<f64> {
+        let x = flows.asn();
+        self.graph.index_of(x)?;
+        let mut cost = self.internal_cost(x).eval(flows.total())?;
+        for provider in self.graph.providers(x) {
+            cost += self
+                .book
+                .transit_price(provider, x)
+                .price(flows.get(provider))?;
+        }
+        Ok(cost)
+    }
+
+    /// Utility (profit) `U_X(f_X) = r_X(f_X) − c_X(f_X)` (Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`revenue`](Self::revenue) and [`cost`](Self::cost).
+    pub fn utility(&self, flows: &FlowVec) -> Result<f64> {
+        Ok(self.revenue(flows)? - self.cost(flows)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EconError;
+    use pan_topology::fixtures::{asn, fig1};
+
+    /// Standard setup used throughout: per-usage pricing on all Fig. 1
+    /// transit links and on end-hosts of D.
+    fn model() -> BusinessModel {
+        let g = fig1();
+        let mut book = PricingBook::new();
+        for (p, c, rate) in [
+            ('A', 'D', 2.0),
+            ('B', 'E', 2.0),
+            ('B', 'G', 2.0),
+            ('D', 'H', 3.0),
+            ('E', 'I', 3.0),
+        ] {
+            book.set_transit_price(asn(p), asn(c), PricingFunction::per_usage(rate).unwrap());
+        }
+        book.set_end_host_price(asn('D'), PricingFunction::per_usage(4.0).unwrap());
+        let mut m = BusinessModel::new(g, book);
+        m.set_internal_cost(asn('D'), CostFunction::linear(0.1).unwrap());
+        m
+    }
+
+    #[test]
+    fn revenue_counts_customers_and_end_hosts() {
+        let m = model();
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('H'), 10.0); // customer H: 3.0/unit
+        f.set_end_host_flow(5.0); // end-hosts: 4.0/unit
+        f.set(asn('A'), 15.0); // provider flow — not revenue
+        assert_eq!(m.revenue(&f).unwrap(), 30.0 + 20.0);
+    }
+
+    #[test]
+    fn cost_counts_providers_and_internal() {
+        let m = model();
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('A'), 15.0); // provider A charges 2.0/unit
+        f.set(asn('H'), 10.0);
+        // internal: 0.1 × total (25)
+        let expected = 30.0 + 0.1 * 25.0;
+        assert!((m.cost(&f).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peering_flow_contributes_only_internal_cost() {
+        let m = model();
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('E'), 10.0); // peer flow
+        assert_eq!(m.revenue(&f).unwrap(), 0.0);
+        assert!((m.cost(&f).unwrap() - 1.0).abs() < 1e-9); // 0.1 × 10
+    }
+
+    #[test]
+    fn paper_profitability_condition_for_d() {
+        // Eq. in §III-A: p_DH(f_DH) + p_DΓ(f_DΓ) > p_AD(f_AD) + i_D(f_D)
+        // must hold for D to profit.
+        let m = model();
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('H'), 10.0);
+        f.set_end_host_flow(5.0);
+        f.set(asn('A'), 15.0);
+        let revenue = m.revenue(&f).unwrap();
+        let cost = m.cost(&f).unwrap();
+        let utility = m.utility(&f).unwrap();
+        assert!((utility - (revenue - cost)).abs() < 1e-12);
+        assert!(utility > 0.0, "D should profit in this configuration");
+    }
+
+    #[test]
+    fn unknown_as_is_an_error() {
+        let m = model();
+        let f = FlowVec::new(Asn::new(999));
+        assert!(matches!(m.utility(&f), Err(EconError::Topology(_))));
+    }
+
+    #[test]
+    fn default_pricing_is_free() {
+        let book = PricingBook::new();
+        assert_eq!(book.transit_price(Asn::new(1), Asn::new(2)).alpha(), 0.0);
+        assert!(!book.has_explicit_price(Asn::new(1), Asn::new(2)));
+    }
+
+    #[test]
+    fn with_default_pricing_applies_to_unset_links() {
+        let book = PricingBook::with_default(PricingFunction::per_usage(1.5).unwrap());
+        let p = book.transit_price(Asn::new(1), Asn::new(2));
+        assert_eq!(p.price(2.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn flat_rate_provider_fee_charged_even_at_zero_flow() {
+        let g = fig1();
+        let mut book = PricingBook::new();
+        book.set_transit_price(asn('A'), asn('D'), PricingFunction::flat_rate(100.0).unwrap());
+        let m = BusinessModel::new(g, book);
+        let f = FlowVec::new(asn('D'));
+        assert_eq!(m.cost(&f).unwrap(), 100.0);
+    }
+}

@@ -1,0 +1,177 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{EconError, Result};
+
+/// An internal-cost function `i_X(f_X)`: non-negative and monotonically
+/// increasing in the total flow through the AS (§III-A).
+///
+/// Internal cost covers network equipment, power, and operations
+/// attributable to carried traffic.
+///
+/// # Example
+///
+/// ```
+/// use pan_econ::CostFunction;
+///
+/// let cost = CostFunction::affine(10.0, 0.5)?;
+/// assert_eq!(cost.eval(0.0)?, 10.0);
+/// assert_eq!(cost.eval(20.0)?, 20.0);
+/// # Ok::<(), pan_econ::EconError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum CostFunction {
+    /// No internal cost.
+    #[default]
+    Zero,
+    /// `i(f) = rate · f`.
+    Linear {
+        /// Cost per traffic unit.
+        rate: f64,
+    },
+    /// `i(f) = base + rate · f` — fixed infrastructure plus usage cost.
+    Affine {
+        /// Flow-independent base cost.
+        base: f64,
+        /// Cost per traffic unit.
+        rate: f64,
+    },
+    /// `i(f) = coef · f^exp` with `exp ≥ 1` — convex costs capturing
+    /// capacity upgrades under load.
+    PowerLaw {
+        /// Multiplicative coefficient.
+        coef: f64,
+        /// Exponent (at least 1).
+        exp: f64,
+    },
+}
+
+impl CostFunction {
+    /// Creates `i(f) = rate · f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a negative or
+    /// non-finite rate.
+    pub fn linear(rate: f64) -> Result<Self> {
+        validate("rate", rate)?;
+        Ok(CostFunction::Linear { rate })
+    }
+
+    /// Creates `i(f) = base + rate · f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for negative or non-finite
+    /// parameters.
+    pub fn affine(base: f64, rate: f64) -> Result<Self> {
+        validate("base", base)?;
+        validate("rate", rate)?;
+        Ok(CostFunction::Affine { base, rate })
+    }
+
+    /// Creates `i(f) = coef · f^exp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] unless `coef ≥ 0` and
+    /// `exp ≥ 1` (monotonicity requires a non-shrinking exponent).
+    pub fn power_law(coef: f64, exp: f64) -> Result<Self> {
+        validate("coef", coef)?;
+        if !exp.is_finite() || exp < 1.0 {
+            return Err(EconError::InvalidParameter {
+                name: "exp",
+                value: exp,
+            });
+        }
+        Ok(CostFunction::PowerLaw { coef, exp })
+    }
+
+    /// Evaluates the internal cost at total flow `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] for a negative or non-finite flow.
+    pub fn eval(self, flow: f64) -> Result<f64> {
+        if !flow.is_finite() || flow < 0.0 {
+            return Err(EconError::InvalidFlow { volume: flow });
+        }
+        Ok(match self {
+            CostFunction::Zero => 0.0,
+            CostFunction::Linear { rate } => rate * flow,
+            CostFunction::Affine { base, rate } => base + rate * flow,
+            CostFunction::PowerLaw { coef, exp } => coef * flow.powf(exp),
+        })
+    }
+}
+
+fn validate(name: &'static str, value: f64) -> Result<()> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(EconError::InvalidParameter { name, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(CostFunction::linear(-1.0).is_err());
+        assert!(CostFunction::affine(-1.0, 0.0).is_err());
+        assert!(CostFunction::affine(0.0, f64::NAN).is_err());
+        assert!(CostFunction::power_law(1.0, 0.5).is_err());
+        assert!(CostFunction::power_law(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn zero_costs_nothing() {
+        assert_eq!(CostFunction::Zero.eval(1e9).unwrap(), 0.0);
+        assert_eq!(CostFunction::default().eval(5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn evaluations() {
+        assert_eq!(CostFunction::linear(2.0).unwrap().eval(3.0).unwrap(), 6.0);
+        assert_eq!(
+            CostFunction::affine(1.0, 2.0).unwrap().eval(3.0).unwrap(),
+            7.0
+        );
+        assert_eq!(
+            CostFunction::power_law(2.0, 2.0).unwrap().eval(3.0).unwrap(),
+            18.0
+        );
+    }
+
+    #[test]
+    fn rejects_bad_flow() {
+        assert!(CostFunction::Zero.eval(-1.0).is_err());
+        assert!(CostFunction::Zero.eval(f64::NAN).is_err());
+    }
+
+    fn arbitrary_cost() -> impl Strategy<Value = CostFunction> {
+        prop_oneof![
+            Just(CostFunction::Zero),
+            (0.0..10.0f64).prop_map(|r| CostFunction::linear(r).unwrap()),
+            (0.0..10.0f64, 0.0..10.0f64)
+                .prop_map(|(b, r)| CostFunction::affine(b, r).unwrap()),
+            (0.0..10.0f64, 1.0..3.0f64)
+                .prop_map(|(c, e)| CostFunction::power_law(c, e).unwrap()),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn cost_is_monotone_and_nonnegative(
+            cost in arbitrary_cost(),
+            f in 0.0..1e6f64,
+            delta in 0.0..1e6f64,
+        ) {
+            let lo = cost.eval(f).unwrap();
+            let hi = cost.eval(f + delta).unwrap();
+            prop_assert!(lo >= 0.0);
+            prop_assert!(hi >= lo - 1e-9);
+        }
+    }
+}

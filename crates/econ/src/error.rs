@@ -1,0 +1,77 @@
+use std::fmt;
+
+use pan_topology::{Asn, TopologyError};
+
+/// Errors produced by the economic model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EconError {
+    /// A pricing or cost parameter is out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A flow volume is negative or non-finite.
+    InvalidFlow {
+        /// The rejected volume.
+        volume: f64,
+    },
+    /// A business-calculation referenced a link with no pricing function.
+    MissingPrice {
+        /// The provider side of the link.
+        provider: Asn,
+        /// The customer side of the link.
+        customer: Asn,
+    },
+    /// An underlying topology operation failed.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for EconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EconError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} out of domain: {value}")
+            }
+            EconError::InvalidFlow { volume } => {
+                write!(f, "flow volumes must be finite and non-negative, got {volume}")
+            }
+            EconError::MissingPrice { provider, customer } => {
+                write!(f, "no pricing function for link {provider} → {customer}")
+            }
+            EconError::Topology(err) => write!(f, "topology error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for EconError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EconError::Topology(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for EconError {
+    fn from(err: TopologyError) -> Self {
+        EconError::Topology(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parties() {
+        let err = EconError::MissingPrice {
+            provider: Asn::new(1),
+            customer: Asn::new(2),
+        };
+        let text = err.to_string();
+        assert!(text.contains("AS1") && text.contains("AS2"));
+    }
+}

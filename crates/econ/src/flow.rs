@@ -1,0 +1,310 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::{EconError, Result};
+
+/// The per-neighbor flow decomposition `f_X` of an AS `X` (§III-A).
+///
+/// `f_XY` — accessed via [`get`](Self::get) / [`set`](Self::set) — is the
+/// share of the total flow through `X` that is exchanged directly with
+/// neighbor `Y` (in either direction). The paper models the customer
+/// end-hosts of `X` as a virtual stub `Γ_X`; this type reserves the key
+/// `X` itself for that virtual neighbor (an AS is never its own neighbor,
+/// so the encoding is unambiguous), exposed through
+/// [`end_host_flow`](Self::end_host_flow) /
+/// [`set_end_host_flow`](Self::set_end_host_flow).
+///
+/// Total flow through the AS is the sum of all entries, since every unit
+/// of traffic enters or leaves through some neighbor (or terminates at an
+/// end-host).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowVec {
+    asn: Asn,
+    flows: BTreeMap<Asn, f64>,
+}
+
+impl FlowVec {
+    /// Creates an empty flow vector for AS `asn`.
+    #[must_use]
+    pub fn new(asn: Asn) -> Self {
+        FlowVec {
+            asn,
+            flows: BTreeMap::new(),
+        }
+    }
+
+    /// The AS this vector describes.
+    #[must_use]
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// The flow `f_XY` exchanged with neighbor `neighbor` (0 if absent).
+    #[must_use]
+    pub fn get(&self, neighbor: Asn) -> f64 {
+        self.flows.get(&neighbor).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the flow exchanged with `neighbor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `volume` is negative or non-finite; use
+    /// [`try_set`](Self::try_set) for fallible insertion.
+    pub fn set(&mut self, neighbor: Asn, volume: f64) {
+        debug_assert!(
+            volume.is_finite() && volume >= 0.0,
+            "flow volume must be finite and non-negative, got {volume}"
+        );
+        self.flows.insert(neighbor, volume.max(0.0));
+    }
+
+    /// Fallible variant of [`set`](Self::set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] for negative or non-finite volumes.
+    pub fn try_set(&mut self, neighbor: Asn, volume: f64) -> Result<()> {
+        if !volume.is_finite() || volume < 0.0 {
+            return Err(EconError::InvalidFlow { volume });
+        }
+        self.flows.insert(neighbor, volume);
+        Ok(())
+    }
+
+    /// Adds `delta` to the flow exchanged with `neighbor`, clamping at zero.
+    pub fn add(&mut self, neighbor: Asn, delta: f64) {
+        let updated = (self.get(neighbor) + delta).max(0.0);
+        self.flows.insert(neighbor, updated);
+    }
+
+    /// The end-host flow `f_{X,Γ_X}` (traffic terminating at `X`'s own
+    /// customers' end-hosts).
+    #[must_use]
+    pub fn end_host_flow(&self) -> f64 {
+        self.get(self.asn)
+    }
+
+    /// Sets the end-host flow `f_{X,Γ_X}`.
+    pub fn set_end_host_flow(&mut self, volume: f64) {
+        let asn = self.asn;
+        self.set(asn, volume);
+    }
+
+    /// Total flow through the AS: the sum over all neighbors and end-hosts.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.flows.values().sum()
+    }
+
+    /// Iterates over `(neighbor, volume)` pairs in ascending ASN order.
+    ///
+    /// The virtual end-host entry, if set, appears under the AS's own ASN.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, f64)> + '_ {
+        self.flows.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Number of neighbors with recorded flow.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Returns `true` if no flows are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+/// A direction-independent key for the path segment `(X, Y, Z)` (§III-A:
+/// "`f_XYZ` is the flow volume on the path segment consisting of ASes
+/// X, Y, and Z in that order, independent of direction").
+///
+/// `(X, Y, Z)` and `(Z, Y, X)` normalize to the same key.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SegmentKey {
+    first: Asn,
+    middle: Asn,
+    last: Asn,
+}
+
+impl SegmentKey {
+    /// Creates the canonical key for segment `x–y–z`.
+    #[must_use]
+    pub fn new(x: Asn, y: Asn, z: Asn) -> Self {
+        if x <= z {
+            SegmentKey {
+                first: x,
+                middle: y,
+                last: z,
+            }
+        } else {
+            SegmentKey {
+                first: z,
+                middle: y,
+                last: x,
+            }
+        }
+    }
+
+    /// The endpoints and middle AS in canonical order.
+    #[must_use]
+    pub fn parts(self) -> (Asn, Asn, Asn) {
+        (self.first, self.middle, self.last)
+    }
+
+    /// The transit AS in the middle of the segment.
+    #[must_use]
+    pub fn middle(self) -> Asn {
+        self.middle
+    }
+}
+
+/// Per-segment flow volumes `f_XYZ`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SegmentFlows {
+    volumes: BTreeMap<SegmentKey, f64>,
+}
+
+impl SegmentFlows {
+    /// Creates an empty segment-flow table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The volume on segment `x–y–z` (0 if absent).
+    #[must_use]
+    pub fn get(&self, x: Asn, y: Asn, z: Asn) -> f64 {
+        self.volumes
+            .get(&SegmentKey::new(x, y, z))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Sets the volume on segment `x–y–z`.
+    pub fn set(&mut self, x: Asn, y: Asn, z: Asn, volume: f64) {
+        debug_assert!(
+            volume.is_finite() && volume >= 0.0,
+            "segment volume must be finite and non-negative, got {volume}"
+        );
+        self.volumes
+            .insert(SegmentKey::new(x, y, z), volume.max(0.0));
+    }
+
+    /// Adds `delta` to the volume on segment `x–y–z`, clamping at zero.
+    pub fn add(&mut self, x: Asn, y: Asn, z: Asn, delta: f64) {
+        let key = SegmentKey::new(x, y, z);
+        let updated = (self.volumes.get(&key).copied().unwrap_or(0.0) + delta).max(0.0);
+        self.volumes.insert(key, updated);
+    }
+
+    /// Iterates over `(segment, volume)` pairs in canonical key order.
+    pub fn iter(&self) -> impl Iterator<Item = (SegmentKey, f64)> + '_ {
+        self.volumes.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sum of volumes over all segments whose middle AS is `y`.
+    #[must_use]
+    pub fn transit_volume(&self, y: Asn) -> f64 {
+        self.volumes
+            .iter()
+            .filter(|(k, _)| k.middle() == y)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Number of recorded segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.volumes.len()
+    }
+
+    /// Returns `true` if no segments are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.volumes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut f = FlowVec::new(a(1));
+        assert_eq!(f.get(a(2)), 0.0);
+        f.set(a(2), 5.0);
+        assert_eq!(f.get(a(2)), 5.0);
+        f.add(a(2), 3.0);
+        assert_eq!(f.get(a(2)), 8.0);
+        f.add(a(2), -100.0);
+        assert_eq!(f.get(a(2)), 0.0, "flows clamp at zero");
+    }
+
+    #[test]
+    fn end_host_convention() {
+        let mut f = FlowVec::new(a(1));
+        f.set_end_host_flow(7.0);
+        assert_eq!(f.end_host_flow(), 7.0);
+        assert_eq!(f.get(a(1)), 7.0);
+        f.set(a(2), 3.0);
+        assert_eq!(f.total(), 10.0);
+    }
+
+    #[test]
+    fn try_set_validates() {
+        let mut f = FlowVec::new(a(1));
+        assert!(f.try_set(a(2), -1.0).is_err());
+        assert!(f.try_set(a(2), f64::NAN).is_err());
+        assert!(f.try_set(a(2), 1.0).is_ok());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut f = FlowVec::new(a(1));
+        f.set(a(9), 1.0);
+        f.set(a(2), 1.0);
+        f.set(a(5), 1.0);
+        let keys: Vec<Asn> = f.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![a(2), a(5), a(9)]);
+    }
+
+    #[test]
+    fn segment_key_is_direction_independent() {
+        assert_eq!(SegmentKey::new(a(1), a(2), a(3)), SegmentKey::new(a(3), a(2), a(1)));
+        assert_ne!(SegmentKey::new(a(1), a(2), a(3)), SegmentKey::new(a(1), a(3), a(2)));
+        assert_eq!(SegmentKey::new(a(3), a(2), a(1)).parts(), (a(1), a(2), a(3)));
+    }
+
+    #[test]
+    fn segment_flows_accumulate_by_canonical_key() {
+        let mut s = SegmentFlows::new();
+        s.add(a(1), a(2), a(3), 4.0);
+        s.add(a(3), a(2), a(1), 6.0);
+        assert_eq!(s.get(a(1), a(2), a(3)), 10.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn transit_volume_sums_middle_as() {
+        let mut s = SegmentFlows::new();
+        s.set(a(1), a(2), a(3), 4.0);
+        s.set(a(5), a(2), a(6), 6.0);
+        s.set(a(1), a(9), a(3), 100.0);
+        assert_eq!(s.transit_volume(a(2)), 10.0);
+        assert_eq!(s.transit_volume(a(9)), 100.0);
+        assert_eq!(s.transit_volume(a(1)), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{EconError, Result};
+
+/// A provider–customer pricing function `p(f) = α·f^β` (§III-A).
+///
+/// The exponent selects the pricing regime:
+///
+/// | `β`      | regime                      | constructor |
+/// |----------|-----------------------------|-------------|
+/// | `0`      | flat rate (fee `α`)         | [`flat_rate`](Self::flat_rate) |
+/// | `1`      | pay-per-usage (unit cost `α`)| [`per_usage`](Self::per_usage) |
+/// | `> 1`    | congestion pricing          | [`congestion`](Self::congestion) |
+///
+/// The flow argument `f` can be interpreted as median, average, or
+/// 95th-percentile volume — whatever the billing period uses; the model is
+/// agnostic.
+///
+/// # Example
+///
+/// ```
+/// use pan_econ::PricingFunction;
+///
+/// let flat = PricingFunction::flat_rate(100.0)?;
+/// assert_eq!(flat.price(0.0)?, 100.0);
+/// assert_eq!(flat.price(42.0)?, 100.0);
+///
+/// let usage = PricingFunction::per_usage(2.5)?;
+/// assert_eq!(usage.price(4.0)?, 10.0);
+///
+/// let congestion = PricingFunction::congestion(1.0, 2.0)?;
+/// assert_eq!(congestion.price(3.0)?, 9.0);
+/// # Ok::<(), pan_econ::EconError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingFunction {
+    alpha: f64,
+    beta: f64,
+}
+
+impl PricingFunction {
+    /// Creates a pricing function with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] unless `α ≥ 0`, `β ≥ 0`,
+    /// and both are finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(EconError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        if !beta.is_finite() || beta < 0.0 {
+            return Err(EconError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        Ok(PricingFunction { alpha, beta })
+    }
+
+    /// Flat-rate pricing: `p(f) = fee` regardless of volume (`β = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a negative or
+    /// non-finite fee.
+    pub fn flat_rate(fee: f64) -> Result<Self> {
+        PricingFunction::new(fee, 0.0)
+    }
+
+    /// Pay-per-usage pricing: `p(f) = unit_cost · f` (`β = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a negative or
+    /// non-finite unit cost.
+    pub fn per_usage(unit_cost: f64) -> Result<Self> {
+        PricingFunction::new(unit_cost, 1.0)
+    }
+
+    /// Congestion pricing: superlinear `p(f) = α·f^β` with `β > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] unless `α ≥ 0` and `β > 1`.
+    pub fn congestion(alpha: f64, beta: f64) -> Result<Self> {
+        if !beta.is_finite() || beta <= 1.0 {
+            return Err(EconError::InvalidParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        PricingFunction::new(alpha, beta)
+    }
+
+    /// Zero pricing (settlement-free): `p(f) = 0`.
+    #[must_use]
+    pub fn free() -> Self {
+        PricingFunction {
+            alpha: 0.0,
+            beta: 0.0,
+        }
+    }
+
+    /// The coefficient `α`.
+    #[must_use]
+    pub const fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// The exponent `β`.
+    #[must_use]
+    pub const fn beta(self) -> f64 {
+        self.beta
+    }
+
+    /// Evaluates the price for flow volume `f`.
+    ///
+    /// By convention `p(0) = α` for flat-rate functions (`β = 0`): a flat
+    /// fee is owed even with zero traffic, matching real transit contracts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] for a negative or non-finite
+    /// volume.
+    pub fn price(self, flow: f64) -> Result<f64> {
+        if !flow.is_finite() || flow < 0.0 {
+            return Err(EconError::InvalidFlow { volume: flow });
+        }
+        // 0^0 = 1 in IEEE powf, which gives the flat-fee convention for free.
+        Ok(self.alpha * flow.powf(self.beta))
+    }
+
+    /// Marginal price `dp/df` at volume `f` (used by optimizers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] for a negative or non-finite
+    /// volume.
+    pub fn marginal(self, flow: f64) -> Result<f64> {
+        if !flow.is_finite() || flow < 0.0 {
+            return Err(EconError::InvalidFlow { volume: flow });
+        }
+        if self.beta == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.alpha * self.beta * flow.powf(self.beta - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(PricingFunction::new(-1.0, 1.0).is_err());
+        assert!(PricingFunction::new(1.0, -0.5).is_err());
+        assert!(PricingFunction::new(f64::NAN, 1.0).is_err());
+        assert!(PricingFunction::congestion(1.0, 1.0).is_err());
+        assert!(PricingFunction::congestion(1.0, 0.5).is_err());
+        assert!(PricingFunction::congestion(1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn flat_rate_ignores_volume() {
+        let p = PricingFunction::flat_rate(50.0).unwrap();
+        assert_eq!(p.price(0.0).unwrap(), 50.0);
+        assert_eq!(p.price(1e6).unwrap(), 50.0);
+        assert_eq!(p.marginal(10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn per_usage_is_linear() {
+        let p = PricingFunction::per_usage(2.0).unwrap();
+        assert_eq!(p.price(0.0).unwrap(), 0.0);
+        assert_eq!(p.price(7.0).unwrap(), 14.0);
+        assert_eq!(p.marginal(7.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn congestion_is_superlinear() {
+        let p = PricingFunction::congestion(1.0, 2.0).unwrap();
+        assert!(p.price(4.0).unwrap() > 2.0 * p.price(2.0).unwrap());
+    }
+
+    #[test]
+    fn free_is_zero_everywhere() {
+        let p = PricingFunction::free();
+        assert_eq!(p.price(123.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_flow() {
+        let p = PricingFunction::per_usage(1.0).unwrap();
+        assert!(p.price(-1.0).is_err());
+        assert!(p.price(f64::NAN).is_err());
+        assert!(p.marginal(f64::INFINITY).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn price_is_monotone_in_flow(
+            alpha in 0.0..100.0f64,
+            beta in 0.0..3.0f64,
+            f1 in 0.0..1e6f64,
+            delta in 0.0..1e6f64,
+        ) {
+            let p = PricingFunction::new(alpha, beta).unwrap();
+            let lo = p.price(f1).unwrap();
+            let hi = p.price(f1 + delta).unwrap();
+            prop_assert!(hi >= lo - 1e-9);
+        }
+
+        #[test]
+        fn price_is_nonnegative(
+            alpha in 0.0..100.0f64,
+            beta in 0.0..3.0f64,
+            f in 0.0..1e6f64,
+        ) {
+            let p = PricingFunction::new(alpha, beta).unwrap();
+            prop_assert!(p.price(f).unwrap() >= 0.0);
+        }
+    }
+}

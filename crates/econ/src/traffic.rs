@@ -1,0 +1,292 @@
+//! Traffic matrices and path-based flow accounting.
+//!
+//! Agreement evaluation needs realistic *baseline* flows `f_X` for the
+//! parties. This module provides a gravity-model traffic matrix (demand
+//! between two ASes proportional to the product of their sizes) and a
+//! router that accumulates a demand along an AS path into the per-AS
+//! [`FlowVec`]s and the per-segment [`SegmentFlows`] used by the paper's
+//! business calculations.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::{EconError, FlowVec, Result, SegmentFlows};
+
+/// A sparse traffic matrix: demand volumes between ordered AS pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    demands: BTreeMap<(Asn, Asn), f64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the demand from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] for negative or non-finite volumes.
+    pub fn set(&mut self, src: Asn, dst: Asn, volume: f64) -> Result<()> {
+        if !volume.is_finite() || volume < 0.0 {
+            return Err(EconError::InvalidFlow { volume });
+        }
+        self.demands.insert((src, dst), volume);
+        Ok(())
+    }
+
+    /// The demand from `src` to `dst` (0 if absent).
+    #[must_use]
+    pub fn get(&self, src: Asn, dst: Asn) -> f64 {
+        self.demands.get(&(src, dst)).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `((src, dst), volume)` entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = ((Asn, Asn), f64)> + '_ {
+        self.demands.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total demand over all pairs.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.demands.values().sum()
+    }
+
+    /// Number of non-default entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Returns `true` if the matrix has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Builds a gravity-model matrix: `demand(s, d) = scale · w_s · w_d`
+    /// for all ordered pairs of distinct ASes with positive weight.
+    ///
+    /// Weights are typically AS degree or prefix count. Pairs with zero
+    /// product are omitted to keep the matrix sparse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] if any weight or the scale is
+    /// negative or non-finite.
+    pub fn gravity(weights: &HashMap<Asn, f64>, scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale < 0.0 {
+            return Err(EconError::InvalidFlow { volume: scale });
+        }
+        for (_, &w) in weights.iter() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(EconError::InvalidFlow { volume: w });
+            }
+        }
+        let mut sorted: Vec<(Asn, f64)> = weights.iter().map(|(&a, &w)| (a, w)).collect();
+        sorted.sort_unstable_by_key(|&(a, _)| a);
+        let mut matrix = TrafficMatrix::new();
+        for &(s, ws) in &sorted {
+            for &(d, wd) in &sorted {
+                if s != d {
+                    let volume = scale * ws * wd;
+                    if volume > 0.0 {
+                        matrix.demands.insert((s, d), volume);
+                    }
+                }
+            }
+        }
+        Ok(matrix)
+    }
+}
+
+/// Accumulates per-AS flows and per-segment flows as demands are routed
+/// along explicit AS paths.
+#[derive(Debug, Clone, Default)]
+pub struct FlowAccumulator {
+    flows: HashMap<Asn, FlowVec>,
+    segments: SegmentFlows,
+}
+
+impl FlowAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes `volume` units along `path`, updating:
+    ///
+    /// - `f_XY` for every on-path AS `X` and its on-path neighbor(s) `Y`,
+    /// - end-host flow at the source and destination ASes,
+    /// - `f_XYZ` for every consecutive AS triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidFlow`] for bad volumes and
+    /// [`EconError::Topology`] if consecutive path ASes are not adjacent.
+    pub fn route(&mut self, graph: &AsGraph, path: &[Asn], volume: f64) -> Result<()> {
+        if !volume.is_finite() || volume < 0.0 {
+            return Err(EconError::InvalidFlow { volume });
+        }
+        if path.len() < 2 || volume == 0.0 {
+            return Ok(());
+        }
+        for pair in path.windows(2) {
+            if graph.link_between(pair[0], pair[1]).is_none() {
+                return Err(pan_topology::TopologyError::UnknownLink {
+                    a: pair[0],
+                    b: pair[1],
+                }
+                .into());
+            }
+        }
+        // Per-neighbor flows: each AS sees the volume on each incident
+        // on-path link; end-hosts terminate the flow at both ends.
+        for (i, &x) in path.iter().enumerate() {
+            let entry = self
+                .flows
+                .entry(x)
+                .or_insert_with(|| FlowVec::new(x));
+            if i > 0 {
+                entry.add(path[i - 1], volume);
+            }
+            if i + 1 < path.len() {
+                entry.add(path[i + 1], volume);
+            }
+        }
+        let src_entry = self
+            .flows
+            .get_mut(&path[0])
+            .expect("source flow vector was created above");
+        let src = path[0];
+        src_entry.add(src, volume);
+        let dst = *path.last().expect("path has at least two hops");
+        let dst_entry = self
+            .flows
+            .entry(dst)
+            .or_insert_with(|| FlowVec::new(dst));
+        dst_entry.add(dst, volume);
+
+        // Segment flows for every consecutive triple.
+        for triple in path.windows(3) {
+            self.segments.add(triple[0], triple[1], triple[2], volume);
+        }
+        Ok(())
+    }
+
+    /// The accumulated flow vector of an AS (empty if it carried nothing).
+    #[must_use]
+    pub fn flows_of(&self, asn: Asn) -> FlowVec {
+        self.flows
+            .get(&asn)
+            .cloned()
+            .unwrap_or_else(|| FlowVec::new(asn))
+    }
+
+    /// The accumulated segment flows.
+    #[must_use]
+    pub fn segments(&self) -> &SegmentFlows {
+        &self.segments
+    }
+
+    /// Number of ASes that carried at least one routed flow.
+    #[must_use]
+    pub fn active_as_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+
+    #[test]
+    fn gravity_matrix_is_proportional() {
+        let mut w = HashMap::new();
+        w.insert(Asn::new(1), 2.0);
+        w.insert(Asn::new(2), 3.0);
+        w.insert(Asn::new(3), 0.0);
+        let m = TrafficMatrix::gravity(&w, 1.0).unwrap();
+        assert_eq!(m.get(Asn::new(1), Asn::new(2)), 6.0);
+        assert_eq!(m.get(Asn::new(2), Asn::new(1)), 6.0);
+        assert_eq!(m.get(Asn::new(1), Asn::new(3)), 0.0);
+        assert_eq!(m.get(Asn::new(1), Asn::new(1)), 0.0, "no self demand");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn gravity_rejects_bad_inputs() {
+        let mut w = HashMap::new();
+        w.insert(Asn::new(1), -1.0);
+        assert!(TrafficMatrix::gravity(&w, 1.0).is_err());
+        let w2: HashMap<Asn, f64> = HashMap::new();
+        assert!(TrafficMatrix::gravity(&w2, -1.0).is_err());
+    }
+
+    #[test]
+    fn route_accumulates_neighbor_flows() {
+        let g = fig1();
+        let mut acc = FlowAccumulator::new();
+        // H → D → E → I with 10 units.
+        acc.route(&g, &[asn('H'), asn('D'), asn('E'), asn('I')], 10.0)
+            .unwrap();
+        let d = acc.flows_of(asn('D'));
+        assert_eq!(d.get(asn('H')), 10.0);
+        assert_eq!(d.get(asn('E')), 10.0);
+        assert_eq!(d.end_host_flow(), 0.0, "D is a pure transit hop");
+        let h = acc.flows_of(asn('H'));
+        assert_eq!(h.get(asn('D')), 10.0);
+        assert_eq!(h.end_host_flow(), 10.0, "flow originates at H's end-hosts");
+        let i = acc.flows_of(asn('I'));
+        assert_eq!(i.end_host_flow(), 10.0, "flow terminates at I's end-hosts");
+    }
+
+    #[test]
+    fn route_accumulates_segment_flows() {
+        let g = fig1();
+        let mut acc = FlowAccumulator::new();
+        acc.route(&g, &[asn('H'), asn('D'), asn('E'), asn('I')], 10.0)
+            .unwrap();
+        assert_eq!(acc.segments().get(asn('H'), asn('D'), asn('E')), 10.0);
+        assert_eq!(acc.segments().get(asn('D'), asn('E'), asn('I')), 10.0);
+        // Direction independence: reverse query sees the same volume.
+        assert_eq!(acc.segments().get(asn('E'), asn('D'), asn('H')), 10.0);
+    }
+
+    #[test]
+    fn multiple_routes_add_up() {
+        let g = fig1();
+        let mut acc = FlowAccumulator::new();
+        acc.route(&g, &[asn('H'), asn('D'), asn('A')], 5.0).unwrap();
+        acc.route(&g, &[asn('A'), asn('D'), asn('H')], 7.0).unwrap();
+        let d = acc.flows_of(asn('D'));
+        assert_eq!(d.get(asn('H')), 12.0);
+        assert_eq!(d.get(asn('A')), 12.0);
+        assert_eq!(acc.segments().get(asn('H'), asn('D'), asn('A')), 12.0);
+    }
+
+    #[test]
+    fn route_rejects_disconnected_paths() {
+        let g = fig1();
+        let mut acc = FlowAccumulator::new();
+        assert!(acc.route(&g, &[asn('H'), asn('E')], 1.0).is_err());
+        assert!(acc.route(&g, &[asn('H'), asn('D')], -1.0).is_err());
+    }
+
+    #[test]
+    fn trivial_or_zero_routes_are_noops() {
+        let g = fig1();
+        let mut acc = FlowAccumulator::new();
+        acc.route(&g, &[asn('H')], 5.0).unwrap();
+        acc.route(&g, &[asn('H'), asn('D')], 0.0).unwrap();
+        assert_eq!(acc.active_as_count(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use pan_core::Agreement;
+use pan_topology::{AsGraph, Asn, NeighborKind};
+
+/// Per-AS forwarding authorization.
+///
+/// A transit AS `X` forwards a packet from ingress neighbor `F` to egress
+/// neighbor `T` iff:
+///
+/// - the transit is **GRC-conforming**: at least one of `F`, `T` is a
+///   customer of `X` (the economically rational default — the cost of
+///   forwarding is recuperated from the customer), or
+/// - an **agreement authorizes it**: an explicit `(X, F, T)` triple was
+///   added, as concluded agreements do for exactly the new segments they
+///   create (§III-B2). Authorized triples are direction-independent:
+///   authorizing `F → T` at `X` also authorizes `T → F`.
+///
+/// Source and destination ASes always accept their own traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthorizationTable {
+    /// Direction-normalized `(transit, low, high)` triples.
+    grants: BTreeSet<(Asn, Asn, Asn)>,
+}
+
+impl AuthorizationTable {
+    /// Creates an empty table (GRC-conforming transit only).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(transit: Asn, a: Asn, b: Asn) -> (Asn, Asn, Asn) {
+        if a <= b {
+            (transit, a, b)
+        } else {
+            (transit, b, a)
+        }
+    }
+
+    /// Authorizes transit through `transit` between neighbors `a` and `b`
+    /// (both directions).
+    pub fn grant(&mut self, transit: Asn, a: Asn, b: Asn) {
+        self.grants.insert(Self::key(transit, a, b));
+    }
+
+    /// Revokes a previously granted triple.
+    pub fn revoke(&mut self, transit: Asn, a: Asn, b: Asn) {
+        self.grants.remove(&Self::key(transit, a, b));
+    }
+
+    /// Returns `true` if an explicit grant covers the triple.
+    #[must_use]
+    pub fn is_granted(&self, transit: Asn, a: Asn, b: Asn) -> bool {
+        self.grants.contains(&Self::key(transit, a, b))
+    }
+
+    /// Number of explicit grants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Returns `true` if there are no explicit grants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// The full authorization check: GRC-conforming transit or an
+    /// explicit grant.
+    #[must_use]
+    pub fn allows(&self, graph: &AsGraph, transit: Asn, from: Asn, to: Asn) -> bool {
+        let from_kind = graph.neighbor_kind(transit, from);
+        let to_kind = graph.neighbor_kind(transit, to);
+        // Both must actually be neighbors for transit to be physical.
+        if from_kind.is_none() || to_kind.is_none() {
+            return false;
+        }
+        if from_kind == Some(NeighborKind::Customer) || to_kind == Some(NeighborKind::Customer) {
+            return true;
+        }
+        self.is_granted(transit, from, to)
+    }
+
+    /// Adds the grants of a concluded agreement: for every new segment
+    /// `beneficiary → via → target`, the `via` AS authorizes the
+    /// `(beneficiary, target)` pair.
+    pub fn grant_agreement(&mut self, graph: &AsGraph, agreement: &Agreement) {
+        for segment in agreement.new_segments(graph) {
+            self.grant(segment.via, segment.beneficiary, segment.target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+
+    #[test]
+    fn grc_transit_is_always_allowed() {
+        let g = fig1();
+        let table = AuthorizationTable::new();
+        // D forwards H (customer) ↔ anyone.
+        assert!(table.allows(&g, asn('D'), asn('H'), asn('A')));
+        assert!(table.allows(&g, asn('D'), asn('A'), asn('H')));
+        assert!(table.allows(&g, asn('D'), asn('E'), asn('H')));
+    }
+
+    #[test]
+    fn valley_transit_is_refused_by_default() {
+        let g = fig1();
+        let table = AuthorizationTable::new();
+        // E carrying D (peer) → B (provider): the paper's example of an
+        // economically irrational forwarding without an agreement.
+        assert!(!table.allows(&g, asn('E'), asn('D'), asn('B')));
+        // D carrying C (peer) → A (provider).
+        assert!(!table.allows(&g, asn('D'), asn('C'), asn('A')));
+    }
+
+    #[test]
+    fn non_neighbors_never_transit() {
+        let g = fig1();
+        let mut table = AuthorizationTable::new();
+        table.grant(asn('E'), asn('H'), asn('B')); // H is not E's neighbor
+        assert!(!table.allows(&g, asn('E'), asn('H'), asn('B')));
+    }
+
+    #[test]
+    fn grants_are_bidirectional_and_revocable() {
+        let g = fig1();
+        let mut table = AuthorizationTable::new();
+        table.grant(asn('E'), asn('D'), asn('B'));
+        assert!(table.allows(&g, asn('E'), asn('D'), asn('B')));
+        assert!(table.allows(&g, asn('E'), asn('B'), asn('D')));
+        table.revoke(asn('E'), asn('B'), asn('D'));
+        assert!(!table.allows(&g, asn('E'), asn('D'), asn('B')));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn agreement_grants_exactly_its_segments() {
+        let g = fig1();
+        let ma = Agreement::mutuality(&g, asn('D'), asn('E')).unwrap();
+        let mut table = AuthorizationTable::new();
+        table.grant_agreement(&g, &ma);
+        // E authorizes D → B (E's provider) and D → F (E's peer).
+        assert!(table.allows(&g, asn('E'), asn('D'), asn('B')));
+        assert!(table.allows(&g, asn('E'), asn('D'), asn('F')));
+        // D authorizes E → A and E → C.
+        assert!(table.allows(&g, asn('D'), asn('E'), asn('A')));
+        assert!(table.allows(&g, asn('D'), asn('E'), asn('C')));
+        // But C → A through D for third parties stays refused.
+        assert!(!table.allows(&g, asn('D'), asn('C'), asn('A')));
+    }
+}

@@ -1,0 +1,184 @@
+//! Path-segment construction beaconing.
+//!
+//! Core (provider-free) ASes originate path-construction beacons (PCBs)
+//! that flow down provider→customer links; each AS appends itself and
+//! re-propagates. Reversing a received beacon yields the AS's
+//! **up-segment** towards that core AS. This mirrors SCION's intra-ISD
+//! beaconing closely enough for the paper's purposes: it discovers the
+//! provider-acknowledged paths that exist *without* any novel agreements.
+
+use std::collections::VecDeque;
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::{PathRegistry, Segment, SegmentKind};
+
+/// Runs beaconing to completion and returns the registry of discovered
+/// up-segments (registered under the non-core AS, pointing towards the
+/// core) plus core-segments between core ASes.
+///
+/// `max_len` bounds the segment length in ASes (beacons longer than that
+/// are not re-propagated), and each AS keeps at most `max_per_pair`
+/// segments towards the same core AS (shortest first), mirroring real
+/// beacon-selection policies.
+#[must_use]
+pub fn run_beaconing(graph: &AsGraph, max_len: usize, max_per_pair: usize) -> PathRegistry {
+    let mut registry = PathRegistry::new();
+    let cores: Vec<Asn> = graph.provider_free_ases().collect();
+
+    // Breadth-first beacon propagation down provider→customer links.
+    // Queue entries are beacon paths core-first.
+    let mut queue: VecDeque<Vec<Asn>> = cores.iter().map(|&c| vec![c]).collect();
+    while let Some(beacon) = queue.pop_front() {
+        let head = *beacon.last().expect("beacons are non-empty");
+        if beacon.len() >= 2 {
+            // The receiving AS's up-segment is the reversed beacon.
+            let mut up = beacon.clone();
+            up.reverse();
+            if let Ok(segment) = Segment::new(graph, SegmentKind::Up, up) {
+                let owner = segment.first();
+                let core = segment.last();
+                let kept = registry
+                    .segments_of_kind(owner, SegmentKind::Up)
+                    .filter(|s| s.last() == core)
+                    .count();
+                if kept < max_per_pair {
+                    registry.register(segment);
+                }
+            }
+        }
+        if beacon.len() >= max_len {
+            continue;
+        }
+        for customer in graph.customers(head) {
+            if !beacon.contains(&customer) {
+                let mut extended = beacon.clone();
+                extended.push(customer);
+                queue.push_back(extended);
+            }
+        }
+    }
+
+    // Core segments: direct peering links between core ASes.
+    for (i, &a) in cores.iter().enumerate() {
+        for &b in cores.iter().skip(i + 1) {
+            if graph.link_between(a, b).is_some() {
+                if let Ok(segment) = Segment::new(graph, SegmentKind::Core, vec![a, b]) {
+                    registry.register(segment.reversed());
+                    registry.register(segment);
+                }
+            }
+        }
+    }
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, diamond, fig1};
+
+    #[test]
+    fn every_non_core_as_discovers_an_up_segment() {
+        let g = fig1();
+        let registry = run_beaconing(&g, 6, 4);
+        for label in ['D', 'E', 'G', 'H', 'I'] {
+            assert!(
+                registry
+                    .segments_of_kind(asn(label), SegmentKind::Up)
+                    .count()
+                    > 0,
+                "{label} has no up-segment"
+            );
+        }
+    }
+
+    #[test]
+    fn up_segments_end_at_core_ases() {
+        let g = fig1();
+        let registry = run_beaconing(&g, 6, 4);
+        let cores: Vec<_> = g.provider_free_ases().collect();
+        for asn_ in g.ases() {
+            for s in registry.segments_of_kind(asn_, SegmentKind::Up) {
+                assert!(cores.contains(&s.last()), "{s} does not end at a core");
+            }
+        }
+    }
+
+    #[test]
+    fn core_segments_connect_the_core() {
+        let g = fig1();
+        let registry = run_beaconing(&g, 6, 4);
+        // A and B peer → both directions registered.
+        assert_eq!(
+            registry
+                .segments_of_kind(asn('A'), SegmentKind::Core)
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry
+                .segments_of_kind(asn('B'), SegmentKind::Core)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn multipath_discovery_in_diamond() {
+        let g = diamond();
+        let registry = run_beaconing(&g, 6, 4);
+        // The stub (AS 4) reaches the core (AS 1) via both L and R.
+        let stub = pan_topology::Asn::new(4);
+        let ups: Vec<_> = registry
+            .segments_of_kind(stub, SegmentKind::Up)
+            .collect();
+        assert_eq!(ups.len(), 2, "diamond should yield two up-segments");
+    }
+
+    #[test]
+    fn beacon_length_bound_is_respected() {
+        let g = pan_topology::fixtures::chain(6);
+        let registry = run_beaconing(&g, 3, 4);
+        for asn_ in g.ases() {
+            for s in registry.segments_of(asn_) {
+                assert!(s.len() <= 3);
+            }
+        }
+        // AS 4 is 3 hops from the core (1 → 2 → 3 → 4): no segment.
+        assert!(registry
+            .segments_of(pan_topology::Asn::new(5))
+            .is_empty());
+    }
+
+    #[test]
+    fn per_pair_cap_limits_segments() {
+        let g = diamond();
+        let registry = run_beaconing(&g, 6, 1);
+        let stub = pan_topology::Asn::new(4);
+        assert_eq!(
+            registry.segments_of_kind(stub, SegmentKind::Up).count(),
+            1,
+            "cap of one segment per (AS, core) pair"
+        );
+    }
+
+    #[test]
+    fn end_to_end_lookup_through_beaconed_segments() {
+        let g = fig1();
+        let registry = run_beaconing(&g, 6, 4);
+        // H's up-segments end at core A, G's at core B; the A–B core
+        // peering segment splices them into H → D → A → B → G.
+        let paths = registry.lookup_paths(asn('H'), asn('G'));
+        assert!(
+            paths.contains(&vec![asn('H'), asn('D'), asn('A'), asn('B'), asn('G')]),
+            "up ⋈ core ⋈ down combination missing: {paths:?}"
+        );
+        // Every constructed path is GRC-conforming and deliverable
+        // without any agreement.
+        let network = crate::Network::new(g);
+        for path in &paths {
+            network.send(path).expect("beaconed paths deliver");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+use pan_topology::Asn;
+
+/// Errors produced while constructing PAN state (segments, registries).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PanError {
+    /// A segment is structurally invalid.
+    InvalidSegment {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A path could not be constructed between two ASes.
+    NoPath {
+        /// Source AS.
+        src: Asn,
+        /// Destination AS.
+        dst: Asn,
+    },
+}
+
+impl fmt::Display for PanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PanError::InvalidSegment { reason } => write!(f, "invalid segment: {reason}"),
+            PanError::NoPath { src, dst } => write!(f, "no path from {src} to {dst}"),
+        }
+    }
+}
+
+impl std::error::Error for PanError {}
+
+/// Errors surfaced while forwarding a packet.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ForwardingError {
+    /// The packet's header path is malformed (too short, repeated hops,
+    /// or non-adjacent consecutive ASes).
+    MalformedPath {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A transit AS refused the (ingress, egress) pair: no GRC-conforming
+    /// rationale and no authorizing agreement.
+    NotAuthorized {
+        /// The refusing AS.
+        at: Asn,
+        /// The ingress neighbor.
+        from: Asn,
+        /// The requested egress neighbor.
+        to: Asn,
+    },
+}
+
+impl fmt::Display for ForwardingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForwardingError::MalformedPath { reason } => {
+                write!(f, "malformed header path: {reason}")
+            }
+            ForwardingError::NotAuthorized { at, from, to } => {
+                write!(f, "{at} refuses to forward {from} → {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForwardingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let err = ForwardingError::NotAuthorized {
+            at: Asn::new(5),
+            from: Asn::new(4),
+            to: Asn::new(2),
+        };
+        let text = err.to_string();
+        assert!(text.contains("AS5") && text.contains("AS4") && text.contains("AS2"));
+        assert!(PanError::NoPath {
+            src: Asn::new(1),
+            dst: Asn::new(2)
+        }
+        .to_string()
+        .contains("AS1"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Header-embedded packet forwarding — the property that makes PANs
+//! stable without the Gao–Rexford conditions (§II).
+//!
+//! A [`Packet`] carries its complete AS-level path; every transit AS
+//! checks its [`AuthorizationTable`] and, if the `(ingress, egress)`
+//! pair is allowed, advances the packet's cursor. Because the cursor
+//! **strictly increases**, forwarding terminates after exactly
+//! `path.len() − 1` hops and can never loop — in contrast to BGP, where
+//! a transit AS's deviation from the advertised route can create loops.
+
+use serde::{Deserialize, Serialize};
+
+use pan_core::Agreement;
+use pan_topology::{AsGraph, Asn};
+
+use crate::{AuthorizationTable, ForwardingError};
+
+/// A data packet with its header-embedded forwarding path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    path: Vec<Asn>,
+    cursor: usize,
+}
+
+impl Packet {
+    /// Creates a packet for the given AS-level path (source first).
+    #[must_use]
+    pub fn new(path: Vec<Asn>) -> Self {
+        Packet { path, cursor: 0 }
+    }
+
+    /// The embedded path.
+    #[must_use]
+    pub fn path(&self) -> &[Asn] {
+        &self.path
+    }
+
+    /// The AS currently holding the packet.
+    #[must_use]
+    pub fn current(&self) -> Option<Asn> {
+        self.path.get(self.cursor).copied()
+    }
+
+    /// Returns `true` once the packet reached the destination.
+    #[must_use]
+    pub fn delivered(&self) -> bool {
+        !self.path.is_empty() && self.cursor == self.path.len() - 1
+    }
+}
+
+/// A successful delivery report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Number of inter-AS hops traversed (`path.len() − 1`).
+    pub hops_traversed: usize,
+}
+
+/// The forwarding plane: a topology plus the authorization state of all
+/// ASes.
+#[derive(Debug, Clone)]
+pub struct Network {
+    graph: AsGraph,
+    authorization: AuthorizationTable,
+}
+
+impl Network {
+    /// Creates a network with default (GRC-conforming) authorization.
+    #[must_use]
+    pub fn new(graph: AsGraph) -> Self {
+        Network {
+            graph,
+            authorization: AuthorizationTable::new(),
+        }
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// The authorization table.
+    #[must_use]
+    pub fn authorization(&self) -> &AuthorizationTable {
+        &self.authorization
+    }
+
+    /// Mutable access to the authorization table.
+    pub fn authorization_mut(&mut self) -> &mut AuthorizationTable {
+        &mut self.authorization
+    }
+
+    /// Authorizes all new segments of a concluded agreement.
+    pub fn authorize_agreement(&mut self, agreement: &Agreement) {
+        self.authorization.grant_agreement(&self.graph, agreement);
+    }
+
+    /// Validates a header path: at least two hops, loop-free, and every
+    /// consecutive pair adjacent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForwardingError::MalformedPath`] describing the defect.
+    pub fn validate_path(&self, path: &[Asn]) -> Result<(), ForwardingError> {
+        if path.len() < 2 {
+            return Err(ForwardingError::MalformedPath {
+                reason: "paths need at least a source and a destination".to_owned(),
+            });
+        }
+        let mut sorted = path.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ForwardingError::MalformedPath {
+                reason: "header paths must be loop-free".to_owned(),
+            });
+        }
+        for pair in path.windows(2) {
+            if self.graph.link_between(pair[0], pair[1]).is_none() {
+                return Err(ForwardingError::MalformedPath {
+                    reason: format!("{} and {} are not adjacent", pair[0], pair[1]),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Forwards a packet one hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForwardingError::NotAuthorized`] if the current transit
+    /// AS refuses the (ingress, egress) pair, and
+    /// [`ForwardingError::MalformedPath`] if the packet is already
+    /// delivered or empty.
+    pub fn step(&self, packet: &mut Packet) -> Result<(), ForwardingError> {
+        if packet.delivered() || packet.path.is_empty() {
+            return Err(ForwardingError::MalformedPath {
+                reason: "packet has no next hop".to_owned(),
+            });
+        }
+        let here = packet.path[packet.cursor];
+        let next = packet.path[packet.cursor + 1];
+        // Transit authorization applies to intermediate ASes only: the
+        // source emits its own traffic; the destination consumes it.
+        if packet.cursor > 0 {
+            let prev = packet.path[packet.cursor - 1];
+            if !self.authorization.allows(&self.graph, here, prev, next) {
+                return Err(ForwardingError::NotAuthorized {
+                    at: here,
+                    from: prev,
+                    to: next,
+                });
+            }
+        }
+        packet.cursor += 1;
+        Ok(())
+    }
+
+    /// Sends a packet along `path`, validating the header first and
+    /// stepping until delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation or authorization error encountered.
+    pub fn send(&self, path: &[Asn]) -> Result<Delivery, ForwardingError> {
+        self.validate_path(path)?;
+        let mut packet = Packet::new(path.to_vec());
+        let mut hops = 0usize;
+        while !packet.delivered() {
+            self.step(&mut packet)?;
+            hops += 1;
+            debug_assert!(hops <= path.len(), "cursor strictly advances");
+        }
+        Ok(Delivery {
+            hops_traversed: hops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn network() -> Network {
+        Network::new(fig1())
+    }
+
+    #[test]
+    fn grc_conforming_paths_deliver() {
+        let net = network();
+        // H up D up A down? A–B peer… H → D → A → B → E → I is valley-free.
+        let path = [asn('H'), asn('D'), asn('A'), asn('B'), asn('E'), asn('I')];
+        let delivery = net.send(&path).unwrap();
+        assert_eq!(delivery.hops_traversed, 5);
+    }
+
+    #[test]
+    fn valley_paths_are_refused_without_agreements() {
+        let net = network();
+        let err = net.send(&[asn('D'), asn('E'), asn('B')]).unwrap_err();
+        assert_eq!(
+            err,
+            ForwardingError::NotAuthorized {
+                at: asn('E'),
+                from: asn('D'),
+                to: asn('B'),
+            }
+        );
+    }
+
+    #[test]
+    fn agreement_authorizes_the_papers_paths() {
+        let mut net = network();
+        let ma = Agreement::mutuality(net.graph(), asn('D'), asn('E')).unwrap();
+        net.authorize_agreement(&ma);
+        for path in [
+            vec![asn('D'), asn('E'), asn('B')],
+            vec![asn('D'), asn('E'), asn('F')],
+            vec![asn('E'), asn('D'), asn('A')],
+            vec![asn('E'), asn('D'), asn('C')],
+        ] {
+            assert!(net.send(&path).is_ok(), "path {path:?} should deliver");
+        }
+        // Extended by the customer: H → D → E → B (H is D's customer, so
+        // D's hop is GRC-fine; E's hop is agreement-authorized).
+        assert!(net
+            .send(&[asn('H'), asn('D'), asn('E'), asn('B')])
+            .is_ok());
+    }
+
+    #[test]
+    fn malformed_paths_are_rejected() {
+        let net = network();
+        assert!(matches!(
+            net.send(&[asn('D')]),
+            Err(ForwardingError::MalformedPath { .. })
+        ));
+        assert!(matches!(
+            net.send(&[asn('D'), asn('E'), asn('D')]),
+            Err(ForwardingError::MalformedPath { .. })
+        ));
+        assert!(matches!(
+            net.send(&[asn('H'), asn('I')]),
+            Err(ForwardingError::MalformedPath { .. })
+        ));
+    }
+
+    #[test]
+    fn forwarding_terminates_in_path_length_hops() {
+        // The anti-loop theorem: delivery always takes exactly
+        // path.len() − 1 steps, regardless of policies.
+        let mut net = network();
+        let ma = Agreement::mutuality(net.graph(), asn('D'), asn('E')).unwrap();
+        net.authorize_agreement(&ma);
+        let path = [asn('H'), asn('D'), asn('E'), asn('B'), asn('G')];
+        let delivery = net.send(&path).unwrap();
+        assert_eq!(delivery.hops_traversed, path.len() - 1);
+    }
+
+    #[test]
+    fn packet_cursor_reports_position() {
+        let net = network();
+        let mut packet = Packet::new(vec![asn('H'), asn('D'), asn('A')]);
+        assert_eq!(packet.current(), Some(asn('H')));
+        assert!(!packet.delivered());
+        net.step(&mut packet).unwrap();
+        assert_eq!(packet.current(), Some(asn('D')));
+        net.step(&mut packet).unwrap();
+        assert!(packet.delivered());
+        assert!(net.step(&mut packet).is_err(), "no forwarding past delivery");
+    }
+
+    #[test]
+    fn revoking_an_agreement_stops_its_paths() {
+        let mut net = network();
+        let ma = Agreement::mutuality(net.graph(), asn('D'), asn('E')).unwrap();
+        net.authorize_agreement(&ma);
+        assert!(net.send(&[asn('D'), asn('E'), asn('B')]).is_ok());
+        net.authorization_mut().revoke(asn('E'), asn('D'), asn('B'));
+        assert!(net.send(&[asn('D'), asn('E'), asn('B')]).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! A path-aware network (PAN) simulator in the style of SCION.
+//!
+//! §II of Scherrer et al. (DSN 2021) rests on one property of PAN
+//! architectures: **packets are forwarded along the path embedded in
+//! their header**, so the next-hop principle of BGP — and with it the
+//! need for the Gao–Rexford conditions — disappears. This crate builds
+//! the substrate demonstrating that property:
+//!
+//! - [`beaconing`]: path-segment construction beaconing (PCBs originate
+//!   at the provider-free core and flow down provider–customer links),
+//!   yielding up-/down-segments.
+//! - [`Segment`] and [`PathRegistry`]: segment registration and lookup,
+//!   including agreement segments created by mutuality-based agreements.
+//! - [`AuthorizationTable`]: per-AS forwarding authorization. By default
+//!   an AS forwards only GRC-conforming (valley-free) transit; concluding
+//!   an [`Agreement`](pan_core::Agreement) authorizes exactly the new
+//!   segments it creates.
+//! - [`Network`] forwarding: packets carry their full AS path; each hop
+//!   checks authorization and advances the path cursor — forwarding
+//!   provably terminates and never loops, even on GRC-violating paths.
+//!
+//! # Example: the paper's D–E–B path
+//!
+//! ```
+//! use pan_core::Agreement;
+//! use pan_sim::{Network, ForwardingError};
+//! use pan_topology::fixtures::{asn, fig1};
+//!
+//! let graph = fig1();
+//! let mut network = Network::new(graph);
+//!
+//! // Without an agreement, E refuses to carry D's traffic to its
+//! // provider B (a GRC violation, economically irrational for E alone).
+//! let path = [asn('D'), asn('E'), asn('B')];
+//! assert!(matches!(
+//!     network.send(&path),
+//!     Err(ForwardingError::NotAuthorized { at, .. }) if at == asn('E')
+//! ));
+//!
+//! // Concluding the Eq. (6) mutuality-based agreement authorizes it.
+//! let ma = Agreement::mutuality(network.graph(), asn('D'), asn('E'))?;
+//! network.authorize_agreement(&ma);
+//! let delivery = network.send(&path)?;
+//! assert_eq!(delivery.hops_traversed, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod authorization;
+mod error;
+mod forwarding;
+mod registry;
+mod segment;
+
+pub mod beaconing;
+
+pub use authorization::AuthorizationTable;
+pub use error::{ForwardingError, PanError};
+pub use forwarding::{Delivery, Network, Packet};
+pub use registry::PathRegistry;
+pub use segment::{Segment, SegmentKind};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PanError>;

@@ -1,0 +1,197 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::Asn;
+
+use crate::{Segment, SegmentKind};
+
+/// A path-server registry: segments registered per destination AS, as
+/// SCION path servers store up-/down-segments for lookup by end-hosts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PathRegistry {
+    /// Segments keyed by their **first** AS (the AS they are registered
+    /// for), in deterministic order.
+    by_as: BTreeMap<Asn, Vec<Segment>>,
+}
+
+impl PathRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a segment under its first AS. Duplicate registrations
+    /// are ignored.
+    pub fn register(&mut self, segment: Segment) {
+        let entry = self.by_as.entry(segment.first()).or_default();
+        if !entry.contains(&segment) {
+            entry.push(segment);
+        }
+    }
+
+    /// All segments registered for `asn` (those starting at `asn`).
+    #[must_use]
+    pub fn segments_of(&self, asn: Asn) -> &[Segment] {
+        self.by_as.get(&asn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Segments of `asn` with the given kind.
+    pub fn segments_of_kind(
+        &self,
+        asn: Asn,
+        kind: SegmentKind,
+    ) -> impl Iterator<Item = &Segment> + '_ {
+        self.segments_of(asn)
+            .iter()
+            .filter(move |s| s.kind() == kind)
+    }
+
+    /// Total number of registered segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_as.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the registry holds no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_as.is_empty()
+    }
+
+    /// Joins an up-segment of `src` with a (reversed) up-segment of `dst`
+    /// that ends at the same core AS — or, if their core ASes differ but
+    /// are connected by a registered core-segment, splices that
+    /// core-segment in between (the standard SCION up ⋈ core ⋈ down
+    /// combination). Agreement segments reaching `dst` directly are also
+    /// returned.
+    ///
+    /// Returns all distinct loop-free joined paths, shortest first.
+    #[must_use]
+    pub fn lookup_paths(&self, src: Asn, dst: Asn) -> Vec<Vec<Asn>> {
+        let mut paths: Vec<Vec<Asn>> = Vec::new();
+        // Direct agreement/up segments from src to dst.
+        for segment in self.segments_of(src) {
+            if segment.last() == dst {
+                paths.push(segment.hops().to_vec());
+            }
+        }
+        for up in self.segments_of_kind(src, SegmentKind::Up) {
+            for dst_up in self.segments_of_kind(dst, SegmentKind::Up) {
+                if up.last() == dst_up.last() {
+                    // Shared core AS: up ⋈ down.
+                    let mut joined = up.hops().to_vec();
+                    joined.extend(dst_up.hops().iter().rev().skip(1));
+                    push_if_loop_free(&mut paths, joined);
+                } else {
+                    // Distinct cores: splice a registered core-segment.
+                    for core in self.segments_of_kind(up.last(), SegmentKind::Core) {
+                        if core.last() != dst_up.last() {
+                            continue;
+                        }
+                        let mut joined = up.hops().to_vec();
+                        joined.extend(core.hops().iter().skip(1));
+                        joined.extend(dst_up.hops().iter().rev().skip(1));
+                        push_if_loop_free(&mut paths, joined);
+                    }
+                }
+            }
+        }
+        paths.sort_by_key(|p| (p.len(), p.clone()));
+        paths.dedup();
+        paths
+    }
+}
+
+/// Appends `joined` to `paths` if it revisits no AS.
+fn push_if_loop_free(paths: &mut Vec<Vec<Asn>>, joined: Vec<Asn>) {
+    let mut sorted = joined.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).all(|w| w[0] != w[1]) {
+        paths.push(joined);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn seg(kind: SegmentKind, hops: &[char]) -> Segment {
+        let g = fig1();
+        Segment::new(&g, kind, hops.iter().map(|&c| asn(c)).collect()).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = PathRegistry::new();
+        let s = seg(SegmentKind::Up, &['H', 'D', 'A']);
+        reg.register(s.clone());
+        reg.register(s.clone());
+        assert_eq!(reg.len(), 1, "duplicates ignored");
+        assert_eq!(reg.segments_of(asn('H')), &[s]);
+        assert!(reg.segments_of(asn('D')).is_empty());
+    }
+
+    #[test]
+    fn join_over_shared_core() {
+        let mut reg = PathRegistry::new();
+        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(seg(SegmentKind::Up, &['G', 'B', 'A']));
+        let paths = reg.lookup_paths(asn('H'), asn('G'));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(
+            paths[0],
+            vec![asn('H'), asn('D'), asn('A'), asn('B'), asn('G')]
+        );
+    }
+
+    #[test]
+    fn no_shared_core_no_path() {
+        let mut reg = PathRegistry::new();
+        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(seg(SegmentKind::Up, &['I', 'E', 'B']));
+        assert!(reg.lookup_paths(asn('H'), asn('I')).is_empty());
+    }
+
+    #[test]
+    fn core_segment_splices_distinct_cores() {
+        let mut reg = PathRegistry::new();
+        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(seg(SegmentKind::Up, &['I', 'E', 'B']));
+        reg.register(seg(SegmentKind::Core, &['A', 'B']));
+        reg.register(seg(SegmentKind::Core, &['B', 'A']));
+        let paths = reg.lookup_paths(asn('H'), asn('I'));
+        assert_eq!(
+            paths,
+            vec![vec![asn('H'), asn('D'), asn('A'), asn('B'), asn('E'), asn('I')]]
+        );
+        // And the reverse direction works symmetrically.
+        let back = reg.lookup_paths(asn('I'), asn('H'));
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].first(), Some(&asn('I')));
+        assert_eq!(back[0].last(), Some(&asn('H')));
+    }
+
+    #[test]
+    fn agreement_segments_are_direct_paths() {
+        let mut reg = PathRegistry::new();
+        reg.register(seg(SegmentKind::Agreement, &['D', 'E', 'B']));
+        let paths = reg.lookup_paths(asn('D'), asn('B'));
+        assert_eq!(paths, vec![vec![asn('D'), asn('E'), asn('B')]]);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut reg = PathRegistry::new();
+        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(seg(SegmentKind::Agreement, &['H', 'D', 'C']));
+        assert_eq!(reg.segments_of_kind(asn('H'), SegmentKind::Up).count(), 1);
+        assert_eq!(
+            reg.segments_of_kind(asn('H'), SegmentKind::Agreement).count(),
+            1
+        );
+        assert_eq!(reg.len(), 2);
+    }
+}

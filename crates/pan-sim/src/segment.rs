@@ -1,0 +1,177 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::{PanError, Result};
+
+/// The provenance of a path segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// From a non-core AS up to a core (provider-free) AS, discovered by
+    /// beaconing.
+    Up,
+    /// From a core AS down to a non-core AS (an up-segment reversed).
+    Down,
+    /// Between two core ASes over core peering links.
+    Core,
+    /// Created and authorized by an interconnection agreement
+    /// (mutuality-based or classic peering).
+    Agreement,
+}
+
+impl fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentKind::Up => write!(f, "up"),
+            SegmentKind::Down => write!(f, "down"),
+            SegmentKind::Core => write!(f, "core"),
+            SegmentKind::Agreement => write!(f, "agreement"),
+        }
+    }
+}
+
+/// A provider-acknowledged path segment: a loop-free sequence of adjacent
+/// ASes that end-hosts may combine into end-to-end paths.
+///
+/// In SCION terms this corresponds to a path-segment of hop fields; the
+/// cryptographic MACs that make hop fields unforgeable are out of scope
+/// here — authorization is checked explicitly by the
+/// [`AuthorizationTable`](crate::AuthorizationTable) at forwarding time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    kind: SegmentKind,
+    hops: Vec<Asn>,
+}
+
+impl Segment {
+    /// Creates a segment after validating adjacency and loop-freeness
+    /// against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PanError::InvalidSegment`] for paths that are shorter
+    /// than two hops, revisit an AS, or jump between non-adjacent ASes.
+    pub fn new(graph: &AsGraph, kind: SegmentKind, hops: Vec<Asn>) -> Result<Self> {
+        if hops.len() < 2 {
+            return Err(PanError::InvalidSegment {
+                reason: "segments need at least two hops".to_owned(),
+            });
+        }
+        let mut sorted = hops.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(PanError::InvalidSegment {
+                reason: "segments must be loop-free".to_owned(),
+            });
+        }
+        for pair in hops.windows(2) {
+            if graph.link_between(pair[0], pair[1]).is_none() {
+                return Err(PanError::InvalidSegment {
+                    reason: format!("{} and {} are not adjacent", pair[0], pair[1]),
+                });
+            }
+        }
+        Ok(Segment { kind, hops })
+    }
+
+    /// The segment kind.
+    #[must_use]
+    pub fn kind(&self) -> SegmentKind {
+        self.kind
+    }
+
+    /// The hops, first AS first.
+    #[must_use]
+    pub fn hops(&self) -> &[Asn] {
+        &self.hops
+    }
+
+    /// First AS of the segment.
+    #[must_use]
+    pub fn first(&self) -> Asn {
+        self.hops[0]
+    }
+
+    /// Last AS of the segment.
+    #[must_use]
+    pub fn last(&self) -> Asn {
+        *self.hops.last().expect("segments are non-empty")
+    }
+
+    /// Number of ASes on the segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Segments always have at least two hops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The segment reversed (an up-segment becomes a down-segment and
+    /// vice versa; core and agreement segments keep their kind).
+    #[must_use]
+    pub fn reversed(&self) -> Segment {
+        let kind = match self.kind {
+            SegmentKind::Up => SegmentKind::Down,
+            SegmentKind::Down => SegmentKind::Up,
+            other => other,
+        };
+        let mut hops = self.hops.clone();
+        hops.reverse();
+        Segment { kind, hops }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.hops.iter().map(ToString::to_string).collect();
+        write!(f, "[{} {}]", self.kind, parts.join(" → "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+
+    #[test]
+    fn validation() {
+        let g = fig1();
+        assert!(Segment::new(&g, SegmentKind::Up, vec![asn('H')]).is_err());
+        assert!(Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('E')]).is_err());
+        assert!(
+            Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('H')]).is_err()
+        );
+        assert!(
+            Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('A')]).is_ok()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let g = fig1();
+        let s = Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('A')]).unwrap();
+        assert_eq!(s.first(), asn('H'));
+        assert_eq!(s.last(), asn('A'));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.kind(), SegmentKind::Up);
+        assert!(s.to_string().contains("up"));
+    }
+
+    #[test]
+    fn reversal_flips_direction_and_kind() {
+        let g = fig1();
+        let up = Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('A')]).unwrap();
+        let down = up.reversed();
+        assert_eq!(down.kind(), SegmentKind::Down);
+        assert_eq!(down.hops(), &[asn('A'), asn('D'), asn('H')]);
+        assert_eq!(down.reversed(), up);
+        let core = Segment::new(&g, SegmentKind::Core, vec![asn('A'), asn('B')]).unwrap();
+        assert_eq!(core.reversed().kind(), SegmentKind::Core);
+    }
+}

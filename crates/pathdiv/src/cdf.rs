@@ -1,0 +1,194 @@
+//! Empirical cumulative distribution functions for figure rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// # Example
+///
+/// ```
+/// use pan_pathdiv::EmpiricalCdf;
+///
+/// let cdf = EmpiricalCdf::from_samples(vec![1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.cdf(0.5), 0.0);
+/// assert_eq!(cdf.cdf(2.0), 0.75);
+/// assert_eq!(cdf.cdf(4.0), 1.0);
+/// assert_eq!(cdf.survival(1.0), 0.75); // strictly greater than 1.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    #[must_use]
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|v| !v.is_nan()).collect();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        EmpiricalCdf { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P[X ≤ x]`; 0 for an empty sample.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P[X > x] = 1 − cdf(x)`.
+    #[must_use]
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), `None` for an empty sample.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// The median, `None` for an empty sample.
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Mean of the samples, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// `(x, F(x))` plot points: one per distinct sample value.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some(last) if last.0 == v => last.1 = y,
+                _ => points.push((v, y)),
+            }
+        }
+        points
+    }
+}
+
+impl FromIterator<f64> for EmpiricalCdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        EmpiricalCdf::from_samples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_cdf() {
+        let cdf = EmpiricalCdf::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.cdf(0.0), 0.0);
+        assert!((cdf.cdf(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.cdf(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = EmpiricalCdf::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(cdf.median(), Some(50.0));
+        assert_eq!(cdf.quantile(0.25), Some(25.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = EmpiricalCdf::from_samples(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.cdf(1.0), 0.0);
+        assert_eq!(cdf.median(), None);
+        assert_eq!(cdf.mean(), None);
+        assert!(cdf.points().is_empty());
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let cdf = EmpiricalCdf::from_samples(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_merge_duplicates() {
+        let cdf = EmpiricalCdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        let points = cdf.points();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1], (2.0, 0.75));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let cdf: EmpiricalCdf = [1.0, 2.0].into_iter().collect();
+        assert_eq!(cdf.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(mut samples in prop::collection::vec(-100.0..100.0f64, 1..50)) {
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let cdf = EmpiricalCdf::from_samples(samples.clone());
+            let mut prev = 0.0;
+            for step in -110..110 {
+                let x = step as f64;
+                let y = cdf.cdf(x);
+                prop_assert!(y >= prev - 1e-12);
+                prev = y;
+            }
+            prop_assert_eq!(cdf.cdf(150.0), 1.0);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Per-AS path-diversity statistics: the data behind Fig. 3, Fig. 4, and
+//! the aggregate numbers of §VI-A.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::length3::Length3Enumerator;
+
+/// Configuration of the sampled diversity analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityConfig {
+    /// Number of randomly chosen source ASes (the paper uses 500).
+    pub sample_size: usize,
+    /// RNG seed for the sample.
+    pub seed: u64,
+    /// The `Top-n` partial-conclusion scenarios to evaluate
+    /// (the paper uses 1, 5, and 50).
+    pub top_n: Vec<usize>,
+}
+
+impl Default for DiversityConfig {
+    fn default() -> Self {
+        DiversityConfig {
+            sample_size: 500,
+            seed: 42,
+            top_n: vec![1, 5, 50],
+        }
+    }
+}
+
+/// Path-diversity statistics of one source AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsDiversity {
+    /// The analyzed AS.
+    pub asn: Asn,
+    /// GRC-conforming length-3 paths starting at the AS.
+    pub grc_paths: usize,
+    /// Destinations reachable over GRC length-3 paths.
+    pub grc_destinations: usize,
+    /// Directly gained MA paths (the `MA*` family).
+    pub ma_direct_paths: usize,
+    /// All MA paths the AS is an endpoint of (direct ∪ indirect).
+    pub ma_all_paths: usize,
+    /// Destinations reachable over length-3 paths if **all** MAs are
+    /// concluded (GRC ∪ MA destinations).
+    pub ma_all_destinations: usize,
+    /// Destinations reachable counting only directly gained MA paths.
+    pub ma_direct_destinations: usize,
+    /// For each configured `n`: directly gained paths when only the `n`
+    /// most productive MAs are concluded.
+    pub top_n_paths: Vec<(usize, usize)>,
+    /// For each configured `n`: reachable destinations in the `Top-n`
+    /// scenario (GRC ∪ top-n MA destinations).
+    pub top_n_destinations: Vec<(usize, usize)>,
+}
+
+impl AsDiversity {
+    /// Additional length-3 paths thanks to MAs (the §VI-A statistic).
+    #[must_use]
+    pub fn additional_paths(&self) -> usize {
+        self.ma_all_paths
+    }
+
+    /// Additional nearby destinations thanks to MAs.
+    #[must_use]
+    pub fn additional_destinations(&self) -> usize {
+        self.ma_all_destinations - self.grc_destinations
+    }
+
+    /// Total length-3 paths with all MAs concluded (the Fig. 3 `MA` series).
+    #[must_use]
+    pub fn total_paths_full_ma(&self) -> usize {
+        self.grc_paths + self.ma_all_paths
+    }
+
+    /// Total length-3 paths counting only direct gains (the `MA*` series).
+    #[must_use]
+    pub fn total_paths_direct_ma(&self) -> usize {
+        self.grc_paths + self.ma_direct_paths
+    }
+}
+
+/// The full report over a sample of ASes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityReport {
+    /// Per-AS statistics, in sample order.
+    pub per_as: Vec<AsDiversity>,
+    /// The configured `Top-n` values.
+    pub top_n: Vec<usize>,
+}
+
+impl DiversityReport {
+    /// Mean number of additional length-3 paths per AS (§VI-A reports
+    /// 22,891 on the full CAIDA topology).
+    #[must_use]
+    pub fn mean_additional_paths(&self) -> f64 {
+        mean(self.per_as.iter().map(|a| a.additional_paths() as f64))
+    }
+
+    /// Maximum number of additional length-3 paths over the sample.
+    #[must_use]
+    pub fn max_additional_paths(&self) -> usize {
+        self.per_as
+            .iter()
+            .map(AsDiversity::additional_paths)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean number of additional reachable destinations (§VI-A: 2,181).
+    #[must_use]
+    pub fn mean_additional_destinations(&self) -> f64 {
+        mean(self.per_as.iter().map(|a| a.additional_destinations() as f64))
+    }
+
+    /// Maximum number of additional destinations over the sample.
+    #[must_use]
+    pub fn max_additional_destinations(&self) -> usize {
+        self.per_as
+            .iter()
+            .map(AsDiversity::additional_destinations)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Samples `config.sample_size` ASes uniformly (seeded) and analyzes each.
+#[must_use]
+pub fn analyze_sample(graph: &AsGraph, config: &DiversityConfig) -> DiversityReport {
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let mut indices: Vec<u32> = (0..graph.node_count() as u32).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(config.sample_size.min(graph.node_count()));
+
+    let enumerator = Length3Enumerator::new(graph);
+    let mut stamp = vec![0u32; graph.node_count()];
+    let mut stamp_gen = 0u32;
+    let per_as = indices
+        .iter()
+        .map(|&src| analyze_as(graph, &enumerator, src, config, &mut stamp, &mut stamp_gen))
+        .collect();
+    DiversityReport {
+        per_as,
+        top_n: config.top_n.clone(),
+    }
+}
+
+/// Analyzes a single AS (exposed for targeted queries and tests).
+#[must_use]
+pub fn analyze_one(graph: &AsGraph, asn: Asn, config: &DiversityConfig) -> Option<AsDiversity> {
+    let src = graph.index_of(asn).ok()?;
+    let enumerator = Length3Enumerator::new(graph);
+    let mut stamp = vec![0u32; graph.node_count()];
+    let mut stamp_gen = 0u32;
+    Some(analyze_as(
+        graph,
+        &enumerator,
+        src,
+        config,
+        &mut stamp,
+        &mut stamp_gen,
+    ))
+}
+
+fn analyze_as(
+    graph: &AsGraph,
+    enumerator: &Length3Enumerator<'_>,
+    src: u32,
+    config: &DiversityConfig,
+    stamp: &mut [u32],
+    stamp_gen: &mut u32,
+) -> AsDiversity {
+    // GRC paths and destinations.
+    *stamp_gen += 1;
+    let gen_grc = *stamp_gen;
+    let mut grc_paths = 0usize;
+    let mut grc_destinations = 0usize;
+    enumerator.for_each_grc(src, |_, dst| {
+        grc_paths += 1;
+        if stamp[dst as usize] != gen_grc {
+            stamp[dst as usize] = gen_grc;
+            grc_destinations += 1;
+        }
+    });
+
+    // All-MA paths and the union destination set. Destinations already
+    // reachable via GRC keep their stamp from the pass above, so newly
+    // stamped ones are the *additional* destinations.
+    let mut ma_all_paths = 0usize;
+    let mut additional_destinations = 0usize;
+    enumerator.for_each_ma_all(src, |_, dst| {
+        ma_all_paths += 1;
+        if stamp[dst as usize] != gen_grc {
+            stamp[dst as usize] = gen_grc;
+            additional_destinations += 1;
+        }
+    });
+    let ma_all_destinations = grc_destinations + additional_destinations;
+
+    // Direct MA paths and destinations (fresh stamp generation seeded
+    // with the GRC destinations again).
+    *stamp_gen += 1;
+    let gen_direct = *stamp_gen;
+    enumerator.for_each_grc(src, |_, dst| {
+        stamp[dst as usize] = gen_direct;
+    });
+    let mut ma_direct_paths = 0usize;
+    let mut direct_additional_dests = 0usize;
+    enumerator.for_each_ma_direct(src, |_, dst| {
+        ma_direct_paths += 1;
+        if stamp[dst as usize] != gen_direct {
+            stamp[dst as usize] = gen_direct;
+            direct_additional_dests += 1;
+        }
+    });
+    let ma_direct_destinations = grc_destinations + direct_additional_dests;
+
+    // Top-n scenarios: conclude only the n own-MAs yielding the most new
+    // paths.
+    let mut by_peer = enumerator.ma_direct_by_peer(src);
+    by_peer.sort_by_key(|&(peer, count)| (std::cmp::Reverse(count), peer));
+    let mut top_n_paths = Vec::with_capacity(config.top_n.len());
+    let mut top_n_destinations = Vec::with_capacity(config.top_n.len());
+    for &n in &config.top_n {
+        let chosen: Vec<u32> = by_peer.iter().take(n).map(|&(peer, _)| peer).collect();
+        let paths: usize = by_peer.iter().take(n).map(|&(_, count)| count).sum();
+        top_n_paths.push((n, paths));
+
+        // Destinations: GRC ∪ targets via the chosen peers.
+        *stamp_gen += 1;
+        let gen_top = *stamp_gen;
+        let mut dests = 0usize;
+        enumerator.for_each_grc(src, |_, dst| {
+            if stamp[dst as usize] != gen_top {
+                stamp[dst as usize] = gen_top;
+                dests += 1;
+            }
+        });
+        enumerator.for_each_ma_direct(src, |mid, dst| {
+            if chosen.contains(&mid) && stamp[dst as usize] != gen_top {
+                stamp[dst as usize] = gen_top;
+                dests += 1;
+            }
+        });
+        top_n_destinations.push((n, dests));
+    }
+
+    AsDiversity {
+        asn: graph.asn_at(src),
+        grc_paths,
+        grc_destinations,
+        ma_direct_paths,
+        ma_all_paths,
+        ma_all_destinations,
+        ma_direct_destinations,
+        top_n_paths,
+        top_n_destinations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_datasets::{InternetConfig, SyntheticInternet};
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn config(sample: usize) -> DiversityConfig {
+        DiversityConfig {
+            sample_size: sample,
+            seed: 1,
+            top_n: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn fig1_d_statistics() {
+        let g = fig1();
+        let d = analyze_one(&g, asn('D'), &config(1)).unwrap();
+        // GRC paths from D: via provider A: A→B (peer of A); via peers C
+        // (no customers) and E: E→I; via customer H: none.
+        assert_eq!(d.grc_paths, 2, "D's GRC paths: D-A-B and D-E-I");
+        assert_eq!(d.grc_destinations, 2);
+        // Direct MA gains: D-E-B, D-E-F.
+        assert_eq!(d.ma_direct_paths, 2);
+        // Indirect gains: D is in C's grant? D ∈ ε(C): MA between C and
+        // its peers (only D) — partner is D itself, excluded. D ∈ π(H):
+        // H has no peers. D ∈ ε(E): MA between E and F grants F access
+        // to D → D gains D-E-F indirectly — already direct (dedup).
+        assert_eq!(d.ma_all_paths, 2);
+        // B is already GRC-reachable via D–A–B, so only F is new.
+        assert_eq!(d.additional_destinations(), 1, "only F is new");
+        assert_eq!(d.total_paths_full_ma(), 4);
+    }
+
+    #[test]
+    fn top_n_is_monotone_and_bounded_by_direct() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 400,
+                ..InternetConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        let report = analyze_sample(
+            &net.graph,
+            &DiversityConfig {
+                sample_size: 60,
+                seed: 2,
+                top_n: vec![1, 5, 50],
+            },
+        );
+        for a in &report.per_as {
+            let counts: Vec<usize> = a.top_n_paths.iter().map(|&(_, c)| c).collect();
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]), "Top-n monotone");
+            assert!(*counts.last().unwrap() <= a.ma_direct_paths);
+            let dests: Vec<usize> = a.top_n_destinations.iter().map(|&(_, c)| c).collect();
+            assert!(dests.windows(2).all(|w| w[0] <= w[1]));
+            assert!(dests[0] >= a.grc_destinations);
+            assert!(*dests.last().unwrap() <= a.ma_direct_destinations);
+        }
+    }
+
+    #[test]
+    fn destinations_are_consistent() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 300,
+                ..InternetConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        let report = analyze_sample(&net.graph, &config(50));
+        for a in &report.per_as {
+            assert!(a.ma_all_destinations >= a.grc_destinations);
+            assert!(a.ma_all_destinations >= a.ma_direct_destinations);
+            assert!(a.ma_direct_destinations >= a.grc_destinations);
+            assert!(a.ma_all_paths >= a.ma_direct_paths);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 200,
+                ..InternetConfig::default()
+            },
+            9,
+        )
+        .unwrap();
+        let a = analyze_sample(&net.graph, &config(30));
+        let b = analyze_sample(&net.graph, &config(30));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mas_add_paths_on_realistic_graphs() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 500,
+                ..InternetConfig::default()
+            },
+            4,
+        )
+        .unwrap();
+        let report = analyze_sample(&net.graph, &config(100));
+        assert!(
+            report.mean_additional_paths() > 0.0,
+            "MAs should create paths on a peering-rich graph"
+        );
+        assert!(report.max_additional_paths() >= report.mean_additional_paths() as usize);
+    }
+
+    #[test]
+    fn sample_larger_than_graph_is_clamped() {
+        let g = fig1();
+        let report = analyze_sample(&g, &config(1000));
+        assert_eq!(report.per_as.len(), 9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure-series builders: turn a [`DiversityReport`] into the exact CDF
+//! series plotted in the paper's Fig. 3 and Fig. 4.
+
+use crate::cdf::EmpiricalCdf;
+use crate::diversity::DiversityReport;
+
+/// A named CDF series of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, matching the paper (`GRC`, `MA* (Top n)`, `MA*`, `MA`).
+    pub name: String,
+    /// The empirical distribution over the sampled ASes.
+    pub cdf: EmpiricalCdf,
+}
+
+/// Builds the Fig. 3 series: total length-3 paths per AS under the
+/// increasing degrees of MA conclusion.
+///
+/// Order: `GRC`, `MA* (Top n)` for each configured `n`, `MA*`, `MA`.
+#[must_use]
+pub fn fig3_series(report: &DiversityReport) -> Vec<Series> {
+    let mut series = vec![Series {
+        name: "GRC".to_owned(),
+        cdf: report.per_as.iter().map(|a| a.grc_paths as f64).collect(),
+    }];
+    for (idx, &n) in report.top_n.iter().enumerate() {
+        series.push(Series {
+            name: format!("MA* (Top {n})"),
+            cdf: report
+                .per_as
+                .iter()
+                .map(|a| (a.grc_paths + a.top_n_paths[idx].1) as f64)
+                .collect(),
+        });
+    }
+    series.push(Series {
+        name: "MA*".to_owned(),
+        cdf: report
+            .per_as
+            .iter()
+            .map(|a| a.total_paths_direct_ma() as f64)
+            .collect(),
+    });
+    series.push(Series {
+        name: "MA".to_owned(),
+        cdf: report
+            .per_as
+            .iter()
+            .map(|a| a.total_paths_full_ma() as f64)
+            .collect(),
+    });
+    series
+}
+
+/// Builds the Fig. 4 series: destinations reachable over length-3 paths.
+#[must_use]
+pub fn fig4_series(report: &DiversityReport) -> Vec<Series> {
+    let mut series = vec![Series {
+        name: "GRC".to_owned(),
+        cdf: report
+            .per_as
+            .iter()
+            .map(|a| a.grc_destinations as f64)
+            .collect(),
+    }];
+    for (idx, &n) in report.top_n.iter().enumerate() {
+        series.push(Series {
+            name: format!("MA* (Top {n})"),
+            cdf: report
+                .per_as
+                .iter()
+                .map(|a| a.top_n_destinations[idx].1 as f64)
+                .collect(),
+        });
+    }
+    series.push(Series {
+        name: "MA*".to_owned(),
+        cdf: report
+            .per_as
+            .iter()
+            .map(|a| a.ma_direct_destinations as f64)
+            .collect(),
+    });
+    series.push(Series {
+        name: "MA".to_owned(),
+        cdf: report
+            .per_as
+            .iter()
+            .map(|a| a.ma_all_destinations as f64)
+            .collect(),
+    });
+    series
+}
+
+/// Checks the stochastic-dominance ordering the paper's figures exhibit:
+/// each successive series must first-order dominate its predecessor
+/// (every quantile at least as large).
+#[must_use]
+pub fn is_stochastically_ordered(series: &[Series]) -> bool {
+    series.windows(2).all(|pair| {
+        let quantiles = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0];
+        quantiles.iter().all(|&q| {
+            let lo = pair[0].cdf.quantile(q).unwrap_or(0.0);
+            let hi = pair[1].cdf.quantile(q).unwrap_or(0.0);
+            hi >= lo
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diversity::{analyze_sample, DiversityConfig};
+    use pan_datasets::{InternetConfig, SyntheticInternet};
+
+    fn report() -> DiversityReport {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 300,
+                ..InternetConfig::default()
+            },
+            21,
+        )
+        .unwrap();
+        analyze_sample(
+            &net.graph,
+            &DiversityConfig {
+                sample_size: 60,
+                seed: 2,
+                top_n: vec![1, 5],
+            },
+        )
+    }
+
+    #[test]
+    fn fig3_series_names_and_count() {
+        let series = fig3_series(&report());
+        let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["GRC", "MA* (Top 1)", "MA* (Top 5)", "MA*", "MA"]);
+        for s in &series {
+            assert_eq!(s.cdf.len(), 60);
+        }
+    }
+
+    #[test]
+    fn fig3_series_are_stochastically_ordered() {
+        assert!(is_stochastically_ordered(&fig3_series(&report())));
+    }
+
+    #[test]
+    fn fig4_series_are_stochastically_ordered() {
+        assert!(is_stochastically_ordered(&fig4_series(&report())));
+    }
+
+    #[test]
+    fn ordering_check_detects_violations() {
+        let good = Series {
+            name: "a".into(),
+            cdf: EmpiricalCdf::from_samples(vec![1.0, 2.0]),
+        };
+        let bad = Series {
+            name: "b".into(),
+            cdf: EmpiricalCdf::from_samples(vec![0.0, 0.5]),
+        };
+        assert!(!is_stochastically_ordered(&[good, bad]));
+    }
+}

@@ -1,0 +1,271 @@
+//! Geodistance analysis of MA paths (§VI-B, Fig. 5).
+//!
+//! The geodistance of a length-3 path `(A₁, ℓ₁₂, A₂, ℓ₂₃, A₃)` is
+//! `d(A₁,ℓ₁₂) + d(ℓ₁₂,ℓ₂₃) + d(ℓ₂₃,A₃)`, minimized over the known
+//! interconnection facilities of the two links (with AS-centroid
+//! midpoints as fallback). Geodistance is a proxy for path latency.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::geo::{GeoAnnotations, GeoPoint};
+use pan_topology::AsGraph;
+
+use crate::cdf::EmpiricalCdf;
+use crate::pair_analysis::{analyze_pairs, fraction_with_at_least, Direction, PairRecord};
+
+/// Configuration of the geodistance analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeodistanceConfig {
+    /// Number of sampled source ASes.
+    pub sample_size: usize,
+    /// RNG seed for the sample.
+    pub seed: u64,
+}
+
+impl Default for GeodistanceConfig {
+    fn default() -> Self {
+        GeodistanceConfig {
+            sample_size: 500,
+            seed: 42,
+        }
+    }
+}
+
+/// The Fig. 5 report: per-pair comparison records plus derived series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeodistanceReport {
+    /// Per-AS-pair records.
+    pub pairs: Vec<PairRecord>,
+}
+
+impl GeodistanceReport {
+    /// Fraction of AS pairs gaining at least `k` MA paths shorter than
+    /// the **minimum** GRC geodistance (Fig. 5a, `< GRC Minimum`).
+    #[must_use]
+    pub fn fraction_below_min(&self, k: usize) -> f64 {
+        fraction_with_at_least(&self.pairs, k, |r| r.ma_beating_best)
+    }
+
+    /// Fraction of AS pairs gaining at least `k` MA paths shorter than
+    /// the **median** GRC geodistance (Fig. 5a, `< GRC Median`).
+    #[must_use]
+    pub fn fraction_below_median(&self, k: usize) -> f64 {
+        fraction_with_at_least(&self.pairs, k, |r| r.ma_beating_median)
+    }
+
+    /// Fraction of AS pairs gaining at least `k` MA paths shorter than
+    /// the **maximum** GRC geodistance (Fig. 5a, `< GRC Maximum`).
+    #[must_use]
+    pub fn fraction_below_max(&self, k: usize) -> f64 {
+        fraction_with_at_least(&self.pairs, k, |r| r.ma_beating_worst)
+    }
+
+    /// CDF over AS pairs of the number of MA paths beating the minimum
+    /// GRC geodistance (the `< GRC Minimum` curve of Fig. 5a).
+    #[must_use]
+    pub fn below_min_cdf(&self) -> EmpiricalCdf {
+        self.pairs
+            .iter()
+            .map(|r| r.ma_beating_best as f64)
+            .collect()
+    }
+
+    /// Relative geodistance reductions over the pairs that improved
+    /// (the Fig. 5b distribution).
+    #[must_use]
+    pub fn reduction_cdf(&self) -> EmpiricalCdf {
+        self.pairs
+            .iter()
+            .filter_map(|r| r.relative_improvement(Direction::LowerIsBetter))
+            .collect()
+    }
+}
+
+/// Precomputed geometry lookup tables for fast path-geodistance queries.
+#[derive(Debug)]
+pub struct GeodistanceIndex {
+    /// AS centroid per dense node index.
+    locations: Vec<Option<GeoPoint>>,
+    /// Candidate interconnection locations per link, keyed by the
+    /// direction-normalized index pair.
+    link_candidates: HashMap<(u32, u32), Vec<GeoPoint>>,
+}
+
+impl GeodistanceIndex {
+    /// Builds the index from geographic annotations.
+    #[must_use]
+    pub fn build(graph: &AsGraph, geo: &GeoAnnotations) -> Self {
+        let locations: Vec<Option<GeoPoint>> = (0..graph.node_count() as u32)
+            .map(|i| geo.as_location(graph.asn_at(i)))
+            .collect();
+        let mut link_candidates = HashMap::with_capacity(graph.link_count());
+        for link in graph.links() {
+            let ia = graph.index_of(link.a).expect("link endpoints are nodes");
+            let ib = graph.index_of(link.b).expect("link endpoints are nodes");
+            let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
+            let facilities = geo.facilities(link.id);
+            let candidates = if facilities.is_empty() {
+                match (locations[ia as usize], locations[ib as usize]) {
+                    (Some(pa), Some(pb)) => {
+                        GeoPoint::centroid(&[pa, pb]).map_or_else(Vec::new, |m| vec![m])
+                    }
+                    _ => Vec::new(),
+                }
+            } else {
+                facilities.to_vec()
+            };
+            link_candidates.insert(key, candidates);
+        }
+        GeodistanceIndex {
+            locations,
+            link_candidates,
+        }
+    }
+
+    /// Geodistance of the length-3 path `src → mid → dst` (dense
+    /// indices), or `None` if annotations are missing.
+    #[must_use]
+    pub fn path_geodistance(&self, src: u32, mid: u32, dst: u32) -> Option<f64> {
+        let p_src = self.locations[src as usize]?;
+        let p_dst = self.locations[dst as usize]?;
+        let key1 = if src <= mid { (src, mid) } else { (mid, src) };
+        let key2 = if mid <= dst { (mid, dst) } else { (dst, mid) };
+        let c1 = self.link_candidates.get(&key1)?;
+        let c2 = self.link_candidates.get(&key2)?;
+        if c1.is_empty() || c2.is_empty() {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        for &f1 in c1 {
+            let head = p_src.distance_km(f1);
+            for &f2 in c2 {
+                let d = head + f1.distance_km(f2) + f2.distance_km(p_dst);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Runs the full Fig. 5 analysis.
+#[must_use]
+pub fn analyze(
+    graph: &AsGraph,
+    geo: &GeoAnnotations,
+    config: &GeodistanceConfig,
+) -> GeodistanceReport {
+    let index = GeodistanceIndex::build(graph, geo);
+    let pairs = analyze_pairs(
+        graph,
+        config.sample_size,
+        config.seed,
+        Direction::LowerIsBetter,
+        |src, mid, dst| index.path_geodistance(src, mid, dst),
+    );
+    GeodistanceReport { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_datasets::{InternetConfig, SyntheticInternet};
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn small_net() -> SyntheticInternet {
+        SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 300,
+                ..InternetConfig::default()
+            },
+            11,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_matches_geo_annotations() {
+        let net = small_net();
+        let index = GeodistanceIndex::build(&net.graph, &net.geo);
+        // Cross-check a handful of adjacent triples against the
+        // GeoAnnotations implementation.
+        let mut checked = 0;
+        'outer: for a in net.graph.ases() {
+            for b in net.graph.peers(a).chain(net.graph.providers(a)) {
+                for c in net.graph.peers(b).chain(net.graph.customers(b)) {
+                    if c == a {
+                        continue;
+                    }
+                    let ia = net.graph.index_of(a).unwrap();
+                    let ib = net.graph.index_of(b).unwrap();
+                    let ic = net.graph.index_of(c).unwrap();
+                    let from_index = index.path_geodistance(ia, ib, ic);
+                    let from_geo = net.geo.length3_geodistance(&net.graph, a, b, c);
+                    match (from_index, from_geo) {
+                        (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                        (None, None) => {}
+                        other => panic!("disagreement: {other:?}"),
+                    }
+                    checked += 1;
+                    if checked > 200 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn report_fractions_are_monotone_in_threshold() {
+        let net = small_net();
+        let report = analyze(
+            &net.graph,
+            &net.geo,
+            &GeodistanceConfig {
+                sample_size: 60,
+                seed: 3,
+            },
+        );
+        assert!(!report.pairs.is_empty());
+        for k in [1, 5, 10] {
+            // Beating the max is easiest, then median, then min.
+            assert!(report.fraction_below_max(k) >= report.fraction_below_median(k));
+            assert!(report.fraction_below_median(k) >= report.fraction_below_min(k));
+        }
+        // Fractions decrease with k.
+        assert!(report.fraction_below_min(1) >= report.fraction_below_min(5));
+    }
+
+    #[test]
+    fn reductions_are_in_unit_interval() {
+        let net = small_net();
+        let report = analyze(
+            &net.graph,
+            &net.geo,
+            &GeodistanceConfig {
+                sample_size: 60,
+                seed: 3,
+            },
+        );
+        let cdf = report.reduction_cdf();
+        if let (Some(min), Some(max)) = (cdf.min(), cdf.max()) {
+            assert!(min > 0.0, "reductions are strictly positive");
+            assert!(max < 1.0, "a path cannot shrink below zero length");
+        }
+    }
+
+    #[test]
+    fn unannotated_graph_yields_no_pairs() {
+        let g = fig1();
+        let geo = GeoAnnotations::new();
+        let report = analyze(&g, &geo, &GeodistanceConfig { sample_size: 9, seed: 1 });
+        assert!(report.pairs.is_empty());
+        assert_eq!(report.fraction_below_min(1), 0.0);
+        // Sanity: asn helper keeps the import used.
+        assert_eq!(asn('A').get(), 1);
+    }
+}

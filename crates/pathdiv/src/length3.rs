@@ -1,0 +1,383 @@
+//! Enumeration of length-3 paths (3 AS hops, 2 inter-AS links).
+//!
+//! §VI derives all results from two path families for a source AS `S`:
+//!
+//! - **GRC paths**: valley-free patterns over two links —
+//!   up·up, up·peer, up·down, peer·down, down·down.
+//! - **MA paths**: created by mutuality-based agreements between peers,
+//!   in which each party grants the other access to its providers and
+//!   peers that are not customers of the partner. `S` gains
+//!   `S → P → X` **directly** from its own MA with peer `P`
+//!   (`X ∈ π(P) ∪ ε(P)`, `X ∉ γ(S) ∪ {S}`), and `S → A → B`
+//!   **indirectly** from the MA between `A` and `B` whenever `S` is in
+//!   the grant of `A` (i.e. `A ∈ ε(S) ∪ γ(S)`, `B ∈ ε(A)`,
+//!   `B ∉ π(S) ∪ {S}`).
+//!
+//! The two families are disjoint from the GRC family (MA patterns are
+//! peer·up, peer·peer, and down·peer — all valley-violating), and the
+//! enumerator deduplicates the peer·peer overlap between direct and
+//! indirect gains.
+//!
+//! All callbacks receive dense node indices (see
+//! [`AsGraph::index_of`](pan_topology::AsGraph::index_of)) for speed; the
+//! enumeration of a source is `O(Σ_mid degree(mid))`.
+
+use pan_topology::AsGraph;
+
+/// Enumerates length-3 paths from single sources over a fixed graph.
+///
+/// Construction is cheap (the graph already stores index-based adjacency);
+/// the struct exists to host scratch space for destination-set queries.
+#[derive(Debug)]
+pub struct Length3Enumerator<'a> {
+    graph: &'a AsGraph,
+}
+
+impl<'a> Length3Enumerator<'a> {
+    /// Creates an enumerator over `graph`.
+    #[must_use]
+    pub fn new(graph: &'a AsGraph) -> Self {
+        Length3Enumerator { graph }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        self.graph
+    }
+
+    /// Visits every GRC-conforming length-3 path `src → mid → dst`.
+    pub fn for_each_grc(&self, src: u32, mut visit: impl FnMut(u32, u32)) {
+        let g = self.graph;
+        // up·{up, peer, down}: mid is a provider of src.
+        for &mid in g.provider_indices(src) {
+            for &dst in g.provider_indices(mid) {
+                if dst != src {
+                    visit(mid, dst);
+                }
+            }
+            for &dst in g.peer_indices(mid) {
+                if dst != src {
+                    visit(mid, dst);
+                }
+            }
+            for &dst in g.customer_indices(mid) {
+                if dst != src {
+                    visit(mid, dst);
+                }
+            }
+        }
+        // peer·down: mid is a peer of src.
+        for &mid in g.peer_indices(src) {
+            for &dst in g.customer_indices(mid) {
+                if dst != src {
+                    visit(mid, dst);
+                }
+            }
+        }
+        // down·down: mid is a customer of src.
+        for &mid in g.customer_indices(src) {
+            for &dst in g.customer_indices(mid) {
+                if dst != src {
+                    visit(mid, dst);
+                }
+            }
+        }
+    }
+
+    /// Visits every **directly gained** MA path `src → peer → dst` from
+    /// `src`'s own mutuality-based agreements, i.e. the `MA*` family.
+    ///
+    /// Targets are the peers' providers and peers, excluding `src` itself
+    /// and `src`'s customers (the §VI grant rule).
+    pub fn for_each_ma_direct(&self, src: u32, mut visit: impl FnMut(u32, u32)) {
+        let g = self.graph;
+        for &mid in g.peer_indices(src) {
+            for &dst in g.provider_indices(mid) {
+                if dst != src && !is_customer_of(g, dst, src) {
+                    visit(mid, dst);
+                }
+            }
+            for &dst in g.peer_indices(mid) {
+                if dst != src && !is_customer_of(g, dst, src) {
+                    visit(mid, dst);
+                }
+            }
+        }
+    }
+
+    /// Visits every **indirectly gained** MA path `src → mid → dst`:
+    /// `src` is in the grant of `mid` towards `dst` (the MA between `mid`
+    /// and `dst` includes the path `dst → mid → src`).
+    ///
+    /// With `dedup_against_direct`, paths that
+    /// [`for_each_ma_direct`](Self::for_each_ma_direct) already yields
+    /// (the peer·peer overlap) are skipped, so the union of the two
+    /// visitors enumerates each MA path exactly once.
+    pub fn for_each_ma_indirect(
+        &self,
+        src: u32,
+        dedup_against_direct: bool,
+        mut visit: impl FnMut(u32, u32),
+    ) {
+        let g = self.graph;
+        // Case 1: mid is a peer of src (src ∈ ε(mid)); MA between mid and
+        // its peer dst grants dst access to src. Path pattern peer·peer.
+        for &mid in g.peer_indices(src) {
+            for &dst in g.peer_indices(mid) {
+                if dst == src || is_provider_of(g, dst, src) {
+                    continue; // src must not be a customer of dst
+                }
+                // Direct enumeration already covers dst ∉ γ(src).
+                if dedup_against_direct && !is_customer_of(g, dst, src) {
+                    continue;
+                }
+                visit(mid, dst);
+            }
+        }
+        // Case 2: mid is a customer of src (src ∈ π(mid)); pattern down·peer.
+        for &mid in g.customer_indices(src) {
+            for &dst in g.peer_indices(mid) {
+                if dst == src || is_provider_of(g, dst, src) {
+                    continue;
+                }
+                visit(mid, dst);
+            }
+        }
+    }
+
+    /// Visits every MA path of `src` (direct ∪ indirect, deduplicated).
+    pub fn for_each_ma_all(&self, src: u32, mut visit: impl FnMut(u32, u32)) {
+        self.for_each_ma_direct(src, &mut visit);
+        self.for_each_ma_indirect(src, true, &mut visit);
+    }
+
+    /// Number of GRC length-3 paths from `src`.
+    #[must_use]
+    pub fn count_grc(&self, src: u32) -> usize {
+        let mut count = 0;
+        self.for_each_grc(src, |_, _| count += 1);
+        count
+    }
+
+    /// Number of directly gained MA paths from `src`.
+    #[must_use]
+    pub fn count_ma_direct(&self, src: u32) -> usize {
+        let mut count = 0;
+        self.for_each_ma_direct(src, |_, _| count += 1);
+        count
+    }
+
+    /// Number of all MA paths from `src` (direct ∪ indirect).
+    #[must_use]
+    pub fn count_ma_all(&self, src: u32) -> usize {
+        let mut count = 0;
+        self.for_each_ma_all(src, |_, _| count += 1);
+        count
+    }
+
+    /// Directly gained MA paths per peer of `src`, as `(peer, count)` —
+    /// the basis of the `Top-n` scenarios.
+    #[must_use]
+    pub fn ma_direct_by_peer(&self, src: u32) -> Vec<(u32, usize)> {
+        let g = self.graph;
+        g.peer_indices(src)
+            .iter()
+            .map(|&mid| {
+                let mut count = 0;
+                for &dst in g.provider_indices(mid) {
+                    if dst != src && !is_customer_of(g, dst, src) {
+                        count += 1;
+                    }
+                }
+                for &dst in g.peer_indices(mid) {
+                    if dst != src && !is_customer_of(g, dst, src) {
+                        count += 1;
+                    }
+                }
+                (mid, count)
+            })
+            .collect()
+    }
+}
+
+/// `a` is a customer of `b` (i.e. `a ∈ γ(b)`).
+fn is_customer_of(graph: &AsGraph, a: u32, b: u32) -> bool {
+    graph.customer_indices(b).binary_search_by_key(
+        &graph.asn_at(a),
+        |&i| graph.asn_at(i),
+    ).is_ok()
+}
+
+/// `a` is a provider of `b` (i.e. `a ∈ π(b)`).
+fn is_provider_of(graph: &AsGraph, a: u32, b: u32) -> bool {
+    graph.provider_indices(b).binary_search_by_key(
+        &graph.asn_at(a),
+        |&i| graph.asn_at(i),
+    ).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::{asn, fig1};
+    use pan_topology::path::is_valley_free;
+    use pan_topology::Asn;
+    use std::collections::BTreeSet;
+
+    fn collect(
+        g: &AsGraph,
+        src: char,
+        f: impl Fn(&Length3Enumerator<'_>, u32, &mut dyn FnMut(u32, u32)),
+    ) -> BTreeSet<(Asn, Asn)> {
+        let e = Length3Enumerator::new(g);
+        let s = g.index_of(asn(src)).unwrap();
+        let mut out = BTreeSet::new();
+        let mut cb = |m: u32, d: u32| {
+            assert!(
+                out.insert((g.asn_at(m), g.asn_at(d))),
+                "duplicate path via {} to {}",
+                g.asn_at(m),
+                g.asn_at(d)
+            );
+        };
+        f(&e, s, &mut cb);
+        out
+    }
+
+    #[test]
+    fn grc_paths_from_h_match_hand_enumeration() {
+        let g = fig1();
+        let paths = collect(&g, 'H', |e, s, cb| e.for_each_grc(s, cb));
+        // H's only neighbor is provider D. Patterns: up·up → A; up·peer →
+        // C, E; up·down → (none: D's customer is H itself).
+        let expected: BTreeSet<_> = [
+            (asn('D'), asn('A')),
+            (asn('D'), asn('C')),
+            (asn('D'), asn('E')),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(paths, expected);
+    }
+
+    #[test]
+    fn all_grc_paths_are_valley_free_and_vice_versa() {
+        let g = fig1();
+        for src in g.ases() {
+            let enumerated = collect(
+                &g,
+                char::from(b'A' + (src.get() - 1) as u8),
+                |e, s, cb| e.for_each_grc(s, cb),
+            );
+            // Cross-check against brute force over all (mid, dst) pairs.
+            for mid in g.ases() {
+                for dst in g.ases() {
+                    if src == mid || mid == dst || src == dst {
+                        continue;
+                    }
+                    let hops = [src, mid, dst];
+                    let vf = is_valley_free(&g, &hops) == Some(true);
+                    let listed = enumerated.contains(&(mid, dst));
+                    assert_eq!(
+                        vf, listed,
+                        "path {src}→{mid}→{dst}: valley-free={vf}, enumerated={listed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_gains_the_papers_direct_ma_paths() {
+        let g = fig1();
+        let direct = collect(&g, 'D', |e, s, cb| e.for_each_ma_direct(s, cb));
+        // D's peers: C (no providers/peers besides D) and E (provider B,
+        // peer F). Grants: from E → B and F.
+        let expected: BTreeSet<_> = [(asn('E'), asn('B')), (asn('E'), asn('F'))]
+            .into_iter()
+            .collect();
+        assert_eq!(direct, expected);
+    }
+
+    #[test]
+    fn b_gains_indirect_paths_from_the_de_agreement() {
+        let g = fig1();
+        // The MA between D and E grants D access to B; B (as subject)
+        // indirectly gains the reverse path B → E → D.
+        let indirect = collect(&g, 'B', |e, s, cb| e.for_each_ma_indirect(s, false, cb));
+        assert!(
+            indirect.contains(&(asn('E'), asn('D'))),
+            "B should gain B→E→D indirectly, got {indirect:?}"
+        );
+    }
+
+    #[test]
+    fn ma_paths_are_never_valley_free() {
+        let g = fig1();
+        for src in g.ases() {
+            let label = char::from(b'A' + (src.get() - 1) as u8);
+            let all = collect(&g, label, |e, s, cb| e.for_each_ma_all(s, cb));
+            for (mid, dst) in all {
+                assert_eq!(
+                    is_valley_free(&g, &[src, mid, dst]),
+                    Some(false),
+                    "MA path {src}→{mid}→{dst} is valley-free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ma_all_deduplicates_direct_and_indirect() {
+        // collect() itself asserts uniqueness; run it for every AS.
+        let g = fig1();
+        for i in 0..g.node_count() {
+            let label = char::from(b'A' + i as u8);
+            let _ = collect(&g, label, |e, s, cb| e.for_each_ma_all(s, cb));
+        }
+    }
+
+    #[test]
+    fn counts_agree_with_visitors() {
+        let g = fig1();
+        let e = Length3Enumerator::new(&g);
+        for idx in 0..g.node_count() as u32 {
+            assert_eq!(e.count_grc(idx), {
+                let mut c = 0;
+                e.for_each_grc(idx, |_, _| c += 1);
+                c
+            });
+            assert_eq!(e.count_ma_all(idx), {
+                let mut c = 0;
+                e.for_each_ma_all(idx, |_, _| c += 1);
+                c
+            });
+        }
+    }
+
+    #[test]
+    fn ma_direct_by_peer_sums_to_direct_count() {
+        let g = fig1();
+        let e = Length3Enumerator::new(&g);
+        for idx in 0..g.node_count() as u32 {
+            let by_peer: usize = e.ma_direct_by_peer(idx).iter().map(|&(_, c)| c).sum();
+            assert_eq!(by_peer, e.count_ma_direct(idx));
+        }
+    }
+
+    #[test]
+    fn grant_excludes_partners_customers() {
+        use pan_topology::{AsGraphBuilder, Relationship};
+        // s peers p; p's provider q is s's customer → the MA between s
+        // and p must not grant s a path to q.
+        let (s, p, q) = (Asn::new(1), Asn::new(2), Asn::new(3));
+        let mut b = AsGraphBuilder::new();
+        b.add_link(s, p, Relationship::PeerToPeer).unwrap();
+        b.add_link(q, p, Relationship::ProviderToCustomer).unwrap();
+        b.add_link(s, q, Relationship::ProviderToCustomer).unwrap();
+        let g = b.build().unwrap();
+        let e = Length3Enumerator::new(&g);
+        assert_eq!(e.count_ma_direct(g.index_of(s).unwrap()), 0);
+    }
+}

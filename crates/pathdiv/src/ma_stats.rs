@@ -1,0 +1,217 @@
+//! Statistics over the population of possible mutuality-based agreements
+//! (§VI: "we generate all possible MAs for the whole topology: for every
+//! pair (A, B) of peers…").
+//!
+//! Complements the per-AS path statistics of [`diversity`](crate::diversity)
+//! with agreement-centric numbers: how many MAs exist, how large their
+//! grants are, and how unevenly the negotiation opportunities are
+//! distributed over ASes.
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::cdf::EmpiricalCdf;
+
+/// Summary of one possible MA between a peer pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaSummary {
+    /// First party.
+    pub x: Asn,
+    /// Second party.
+    pub y: Asn,
+    /// Number of ASes `x` grants `y` access to (providers + peers of `x`
+    /// that are not customers of `y`).
+    pub grant_by_x: usize,
+    /// Number of ASes `y` grants `x` access to.
+    pub grant_by_y: usize,
+}
+
+impl MaSummary {
+    /// Total new segments the agreement creates.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.grant_by_x + self.grant_by_y
+    }
+
+    /// Absolute imbalance between the two grants — a proxy for how much
+    /// balancing (via volume caps or cash) the negotiation will need.
+    #[must_use]
+    pub fn grant_imbalance(&self) -> usize {
+        self.grant_by_x.abs_diff(self.grant_by_y)
+    }
+}
+
+/// All possible MAs of a topology with aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaPopulation {
+    /// One summary per peer pair, in link order.
+    pub agreements: Vec<MaSummary>,
+}
+
+impl MaPopulation {
+    /// Enumerates every possible MA (one per peering link) using the §VI
+    /// grant rule, without materializing full `Agreement` objects.
+    #[must_use]
+    pub fn enumerate(graph: &AsGraph) -> Self {
+        let grant_size = |grantor: Asn, grantee: Asn| -> usize {
+            graph
+                .providers(grantor)
+                .chain(graph.peers(grantor))
+                .filter(|&target| {
+                    target != grantee
+                        && graph.neighbor_kind(grantee, target)
+                            != Some(pan_topology::NeighborKind::Customer)
+                })
+                .count()
+        };
+        let agreements = graph
+            .links()
+            .filter(|l| l.relationship.is_peering())
+            .map(|l| MaSummary {
+                x: l.a,
+                y: l.b,
+                grant_by_x: grant_size(l.a, l.b),
+                grant_by_y: grant_size(l.b, l.a),
+            })
+            .collect();
+        MaPopulation { agreements }
+    }
+
+    /// Number of possible MAs (equals the peering-link count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.agreements.len()
+    }
+
+    /// Returns `true` if the topology admits no MAs (no peering links).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.agreements.is_empty()
+    }
+
+    /// Distribution of total segment counts per agreement.
+    #[must_use]
+    pub fn segment_count_cdf(&self) -> EmpiricalCdf {
+        self.agreements
+            .iter()
+            .map(|a| a.segment_count() as f64)
+            .collect()
+    }
+
+    /// Distribution of grant imbalances per agreement.
+    #[must_use]
+    pub fn imbalance_cdf(&self) -> EmpiricalCdf {
+        self.agreements
+            .iter()
+            .map(|a| a.grant_imbalance() as f64)
+            .collect()
+    }
+
+    /// Number of MAs each AS can conclude (its peering degree), as a
+    /// distribution over all ASes of the graph.
+    #[must_use]
+    pub fn per_as_opportunity_cdf(&self, graph: &AsGraph) -> EmpiricalCdf {
+        graph
+            .ases()
+            .map(|a| graph.peers(a).count() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_core::Agreement;
+    use pan_datasets::{InternetConfig, SyntheticInternet};
+    use pan_topology::fixtures::{asn, fig1};
+
+    #[test]
+    fn fig1_population() {
+        let g = fig1();
+        let population = MaPopulation::enumerate(&g);
+        // Four peering links: A–B, C–D, D–E, E–F.
+        assert_eq!(population.len(), 4);
+        // The D–E agreement: D grants {A, C}, E grants {B, F}.
+        let de = population
+            .agreements
+            .iter()
+            .find(|a| (a.x, a.y) == (asn('D'), asn('E')) || (a.x, a.y) == (asn('E'), asn('D')))
+            .expect("D–E peer pair exists");
+        assert_eq!(de.segment_count(), 4);
+        assert_eq!(de.grant_imbalance(), 0);
+    }
+
+    #[test]
+    fn summaries_match_agreement_objects() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 200,
+                ..InternetConfig::default()
+            },
+            31,
+        )
+        .unwrap();
+        let population = MaPopulation::enumerate(&net.graph);
+        for summary in population.agreements.iter().take(50) {
+            let ma = Agreement::mutuality(&net.graph, summary.x, summary.y)
+                .expect("peer pairs form MAs");
+            assert_eq!(summary.grant_by_x, ma.grant_by_x().len());
+            assert_eq!(summary.grant_by_y, ma.grant_by_y().len());
+            assert_eq!(
+                summary.segment_count(),
+                ma.new_segments(&net.graph).len()
+            );
+        }
+    }
+
+    #[test]
+    fn population_size_equals_peering_links() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 150,
+                ..InternetConfig::default()
+            },
+            5,
+        )
+        .unwrap();
+        let population = MaPopulation::enumerate(&net.graph);
+        assert_eq!(population.len(), net.graph.peering_link_count());
+        assert!(!population.is_empty());
+    }
+
+    #[test]
+    fn cdfs_are_well_formed() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 150,
+                ..InternetConfig::default()
+            },
+            6,
+        )
+        .unwrap();
+        let population = MaPopulation::enumerate(&net.graph);
+        let segments = population.segment_count_cdf();
+        assert_eq!(segments.len(), population.len());
+        assert!(segments.min().unwrap_or(0.0) >= 0.0);
+        let imbalance = population.imbalance_cdf();
+        assert!(imbalance.max().unwrap_or(0.0) <= segments.max().unwrap_or(0.0));
+        let opportunity = population.per_as_opportunity_cdf(&net.graph);
+        assert_eq!(opportunity.len(), net.graph.node_count());
+        // Sum of peering degrees = 2 × peering links.
+        let total: f64 = net
+            .graph
+            .ases()
+            .map(|a| net.graph.peers(a).count() as f64)
+            .sum();
+        assert_eq!(total as usize, 2 * population.len());
+    }
+
+    #[test]
+    fn empty_population_on_peerless_graph() {
+        let g = pan_topology::fixtures::chain(5);
+        let population = MaPopulation::enumerate(&g);
+        assert!(population.is_empty());
+        assert!(population.segment_count_cdf().is_empty());
+    }
+}

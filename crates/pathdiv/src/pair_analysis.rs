@@ -1,0 +1,260 @@
+//! Shared per-AS-pair comparison machinery for the geodistance (Fig. 5)
+//! and bandwidth (Fig. 6) analyses.
+//!
+//! Both analyses follow the same §VI-B/§VI-C recipe: for every AS pair
+//! connected by at least one GRC length-3 path, compute the best, median,
+//! and worst metric over the GRC paths, then count how many MA paths beat
+//! each of those thresholds, and record the best MA value for relative
+//! improvement statistics.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::length3::Length3Enumerator;
+
+/// Whether smaller or larger metric values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Smaller is better (geodistance).
+    LowerIsBetter,
+    /// Larger is better (bandwidth).
+    HigherIsBetter,
+}
+
+impl Direction {
+    fn beats(self, candidate: f64, reference: f64) -> bool {
+        match self {
+            Direction::LowerIsBetter => candidate < reference,
+            Direction::HigherIsBetter => candidate > reference,
+        }
+    }
+}
+
+/// Comparison record of one `(source, destination)` AS pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairRecord {
+    /// Source AS.
+    pub src: Asn,
+    /// Destination AS.
+    pub dst: Asn,
+    /// Number of GRC length-3 paths between the pair.
+    pub grc_paths: usize,
+    /// Best GRC metric (min geodistance / max bandwidth).
+    pub grc_best: f64,
+    /// Median GRC metric.
+    pub grc_median: f64,
+    /// Worst GRC metric (max geodistance / min bandwidth).
+    pub grc_worst: f64,
+    /// Number of MA paths for the pair.
+    pub ma_paths: usize,
+    /// MA paths strictly better than the best GRC value.
+    pub ma_beating_best: usize,
+    /// MA paths strictly better than the median GRC value.
+    pub ma_beating_median: usize,
+    /// MA paths strictly better than the worst GRC value.
+    pub ma_beating_worst: usize,
+    /// Best metric over the MA paths (`None` if the pair gained none).
+    pub ma_best: Option<f64>,
+}
+
+impl PairRecord {
+    /// Relative improvement of the best value thanks to MAs:
+    /// geodistance reduction `(grc_min − ma_min)/grc_min` or bandwidth
+    /// increase `(ma_max − grc_max)/grc_max`. `None` when no MA path
+    /// improves on the best GRC path.
+    #[must_use]
+    pub fn relative_improvement(&self, direction: Direction) -> Option<f64> {
+        let ma_best = self.ma_best?;
+        if !direction.beats(ma_best, self.grc_best) {
+            return None;
+        }
+        match direction {
+            Direction::LowerIsBetter => Some((self.grc_best - ma_best) / self.grc_best),
+            Direction::HigherIsBetter => Some((ma_best - self.grc_best) / self.grc_best),
+        }
+    }
+}
+
+/// Runs the pair analysis for a seeded sample of source ASes.
+///
+/// `metric` maps a length-3 path (as dense indices `src, mid, dst`) to
+/// its value; paths with `None` metric (missing annotations) are skipped.
+pub fn analyze_pairs(
+    graph: &AsGraph,
+    sample_size: usize,
+    seed: u64,
+    direction: Direction,
+    metric: impl Fn(u32, u32, u32) -> Option<f64>,
+) -> Vec<PairRecord> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut sources: Vec<u32> = (0..graph.node_count() as u32).collect();
+    sources.shuffle(&mut rng);
+    sources.truncate(sample_size.min(graph.node_count()));
+
+    let enumerator = Length3Enumerator::new(graph);
+    let mut records = Vec::new();
+    for &src in &sources {
+        // Metric values per destination, GRC and MA families separately.
+        let mut grc: HashMap<u32, Vec<f64>> = HashMap::new();
+        enumerator.for_each_grc(src, |mid, dst| {
+            if let Some(value) = metric(src, mid, dst) {
+                grc.entry(dst).or_default().push(value);
+            }
+        });
+        if grc.is_empty() {
+            continue;
+        }
+        let mut ma: HashMap<u32, Vec<f64>> = HashMap::new();
+        enumerator.for_each_ma_all(src, |mid, dst| {
+            if let Some(value) = metric(src, mid, dst) {
+                ma.entry(dst).or_default().push(value);
+            }
+        });
+
+        let mut dsts: Vec<u32> = grc.keys().copied().collect();
+        dsts.sort_unstable();
+        for dst in dsts {
+            let mut values = grc.remove(&dst).expect("key from the map");
+            values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("metrics are finite"));
+            let (best, worst) = match direction {
+                Direction::LowerIsBetter => (values[0], values[values.len() - 1]),
+                Direction::HigherIsBetter => (values[values.len() - 1], values[0]),
+            };
+            let median = values[(values.len() - 1) / 2];
+            let ma_values = ma.get(&dst).map_or(&[][..], Vec::as_slice);
+            let count_beating = |reference: f64| {
+                ma_values
+                    .iter()
+                    .filter(|&&v| direction.beats(v, reference))
+                    .count()
+            };
+            let ma_best = ma_values
+                .iter()
+                .copied()
+                .reduce(|a, b| match direction {
+                    Direction::LowerIsBetter => a.min(b),
+                    Direction::HigherIsBetter => a.max(b),
+                });
+            records.push(PairRecord {
+                src: graph.asn_at(src),
+                dst: graph.asn_at(dst),
+                grc_paths: values.len(),
+                grc_best: best,
+                grc_median: median,
+                grc_worst: worst,
+                ma_paths: ma_values.len(),
+                ma_beating_best: count_beating(best),
+                ma_beating_median: count_beating(median),
+                ma_beating_worst: count_beating(worst),
+                ma_best,
+            });
+        }
+    }
+    records
+}
+
+/// Fraction of records whose `field(record)` is at least `k`.
+#[must_use]
+pub fn fraction_with_at_least(
+    records: &[PairRecord],
+    k: usize,
+    field: impl Fn(&PairRecord) -> usize,
+) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().filter(|r| field(r) >= k).count() as f64 / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pan_topology::fixtures::fig1;
+
+    /// A fake metric: identity of the destination index — monotone so
+    /// ordering assertions are easy.
+    fn dst_metric(_src: u32, _mid: u32, dst: u32) -> Option<f64> {
+        Some(dst as f64)
+    }
+
+    #[test]
+    fn records_cover_grc_connected_pairs_only() {
+        let g = fig1();
+        let records = analyze_pairs(&g, 9, 1, Direction::LowerIsBetter, dst_metric);
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(r.grc_paths >= 1);
+            assert_ne!(r.src, r.dst);
+        }
+    }
+
+    #[test]
+    fn best_median_worst_ordering() {
+        let g = fig1();
+        for direction in [Direction::LowerIsBetter, Direction::HigherIsBetter] {
+            let records = analyze_pairs(&g, 9, 1, direction, dst_metric);
+            for r in &records {
+                match direction {
+                    Direction::LowerIsBetter => {
+                        assert!(r.grc_best <= r.grc_median);
+                        assert!(r.grc_median <= r.grc_worst);
+                    }
+                    Direction::HigherIsBetter => {
+                        assert!(r.grc_best >= r.grc_median);
+                        assert!(r.grc_median >= r.grc_worst);
+                    }
+                }
+                // Beating the best is hardest.
+                assert!(r.ma_beating_best <= r.ma_beating_median);
+                assert!(r.ma_beating_median <= r.ma_beating_worst);
+                assert!(r.ma_beating_worst <= r.ma_paths);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_improvement_requires_actual_improvement() {
+        let record = PairRecord {
+            src: Asn::new(1),
+            dst: Asn::new(2),
+            grc_paths: 1,
+            grc_best: 100.0,
+            grc_median: 100.0,
+            grc_worst: 100.0,
+            ma_paths: 1,
+            ma_beating_best: 0,
+            ma_beating_median: 0,
+            ma_beating_worst: 0,
+            ma_best: Some(120.0),
+        };
+        assert_eq!(record.relative_improvement(Direction::LowerIsBetter), None);
+        let improvement = record
+            .relative_improvement(Direction::HigherIsBetter)
+            .unwrap();
+        assert!((improvement - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_helper() {
+        let g = fig1();
+        let records = analyze_pairs(&g, 9, 1, Direction::LowerIsBetter, dst_metric);
+        let all = fraction_with_at_least(&records, 0, |r| r.ma_beating_worst);
+        assert_eq!(all, 1.0);
+        let none = fraction_with_at_least(&records, usize::MAX, |r| r.ma_beating_worst);
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let g = fig1();
+        let a = analyze_pairs(&g, 5, 7, Direction::LowerIsBetter, dst_metric);
+        let b = analyze_pairs(&g, 5, 7, Direction::LowerIsBetter, dst_metric);
+        assert_eq!(a, b);
+    }
+}

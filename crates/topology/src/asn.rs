@@ -1,0 +1,127 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TopologyError;
+
+/// An autonomous-system number.
+///
+/// A thin newtype over `u32` (AS numbers are 32-bit since RFC 6793) that
+/// provides type safety when mixing AS identifiers with other integers such
+/// as node indices or flow volumes.
+///
+/// # Example
+///
+/// ```
+/// use pan_topology::Asn;
+///
+/// let asn = Asn::new(64512);
+/// assert_eq!(asn.get(), 64512);
+/// assert_eq!(asn.to_string(), "AS64512");
+/// assert_eq!("64512".parse::<Asn>()?, asn);
+/// # Ok::<(), pan_topology::TopologyError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(u32);
+
+impl Asn {
+    /// Creates an AS number from its numeric value.
+    #[must_use]
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// Returns the numeric value of this AS number.
+    #[must_use]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(value: Asn) -> Self {
+        value.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = TopologyError;
+
+    /// Parses an AS number from either a bare integer (`"64512"`) or the
+    /// conventional `AS`-prefixed form (`"AS64512"`, case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        let digits = trimmed
+            .strip_prefix("AS")
+            .or_else(|| trimmed.strip_prefix("as"))
+            .or_else(|| trimmed.strip_prefix("As"))
+            .unwrap_or(trimmed);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| TopologyError::InvalidAsn {
+                text: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_as_prefix() {
+        assert_eq!(Asn::new(7).to_string(), "AS7");
+    }
+
+    #[test]
+    fn parses_bare_and_prefixed() {
+        assert_eq!("42".parse::<Asn>().unwrap(), Asn::new(42));
+        assert_eq!("AS42".parse::<Asn>().unwrap(), Asn::new(42));
+        assert_eq!("as42".parse::<Asn>().unwrap(), Asn::new(42));
+        assert_eq!(" 42 ".parse::<Asn>().unwrap(), Asn::new(42));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS".parse::<Asn>().is_err());
+        assert!("-3".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Asn::new(1) < Asn::new(2));
+    }
+
+    #[test]
+    fn round_trips_through_u32() {
+        let asn = Asn::new(123);
+        assert_eq!(Asn::from(u32::from(asn)), asn);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&Asn::new(99)).unwrap();
+        assert_eq!(json, "99");
+        let back: Asn = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Asn::new(99));
+    }
+}

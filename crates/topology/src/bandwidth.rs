@@ -1,0 +1,188 @@
+//! Link-capacity models for AS topologies.
+//!
+//! The paper's bandwidth analysis (§VI-C) infers inter-AS link capacities
+//! with a **degree-gravity model** (Saino et al., reference \[47\] of the paper): each link is
+//! endowed with a capacity proportional to the product of the node degrees
+//! of its endpoints. The bandwidth of a path is the minimum capacity over
+//! its links.
+//!
+//! [`LinkCapacities`] is a precomputed per-link capacity table;
+//! [`LinkCapacities::degree_gravity`] builds it from a graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AsGraph, Asn, LinkId};
+
+/// A per-link capacity table (arbitrary bandwidth units).
+///
+/// # Example
+///
+/// ```
+/// use pan_topology::bandwidth::LinkCapacities;
+/// use pan_topology::fixtures::{asn, fig1};
+///
+/// let graph = fig1();
+/// let caps = LinkCapacities::degree_gravity(&graph, 1.0);
+/// // D (degree 4) – E (degree 4) is the best-connected link in Fig. 1.
+/// let de = graph.link_between(asn('D'), asn('E')).unwrap().id;
+/// let dh = graph.link_between(asn('D'), asn('H')).unwrap().id;
+/// assert!(caps.capacity(de) > caps.capacity(dh));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkCapacities {
+    capacities: Vec<f64>,
+}
+
+impl LinkCapacities {
+    /// Builds capacities with the degree-gravity model:
+    /// `capacity(ℓ=(X,Y)) = scale · deg(X) · deg(Y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    #[must_use]
+    pub fn degree_gravity(graph: &AsGraph, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive and finite, got {scale}"
+        );
+        let capacities = graph
+            .links()
+            .map(|l| {
+                let da = graph.degree(l.a) as f64;
+                let db = graph.degree(l.b) as f64;
+                scale * da * db
+            })
+            .collect();
+        LinkCapacities { capacities }
+    }
+
+    /// Builds a table from explicit per-link values in [`LinkId`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the graph's link count
+    /// or any value is negative or non-finite.
+    #[must_use]
+    pub fn from_values(graph: &AsGraph, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            graph.link_count(),
+            "expected one capacity per link"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "capacities must be non-negative and finite"
+        );
+        LinkCapacities { capacities: values }
+    }
+
+    /// Capacity of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link identifier is out of range for the graph this
+    /// table was built from.
+    #[must_use]
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacities[link.index()]
+    }
+
+    /// Number of links covered by the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Bandwidth of an AS-level path: the minimum link capacity along it.
+    ///
+    /// Returns `None` if the path has fewer than two hops or any
+    /// consecutive pair is not linked in the graph.
+    #[must_use]
+    pub fn path_bandwidth(&self, graph: &AsGraph, path: &[Asn]) -> Option<f64> {
+        if path.len() < 2 {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        for pair in path.windows(2) {
+            let link = graph.link_between(pair[0], pair[1])?;
+            let cap = self.capacity(link.id);
+            if cap < min {
+                min = cap;
+            }
+        }
+        Some(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{asn, fig1};
+
+    #[test]
+    fn degree_gravity_matches_formula() {
+        let g = fig1();
+        let caps = LinkCapacities::degree_gravity(&g, 2.0);
+        let link = g.link_between(asn('D'), asn('E')).unwrap();
+        let expected = 2.0 * g.degree(asn('D')) as f64 * g.degree(asn('E')) as f64;
+        assert!((caps.capacity(link.id) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_bandwidth_is_bottleneck() {
+        let g = fig1();
+        let caps = LinkCapacities::degree_gravity(&g, 1.0);
+        let path = [asn('H'), asn('D'), asn('E')];
+        let bw = caps.path_bandwidth(&g, &path).unwrap();
+        let dh = caps.capacity(g.link_between(asn('D'), asn('H')).unwrap().id);
+        let de = caps.capacity(g.link_between(asn('D'), asn('E')).unwrap().id);
+        assert!((bw - dh.min(de)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_bandwidth_of_unlinked_pair_is_none() {
+        let g = fig1();
+        let caps = LinkCapacities::degree_gravity(&g, 1.0);
+        assert!(caps.path_bandwidth(&g, &[asn('A'), asn('I')]).is_none());
+    }
+
+    #[test]
+    fn path_bandwidth_of_trivial_path_is_none() {
+        let g = fig1();
+        let caps = LinkCapacities::degree_gravity(&g, 1.0);
+        assert!(caps.path_bandwidth(&g, &[asn('A')]).is_none());
+        assert!(caps.path_bandwidth(&g, &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let g = fig1();
+        let _ = LinkCapacities::degree_gravity(&g, 0.0);
+    }
+
+    #[test]
+    fn from_values_round_trips() {
+        let g = fig1();
+        let values: Vec<f64> = (0..g.link_count()).map(|i| i as f64).collect();
+        let caps = LinkCapacities::from_values(&g, values.clone());
+        assert_eq!(caps.len(), g.link_count());
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(caps.capacity(crate::LinkId(i as u32)), *v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per link")]
+    fn from_values_length_mismatch_panics() {
+        let g = fig1();
+        let _ = LinkCapacities::from_values(&g, vec![1.0]);
+    }
+}

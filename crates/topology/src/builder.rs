@@ -1,0 +1,307 @@
+use std::collections::HashMap;
+
+use crate::graph::{AsGraph, LinkId, LinkRecord};
+use crate::{Asn, Relationship, Result, TopologyError};
+
+/// A validating builder for [`AsGraph`].
+///
+/// The builder rejects self-loops and conflicting duplicate links as they
+/// are added; [`build`](Self::build) additionally verifies that the
+/// provider–customer hierarchy is acyclic (a cyclic hierarchy has no
+/// well-defined Internet tier structure and breaks the Gao–Rexford
+/// rationality argument).
+///
+/// Re-adding an identical link is idempotent and not an error, which makes
+/// parsing real-world datasets with duplicate rows painless.
+///
+/// # Example
+///
+/// ```
+/// use pan_topology::{AsGraphBuilder, Asn, Relationship};
+///
+/// let mut builder = AsGraphBuilder::new();
+/// builder.add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)?;
+/// builder.add_link(Asn::new(2), Asn::new(3), Relationship::PeerToPeer)?;
+/// builder.add_as(Asn::new(99)); // isolated AS
+/// let graph = builder.build()?;
+/// assert_eq!(graph.node_count(), 4);
+/// # Ok::<(), pan_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsGraphBuilder {
+    asns: Vec<Asn>,
+    index: HashMap<Asn, u32>,
+    links: Vec<LinkRecord>,
+    link_index: HashMap<(u32, u32), LinkId>,
+}
+
+impl AsGraphBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity for `nodes` ASes and `links` links.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, links: usize) -> Self {
+        AsGraphBuilder {
+            asns: Vec::with_capacity(nodes),
+            index: HashMap::with_capacity(nodes),
+            links: Vec::with_capacity(links),
+            link_index: HashMap::with_capacity(links),
+        }
+    }
+
+    /// Number of ASes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Number of links added so far.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Ensures `asn` is a node of the graph and returns its dense index.
+    pub fn add_as(&mut self, asn: Asn) -> u32 {
+        if let Some(&i) = self.index.get(&asn) {
+            return i;
+        }
+        let i = self.asns.len() as u32;
+        self.asns.push(asn);
+        self.index.insert(asn, i);
+        i
+    }
+
+    /// Adds a link between `a` and `b`.
+    ///
+    /// For [`Relationship::ProviderToCustomer`], `a` is the provider and
+    /// `b` the customer. Both endpoints are added to the node set if absent.
+    ///
+    /// # Errors
+    ///
+    /// - [`TopologyError::SelfLoop`] if `a == b`.
+    /// - [`TopologyError::ConflictingLink`] if a link between the pair
+    ///   already exists with a different relationship or direction.
+    pub fn add_link(&mut self, a: Asn, b: Asn, relationship: Relationship) -> Result<LinkId> {
+        if a == b {
+            return Err(TopologyError::SelfLoop { asn: a });
+        }
+        let ia = self.add_as(a);
+        let ib = self.add_as(b);
+        let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
+        if let Some(&existing_id) = self.link_index.get(&key) {
+            let existing = &self.links[existing_id.index()];
+            let same = existing.relationship == relationship
+                && match relationship {
+                    Relationship::PeerToPeer => true,
+                    Relationship::ProviderToCustomer => existing.a == ia,
+                };
+            return if same {
+                Ok(existing_id)
+            } else {
+                Err(TopologyError::ConflictingLink {
+                    a,
+                    b,
+                    existing: existing.relationship,
+                    new: relationship,
+                })
+            };
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkRecord {
+            a: ia,
+            b: ib,
+            relationship,
+        });
+        self.link_index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Finalizes the builder into an immutable [`AsGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ProviderCycle`] if the provider–customer
+    /// hierarchy contains a directed cycle.
+    pub fn build(self) -> Result<AsGraph> {
+        let n = self.asns.len();
+        let mut providers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut peers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut customers: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        for link in &self.links {
+            match link.relationship {
+                Relationship::ProviderToCustomer => {
+                    customers[link.a as usize].push(link.b);
+                    providers[link.b as usize].push(link.a);
+                }
+                Relationship::PeerToPeer => {
+                    peers[link.a as usize].push(link.b);
+                    peers[link.b as usize].push(link.a);
+                }
+            }
+        }
+        // Sort neighbor lists by ASN so iteration order is deterministic
+        // and independent of insertion order.
+        for table in [&mut providers, &mut peers, &mut customers] {
+            for list in table.iter_mut() {
+                list.sort_unstable_by_key(|&i| self.asns[i as usize]);
+            }
+        }
+
+        detect_provider_cycle(&customers, &self.asns)?;
+
+        Ok(AsGraph {
+            asns: self.asns,
+            index: self.index,
+            providers,
+            peers,
+            customers,
+            links: self.links,
+            link_index: self.link_index,
+        })
+    }
+}
+
+/// Kahn's algorithm over the provider→customer DAG; errors on a cycle.
+fn detect_provider_cycle(customers: &[Vec<u32>], asns: &[Asn]) -> Result<()> {
+    let n = customers.len();
+    let mut indegree = vec![0u32; n];
+    for succs in customers {
+        for &s in succs {
+            indegree[s as usize] += 1;
+        }
+    }
+    let mut queue: Vec<u32> = (0..n as u32)
+        .filter(|&i| indegree[i as usize] == 0)
+        .collect();
+    let mut visited = 0usize;
+    while let Some(node) = queue.pop() {
+        visited += 1;
+        for &s in &customers[node as usize] {
+            indegree[s as usize] -= 1;
+            if indegree[s as usize] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if visited != n {
+        let on_cycle = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .map(|i| asns[i])
+            .expect("cycle implies a node with positive in-degree");
+        return Err(TopologyError::ProviderCycle { on_cycle });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = AsGraphBuilder::new();
+        let err = b
+            .add_link(Asn::new(1), Asn::new(1), Relationship::PeerToPeer)
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn duplicate_identical_link_is_idempotent() {
+        let mut b = AsGraphBuilder::new();
+        let id1 = b
+            .add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        let id2 = b
+            .add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(b.link_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_relationship_is_rejected() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        let err = b
+            .add_link(Asn::new(1), Asn::new(2), Relationship::PeerToPeer)
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::ConflictingLink { .. }));
+    }
+
+    #[test]
+    fn reversed_transit_direction_is_rejected() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        let err = b
+            .add_link(Asn::new(2), Asn::new(1), Relationship::ProviderToCustomer)
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::ConflictingLink { .. }));
+    }
+
+    #[test]
+    fn provider_cycle_is_detected() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        b.add_link(Asn::new(2), Asn::new(3), Relationship::ProviderToCustomer)
+            .unwrap();
+        b.add_link(Asn::new(3), Asn::new(1), Relationship::ProviderToCustomer)
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, TopologyError::ProviderCycle { .. }));
+    }
+
+    #[test]
+    fn peering_cycles_are_fine() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::PeerToPeer)
+            .unwrap();
+        b.add_link(Asn::new(2), Asn::new(3), Relationship::PeerToPeer)
+            .unwrap();
+        b.add_link(Asn::new(3), Asn::new(1), Relationship::PeerToPeer)
+            .unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn isolated_as_survives_build() {
+        let mut b = AsGraphBuilder::new();
+        b.add_as(Asn::new(7));
+        let g = b.build().unwrap();
+        assert!(g.contains(Asn::new(7)));
+        assert_eq!(g.degree(Asn::new(7)), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let mut b = AsGraphBuilder::new();
+        for c in [5u32, 3, 9, 1] {
+            b.add_link(Asn::new(100), Asn::new(c), Relationship::ProviderToCustomer)
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let custs: Vec<_> = g.customers(Asn::new(100)).collect();
+        assert_eq!(
+            custs,
+            vec![Asn::new(1), Asn::new(3), Asn::new(5), Asn::new(9)]
+        );
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = AsGraphBuilder::with_capacity(10, 10);
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::PeerToPeer)
+            .unwrap();
+        assert_eq!(b.node_count(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Parser and writer for the CAIDA AS-relationship *serial-2* text format.
+//!
+//! The paper's evaluation (§VI) starts from the CAIDA AS-relationship
+//! dataset. Serial-2 files contain comment lines starting with `#` and data
+//! lines of the form
+//!
+//! ```text
+//! <provider-as>|<customer-as>|-1|<source>
+//! <peer-as>|<peer-as>|0|<source>
+//! ```
+//!
+//! where the trailing `<source>` column (e.g. `bgp`, `mlp`) is optional and
+//! ignored by this parser. Files produced by
+//! [`pan-datasets`](../../pan_datasets/index.html)'s synthetic Internet
+//! generator use the same format, so real CAIDA snapshots are drop-in
+//! replacements.
+//!
+//! # Example
+//!
+//! ```
+//! use pan_topology::caida;
+//!
+//! let text = "# inferred AS relationships\n1|4|-1|bgp\n4|5|0|bgp\n";
+//! let graph = caida::parse(text)?;
+//! assert_eq!(graph.node_count(), 3);
+//! assert_eq!(graph.transit_link_count(), 1);
+//! assert_eq!(graph.peering_link_count(), 1);
+//!
+//! let round_trip = caida::to_string(&graph);
+//! assert_eq!(caida::parse(&round_trip)?.link_count(), graph.link_count());
+//! # Ok::<(), pan_topology::TopologyError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{AsGraph, AsGraphBuilder, Asn, Relationship, Result, TopologyError};
+
+/// Parses a CAIDA serial-2 document into an [`AsGraph`].
+///
+/// Empty lines and lines starting with `#` are skipped. Duplicate identical
+/// rows are tolerated (CAIDA snapshots occasionally contain them).
+///
+/// # Errors
+///
+/// Returns [`TopologyError::MalformedCaidaLine`] for syntactically invalid
+/// rows, and propagates builder errors ([`TopologyError::SelfLoop`],
+/// [`TopologyError::ConflictingLink`], [`TopologyError::ProviderCycle`]).
+pub fn parse(text: &str) -> Result<AsGraph> {
+    let mut builder = AsGraphBuilder::new();
+    parse_into(text, &mut builder)?;
+    builder.build()
+}
+
+/// Parses a CAIDA serial-2 document into an existing builder.
+///
+/// Useful for merging several snapshots before a single
+/// [`AsGraphBuilder::build`].
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_into(text: &str, builder: &mut AsGraphBuilder) -> Result<()> {
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (a, b, rel) = parse_line(line).map_err(|reason| TopologyError::MalformedCaidaLine {
+            line: lineno + 1,
+            text: raw.to_owned(),
+            reason,
+        })?;
+        builder.add_link(a, b, rel)?;
+    }
+    Ok(())
+}
+
+fn parse_line(line: &str) -> std::result::Result<(Asn, Asn, Relationship), String> {
+    let mut fields = line.split('|');
+    let a = fields.next().ok_or("missing first AS field")?;
+    let b = fields.next().ok_or_else(|| "missing second AS field".to_owned())?;
+    let code = fields
+        .next()
+        .ok_or_else(|| "missing relationship field".to_owned())?;
+    // Any further fields (source annotation, …) are ignored.
+
+    let a: Asn = a
+        .parse()
+        .map_err(|_| format!("bad AS number {a:?}"))?;
+    let b: Asn = b
+        .parse()
+        .map_err(|_| format!("bad AS number {b:?}"))?;
+    let code: i8 = code
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad relationship code {code:?}"))?;
+    let rel = Relationship::from_caida_code(code)
+        .ok_or_else(|| format!("unknown relationship code {code}"))?;
+    Ok((a, b, rel))
+}
+
+/// Serializes a graph into the CAIDA serial-2 format.
+///
+/// Links are emitted in [`LinkId`](crate::LinkId) order with the source
+/// column set to `synthetic`.
+#[must_use]
+pub fn to_string(graph: &AsGraph) -> String {
+    let mut out = String::with_capacity(graph.link_count() * 16 + 64);
+    out.push_str("# AS relationships (serial-2)\n");
+    out.push_str("# <provider-as>|<customer-as>|-1|<source> or <peer-as>|<peer-as>|0|<source>\n");
+    for link in graph.links() {
+        let _ = writeln!(
+            out,
+            "{}|{}|{}|synthetic",
+            link.a.get(),
+            link.b.get(),
+            link.relationship.caida_code()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let g = parse("1|2|-1\n2|3|0\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(g.providers(Asn::new(2)).any(|p| p == Asn::new(1)));
+        assert!(g.peers(Asn::new(2)).any(|p| p == Asn::new(3)));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse("# header\n\n   \n1|2|0|bgp\n").unwrap();
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    fn tolerates_source_column_and_extra_fields() {
+        let g = parse("1|2|-1|bgp|extra\n").unwrap();
+        assert_eq!(g.transit_link_count(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse("1|2|0\nnot a line\n").unwrap_err();
+        match err {
+            TopologyError::MalformedCaidaLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_relationship_code() {
+        let err = parse("1|2|7\n").unwrap_err();
+        assert!(matches!(err, TopologyError::MalformedCaidaLine { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_as_number() {
+        assert!(parse("x|2|0\n").is_err());
+        assert!(parse("1|y|0\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_rows_are_tolerated() {
+        let g = parse("1|2|-1\n1|2|-1\n").unwrap();
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_rows_are_rejected() {
+        assert!(parse("1|2|-1\n1|2|0\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = crate::fixtures::fig1();
+        let text = to_string(&g);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.transit_link_count(), g.transit_link_count());
+        assert_eq!(back.peering_link_count(), g.peering_link_count());
+        for x in g.ases() {
+            for y in g.ases() {
+                assert_eq!(back.neighbor_kind(x, y), g.neighbor_kind(x, y));
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared example topologies, including the paper's Fig. 1.
+//!
+//! These fixtures are used across the workspace's tests, examples, and
+//! benchmark harnesses, and are handy when exploring the API.
+
+use crate::{AsGraph, AsGraphBuilder, Asn, Relationship};
+
+/// Maps the letters `'A'..='Z'` to ASNs `1..=26`, matching the labels used
+/// in the paper's Fig. 1.
+///
+/// # Panics
+///
+/// Panics if `label` is not an ASCII uppercase letter.
+#[must_use]
+pub fn asn(label: char) -> Asn {
+    assert!(
+        label.is_ascii_uppercase(),
+        "fixture AS labels are 'A'..='Z', got {label:?}"
+    );
+    Asn::new(label as u32 - 'A' as u32 + 1)
+}
+
+/// Builds the AS topology of the paper's Fig. 1.
+///
+/// Nine ASes `A..=I` with provider–customer links `A→D`, `B→E`, `B→G`,
+/// `D→H`, `E→I` and peering links `A–B`, `C–D`, `D–E`, `E–F`.
+///
+/// This topology hosts the paper's running examples: the classic peering
+/// agreement `aᵖ = [D(↓{H}); E(↓{I})]` and the mutuality-based agreement
+/// `a = [D(↑{A}); E(↑{B}, →{F})]` (Eq. 6).
+///
+/// # Example
+///
+/// ```
+/// use pan_topology::fixtures::{asn, fig1};
+///
+/// let graph = fig1();
+/// assert_eq!(graph.node_count(), 9);
+/// assert!(graph.peers(asn('D')).any(|p| p == asn('E')));
+/// ```
+#[must_use]
+pub fn fig1() -> AsGraph {
+    let mut b = AsGraphBuilder::new();
+    for (p, c) in [('A', 'D'), ('B', 'E'), ('B', 'G'), ('D', 'H'), ('E', 'I')] {
+        b.add_link(asn(p), asn(c), Relationship::ProviderToCustomer)
+            .expect("fixture links are valid");
+    }
+    for (x, y) in [('A', 'B'), ('C', 'D'), ('D', 'E'), ('E', 'F')] {
+        b.add_link(asn(x), asn(y), Relationship::PeerToPeer)
+            .expect("fixture links are valid");
+    }
+    b.build().expect("fixture hierarchy is acyclic")
+}
+
+/// A tiny three-tier "diamond" topology: one tier-1 AS `T` providing two
+/// regional transit ASes `L` and `R` which peer with each other and both
+/// provide a shared stub `S`.
+///
+/// Useful for tests that need multiple disjoint provider paths.
+#[must_use]
+pub fn diamond() -> AsGraph {
+    let t = Asn::new(1);
+    let l = Asn::new(2);
+    let r = Asn::new(3);
+    let s = Asn::new(4);
+    let mut b = AsGraphBuilder::new();
+    b.add_link(t, l, Relationship::ProviderToCustomer).unwrap();
+    b.add_link(t, r, Relationship::ProviderToCustomer).unwrap();
+    b.add_link(l, r, Relationship::PeerToPeer).unwrap();
+    b.add_link(l, s, Relationship::ProviderToCustomer).unwrap();
+    b.add_link(r, s, Relationship::ProviderToCustomer).unwrap();
+    b.build().unwrap()
+}
+
+/// A linear provider chain `1 → 2 → ... → n` (each AS provides the next).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn chain(n: u32) -> AsGraph {
+    assert!(n > 0, "chain needs at least one AS");
+    let mut b = AsGraphBuilder::new();
+    b.add_as(Asn::new(1));
+    for i in 1..n {
+        b.add_link(Asn::new(i), Asn::new(i + 1), Relationship::ProviderToCustomer)
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_paper_shape() {
+        let g = fig1();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.transit_link_count(), 5);
+        assert_eq!(g.peering_link_count(), 4);
+    }
+
+    #[test]
+    fn asn_mapping() {
+        assert_eq!(asn('A'), Asn::new(1));
+        assert_eq!(asn('I'), Asn::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixture AS labels")]
+    fn asn_rejects_lowercase() {
+        let _ = asn('a');
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.providers(Asn::new(4)).count(), 2);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.stub_ases().count(), 1);
+    }
+}

@@ -1,0 +1,469 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Asn, Relationship, Result, TopologyError};
+
+/// A stable identifier for a link in an [`AsGraph`].
+///
+/// Link identifiers index auxiliary per-link tables such as the
+/// [bandwidth model](crate::bandwidth) and the
+/// [geographic annotations](crate::geo).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Returns the numeric index of the link.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+/// The role a neighbor plays from the perspective of a given AS.
+///
+/// For an AS `X` the paper decomposes the neighborhood into the provider set
+/// `π(X)`, the peer set `ε(X)`, and the customer set `γ(X)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeighborKind {
+    /// The neighbor sells transit to the AS (the neighbor is in `π(X)`).
+    Provider,
+    /// The neighbor peers settlement-free with the AS (in `ε(X)`).
+    Peer,
+    /// The neighbor buys transit from the AS (in `γ(X)`).
+    Customer,
+}
+
+impl fmt::Display for NeighborKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeighborKind::Provider => write!(f, "provider"),
+            NeighborKind::Peer => write!(f, "peer"),
+            NeighborKind::Customer => write!(f, "customer"),
+        }
+    }
+}
+
+/// A resolved view of one link of an [`AsGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkRef {
+    /// Identifier of the link.
+    pub id: LinkId,
+    /// First endpoint. For a transit link this is the **provider**.
+    pub a: Asn,
+    /// Second endpoint. For a transit link this is the **customer**.
+    pub b: Asn,
+    /// Relationship carried by the link.
+    pub relationship: Relationship,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct LinkRecord {
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) relationship: Relationship,
+}
+
+/// An immutable AS-level topology: the paper's mixed graph `G = (A, L↔, L↑)`.
+///
+/// The graph stores, for every AS `X`, the neighbor decomposition
+/// `π(X)` / `ε(X)` / `γ(X)` as sorted index slices, which makes the
+/// path-enumeration workloads of the evaluation (§VI) cache-friendly.
+///
+/// Graphs are constructed through [`AsGraphBuilder`](crate::AsGraphBuilder)
+/// or parsed from CAIDA serial-2 files via [`caida::parse`](crate::caida::parse).
+///
+/// Two access levels are offered:
+///
+/// - an **ASN-keyed API** ([`providers`](Self::providers),
+///   [`peers`](Self::peers), [`customers`](Self::customers), …) for
+///   ergonomic use, and
+/// - an **index-based API** ([`provider_indices`](Self::provider_indices),
+///   …) returning `&[u32]` slices for hot loops; indices are dense in
+///   `0..node_count()` and stable for the lifetime of the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsGraph {
+    pub(crate) asns: Vec<Asn>,
+    #[serde(skip)]
+    pub(crate) index: HashMap<Asn, u32>,
+    pub(crate) providers: Vec<Vec<u32>>,
+    pub(crate) peers: Vec<Vec<u32>>,
+    pub(crate) customers: Vec<Vec<u32>>,
+    pub(crate) links: Vec<LinkRecord>,
+    #[serde(skip)]
+    pub(crate) link_index: HashMap<(u32, u32), LinkId>,
+}
+
+impl AsGraph {
+    /// Number of ASes in the graph.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Number of links (both peering and transit) in the graph.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if the graph contains no ASes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Returns `true` if `asn` is a node of the graph.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.index.contains_key(&asn)
+    }
+
+    /// Iterates over all ASes in ascending ASN order of insertion index.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.asns.iter().copied()
+    }
+
+    /// Resolves an ASN to its dense node index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownAs`] if the AS is not in the graph.
+    pub fn index_of(&self, asn: Asn) -> Result<u32> {
+        self.index
+            .get(&asn)
+            .copied()
+            .ok_or(TopologyError::UnknownAs { asn })
+    }
+
+    /// Returns the ASN at a dense node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn asn_at(&self, idx: u32) -> Asn {
+        self.asns[idx as usize]
+    }
+
+    /// The provider set `π(X)` as dense indices, sorted by ASN.
+    #[must_use]
+    pub fn provider_indices(&self, idx: u32) -> &[u32] {
+        &self.providers[idx as usize]
+    }
+
+    /// The peer set `ε(X)` as dense indices, sorted by ASN.
+    #[must_use]
+    pub fn peer_indices(&self, idx: u32) -> &[u32] {
+        &self.peers[idx as usize]
+    }
+
+    /// The customer set `γ(X)` as dense indices, sorted by ASN.
+    #[must_use]
+    pub fn customer_indices(&self, idx: u32) -> &[u32] {
+        &self.customers[idx as usize]
+    }
+
+    fn neighbor_iter<'a>(&'a self, asn: Asn, table: &'a [Vec<u32>]) -> NeighborIter<'a> {
+        let indices = match self.index.get(&asn) {
+            Some(&i) => table[i as usize].as_slice(),
+            None => &[],
+        };
+        NeighborIter {
+            graph: self,
+            indices,
+            pos: 0,
+        }
+    }
+
+    /// Iterates over the providers `π(X)` of `asn`.
+    ///
+    /// Yields nothing if the AS is unknown; use [`index_of`](Self::index_of)
+    /// first when absence should be an error.
+    pub fn providers(&self, asn: Asn) -> NeighborIter<'_> {
+        self.neighbor_iter(asn, &self.providers)
+    }
+
+    /// Iterates over the peers `ε(X)` of `asn`.
+    pub fn peers(&self, asn: Asn) -> NeighborIter<'_> {
+        self.neighbor_iter(asn, &self.peers)
+    }
+
+    /// Iterates over the customers `γ(X)` of `asn`.
+    pub fn customers(&self, asn: Asn) -> NeighborIter<'_> {
+        self.neighbor_iter(asn, &self.customers)
+    }
+
+    /// Total number of neighbors (node degree) of `asn`, or 0 if unknown.
+    #[must_use]
+    pub fn degree(&self, asn: Asn) -> usize {
+        match self.index.get(&asn) {
+            Some(&i) => self.degree_of_index(i),
+            None => 0,
+        }
+    }
+
+    /// Total number of neighbors of the AS at dense index `idx`.
+    #[must_use]
+    pub fn degree_of_index(&self, idx: u32) -> usize {
+        let i = idx as usize;
+        self.providers[i].len() + self.peers[i].len() + self.customers[i].len()
+    }
+
+    /// Classifies `neighbor` from the perspective of `of`.
+    ///
+    /// Returns `None` if the two ASes are not adjacent or either is unknown.
+    #[must_use]
+    pub fn neighbor_kind(&self, of: Asn, neighbor: Asn) -> Option<NeighborKind> {
+        let (&i, &j) = (self.index.get(&of)?, self.index.get(&neighbor)?);
+        self.neighbor_kind_by_index(i, j)
+    }
+
+    /// Index-based variant of [`neighbor_kind`](Self::neighbor_kind).
+    #[must_use]
+    pub fn neighbor_kind_by_index(&self, of: u32, neighbor: u32) -> Option<NeighborKind> {
+        let key = if of <= neighbor {
+            (of, neighbor)
+        } else {
+            (neighbor, of)
+        };
+        let link = &self.links[self.link_index.get(&key)?.index()];
+        Some(match link.relationship {
+            Relationship::PeerToPeer => NeighborKind::Peer,
+            Relationship::ProviderToCustomer => {
+                if link.a == of {
+                    NeighborKind::Customer
+                } else {
+                    NeighborKind::Provider
+                }
+            }
+        })
+    }
+
+    /// Looks up the link between two ASes.
+    #[must_use]
+    pub fn link_between(&self, a: Asn, b: Asn) -> Option<LinkRef> {
+        let (&i, &j) = (self.index.get(&a)?, self.index.get(&b)?);
+        let key = if i <= j { (i, j) } else { (j, i) };
+        let id = *self.link_index.get(&key)?;
+        Some(self.link(id))
+    }
+
+    /// Resolves a [`LinkId`] into a [`LinkRef`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this graph.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> LinkRef {
+        let record = &self.links[id.index()];
+        LinkRef {
+            id,
+            a: self.asns[record.a as usize],
+            b: self.asns[record.b as usize],
+            relationship: record.relationship,
+        }
+    }
+
+    /// Iterates over all links of the graph in identifier order.
+    pub fn links(&self) -> impl Iterator<Item = LinkRef> + '_ {
+        (0..self.links.len() as u32).map(move |i| self.link(LinkId(i)))
+    }
+
+    /// Number of peering links in the graph (`|L↔|`).
+    #[must_use]
+    pub fn peering_link_count(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.relationship.is_peering())
+            .count()
+    }
+
+    /// Number of provider–customer links in the graph (`|L↑|`).
+    #[must_use]
+    pub fn transit_link_count(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.relationship.is_transit())
+            .count()
+    }
+
+    /// Rebuilds the skipped lookup tables after deserialization.
+    ///
+    /// [`AsGraph`] serializes only its dense tables; call this after
+    /// deserializing to restore the `Asn → index` and link lookup maps.
+    pub fn rebuild_indices(&mut self) {
+        self.index = self
+            .asns
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| (asn, i as u32))
+            .collect();
+        self.link_index = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let key = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
+                (key, LinkId(i as u32))
+            })
+            .collect();
+    }
+
+    /// ASes with no customers and at least one provider — "stub" ASes.
+    pub fn stub_ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        (0..self.node_count() as u32)
+            .filter(move |&i| {
+                self.customers[i as usize].is_empty() && !self.providers[i as usize].is_empty()
+            })
+            .map(move |i| self.asn_at(i))
+    }
+
+    /// ASes with no providers — the "tier-1" core of the hierarchy.
+    pub fn provider_free_ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        (0..self.node_count() as u32)
+            .filter(move |&i| self.providers[i as usize].is_empty())
+            .map(move |i| self.asn_at(i))
+    }
+}
+
+/// Iterator over the neighbors of an AS, yielding [`Asn`]s.
+///
+/// Produced by [`AsGraph::providers`], [`AsGraph::peers`], and
+/// [`AsGraph::customers`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    graph: &'a AsGraph,
+    indices: &'a [u32],
+    pos: usize,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = Asn;
+
+    fn next(&mut self) -> Option<Asn> {
+        let &idx = self.indices.get(self.pos)?;
+        self.pos += 1;
+        Some(self.graph.asns[idx as usize])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.indices.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{asn as a, fig1};
+
+    #[test]
+    fn fig1_neighbor_decomposition() {
+        let g = fig1();
+        let d = a('D');
+        let providers: Vec<_> = g.providers(d).collect();
+        let peers: Vec<_> = g.peers(d).collect();
+        let customers: Vec<_> = g.customers(d).collect();
+        assert_eq!(providers, vec![a('A')]);
+        assert_eq!(peers, vec![a('C'), a('E')]);
+        assert_eq!(customers, vec![a('H')]);
+    }
+
+    #[test]
+    fn neighbor_kind_is_perspective_dependent() {
+        let g = fig1();
+        assert_eq!(g.neighbor_kind(a('D'), a('A')), Some(NeighborKind::Provider));
+        assert_eq!(g.neighbor_kind(a('A'), a('D')), Some(NeighborKind::Customer));
+        assert_eq!(g.neighbor_kind(a('D'), a('E')), Some(NeighborKind::Peer));
+        assert_eq!(g.neighbor_kind(a('E'), a('D')), Some(NeighborKind::Peer));
+        assert_eq!(g.neighbor_kind(a('D'), a('I')), None);
+    }
+
+    #[test]
+    fn link_lookup_is_symmetric() {
+        let g = fig1();
+        let l1 = g.link_between(a('A'), a('D')).unwrap();
+        let l2 = g.link_between(a('D'), a('A')).unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(l1.a, a('A'));
+        assert_eq!(l1.b, a('D'));
+        assert!(l1.relationship.is_transit());
+    }
+
+    #[test]
+    fn counts() {
+        let g = fig1();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.link_count(), 9);
+        assert_eq!(g.transit_link_count(), 5);
+        assert_eq!(g.peering_link_count(), 4);
+    }
+
+    #[test]
+    fn degree_and_indices_agree() {
+        let g = fig1();
+        for asn in g.ases() {
+            let idx = g.index_of(asn).unwrap();
+            assert_eq!(g.degree(asn), g.degree_of_index(idx));
+            assert_eq!(g.asn_at(idx), asn);
+        }
+    }
+
+    #[test]
+    fn stub_and_core_classification() {
+        let g = fig1();
+        let stubs: Vec<_> = g.stub_ases().collect();
+        assert!(stubs.contains(&a('H')));
+        assert!(stubs.contains(&a('I')));
+        assert!(stubs.contains(&a('G')));
+        let core: Vec<_> = g.provider_free_ases().collect();
+        assert!(core.contains(&a('A')));
+        assert!(core.contains(&a('B')));
+        assert!(!core.contains(&a('D')));
+    }
+
+    #[test]
+    fn unknown_as_queries_are_empty_or_error() {
+        let g = fig1();
+        let ghost = Asn::new(999);
+        assert_eq!(g.providers(ghost).count(), 0);
+        assert_eq!(g.degree(ghost), 0);
+        assert!(matches!(
+            g.index_of(ghost),
+            Err(TopologyError::UnknownAs { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip_with_rebuild() {
+        let g = fig1();
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: AsGraph = serde_json::from_str(&json).unwrap();
+        back.rebuild_indices();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(
+            back.neighbor_kind(a('D'), a('A')),
+            Some(NeighborKind::Provider)
+        );
+    }
+
+    #[test]
+    fn neighbor_iter_is_exact_size() {
+        let g = fig1();
+        let iter = g.peers(a('D'));
+        assert_eq!(iter.len(), 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! AS-level paths and the Gao–Rexford (valley-free) predicate.
+//!
+//! A path is *valley-free* if it consists of zero or more provider links
+//! ("up"), followed by at most one peering link, followed by zero or more
+//! customer links ("down"). The Gao–Rexford conditions (GRC) imply that
+//! every path used in a BGP Internet is valley-free; the paper's
+//! mutuality-based agreements create exactly the non-valley-free paths
+//! that path-aware architectures can use safely.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AsGraph, Asn, NeighborKind, Result, TopologyError};
+
+/// An AS-level path: a sequence of at least one AS with all consecutive
+/// pairs adjacent in some graph.
+///
+/// `AsPath` itself does not retain a reference to the graph; adjacency is
+/// validated at construction via [`AsPath::new`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AsPath(Vec<Asn>);
+
+impl AsPath {
+    /// Creates a path, validating that it is non-empty, free of immediate
+    /// revisits, and that consecutive ASes are adjacent in `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidPath`] on an empty or repeating
+    /// sequence and [`TopologyError::UnknownLink`] for non-adjacent hops.
+    pub fn new(graph: &AsGraph, hops: Vec<Asn>) -> Result<Self> {
+        if hops.is_empty() {
+            return Err(TopologyError::InvalidPath {
+                reason: "path must contain at least one AS".to_owned(),
+            });
+        }
+        for pair in hops.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(TopologyError::InvalidPath {
+                    reason: format!("consecutive duplicate hop {}", pair[0]),
+                });
+            }
+            if graph.link_between(pair[0], pair[1]).is_none() {
+                return Err(TopologyError::UnknownLink {
+                    a: pair[0],
+                    b: pair[1],
+                });
+            }
+        }
+        Ok(AsPath(hops))
+    }
+
+    /// The hops of the path, source first.
+    #[must_use]
+    pub fn hops(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// Number of ASes on the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Paths are validated non-empty, so this is always `false`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if the path consists of a single AS.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.0.len() == 1
+    }
+
+    /// First AS of the path.
+    #[must_use]
+    pub fn source(&self) -> Asn {
+        self.0[0]
+    }
+
+    /// Last AS of the path.
+    #[must_use]
+    pub fn destination(&self) -> Asn {
+        *self.0.last().expect("paths are non-empty")
+    }
+
+    /// Returns `true` if no AS appears twice (loop-freeness).
+    #[must_use]
+    pub fn is_loop_free(&self) -> bool {
+        let mut seen = self.0.clone();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Checks the valley-free (Gao–Rexford) predicate against `graph`.
+    ///
+    /// Returns `None` if some consecutive pair is not adjacent (which
+    /// cannot happen for paths built through [`AsPath::new`] on the same
+    /// graph).
+    #[must_use]
+    pub fn is_valley_free(&self, graph: &AsGraph) -> Option<bool> {
+        is_valley_free(graph, &self.0)
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for asn in &self.0 {
+            if !first {
+                write!(f, " → ")?;
+            }
+            write!(f, "{asn}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[Asn]> for AsPath {
+    fn as_ref(&self) -> &[Asn] {
+        &self.0
+    }
+}
+
+impl From<AsPath> for Vec<Asn> {
+    fn from(path: AsPath) -> Self {
+        path.0
+    }
+}
+
+/// Traversal direction of one path step, from the forwarding AS's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Step {
+    /// Customer → provider ("uphill").
+    Up,
+    /// Peer → peer ("flat").
+    Flat,
+    /// Provider → customer ("downhill").
+    Down,
+}
+
+/// Classifies each consecutive hop pair of `hops` as up/flat/down.
+///
+/// Returns `None` if any pair is not adjacent in the graph.
+#[must_use]
+pub fn classify_steps(graph: &AsGraph, hops: &[Asn]) -> Option<Vec<Step>> {
+    hops.windows(2)
+        .map(|pair| {
+            graph.neighbor_kind(pair[0], pair[1]).map(|kind| match kind {
+                NeighborKind::Provider => Step::Up,
+                NeighborKind::Peer => Step::Flat,
+                NeighborKind::Customer => Step::Down,
+            })
+        })
+        .collect()
+}
+
+/// The valley-free predicate over a hop sequence: `up* flat? down*`.
+///
+/// Returns `None` if some consecutive pair is not adjacent in the graph.
+#[must_use]
+pub fn is_valley_free(graph: &AsGraph, hops: &[Asn]) -> Option<bool> {
+    let steps = classify_steps(graph, hops)?;
+    Some(is_valley_free_steps(&steps))
+}
+
+/// Valley-free predicate over a pre-classified step sequence.
+#[must_use]
+pub fn is_valley_free_steps(steps: &[Step]) -> bool {
+    // State machine: climbing (up*) until a flat or down step, after which
+    // only down steps are permitted.
+    let mut descending = false;
+    for &step in steps {
+        match step {
+            Step::Up if descending => return false,
+            Step::Up => {}
+            Step::Flat if descending => return false,
+            Step::Flat | Step::Down => descending = true,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{asn, fig1};
+
+    #[test]
+    fn construction_validates_adjacency() {
+        let g = fig1();
+        assert!(AsPath::new(&g, vec![asn('H'), asn('D'), asn('E')]).is_ok());
+        assert!(matches!(
+            AsPath::new(&g, vec![asn('H'), asn('E')]),
+            Err(TopologyError::UnknownLink { .. })
+        ));
+        assert!(AsPath::new(&g, vec![]).is_err());
+        assert!(AsPath::new(&g, vec![asn('D'), asn('D')]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let g = fig1();
+        let p = AsPath::new(&g, vec![asn('H'), asn('D'), asn('E')]).unwrap();
+        assert_eq!(p.source(), asn('H'));
+        assert_eq!(p.destination(), asn('E'));
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_trivial());
+        assert!(p.is_loop_free());
+        assert_eq!(p.to_string(), "AS8 → AS4 → AS5");
+    }
+
+    #[test]
+    fn loop_detection() {
+        let g = fig1();
+        // D–E peer link traversed back and forth: D → E → D.
+        let p = AsPath::new(&g, vec![asn('D'), asn('E'), asn('D')]).unwrap();
+        assert!(!p.is_loop_free());
+    }
+
+    #[test]
+    fn valley_free_patterns_length3() {
+        let g = fig1();
+        let cases = [
+            // (path, valley-free?)
+            (vec![asn('H'), asn('D'), asn('A')], true),  // up, up
+            (vec![asn('H'), asn('D'), asn('E')], true),  // up, flat
+            (vec![asn('H'), asn('D'), asn('C')], true),  // up, flat (C is peer)
+            (vec![asn('A'), asn('D'), asn('H')], true),  // down, down
+            (vec![asn('C'), asn('D'), asn('H')], true),  // flat, down
+            (vec![asn('C'), asn('D'), asn('A')], false), // flat, up — valley
+            (vec![asn('C'), asn('D'), asn('E')], false), // flat, flat — valley
+            (vec![asn('A'), asn('D'), asn('E')], false), // down, flat — valley
+            (vec![asn('A'), asn('D'), asn('C')], false), // down, flat — valley
+        ];
+        for (hops, expected) in cases {
+            assert_eq!(
+                is_valley_free(&g, &hops),
+                Some(expected),
+                "path {hops:?} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn the_ma_paths_of_the_paper_are_not_valley_free() {
+        let g = fig1();
+        // Agreement a = [D(↑{A}); E(↑{B}, →{F})] creates paths D–E–B,
+        // D–E–F, and E–D–A — all GRC-violating.
+        for hops in [
+            vec![asn('D'), asn('E'), asn('B')],
+            vec![asn('D'), asn('E'), asn('F')],
+            vec![asn('E'), asn('D'), asn('A')],
+        ] {
+            assert_eq!(is_valley_free(&g, &hops), Some(false));
+        }
+    }
+
+    #[test]
+    fn non_adjacent_pair_is_none() {
+        let g = fig1();
+        assert_eq!(is_valley_free(&g, &[asn('A'), asn('I')]), None);
+    }
+
+    #[test]
+    fn single_as_path_is_valley_free() {
+        let g = fig1();
+        assert_eq!(is_valley_free(&g, &[asn('A')]), Some(true));
+    }
+
+    #[test]
+    fn step_classification() {
+        let g = fig1();
+        let steps = classify_steps(&g, &[asn('H'), asn('D'), asn('E'), asn('I')]).unwrap();
+        assert_eq!(steps, vec![Step::Up, Step::Flat, Step::Down]);
+    }
+
+    #[test]
+    fn longer_valley_free_paths() {
+        let g = fig1();
+        // H up D up A flat B down E down I: up up flat down down — valid.
+        assert_eq!(
+            is_valley_free(&g, &[asn('H'), asn('D'), asn('A'), asn('B'), asn('E'), asn('I')]),
+            Some(true)
+        );
+        // H up D flat E up B: flat then up — invalid.
+        assert_eq!(
+            is_valley_free(&g, &[asn('H'), asn('D'), asn('E'), asn('B')]),
+            Some(false)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The business relationship encoded by an inter-AS link.
+///
+/// The paper's mixed graph `G = (A, L↔, L↑)` distinguishes undirected
+/// peering links (`L↔`) from directed provider–customer links (`L↑`).
+/// An [`AsGraph`](crate::AsGraph) link annotated `ProviderToCustomer`
+/// is directed from the provider (first endpoint) to the customer
+/// (second endpoint); a `PeerToPeer` link is symmetric.
+///
+/// Paid peering can be represented as a provider–customer link, as noted in
+/// §III-A of the paper; settlement-free peering is the `PeerToPeer` variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// A transit relationship: the first endpoint sells transit to the second.
+    ProviderToCustomer,
+    /// A settlement-free peering relationship between the two endpoints.
+    PeerToPeer,
+}
+
+impl Relationship {
+    /// Returns the CAIDA serial-2 relationship code:
+    /// `-1` for provider→customer, `0` for peer-to-peer.
+    #[must_use]
+    pub const fn caida_code(self) -> i8 {
+        match self {
+            Relationship::ProviderToCustomer => -1,
+            Relationship::PeerToPeer => 0,
+        }
+    }
+
+    /// Parses a CAIDA serial-2 relationship code.
+    ///
+    /// Returns `None` for codes other than `-1` and `0`.
+    #[must_use]
+    pub const fn from_caida_code(code: i8) -> Option<Self> {
+        match code {
+            -1 => Some(Relationship::ProviderToCustomer),
+            0 => Some(Relationship::PeerToPeer),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the directed (transit) relationship.
+    #[must_use]
+    pub const fn is_transit(self) -> bool {
+        matches!(self, Relationship::ProviderToCustomer)
+    }
+
+    /// Returns `true` for the symmetric peering relationship.
+    #[must_use]
+    pub const fn is_peering(self) -> bool {
+        matches!(self, Relationship::PeerToPeer)
+    }
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relationship::ProviderToCustomer => write!(f, "provider-to-customer"),
+            Relationship::PeerToPeer => write!(f, "peer-to-peer"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caida_codes_round_trip() {
+        for rel in [Relationship::ProviderToCustomer, Relationship::PeerToPeer] {
+            assert_eq!(Relationship::from_caida_code(rel.caida_code()), Some(rel));
+        }
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        assert_eq!(Relationship::from_caida_code(1), None);
+        assert_eq!(Relationship::from_caida_code(-2), None);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Relationship::ProviderToCustomer.is_transit());
+        assert!(!Relationship::ProviderToCustomer.is_peering());
+        assert!(Relationship::PeerToPeer.is_peering());
+        assert!(!Relationship::PeerToPeer.is_transit());
+    }
+}

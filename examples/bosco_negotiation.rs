@@ -1,0 +1,84 @@
+//! Mechanism-assisted negotiation with BOSCO (§V).
+//!
+//! Sets up a BOSCO service for the paper's `U(1)` utility distribution,
+//! prints the mechanism-information set (choice sets and equilibrium
+//! strategies), verifies the equilibrium as the parties would, and then
+//! simulates negotiations — showing individual rationality, soundness,
+//! privacy, and the Price of Dishonesty.
+//!
+//! Run with: `cargo run --release --example bosco_negotiation`
+
+use pan_interconnect::bosco::{BoscoService, GameOutcome, ServiceConfig, UtilityDistribution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The BOSCO service estimates both parties' utilities as Unif[−1, 1]
+    // (the paper's U(1)).
+    let distribution = UtilityDistribution::uniform(-1.0, 1.0)?;
+    let config = ServiceConfig {
+        choices: 30,
+        trials: 60,
+        max_iterations: 500,
+    };
+    let service = BoscoService::construct(&config, distribution, distribution, 2024)?;
+    println!(
+        "BOSCO service constructed: PoD = {:.3} (mean over trials {:.3}, {} trials converged)",
+        service.price_of_dishonesty(),
+        service.mean_price_of_dishonesty(),
+        service.trials_converged()
+    );
+
+    // The mechanism-information set is public to both parties…
+    let info = service.info_set();
+    println!(
+        "choice sets: |V_X| = {}, |V_Y| = {} (including the −∞ cancel option)",
+        info.choices_x.len(),
+        info.choices_y.len()
+    );
+    // …and each party verifies the equilibrium before playing.
+    assert!(info.equilibrium.verify(service.game(), 1e-9));
+    println!("equilibrium verified by both parties ✓");
+
+    let active_x = info
+        .equilibrium
+        .strategy_x
+        .active_choice_count(&info.distribution_x);
+    println!("equilibrium choices actually played by X: {active_x} (paper: ≈4)");
+    if let Some(interval) = info.equilibrium.strategy_x.shortest_interval() {
+        println!("privacy: shortest claim interval of X has length {interval:.3} (> 0)");
+    }
+
+    // Simulate negotiations over a grid of true utilities.
+    println!("\n  u_X     u_Y   outcome");
+    let mut concluded = 0usize;
+    let mut total = 0usize;
+    for i in 0..5 {
+        for j in 0..5 {
+            let ux = -1.0 + 0.5 * i as f64;
+            let uy = -1.0 + 0.5 * j as f64;
+            total += 1;
+            match service.execute(ux, uy) {
+                GameOutcome::Concluded {
+                    transfer_x_to_y,
+                    utility_x_after,
+                    utility_y_after,
+                    ..
+                } => {
+                    concluded += 1;
+                    // Theorem 1 (strong individual rationality) and
+                    // Theorem 2 (soundness) hold per outcome:
+                    assert!(utility_x_after >= -1e-9 && utility_y_after >= -1e-9);
+                    assert!(ux + uy >= -1e-9);
+                    println!(
+                        "{ux:6.2}  {uy:6.2}   concluded: Π = {transfer_x_to_y:6.3}, \
+                         after = ({utility_x_after:.3}, {utility_y_after:.3})"
+                    );
+                }
+                GameOutcome::Cancelled => {
+                    println!("{ux:6.2}  {uy:6.2}   cancelled");
+                }
+            }
+        }
+    }
+    println!("\n{concluded}/{total} grid negotiations concluded");
+    Ok(())
+}

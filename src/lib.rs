@@ -1,0 +1,20 @@
+//! # pan-interconnect
+//!
+//! Umbrella crate for the reproduction of Scherrer, Legner, Perrig, Schmid:
+//! *Enabling Novel Interconnection Agreements with Path-Aware Networking
+//! Architectures* (DSN 2021).
+//!
+//! Re-exports every workspace crate under a stable set of module names.
+//! See the repository README for an architecture overview and the
+//! `examples/` directory for runnable walkthroughs.
+
+#![forbid(unsafe_code)]
+
+pub use bgp_sim as bgp;
+pub use pan_bosco as bosco;
+pub use pan_core as agreements;
+pub use pan_datasets as datasets;
+pub use pan_econ as econ;
+pub use pan_pathdiv as pathdiv;
+pub use pan_sim as pan;
+pub use pan_topology as topology;

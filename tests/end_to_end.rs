@@ -1,0 +1,212 @@
+//! End-to-end integration: synthetic Internet → agreement negotiation →
+//! PAN authorization → packet forwarding.
+//!
+//! This is the full life cycle of a mutuality-based agreement as the
+//! paper envisions it: two peers on a realistic topology evaluate an MA
+//! economically, negotiate it (directly and via BOSCO), authorize the
+//! new segments in the path-aware data plane, and customers immediately
+//! use the new paths.
+
+use pan_interconnect::agreements::{
+    Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer,
+};
+use pan_interconnect::bosco::{BoscoService, GameOutcome, ServiceConfig, UtilityDistribution};
+use pan_interconnect::datasets::{InternetConfig, SyntheticInternet, Tier};
+use pan_interconnect::econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
+use pan_interconnect::pan::Network;
+use pan_interconnect::topology::{Asn, NeighborKind};
+
+/// Builds a plausible business model for a synthetic Internet: transit
+/// prices fall with provider tier, internal costs are small and linear.
+fn business_model(net: &SyntheticInternet) -> BusinessModel {
+    let mut book = PricingBook::with_default(PricingFunction::per_usage(1.0).expect("valid"));
+    for link in net.graph.links() {
+        if link.relationship.is_transit() {
+            let rate = match net.tier(link.a) {
+                Tier::Tier1 => 1.0,
+                Tier::Transit => 2.0,
+                Tier::Stub => 3.0,
+            };
+            book.set_transit_price(
+                link.a,
+                link.b,
+                PricingFunction::per_usage(rate).expect("valid"),
+            );
+        }
+    }
+    let mut model = BusinessModel::new(net.graph.clone(), book);
+    for asn in net.graph.ases() {
+        model.set_internal_cost(asn, CostFunction::linear(0.02).expect("valid"));
+    }
+    model
+}
+
+/// Picks a peer pair where both sides have at least one provider and one
+/// customer (so an MA has something to work with).
+fn pick_peer_pair(net: &SyntheticInternet) -> (Asn, Asn) {
+    for link in net.graph.links() {
+        if link.relationship.is_peering() {
+            let (x, y) = (link.a, link.b);
+            let good = |a: Asn| {
+                net.graph.providers(a).count() >= 1 && net.graph.customers(a).count() >= 1
+            };
+            if good(x) && good(y) {
+                return (x, y);
+            }
+        }
+    }
+    panic!("synthetic Internet should contain a suitable peer pair");
+}
+
+fn baseline_flows(net: &SyntheticInternet, asn: Asn) -> FlowVec {
+    let mut flows = FlowVec::new(asn);
+    for provider in net.graph.providers(asn) {
+        flows.set(provider, 40.0);
+    }
+    for customer in net.graph.customers(asn) {
+        flows.set(customer, 25.0);
+    }
+    for peer in net.graph.peers(asn) {
+        flows.set(peer, 5.0);
+    }
+    flows.set_end_host_flow(10.0);
+    flows
+}
+
+#[test]
+fn full_agreement_lifecycle() {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 400,
+            ..InternetConfig::default()
+        },
+        2026,
+    )
+    .expect("valid config");
+    let model = business_model(&net);
+    let (x, y) = pick_peer_pair(&net);
+
+    // 1. The MA validates and creates only GRC-violating segments.
+    let ma = Agreement::mutuality(&net.graph, x, y).expect("peers form MAs");
+    ma.validate(&net.graph).expect("MA validates");
+    let segments = ma.new_segments(&net.graph);
+    assert!(!segments.is_empty(), "the pair should gain segments");
+    for segment in &segments {
+        assert_ne!(
+            segment.target_role,
+            NeighborKind::Customer,
+            "MAs grant only providers and peers"
+        );
+    }
+
+    // 2. Economic evaluation and optimization.
+    let scenario = AgreementScenario::with_default_opportunities(
+        &model,
+        ma.clone(),
+        baseline_flows(&net, x),
+        baseline_flows(&net, y),
+        0.5,
+        0.3,
+    )
+    .expect("scenario builds");
+    let flow_volume = FlowVolumeOptimizer::new()
+        .optimize(&scenario)
+        .expect("optimization runs");
+    let cash = CashOptimizer::new().optimize(&scenario).expect("runs");
+
+    // 3. If the flow-volume agreement concluded, both utilities are
+    //    non-negative; cash (if viable) achieves at least its joint value.
+    if let Some(fv) = flow_volume.concluded() {
+        assert!(fv.utility_x >= -1e-9);
+        assert!(fv.utility_y >= -1e-9);
+        let c = cash
+            .concluded()
+            .expect("cash concludes whenever flow-volume does");
+        assert!(c.joint_utility() >= fv.utility_x + fv.utility_y - 1e-6);
+    }
+
+    // 4. Negotiate via BOSCO with utilities estimated around the
+    //    computed values.
+    if let Some(c) = cash.concluded() {
+        let (ux, uy) = (c.utility_x_before, c.utility_y_before);
+        let spread = (ux.abs() + uy.abs()).max(1.0);
+        let dist_x =
+            UtilityDistribution::uniform(ux - spread, ux + spread).expect("valid bounds");
+        let dist_y =
+            UtilityDistribution::uniform(uy - spread, uy + spread).expect("valid bounds");
+        let service = BoscoService::construct(
+            &ServiceConfig {
+                choices: 20,
+                trials: 15,
+                max_iterations: 400,
+            },
+            dist_x,
+            dist_y,
+            99,
+        )
+        .expect("service constructs");
+        match service.execute(ux, uy) {
+            GameOutcome::Concluded {
+                utility_x_after,
+                utility_y_after,
+                ..
+            } => {
+                assert!(utility_x_after >= -1e-9, "individual rationality");
+                assert!(utility_y_after >= -1e-9);
+            }
+            GameOutcome::Cancelled => {
+                // Sound mechanisms may cancel viable agreements (they are
+                // not ex-post efficient) — but never conclude unviable ones.
+            }
+        }
+    }
+
+    // 5. Authorize the agreement and forward over every new segment.
+    let mut network = Network::new(net.graph.clone());
+    for segment in &segments {
+        let path = [segment.beneficiary, segment.via, segment.target];
+        assert!(
+            network.send(&path).is_err(),
+            "pre-agreement, {path:?} must be refused"
+        );
+    }
+    network.authorize_agreement(&ma);
+    for segment in &segments {
+        let path = [segment.beneficiary, segment.via, segment.target];
+        let delivery = network.send(&path).expect("post-agreement delivery");
+        assert_eq!(delivery.hops_traversed, 2);
+    }
+}
+
+#[test]
+fn classic_peering_lifecycle() {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 300,
+            ..InternetConfig::default()
+        },
+        7,
+    )
+    .expect("valid config");
+    let model = business_model(&net);
+    let (x, y) = pick_peer_pair(&net);
+    let peering = Agreement::classic_peering(&net.graph, x, y).expect("builds");
+    peering.validate(&net.graph).expect("validates");
+    let scenario = AgreementScenario::with_default_opportunities(
+        &model,
+        peering,
+        baseline_flows(&net, x),
+        baseline_flows(&net, y),
+        0.8,
+        0.1,
+    )
+    .expect("scenario builds");
+    // Classic peering reroutes provider traffic onto the free peer link;
+    // with symmetric pricing it should conclude.
+    let outcome = FlowVolumeOptimizer::new()
+        .optimize(&scenario)
+        .expect("optimizes");
+    if let Some(agreement) = outcome.concluded() {
+        assert!(agreement.nash_product() > 0.0);
+    }
+}

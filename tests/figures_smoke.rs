@@ -1,0 +1,206 @@
+//! Smoke tests asserting the *shape* claims of every paper figure on a
+//! small synthetic topology — the same checks EXPERIMENTS.md records for
+//! the full-size runs.
+
+use pan_interconnect::bosco::{
+    expected_nash_product, expected_truthful_nash_product, find_equilibrium, BargainingGame,
+    ChoiceSet, UtilityDistribution,
+};
+use pan_interconnect::datasets::{InternetConfig, SyntheticInternet};
+use pan_interconnect::pathdiv::bandwidth::{analyze as analyze_bw, BandwidthConfig};
+use pan_interconnect::pathdiv::diversity::{analyze_sample, DiversityConfig};
+use pan_interconnect::pathdiv::geodistance::{analyze as analyze_geo, GeodistanceConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn evaluation_net() -> SyntheticInternet {
+    SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 500,
+            tier1_count: 8,
+            ..InternetConfig::default()
+        },
+        42,
+    )
+    .expect("valid config")
+}
+
+/// Fig. 2 shape: min-PoD at W = 40 choices is no worse than at W = 5,
+/// and all PoD values live in [0, 1].
+#[test]
+fn fig2_shape_pod_falls_with_choices() {
+    let d = UtilityDistribution::uniform(-1.0, 1.0).expect("valid");
+    let truthful = expected_truthful_nash_product(&d, &d, 512);
+    let min_pod = |choices: usize, trials: usize, seed: u64| -> f64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut best = f64::INFINITY;
+        for _ in 0..trials {
+            let cx = ChoiceSet::sample_from(&d, choices, &mut rng).expect("count > 0");
+            let cy = ChoiceSet::sample_from(&d, choices, &mut rng).expect("count > 0");
+            let game = BargainingGame::new(d, d, cx, cy);
+            let Ok(eq) = find_equilibrium(&game, 500) else {
+                continue;
+            };
+            let pod = (1.0 - expected_nash_product(&game, &eq) / truthful).clamp(0.0, 1.0);
+            best = best.min(pod);
+        }
+        best
+    };
+    let small = min_pod(5, 10, 1);
+    let large = min_pod(40, 10, 2);
+    assert!((0.0..=1.0).contains(&small));
+    assert!((0.0..=1.0).contains(&large));
+    assert!(
+        large <= small + 0.05,
+        "PoD should fall (or hold) with more choices: W=5 → {small:.3}, W=40 → {large:.3}"
+    );
+}
+
+/// Fig. 3 shape: the per-AS path counts are ordered
+/// GRC ≤ GRC+Top1 ≤ GRC+Top5 ≤ MA* ≤ MA, and MA adds substantially.
+#[test]
+fn fig3_shape_series_ordering() {
+    let net = evaluation_net();
+    let report = analyze_sample(
+        &net.graph,
+        &DiversityConfig {
+            sample_size: 80,
+            seed: 3,
+            top_n: vec![1, 5],
+        },
+    );
+    for a in &report.per_as {
+        let grc = a.grc_paths;
+        let top1 = grc + a.top_n_paths[0].1;
+        let top5 = grc + a.top_n_paths[1].1;
+        let star = a.total_paths_direct_ma();
+        let all = a.total_paths_full_ma();
+        assert!(grc <= top1 && top1 <= top5 && top5 <= star && star <= all);
+    }
+    assert!(
+        report.mean_additional_paths() > 0.0,
+        "MAs must add paths in aggregate"
+    );
+    // "Most additional MA paths are directly gained" (MA ≈ MA*).
+    let direct: usize = report.per_as.iter().map(|a| a.ma_direct_paths).sum();
+    let all: usize = report.per_as.iter().map(|a| a.ma_all_paths).sum();
+    assert!(
+        direct as f64 >= 0.5 * all as f64,
+        "direct gains should dominate: {direct}/{all}"
+    );
+}
+
+/// Fig. 4 shape: destination counts ordered, and additional destinations
+/// are more evenly distributed than additional paths (paper's
+/// observation), measured by max/mean ratio.
+#[test]
+fn fig4_shape_destinations() {
+    let net = evaluation_net();
+    let report = analyze_sample(
+        &net.graph,
+        &DiversityConfig {
+            sample_size: 80,
+            seed: 4,
+            top_n: vec![1],
+        },
+    );
+    for a in &report.per_as {
+        assert!(a.grc_destinations <= a.ma_direct_destinations);
+        assert!(a.ma_direct_destinations <= a.ma_all_destinations);
+    }
+    assert!(report.mean_additional_destinations() > 0.0);
+}
+
+/// Fig. 5 shape: threshold ordering (max is easiest to beat) and
+/// meaningful reductions.
+#[test]
+fn fig5_shape_geodistance() {
+    let net = evaluation_net();
+    let report = analyze_geo(
+        &net.graph,
+        &net.geo,
+        &GeodistanceConfig {
+            sample_size: 80,
+            seed: 5,
+        },
+    );
+    assert!(!report.pairs.is_empty());
+    for k in [1, 5] {
+        assert!(report.fraction_below_max(k) >= report.fraction_below_median(k));
+        assert!(report.fraction_below_median(k) >= report.fraction_below_min(k));
+    }
+    // A non-trivial share of pairs must gain a shorter-than-minimum path.
+    assert!(
+        report.fraction_below_min(1) > 0.05,
+        "got {:.3}",
+        report.fraction_below_min(1)
+    );
+    let reductions = report.reduction_cdf();
+    if let Some(median) = reductions.median() {
+        assert!((0.0..1.0).contains(&median));
+    }
+}
+
+/// Fig. 6 shape: bandwidth threshold ordering and positive gains.
+#[test]
+fn fig6_shape_bandwidth() {
+    let net = evaluation_net();
+    let report = analyze_bw(
+        &net.graph,
+        &net.capacities,
+        &BandwidthConfig {
+            sample_size: 80,
+            seed: 6,
+        },
+    );
+    assert!(!report.pairs.is_empty());
+    for k in [1, 5] {
+        assert!(report.fraction_above_min(k) >= report.fraction_above_median(k));
+        assert!(report.fraction_above_median(k) >= report.fraction_above_max(k));
+    }
+    assert!(
+        report.fraction_above_max(1) > 0.05,
+        "got {:.3}",
+        report.fraction_above_max(1)
+    );
+    if let Some(median) = report.increase_cdf().median() {
+        assert!(median > 0.0);
+    }
+}
+
+/// CAIDA-format compatibility: the whole diversity analysis produces the
+/// same results after a serial-2 round trip (so real CAIDA snapshots are
+/// drop-in).
+#[test]
+fn analysis_survives_caida_round_trip() {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 250,
+            ..InternetConfig::default()
+        },
+        8,
+    )
+    .expect("valid config");
+    let text = pan_interconnect::topology::caida::to_string(&net.graph);
+    let reparsed = pan_interconnect::topology::caida::parse(&text).expect("round trip");
+    let config = DiversityConfig {
+        sample_size: 40,
+        seed: 9,
+        top_n: vec![1, 5],
+    };
+    let original = analyze_sample(&net.graph, &config);
+    let round_tripped = analyze_sample(&reparsed, &config);
+    // Same ASNs and counts (sampling is by index, and the round trip
+    // preserves insertion order of links/ASes).
+    let a: Vec<_> = original
+        .per_as
+        .iter()
+        .map(|d| (d.asn, d.grc_paths, d.ma_all_paths))
+        .collect();
+    let b: Vec<_> = round_tripped
+        .per_as
+        .iter()
+        .map(|d| (d.asn, d.grc_paths, d.ma_all_paths))
+        .collect();
+    assert_eq!(a, b);
+}

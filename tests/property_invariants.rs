@@ -1,0 +1,205 @@
+//! Property-based tests over cross-crate invariants: random topologies,
+//! random flows, random agreements — the invariants the paper's formalism
+//! promises must hold for *all* inputs, not just the worked examples.
+
+use proptest::prelude::*;
+
+use pan_interconnect::agreements::{evaluate, Agreement, AgreementScenario, OperatingPoint};
+use pan_interconnect::econ::traffic::FlowAccumulator;
+use pan_interconnect::econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
+use pan_interconnect::topology::path::is_valley_free;
+use pan_interconnect::topology::{AsGraph, AsGraphBuilder, Asn, NeighborKind, Relationship};
+
+/// Strategy: a random mixed AS graph with `n` nodes. Transit links only
+/// point from lower to higher ASN, which guarantees acyclicity.
+fn arbitrary_graph(max_nodes: u32) -> impl Strategy<Value = AsGraph> {
+    (4..=max_nodes)
+        .prop_flat_map(move |n| {
+            let links = prop::collection::vec(
+                (1..=n, 1..=n, prop::bool::ANY),
+                0..(3 * n as usize),
+            );
+            (Just(n), links)
+        })
+        .prop_map(|(n, links)| {
+            let mut builder = AsGraphBuilder::new();
+            for i in 1..=n {
+                builder.add_as(Asn::new(i));
+            }
+            for (a, b, peer) in links {
+                if a == b {
+                    continue;
+                }
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let relationship = if peer {
+                    Relationship::PeerToPeer
+                } else {
+                    Relationship::ProviderToCustomer
+                };
+                // Ignore conflicts: first relationship wins.
+                let _ = builder.add_link(Asn::new(lo), Asn::new(hi), relationship);
+            }
+            builder.build().expect("low-to-high transit links cannot cycle")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Neighbor classification is consistent: X sees Y as a provider iff
+    /// Y sees X as a customer, and peering is symmetric.
+    #[test]
+    fn neighbor_kinds_are_dual(graph in arbitrary_graph(24)) {
+        for x in graph.ases() {
+            for y in graph.ases() {
+                let xy = graph.neighbor_kind(x, y);
+                let yx = graph.neighbor_kind(y, x);
+                match xy {
+                    Some(NeighborKind::Provider) => prop_assert_eq!(yx, Some(NeighborKind::Customer)),
+                    Some(NeighborKind::Customer) => prop_assert_eq!(yx, Some(NeighborKind::Provider)),
+                    Some(NeighborKind::Peer) => prop_assert_eq!(yx, Some(NeighborKind::Peer)),
+                    None => prop_assert_eq!(yx, None),
+                }
+            }
+        }
+    }
+
+    /// Degree accounting: the neighbor lists cover every link exactly
+    /// twice (once per endpoint).
+    #[test]
+    fn degrees_sum_to_twice_links(graph in arbitrary_graph(24)) {
+        let degree_sum: usize = graph.ases().map(|a| graph.degree(a)).sum();
+        prop_assert_eq!(degree_sum, 2 * graph.link_count());
+    }
+
+    /// The valley-free predicate over two links matches the explicit
+    /// pattern table {uu, up, ud, pd, dd}.
+    #[test]
+    fn valley_free_matches_pattern_table(graph in arbitrary_graph(16)) {
+        for a in graph.ases() {
+            for b in graph.ases() {
+                for c in graph.ases() {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    let (Some(r1), Some(r2)) =
+                        (graph.neighbor_kind(a, b), graph.neighbor_kind(b, c))
+                    else {
+                        continue;
+                    };
+                    let expected = matches!(
+                        (r1, r2),
+                        (NeighborKind::Provider, _)
+                            | (NeighborKind::Peer, NeighborKind::Customer)
+                            | (NeighborKind::Customer, NeighborKind::Customer)
+                    );
+                    prop_assert_eq!(
+                        is_valley_free(&graph, &[a, b, c]),
+                        Some(expected),
+                        "pattern ({:?}, {:?})", r1, r2
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flow accounting conservation: routing v units along a k-hop path
+    /// adds 2·v to every AS's total (one incident entry at each side,
+    /// end-host entries at the endpoints).
+    #[test]
+    fn routing_conserves_volume(
+        n in 3u32..10,
+        volume in 0.1..1e4f64,
+    ) {
+        let graph = pan_interconnect::topology::fixtures::chain(n);
+        let path: Vec<Asn> = (1..=n).map(Asn::new).collect();
+        let mut acc = FlowAccumulator::new();
+        acc.route(&graph, &path, volume).expect("chain paths route");
+        for &asn in &path {
+            let total = acc.flows_of(asn).total();
+            prop_assert!((total - 2.0 * volume).abs() < 1e-9,
+                "{asn} carries {total}, expected {}", 2.0 * volume);
+        }
+    }
+
+    /// Agreement evaluation at the zero point is exactly neutral, and at
+    /// any point both utilities are finite.
+    #[test]
+    fn evaluation_is_finite_and_zero_at_zero(
+        reroute in 0.0..=1.0f64,
+        attract in 0.0..=1.0f64,
+        provider_rate in 0.1..5.0f64,
+        internal_rate in 0.0..0.5f64,
+    ) {
+        use pan_interconnect::topology::fixtures::{asn, fig1};
+        let mut book = PricingBook::new();
+        book.set_transit_price(asn('A'), asn('D'),
+            PricingFunction::per_usage(provider_rate).unwrap());
+        book.set_transit_price(asn('B'), asn('E'),
+            PricingFunction::per_usage(provider_rate).unwrap());
+        book.set_transit_price(asn('D'), asn('H'),
+            PricingFunction::per_usage(3.0).unwrap());
+        let mut model = BusinessModel::new(fig1(), book);
+        model.set_internal_cost(asn('D'), CostFunction::linear(internal_rate).unwrap());
+        model.set_internal_cost(asn('E'), CostFunction::linear(internal_rate).unwrap());
+
+        let ma = Agreement::mutuality(model.graph(), asn('D'), asn('E')).unwrap();
+        let mut fd = FlowVec::new(asn('D'));
+        fd.set(asn('A'), 30.0);
+        fd.set(asn('H'), 25.0);
+        let mut fe = FlowVec::new(asn('E'));
+        fe.set(asn('B'), 28.0);
+        let scenario = AgreementScenario::with_default_opportunities(
+            &model, ma, fd, fe, 0.6, 0.4).unwrap();
+
+        let zero = evaluate(&scenario, &OperatingPoint::zero(scenario.dimension())).unwrap();
+        prop_assert!(zero.utility_x.abs() < 1e-9);
+        prop_assert!(zero.utility_y.abs() < 1e-9);
+
+        let point = OperatingPoint::uniform(scenario.dimension(), reroute, attract).unwrap();
+        let eval = evaluate(&scenario, &point).unwrap();
+        prop_assert!(eval.utility_x.is_finite());
+        prop_assert!(eval.utility_y.is_finite());
+        // Flow vectors stay non-negative under any operating point.
+        for (_, v) in eval.flows_x.iter() {
+            prop_assert!(v >= 0.0);
+        }
+        for (_, v) in eval.flows_y.iter() {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    /// MA path enumeration and the PAN authorization agree: every MA path
+    /// of a random graph is deliverable once (and only once) the MA is
+    /// authorized.
+    #[test]
+    fn enumerated_ma_paths_match_authorization(graph in arbitrary_graph(16)) {
+        use pan_interconnect::pathdiv::length3::Length3Enumerator;
+        use pan_interconnect::pan::Network;
+
+        let enumerator = Length3Enumerator::new(&graph);
+        let mut network = Network::new(graph.clone());
+        // Authorize every possible MA.
+        let peer_pairs: Vec<(Asn, Asn)> = graph
+            .links()
+            .filter(|l| l.relationship.is_peering())
+            .map(|l| (l.a, l.b))
+            .collect();
+        for (a, b) in peer_pairs {
+            let ma = Agreement::mutuality(&graph, a, b).expect("peers");
+            network.authorize_agreement(&ma);
+        }
+        for src in 0..graph.node_count() as u32 {
+            let mut paths = Vec::new();
+            enumerator.for_each_ma_direct(src, |mid, dst| {
+                paths.push([graph.asn_at(src), graph.asn_at(mid), graph.asn_at(dst)]);
+            });
+            for path in paths {
+                prop_assert!(
+                    network.send(&path).is_ok(),
+                    "direct MA path {path:?} refused despite all MAs authorized"
+                );
+            }
+        }
+    }
+}

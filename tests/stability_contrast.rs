@@ -1,0 +1,122 @@
+//! Integration tests for the §II stability argument: BGP needs the GRC,
+//! the PAN does not.
+
+use pan_interconnect::agreements::Agreement;
+use pan_interconnect::bgp::{gadgets, policy, stable_paths, Engine, Schedule};
+use pan_interconnect::datasets::{InternetConfig, SyntheticInternet};
+use pan_interconnect::pan::{beaconing, Network, SegmentKind};
+use pan_interconnect::topology::fixtures::{asn, fig1};
+
+#[test]
+fn grc_bgp_converges_on_synthetic_topologies() {
+    // Gao–Rexford instances are provably safe; verify on a synthetic
+    // Internet for several destinations and schedules.
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 60,
+            tier1_count: 4,
+            ..InternetConfig::default()
+        },
+        5,
+    )
+    .expect("valid config");
+    let destinations: Vec<_> = net.graph.ases().take(3).collect();
+    for dest in destinations {
+        let spp = policy::grc_instance(&net.graph, dest, 4).expect("instance builds");
+        for seed in 0..3 {
+            let mut engine = Engine::new(&spp);
+            let result = engine.run(Schedule::random(seed), 5_000);
+            assert!(
+                result.is_converged(),
+                "GRC BGP diverged for destination {dest} under seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sibling_policies_create_the_wedgie_and_bad_gadget() {
+    // The exact narrative of §II on the Fig. 1 topology.
+    let wedgie = gadgets::fig1_wedgie();
+    assert_eq!(
+        stable_paths::solve(&wedgie).len(),
+        2,
+        "the D–E agreement creates a two-state wedgie"
+    );
+    let bad = gadgets::fig1_bad_gadget();
+    assert!(
+        stable_paths::solve(&bad).is_empty(),
+        "adding C's agreements leaves no stable state"
+    );
+    let mut engine = Engine::new(&bad);
+    assert!(
+        !engine.run(Schedule::round_robin(), 10_000).is_converged(),
+        "BAD GADGET must oscillate"
+    );
+}
+
+#[test]
+fn pan_forwards_the_same_grc_violating_paths_loop_free() {
+    let mut network = Network::new(fig1());
+    let ma_de = Agreement::mutuality(network.graph(), asn('D'), asn('E')).expect("peers");
+    let ma_cd = Agreement::mutuality(network.graph(), asn('C'), asn('D')).expect("peers");
+    network.authorize_agreement(&ma_de);
+    network.authorize_agreement(&ma_cd);
+
+    // Exactly the paths whose BGP counterpart oscillates:
+    for path in [
+        vec![asn('D'), asn('E'), asn('B')],
+        vec![asn('E'), asn('D'), asn('A')],
+        vec![asn('C'), asn('D'), asn('A')],
+        vec![asn('C'), asn('D'), asn('E')],
+    ] {
+        let delivery = network.send(&path).expect("authorized MA path delivers");
+        assert_eq!(
+            delivery.hops_traversed,
+            path.len() - 1,
+            "forwarding takes exactly len−1 hops: loops are structurally impossible"
+        );
+    }
+}
+
+#[test]
+fn beaconing_discovers_provider_paths_on_synthetic_internet() {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 200,
+            tier1_count: 6,
+            ..InternetConfig::default()
+        },
+        11,
+    )
+    .expect("valid config");
+    let registry = beaconing::run_beaconing(&net.graph, 6, 4);
+    // Every non-core AS should discover at least one up-segment.
+    let cores: Vec<_> = net.graph.provider_free_ases().collect();
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for a in net.graph.ases() {
+        if cores.contains(&a) {
+            continue;
+        }
+        total += 1;
+        if registry.segments_of_kind(a, SegmentKind::Up).count() > 0 {
+            covered += 1;
+        }
+    }
+    assert_eq!(covered, total, "beaconing must reach every customer AS");
+
+    // All discovered up-segments are usable in the forwarding plane
+    // without any agreement (they are GRC-conforming by construction).
+    let network = Network::new(net.graph.clone());
+    let mut checked = 0usize;
+    for a in net.graph.ases().take(40) {
+        for segment in registry.segments_of_kind(a, SegmentKind::Up) {
+            network
+                .send(segment.hops())
+                .expect("beaconed segments are GRC-conforming");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
+}
