@@ -45,7 +45,7 @@ pub enum Tier {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Region {
     /// Human-readable name, e.g. `"europe-west"`.
-    pub name: &'static str,
+    pub name: String,
     /// The region's main interconnection hub.
     pub hub: GeoPoint,
     /// Relative share of ASes homed in the region.
@@ -57,15 +57,15 @@ pub struct Region {
 pub fn default_regions() -> Vec<Region> {
     let p = |lat: f64, lon: f64| GeoPoint::new(lat, lon).expect("static coordinates are valid");
     vec![
-        Region { name: "north-america-east", hub: p(40.7, -74.0), weight: 0.18 },
-        Region { name: "north-america-west", hub: p(37.4, -122.1), weight: 0.10 },
-        Region { name: "europe-west", hub: p(50.1, 8.7), weight: 0.22 },
-        Region { name: "europe-east", hub: p(52.2, 21.0), weight: 0.10 },
-        Region { name: "asia-east", hub: p(35.7, 139.7), weight: 0.14 },
-        Region { name: "asia-south", hub: p(19.1, 72.9), weight: 0.10 },
-        Region { name: "south-america", hub: p(-23.5, -46.6), weight: 0.08 },
-        Region { name: "oceania", hub: p(-33.9, 151.2), weight: 0.04 },
-        Region { name: "africa", hub: p(6.5, 3.4), weight: 0.04 },
+        Region { name: "north-america-east".to_string(), hub: p(40.7, -74.0), weight: 0.18 },
+        Region { name: "north-america-west".to_string(), hub: p(37.4, -122.1), weight: 0.10 },
+        Region { name: "europe-west".to_string(), hub: p(50.1, 8.7), weight: 0.22 },
+        Region { name: "europe-east".to_string(), hub: p(52.2, 21.0), weight: 0.10 },
+        Region { name: "asia-east".to_string(), hub: p(35.7, 139.7), weight: 0.14 },
+        Region { name: "asia-south".to_string(), hub: p(19.1, 72.9), weight: 0.10 },
+        Region { name: "south-america".to_string(), hub: p(-23.5, -46.6), weight: 0.08 },
+        Region { name: "oceania".to_string(), hub: p(-33.9, 151.2), weight: 0.04 },
+        Region { name: "africa".to_string(), hub: p(6.5, 3.4), weight: 0.04 },
     ]
 }
 

@@ -1,0 +1,256 @@
+//! Offline vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock timing loop instead
+//! of criterion's statistical machinery. Each benchmark warms up briefly,
+//! then runs timed batches and reports the mean time per iteration (plus
+//! derived throughput when configured).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{param}", name.into()) }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { text: param.to_string() }
+    }
+}
+
+/// Conversion accepted by `bench_function`-style methods.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { text: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { text: self }
+    }
+}
+
+/// Number of work items per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_benchmark(self, &id.text, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the vendored harness sizes its
+    /// measurement by time rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets throughput used to derive rate figures for later benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let label = format!("{}/{}", self.name, id.text);
+        run_benchmark(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.text);
+        run_benchmark(self.criterion, &label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is exhausted, estimating
+        // the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed();
+        let est_ns = if iters > 0 {
+            warm_elapsed.as_nanos() as f64 / iters as f64
+        } else {
+            // A single call outran the warm-up budget; measure it directly.
+            let t = Instant::now();
+            std_black_box(routine());
+            t.elapsed().as_nanos() as f64
+        };
+        // Measurement: pick an iteration count that fills the measurement
+        // budget, bounded to keep pathological cases finite.
+        let target = self.measurement.as_nanos() as f64;
+        let n = (target / est_ns.max(1.0)).clamp(1.0, 10_000_000.0) as u64;
+        let t = Instant::now();
+        for _ in 0..n {
+            std_black_box(routine());
+        }
+        let elapsed = t.elapsed();
+        self.mean_ns = Some(elapsed.as_nanos() as f64 / n as f64);
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, label: &str, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up_time,
+        measurement: criterion.measurement_time,
+        mean_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.mean_ns {
+        Some(ns) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 / (ns * 1e-9)),
+                Throughput::Bytes(n) => {
+                    format!(" ({:.3} MiB/s)", n as f64 / (ns * 1e-9) / (1024.0 * 1024.0))
+                }
+            });
+            println!(
+                "bench: {label:<50} {:>14}{}",
+                format_time(ns),
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench: {label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a list of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

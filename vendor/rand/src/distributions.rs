@@ -1,0 +1,57 @@
+//! The standard distribution used by [`Rng::gen`](crate::Rng::gen).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The distribution sampled by [`Rng::gen`](crate::Rng::gen): uniform over
+/// the whole domain for integers, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_small {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_small!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_standard_wide {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_wide!(u64, i64, usize, isize);
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, matching rand 0.8's `Standard`.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}

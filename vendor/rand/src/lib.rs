@@ -1,0 +1,265 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8-compatible surface).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, self-consistent implementation of exactly
+//! the `rand` API it consumes: [`RngCore`], [`SeedableRng`] (including the
+//! rand_core 0.6 `seed_from_u64` PCG32 expansion, so seeds produce the same
+//! key material as the real crate), the [`Rng`] extension trait with
+//! `gen`/`gen_range`, and [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism is the only contract the workspace relies on: every consumer
+//! seeds its generator explicitly, and all tests assert reproducibility or
+//! statistical ranges rather than golden keystream values.
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core interface of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Byte-array seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed.
+    ///
+    /// Expands the seed with the same PCG32 stream as rand_core 0.6, so a
+    /// given `u64` produces the same key material as the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Extension methods for random number generators.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = Standard.sample(self);
+        u < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `0..span` via multiply-shift rejection (Lemire).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // 64-bit Lemire sampling is unbiased for every span this workspace
+    // uses (all spans fit in u64).
+    let span64 = span as u64;
+    let zone = span64.wrapping_neg() % span64;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span64 as u128);
+        if (m as u64) >= zone {
+            return m >> 64;
+        }
+    }
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = Standard.sample(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if v < self.end { v } else { <$t>::max(self.start, prev_down(self.end)) }
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let u: $t = Standard.sample(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+fn prev_down<T: FloatBits>(x: T) -> T {
+    T::prev_down(x)
+}
+
+trait FloatBits: Copy {
+    fn prev_down(self) -> Self;
+}
+
+impl FloatBits for f64 {
+    fn prev_down(self) -> Self {
+        if self == 0.0 {
+            -f64::MIN_POSITIVE
+        } else if self > 0.0 {
+            f64::from_bits(self.to_bits() - 1)
+        } else {
+            f64::from_bits(self.to_bits() + 1)
+        }
+    }
+}
+
+impl FloatBits for f32 {
+    fn prev_down(self) -> Self {
+        if self == 0.0 {
+            -f32::MIN_POSITIVE
+        } else if self > 0.0 {
+            f32::from_bits(self.to_bits() - 1)
+        } else {
+            f32::from_bits(self.to_bits() + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..13);
+            assert!(x < 13);
+            let y: f64 = rng.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&y));
+            let z: u32 = rng.gen_range(24..=64);
+            assert!((24..=64).contains(&z));
+            let w: f64 = rng.gen_range(-1.5..=1.5);
+            assert!((-1.5..=1.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_negative_ints() {
+        let mut rng = Counter(3);
+        for _ in 0..100 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+}

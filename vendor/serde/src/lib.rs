@@ -1,0 +1,39 @@
+//! Offline vendored stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization framework with the same spelling as
+//! serde: `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`,
+//! `#[serde(transparent)]`, and a `serde_json` companion crate.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, everything goes
+//! through an owned [`Value`] tree (the JSON data model plus distinct
+//! integer variants). This is entirely self-consistent — whatever
+//! `serde_json::to_string` produces, `serde_json::from_str` round-trips —
+//! which is the only property the workspace depends on.
+//!
+//! Maps and sets serialize deterministically: hash-based containers are
+//! sorted by serialized key first, so equal values always produce equal
+//! JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{Error, Value};
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

@@ -1,0 +1,151 @@
+//! The self-describing data model shared by the derive macros and
+//! `serde_json`.
+
+use std::fmt;
+
+/// A self-describing value in the JSON data model (with distinct signed,
+/// unsigned, and floating-point number variants).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl Value {
+    /// Short name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Looks up a struct field by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an object or the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets `self` as an externally tagged enum: either a bare string
+    /// (unit variant) or a single-entry object (data variant).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is neither shape.
+    pub fn variant(&self) -> Result<(&str, Option<&Value>), Error> {
+        match self {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::msg(format!(
+                "expected enum variant (string or single-entry object), found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets `self` as an array of exactly `n` elements.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an array of length `n`.
+    pub fn tuple(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(Error::msg(format!(
+                "expected array of length {n}, found length {}",
+                items.len()
+            ))),
+            other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+        }
+    }
+
+    /// Interprets `self` as an array of any length.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self` is not an array.
+    pub fn seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+        }
+    }
+
+    /// Renders the value as compact JSON-like text (used for deterministic
+    /// map-key ordering; `serde_json` has the user-facing printer).
+    #[must_use]
+    pub fn sort_key(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::U64(n) => n.to_string(),
+            Value::F64(x) => format!("{x:?}"),
+            Value::Str(s) => s.clone(),
+            Value::Seq(items) => {
+                let inner: Vec<String> = items.iter().map(Value::sort_key).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Map(entries) => {
+                let inner: Vec<String> =
+                    entries.iter().map(|(k, v)| format!("{k}:{}", v.sort_key())).collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}

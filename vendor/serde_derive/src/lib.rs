@@ -1,0 +1,455 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the real `syn` and
+//! `quote` crates are unavailable offline). Supports the shapes this
+//! workspace uses: non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple, and struct variants), plus the `#[serde(skip)]` and
+//! `#[serde(transparent)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SerdeFlags {
+    skip: bool,
+    transparent: bool,
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Data {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let mut flags = SerdeFlags::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    merge_serde_flags(&mut flags, &g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic types (type `{name}`)");
+        }
+    }
+    let data = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("vendored serde derive supports structs and enums, found `{other}`"),
+    };
+    Input { name, transparent: flags.transparent, data }
+}
+
+fn merge_serde_flags(flags: &mut SerdeFlags, attr: &TokenStream) {
+    let mut tokens = attr.clone().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(g)) = tokens.next() {
+        for t in g.stream() {
+            if let TokenTree::Ident(id) = t {
+                match id.to_string().as_str() {
+                    "skip" => flags.skip = true,
+                    "transparent" => flags.transparent = true,
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+}
+
+/// Splits a field/variant-data token stream on top-level commas, treating
+/// `<`/`>` as nesting (angle brackets are not `Group`s in a token stream).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extracts leading attributes from a field part, returning its serde flags
+/// and the remaining tokens.
+fn strip_attrs(part: Vec<TokenTree>) -> (SerdeFlags, Vec<TokenTree>) {
+    let mut flags = SerdeFlags::default();
+    let mut rest = Vec::new();
+    let mut iter = part.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    merge_serde_flags(&mut flags, &g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    rest.extend(iter);
+    (flags, rest)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|part| {
+            let (flags, rest) = strip_attrs(part);
+            let mut iter = rest.into_iter();
+            match iter.next() {
+                Some(TokenTree::Ident(id)) => {
+                    Some(NamedField { name: id.to_string(), skip: flags.skip })
+                }
+                None => None,
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|part| {
+            let (_flags, rest) = strip_attrs(part);
+            let mut iter = rest.into_iter();
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => return None,
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let data = match iter.next() {
+                None => VariantData::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantData::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantData::Named(
+                        parse_named_fields(g.stream()).into_iter().map(|f| f.name).collect(),
+                    )
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantData::Unit,
+                other => panic!("unsupported variant shape for `{name}`: {other:?}"),
+            };
+            Some(Variant { name, data })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Unit => "::serde::Value::Null".to_string(),
+        Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Data::Named(fields) => {
+            if input.transparent {
+                let field = single_unskipped(name, fields);
+                format!("::serde::Serialize::to_value(&self.{field})")
+            } else {
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "__fields.push((\"{0}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{0})));",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::Value)> = ::std::vec::Vec::new(); {} \
+                     ::serde::Value::Map(__fields) }}",
+                    pushes.join(" ")
+                )
+            }
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.data {
+        VariantData::Unit => format!(
+            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+        ),
+        VariantData::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantData::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                 ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantData::Named(fields) => {
+            let binds = fields.join(", ");
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\"\
+                 .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                pushes.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Unit => format!("::std::result::Result::Ok({name})"),
+        Data::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Data::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __v.tuple({n})?; \
+                 ::std::result::Result::Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Data::Named(fields) => {
+            if input.transparent {
+                let field = single_unskipped(name, fields);
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.name == field {
+                            format!("{0}: ::serde::Deserialize::from_value(__v)?,", f.name)
+                        } else {
+                            format!("{0}: ::std::default::Default::default(),", f.name)
+                        }
+                    })
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(" ")
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{0}: ::std::default::Default::default(),", f.name)
+                        } else {
+                            format!(
+                                "{0}: ::serde::Deserialize::from_value(__v.field(\"{0}\")?)?,",
+                                f.name
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(" ")
+                )
+            }
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| de_variant_arm(name, v)).collect();
+            format!(
+                "{{ let (__tag, __data) = __v.variant()?; match __tag {{ {} __other => \
+                 ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{}}` of `{name}`\", __other))), }} }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let need_data = format!(
+        "let __d = __data.ok_or_else(|| ::serde::Error::msg(\
+         \"variant `{vname}` expects data\"))?;"
+    );
+    match &v.data {
+        VariantData::Unit => format!(
+            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+        ),
+        VariantData::Tuple(1) => format!(
+            "\"{vname}\" => {{ {need_data} ::std::result::Result::Ok({name}::{vname}(\
+             ::serde::Deserialize::from_value(__d)?)) }}"
+        ),
+        VariantData::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{ {need_data} let __items = __d.tuple({n})?; \
+                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                items.join(", ")
+            )
+        }
+        VariantData::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__d.field(\"{f}\")?)?,")
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{ {need_data} ::std::result::Result::Ok({name}::{vname} \
+                 {{ {} }}) }}",
+                inits.join(" ")
+            )
+        }
+    }
+}
+
+fn single_unskipped<'a>(name: &str, fields: &'a [NamedField]) -> &'a str {
+    let unskipped: Vec<&NamedField> = fields.iter().filter(|f| !f.skip).collect();
+    match unskipped.as_slice() {
+        [only] => &only.name,
+        _ => panic!(
+            "#[serde(transparent)] on `{name}` requires exactly one non-skipped field"
+        ),
+    }
+}
