@@ -66,5 +66,10 @@ fn bench_efficiency(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_best_response, bench_equilibrium, bench_efficiency);
+criterion_group!(
+    benches,
+    bench_best_response,
+    bench_equilibrium,
+    bench_efficiency
+);
 criterion_main!(benches);

@@ -80,7 +80,9 @@ fn bench_evaluate(c: &mut Criterion) {
     let s = scenario(&m);
     let point = pan_core::OperatingPoint::uniform(s.dimension(), 0.5, 0.5).expect("valid");
     c.bench_function("optimization/evaluate_once", |b| {
-        b.iter(|| black_box(pan_core::evaluate(black_box(&s), black_box(&point)).expect("evaluates")));
+        b.iter(|| {
+            black_box(pan_core::evaluate(black_box(&s), black_box(&point)).expect("evaluates"))
+        });
     });
 }
 

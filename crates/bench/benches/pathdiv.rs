@@ -96,5 +96,10 @@ fn bench_pair_analyses(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_enumeration, bench_diversity, bench_pair_analyses);
+criterion_group!(
+    benches,
+    bench_enumeration,
+    bench_diversity,
+    bench_pair_analyses
+);
 criterion_main!(benches);

@@ -3,6 +3,9 @@
 //!
 //! This is a convenience wrapper so `cargo run -p pan-bench --bin
 //! all_figures -- --quick` regenerates the whole evaluation in one go.
+//! All flags (including `--threads <N>`) are forwarded verbatim to the
+//! child binaries; output bytes are identical at every thread count, a
+//! property CI enforces by diffing `--threads 1` against `--threads 4`.
 
 use std::process::Command;
 

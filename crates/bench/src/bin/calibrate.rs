@@ -1,19 +1,53 @@
 //! Calibration sweep over peering densities: prints the Fig. 5/6 headline
 //! fractions so the synthetic topology can be tuned to CAIDA-like
 //! peering richness. Not part of the figure pipeline.
+//!
+//! Accepts the standard figure flags; `--quick` shrinks the topology,
+//! `--threads` sizes the pool the calibration cells fan out over, and
+//! `--json` dumps the per-cell statistics as a JSON array after the
+//! table.
 
+use pan_bench::FigureOptions;
 use pan_datasets::{InternetConfig, SyntheticInternet};
-use pan_pathdiv::bandwidth::{analyze as analyze_bw, BandwidthConfig};
-use pan_pathdiv::geodistance::{analyze as analyze_geo, GeodistanceConfig};
+use pan_pathdiv::bandwidth::{analyze_pooled as analyze_bw, BandwidthConfig};
+use pan_pathdiv::geodistance::{analyze_pooled as analyze_geo, GeodistanceConfig};
+use pan_runtime::ThreadPool;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Cell {
+    num_ases: usize,
+    transit_peer_degree: f64,
+    stub_peer_degree: f64,
+    hub_fraction: f64,
+    hub_same_region_attach: f64,
+    hub_cross_region_attach: f64,
+    peering_links: usize,
+    pairs: usize,
+    geo_below_min_k1: f64,
+    geo_below_min_k5: f64,
+    bw_above_max_k1: f64,
+    geo_median_reduction: f64,
+    bw_median_increase: f64,
+}
 
 fn main() {
-    let cells: &[(usize, f64, f64, f64, f64, f64)] = &[
+    let options = FigureOptions::parse(std::env::args());
+    let n = if options.quick { 600 } else { 4000 };
+    let cells: Vec<(usize, f64, f64, f64, f64, f64)> = vec![
         // (n, tp, sp, hub_frac, hub_same, hub_cross)
-        (4000, 12.0, 2.0, 0.06, 0.6, 0.08),
-        (4000, 12.0, 2.0, 0.08, 0.7, 0.10),
-        (4000, 12.0, 2.0, 0.12, 0.8, 0.15),
+        (n, 12.0, 2.0, 0.06, 0.6, 0.08),
+        (n, 12.0, 2.0, 0.08, 0.7, 0.10),
+        (n, 12.0, 2.0, 0.12, 0.8, 0.15),
     ];
-    for &(n, tp, sp, hf, hs, hc) in cells {
+    // One worker per calibration cell, with the rest of the thread
+    // budget split evenly across the pair analyses inside each cell
+    // (both layers are bit-identical at any thread count, so the split
+    // only affects scheduling). Non-divisible remainders are dropped
+    // rather than oversubscribing the budget.
+    let pool = ThreadPool::new(options.threads.min(cells.len()));
+    let inner = ThreadPool::new((options.threads / pool.threads()).max(1));
+    let rows = pool.map(&cells, |_idx, &(n, tp, sp, hf, hs, hc)| {
         let config = InternetConfig {
             num_ases: n,
             tier1_count: 8,
@@ -24,7 +58,7 @@ fn main() {
             hub_cross_region_attach: hc,
             ..InternetConfig::default()
         };
-        let net = SyntheticInternet::generate(&config, 42).expect("valid");
+        let net = SyntheticInternet::generate(&config, options.seed).expect("valid");
         let geo = analyze_geo(
             &net.graph,
             &net.geo,
@@ -32,6 +66,7 @@ fn main() {
                 sample_size: 80,
                 seed: 5,
             },
+            &inner,
         );
         let bw = analyze_bw(
             &net.graph,
@@ -40,16 +75,43 @@ fn main() {
                 sample_size: 80,
                 seed: 6,
             },
+            &inner,
         );
+        Cell {
+            num_ases: n,
+            transit_peer_degree: tp,
+            stub_peer_degree: sp,
+            hub_fraction: hf,
+            hub_same_region_attach: hs,
+            hub_cross_region_attach: hc,
+            peering_links: net.graph.peering_link_count(),
+            pairs: geo.pairs.len(),
+            geo_below_min_k1: geo.fraction_below_min(1),
+            geo_below_min_k5: geo.fraction_below_min(5),
+            bw_above_max_k1: bw.fraction_above_max(1),
+            geo_median_reduction: geo.reduction_cdf().median().unwrap_or(0.0),
+            bw_median_increase: bw.increase_cdf().median().unwrap_or(0.0),
+        }
+    });
+    for c in &rows {
         println!(
-            "n={n:5} tp={tp:4.1} sp={sp:4.1} hub=({hf:.2},{hs:.2},{hc:.2}) | peering {:6} | pairs {:6} | geo<min k1 {:5.1}% k5 {:5.1}% | bw>max k1 {:5.1}% | geo med red {:4.1}% | bw med inc {:5.0}%",
-            net.graph.peering_link_count(),
-            geo.pairs.len(),
-            geo.fraction_below_min(1) * 100.0,
-            geo.fraction_below_min(5) * 100.0,
-            bw.fraction_above_max(1) * 100.0,
-            geo.reduction_cdf().median().unwrap_or(0.0) * 100.0,
-            bw.increase_cdf().median().unwrap_or(0.0) * 100.0,
+            "n={:5} tp={:4.1} sp={:4.1} hub=({:.2},{:.2},{:.2}) | peering {:6} | pairs {:6} | geo<min k1 {:5.1}% k5 {:5.1}% | bw>max k1 {:5.1}% | geo med red {:4.1}% | bw med inc {:5.0}%",
+            c.num_ases,
+            c.transit_peer_degree,
+            c.stub_peer_degree,
+            c.hub_fraction,
+            c.hub_same_region_attach,
+            c.hub_cross_region_attach,
+            c.peering_links,
+            c.pairs,
+            c.geo_below_min_k1 * 100.0,
+            c.geo_below_min_k5 * 100.0,
+            c.bw_above_max_k1 * 100.0,
+            c.geo_median_reduction * 100.0,
+            c.bw_median_increase * 100.0,
         );
+    }
+    if options.json {
+        println!("{}", serde_json::to_string(&rows).expect("rows serialize"));
     }
 }

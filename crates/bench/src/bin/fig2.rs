@@ -12,7 +12,6 @@ use pan_bosco::{
     expected_nash_product, expected_truthful_nash_product, find_equilibrium, BargainingGame,
     ChoiceSet, UtilityDistribution,
 };
-use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::Serialize;
 
@@ -32,18 +31,17 @@ fn run_cell(
     choices: usize,
     trials: usize,
     truthful: f64,
-    seed: u64,
+    mut rng: ChaCha12Rng,
 ) -> Row {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ (choices as u64) << 8);
     let mut min_pod = f64::INFINITY;
     let mut pod_sum = 0.0;
     let mut active_sum = 0.0;
     let mut converged = 0usize;
     for _ in 0..trials {
-        let cx = ChoiceSet::sample_from(distribution, choices, &mut rng)
-            .expect("positive choice count");
-        let cy = ChoiceSet::sample_from(distribution, choices, &mut rng)
-            .expect("positive choice count");
+        let cx =
+            ChoiceSet::sample_from(distribution, choices, &mut rng).expect("positive choice count");
+        let cy =
+            ChoiceSet::sample_from(distribution, choices, &mut rng).expect("positive choice count");
         let game = BargainingGame::new(*distribution, *distribution, cx, cy);
         let Ok(eq) = find_equilibrium(&game, 600) else {
             continue;
@@ -88,28 +86,40 @@ fn main() {
         "{:<6} {:>8} {:>8} {:>9} {:>9} {:>14}",
         "dist", "W", "trials", "min PoD", "mean PoD", "active choices"
     );
-    let mut rows = Vec::new();
-    for (dist, name) in [(u1, "U(1)"), (u2, "U(2)")] {
-        let truthful = expected_truthful_nash_product(&dist, &dist, 768);
-        for &w in cardinalities {
-            let row = run_cell(&dist, name, w, trials, truthful, options.seed);
-            println!(
-                "{:<6} {:>8} {:>8} {:>9.4} {:>9.4} {:>14.2}",
-                row.distribution,
-                row.choices,
-                row.trials,
-                row.min_pod,
-                row.mean_pod,
-                row.mean_active_choices
-            );
-            rows.push(row);
-        }
+    // One sweep item per (distribution, cardinality) cell; each cell
+    // draws from its own (seed, cell index)-derived stream, so the rows
+    // are identical at every --threads value.
+    let distributions = [(u1, "U(1)"), (u2, "U(2)")];
+    let truthful: Vec<f64> = distributions
+        .iter()
+        .map(|(dist, _)| expected_truthful_nash_product(dist, dist, 768))
+        .collect();
+    let cells: Vec<(usize, usize)> = (0..distributions.len())
+        .flat_map(|d| cardinalities.iter().map(move |&w| (d, w)))
+        .collect();
+    let rows = options.sweep().map(&cells, |_idx, &(d, w), rng| {
+        let (dist, name) = &distributions[d];
+        run_cell(dist, name, w, trials, truthful[d], rng)
+    });
+    for row in &rows {
+        println!(
+            "{:<6} {:>8} {:>8} {:>9.4} {:>9.4} {:>14.2}",
+            row.distribution,
+            row.choices,
+            row.trials,
+            row.min_pod,
+            row.mean_pod,
+            row.mean_active_choices
+        );
     }
 
     // Paper-claim summary for EXPERIMENTS.md.
     let plateau: Vec<&Row> = rows.iter().filter(|r| r.choices >= 50).collect();
     if !plateau.is_empty() {
-        let best = plateau.iter().map(|r| r.min_pod).fold(f64::INFINITY, f64::min);
+        let best = plateau
+            .iter()
+            .map(|r| r.min_pod)
+            .fold(f64::INFINITY, f64::min);
         println!("# plateau (W >= 50): best min-PoD = {best:.4} (paper: ~0.10)");
     }
     if options.json {

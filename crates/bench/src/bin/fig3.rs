@@ -8,7 +8,7 @@
 //! thousands of paths.
 
 use pan_bench::{evaluation_internet, print_header, sample_size, FigureOptions, CDF_QUANTILES};
-use pan_pathdiv::diversity::{analyze_sample, DiversityConfig};
+use pan_pathdiv::diversity::{analyze_sample_pooled, DiversityConfig};
 use pan_pathdiv::figures::fig3_series;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
         seed: options.seed,
         top_n: vec![1, 5, 50],
     };
-    let report = analyze_sample(&net.graph, &config);
+    let report = analyze_sample_pooled(&net.graph, &config, &options.pool());
 
     let series = fig3_series(&report);
 

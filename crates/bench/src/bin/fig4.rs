@@ -9,7 +9,7 @@
 //! distributed than path gains.
 
 use pan_bench::{evaluation_internet, print_header, sample_size, FigureOptions, CDF_QUANTILES};
-use pan_pathdiv::diversity::{analyze_sample, DiversityConfig};
+use pan_pathdiv::diversity::{analyze_sample_pooled, DiversityConfig};
 use pan_pathdiv::figures::fig4_series;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         seed: options.seed,
         top_n: vec![1, 5, 50],
     };
-    let report = analyze_sample(&net.graph, &config);
+    let report = analyze_sample_pooled(&net.graph, &config, &options.pool());
 
     let series = fig4_series(&report);
 
@@ -64,6 +64,9 @@ fn main() {
             .iter()
             .map(|s| (s.name.clone(), s.cdf.points()))
             .collect();
-        println!("{}", serde_json::to_string(&dump).expect("points serialize"));
+        println!(
+            "{}",
+            serde_json::to_string(&dump).expect("points serialize")
+        );
     }
 }

@@ -10,19 +10,20 @@
 //! minimum; ~25% gain ≥5; the median relative reduction is ≈24%.
 
 use pan_bench::{evaluation_internet, pct, print_header, sample_size, FigureOptions};
-use pan_pathdiv::geodistance::{analyze, GeodistanceConfig};
+use pan_pathdiv::geodistance::{analyze_pooled, GeodistanceConfig};
 
 fn main() {
     let options = FigureOptions::parse(std::env::args());
     print_header("Figure 5", "geodistance of additional MA paths", &options);
     let net = evaluation_internet(&options);
-    let report = analyze(
+    let report = analyze_pooled(
         &net.graph,
         &net.geo,
         &GeodistanceConfig {
             sample_size: sample_size(&options),
             seed: options.seed,
         },
+        &options.pool(),
     );
     println!("# analyzed AS pairs: {}", report.pairs.len());
 

@@ -10,19 +10,20 @@
 //! max-bandwidth GRC path; among those, the median increase is ≈150%.
 
 use pan_bench::{evaluation_internet, pct, print_header, sample_size, FigureOptions};
-use pan_pathdiv::bandwidth::{analyze, BandwidthConfig};
+use pan_pathdiv::bandwidth::{analyze_pooled, BandwidthConfig};
 
 fn main() {
     let options = FigureOptions::parse(std::env::args());
     print_header("Figure 6", "bandwidth of additional MA paths", &options);
     let net = evaluation_internet(&options);
-    let report = analyze(
+    let report = analyze_pooled(
         &net.graph,
         &net.capacities,
         &BandwidthConfig {
             sample_size: sample_size(&options),
             seed: options.seed,
         },
+        &options.pool(),
     );
     println!("# analyzed AS pairs: {}", report.pairs.len());
 

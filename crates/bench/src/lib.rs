@@ -15,13 +15,18 @@
 //! | `all_figures` | all | everything above with quick settings |
 //!
 //! All binaries accept `--quick` (smaller topology/trials for smoke
-//! runs), `--seed <u64>`, and `--json` (machine-readable dump after the
-//! table).
+//! runs), `--seed <u64>`, `--json` (machine-readable dump after the
+//! table), and `--threads <N>` (worker threads for the sweeps; default:
+//! available parallelism). Output bytes are identical at every thread
+//! count — the sweeps derive per-item RNG streams from `(seed, item
+//! index)` via `pan-runtime`, and the thread count is deliberately never
+//! printed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_runtime::{ScenarioSweep, ThreadPool};
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +37,8 @@ pub struct FigureOptions {
     pub seed: u64,
     /// Emit a JSON dump after the human-readable table.
     pub json: bool,
+    /// Worker threads for the scenario sweeps.
+    pub threads: usize,
 }
 
 impl Default for FigureOptions {
@@ -40,6 +47,7 @@ impl Default for FigureOptions {
             quick: false,
             seed: 42,
             json: false,
+            threads: ThreadPool::with_available_parallelism().threads(),
         }
     }
 }
@@ -50,7 +58,8 @@ impl FigureOptions {
     ///
     /// # Panics
     ///
-    /// Panics (with a usage message) on unknown flags or malformed seeds.
+    /// Panics (with a usage message) on unknown flags or malformed
+    /// numeric values.
     #[must_use]
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut options = FigureOptions::default();
@@ -67,10 +76,34 @@ impl FigureOptions {
                         .parse()
                         .unwrap_or_else(|_| panic!("--seed expects a u64, got {value:?}"));
                 }
-                other => panic!("unknown flag {other:?}; known: --quick, --seed <u64>, --json"),
+                "--threads" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--threads requires a value"));
+                    let threads: usize = value
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--threads expects a count, got {value:?}"));
+                    options.threads = threads.max(1);
+                }
+                other => panic!(
+                    "unknown flag {other:?}; known: --quick, --seed <u64>, --json, \
+                     --threads <N>"
+                ),
             }
         }
         options
+    }
+
+    /// The thread pool configured by `--threads`.
+    #[must_use]
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads)
+    }
+
+    /// A [`ScenarioSweep`] over the configured pool and `--seed`.
+    #[must_use]
+    pub fn sweep(&self) -> ScenarioSweep {
+        ScenarioSweep::new(self.pool(), self.seed)
     }
 }
 
@@ -142,6 +175,17 @@ mod tests {
         assert!(o.quick);
         assert!(o.json);
         assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn parse_threads() {
+        let o = FigureOptions::parse(args(&["--threads", "4"]));
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.pool().threads(), 4);
+        assert_eq!(o.sweep().threads(), 4);
+        // Zero is clamped to one worker.
+        let o = FigureOptions::parse(args(&["--threads", "0"]));
+        assert_eq!(o.threads, 1);
     }
 
     #[test]

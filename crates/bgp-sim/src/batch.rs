@@ -1,0 +1,197 @@
+//! Parallel batches of simulation runs and safety explorations.
+//!
+//! The §II stability evidence is statistical: many activation schedules
+//! per instance (does *any* sampled schedule oscillate? how many distinct
+//! stable states are reachable?) and many gadget instances per claim.
+//! Both shapes are embarrassingly parallel, and this module fans them
+//! out over a [`ThreadPool`] with the workspace's deterministic
+//! seed-derivation scheme: batch item `i` runs
+//! [`Schedule::random_stream(master_seed, i + 1)`](Schedule::random_stream),
+//! so the batch result is bit-identical at any thread count.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use pan_runtime::ThreadPool;
+
+use crate::safety::{explore, SafetyReport};
+use crate::{Engine, RunResult, Schedule, SppInstance};
+
+/// Configuration of a schedule-sweep batch over one SPP instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleBatch {
+    /// Number of random activation schedules to sample.
+    pub schedules: usize,
+    /// Round budget per run.
+    pub max_rounds: usize,
+    /// Master seed; item `i` reads ChaCha stream `i + 1` of it.
+    pub master_seed: u64,
+}
+
+impl Default for ScheduleBatch {
+    fn default() -> Self {
+        ScheduleBatch {
+            schedules: 64,
+            max_rounds: 1_000,
+            master_seed: 42,
+        }
+    }
+}
+
+/// Aggregate over one schedule-sweep batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Per-schedule results, in batch-item order.
+    pub runs: Vec<RunResult>,
+    /// Number of runs that converged.
+    pub converged: usize,
+    /// Distinct stable states reached by the converging runs. `> 1`
+    /// means the outcome is schedule-dependent (a "wedgie").
+    pub distinct_stable_states: usize,
+}
+
+impl BatchReport {
+    /// Fraction of schedules that converged.
+    #[must_use]
+    pub fn convergence_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.converged as f64 / self.runs.len() as f64
+    }
+
+    /// `true` iff every sampled schedule converged to the same state.
+    #[must_use]
+    pub fn is_deterministically_convergent(&self) -> bool {
+        self.converged == self.runs.len() && self.distinct_stable_states == 1
+    }
+}
+
+/// Runs `batch.schedules` independent random-schedule simulations of
+/// `instance` over `pool` and aggregates the outcomes.
+#[must_use]
+pub fn run_schedule_batch(
+    instance: &SppInstance,
+    batch: &ScheduleBatch,
+    pool: &ThreadPool,
+) -> BatchReport {
+    let runs: Vec<RunResult> = pool.run(batch.schedules, |i| {
+        let mut engine = Engine::new(instance);
+        engine.run(
+            Schedule::random_stream(batch.master_seed, i as u64 + 1),
+            batch.max_rounds,
+        )
+    });
+    let converged = runs.iter().filter(|r| r.is_converged()).count();
+    let distinct_stable_states = runs
+        .iter()
+        .filter_map(RunResult::converged_state)
+        .collect::<BTreeSet<_>>()
+        .len();
+    BatchReport {
+        runs,
+        converged,
+        distinct_stable_states,
+    }
+}
+
+/// Exhaustively explores a list of instances (e.g. a gadget family) in
+/// parallel; element `i` of the result is `explore(&instances[i],
+/// state_budget)`.
+///
+/// # Panics
+///
+/// Panics if any exploration exceeds `state_budget` distinct states,
+/// like [`explore`] itself.
+#[must_use]
+pub fn explore_batch(
+    instances: &[SppInstance],
+    state_budget: usize,
+    pool: &ThreadPool,
+) -> Vec<SafetyReport> {
+    pool.map(instances, |_idx, instance| explore(instance, state_budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadgets;
+
+    #[test]
+    fn batch_results_are_thread_count_independent() {
+        let instance = gadgets::disagree();
+        let batch = ScheduleBatch {
+            schedules: 24,
+            max_rounds: 200,
+            master_seed: 7,
+        };
+        let reference = run_schedule_batch(&instance, &batch, &ThreadPool::new(1));
+        for threads in [2, 4, 8] {
+            let parallel = run_schedule_batch(&instance, &batch, &ThreadPool::new(threads));
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn disagree_batch_finds_both_stable_states() {
+        let report = run_schedule_batch(
+            &gadgets::disagree(),
+            &ScheduleBatch::default(),
+            &ThreadPool::new(4),
+        );
+        assert_eq!(report.converged, report.runs.len());
+        assert_eq!(report.distinct_stable_states, 2, "the wedgie");
+        assert!(!report.is_deterministically_convergent());
+        assert!((report.convergence_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_gadget_batch_never_converges() {
+        let batch = ScheduleBatch {
+            schedules: 16,
+            max_rounds: 2_000,
+            master_seed: 3,
+        };
+        let report = run_schedule_batch(&gadgets::bad_gadget(), &batch, &ThreadPool::new(4));
+        assert_eq!(report.converged, 0);
+        assert_eq!(report.distinct_stable_states, 0);
+    }
+
+    #[test]
+    fn good_gadget_batch_is_deterministically_convergent() {
+        let report = run_schedule_batch(
+            &gadgets::good_gadget(),
+            &ScheduleBatch::default(),
+            &ThreadPool::new(4),
+        );
+        assert!(report.is_deterministically_convergent());
+    }
+
+    #[test]
+    fn explore_batch_matches_sequential_explore() {
+        let instances = vec![
+            gadgets::disagree(),
+            gadgets::good_gadget(),
+            gadgets::bad_gadget(),
+        ];
+        let pooled = explore_batch(&instances, 100_000, &ThreadPool::new(3));
+        for (instance, report) in instances.iter().zip(&pooled) {
+            assert_eq!(report, &explore(instance, 100_000));
+        }
+        assert!(pooled[0].safe);
+        assert!(pooled[1].safe);
+        assert!(!pooled[2].safe);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let batch = ScheduleBatch {
+            schedules: 0,
+            ..ScheduleBatch::default()
+        };
+        let report = run_schedule_batch(&gadgets::disagree(), &batch, &ThreadPool::new(4));
+        assert!(report.runs.is_empty());
+        assert_eq!(report.convergence_rate(), 0.0);
+    }
+}

@@ -34,6 +34,15 @@ pub enum Schedule {
         /// RNG seed for the shuffles.
         seed: u64,
     },
+    /// Like [`Random`](Self::Random), but reading a specific ChaCha
+    /// stream of the seed — the schedule form batch sweeps use so every
+    /// batch item gets an independent, index-derived schedule.
+    RandomStream {
+        /// RNG seed (the batch's master seed).
+        seed: u64,
+        /// ChaCha stream id (derived from the batch item index).
+        stream: u64,
+    },
     /// An explicit, cyclic activation sequence.
     Explicit {
         /// Activation order (repeated until convergence or budget).
@@ -52,6 +61,12 @@ impl Schedule {
     #[must_use]
     pub fn random(seed: u64) -> Self {
         Schedule::Random { seed }
+    }
+
+    /// Seeded random schedule reading a specific ChaCha stream.
+    #[must_use]
+    pub fn random_stream(seed: u64, stream: u64) -> Self {
+        Schedule::RandomStream { seed, stream }
     }
 
     /// Explicit cyclic schedule.
@@ -181,6 +196,11 @@ impl<'a> Engine<'a> {
             .collect();
         let mut rng = match &schedule {
             Schedule::Random { seed } => Some(ChaCha12Rng::seed_from_u64(*seed)),
+            Schedule::RandomStream { seed, stream } => {
+                let mut rng = ChaCha12Rng::seed_from_u64(*seed);
+                rng.set_stream(*stream);
+                Some(rng)
+            }
             _ => None,
         };
         let mut seen: HashMap<u64, usize> = HashMap::new();
@@ -189,7 +209,7 @@ impl<'a> Engine<'a> {
         for round in 1..=max_rounds {
             let order: Vec<Asn> = match &schedule {
                 Schedule::RoundRobin => ases.clone(),
-                Schedule::Random { .. } => {
+                Schedule::Random { .. } | Schedule::RandomStream { .. } => {
                     let mut shuffled = ases.clone();
                     shuffled.shuffle(rng.as_mut().expect("random schedule has an RNG"));
                     shuffled
@@ -255,10 +275,7 @@ mod tests {
         let mut engine = Engine::new(&spp);
         let result = engine.run(Schedule::round_robin(), 100);
         let state = result.converged_state().expect("chain converges");
-        assert_eq!(
-            state[&a(2)].as_ref().unwrap().hops(),
-            &[a(2), a(1), a(0)]
-        );
+        assert_eq!(state[&a(2)].as_ref().unwrap().hops(), &[a(2), a(1), a(0)]);
     }
 
     #[test]
@@ -274,7 +291,10 @@ mod tests {
         let r2 = e2.run(Schedule::explicit(vec![a(2), a(1), a(2), a(1)]), 100);
         let s1 = r1.converged_state().expect("DISAGREE converges");
         let s2 = r2.converged_state().expect("DISAGREE converges");
-        assert_ne!(s1, s2, "different activation orders reach different stable states");
+        assert_ne!(
+            s1, s2,
+            "different activation orders reach different stable states"
+        );
     }
 
     #[test]

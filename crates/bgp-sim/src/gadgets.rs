@@ -72,7 +72,7 @@ pub fn good_gadget() -> SppInstance {
 #[must_use]
 pub fn fig1_wedgie() -> SppInstance {
     let mut spp = SppInstance::new(a(1)); // origin A
-    // B reaches A over the tier-1 peering.
+                                          // B reaches A over the tier-1 peering.
     spp.set_permitted(a(2), vec![path(&[2, 1])]).expect("valid");
     // D prefers the peer route via E over its provider route via A.
     spp.set_permitted(a(4), vec![path(&[4, 5, 2, 1]), path(&[4, 1])])

@@ -103,10 +103,7 @@ impl SppInstance {
     #[must_use]
     pub fn new(origin: Asn) -> Self {
         let mut permitted = BTreeMap::new();
-        permitted.insert(
-            origin,
-            vec![RoutePath(vec![origin])],
-        );
+        permitted.insert(origin, vec![RoutePath(vec![origin])]);
         SppInstance { origin, permitted }
     }
 
@@ -230,7 +227,8 @@ mod tests {
         let mut spp = SppInstance::new(a(0));
         let p1 = RoutePath::new(vec![a(1), a(2), a(0)]).unwrap();
         let p2 = RoutePath::new(vec![a(1), a(0)]).unwrap();
-        spp.set_permitted(a(1), vec![p1.clone(), p2.clone()]).unwrap();
+        spp.set_permitted(a(1), vec![p1.clone(), p2.clone()])
+            .unwrap();
         assert_eq!(spp.rank(&p1), Some(0));
         assert_eq!(spp.rank(&p2), Some(1));
     }

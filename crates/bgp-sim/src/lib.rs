@@ -43,11 +43,13 @@ mod engine;
 mod error;
 mod instance;
 
+pub mod batch;
 pub mod gadgets;
 pub mod policy;
 pub mod safety;
 pub mod stable_paths;
 
+pub use batch::{explore_batch, run_schedule_batch, BatchReport, ScheduleBatch};
 pub use engine::{Engine, RunResult, Schedule};
 pub use error::BgpError;
 pub use instance::{RoutePath, SppInstance};

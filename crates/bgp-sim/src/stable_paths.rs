@@ -110,10 +110,7 @@ mod tests {
         let solutions = solve(&spp);
         for seed in 0..10 {
             let mut engine = Engine::new(&spp);
-            if let Some(state) = engine
-                .run(Schedule::random(seed), 1000)
-                .converged_state()
-            {
+            if let Some(state) = engine.run(Schedule::random(seed), 1000).converged_state() {
                 assert!(
                     solutions.contains(state),
                     "engine reached a state the solver missed"

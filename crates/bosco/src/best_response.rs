@@ -127,8 +127,7 @@ pub fn algorithm1(lines: &[ResponseLine]) -> Vec<f64> {
             let better = match next {
                 None => true,
                 Some((jn, tn)) => {
-                    at < tn - 1e-15
-                        || ((at - tn).abs() <= 1e-15 && line.m > lines[jn].m)
+                    at < tn - 1e-15 || ((at - tn).abs() <= 1e-15 && line.m > lines[jn].m)
                 }
             };
             if better {

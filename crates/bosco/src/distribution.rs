@@ -52,7 +52,12 @@ impl UtilityDistribution {
     /// Returns [`BoscoError::InvalidDistribution`] unless
     /// `lo ≤ mode ≤ hi`, `lo < hi`, and all are finite.
     pub fn triangular(lo: f64, mode: f64, hi: f64) -> Result<Self> {
-        if !lo.is_finite() || !mode.is_finite() || !hi.is_finite() || lo >= hi || mode < lo || mode > hi
+        if !lo.is_finite()
+            || !mode.is_finite()
+            || !hi.is_finite()
+            || lo >= hi
+            || mode < lo
+            || mode > hi
         {
             return Err(BoscoError::InvalidDistribution {
                 reason: format!("triangular requires lo ≤ mode ≤ hi, got ({lo}, {mode}, {hi})"),
@@ -224,7 +229,10 @@ mod tests {
         let d = UtilityDistribution::triangular(0.0, 0.5, 1.0).unwrap();
         assert_eq!(d.cdf(-0.1), 0.0);
         assert_eq!(d.cdf(1.1), 1.0);
-        assert!((d.cdf(0.5) - 0.5).abs() < 1e-12, "symmetric mode splits mass");
+        assert!(
+            (d.cdf(0.5) - 0.5).abs() < 1e-12,
+            "symmetric mode splits mass"
+        );
     }
 
     #[test]
@@ -250,7 +258,11 @@ mod tests {
         let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(2);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - d.mean()).abs() < 0.02, "sample mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.02,
+            "sample mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     proptest! {

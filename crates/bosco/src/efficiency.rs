@@ -104,8 +104,7 @@ pub fn expected_truthful_nash_product(
 /// expectation is (numerically) zero — the agreement is unviable even
 /// under honesty, the uninteresting case the paper disregards.
 pub fn price_of_dishonesty(game: &BargainingGame, equilibrium: &Equilibrium) -> Result<f64> {
-    let truthful =
-        expected_truthful_nash_product(&game.distribution_x, &game.distribution_y, 512);
+    let truthful = expected_truthful_nash_product(&game.distribution_x, &game.distribution_y, 512);
     if truthful <= f64::EPSILON {
         return Err(BoscoError::UndefinedPriceOfDishonesty);
     }

@@ -95,9 +95,11 @@ mod tests {
     fn dynamics_converge_on_small_games() {
         for seed in 0..20 {
             let game = symmetric_game(seed, 8);
-            let eq = find_equilibrium(&game, 200)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert!(eq.verify(&game, 1e-9), "seed {seed}: fixed point is not an equilibrium");
+            let eq = find_equilibrium(&game, 200).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                eq.verify(&game, 1e-9),
+                "seed {seed}: fixed point is not an equilibrium"
+            );
         }
     }
 
@@ -120,8 +122,7 @@ mod tests {
             let ux = -1.0 + i as f64 * (2.0 / 59.0);
             for j in 0..60 {
                 let uy = -1.0 + j as f64 * (2.0 / 59.0);
-                let outcome =
-                    game.play_with_strategies(&eq.strategy_x, &eq.strategy_y, ux, uy);
+                let outcome = game.play_with_strategies(&eq.strategy_x, &eq.strategy_y, ux, uy);
                 if let crate::GameOutcome::Concluded {
                     utility_x_after,
                     utility_y_after,
@@ -150,8 +151,7 @@ mod tests {
             let ux = -1.0 + i as f64 * (2.0 / 79.0);
             for j in 0..80 {
                 let uy = -1.0 + j as f64 * (2.0 / 79.0);
-                let outcome =
-                    game.play_with_strategies(&eq.strategy_x, &eq.strategy_y, ux, uy);
+                let outcome = game.play_with_strategies(&eq.strategy_x, &eq.strategy_y, ux, uy);
                 if outcome.is_concluded() {
                     assert!(
                         ux + uy >= -1e-9,

@@ -115,13 +115,9 @@ impl ThresholdStrategy {
         if self.choices != other.choices {
             return false;
         }
-        self.thresholds
-            .iter()
-            .zip(&other.thresholds)
-            .all(|(a, b)| {
-                (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
-                    || (a - b).abs() <= tol
-            })
+        self.thresholds.iter().zip(&other.thresholds).all(|(a, b)| {
+            (a.is_infinite() && b.is_infinite() && a.signum() == b.signum()) || (a - b).abs() <= tol
+        })
     }
 
     /// Length of the shortest non-empty finite claim interval — the
@@ -162,10 +158,7 @@ mod tests {
     #[test]
     fn empty_intervals_are_skipped() {
         // Choice 1 (−0.5) gets an empty interval [0, 0).
-        let s = ThresholdStrategy::new(
-            cs(),
-            vec![f64::NEG_INFINITY, 0.0, 0.0, 0.4, f64::INFINITY],
-        );
+        let s = ThresholdStrategy::new(cs(), vec![f64::NEG_INFINITY, 0.0, 0.0, 0.4, f64::INFINITY]);
         assert_eq!(s.claim(0.1), 0.0, "claims choice 2 (value 0.0)");
         assert_eq!(s.claim(-1.0), f64::NEG_INFINITY);
         assert_eq!(s.claim(0.5), 0.5);
@@ -180,10 +173,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_thresholds_panic() {
-        let _ = ThresholdStrategy::new(
-            cs(),
-            vec![f64::NEG_INFINITY, 0.5, 0.0, 0.6, f64::INFINITY],
-        );
+        let _ = ThresholdStrategy::new(cs(), vec![f64::NEG_INFINITY, 0.5, 0.0, 0.6, f64::INFINITY]);
     }
 
     #[test]
@@ -212,18 +202,16 @@ mod tests {
         thresholds[1] += 1e-12;
         let b = ThresholdStrategy::new(cs(), thresholds);
         assert!(a.approx_eq(&b, 1e-9));
-        assert!(!a.approx_eq(&ThresholdStrategy::new(
-            cs(),
-            vec![f64::NEG_INFINITY, 0.3, 0.4, 0.5, f64::INFINITY],
-        ), 1e-9));
+        assert!(!a.approx_eq(
+            &ThresholdStrategy::new(cs(), vec![f64::NEG_INFINITY, 0.3, 0.4, 0.5, f64::INFINITY],),
+            1e-9
+        ));
     }
 
     #[test]
     fn shortest_interval_measures_privacy() {
-        let s = ThresholdStrategy::new(
-            cs(),
-            vec![f64::NEG_INFINITY, -0.5, 0.0, 0.1, f64::INFINITY],
-        );
+        let s =
+            ThresholdStrategy::new(cs(), vec![f64::NEG_INFINITY, -0.5, 0.0, 0.1, f64::INFINITY]);
         // Finite intervals: [−0.5, 0) length 0.5 and [0, 0.1) length 0.1.
         assert!((s.shortest_interval().unwrap() - 0.1).abs() < 1e-12);
     }

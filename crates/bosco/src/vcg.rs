@@ -51,7 +51,9 @@ impl VcgOutcome {
     #[must_use]
     pub fn utility_x(&self) -> f64 {
         match *self {
-            VcgOutcome::Concluded { utility_x_after, .. } => utility_x_after,
+            VcgOutcome::Concluded {
+                utility_x_after, ..
+            } => utility_x_after,
             VcgOutcome::Cancelled => 0.0,
         }
     }
@@ -60,7 +62,9 @@ impl VcgOutcome {
     #[must_use]
     pub fn utility_y(&self) -> f64 {
         match *self {
-            VcgOutcome::Concluded { utility_y_after, .. } => utility_y_after,
+            VcgOutcome::Concluded {
+                utility_y_after, ..
+            } => utility_y_after,
             VcgOutcome::Cancelled => 0.0,
         }
     }
@@ -96,7 +100,10 @@ mod tests {
 
     #[test]
     fn subsidy_equals_reported_surplus() {
-        if let VcgOutcome::Concluded { subsidy_required, .. } = run(5.0, 3.0, 5.0, 3.0) {
+        if let VcgOutcome::Concluded {
+            subsidy_required, ..
+        } = run(5.0, 3.0, 5.0, 3.0)
+        {
             assert!((subsidy_required - 8.0).abs() < 1e-12);
         } else {
             panic!("should conclude");

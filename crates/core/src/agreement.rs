@@ -460,11 +460,19 @@ mod tests {
         let ap = Agreement::classic_peering(&g, asn('D'), asn('E')).unwrap();
         ap.validate(&g).unwrap();
         assert_eq!(
-            ap.grant_by_x().customers().iter().copied().collect::<Vec<_>>(),
+            ap.grant_by_x()
+                .customers()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![asn('H')]
         );
         assert_eq!(
-            ap.grant_by_y().customers().iter().copied().collect::<Vec<_>>(),
+            ap.grant_by_y()
+                .customers()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![asn('I')]
         );
         assert!(ap.grant_by_x().providers().is_empty());

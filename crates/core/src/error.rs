@@ -61,9 +61,15 @@ impl fmt::Display for AgreementError {
                 grantor,
                 target,
                 reason,
-            } => write!(f, "invalid grant by {grantor} of access to {target}: {reason}"),
+            } => write!(
+                f,
+                "invalid grant by {grantor} of access to {target}: {reason}"
+            ),
             AgreementError::NotPeers { x, y } => {
-                write!(f, "mutuality-based agreements require peers, but {x} and {y} are not")
+                write!(
+                    f,
+                    "mutuality-based agreements require peers, but {x} and {y} are not"
+                )
             }
             AgreementError::DimensionMismatch { expected, actual } => write!(
                 f,

@@ -130,8 +130,7 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let point =
-                    OperatingPoint::uniform(s.dimension(), i as f64 / 3.0, j as f64 / 3.0)
-                        .unwrap();
+                    OperatingPoint::uniform(s.dimension(), i as f64 / 3.0, j as f64 / 3.0).unwrap();
                 let eval = evaluate(&s, &point).unwrap();
                 assert!(
                     estimate.x.contains(eval.utility_x) || eval.utility_x.abs() < 1e-9,

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn paper_example_extension() {
         let ext = PathExtension::new(asn('E'), asn('F'), eda_segment(), 5.0).unwrap();
-        assert_eq!(ext.extended_path(), [asn('F'), asn('E'), asn('D'), asn('A')]);
+        assert_eq!(
+            ext.extended_path(),
+            [asn('F'), asn('E'), asn('D'), asn('A')]
+        );
     }
 
     #[test]

@@ -146,11 +146,12 @@ impl FlowVolumeOptimizer {
         }
 
         let eval = evaluate(scenario, &best_point)?;
-        let feasible =
-            eval.utility_x >= -UTILITY_TOLERANCE && eval.utility_y >= -UTILITY_TOLERANCE;
+        let feasible = eval.utility_x >= -UTILITY_TOLERANCE && eval.utility_y >= -UTILITY_TOLERANCE;
         let product = eval.utility_x.max(0.0) * eval.utility_y.max(0.0);
         let targets = segment_targets(scenario, &best_point)?;
-        let any_volume = targets.iter().any(|t| t.total_allowance > UTILITY_TOLERANCE);
+        let any_volume = targets
+            .iter()
+            .any(|t| t.total_allowance > UTILITY_TOLERANCE);
         if !feasible || !any_volume || product <= UTILITY_TOLERANCE {
             return Ok(FlowVolumeOutcome::Degenerate {
                 best_nash_product: product.max(0.0),
@@ -312,8 +313,16 @@ mod tests {
         // E pays its provider B an enormous rate, and D's provider is
         // cheap: any traffic D sends over E ruins E, and E has nothing
         // to gain because D's reroutable savings are tiny.
-        book.set_transit_price(asn('A'), asn('D'), PricingFunction::per_usage(0.01).unwrap());
-        book.set_transit_price(asn('B'), asn('E'), PricingFunction::per_usage(50.0).unwrap());
+        book.set_transit_price(
+            asn('A'),
+            asn('D'),
+            PricingFunction::per_usage(0.01).unwrap(),
+        );
+        book.set_transit_price(
+            asn('B'),
+            asn('E'),
+            PricingFunction::per_usage(50.0).unwrap(),
+        );
         let mut model = BusinessModel::new(g, book);
         model.set_internal_cost(asn('D'), CostFunction::linear(5.0).unwrap());
         model.set_internal_cost(asn('E'), CostFunction::linear(5.0).unwrap());
@@ -360,7 +369,10 @@ mod tests {
             FlowVolumeOptimizer::new().optimize(&s).unwrap()
         {
             for (target, opp) in agreement.targets.iter().zip(s.opportunities()) {
-                assert!(target.total_allowance <= opp.reroutable_total() + opp.attractable_total() + 1e-9);
+                assert!(
+                    target.total_allowance
+                        <= opp.reroutable_total() + opp.attractable_total() + 1e-9
+                );
                 assert!(target.attracted_allowance <= opp.attractable_total() + 1e-9);
                 assert!(target.rerouted_allowance() >= -1e-9);
             }

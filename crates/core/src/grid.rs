@@ -1,0 +1,313 @@
+//! Parallel negotiation-scenario grids.
+//!
+//! §IV evaluates an agreement under *assumptions* — how much provider
+//! traffic the parties could reroute onto the new segments and how much
+//! new customer demand the segments could attract. A **scenario grid**
+//! sweeps those two shares over a grid of cells, runs several
+//! noise-perturbed Monte Carlo trials per cell, and reports per-cell
+//! conclusion rates and settlement statistics — the raw material for
+//! "under which market assumptions is this agreement viable?" maps.
+//!
+//! Cells are independent, so the grid fans out over a
+//! [`ThreadPool`] via [`ScenarioSweep`]: cell `i` perturbs its
+//! baselines with ChaCha stream `i + 1` of `master_seed` (stream 0 is
+//! reserved for the sweep coordinator; see `pan_runtime::sweep`), which
+//! makes the whole grid bit-identical at any thread count.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_econ::{BusinessModel, FlowVec};
+use pan_runtime::{ScenarioSweep, ThreadPool};
+
+use crate::{Agreement, AgreementScenario, CashOptimizer, Result};
+
+/// Configuration of a negotiation-scenario grid sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Reroutable-share values (`[0, 1]`) forming the grid's first axis.
+    pub reroute_shares: Vec<f64>,
+    /// Attractable-share values (`[0, 1]`) forming the second axis.
+    pub attract_shares: Vec<f64>,
+    /// Monte Carlo trials per cell.
+    pub trials_per_cell: usize,
+    /// Relative baseline-volume jitter per trial: each flow entry is
+    /// scaled by a factor drawn uniformly from `[1 − noise, 1 + noise)`.
+    pub noise: f64,
+    /// Master seed of the sweep.
+    pub master_seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            reroute_shares: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            attract_shares: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            trials_per_cell: 8,
+            noise: 0.2,
+            master_seed: 42,
+        }
+    }
+}
+
+/// Aggregate result of one `(reroute_share, attract_share)` grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// The cell's reroutable share.
+    pub reroute_share: f64,
+    /// The cell's attractable share.
+    pub attract_share: f64,
+    /// Trials evaluated (equals `trials_per_cell`).
+    pub trials: usize,
+    /// Trials in which the cash-compensation agreement concluded.
+    pub concluded: usize,
+    /// Mean joint utility over the concluded trials (0 if none).
+    pub mean_joint_utility: f64,
+    /// Mean `X → Y` transfer over the concluded trials (0 if none).
+    pub mean_transfer: f64,
+}
+
+impl GridCell {
+    /// Fraction of trials that concluded.
+    #[must_use]
+    pub fn conclusion_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.concluded as f64 / self.trials as f64
+    }
+}
+
+/// Scales every entry of `baseline` (including the end-host flow) by an
+/// independent factor from `[1 − noise, 1 + noise)` (half-open, matching
+/// `gen_range`).
+fn perturb(baseline: &FlowVec, noise: f64, rng: &mut ChaCha12Rng) -> FlowVec {
+    let mut jittered = FlowVec::new(baseline.asn());
+    for (neighbor, volume) in baseline.iter() {
+        let factor = 1.0 + noise * rng.gen_range(-1.0..1.0);
+        jittered.set(neighbor, volume * factor);
+    }
+    let factor = 1.0 + noise * rng.gen_range(-1.0..1.0);
+    jittered.set_end_host_flow(baseline.end_host_flow() * factor);
+    jittered
+}
+
+/// Sweeps the full scenario grid in parallel.
+///
+/// For every grid cell and trial, the parties' baselines are jittered
+/// with the cell's derived RNG stream, an [`AgreementScenario`] with
+/// default opportunities is built for the cell's shares, and the
+/// cash-compensation optimizer of §IV-B decides viability.
+///
+/// Cell randomness derives entirely from `config.master_seed`; `pool`
+/// only supplies the workers. Cells are returned in row-major order
+/// (`reroute_shares` outer, `attract_shares` inner), bit-identical at
+/// any thread count.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidFraction`](crate::AgreementError::InvalidFraction)
+/// when `config.noise` is outside `[0, 1]` (a larger jitter could turn
+/// flow volumes negative), and propagates scenario-construction and
+/// optimizer errors (invalid shares, mismatched baselines, non-finite
+/// utilities).
+pub fn sweep_negotiation_grid(
+    model: &BusinessModel,
+    agreement: &Agreement,
+    baseline_x: &FlowVec,
+    baseline_y: &FlowVec,
+    config: &GridConfig,
+    pool: &ThreadPool,
+) -> Result<Vec<GridCell>> {
+    if !config.noise.is_finite() || !(0.0..=1.0).contains(&config.noise) {
+        return Err(crate::AgreementError::InvalidFraction {
+            value: config.noise,
+        });
+    }
+    let sweep = ScenarioSweep::new(pool.clone(), config.master_seed);
+    let cells: Vec<(f64, f64)> = config
+        .reroute_shares
+        .iter()
+        .flat_map(|&r| config.attract_shares.iter().map(move |&a| (r, a)))
+        .collect();
+    let optimizer = CashOptimizer::new();
+
+    let outcomes = sweep.map(&cells, |_idx, &(reroute, attract), mut rng| {
+        let mut concluded = 0usize;
+        let mut joint_sum = 0.0;
+        let mut transfer_sum = 0.0;
+        for _ in 0..config.trials_per_cell {
+            let fx = perturb(baseline_x, config.noise, &mut rng);
+            let fy = perturb(baseline_y, config.noise, &mut rng);
+            let scenario = AgreementScenario::with_default_opportunities(
+                model,
+                agreement.clone(),
+                fx,
+                fy,
+                reroute,
+                attract,
+            )?;
+            if let Some(cash) = optimizer.optimize(&scenario)?.concluded() {
+                concluded += 1;
+                joint_sum += cash.joint_utility();
+                transfer_sum += cash.settlement.transfer_x_to_y;
+            }
+        }
+        Ok(GridCell {
+            reroute_share: reroute,
+            attract_share: attract,
+            trials: config.trials_per_cell,
+            concluded,
+            mean_joint_utility: if concluded > 0 {
+                joint_sum / concluded as f64
+            } else {
+                0.0
+            },
+            mean_transfer: if concluded > 0 {
+                transfer_sum / concluded as f64
+            } else {
+                0.0
+            },
+        })
+    });
+    outcomes.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tests::{baselines, eq6_agreement, fig1_model};
+
+    fn small_config() -> GridConfig {
+        GridConfig {
+            reroute_shares: vec![0.0, 0.5, 1.0],
+            attract_shares: vec![0.0, 0.4],
+            trials_per_cell: 3,
+            noise: 0.15,
+            master_seed: 11,
+        }
+    }
+
+    #[test]
+    fn grid_covers_all_cells_in_row_major_order() {
+        let model = fig1_model();
+        let (fx, fy) = baselines();
+        let cells = sweep_negotiation_grid(
+            &model,
+            &eq6_agreement(),
+            &fx,
+            &fy,
+            &small_config(),
+            &ThreadPool::new(1),
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 6);
+        assert_eq!((cells[0].reroute_share, cells[0].attract_share), (0.0, 0.0));
+        assert_eq!((cells[1].reroute_share, cells[1].attract_share), (0.0, 0.4));
+        assert_eq!((cells[5].reroute_share, cells[5].attract_share), (1.0, 0.4));
+        for cell in &cells {
+            assert_eq!(cell.trials, 3);
+            assert!(cell.concluded <= cell.trials);
+            assert!((0.0..=1.0).contains(&cell.conclusion_rate()));
+        }
+    }
+
+    #[test]
+    fn grid_is_thread_count_independent() {
+        let model = fig1_model();
+        let (fx, fy) = baselines();
+        let config = small_config();
+        let reference = sweep_negotiation_grid(
+            &model,
+            &eq6_agreement(),
+            &fx,
+            &fy,
+            &config,
+            &ThreadPool::new(1),
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = sweep_negotiation_grid(
+                &model,
+                &eq6_agreement(),
+                &fx,
+                &fy,
+                &config,
+                &ThreadPool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn generous_shares_conclude_more_often_than_zero_shares() {
+        let model = fig1_model();
+        let (fx, fy) = baselines();
+        let config = GridConfig {
+            reroute_shares: vec![0.0, 0.8],
+            attract_shares: vec![0.0],
+            trials_per_cell: 4,
+            noise: 0.1,
+            master_seed: 5,
+        };
+        let cells = sweep_negotiation_grid(
+            &model,
+            &eq6_agreement(),
+            &fx,
+            &fy,
+            &config,
+            &ThreadPool::new(1),
+        )
+        .unwrap();
+        assert!(
+            cells[1].concluded >= cells[0].concluded,
+            "more reroutable volume cannot hurt viability"
+        );
+    }
+
+    #[test]
+    fn oversized_noise_is_rejected() {
+        let model = fig1_model();
+        let (fx, fy) = baselines();
+        for noise in [1.5, -0.1, f64::NAN] {
+            let config = GridConfig {
+                noise,
+                ..GridConfig::default()
+            };
+            assert!(
+                sweep_negotiation_grid(
+                    &model,
+                    &eq6_agreement(),
+                    &fx,
+                    &fy,
+                    &config,
+                    &ThreadPool::new(1),
+                )
+                .is_err(),
+                "noise {noise} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_shares_propagate_errors() {
+        let model = fig1_model();
+        let (fx, fy) = baselines();
+        let config = GridConfig {
+            reroute_shares: vec![1.5],
+            attract_shares: vec![0.0],
+            ..GridConfig::default()
+        };
+        assert!(sweep_negotiation_grid(
+            &model,
+            &eq6_agreement(),
+            &fx,
+            &fy,
+            &config,
+            &ThreadPool::new(1),
+        )
+        .is_err());
+    }
+}

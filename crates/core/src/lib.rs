@@ -68,6 +68,7 @@ pub mod cash;
 pub mod estimate;
 pub mod extension;
 pub mod flow_volume;
+pub mod grid;
 pub mod nash;
 pub mod negotiation;
 pub mod utility;
@@ -76,6 +77,7 @@ pub use agreement::{Agreement, Grant, NewSegment};
 pub use cash::{settle, CashAgreement, CashOptimizer, CashOutcome, CashSettlement};
 pub use error::AgreementError;
 pub use flow_volume::{FlowVolumeAgreement, FlowVolumeOptimizer, FlowVolumeOutcome};
+pub use grid::{sweep_negotiation_grid, GridCell, GridConfig};
 pub use scenario::{AgreementScenario, SegmentOpportunity};
 pub use utility::{evaluate, segment_targets, Evaluation, OperatingPoint, SegmentTarget};
 

@@ -86,7 +86,10 @@ mod tests {
     fn pareto_dominance() {
         assert!(pareto_dominates((2.0, 2.0), (1.0, 2.0)));
         assert!(!pareto_dominates((2.0, 1.0), (1.0, 2.0)));
-        assert!(!pareto_dominates((1.0, 1.0), (1.0, 1.0)), "equal is not dominant");
+        assert!(
+            !pareto_dominates((1.0, 1.0), (1.0, 1.0)),
+            "equal is not dominant"
+        );
     }
 
     proptest! {

@@ -176,8 +176,16 @@ mod tests {
         }
         .negotiate(10.0, 2.0)
         .unwrap();
-        let (NegotiationOutcome::Concluded { utility_x_after: hx, .. },
-             NegotiationOutcome::Concluded { utility_x_after: sx, .. }) = (honest, shaded)
+        let (
+            NegotiationOutcome::Concluded {
+                utility_x_after: hx,
+                ..
+            },
+            NegotiationOutcome::Concluded {
+                utility_x_after: sx,
+                ..
+            },
+        ) = (honest, shaded)
         else {
             panic!("both should conclude");
         };

@@ -196,14 +196,13 @@ impl<'a> AgreementScenario<'a> {
         }
         for &(customer, volume) in &opportunity.attractable {
             let is_end_host = customer == segment.beneficiary;
-            let is_customer = graph.neighbor_kind(segment.beneficiary, customer)
-                == Some(NeighborKind::Customer);
+            let is_customer =
+                graph.neighbor_kind(segment.beneficiary, customer) == Some(NeighborKind::Customer);
             if !is_end_host && !is_customer {
                 return Err(AgreementError::InvalidGrant {
                     grantor: segment.beneficiary,
                     target: customer,
-                    reason: "attractable entries must name customers of the beneficiary"
-                        .to_owned(),
+                    reason: "attractable entries must name customers of the beneficiary".to_owned(),
                 });
             }
             if !volume.is_finite() || volume < 0.0 {
@@ -330,15 +329,9 @@ pub(crate) mod tests {
     fn default_opportunities_cover_all_segments() {
         let m = fig1_model();
         let (fd, fe) = baselines();
-        let s = AgreementScenario::with_default_opportunities(
-            &m,
-            eq6_agreement(),
-            fd,
-            fe,
-            0.5,
-            0.2,
-        )
-        .unwrap();
+        let s =
+            AgreementScenario::with_default_opportunities(&m, eq6_agreement(), fd, fe, 0.5, 0.2)
+                .unwrap();
         assert_eq!(s.dimension(), 3);
         // D's segments (to B and F) may reroute from provider A.
         let d_opps: Vec<_> = s

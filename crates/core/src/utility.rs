@@ -412,12 +412,9 @@ mod tests {
         let targets = segment_targets(&s, &point).unwrap();
         assert_eq!(targets.len(), s.dimension());
         for (target, opp) in targets.iter().zip(s.opportunities()) {
-            let expected_total =
-                0.5 * opp.reroutable_total() + 0.5 * opp.attractable_total();
+            let expected_total = 0.5 * opp.reroutable_total() + 0.5 * opp.attractable_total();
             assert!((target.total_allowance - expected_total).abs() < 1e-9);
-            assert!(
-                (target.attracted_allowance - 0.5 * opp.attractable_total()).abs() < 1e-9
-            );
+            assert!((target.attracted_allowance - 0.5 * opp.attractable_total()).abs() < 1e-9);
             assert!(target.rerouted_allowance() >= 0.0);
         }
     }

@@ -7,7 +7,6 @@
 //! better-connected AS pairs receiving more facilities (large networks
 //! interconnect in several cities).
 
-
 use pan_topology::geo::{GeoAnnotations, GeoPoint};
 use pan_topology::AsGraph;
 

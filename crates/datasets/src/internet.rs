@@ -57,15 +57,51 @@ pub struct Region {
 pub fn default_regions() -> Vec<Region> {
     let p = |lat: f64, lon: f64| GeoPoint::new(lat, lon).expect("static coordinates are valid");
     vec![
-        Region { name: "north-america-east".to_string(), hub: p(40.7, -74.0), weight: 0.18 },
-        Region { name: "north-america-west".to_string(), hub: p(37.4, -122.1), weight: 0.10 },
-        Region { name: "europe-west".to_string(), hub: p(50.1, 8.7), weight: 0.22 },
-        Region { name: "europe-east".to_string(), hub: p(52.2, 21.0), weight: 0.10 },
-        Region { name: "asia-east".to_string(), hub: p(35.7, 139.7), weight: 0.14 },
-        Region { name: "asia-south".to_string(), hub: p(19.1, 72.9), weight: 0.10 },
-        Region { name: "south-america".to_string(), hub: p(-23.5, -46.6), weight: 0.08 },
-        Region { name: "oceania".to_string(), hub: p(-33.9, 151.2), weight: 0.04 },
-        Region { name: "africa".to_string(), hub: p(6.5, 3.4), weight: 0.04 },
+        Region {
+            name: "north-america-east".to_string(),
+            hub: p(40.7, -74.0),
+            weight: 0.18,
+        },
+        Region {
+            name: "north-america-west".to_string(),
+            hub: p(37.4, -122.1),
+            weight: 0.10,
+        },
+        Region {
+            name: "europe-west".to_string(),
+            hub: p(50.1, 8.7),
+            weight: 0.22,
+        },
+        Region {
+            name: "europe-east".to_string(),
+            hub: p(52.2, 21.0),
+            weight: 0.10,
+        },
+        Region {
+            name: "asia-east".to_string(),
+            hub: p(35.7, 139.7),
+            weight: 0.14,
+        },
+        Region {
+            name: "asia-south".to_string(),
+            hub: p(19.1, 72.9),
+            weight: 0.10,
+        },
+        Region {
+            name: "south-america".to_string(),
+            hub: p(-23.5, -46.6),
+            weight: 0.08,
+        },
+        Region {
+            name: "oceania".to_string(),
+            hub: p(-33.9, 151.2),
+            weight: 0.04,
+        },
+        Region {
+            name: "africa".to_string(),
+            hub: p(6.5, 3.4),
+            weight: 0.04,
+        },
     ]
 }
 
@@ -223,11 +259,8 @@ impl SyntheticInternet {
 
         let skeleton = generate_topology(config, seed)?;
         let prefixes = prefix::generate(&skeleton, &mut rng::substream(seed, "prefixes"));
-        let locations = geolite::locate_prefixes(
-            &skeleton,
-            &prefixes,
-            &mut rng::substream(seed, "geolite"),
-        );
+        let locations =
+            geolite::locate_prefixes(&skeleton, &prefixes, &mut rng::substream(seed, "geolite"));
         let mut geo = geolite::as_centroids(&prefixes, &locations);
         georel::add_facilities(
             &skeleton.graph,
@@ -636,11 +669,26 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let bad = [
-            InternetConfig { num_ases: 2, ..InternetConfig::default() },
-            InternetConfig { tier1_count: 1, ..InternetConfig::default() },
-            InternetConfig { transit_fraction: 1.5, ..InternetConfig::default() },
-            InternetConfig { same_region_bias: 0.5, ..InternetConfig::default() },
-            InternetConfig { capacity_scale: 0.0, ..InternetConfig::default() },
+            InternetConfig {
+                num_ases: 2,
+                ..InternetConfig::default()
+            },
+            InternetConfig {
+                tier1_count: 1,
+                ..InternetConfig::default()
+            },
+            InternetConfig {
+                transit_fraction: 1.5,
+                ..InternetConfig::default()
+            },
+            InternetConfig {
+                same_region_bias: 0.5,
+                ..InternetConfig::default()
+            },
+            InternetConfig {
+                capacity_scale: 0.0,
+                ..InternetConfig::default()
+            },
             InternetConfig {
                 num_ases: 100,
                 tier1_count: 10,

@@ -228,7 +228,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for text in ["", "10.0.0.0", "10.0.0/24", "10.0.0.0.0/24", "10.0.0.0/33", "a.b.c.d/8"] {
+        for text in [
+            "",
+            "10.0.0.0",
+            "10.0.0/24",
+            "10.0.0.0.0/24",
+            "10.0.0.0/33",
+            "a.b.c.d/8",
+        ] {
             assert!(text.parse::<Ipv4Prefix>().is_err(), "{text:?} should fail");
         }
     }
@@ -297,10 +304,7 @@ mod tests {
             .map(|i| net.prefixes.prefixes_of(Asn::new(i)).len())
             .sum::<usize>() as f64
             / 4.0;
-        let stub_count = net
-            .prefixes
-            .prefixes_of(Asn::new(120))
-            .len();
+        let stub_count = net.prefixes.prefixes_of(Asn::new(120)).len();
         assert!(tier1_mean >= 24.0);
         assert!((1..=4).contains(&stub_count));
     }

@@ -44,12 +44,7 @@ impl PricingBook {
     }
 
     /// Sets the price `provider` charges `customer`.
-    pub fn set_transit_price(
-        &mut self,
-        provider: Asn,
-        customer: Asn,
-        price: PricingFunction,
-    ) {
+    pub fn set_transit_price(&mut self, provider: Asn, customer: Asn, price: PricingFunction) {
         self.prices.insert((provider, customer), price);
     }
 
@@ -302,7 +297,11 @@ mod tests {
     fn flat_rate_provider_fee_charged_even_at_zero_flow() {
         let g = fig1();
         let mut book = PricingBook::new();
-        book.set_transit_price(asn('A'), asn('D'), PricingFunction::flat_rate(100.0).unwrap());
+        book.set_transit_price(
+            asn('A'),
+            asn('D'),
+            PricingFunction::flat_rate(100.0).unwrap(),
+        );
         let m = BusinessModel::new(g, book);
         let f = FlowVec::new(asn('D'));
         assert_eq!(m.cost(&f).unwrap(), 100.0);

@@ -139,7 +139,10 @@ mod tests {
             7.0
         );
         assert_eq!(
-            CostFunction::power_law(2.0, 2.0).unwrap().eval(3.0).unwrap(),
+            CostFunction::power_law(2.0, 2.0)
+                .unwrap()
+                .eval(3.0)
+                .unwrap(),
             18.0
         );
     }
@@ -154,10 +157,8 @@ mod tests {
         prop_oneof![
             Just(CostFunction::Zero),
             (0.0..10.0f64).prop_map(|r| CostFunction::linear(r).unwrap()),
-            (0.0..10.0f64, 0.0..10.0f64)
-                .prop_map(|(b, r)| CostFunction::affine(b, r).unwrap()),
-            (0.0..10.0f64, 1.0..3.0f64)
-                .prop_map(|(c, e)| CostFunction::power_law(c, e).unwrap()),
+            (0.0..10.0f64, 0.0..10.0f64).prop_map(|(b, r)| CostFunction::affine(b, r).unwrap()),
+            (0.0..10.0f64, 1.0..3.0f64).prop_map(|(c, e)| CostFunction::power_law(c, e).unwrap()),
         ]
     }
 

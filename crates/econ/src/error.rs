@@ -36,7 +36,10 @@ impl fmt::Display for EconError {
                 write!(f, "parameter {name} out of domain: {value}")
             }
             EconError::InvalidFlow { volume } => {
-                write!(f, "flow volumes must be finite and non-negative, got {volume}")
+                write!(
+                    f,
+                    "flow volumes must be finite and non-negative, got {volume}"
+                )
             }
             EconError::MissingPrice { provider, customer } => {
                 write!(f, "no pricing function for link {provider} → {customer}")

@@ -125,9 +125,7 @@ impl FlowVec {
 /// X, Y, and Z in that order, independent of direction").
 ///
 /// `(X, Y, Z)` and `(Z, Y, X)` normalize to the same key.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SegmentKey {
     first: Asn,
     middle: Asn,
@@ -283,9 +281,18 @@ mod tests {
 
     #[test]
     fn segment_key_is_direction_independent() {
-        assert_eq!(SegmentKey::new(a(1), a(2), a(3)), SegmentKey::new(a(3), a(2), a(1)));
-        assert_ne!(SegmentKey::new(a(1), a(2), a(3)), SegmentKey::new(a(1), a(3), a(2)));
-        assert_eq!(SegmentKey::new(a(3), a(2), a(1)).parts(), (a(1), a(2), a(3)));
+        assert_eq!(
+            SegmentKey::new(a(1), a(2), a(3)),
+            SegmentKey::new(a(3), a(2), a(1))
+        );
+        assert_ne!(
+            SegmentKey::new(a(1), a(2), a(3)),
+            SegmentKey::new(a(1), a(3), a(2))
+        );
+        assert_eq!(
+            SegmentKey::new(a(3), a(2), a(1)).parts(),
+            (a(1), a(2), a(3))
+        );
     }
 
     #[test]

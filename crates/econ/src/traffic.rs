@@ -150,10 +150,7 @@ impl FlowAccumulator {
         // Per-neighbor flows: each AS sees the volume on each incident
         // on-path link; end-hosts terminate the flow at both ends.
         for (i, &x) in path.iter().enumerate() {
-            let entry = self
-                .flows
-                .entry(x)
-                .or_insert_with(|| FlowVec::new(x));
+            let entry = self.flows.entry(x).or_insert_with(|| FlowVec::new(x));
             if i > 0 {
                 entry.add(path[i - 1], volume);
             }
@@ -168,10 +165,7 @@ impl FlowAccumulator {
         let src = path[0];
         src_entry.add(src, volume);
         let dst = *path.last().expect("path has at least two hops");
-        let dst_entry = self
-            .flows
-            .entry(dst)
-            .or_insert_with(|| FlowVec::new(dst));
+        let dst_entry = self.flows.entry(dst).or_insert_with(|| FlowVec::new(dst));
         dst_entry.add(dst, volume);
 
         // Segment flows for every consecutive triple.

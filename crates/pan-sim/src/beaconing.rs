@@ -130,9 +130,7 @@ mod tests {
         let registry = run_beaconing(&g, 6, 4);
         // The stub (AS 4) reaches the core (AS 1) via both L and R.
         let stub = pan_topology::Asn::new(4);
-        let ups: Vec<_> = registry
-            .segments_of_kind(stub, SegmentKind::Up)
-            .collect();
+        let ups: Vec<_> = registry.segments_of_kind(stub, SegmentKind::Up).collect();
         assert_eq!(ups.len(), 2, "diamond should yield two up-segments");
     }
 
@@ -146,9 +144,7 @@ mod tests {
             }
         }
         // AS 4 is 3 hops from the core (1 → 2 → 3 → 4): no segment.
-        assert!(registry
-            .segments_of(pan_topology::Asn::new(5))
-            .is_empty());
+        assert!(registry.segments_of(pan_topology::Asn::new(5)).is_empty());
     }
 
     #[test]

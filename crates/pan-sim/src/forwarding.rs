@@ -224,9 +224,7 @@ mod tests {
         }
         // Extended by the customer: H → D → E → B (H is D's customer, so
         // D's hop is GRC-fine; E's hop is agreement-authorized).
-        assert!(net
-            .send(&[asn('H'), asn('D'), asn('E'), asn('B')])
-            .is_ok());
+        assert!(net.send(&[asn('H'), asn('D'), asn('E'), asn('B')]).is_ok());
     }
 
     #[test]
@@ -268,7 +266,10 @@ mod tests {
         assert_eq!(packet.current(), Some(asn('D')));
         net.step(&mut packet).unwrap();
         assert!(packet.delivered());
-        assert!(net.step(&mut packet).is_err(), "no forwarding past delivery");
+        assert!(
+            net.step(&mut packet).is_err(),
+            "no forwarding past delivery"
+        );
     }
 
     #[test]

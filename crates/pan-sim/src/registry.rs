@@ -165,7 +165,14 @@ mod tests {
         let paths = reg.lookup_paths(asn('H'), asn('I'));
         assert_eq!(
             paths,
-            vec![vec![asn('H'), asn('D'), asn('A'), asn('B'), asn('E'), asn('I')]]
+            vec![vec![
+                asn('H'),
+                asn('D'),
+                asn('A'),
+                asn('B'),
+                asn('E'),
+                asn('I')
+            ]]
         );
         // And the reverse direction works symmetrically.
         let back = reg.lookup_paths(asn('I'), asn('H'));
@@ -189,7 +196,8 @@ mod tests {
         reg.register(seg(SegmentKind::Agreement, &['H', 'D', 'C']));
         assert_eq!(reg.segments_of_kind(asn('H'), SegmentKind::Up).count(), 1);
         assert_eq!(
-            reg.segments_of_kind(asn('H'), SegmentKind::Agreement).count(),
+            reg.segments_of_kind(asn('H'), SegmentKind::Agreement)
+                .count(),
             1
         );
         assert_eq!(reg.len(), 2);

@@ -144,12 +144,8 @@ mod tests {
         let g = fig1();
         assert!(Segment::new(&g, SegmentKind::Up, vec![asn('H')]).is_err());
         assert!(Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('E')]).is_err());
-        assert!(
-            Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('H')]).is_err()
-        );
-        assert!(
-            Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('A')]).is_ok()
-        );
+        assert!(Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('H')]).is_err());
+        assert!(Segment::new(&g, SegmentKind::Up, vec![asn('H'), asn('D'), asn('A')]).is_ok());
     }
 
     #[test]

@@ -4,15 +4,14 @@
 //! to the product of endpoint degrees); the bandwidth of a length-3 path
 //! is the minimum capacity of its two links.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use pan_runtime::ThreadPool;
 use pan_topology::bandwidth::LinkCapacities;
 use pan_topology::AsGraph;
 
 use crate::cdf::EmpiricalCdf;
-use crate::pair_analysis::{analyze_pairs, fraction_with_at_least, Direction, PairRecord};
+use crate::pair_analysis::{analyze_pairs_pooled, fraction_with_at_least, Direction, PairRecord};
 
 /// Configuration of the bandwidth analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,51 +80,68 @@ impl BandwidthReport {
     }
 }
 
-/// Precomputed capacity lookup keyed by direction-normalized index pairs.
+/// Precomputed capacity lookup, dense per
+/// [`LinkId`](pan_topology::LinkId); `(node, node)` pairs resolve to
+/// links through the graph's CSR adjacency, so the hot path never
+/// hashes.
 #[derive(Debug)]
-pub struct BandwidthIndex {
-    capacities: HashMap<(u32, u32), f64>,
+pub struct BandwidthIndex<'a> {
+    graph: &'a AsGraph,
+    capacities: Vec<f64>,
 }
 
-impl BandwidthIndex {
+impl<'a> BandwidthIndex<'a> {
     /// Builds the index from per-link capacities.
     #[must_use]
-    pub fn build(graph: &AsGraph, capacities: &LinkCapacities) -> Self {
-        let mut map = HashMap::with_capacity(graph.link_count());
+    pub fn build(graph: &'a AsGraph, capacities: &LinkCapacities) -> Self {
+        let mut by_link = vec![0.0; graph.link_count()];
         for link in graph.links() {
-            let ia = graph.index_of(link.a).expect("link endpoints are nodes");
-            let ib = graph.index_of(link.b).expect("link endpoints are nodes");
-            let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
-            map.insert(key, capacities.capacity(link.id));
+            by_link[link.id.index()] = capacities.capacity(link.id);
         }
-        BandwidthIndex { capacities: map }
+        BandwidthIndex {
+            graph,
+            capacities: by_link,
+        }
     }
 
     /// Bandwidth of the length-3 path `src → mid → dst`: the bottleneck
     /// of the two links.
     #[must_use]
     pub fn path_bandwidth(&self, src: u32, mid: u32, dst: u32) -> Option<f64> {
-        let key1 = if src <= mid { (src, mid) } else { (mid, src) };
-        let key2 = if mid <= dst { (mid, dst) } else { (dst, mid) };
-        let c1 = *self.capacities.get(&key1)?;
-        let c2 = *self.capacities.get(&key2)?;
+        let l1 = self.graph.link_id_between_indices(src, mid)?;
+        let l2 = self.graph.link_id_between_indices(mid, dst)?;
+        let c1 = self.capacities[l1.index()];
+        let c2 = self.capacities[l2.index()];
         Some(c1.min(c2))
     }
 }
 
-/// Runs the full Fig. 6 analysis.
+/// Runs the full Fig. 6 analysis on a single thread.
 #[must_use]
 pub fn analyze(
     graph: &AsGraph,
     capacities: &LinkCapacities,
     config: &BandwidthConfig,
 ) -> BandwidthReport {
+    analyze_pooled(graph, capacities, config, &ThreadPool::new(1))
+}
+
+/// Runs the full Fig. 6 analysis with the per-source sweep fanned out
+/// over `pool`; bit-identical to [`analyze`] at any thread count.
+#[must_use]
+pub fn analyze_pooled(
+    graph: &AsGraph,
+    capacities: &LinkCapacities,
+    config: &BandwidthConfig,
+    pool: &ThreadPool,
+) -> BandwidthReport {
     let index = BandwidthIndex::build(graph, capacities);
-    let pairs = analyze_pairs(
+    let pairs = analyze_pairs_pooled(
         graph,
         config.sample_size,
         config.seed,
         Direction::HigherIsBetter,
+        pool,
         |src, mid, dst| index.path_bandwidth(src, mid, dst),
     );
     BandwidthReport { pairs }

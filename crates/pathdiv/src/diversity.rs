@@ -2,10 +2,9 @@
 //! the aggregate numbers of §VI-A.
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
+use pan_runtime::{coordinator_rng, ThreadPool};
 use pan_topology::{AsGraph, Asn};
 
 use crate::length3::Length3Enumerator;
@@ -114,7 +113,11 @@ impl DiversityReport {
     /// Mean number of additional reachable destinations (§VI-A: 2,181).
     #[must_use]
     pub fn mean_additional_destinations(&self) -> f64 {
-        mean(self.per_as.iter().map(|a| a.additional_destinations() as f64))
+        mean(
+            self.per_as
+                .iter()
+                .map(|a| a.additional_destinations() as f64),
+        )
     }
 
     /// Maximum number of additional destinations over the sample.
@@ -142,21 +145,45 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Samples `config.sample_size` ASes uniformly (seeded) and analyzes each.
+/// Samples `config.sample_size` ASes uniformly (seeded) and analyzes
+/// each on a single thread. Equivalent to [`analyze_sample_pooled`] with
+/// a one-thread pool.
 #[must_use]
 pub fn analyze_sample(graph: &AsGraph, config: &DiversityConfig) -> DiversityReport {
-    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    analyze_sample_pooled(graph, config, &ThreadPool::new(1))
+}
+
+/// Samples `config.sample_size` ASes uniformly (seeded) and analyzes
+/// them in parallel over `pool`.
+///
+/// Every worker owns a private visited-stamp scratch buffer (the same
+/// allocation-amortization trick the sequential path uses), and per-AS
+/// results are assembled in sample order, so the report is bit-identical
+/// at any thread count.
+#[must_use]
+pub fn analyze_sample_pooled(
+    graph: &AsGraph,
+    config: &DiversityConfig,
+    pool: &ThreadPool,
+) -> DiversityReport {
+    let mut rng = coordinator_rng(config.seed);
     let mut indices: Vec<u32> = (0..graph.node_count() as u32).collect();
     indices.shuffle(&mut rng);
     indices.truncate(config.sample_size.min(graph.node_count()));
 
-    let enumerator = Length3Enumerator::new(graph);
-    let mut stamp = vec![0u32; graph.node_count()];
-    let mut stamp_gen = 0u32;
-    let per_as = indices
-        .iter()
-        .map(|&src| analyze_as(graph, &enumerator, src, config, &mut stamp, &mut stamp_gen))
-        .collect();
+    let per_as = pool.map_with(
+        &indices,
+        || {
+            (
+                Length3Enumerator::new(graph),
+                vec![0u32; graph.node_count()],
+                0u32,
+            )
+        },
+        |(enumerator, stamp, stamp_gen), _idx, &src| {
+            analyze_as(graph, enumerator, src, config, stamp, stamp_gen)
+        },
+    );
     DiversityReport {
         per_as,
         top_n: config.top_n.clone(),
@@ -371,6 +398,23 @@ mod tests {
         let a = analyze_sample(&net.graph, &config(30));
         let b = analyze_sample(&net.graph, &config(30));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_sampling_matches_sequential() {
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 200,
+                ..InternetConfig::default()
+            },
+            9,
+        )
+        .unwrap();
+        let reference = analyze_sample(&net.graph, &config(40));
+        for threads in [2, 4, 16] {
+            let pooled = analyze_sample_pooled(&net.graph, &config(40), &ThreadPool::new(threads));
+            assert_eq!(reference, pooled, "{threads} threads diverged");
+        }
     }
 
     #[test]

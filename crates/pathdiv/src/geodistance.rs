@@ -5,15 +5,14 @@
 //! interconnection facilities of the two links (with AS-centroid
 //! midpoints as fallback). Geodistance is a proxy for path latency.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use pan_runtime::ThreadPool;
 use pan_topology::geo::{GeoAnnotations, GeoPoint};
 use pan_topology::AsGraph;
 
 use crate::cdf::EmpiricalCdf;
-use crate::pair_analysis::{analyze_pairs, fraction_with_at_least, Direction, PairRecord};
+use crate::pair_analysis::{analyze_pairs_pooled, fraction_with_at_least, Direction, PairRecord};
 
 /// Configuration of the geodistance analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,27 +83,31 @@ impl GeodistanceReport {
 }
 
 /// Precomputed geometry lookup tables for fast path-geodistance queries.
+///
+/// Candidate interconnection locations are stored densely per
+/// [`LinkId`](pan_topology::LinkId); the hot path resolves `(node,
+/// node)` pairs to links through the graph's CSR adjacency, so no hash
+/// map is touched per enumerated path.
 #[derive(Debug)]
-pub struct GeodistanceIndex {
+pub struct GeodistanceIndex<'a> {
+    graph: &'a AsGraph,
     /// AS centroid per dense node index.
     locations: Vec<Option<GeoPoint>>,
-    /// Candidate interconnection locations per link, keyed by the
-    /// direction-normalized index pair.
-    link_candidates: HashMap<(u32, u32), Vec<GeoPoint>>,
+    /// Candidate interconnection locations per link id.
+    link_candidates: Vec<Vec<GeoPoint>>,
 }
 
-impl GeodistanceIndex {
+impl<'a> GeodistanceIndex<'a> {
     /// Builds the index from geographic annotations.
     #[must_use]
-    pub fn build(graph: &AsGraph, geo: &GeoAnnotations) -> Self {
+    pub fn build(graph: &'a AsGraph, geo: &GeoAnnotations) -> Self {
         let locations: Vec<Option<GeoPoint>> = (0..graph.node_count() as u32)
             .map(|i| geo.as_location(graph.asn_at(i)))
             .collect();
-        let mut link_candidates = HashMap::with_capacity(graph.link_count());
+        let mut link_candidates = vec![Vec::new(); graph.link_count()];
         for link in graph.links() {
             let ia = graph.index_of(link.a).expect("link endpoints are nodes");
             let ib = graph.index_of(link.b).expect("link endpoints are nodes");
-            let key = if ia <= ib { (ia, ib) } else { (ib, ia) };
             let facilities = geo.facilities(link.id);
             let candidates = if facilities.is_empty() {
                 match (locations[ia as usize], locations[ib as usize]) {
@@ -116,9 +119,10 @@ impl GeodistanceIndex {
             } else {
                 facilities.to_vec()
             };
-            link_candidates.insert(key, candidates);
+            link_candidates[link.id.index()] = candidates;
         }
         GeodistanceIndex {
+            graph,
             locations,
             link_candidates,
         }
@@ -130,10 +134,10 @@ impl GeodistanceIndex {
     pub fn path_geodistance(&self, src: u32, mid: u32, dst: u32) -> Option<f64> {
         let p_src = self.locations[src as usize]?;
         let p_dst = self.locations[dst as usize]?;
-        let key1 = if src <= mid { (src, mid) } else { (mid, src) };
-        let key2 = if mid <= dst { (mid, dst) } else { (dst, mid) };
-        let c1 = self.link_candidates.get(&key1)?;
-        let c2 = self.link_candidates.get(&key2)?;
+        let l1 = self.graph.link_id_between_indices(src, mid)?;
+        let l2 = self.graph.link_id_between_indices(mid, dst)?;
+        let c1 = &self.link_candidates[l1.index()];
+        let c2 = &self.link_candidates[l2.index()];
         if c1.is_empty() || c2.is_empty() {
             return None;
         }
@@ -151,19 +155,32 @@ impl GeodistanceIndex {
     }
 }
 
-/// Runs the full Fig. 5 analysis.
+/// Runs the full Fig. 5 analysis on a single thread.
 #[must_use]
 pub fn analyze(
     graph: &AsGraph,
     geo: &GeoAnnotations,
     config: &GeodistanceConfig,
 ) -> GeodistanceReport {
+    analyze_pooled(graph, geo, config, &ThreadPool::new(1))
+}
+
+/// Runs the full Fig. 5 analysis with the per-source sweep fanned out
+/// over `pool`; bit-identical to [`analyze`] at any thread count.
+#[must_use]
+pub fn analyze_pooled(
+    graph: &AsGraph,
+    geo: &GeoAnnotations,
+    config: &GeodistanceConfig,
+    pool: &ThreadPool,
+) -> GeodistanceReport {
     let index = GeodistanceIndex::build(graph, geo);
-    let pairs = analyze_pairs(
+    let pairs = analyze_pairs_pooled(
         graph,
         config.sample_size,
         config.seed,
         Direction::LowerIsBetter,
+        pool,
         |src, mid, dst| index.path_geodistance(src, mid, dst),
     );
     GeodistanceReport { pairs }
@@ -262,7 +279,14 @@ mod tests {
     fn unannotated_graph_yields_no_pairs() {
         let g = fig1();
         let geo = GeoAnnotations::new();
-        let report = analyze(&g, &geo, &GeodistanceConfig { sample_size: 9, seed: 1 });
+        let report = analyze(
+            &g,
+            &geo,
+            &GeodistanceConfig {
+                sample_size: 9,
+                seed: 1,
+            },
+        );
         assert!(report.pairs.is_empty());
         assert_eq!(report.fraction_below_min(1), 0.0);
         // Sanity: asn helper keeps the import used.

@@ -22,7 +22,7 @@
 //! [`AsGraph::index_of`](pan_topology::AsGraph::index_of)) for speed; the
 //! enumeration of a source is `O(Σ_mid degree(mid))`.
 
-use pan_topology::AsGraph;
+use pan_topology::{AsGraph, NeighborKind};
 
 /// Enumerates length-3 paths from single sources over a fixed graph.
 ///
@@ -49,19 +49,12 @@ impl<'a> Length3Enumerator<'a> {
     /// Visits every GRC-conforming length-3 path `src → mid → dst`.
     pub fn for_each_grc(&self, src: u32, mut visit: impl FnMut(u32, u32)) {
         let g = self.graph;
-        // up·{up, peer, down}: mid is a provider of src.
+        // up·{up, peer, down}: mid is a provider of src, dst is *any*
+        // neighbor of mid — one packed CSR slice (provider, peer, and
+        // customer segments are adjacent, in the same ASN-sorted order
+        // the per-class loops used to visit).
         for &mid in g.provider_indices(src) {
-            for &dst in g.provider_indices(mid) {
-                if dst != src {
-                    visit(mid, dst);
-                }
-            }
-            for &dst in g.peer_indices(mid) {
-                if dst != src {
-                    visit(mid, dst);
-                }
-            }
-            for &dst in g.customer_indices(mid) {
+            for &dst in g.neighbor_indices(mid) {
                 if dst != src {
                     visit(mid, dst);
                 }
@@ -93,12 +86,9 @@ impl<'a> Length3Enumerator<'a> {
     pub fn for_each_ma_direct(&self, src: u32, mut visit: impl FnMut(u32, u32)) {
         let g = self.graph;
         for &mid in g.peer_indices(src) {
-            for &dst in g.provider_indices(mid) {
-                if dst != src && !is_customer_of(g, dst, src) {
-                    visit(mid, dst);
-                }
-            }
-            for &dst in g.peer_indices(mid) {
+            // Targets are π(mid) ∪ ε(mid): adjacent CSR segments, one
+            // packed slice.
+            for &dst in g.provider_peer_indices(mid) {
                 if dst != src && !is_customer_of(g, dst, src) {
                     visit(mid, dst);
                 }
@@ -185,12 +175,7 @@ impl<'a> Length3Enumerator<'a> {
             .iter()
             .map(|&mid| {
                 let mut count = 0;
-                for &dst in g.provider_indices(mid) {
-                    if dst != src && !is_customer_of(g, dst, src) {
-                        count += 1;
-                    }
-                }
-                for &dst in g.peer_indices(mid) {
+                for &dst in g.provider_peer_indices(mid) {
                     if dst != src && !is_customer_of(g, dst, src) {
                         count += 1;
                     }
@@ -203,18 +188,12 @@ impl<'a> Length3Enumerator<'a> {
 
 /// `a` is a customer of `b` (i.e. `a ∈ γ(b)`).
 fn is_customer_of(graph: &AsGraph, a: u32, b: u32) -> bool {
-    graph.customer_indices(b).binary_search_by_key(
-        &graph.asn_at(a),
-        |&i| graph.asn_at(i),
-    ).is_ok()
+    graph.has_neighbor_kind(b, a, NeighborKind::Customer)
 }
 
 /// `a` is a provider of `b` (i.e. `a ∈ π(b)`).
 fn is_provider_of(graph: &AsGraph, a: u32, b: u32) -> bool {
-    graph.provider_indices(b).binary_search_by_key(
-        &graph.asn_at(a),
-        |&i| graph.asn_at(i),
-    ).is_ok()
+    graph.has_neighbor_kind(b, a, NeighborKind::Provider)
 }
 
 #[cfg(test)]
@@ -265,11 +244,9 @@ mod tests {
     fn all_grc_paths_are_valley_free_and_vice_versa() {
         let g = fig1();
         for src in g.ases() {
-            let enumerated = collect(
-                &g,
-                char::from(b'A' + (src.get() - 1) as u8),
-                |e, s, cb| e.for_each_grc(s, cb),
-            );
+            let enumerated = collect(&g, char::from(b'A' + (src.get() - 1) as u8), |e, s, cb| {
+                e.for_each_grc(s, cb)
+            });
             // Cross-check against brute force over all (mid, dst) pairs.
             for mid in g.ases() {
                 for dst in g.ases() {

@@ -158,10 +158,7 @@ mod tests {
                 .expect("peer pairs form MAs");
             assert_eq!(summary.grant_by_x, ma.grant_by_x().len());
             assert_eq!(summary.grant_by_y, ma.grant_by_y().len());
-            assert_eq!(
-                summary.segment_count(),
-                ma.new_segments(&net.graph).len()
-            );
+            assert_eq!(summary.segment_count(), ma.new_segments(&net.graph).len());
         }
     }
 

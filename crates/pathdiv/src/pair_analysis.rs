@@ -10,10 +10,9 @@
 use std::collections::HashMap;
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
+use pan_runtime::{coordinator_rng, ThreadPool};
 use pan_topology::{AsGraph, Asn};
 
 use crate::length3::Length3Enumerator;
@@ -81,80 +80,119 @@ impl PairRecord {
     }
 }
 
-/// Runs the pair analysis for a seeded sample of source ASes.
-///
-/// `metric` maps a length-3 path (as dense indices `src, mid, dst`) to
-/// its value; paths with `None` metric (missing annotations) are skipped.
+/// Runs the pair analysis for a seeded sample of source ASes on a single
+/// thread. Equivalent to [`analyze_pairs_pooled`] with a one-thread pool.
 pub fn analyze_pairs(
     graph: &AsGraph,
     sample_size: usize,
     seed: u64,
     direction: Direction,
-    metric: impl Fn(u32, u32, u32) -> Option<f64>,
+    metric: impl Fn(u32, u32, u32) -> Option<f64> + Sync,
 ) -> Vec<PairRecord> {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    analyze_pairs_pooled(
+        graph,
+        sample_size,
+        seed,
+        direction,
+        &ThreadPool::new(1),
+        metric,
+    )
+}
+
+/// Runs the pair analysis for a seeded sample of source ASes, fanning
+/// the per-source work out over `pool`.
+///
+/// `metric` maps a length-3 path (as dense indices `src, mid, dst`) to
+/// its value; paths with `None` metric (missing annotations) are skipped.
+///
+/// The source sample is drawn by the sweep coordinator (identical to the
+/// historical sequential sampling), each source is analyzed
+/// independently, and the per-source record lists are concatenated in
+/// sample order — so the result is bit-identical at any thread count.
+pub fn analyze_pairs_pooled(
+    graph: &AsGraph,
+    sample_size: usize,
+    seed: u64,
+    direction: Direction,
+    pool: &ThreadPool,
+    metric: impl Fn(u32, u32, u32) -> Option<f64> + Sync,
+) -> Vec<PairRecord> {
+    let mut rng = coordinator_rng(seed);
     let mut sources: Vec<u32> = (0..graph.node_count() as u32).collect();
     sources.shuffle(&mut rng);
     sources.truncate(sample_size.min(graph.node_count()));
 
-    let enumerator = Length3Enumerator::new(graph);
-    let mut records = Vec::new();
-    for &src in &sources {
-        // Metric values per destination, GRC and MA families separately.
-        let mut grc: HashMap<u32, Vec<f64>> = HashMap::new();
-        enumerator.for_each_grc(src, |mid, dst| {
-            if let Some(value) = metric(src, mid, dst) {
-                grc.entry(dst).or_default().push(value);
-            }
-        });
-        if grc.is_empty() {
-            continue;
-        }
-        let mut ma: HashMap<u32, Vec<f64>> = HashMap::new();
-        enumerator.for_each_ma_all(src, |mid, dst| {
-            if let Some(value) = metric(src, mid, dst) {
-                ma.entry(dst).or_default().push(value);
-            }
-        });
+    pool.map_with(
+        &sources,
+        || Length3Enumerator::new(graph),
+        |enumerator, _idx, &src| analyze_source(graph, enumerator, src, direction, &metric),
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
-        let mut dsts: Vec<u32> = grc.keys().copied().collect();
-        dsts.sort_unstable();
-        for dst in dsts {
-            let mut values = grc.remove(&dst).expect("key from the map");
-            values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("metrics are finite"));
-            let (best, worst) = match direction {
-                Direction::LowerIsBetter => (values[0], values[values.len() - 1]),
-                Direction::HigherIsBetter => (values[values.len() - 1], values[0]),
-            };
-            let median = values[(values.len() - 1) / 2];
-            let ma_values = ma.get(&dst).map_or(&[][..], Vec::as_slice);
-            let count_beating = |reference: f64| {
-                ma_values
-                    .iter()
-                    .filter(|&&v| direction.beats(v, reference))
-                    .count()
-            };
-            let ma_best = ma_values
-                .iter()
-                .copied()
-                .reduce(|a, b| match direction {
-                    Direction::LowerIsBetter => a.min(b),
-                    Direction::HigherIsBetter => a.max(b),
-                });
-            records.push(PairRecord {
-                src: graph.asn_at(src),
-                dst: graph.asn_at(dst),
-                grc_paths: values.len(),
-                grc_best: best,
-                grc_median: median,
-                grc_worst: worst,
-                ma_paths: ma_values.len(),
-                ma_beating_best: count_beating(best),
-                ma_beating_median: count_beating(median),
-                ma_beating_worst: count_beating(worst),
-                ma_best,
-            });
+/// Analyzes one source AS: every GRC-connected destination yields one
+/// [`PairRecord`].
+fn analyze_source(
+    graph: &AsGraph,
+    enumerator: &Length3Enumerator<'_>,
+    src: u32,
+    direction: Direction,
+    metric: &(impl Fn(u32, u32, u32) -> Option<f64> + Sync),
+) -> Vec<PairRecord> {
+    // Metric values per destination, GRC and MA families separately.
+    let mut grc: HashMap<u32, Vec<f64>> = HashMap::new();
+    enumerator.for_each_grc(src, |mid, dst| {
+        if let Some(value) = metric(src, mid, dst) {
+            grc.entry(dst).or_default().push(value);
         }
+    });
+    if grc.is_empty() {
+        return Vec::new();
+    }
+    let mut ma: HashMap<u32, Vec<f64>> = HashMap::new();
+    enumerator.for_each_ma_all(src, |mid, dst| {
+        if let Some(value) = metric(src, mid, dst) {
+            ma.entry(dst).or_default().push(value);
+        }
+    });
+
+    let mut records = Vec::new();
+    let mut dsts: Vec<u32> = grc.keys().copied().collect();
+    dsts.sort_unstable();
+    for dst in dsts {
+        let mut values = grc.remove(&dst).expect("key from the map");
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("metrics are finite"));
+        let (best, worst) = match direction {
+            Direction::LowerIsBetter => (values[0], values[values.len() - 1]),
+            Direction::HigherIsBetter => (values[values.len() - 1], values[0]),
+        };
+        let median = values[(values.len() - 1) / 2];
+        let ma_values = ma.get(&dst).map_or(&[][..], Vec::as_slice);
+        let count_beating = |reference: f64| {
+            ma_values
+                .iter()
+                .filter(|&&v| direction.beats(v, reference))
+                .count()
+        };
+        let ma_best = ma_values.iter().copied().reduce(|a, b| match direction {
+            Direction::LowerIsBetter => a.min(b),
+            Direction::HigherIsBetter => a.max(b),
+        });
+        records.push(PairRecord {
+            src: graph.asn_at(src),
+            dst: graph.asn_at(dst),
+            grc_paths: values.len(),
+            grc_best: best,
+            grc_median: median,
+            grc_worst: worst,
+            ma_paths: ma_values.len(),
+            ma_beating_best: count_beating(best),
+            ma_beating_median: count_beating(median),
+            ma_beating_worst: count_beating(worst),
+            ma_best,
+        });
     }
     records
 }
@@ -256,5 +294,22 @@ mod tests {
         let a = analyze_pairs(&g, 5, 7, Direction::LowerIsBetter, dst_metric);
         let b = analyze_pairs(&g, 5, 7, Direction::LowerIsBetter, dst_metric);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_analysis_matches_sequential_at_any_thread_count() {
+        let g = fig1();
+        let reference = analyze_pairs(&g, 9, 3, Direction::HigherIsBetter, dst_metric);
+        for threads in [2, 4, 16] {
+            let pooled = analyze_pairs_pooled(
+                &g,
+                9,
+                3,
+                Direction::HigherIsBetter,
+                &ThreadPool::new(threads),
+                dst_metric,
+            );
+            assert_eq!(reference, pooled, "{threads} threads diverged");
+        }
     }
 }

@@ -1,0 +1,271 @@
+//! A hand-rolled, std-only scoped thread pool.
+//!
+//! The pool distributes work items over OS threads with an atomic cursor
+//! (work stealing at item granularity) and reassembles results **in item
+//! order**, so the output of [`ThreadPool::map`] is independent of the
+//! thread count and of scheduling. Threads are spawned per call via
+//! [`std::thread::scope`]; for the coarse-grained Monte Carlo items of
+//! this workspace (one sampled AS, one negotiation cell, one activation
+//! schedule) the spawn cost is negligible against the item cost.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width pool of worker threads for deterministic parallel maps.
+///
+/// ```
+/// use pan_runtime::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let squares = pool.map(&[1u64, 2, 3], |_idx, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs at most `threads` workers per call.
+    /// A request for zero threads is clamped to one.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool sized to [`std::thread::available_parallelism`]
+    /// (one worker if the parallelism cannot be determined).
+    #[must_use]
+    pub fn with_available_parallelism() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(index)` for every index in `0..count` and returns the
+    /// results in index order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker thread.
+    pub fn run<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_with(count, || (), |(), index| f(index))
+    }
+
+    /// Like [`run`](Self::run), but hands every worker a private scratch
+    /// state created by `init` — the pattern for sweeps that reuse
+    /// per-worker buffers (e.g. visited-stamp arrays) across items.
+    ///
+    /// Results must not depend on the scratch state's history; the state
+    /// exists to amortize allocations, not to carry information between
+    /// items (which would break thread-count independence).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` on any worker.
+    pub fn run_with<S, R, I, F>(&self, count: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(count);
+        if workers == 1 {
+            // Inline fast path: no spawn, no synchronization. Identical
+            // results by construction since `f` sees the same (state,
+            // index) pairs a worker would.
+            let mut state = init();
+            return (0..count).map(|i| f(&mut state, i)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(count));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        local.push((index, f(&mut state, index)));
+                    }
+                    collected
+                        .lock()
+                        .expect("a worker panicked while extending results")
+                        .extend(local);
+                });
+            }
+            // `scope` joins all workers here and re-raises the first panic.
+        });
+
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for (index, result) in collected
+            .into_inner()
+            .expect("all workers joined without panicking")
+        {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index in 0..count was processed"))
+            .collect()
+    }
+
+    /// Maps `f` over `items`, in parallel, preserving item order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Maps `f` over `items` with a per-worker scratch state; see
+    /// [`run_with`](Self::run_with).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` on any worker.
+    pub fn map_with<S, T, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        self.run_with(items.len(), init, |state, i| f(state, i, &items[i]))
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.map(&items, |_, &x| x * 3), expected);
+        }
+    }
+
+    #[test]
+    fn zero_items_yield_empty_result() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<u32> = pool.map(&[], |_, _: &u32| unreachable!("no items"));
+        assert!(out.is_empty());
+        let out: Vec<u32> = pool.run(0, |_| unreachable!("no items"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let pool = ThreadPool::new(32);
+        assert_eq!(pool.run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_thread_request_is_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let pool = ThreadPool::new(4);
+        let _ = pool.run(16, |i| {
+            assert!(i != 7, "item 7 explodes");
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn inline_panics_propagate_too() {
+        let pool = ThreadPool::new(1);
+        let _ = pool.run(4, |i| {
+            assert!(i != 2, "item 2 explodes");
+            i
+        });
+    }
+
+    #[test]
+    fn scratch_state_is_per_worker() {
+        // Tag every scratch state with a unique id at init() time and
+        // have each item record (worker id, per-worker sequence number).
+        // Grouping by worker id must then yield a contiguous 1..=k
+        // sequence per worker, and the groups must partition the items —
+        // which fails if states were shared, reused, or created per item.
+        let pool = ThreadPool::new(3);
+        let next_id = AtomicUsize::new(0);
+        let out = pool.run_with(
+            16,
+            || (next_id.fetch_add(1, Ordering::Relaxed), 0usize),
+            |(worker, seen), i| {
+                *seen += 1;
+                (i, *worker, *seen)
+            },
+        );
+        let workers_created = next_id.load(Ordering::Relaxed);
+        assert!(
+            (1..=3).contains(&workers_created),
+            "one init() per worker, not per item (got {workers_created})"
+        );
+        let mut per_worker: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, (item, worker, seq)) in out.into_iter().enumerate() {
+            assert_eq!(item, i, "results stay in item order");
+            per_worker.entry(worker).or_default().push(seq);
+        }
+        let mut total = 0;
+        for (worker, seqs) in per_worker {
+            let expected: Vec<usize> = (1..=seqs.len()).collect();
+            assert_eq!(seqs, expected, "worker {worker} reused or shared state");
+            total += seqs.len();
+        }
+        assert_eq!(total, 16, "the per-worker groups partition the items");
+    }
+
+    #[test]
+    fn available_parallelism_pool_works() {
+        let pool = ThreadPool::with_available_parallelism();
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.run(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic parallel scenario sweeps.
+//!
+//! # Seed-derivation scheme
+//!
+//! A sweep is parameterized by a single **master seed**. Every work item
+//! derives an independent ChaCha12 keystream from `(master seed, item
+//! index)` using the cipher's native 64-bit *stream id*:
+//!
+//! - the ChaCha key is `seed_from_u64(master_seed)` — identical for all
+//!   items of the sweep;
+//! - item `i` reads **stream `i + 1`** of that key;
+//! - stream `0` is reserved for the *coordinator* (the sequential phase
+//!   that samples the work list itself, e.g. which source ASes to
+//!   analyze), so coordinator draws can never collide with item draws.
+//!
+//! Because distinct ChaCha streams are cryptographically independent and
+//! an item's stream depends only on its index, sweep results are
+//! **bit-identical at any thread count** — the scheduling of items onto
+//! workers cannot influence any random draw. This is the property the
+//! figure pipeline's determinism gate (`--threads 1` vs `--threads 4`)
+//! checks end to end.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::ThreadPool;
+
+/// The RNG for work item `index` of a sweep with the given master seed;
+/// see the [module docs](self) for the derivation scheme.
+#[must_use]
+pub fn item_rng(master_seed: u64, index: usize) -> ChaCha12Rng {
+    let mut rng = ChaCha12Rng::seed_from_u64(master_seed);
+    rng.set_stream(index as u64 + 1);
+    rng
+}
+
+/// The RNG for the sequential coordinator phase of a sweep (stream 0 of
+/// the master seed). Equivalent to `ChaCha12Rng::seed_from_u64(seed)`,
+/// which is what the pre-runtime sequential analyses used — so analyses
+/// ported to [`ScenarioSweep`] keep their historical sample selections.
+#[must_use]
+pub fn coordinator_rng(master_seed: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(master_seed)
+}
+
+/// A deterministic parallel map-reduce over a seeded scenario list.
+///
+/// Combines a [`ThreadPool`] with the module's seed-derivation scheme:
+/// every item receives its own [`ChaCha12Rng`], and results come back in
+/// item order regardless of the thread count.
+///
+/// ```
+/// use pan_runtime::{ScenarioSweep, ThreadPool};
+/// use rand::Rng;
+///
+/// let sequential = ScenarioSweep::new(ThreadPool::new(1), 42);
+/// let parallel = ScenarioSweep::new(ThreadPool::new(4), 42);
+/// let a: Vec<u64> = sequential.run(10, |_i, mut rng| rng.gen());
+/// let b: Vec<u64> = parallel.run(10, |_i, mut rng| rng.gen());
+/// assert_eq!(a, b); // bit-identical at any thread count
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioSweep {
+    pool: ThreadPool,
+    master_seed: u64,
+}
+
+impl ScenarioSweep {
+    /// Creates a sweep that runs on `pool` with the given master seed.
+    #[must_use]
+    pub fn new(pool: ThreadPool, master_seed: u64) -> Self {
+        ScenarioSweep { pool, master_seed }
+    }
+
+    /// A single-threaded sweep — the reference executor the parallel
+    /// configurations must match bit for bit.
+    #[must_use]
+    pub fn sequential(master_seed: u64) -> Self {
+        Self::new(ThreadPool::new(1), master_seed)
+    }
+
+    /// The master seed of the sweep.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The underlying pool.
+    #[must_use]
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The worker count of the underlying pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The coordinator RNG (stream 0); see [`coordinator_rng`].
+    #[must_use]
+    pub fn coordinator_rng(&self) -> ChaCha12Rng {
+        coordinator_rng(self.master_seed)
+    }
+
+    /// Runs `f(index, rng)` for every index in `0..count`, each with its
+    /// derived item stream, returning results in index order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker thread.
+    pub fn run<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, ChaCha12Rng) -> R + Sync,
+    {
+        self.pool
+            .run(count, |i| f(i, item_rng(self.master_seed, i)))
+    }
+
+    /// Maps `f(index, item, rng)` over `items` with derived per-item
+    /// streams, returning results in item order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, ChaCha12Rng) -> R + Sync,
+    {
+        self.pool
+            .map(items, |i, item| f(i, item, item_rng(self.master_seed, i)))
+    }
+
+    /// Map-reduce: maps `f` over `0..count` and folds the results in
+    /// index order, so the reduction is as deterministic as the map.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker thread.
+    pub fn run_reduce<R, A, F, G>(&self, count: usize, f: F, accumulator: A, fold: G) -> A
+    where
+        R: Send,
+        F: Fn(usize, ChaCha12Rng) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        self.run(count, f).into_iter().fold(accumulator, fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn item_streams_are_distinct_from_each_other_and_the_coordinator() {
+        let mut draws: Vec<u64> = (0..16).map(|i| item_rng(9, i).gen()).collect();
+        draws.push(coordinator_rng(9).gen());
+        let unique: std::collections::BTreeSet<u64> = draws.iter().copied().collect();
+        assert_eq!(unique.len(), draws.len(), "streams must not collide");
+    }
+
+    #[test]
+    fn coordinator_matches_legacy_seeding() {
+        use rand::SeedableRng;
+        let mut legacy = ChaCha12Rng::seed_from_u64(1234);
+        let mut coordinator = coordinator_rng(1234);
+        for _ in 0..8 {
+            assert_eq!(legacy.gen::<u64>(), coordinator.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn run_reduce_folds_in_index_order() {
+        let sweep = ScenarioSweep::new(ThreadPool::new(4), 7);
+        let concatenated =
+            sweep.run_reduce(5, |i, _rng| i.to_string(), String::new(), |acc, s| acc + &s);
+        assert_eq!(concatenated, "01234");
+    }
+
+    #[test]
+    fn map_hands_out_item_indexed_streams() {
+        let sweep = ScenarioSweep::new(ThreadPool::new(3), 21);
+        let items = ["a", "b", "c", "d"];
+        let out = sweep.map(&items, |i, item, mut rng| (i, *item, rng.gen::<u64>()));
+        for (i, (idx, _item, draw)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*draw, item_rng(21, i).gen::<u64>());
+        }
+    }
+}

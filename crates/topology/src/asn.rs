@@ -75,9 +75,7 @@ impl FromStr for Asn {
         digits
             .parse::<u32>()
             .map(Asn)
-            .map_err(|_| TopologyError::InvalidAsn {
-                text: s.to_owned(),
-            })
+            .map_err(|_| TopologyError::InvalidAsn { text: s.to_owned() })
     }
 }
 

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use crate::graph::{AsGraph, LinkId, LinkRecord};
+use crate::graph::{AsGraph, CsrAdjacency, LinkId, LinkRecord};
 use crate::{Asn, Relationship, Result, TopologyError};
 
 /// A validating builder for [`AsGraph`].
@@ -129,50 +129,23 @@ impl AsGraphBuilder {
     /// hierarchy contains a directed cycle.
     pub fn build(self) -> Result<AsGraph> {
         let n = self.asns.len();
-        let mut providers: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut peers: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut customers: Vec<Vec<u32>> = vec![Vec::new(); n];
-
-        for link in &self.links {
-            match link.relationship {
-                Relationship::ProviderToCustomer => {
-                    customers[link.a as usize].push(link.b);
-                    providers[link.b as usize].push(link.a);
-                }
-                Relationship::PeerToPeer => {
-                    peers[link.a as usize].push(link.b);
-                    peers[link.b as usize].push(link.a);
-                }
-            }
-        }
-        // Sort neighbor lists by ASN so iteration order is deterministic
-        // and independent of insertion order.
-        for table in [&mut providers, &mut peers, &mut customers] {
-            for list in table.iter_mut() {
-                list.sort_unstable_by_key(|&i| self.asns[i as usize]);
-            }
-        }
-
-        detect_provider_cycle(&customers, &self.asns)?;
-
-        Ok(AsGraph {
+        let graph = AsGraph {
+            adjacency: CsrAdjacency::build(n, &self.links, &self.asns),
             asns: self.asns,
             index: self.index,
-            providers,
-            peers,
-            customers,
             links: self.links,
-            link_index: self.link_index,
-        })
+        };
+        detect_provider_cycle(&graph)?;
+        Ok(graph)
     }
 }
 
 /// Kahn's algorithm over the provider→customer DAG; errors on a cycle.
-fn detect_provider_cycle(customers: &[Vec<u32>], asns: &[Asn]) -> Result<()> {
-    let n = customers.len();
+fn detect_provider_cycle(graph: &AsGraph) -> Result<()> {
+    let n = graph.node_count();
     let mut indegree = vec![0u32; n];
-    for succs in customers {
-        for &s in succs {
+    for i in 0..n as u32 {
+        for &s in graph.customer_indices(i) {
             indegree[s as usize] += 1;
         }
     }
@@ -182,7 +155,7 @@ fn detect_provider_cycle(customers: &[Vec<u32>], asns: &[Asn]) -> Result<()> {
     let mut visited = 0usize;
     while let Some(node) = queue.pop() {
         visited += 1;
-        for &s in &customers[node as usize] {
+        for &s in graph.customer_indices(node) {
             indegree[s as usize] -= 1;
             if indegree[s as usize] == 0 {
                 queue.push(s);
@@ -193,7 +166,7 @@ fn detect_provider_cycle(customers: &[Vec<u32>], asns: &[Asn]) -> Result<()> {
         let on_cycle = indegree
             .iter()
             .position(|&d| d > 0)
-            .map(|i| asns[i])
+            .map(|i| graph.asn_at(i as u32))
             .expect("cycle implies a node with positive in-degree");
         return Err(TopologyError::ProviderCycle { on_cycle });
     }

@@ -78,18 +78,16 @@ pub fn parse_into(text: &str, builder: &mut AsGraphBuilder) -> Result<()> {
 fn parse_line(line: &str) -> std::result::Result<(Asn, Asn, Relationship), String> {
     let mut fields = line.split('|');
     let a = fields.next().ok_or("missing first AS field")?;
-    let b = fields.next().ok_or_else(|| "missing second AS field".to_owned())?;
+    let b = fields
+        .next()
+        .ok_or_else(|| "missing second AS field".to_owned())?;
     let code = fields
         .next()
         .ok_or_else(|| "missing relationship field".to_owned())?;
     // Any further fields (source annotation, …) are ignored.
 
-    let a: Asn = a
-        .parse()
-        .map_err(|_| format!("bad AS number {a:?}"))?;
-    let b: Asn = b
-        .parse()
-        .map_err(|_| format!("bad AS number {b:?}"))?;
+    let a: Asn = a.parse().map_err(|_| format!("bad AS number {a:?}"))?;
+    let b: Asn = b.parse().map_err(|_| format!("bad AS number {b:?}"))?;
     let code: i8 = code
         .trim()
         .parse()

@@ -83,8 +83,12 @@ pub fn chain(n: u32) -> AsGraph {
     let mut b = AsGraphBuilder::new();
     b.add_as(Asn::new(1));
     for i in 1..n {
-        b.add_link(Asn::new(i), Asn::new(i + 1), Relationship::ProviderToCustomer)
-            .unwrap();
+        b.add_link(
+            Asn::new(i),
+            Asn::new(i + 1),
+            Relationship::ProviderToCustomer,
+        )
+        .unwrap();
     }
     b.build().unwrap()
 }

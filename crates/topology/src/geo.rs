@@ -99,7 +99,10 @@ impl GeoPoint {
         let n = points.len() as f64;
         let lat = points.iter().map(|p| p.lat_deg).sum::<f64>() / n;
         let lon = points.iter().map(|p| p.lon_deg).sum::<f64>() / n;
-        Some(GeoPoint { lat_deg: lat, lon_deg: lon })
+        Some(GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        })
     }
 }
 

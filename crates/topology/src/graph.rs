@@ -10,9 +10,7 @@ use crate::{Asn, Relationship, Result, TopologyError};
 /// Link identifiers index auxiliary per-link tables such as the
 /// [bandwidth model](crate::bandwidth) and the
 /// [geographic annotations](crate::geo).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct LinkId(pub(crate) u32);
 
@@ -74,6 +72,174 @@ pub(crate) struct LinkRecord {
     pub(crate) relationship: Relationship,
 }
 
+const CLASS_PROVIDER: usize = 0;
+const CLASS_PEER: usize = 1;
+const CLASS_CUSTOMER: usize = 2;
+const CLASSES: usize = 3;
+
+/// Compressed-sparse-row adjacency: the fast path behind every neighbor
+/// query of [`AsGraph`].
+///
+/// For node `i`, the three neighbor classes occupy the contiguous
+/// segments `offsets[3i]..offsets[3i+1]` (providers),
+/// `offsets[3i+1]..offsets[3i+2]` (peers), and
+/// `offsets[3i+2]..offsets[3i+3]` (customers) of the packed `neighbors`
+/// array; `link_ids` is parallel to `neighbors`, so resolving the link
+/// of an adjacency entry is a single indexed load instead of a
+/// `HashMap` lookup. Segments are sorted by neighbor ASN, which keeps
+/// iteration order deterministic and makes membership tests a binary
+/// search over a cache-resident slice.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct CsrAdjacency {
+    /// `3 * node_count + 1` prefix offsets into the packed arrays.
+    offsets: Vec<u32>,
+    /// Packed neighbor node indices, segment-sorted by neighbor ASN.
+    neighbors: Vec<u32>,
+    /// Link identifier of each packed adjacency entry.
+    link_ids: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    pub(crate) fn build(node_count: usize, links: &[LinkRecord], asns: &[Asn]) -> Self {
+        let seg = |node: u32, class: usize| node as usize * CLASSES + class;
+        let mut offsets = vec![0u32; node_count * CLASSES + 1];
+        for link in links {
+            match link.relationship {
+                Relationship::ProviderToCustomer => {
+                    offsets[seg(link.a, CLASS_CUSTOMER) + 1] += 1;
+                    offsets[seg(link.b, CLASS_PROVIDER) + 1] += 1;
+                }
+                Relationship::PeerToPeer => {
+                    offsets[seg(link.a, CLASS_PEER) + 1] += 1;
+                    offsets[seg(link.b, CLASS_PEER) + 1] += 1;
+                }
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = offsets.last().copied().unwrap_or(0) as usize;
+        let mut neighbors = vec![0u32; total];
+        let mut link_ids = vec![0u32; total];
+        let mut cursors = offsets.clone();
+        for (id, link) in links.iter().enumerate() {
+            let entries = match link.relationship {
+                Relationship::ProviderToCustomer => [
+                    (seg(link.a, CLASS_CUSTOMER), link.b),
+                    (seg(link.b, CLASS_PROVIDER), link.a),
+                ],
+                Relationship::PeerToPeer => [
+                    (seg(link.a, CLASS_PEER), link.b),
+                    (seg(link.b, CLASS_PEER), link.a),
+                ],
+            };
+            for (slot, neighbor) in entries {
+                let at = cursors[slot] as usize;
+                neighbors[at] = neighbor;
+                link_ids[at] = id as u32;
+                cursors[slot] += 1;
+            }
+        }
+        // Sort every segment by neighbor ASN (carrying link ids along) so
+        // iteration order is deterministic and independent of insertion
+        // order, and membership tests can binary-search.
+        for s in 0..node_count * CLASSES {
+            let range = offsets[s] as usize..offsets[s + 1] as usize;
+            let mut zipped: Vec<(u32, u32)> =
+                range.clone().map(|k| (neighbors[k], link_ids[k])).collect();
+            zipped.sort_unstable_by_key(|&(n, _)| asns[n as usize]);
+            for (k, (neighbor, link)) in range.zip(zipped) {
+                neighbors[k] = neighbor;
+                link_ids[k] = link;
+            }
+        }
+        CsrAdjacency {
+            offsets,
+            neighbors,
+            link_ids,
+        }
+    }
+
+    #[inline]
+    fn segment(&self, node: u32, class: usize) -> std::ops::Range<usize> {
+        let base = node as usize * CLASSES + class;
+        // A default (not yet rebuilt) adjacency answers every query with
+        // an empty range — the same "call rebuild_indices() after
+        // deserializing" contract as the skipped ASN-index map, instead
+        // of an out-of-bounds panic.
+        if base + 1 >= self.offsets.len() {
+            return 0..0;
+        }
+        self.offsets[base] as usize..self.offsets[base + 1] as usize
+    }
+
+    #[inline]
+    fn class_slice(&self, node: u32, class: usize) -> &[u32] {
+        &self.neighbors[self.segment(node, class)]
+    }
+
+    /// The packed slice spanning classes `from..=to` of `node` — legal
+    /// because a node's class segments are adjacent in CSR order
+    /// (providers, peers, customers).
+    #[inline]
+    fn span_slice(&self, node: u32, from: usize, to: usize) -> &[u32] {
+        let base = node as usize * CLASSES;
+        if base + to + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.neighbors[self.offsets[base + from] as usize..self.offsets[base + to + 1] as usize]
+    }
+
+    /// Total degree of `node`: the three class segments are contiguous.
+    #[inline]
+    fn degree(&self, node: u32) -> usize {
+        let base = node as usize * CLASSES;
+        if base + CLASSES >= self.offsets.len() {
+            return 0;
+        }
+        (self.offsets[base + CLASSES] - self.offsets[base]) as usize
+    }
+
+    /// Position of `neighbor` within one segment slice. Small segments
+    /// use a branch-light equality scan over the packed `u32`s (no ASN
+    /// indirection, no order dependence); large segments (hubs with
+    /// thousands of customers) binary-search the ASN-sorted order.
+    #[inline]
+    fn position_in(slice: &[u32], asns: &[Asn], neighbor: u32) -> Option<usize> {
+        const SCAN_LIMIT: usize = 32;
+        if slice.len() <= SCAN_LIMIT {
+            slice.iter().position(|&j| j == neighbor)
+        } else {
+            slice
+                .binary_search_by_key(&asns[neighbor as usize], |&j| asns[j as usize])
+                .ok()
+        }
+    }
+
+    /// Locates `neighbor` in the adjacency of `of`; returns the class
+    /// and link.
+    #[inline]
+    fn find(&self, asns: &[Asn], of: u32, neighbor: u32) -> Option<(NeighborKind, LinkId)> {
+        for (class, kind) in [
+            (CLASS_PROVIDER, NeighborKind::Provider),
+            (CLASS_PEER, NeighborKind::Peer),
+            (CLASS_CUSTOMER, NeighborKind::Customer),
+        ] {
+            let range = self.segment(of, class);
+            if let Some(pos) = Self::position_in(&self.neighbors[range.clone()], asns, neighbor) {
+                return Some((kind, LinkId(self.link_ids[range.start + pos])));
+            }
+        }
+        None
+    }
+
+    /// Membership test for one class only (no link resolution).
+    #[inline]
+    fn contains(&self, asns: &[Asn], of: u32, neighbor: u32, class: usize) -> bool {
+        Self::position_in(self.class_slice(of, class), asns, neighbor).is_some()
+    }
+}
+
 /// An immutable AS-level topology: the paper's mixed graph `G = (A, L↔, L↑)`.
 ///
 /// The graph stores, for every AS `X`, the neighbor decomposition
@@ -91,17 +257,27 @@ pub(crate) struct LinkRecord {
 /// - an **index-based API** ([`provider_indices`](Self::provider_indices),
 ///   …) returning `&[u32]` slices for hot loops; indices are dense in
 ///   `0..node_count()` and stable for the lifetime of the graph.
+///
+/// Adjacency is stored in compressed-sparse-row form: one packed
+/// neighbor array plus a parallel link-id array, built once at
+/// construction. Neighbor iteration and link lookups in the inner loops
+/// of the evaluation therefore touch contiguous memory and never hash.
+///
+/// The CSR tables are derivable from the serialized `asns` + `links`
+/// and are **not** part of the wire format: after deserializing, call
+/// [`rebuild_indices`](Self::rebuild_indices) — until then every
+/// adjacency query (index- or ASN-keyed) answers empty.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AsGraph {
     pub(crate) asns: Vec<Asn>,
     #[serde(skip)]
     pub(crate) index: HashMap<Asn, u32>,
-    pub(crate) providers: Vec<Vec<u32>>,
-    pub(crate) peers: Vec<Vec<u32>>,
-    pub(crate) customers: Vec<Vec<u32>>,
-    pub(crate) links: Vec<LinkRecord>,
+    // Derivable from links + asns, so excluded from the wire format:
+    // rebuilding on deserialize is cheaper than shipping ~3x the
+    // adjacency payload and rules out inconsistent hand-edited state.
     #[serde(skip)]
-    pub(crate) link_index: HashMap<(u32, u32), LinkId>,
+    pub(crate) adjacency: CsrAdjacency,
+    pub(crate) links: Vec<LinkRecord>,
 }
 
 impl AsGraph {
@@ -151,32 +327,56 @@ impl AsGraph {
     /// # Panics
     ///
     /// Panics if `idx` is out of bounds.
+    #[inline]
     #[must_use]
     pub fn asn_at(&self, idx: u32) -> Asn {
         self.asns[idx as usize]
     }
 
     /// The provider set `π(X)` as dense indices, sorted by ASN.
+    #[inline]
     #[must_use]
     pub fn provider_indices(&self, idx: u32) -> &[u32] {
-        &self.providers[idx as usize]
+        self.adjacency.class_slice(idx, CLASS_PROVIDER)
     }
 
     /// The peer set `ε(X)` as dense indices, sorted by ASN.
+    #[inline]
     #[must_use]
     pub fn peer_indices(&self, idx: u32) -> &[u32] {
-        &self.peers[idx as usize]
+        self.adjacency.class_slice(idx, CLASS_PEER)
     }
 
     /// The customer set `γ(X)` as dense indices, sorted by ASN.
+    #[inline]
     #[must_use]
     pub fn customer_indices(&self, idx: u32) -> &[u32] {
-        &self.customers[idx as usize]
+        self.adjacency.class_slice(idx, CLASS_CUSTOMER)
     }
 
-    fn neighbor_iter<'a>(&'a self, asn: Asn, table: &'a [Vec<u32>]) -> NeighborIter<'a> {
+    /// The full neighborhood `π(X) ∪ ε(X) ∪ γ(X)` as one packed slice —
+    /// a CSR-only fast path (the three class segments are adjacent), so
+    /// "visit every neighbor" loops pay one bounds check instead of
+    /// three.
+    #[inline]
+    #[must_use]
+    pub fn neighbor_indices(&self, idx: u32) -> &[u32] {
+        self.adjacency
+            .span_slice(idx, CLASS_PROVIDER, CLASS_CUSTOMER)
+    }
+
+    /// The non-customer neighborhood `π(X) ∪ ε(X)` as one packed slice
+    /// (providers and peers are adjacent segments) — the §VI grant
+    /// targets of a mutuality agreement.
+    #[inline]
+    #[must_use]
+    pub fn provider_peer_indices(&self, idx: u32) -> &[u32] {
+        self.adjacency.span_slice(idx, CLASS_PROVIDER, CLASS_PEER)
+    }
+
+    fn neighbor_iter(&self, asn: Asn, class: usize) -> NeighborIter<'_> {
         let indices = match self.index.get(&asn) {
-            Some(&i) => table[i as usize].as_slice(),
+            Some(&i) => self.adjacency.class_slice(i, class),
             None => &[],
         };
         NeighborIter {
@@ -191,17 +391,17 @@ impl AsGraph {
     /// Yields nothing if the AS is unknown; use [`index_of`](Self::index_of)
     /// first when absence should be an error.
     pub fn providers(&self, asn: Asn) -> NeighborIter<'_> {
-        self.neighbor_iter(asn, &self.providers)
+        self.neighbor_iter(asn, CLASS_PROVIDER)
     }
 
     /// Iterates over the peers `ε(X)` of `asn`.
     pub fn peers(&self, asn: Asn) -> NeighborIter<'_> {
-        self.neighbor_iter(asn, &self.peers)
+        self.neighbor_iter(asn, CLASS_PEER)
     }
 
     /// Iterates over the customers `γ(X)` of `asn`.
     pub fn customers(&self, asn: Asn) -> NeighborIter<'_> {
-        self.neighbor_iter(asn, &self.customers)
+        self.neighbor_iter(asn, CLASS_CUSTOMER)
     }
 
     /// Total number of neighbors (node degree) of `asn`, or 0 if unknown.
@@ -214,10 +414,10 @@ impl AsGraph {
     }
 
     /// Total number of neighbors of the AS at dense index `idx`.
+    #[inline]
     #[must_use]
     pub fn degree_of_index(&self, idx: u32) -> usize {
-        let i = idx as usize;
-        self.providers[i].len() + self.peers[i].len() + self.customers[i].len()
+        self.adjacency.degree(idx)
     }
 
     /// Classifies `neighbor` from the perspective of `of`.
@@ -230,32 +430,41 @@ impl AsGraph {
     }
 
     /// Index-based variant of [`neighbor_kind`](Self::neighbor_kind).
+    #[inline]
     #[must_use]
     pub fn neighbor_kind_by_index(&self, of: u32, neighbor: u32) -> Option<NeighborKind> {
-        let key = if of <= neighbor {
-            (of, neighbor)
-        } else {
-            (neighbor, of)
+        self.adjacency
+            .find(&self.asns, of, neighbor)
+            .map(|(kind, _)| kind)
+    }
+
+    /// `true` iff the AS at dense index `neighbor` plays `kind` for the
+    /// AS at dense index `of` — the membership test of the §VI grant
+    /// rules, resolved with a binary search over the CSR segment instead
+    /// of a hash lookup.
+    #[inline]
+    #[must_use]
+    pub fn has_neighbor_kind(&self, of: u32, neighbor: u32, kind: NeighborKind) -> bool {
+        let class = match kind {
+            NeighborKind::Provider => CLASS_PROVIDER,
+            NeighborKind::Peer => CLASS_PEER,
+            NeighborKind::Customer => CLASS_CUSTOMER,
         };
-        let link = &self.links[self.link_index.get(&key)?.index()];
-        Some(match link.relationship {
-            Relationship::PeerToPeer => NeighborKind::Peer,
-            Relationship::ProviderToCustomer => {
-                if link.a == of {
-                    NeighborKind::Customer
-                } else {
-                    NeighborKind::Provider
-                }
-            }
-        })
+        self.adjacency.contains(&self.asns, of, neighbor, class)
+    }
+
+    /// The link connecting two dense node indices, if they are adjacent.
+    #[inline]
+    #[must_use]
+    pub fn link_id_between_indices(&self, a: u32, b: u32) -> Option<LinkId> {
+        self.adjacency.find(&self.asns, a, b).map(|(_, id)| id)
     }
 
     /// Looks up the link between two ASes.
     #[must_use]
     pub fn link_between(&self, a: Asn, b: Asn) -> Option<LinkRef> {
         let (&i, &j) = (self.index.get(&a)?, self.index.get(&b)?);
-        let key = if i <= j { (i, j) } else { (j, i) };
-        let id = *self.link_index.get(&key)?;
+        let id = self.link_id_between_indices(i, j)?;
         Some(self.link(id))
     }
 
@@ -300,8 +509,9 @@ impl AsGraph {
 
     /// Rebuilds the skipped lookup tables after deserialization.
     ///
-    /// [`AsGraph`] serializes only its dense tables; call this after
-    /// deserializing to restore the `Asn → index` and link lookup maps.
+    /// [`AsGraph`] serializes only its canonical tables (`asns` and
+    /// `links`); call this after deserializing to restore the
+    /// `Asn → index` map and the CSR adjacency.
     pub fn rebuild_indices(&mut self) {
         self.index = self
             .asns
@@ -309,22 +519,14 @@ impl AsGraph {
             .enumerate()
             .map(|(i, &asn)| (asn, i as u32))
             .collect();
-        self.link_index = self
-            .links
-            .iter()
-            .enumerate()
-            .map(|(i, l)| {
-                let key = if l.a <= l.b { (l.a, l.b) } else { (l.b, l.a) };
-                (key, LinkId(i as u32))
-            })
-            .collect();
+        self.adjacency = CsrAdjacency::build(self.asns.len(), &self.links, &self.asns);
     }
 
     /// ASes with no customers and at least one provider — "stub" ASes.
     pub fn stub_ases(&self) -> impl Iterator<Item = Asn> + '_ {
         (0..self.node_count() as u32)
             .filter(move |&i| {
-                self.customers[i as usize].is_empty() && !self.providers[i as usize].is_empty()
+                self.customer_indices(i).is_empty() && !self.provider_indices(i).is_empty()
             })
             .map(move |i| self.asn_at(i))
     }
@@ -332,7 +534,7 @@ impl AsGraph {
     /// ASes with no providers — the "tier-1" core of the hierarchy.
     pub fn provider_free_ases(&self) -> impl Iterator<Item = Asn> + '_ {
         (0..self.node_count() as u32)
-            .filter(move |&i| self.providers[i as usize].is_empty())
+            .filter(move |&i| self.provider_indices(i).is_empty())
             .map(move |i| self.asn_at(i))
     }
 }
@@ -385,8 +587,14 @@ mod tests {
     #[test]
     fn neighbor_kind_is_perspective_dependent() {
         let g = fig1();
-        assert_eq!(g.neighbor_kind(a('D'), a('A')), Some(NeighborKind::Provider));
-        assert_eq!(g.neighbor_kind(a('A'), a('D')), Some(NeighborKind::Customer));
+        assert_eq!(
+            g.neighbor_kind(a('D'), a('A')),
+            Some(NeighborKind::Provider)
+        );
+        assert_eq!(
+            g.neighbor_kind(a('A'), a('D')),
+            Some(NeighborKind::Customer)
+        );
         assert_eq!(g.neighbor_kind(a('D'), a('E')), Some(NeighborKind::Peer));
         assert_eq!(g.neighbor_kind(a('E'), a('D')), Some(NeighborKind::Peer));
         assert_eq!(g.neighbor_kind(a('D'), a('I')), None);
@@ -448,6 +656,20 @@ mod tests {
     }
 
     #[test]
+    fn deserialized_graph_is_empty_but_safe_before_rebuild() {
+        let g = fig1();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AsGraph = serde_json::from_str(&json).unwrap();
+        // Without rebuild_indices() the skipped tables are empty; every
+        // query degrades to "no neighbors" rather than panicking.
+        assert_eq!(back.provider_indices(0), &[] as &[u32]);
+        assert_eq!(back.neighbor_indices(0), &[] as &[u32]);
+        assert_eq!(back.degree_of_index(0), 0);
+        assert_eq!(back.neighbor_kind_by_index(0, 1), None);
+        assert_eq!(back.stub_ases().count(), 0);
+    }
+
+    #[test]
     fn serde_round_trip_with_rebuild() {
         let g = fig1();
         let json = serde_json::to_string(&g).unwrap();
@@ -465,5 +687,46 @@ mod tests {
         let g = fig1();
         let iter = g.peers(a('D'));
         assert_eq!(iter.len(), 2);
+    }
+
+    #[test]
+    fn csr_link_ids_agree_with_link_between() {
+        let g = fig1();
+        for x in g.ases() {
+            for y in g.ases() {
+                let (ix, iy) = (g.index_of(x).unwrap(), g.index_of(y).unwrap());
+                let by_index = g.link_id_between_indices(ix, iy);
+                let by_asn = g.link_between(x, y).map(|l| l.id);
+                assert_eq!(by_index, by_asn, "link ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn has_neighbor_kind_matches_neighbor_kind() {
+        let g = fig1();
+        for x in 0..g.node_count() as u32 {
+            for y in 0..g.node_count() as u32 {
+                for kind in [
+                    NeighborKind::Provider,
+                    NeighborKind::Peer,
+                    NeighborKind::Customer,
+                ] {
+                    assert_eq!(
+                        g.has_neighbor_kind(x, y, kind),
+                        g.neighbor_kind_by_index(x, y) == Some(kind),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_segments_cover_every_link_twice() {
+        let g = fig1();
+        let total: usize = (0..g.node_count() as u32)
+            .map(|i| g.degree_of_index(i))
+            .sum();
+        assert_eq!(total, 2 * g.link_count());
     }
 }

@@ -150,11 +150,13 @@ pub enum Step {
 pub fn classify_steps(graph: &AsGraph, hops: &[Asn]) -> Option<Vec<Step>> {
     hops.windows(2)
         .map(|pair| {
-            graph.neighbor_kind(pair[0], pair[1]).map(|kind| match kind {
-                NeighborKind::Provider => Step::Up,
-                NeighborKind::Peer => Step::Flat,
-                NeighborKind::Customer => Step::Down,
-            })
+            graph
+                .neighbor_kind(pair[0], pair[1])
+                .map(|kind| match kind {
+                    NeighborKind::Provider => Step::Up,
+                    NeighborKind::Peer => Step::Flat,
+                    NeighborKind::Customer => Step::Down,
+                })
         })
         .collect()
 }
@@ -227,11 +229,11 @@ mod tests {
         let g = fig1();
         let cases = [
             // (path, valley-free?)
-            (vec![asn('H'), asn('D'), asn('A')], true),  // up, up
-            (vec![asn('H'), asn('D'), asn('E')], true),  // up, flat
-            (vec![asn('H'), asn('D'), asn('C')], true),  // up, flat (C is peer)
-            (vec![asn('A'), asn('D'), asn('H')], true),  // down, down
-            (vec![asn('C'), asn('D'), asn('H')], true),  // flat, down
+            (vec![asn('H'), asn('D'), asn('A')], true), // up, up
+            (vec![asn('H'), asn('D'), asn('E')], true), // up, flat
+            (vec![asn('H'), asn('D'), asn('C')], true), // up, flat (C is peer)
+            (vec![asn('A'), asn('D'), asn('H')], true), // down, down
+            (vec![asn('C'), asn('D'), asn('H')], true), // flat, down
             (vec![asn('C'), asn('D'), asn('A')], false), // flat, up — valley
             (vec![asn('C'), asn('D'), asn('E')], false), // flat, flat — valley
             (vec![asn('A'), asn('D'), asn('E')], false), // down, flat — valley
@@ -284,7 +286,10 @@ mod tests {
         let g = fig1();
         // H up D up A flat B down E down I: up up flat down down — valid.
         assert_eq!(
-            is_valley_free(&g, &[asn('H'), asn('D'), asn('A'), asn('B'), asn('E'), asn('I')]),
+            is_valley_free(
+                &g,
+                &[asn('H'), asn('D'), asn('A'), asn('B'), asn('E'), asn('I')]
+            ),
             Some(true)
         );
         // H up D flat E up B: flat then up — invalid.

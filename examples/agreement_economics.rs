@@ -10,12 +10,10 @@
 
 use pan_interconnect::agreements::extension::{remaining_allowance, PathExtension};
 use pan_interconnect::agreements::{
-    evaluate, Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer,
-    FlowVolumeOutcome, OperatingPoint,
+    evaluate, Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer, FlowVolumeOutcome,
+    OperatingPoint,
 };
-use pan_interconnect::econ::{
-    BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction,
-};
+use pan_interconnect::econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
 use pan_interconnect::topology::fixtures::{asn, fig1};
 
 fn baselines() -> (FlowVec, FlowVec) {
@@ -47,8 +45,16 @@ fn friendly_model() -> BusinessModel {
 /// little to gain in return.
 fn hostile_model() -> BusinessModel {
     let mut book = PricingBook::new();
-    book.set_transit_price(asn('A'), asn('D'), PricingFunction::per_usage(0.01).unwrap());
-    book.set_transit_price(asn('B'), asn('E'), PricingFunction::per_usage(50.0).unwrap());
+    book.set_transit_price(
+        asn('A'),
+        asn('D'),
+        PricingFunction::per_usage(0.01).unwrap(),
+    );
+    book.set_transit_price(
+        asn('B'),
+        asn('E'),
+        PricingFunction::per_usage(50.0).unwrap(),
+    );
     let mut model = BusinessModel::new(fig1(), book);
     model.set_internal_cost(asn('D'), CostFunction::linear(5.0).unwrap());
     model.set_internal_cost(asn('E'), CostFunction::linear(5.0).unwrap());
@@ -73,8 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ma = Agreement::mutuality(model.graph(), asn('D'), asn('E'))?;
     println!("mutuality-based agreement: {ma}");
     let (fd, fe) = baselines();
-    let scenario =
-        AgreementScenario::with_default_opportunities(&model, ma, fd, fe, 0.6, 0.3)?;
+    let scenario = AgreementScenario::with_default_opportunities(&model, ma, fd, fe, 0.6, 0.3)?;
 
     let flow_volume = FlowVolumeOptimizer::new().optimize(&scenario)?;
     let cash = CashOptimizer::new().optimize(&scenario)?;
@@ -106,8 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hostile = hostile_model();
     let ma = Agreement::mutuality(hostile.graph(), asn('D'), asn('E'))?;
     let (fd, fe) = baselines();
-    let scenario =
-        AgreementScenario::with_default_opportunities(&hostile, ma, fd, fe, 0.6, 0.0)?;
+    let scenario = AgreementScenario::with_default_opportunities(&hostile, ma, fd, fe, 0.6, 0.0)?;
     match FlowVolumeOptimizer::new().optimize(&scenario)? {
         FlowVolumeOutcome::Degenerate { best_nash_product } => println!(
             "\nhostile cost structure: flow-volume agreement degenerates \
@@ -131,16 +135,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = friendly_model();
     let ma = Agreement::mutuality(model.graph(), asn('D'), asn('E'))?;
     let (fd, fe) = baselines();
-    let scenario =
-        AgreementScenario::with_default_opportunities(&model, ma, fd, fe, 0.6, 0.3)?;
+    let scenario = AgreementScenario::with_default_opportunities(&model, ma, fd, fe, 0.6, 0.3)?;
     if let FlowVolumeOutcome::Concluded(fv) = FlowVolumeOptimizer::new().optimize(&scenario)? {
         if let Some(target) = fv
             .targets
             .iter()
             .find(|t| t.segment.beneficiary == asn('E') && t.segment.target == asn('A'))
         {
-            let extension =
-                PathExtension::new(asn('E'), asn('F'), target.segment, target.total_allowance / 4.0)?;
+            let extension = PathExtension::new(
+                asn('E'),
+                asn('F'),
+                target.segment,
+                target.total_allowance / 4.0,
+            )?;
             println!(
                 "\npath extension a′: E offers F the path {:?}",
                 extension.extended_path().map(|a| a.to_string())

@@ -69,11 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(is_stochastically_ordered(&series));
     println!("\nlength-3 paths per AS (medians):");
     for s in &series {
-        println!(
-            "  {:<14} {:>10.0}",
-            s.name,
-            s.cdf.median().unwrap_or(0.0)
-        );
+        println!("  {:<14} {:>10.0}", s.name, s.cdf.median().unwrap_or(0.0));
     }
     println!(
         "\nadditional MA paths per AS: mean {:.0}, max {}",

@@ -10,9 +10,7 @@
 use pan_interconnect::agreements::{
     Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer, FlowVolumeOutcome,
 };
-use pan_interconnect::econ::{
-    BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction,
-};
+use pan_interconnect::econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
 use pan_interconnect::pan::Network;
 use pan_interconnect::topology::fixtures::{asn, fig1};
 
@@ -50,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ma = Agreement::mutuality(model.graph(), asn('D'), asn('E'))?;
     println!("agreement: {ma}");
     let scenario = AgreementScenario::with_default_opportunities(
-        &model, ma.clone(), flows_d, flows_e, 0.6, 0.3,
+        &model,
+        ma.clone(),
+        flows_d,
+        flows_e,
+        0.6,
+        0.3,
     )?;
 
     // 5. Optimize with flow-volume targets (§IV-A)…
@@ -58,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FlowVolumeOutcome::Concluded(agreement) => {
             println!(
                 "flow-volume agreement: u_D = {:.2}, u_E = {:.2}, Nash product = {:.2}",
-                agreement.utility_x, agreement.utility_y, agreement.nash_product()
+                agreement.utility_x,
+                agreement.utility_y,
+                agreement.nash_product()
             );
             for target in &agreement.targets {
                 println!(

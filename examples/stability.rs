@@ -28,9 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solutions.len()
     );
     let mut first = Engine::new(&wedgie);
-    let r1 = first.run(Schedule::explicit(vec![asn('D'), asn('E'), asn('D'), asn('E')]), 100);
+    let r1 = first.run(
+        Schedule::explicit(vec![asn('D'), asn('E'), asn('D'), asn('E')]),
+        100,
+    );
     let mut second = Engine::new(&wedgie);
-    let r2 = second.run(Schedule::explicit(vec![asn('E'), asn('D'), asn('E'), asn('D')]), 100);
+    let r2 = second.run(
+        Schedule::explicit(vec![asn('E'), asn('D'), asn('E'), asn('D')]),
+        100,
+    );
     let (s1, s2) = (
         r1.converged_state().expect("wedgies converge"),
         r2.converged_state().expect("wedgies converge"),

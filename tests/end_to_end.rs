@@ -47,9 +47,8 @@ fn pick_peer_pair(net: &SyntheticInternet) -> (Asn, Asn) {
     for link in net.graph.links() {
         if link.relationship.is_peering() {
             let (x, y) = (link.a, link.b);
-            let good = |a: Asn| {
-                net.graph.providers(a).count() >= 1 && net.graph.customers(a).count() >= 1
-            };
+            let good =
+                |a: Asn| net.graph.providers(a).count() >= 1 && net.graph.customers(a).count() >= 1;
             if good(x) && good(y) {
                 return (x, y);
             }
@@ -130,10 +129,8 @@ fn full_agreement_lifecycle() {
     if let Some(c) = cash.concluded() {
         let (ux, uy) = (c.utility_x_before, c.utility_y_before);
         let spread = (ux.abs() + uy.abs()).max(1.0);
-        let dist_x =
-            UtilityDistribution::uniform(ux - spread, ux + spread).expect("valid bounds");
-        let dist_y =
-            UtilityDistribution::uniform(uy - spread, uy + spread).expect("valid bounds");
+        let dist_x = UtilityDistribution::uniform(ux - spread, ux + spread).expect("valid bounds");
+        let dist_y = UtilityDistribution::uniform(uy - spread, uy + spread).expect("valid bounds");
         let service = BoscoService::construct(
             &ServiceConfig {
                 choices: 20,

@@ -15,10 +15,7 @@ use pan_interconnect::topology::{AsGraph, AsGraphBuilder, Asn, NeighborKind, Rel
 fn arbitrary_graph(max_nodes: u32) -> impl Strategy<Value = AsGraph> {
     (4..=max_nodes)
         .prop_flat_map(move |n| {
-            let links = prop::collection::vec(
-                (1..=n, 1..=n, prop::bool::ANY),
-                0..(3 * n as usize),
-            );
+            let links = prop::collection::vec((1..=n, 1..=n, prop::bool::ANY), 0..(3 * n as usize));
             (Just(n), links)
         })
         .prop_map(|(n, links)| {
@@ -39,7 +36,9 @@ fn arbitrary_graph(max_nodes: u32) -> impl Strategy<Value = AsGraph> {
                 // Ignore conflicts: first relationship wins.
                 let _ = builder.add_link(Asn::new(lo), Asn::new(hi), relationship);
             }
-            builder.build().expect("low-to-high transit links cannot cycle")
+            builder
+                .build()
+                .expect("low-to-high transit links cannot cycle")
         })
 }
 

@@ -7,6 +7,11 @@
 //! of criterion's statistical machinery. Each benchmark warms up briefly,
 //! then runs timed batches and reports the mean time per iteration (plus
 //! derived throughput when configured).
+//!
+//! Passing `--quick` on the bench command line (`cargo bench -- --quick`)
+//! selects a fast smoke mode with ~10× smaller warm-up and measurement
+//! budgets — the mode CI's bench-smoke job uses to catch bench-harness
+//! rot without paying full measurement time.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -27,12 +32,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier with a function name and a parameter.
     pub fn new(name: impl Into<String>, param: impl Display) -> Self {
-        BenchmarkId { text: format!("{}/{param}", name.into()) }
+        BenchmarkId {
+            text: format!("{}/{param}", name.into()),
+        }
     }
 
     /// Identifier carrying only a parameter value.
     pub fn from_parameter(param: impl Display) -> Self {
-        BenchmarkId { text: param.to_string() }
+        BenchmarkId {
+            text: param.to_string(),
+        }
     }
 }
 
@@ -50,7 +59,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { text: self.to_string() }
+        BenchmarkId {
+            text: self.to_string(),
+        }
     }
 }
 
@@ -78,9 +89,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            measurement_time: Duration::from_millis(400),
-            warm_up_time: Duration::from_millis(100),
+        if std::env::args().any(|arg| arg == "--quick") {
+            Criterion {
+                measurement_time: Duration::from_millis(40),
+                warm_up_time: Duration::from_millis(10),
+            }
+        } else {
+            Criterion {
+                measurement_time: Duration::from_millis(400),
+                warm_up_time: Duration::from_millis(100),
+            }
         }
     }
 }
@@ -88,7 +106,11 @@ impl Default for Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -135,17 +157,14 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark with an explicit input value.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.text);
-        run_benchmark(self.criterion, &label, self.throughput, &mut |b| f(b, input));
+        run_benchmark(self.criterion, &label, self.throughput, &mut |b| {
+            f(b, input)
+        });
         self
     }
 

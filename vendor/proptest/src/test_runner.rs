@@ -13,12 +13,18 @@ impl ProptestConfig {
     /// Configuration running `cases` successful cases.
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }

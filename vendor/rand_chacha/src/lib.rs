@@ -91,7 +91,13 @@ impl<const DR: usize> SeedableRng for ChaChaRng<DR> {
         for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
             *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        ChaChaRng { key, counter: 0, stream: 0, buf: [0; 16], idx: 16 }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
     }
 }
 

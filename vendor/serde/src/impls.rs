@@ -158,7 +158,10 @@ impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(Error::msg(format!("expected string, found {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -219,7 +222,11 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 
 impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let items: Vec<T> = v.tuple(N)?.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        let items: Vec<T> = v
+            .tuple(N)?
+            .iter()
+            .map(T::from_value)
+            .collect::<Result<_, _>>()?;
         items
             .try_into()
             .map_err(|_| Error::msg("array length mismatch"))

@@ -110,7 +110,10 @@ impl Value {
                 "expected array of length {n}, found length {}",
                 items.len()
             ))),
-            other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -122,7 +125,10 @@ impl Value {
     pub fn seq(&self) -> Result<&[Value], Error> {
         match self {
             Value::Seq(items) => Ok(items),
-            other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -142,8 +148,10 @@ impl Value {
                 format!("[{}]", inner.join(","))
             }
             Value::Map(entries) => {
-                let inner: Vec<String> =
-                    entries.iter().map(|(k, v)| format!("{k}:{}", v.sort_key())).collect();
+                let inner: Vec<String> = entries
+                    .iter()
+                    .map(|(k, v)| format!("{k}:{}", v.sort_key()))
+                    .collect();
                 format!("{{{}}}", inner.join(","))
             }
         }

@@ -51,14 +51,18 @@ struct Input {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
-    gen_serialize(&input).parse().expect("generated Serialize impl parses")
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
-    gen_deserialize(&input).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -117,7 +121,11 @@ fn parse(input: TokenStream) -> Input {
         },
         other => panic!("vendored serde derive supports structs and enums, found `{other}`"),
     };
-    Input { name, transparent: flags.transparent, data }
+    Input {
+        name,
+        transparent: flags.transparent,
+        data,
+    }
 }
 
 fn merge_serde_flags(flags: &mut SerdeFlags, attr: &TokenStream) {
@@ -203,9 +211,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
             let (flags, rest) = strip_attrs(part);
             let mut iter = rest.into_iter();
             match iter.next() {
-                Some(TokenTree::Ident(id)) => {
-                    Some(NamedField { name: id.to_string(), skip: flags.skip })
-                }
+                Some(TokenTree::Ident(id)) => Some(NamedField {
+                    name: id.to_string(),
+                    skip: flags.skip,
+                }),
                 None => None,
                 other => panic!("expected field name, found {other:?}"),
             }
@@ -231,7 +240,10 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                 }
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                     VariantData::Named(
-                        parse_named_fields(g.stream()).into_iter().map(|f| f.name).collect(),
+                        parse_named_fields(g.stream())
+                            .into_iter()
+                            .map(|f| f.name)
+                            .collect(),
                     )
                 }
                 Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantData::Unit,
@@ -294,9 +306,9 @@ fn gen_serialize(input: &Input) -> String {
 fn ser_variant_arm(name: &str, v: &Variant) -> String {
     let vname = &v.name;
     match &v.data {
-        VariantData::Unit => format!(
-            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
-        ),
+        VariantData::Unit => {
+            format!("{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),")
+        }
         VariantData::Tuple(1) => format!(
             "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
              ::serde::Serialize::to_value(__f0))]),"
@@ -317,11 +329,7 @@ fn ser_variant_arm(name: &str, v: &Variant) -> String {
             let binds = fields.join(", ");
             let pushes: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
                 .collect();
             format!(
                 "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\"\
@@ -336,9 +344,9 @@ fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.data {
         Data::Unit => format!("::std::result::Result::Ok({name})"),
-        Data::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Data::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Data::Tuple(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
@@ -411,9 +419,7 @@ fn de_variant_arm(name: &str, v: &Variant) -> String {
          \"variant `{vname}` expects data\"))?;"
     );
     match &v.data {
-        VariantData::Unit => format!(
-            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
-        ),
+        VariantData::Unit => format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"),
         VariantData::Tuple(1) => format!(
             "\"{vname}\" => {{ {need_data} ::std::result::Result::Ok({name}::{vname}(\
              ::serde::Deserialize::from_value(__d)?)) }}"
@@ -431,9 +437,7 @@ fn de_variant_arm(name: &str, v: &Variant) -> String {
         VariantData::Named(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(__d.field(\"{f}\")?)?,")
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__d.field(\"{f}\")?)?,"))
                 .collect();
             format!(
                 "\"{vname}\" => {{ {need_data} ::std::result::Result::Ok({name}::{vname} \
@@ -448,8 +452,6 @@ fn single_unskipped<'a>(name: &str, fields: &'a [NamedField]) -> &'a str {
     let unskipped: Vec<&NamedField> = fields.iter().filter(|f| !f.skip).collect();
     match unskipped.as_slice() {
         [only] => &only.name,
-        _ => panic!(
-            "#[serde(transparent)] on `{name}` requires exactly one non-skipped field"
-        ),
+        _ => panic!("#[serde(transparent)] on `{name}` requires exactly one non-skipped field"),
     }
 }

@@ -60,7 +60,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 ///
 /// Fails on malformed JSON or when the parsed value does not match `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -311,15 +314,10 @@ impl Parser<'_> {
                             } else {
                                 char::from_u32(code)
                             };
-                            out.push(
-                                c.ok_or_else(|| Error("invalid unicode escape".to_string()))?,
-                            );
+                            out.push(c.ok_or_else(|| Error("invalid unicode escape".to_string()))?);
                         }
                         other => {
-                            return Err(Error(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -379,7 +377,10 @@ mod tests {
         let v = Value::Map(vec![
             ("a".to_string(), Value::I64(-3)),
             ("b".to_string(), Value::F64(1.5)),
-            ("c".to_string(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+            (
+                "c".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
             ("d".to_string(), Value::Str("x\"y\\z\n".to_string())),
         ]);
         let text = to_string(&v).unwrap();
