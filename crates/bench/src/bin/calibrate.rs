@@ -7,7 +7,7 @@
 //! `--json` dumps the per-cell statistics as a JSON array after the
 //! table.
 
-use pan_bench::FigureOptions;
+use pan_bench::ScenarioSpec;
 use pan_datasets::{InternetConfig, SyntheticInternet};
 use pan_pathdiv::bandwidth::{analyze_pooled as analyze_bw, BandwidthConfig};
 use pan_pathdiv::geodistance::{analyze_pooled as analyze_geo, GeodistanceConfig};
@@ -32,8 +32,8 @@ struct Cell {
 }
 
 fn main() {
-    let options = FigureOptions::parse(std::env::args());
-    let n = if options.quick { 600 } else { 4000 };
+    let options = ScenarioSpec::from_env_strict();
+    let n = options.figure_ases();
     let cells: Vec<(usize, f64, f64, f64, f64, f64)> = vec![
         // (n, tp, sp, hub_frac, hub_same, hub_cross)
         (n, 12.0, 2.0, 0.06, 0.6, 0.08),

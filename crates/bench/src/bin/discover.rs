@@ -1,0 +1,285 @@
+//! Topology-wide agreement discovery: sweep an entire synthetic internet
+//! for profitable mutuality agreements (§III–§IV at scale).
+//!
+//! ```console
+//! discover --quick --json --threads 4          # CI smoke: 10k ASes, 3×3 grid
+//! discover --ases 20000 --khop 2 --top 50      # bigger net, prospective pairs
+//! discover --engine legacy --limit 200         # "before" engine, for benchmarking
+//! ```
+//!
+//! Accepts the shared [`ScenarioSpec`] flags plus:
+//!
+//! - `--engine dense|legacy`: the dense batch engine (default) or the
+//!   original per-pair `AgreementScenario` stack;
+//! - `--limit <N>`: evaluate only the first `N` candidates (0 = all;
+//!   default 200 for the legacy engine, which is orders of magnitude
+//!   slower);
+//! - `--bench-out <path>`: write a JSON timing record
+//!   (candidate-pairs/second) for `BENCH_discovery.json`.
+//!
+//! Timings go to **stderr** so stdout stays byte-identical at any
+//! `--threads` value — the property the CI `discovery-smoke` job diffs.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pan_bench::{print_header, ScenarioSpec};
+use pan_core::discovery::{
+    discover, enumerate_candidates, evaluate_candidate_legacy, BatchContext, CandidatePolicy,
+    DiscoveryConfig, DiscoveryReport, PairOutcome,
+};
+use pan_datasets::{SyntheticInternet, Tier};
+use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+use pan_topology::Asn;
+
+/// Deterministic per-link price jitter in `[0.85, 1.15]` (FNV-1a over the
+/// endpoint ASNs), giving the synthetic economy the heterogeneity that
+/// makes discovery rankings non-trivial.
+fn link_jitter(a: Asn, b: Asn) -> f64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [a.get(), b.get()] {
+        hash ^= u64::from(v);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    0.85 + (hash % 1000) as f64 * 0.0003
+}
+
+/// Tier-aware synthetic economy: stubs pay the steepest transit rates
+/// and earn the most end-host revenue; the core is cheap to run.
+fn synthetic_economics(net: &SyntheticInternet) -> DenseEconomics {
+    DenseEconomics::build(
+        &net.graph,
+        |provider, customer| {
+            let base = match net.tier(customer) {
+                Tier::Stub => 3.0,
+                Tier::Transit => 2.2,
+                Tier::Tier1 => 2.0,
+            };
+            PricingFunction::per_usage(base * link_jitter(provider, customer))
+                .expect("positive rates are valid")
+        },
+        |asn| {
+            let rate = match net.tier(asn) {
+                Tier::Stub => 3.0,
+                Tier::Transit => 1.2,
+                Tier::Tier1 => 0.8,
+            };
+            PricingFunction::per_usage(rate).expect("positive rates are valid")
+        },
+        |asn| {
+            let rate = match net.tier(asn) {
+                Tier::Stub => 0.08,
+                Tier::Transit => 0.04,
+                Tier::Tier1 => 0.02,
+            };
+            CostFunction::linear(rate).expect("positive rates are valid")
+        },
+    )
+}
+
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    engine: String,
+    ases: usize,
+    threads: usize,
+    candidate_pairs: usize,
+    seconds: f64,
+    pairs_per_second: f64,
+}
+
+fn print_report(report: &DiscoveryReport, engine: &str) {
+    println!(
+        "# engine: {engine}, candidates: {}, concluded: flow-volume {} ({:.1}%), cash {} ({:.1}%)",
+        report.candidates,
+        report.concluded_flow_volume,
+        100.0 * report.concluded_flow_volume as f64 / report.candidates.max(1) as f64,
+        report.concluded_cash,
+        100.0 * report.concluded_cash as f64 / report.candidates.max(1) as f64,
+    );
+    println!("# total NBS surplus: {:.3}", report.total_surplus);
+    println!(
+        "{:<5} {:>9} {:>9} {:>5} {:>9} {:>14} {:>14} {:>14}",
+        "rank", "X", "Y", "hops", "segments", "fv-nash", "cash-joint", "transfer X→Y"
+    );
+    for (rank, o) in report.outcomes.iter().take(20).enumerate() {
+        println!(
+            "{:<5} {:>9} {:>9} {:>5} {:>9} {:>14} {:>14} {:>14}",
+            rank + 1,
+            o.x.to_string(),
+            o.y.to_string(),
+            o.peering_hops,
+            format!("{}+{}", o.segments.0, o.segments.1),
+            o.flow_volume
+                .map_or_else(|| "—".to_owned(), |f| format!("{:.3}", f.nash_product())),
+            o.cash
+                .map_or_else(|| "—".to_owned(), |c| format!("{:.3}", c.joint_utility)),
+            o.cash
+                .map_or_else(|| "—".to_owned(), |c| format!("{:.3}", c.transfer_x_to_y)),
+        );
+    }
+}
+
+fn main() {
+    let (mut spec, rest) = ScenarioSpec::from_args(std::env::args());
+    let mut engine = "dense".to_owned();
+    let mut limit = 0usize;
+    let mut bench_out: Option<String> = None;
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        let mut value = |flag: &str| {
+            rest.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--engine" => engine = value("--engine"),
+            "--limit" => {
+                let raw = value("--limit");
+                limit = raw
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--limit expects a count, got {raw:?}"));
+            }
+            "--bench-out" => bench_out = Some(value("--bench-out")),
+            other => panic!(
+                "unknown flag {other:?}; discover adds: --engine dense|legacy, --limit <N>, \
+                 --bench-out <path>"
+            ),
+        }
+    }
+    assert!(
+        engine == "dense" || engine == "legacy",
+        "--engine must be dense or legacy, got {engine:?}"
+    );
+    if spec.ases == 0 {
+        // The discovery workload is internet-scale by definition; even
+        // --quick sweeps a full 10k-AS topology (with a coarser grid).
+        spec.ases = 10_000;
+    }
+    if engine == "legacy" && limit == 0 {
+        limit = 200;
+    }
+    let grid = if spec.quick {
+        spec.discovery.grid.min(3)
+    } else {
+        spec.discovery.grid
+    };
+
+    print_header(
+        "Discovery",
+        "topology-wide mutuality-agreement sweep, ranked by NBS surplus",
+        &spec,
+    );
+    let t_gen = Instant::now();
+    let net = spec.internet();
+    eprintln!(
+        "# generated {} ASes in {:.2}s",
+        net.graph.node_count(),
+        t_gen.elapsed().as_secs_f64()
+    );
+    println!(
+        "# topology: {} ASes, {} links ({} transit, {} peering)",
+        net.graph.node_count(),
+        net.graph.link_count(),
+        net.graph.transit_link_count(),
+        net.graph.peering_link_count()
+    );
+    let econ = synthetic_economics(&net);
+    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
+    let ctx = BatchContext::new(&net.graph, &econ, &flows).expect("tables match the graph");
+    let policy = if spec.discovery.khop <= 1 {
+        CandidatePolicy::PeeringAdjacent
+    } else {
+        CandidatePolicy::PeeringKHop {
+            k: spec.discovery.khop,
+            per_source_cap: spec.discovery.khop_cap,
+        }
+    };
+    println!(
+        "# policy: {policy:?}, shares: reroute {} / attract {}, grid {grid}×{grid}, noise {}",
+        spec.discovery.reroute_share, spec.discovery.attract_share, spec.discovery.noise
+    );
+
+    let (report, seconds) = if engine == "dense" {
+        let config = DiscoveryConfig {
+            policy,
+            reroute_share: spec.discovery.reroute_share,
+            attract_share: spec.discovery.attract_share,
+            grid,
+            noise: spec.discovery.noise,
+            top: spec.discovery.top,
+        };
+        if limit > 0 {
+            eprintln!("# note: --limit applies to the legacy engine; dense sweeps everything");
+        }
+        let t0 = Instant::now();
+        let report = discover(&ctx, &config, &spec.sweep()).expect("discovery succeeds");
+        (report, t0.elapsed().as_secs_f64())
+    } else {
+        // The pre-refactor path: per-pair sparse scenarios. Same math,
+        // same grid — used as the benchmark baseline and sanity oracle.
+        // `Agreement::mutuality` requires the parties to already peer,
+        // so prospective (k-hop > 1) candidates are dense-engine-only.
+        let model = econ.to_business_model(&net.graph);
+        let mut candidates = enumerate_candidates(&net.graph, policy);
+        let before = candidates.len();
+        candidates.retain(|pair| pair.peering_hops == 1);
+        if candidates.len() < before {
+            eprintln!(
+                "# note: legacy engine skips {} prospective (k-hop) candidates — \
+                 the sparse stack only evaluates existing peers",
+                before - candidates.len()
+            );
+        }
+        if limit > 0 && candidates.len() > limit {
+            candidates.truncate(limit);
+        }
+        let t0 = Instant::now();
+        let outcomes: Vec<PairOutcome> = spec.pool().map(&candidates, |_i, pair| {
+            let fx = flows.to_flow_vec(&net.graph, pair.x);
+            let fy = flows.to_flow_vec(&net.graph, pair.y);
+            evaluate_candidate_legacy(
+                &model,
+                &fx,
+                &fy,
+                spec.discovery.reroute_share,
+                spec.discovery.attract_share,
+                grid,
+            )
+            .expect("legacy evaluation succeeds")
+        });
+        let seconds = t0.elapsed().as_secs_f64();
+        (
+            DiscoveryReport::from_outcomes(outcomes, spec.discovery.top),
+            seconds,
+        )
+    };
+
+    print_report(&report, &engine);
+    let rate = report.candidates as f64 / seconds.max(1e-9);
+    eprintln!(
+        "# swept {} candidate pairs in {seconds:.3}s — {rate:.0} pairs/s at {} threads",
+        report.candidates, spec.threads
+    );
+    if spec.json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("reports serialize")
+        );
+    }
+    if let Some(path) = bench_out {
+        let record = BenchRecord {
+            engine,
+            ases: spec.ases,
+            threads: spec.threads,
+            candidate_pairs: report.candidates,
+            seconds,
+            pairs_per_second: rate,
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string(&record).expect("records serialize"),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        eprintln!("# wrote timing record to {path}");
+    }
+}

@@ -7,7 +7,7 @@
 //! `W ≈ 50`, the minimum reaching ≈ 10%; the number of equilibrium
 //! choices saturates around 4.
 
-use pan_bench::{print_header, FigureOptions};
+use pan_bench::{print_header, ScenarioSpec};
 use pan_bosco::{
     expected_nash_product, expected_truthful_nash_product, find_equilibrium, BargainingGame,
     ChoiceSet, UtilityDistribution,
@@ -66,7 +66,7 @@ fn run_cell(
 }
 
 fn main() {
-    let options = FigureOptions::parse(std::env::args());
+    let options = ScenarioSpec::from_env_strict();
     print_header(
         "Figure 2",
         "Price of Dishonesty vs. number of choices (BOSCO)",

@@ -7,12 +7,12 @@
 //! `MA*` nearly coincide (direct gains dominate); even Top-1 gains
 //! thousands of paths.
 
-use pan_bench::{evaluation_internet, print_header, sample_size, FigureOptions, CDF_QUANTILES};
+use pan_bench::{evaluation_internet, print_header, sample_size, ScenarioSpec, CDF_QUANTILES};
 use pan_pathdiv::diversity::{analyze_sample_pooled, DiversityConfig};
 use pan_pathdiv::figures::fig3_series;
 
 fn main() {
-    let options = FigureOptions::parse(std::env::args());
+    let options = ScenarioSpec::from_env_strict();
     print_header(
         "Figure 3",
         "CDF of length-3 paths per AS under MA conclusion degrees",

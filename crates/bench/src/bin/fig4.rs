@@ -8,12 +8,12 @@
 //! capture most of the gain; destination gains are more evenly
 //! distributed than path gains.
 
-use pan_bench::{evaluation_internet, print_header, sample_size, FigureOptions, CDF_QUANTILES};
+use pan_bench::{evaluation_internet, print_header, sample_size, ScenarioSpec, CDF_QUANTILES};
 use pan_pathdiv::diversity::{analyze_sample_pooled, DiversityConfig};
 use pan_pathdiv::figures::fig4_series;
 
 fn main() {
-    let options = FigureOptions::parse(std::env::args());
+    let options = ScenarioSpec::from_env_strict();
     print_header(
         "Figure 4",
         "CDF of destinations reachable over length-3 paths",

@@ -9,11 +9,11 @@
 //! Paper shape to reproduce: ~50% of pairs gain ≥1 path beating the GRC
 //! minimum; ~25% gain ≥5; the median relative reduction is ≈24%.
 
-use pan_bench::{evaluation_internet, pct, print_header, sample_size, FigureOptions};
+use pan_bench::{evaluation_internet, pct, print_header, sample_size, ScenarioSpec};
 use pan_pathdiv::geodistance::{analyze_pooled, GeodistanceConfig};
 
 fn main() {
-    let options = FigureOptions::parse(std::env::args());
+    let options = ScenarioSpec::from_env_strict();
     print_header("Figure 5", "geodistance of additional MA paths", &options);
     let net = evaluation_internet(&options);
     let report = analyze_pooled(

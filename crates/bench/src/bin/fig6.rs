@@ -9,11 +9,11 @@
 //! Paper shape to reproduce: ~35% of pairs gain a path beating the
 //! max-bandwidth GRC path; among those, the median increase is ≈150%.
 
-use pan_bench::{evaluation_internet, pct, print_header, sample_size, FigureOptions};
+use pan_bench::{evaluation_internet, pct, print_header, sample_size, ScenarioSpec};
 use pan_pathdiv::bandwidth::{analyze_pooled, BandwidthConfig};
 
 fn main() {
-    let options = FigureOptions::parse(std::env::args());
+    let options = ScenarioSpec::from_env_strict();
     print_header("Figure 6", "bandwidth of additional MA paths", &options);
     let net = evaluation_internet(&options);
     let report = analyze_pooled(

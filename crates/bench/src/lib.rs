@@ -3,131 +3,49 @@
 //!
 //! Every figure of the paper has a binary in `src/bin/` that prints the
 //! same series the paper plots (as aligned text tables plus optional
-//! JSON):
+//! JSON), and `discover` runs the topology-wide agreement-discovery
+//! sweep:
 //!
-//! | binary | paper figure | what it prints |
-//! |--------|--------------|----------------|
+//! | binary | paper section | what it prints |
+//! |--------|---------------|----------------|
 //! | `fig2` | Fig. 2 | Price of Dishonesty (min & mean) vs. choice count |
 //! | `fig3` | Fig. 3 | CDF of length-3 paths per AS under GRC/Top-n/MA*/MA |
 //! | `fig4` | Fig. 4 | CDF of destinations reachable over length-3 paths |
 //! | `fig5` | Fig. 5 | geodistance: paths beating GRC min/median/max + reduction CDF |
 //! | `fig6` | Fig. 6 | bandwidth: paths beating GRC max/median/min + increase CDF |
 //! | `all_figures` | all | everything above with quick settings |
+//! | `discover` | §III–IV at scale | profitable mutuality pairs of a 10k-AS internet, ranked by surplus |
 //!
-//! All binaries accept `--quick` (smaller topology/trials for smoke
-//! runs), `--seed <u64>`, `--json` (machine-readable dump after the
-//! table), and `--threads <N>` (worker threads for the sweeps; default:
-//! available parallelism). Output bytes are identical at every thread
-//! count — the sweeps derive per-item RNG streams from `(seed, item
-//! index)` via `pan-runtime`, and the thread count is deliberately never
-//! printed.
+//! All binaries share one declarative, serde-serializable
+//! [`ScenarioSpec`] (flags, `--spec file.json`, `--dump-spec`) instead
+//! of per-binary option parsing. Output bytes are identical at every
+//! thread count — the sweeps derive per-item RNG streams from `(seed,
+//! item index)` via `pan-runtime`, and the thread count is deliberately
+//! never printed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pan_datasets::{InternetConfig, SyntheticInternet};
-use pan_runtime::{ScenarioSweep, ThreadPool};
+mod spec;
 
-/// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FigureOptions {
-    /// Use reduced problem sizes for a fast smoke run.
-    pub quick: bool,
-    /// Base RNG seed.
-    pub seed: u64,
-    /// Emit a JSON dump after the human-readable table.
-    pub json: bool,
-    /// Worker threads for the scenario sweeps.
-    pub threads: usize,
-}
+pub use spec::{DiscoverySpec, ScenarioSpec};
 
-impl Default for FigureOptions {
-    fn default() -> Self {
-        FigureOptions {
-            quick: false,
-            seed: 42,
-            json: false,
-            threads: ThreadPool::with_available_parallelism().threads(),
-        }
-    }
-}
+use pan_datasets::SyntheticInternet;
 
-impl FigureOptions {
-    /// Parses options from `std::env::args`-style input; unknown flags
-    /// abort with a usage message.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on unknown flags or malformed
-    /// numeric values.
-    #[must_use]
-    pub fn parse(args: impl Iterator<Item = String>) -> Self {
-        let mut options = FigureOptions::default();
-        let mut args = args.skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--quick" => options.quick = true,
-                "--json" => options.json = true,
-                "--seed" => {
-                    let value = args
-                        .next()
-                        .unwrap_or_else(|| panic!("--seed requires a value"));
-                    options.seed = value
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--seed expects a u64, got {value:?}"));
-                }
-                "--threads" => {
-                    let value = args
-                        .next()
-                        .unwrap_or_else(|| panic!("--threads requires a value"));
-                    let threads: usize = value
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--threads expects a count, got {value:?}"));
-                    options.threads = threads.max(1);
-                }
-                other => panic!(
-                    "unknown flag {other:?}; known: --quick, --seed <u64>, --json, \
-                     --threads <N>"
-                ),
-            }
-        }
-        options
-    }
-
-    /// The thread pool configured by `--threads`.
-    #[must_use]
-    pub fn pool(&self) -> ThreadPool {
-        ThreadPool::new(self.threads)
-    }
-
-    /// A [`ScenarioSweep`] over the configured pool and `--seed`.
-    #[must_use]
-    pub fn sweep(&self) -> ScenarioSweep {
-        ScenarioSweep::new(self.pool(), self.seed)
-    }
-}
-
-/// The standard evaluation topology: the full-size variant mirrors the
-/// structural richness the §VI analysis needs; the quick variant keeps
-/// smoke runs under a second.
+/// The standard evaluation topology of the spec: the full-size variant
+/// mirrors the structural richness the §VI analysis needs; the quick
+/// variant keeps smoke runs under a second.
 #[must_use]
-pub fn evaluation_internet(options: &FigureOptions) -> SyntheticInternet {
-    let config = if options.quick {
-        InternetConfig {
-            num_ases: 600,
-            tier1_count: 8,
-            ..InternetConfig::default()
-        }
-    } else {
-        InternetConfig::default() // 4,000 ASes
-    };
-    SyntheticInternet::generate(&config, options.seed).expect("default configs are valid")
+pub fn evaluation_internet(spec: &ScenarioSpec) -> SyntheticInternet {
+    spec.internet()
 }
 
-/// Sample size for per-AS analyses (paper: 500).
+/// Sample size for per-AS analyses (paper: 500), honoring `--sample`.
 #[must_use]
-pub fn sample_size(options: &FigureOptions) -> usize {
-    if options.quick {
+pub fn sample_size(spec: &ScenarioSpec) -> usize {
+    if spec.sample > 0 {
+        spec.sample
+    } else if spec.quick {
         100
     } else {
         500
@@ -141,12 +59,12 @@ pub fn pct(fraction: f64) -> String {
 }
 
 /// Prints a standard figure header.
-pub fn print_header(figure: &str, description: &str, options: &FigureOptions) {
+pub fn print_header(figure: &str, description: &str, spec: &ScenarioSpec) {
     println!("# {figure} — {description}");
     println!(
         "# mode: {}, seed: {}",
-        if options.quick { "quick" } else { "full" },
-        options.seed
+        if spec.quick { "quick" } else { "full" },
+        spec.seed
     );
 }
 
@@ -157,52 +75,16 @@ pub const CDF_QUANTILES: [f64; 9] = [0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0
 mod tests {
     use super::*;
 
-    fn args(items: &[&str]) -> std::vec::IntoIter<String> {
-        let mut all = vec!["bin".to_owned()];
-        all.extend(items.iter().map(|s| (*s).to_owned()));
-        all.into_iter()
-    }
-
-    #[test]
-    fn parse_defaults() {
-        let o = FigureOptions::parse(args(&[]));
-        assert_eq!(o, FigureOptions::default());
-    }
-
-    #[test]
-    fn parse_flags() {
-        let o = FigureOptions::parse(args(&["--quick", "--seed", "7", "--json"]));
-        assert!(o.quick);
-        assert!(o.json);
-        assert_eq!(o.seed, 7);
-    }
-
-    #[test]
-    fn parse_threads() {
-        let o = FigureOptions::parse(args(&["--threads", "4"]));
-        assert_eq!(o.threads, 4);
-        assert_eq!(o.pool().threads(), 4);
-        assert_eq!(o.sweep().threads(), 4);
-        // Zero is clamped to one worker.
-        let o = FigureOptions::parse(args(&["--threads", "0"]));
-        assert_eq!(o.threads, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn parse_rejects_unknown() {
-        let _ = FigureOptions::parse(args(&["--wat"]));
-    }
-
     #[test]
     fn quick_internet_is_small() {
-        let o = FigureOptions {
+        let spec = ScenarioSpec {
             quick: true,
-            ..FigureOptions::default()
+            ..ScenarioSpec::default()
         };
-        let net = evaluation_internet(&o);
+        let net = evaluation_internet(&spec);
         assert_eq!(net.graph.node_count(), 600);
-        assert_eq!(sample_size(&o), 100);
+        assert_eq!(sample_size(&spec), 100);
+        assert_eq!(sample_size(&ScenarioSpec { sample: 42, ..spec }), 42);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Declarative scenario specification shared by every binary in this
+//! crate.
+//!
+//! A [`ScenarioSpec`] fully describes a run: mode, seed, thread budget,
+//! topology size, and the discovery knobs. It is a plain serde struct,
+//! so it can be
+//!
+//! - parsed from the shared command-line flags (the former six copies of
+//!   per-binary option parsing),
+//! - loaded from a JSON file via `--spec run.json` (flags after `--spec`
+//!   still override its values),
+//! - dumped with `--dump-spec` to produce a complete, editable spec file.
+//!
+//! The JSON shape is exactly the serde serialization of [`ScenarioSpec`]
+//! (the vendored serde has no per-field defaults, so spec files must be
+//! complete — `--dump-spec` writes one).
+
+use serde::{Deserialize, Serialize};
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_runtime::{ScenarioSweep, ThreadPool};
+
+/// Discovery-sweep knobs of a [`ScenarioSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscoverySpec {
+    /// Reroutable share of provider traffic (`[0, 1]`).
+    pub reroute_share: f64,
+    /// Attractable share of customer/end-host traffic (`[0, 1]`).
+    pub attract_share: f64,
+    /// Operating-point grid per axis (quick mode lowers this to 3).
+    pub grid: usize,
+    /// Peering-mesh candidate distance (1 = existing peers only).
+    pub khop: u8,
+    /// Per-source candidate cap for `khop > 1` (0 = unbounded).
+    pub khop_cap: usize,
+    /// Per-pair share jitter (`[0, 1]`, 0 = deterministic shares).
+    pub noise: f64,
+    /// Outcomes kept in the report and printed as JSON (0 = all).
+    pub top: usize,
+}
+
+impl Default for DiscoverySpec {
+    fn default() -> Self {
+        DiscoverySpec {
+            reroute_share: 0.5,
+            attract_share: 0.2,
+            grid: 5,
+            khop: 1,
+            khop_cap: 64,
+            noise: 0.0,
+            top: 100,
+        }
+    }
+}
+
+/// Command-line/JSON specification shared by the figure binaries and
+/// `discover`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Use reduced problem sizes for a fast smoke run.
+    pub quick: bool,
+    /// Base RNG seed (master seed of every sweep of the run).
+    pub seed: u64,
+    /// Emit a JSON dump after the human-readable table.
+    pub json: bool,
+    /// Worker threads for the scenario sweeps.
+    pub threads: usize,
+    /// Topology-size override (0 = per-binary default: 600 quick / 4,000
+    /// full for the figures, 10,000 for `discover`).
+    pub ases: usize,
+    /// Sample-size override for per-AS analyses (0 = 100 quick / 500 full).
+    pub sample: usize,
+    /// Discovery knobs (ignored by the figure binaries).
+    pub discovery: DiscoverySpec,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            quick: false,
+            seed: 42,
+            json: false,
+            threads: ThreadPool::with_available_parallelism().threads(),
+            ases: 0,
+            sample: 0,
+            discovery: DiscoverySpec::default(),
+        }
+    }
+}
+
+const USAGE: &str = "--quick, --seed <u64>, --json, --threads <N>, --ases <N>, --sample <N>, \
+     --reroute <f>, --attract <f>, --grid <N>, --khop <N>, --khop-cap <N>, --noise <f>, \
+     --top <N>, --spec <file.json>, --dump-spec";
+
+impl ScenarioSpec {
+    /// Parses the shared flags from an `std::env::args`-style iterator
+    /// (program name first). `--spec <file>` loads a complete JSON spec
+    /// first; every flag on the command line then overrides the loaded
+    /// values **regardless of position** (the spec file is the base
+    /// layer, flags are the override layer). `--dump-spec` prints the
+    /// final spec as JSON and exits. The shared `--threads`/`--seed`
+    /// parsing is delegated to [`pan_runtime::RunFlags`], so examples
+    /// and figure binaries cannot drift apart. Unrecognized arguments
+    /// are returned for binary-specific handling (use
+    /// [`expect_no_extras`](Self::expect_no_extras) when there are none).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flag values or unreadable
+    /// spec files.
+    #[must_use]
+    pub fn from_args(args: impl Iterator<Item = String>) -> (Self, Vec<String>) {
+        // Pass 1: extract `--spec <file>` (the base layer) so that flag
+        // position relative to it cannot matter.
+        let raw: Vec<String> = args.skip(1).collect();
+        let mut spec = ScenarioSpec::default();
+        let mut remaining = Vec::with_capacity(raw.len());
+        let mut raw = raw.into_iter();
+        while let Some(arg) = raw.next() {
+            if arg == "--spec" {
+                let path = raw
+                    .next()
+                    .unwrap_or_else(|| panic!("--spec requires a value"));
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read spec file {path:?}: {e}"));
+                spec = serde_json::from_str(&text)
+                    .unwrap_or_else(|e| panic!("malformed spec file {path:?}: {e}"));
+            } else {
+                remaining.push(arg);
+            }
+        }
+
+        // Pass 2: the shared runtime flags, via the one implementation.
+        let (run_flags, remaining) = pan_runtime::RunFlags::parse(remaining.into_iter());
+        if let Some(threads) = run_flags.threads {
+            spec.threads = threads;
+        }
+        if let Some(seed) = run_flags.seed {
+            spec.seed = seed;
+        }
+
+        // Pass 3: spec-specific flags.
+        let mut rest = Vec::new();
+        let mut dump = false;
+        let mut args = remaining.into_iter();
+        fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        }
+        fn parsed<T: std::str::FromStr>(raw: &str, flag: &str, kind: &str) -> T {
+            raw.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects {kind}, got {raw:?}"))
+        }
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => spec.quick = true,
+                "--json" => spec.json = true,
+                "--dump-spec" => dump = true,
+                "--ases" => spec.ases = parsed(&value(&mut args, "--ases"), "--ases", "a count"),
+                "--sample" => {
+                    spec.sample = parsed(&value(&mut args, "--sample"), "--sample", "a count");
+                }
+                "--reroute" => {
+                    spec.discovery.reroute_share =
+                        parsed(&value(&mut args, "--reroute"), "--reroute", "a fraction");
+                }
+                "--attract" => {
+                    spec.discovery.attract_share =
+                        parsed(&value(&mut args, "--attract"), "--attract", "a fraction");
+                }
+                "--grid" => {
+                    spec.discovery.grid = parsed(&value(&mut args, "--grid"), "--grid", "a count");
+                }
+                "--khop" => {
+                    spec.discovery.khop =
+                        parsed(&value(&mut args, "--khop"), "--khop", "a hop count");
+                }
+                "--khop-cap" => {
+                    spec.discovery.khop_cap =
+                        parsed(&value(&mut args, "--khop-cap"), "--khop-cap", "a count");
+                }
+                "--noise" => {
+                    spec.discovery.noise =
+                        parsed(&value(&mut args, "--noise"), "--noise", "a fraction");
+                }
+                "--top" => {
+                    spec.discovery.top = parsed(&value(&mut args, "--top"), "--top", "a count");
+                }
+                _ => rest.push(arg),
+            }
+        }
+        if dump {
+            println!("{}", serde_json::to_string(&spec).expect("specs serialize"));
+            std::process::exit(0);
+        }
+        (spec, rest)
+    }
+
+    /// Parses [`std::env::args`], rejecting any argument the shared
+    /// parser does not recognize — the one-liner for binaries with no
+    /// flags of their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown or malformed arguments.
+    #[must_use]
+    pub fn from_env_strict() -> Self {
+        let (spec, rest) = Self::from_args(std::env::args());
+        Self::expect_no_extras(&rest);
+        spec
+    }
+
+    /// Aborts with a usage message if binary-agnostic parsing left
+    /// unrecognized arguments behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rest` is non-empty.
+    pub fn expect_no_extras(rest: &[String]) {
+        assert!(rest.is_empty(), "unknown flags {rest:?}; known: {USAGE}");
+    }
+
+    /// The thread pool configured by `--threads`.
+    #[must_use]
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads)
+    }
+
+    /// A [`ScenarioSweep`] over the configured pool and `--seed`.
+    #[must_use]
+    pub fn sweep(&self) -> ScenarioSweep {
+        ScenarioSweep::new(self.pool(), self.seed)
+    }
+
+    /// Number of ASes for the standard figure topologies, honoring the
+    /// `--ases` override.
+    #[must_use]
+    pub fn figure_ases(&self) -> usize {
+        if self.ases > 0 {
+            self.ases
+        } else if self.quick {
+            600
+        } else {
+            4_000
+        }
+    }
+
+    /// The [`InternetConfig`] of the run's synthetic topology.
+    #[must_use]
+    pub fn internet_config(&self) -> InternetConfig {
+        let num_ases = self.figure_ases();
+        InternetConfig {
+            num_ases,
+            tier1_count: if num_ases <= 1_000 { 8 } else { 12 },
+            ..InternetConfig::default()
+        }
+    }
+
+    /// Generates the run's synthetic internet.
+    #[must_use]
+    pub fn internet(&self) -> SyntheticInternet {
+        SyntheticInternet::generate(&self.internet_config(), self.seed)
+            .expect("spec-derived configs are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(items: &[&str]) -> std::vec::IntoIter<String> {
+        let mut all = vec!["bin".to_owned()];
+        all.extend(items.iter().map(|s| (*s).to_owned()));
+        all.into_iter()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let (spec, rest) = ScenarioSpec::from_args(args(&[]));
+        assert_eq!(spec, ScenarioSpec::default());
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parse_flags() {
+        let (spec, rest) = ScenarioSpec::from_args(args(&[
+            "--quick",
+            "--seed",
+            "7",
+            "--json",
+            "--threads",
+            "4",
+            "--ases",
+            "12000",
+            "--grid",
+            "3",
+            "--khop",
+            "2",
+            "--noise",
+            "0.1",
+            "--top",
+            "5",
+        ]));
+        assert!(spec.quick && spec.json);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.threads, 4);
+        assert_eq!(spec.ases, 12_000);
+        assert_eq!(spec.discovery.grid, 3);
+        assert_eq!(spec.discovery.khop, 2);
+        assert_eq!(spec.discovery.noise, 0.1);
+        assert_eq!(spec.discovery.top, 5);
+        assert!(rest.is_empty());
+        assert_eq!(spec.pool().threads(), 4);
+        assert_eq!(spec.sweep().master_seed(), 7);
+    }
+
+    #[test]
+    fn unknown_flags_are_returned_and_rejected_on_demand() {
+        let (_, rest) = ScenarioSpec::from_args(args(&["--engine", "dense"]));
+        assert_eq!(rest, vec!["--engine".to_owned(), "dense".to_owned()]);
+        ScenarioSpec::expect_no_extras(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flags")]
+    fn extras_panic_when_forbidden() {
+        ScenarioSpec::expect_no_extras(&["--wat".to_owned()]);
+    }
+
+    #[test]
+    fn spec_file_round_trips_through_json() {
+        let spec = ScenarioSpec {
+            quick: true,
+            seed: 9,
+            ases: 321,
+            ..ScenarioSpec::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let path = std::env::temp_dir().join("pan-bench-spec-test.json");
+        std::fs::write(&path, &json).unwrap();
+        let (loaded, rest) = ScenarioSpec::from_args(args(&[
+            "--seed",
+            "11", // flags override the file regardless of position …
+            "--spec",
+            path.to_str().unwrap(),
+            "--threads",
+            "3", // … before or after --spec
+        ]));
+        std::fs::remove_file(&path).ok();
+        assert!(rest.is_empty());
+        assert_eq!(loaded.quick, spec.quick);
+        assert_eq!(loaded.ases, spec.ases);
+        assert_eq!(loaded.seed, 11);
+        assert_eq!(loaded.threads, 3);
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn figure_sizes() {
+        let quick = ScenarioSpec {
+            quick: true,
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(quick.figure_ases(), 600);
+        assert_eq!(quick.internet_config().tier1_count, 8);
+        let full = ScenarioSpec::default();
+        assert_eq!(full.figure_ases(), 4_000);
+        let sized = ScenarioSpec {
+            ases: 2_000,
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(sized.figure_ases(), 2_000);
+    }
+}

@@ -1,0 +1,1225 @@
+//! Topology-wide agreement discovery: which AS pairs profit from
+//! mutuality agreements?
+//!
+//! The paper's central question is answered by the per-pair stack
+//! ([`AgreementScenario`] + the §IV optimizers) one hand-picked pair at a
+//! time. This module asks it for **every candidate pair of an entire
+//! synthetic internet** at once:
+//!
+//! 1. [`enumerate_candidates`] walks the CSR topology for candidate
+//!    `(X, Y)` pairs — existing peers ([`CandidatePolicy::PeeringAdjacent`])
+//!    or prospective partners within `k` hops of the peering mesh
+//!    ([`CandidatePolicy::PeeringKHop`]).
+//! 2. [`evaluate_candidate`] computes both parties' agreement utilities
+//!    (Eq. 3/7) **incrementally** on the dense
+//!    [`FlowMatrix`]/[`DenseEconomics`] tables: a candidate touches
+//!    `O(degree)` row entries, each contributing a per-entry price delta,
+//!    so no flow vectors are cloned and no maps are hashed. Because the
+//!    touched deltas are linear in the uniform operating point `(r, a)`,
+//!    linear pricing collapses into two scalars per party and the
+//!    operating-point grid of Eq. (9)/(10) costs almost nothing.
+//! 3. [`discover`] fans the candidate list out over a
+//!    [`ScenarioSweep`] (per-worker scratch buffers, per-item RNG
+//!    streams) and returns the concluded agreements ranked by NBS
+//!    surplus — bit-identical at any thread count.
+//!
+//! [`evaluate_candidate_legacy`] runs the same grid through the original
+//! allocation-heavy [`AgreementScenario`] path; it is the correctness
+//! oracle for the dense engine and the "before" side of the
+//! `BENCH_discovery.json` comparison.
+
+use serde::{Deserialize, Serialize};
+
+use pan_econ::{DenseEconomics, FlowMatrix, FlowVec};
+use pan_runtime::ScenarioSweep;
+use pan_topology::{AsGraph, Asn, NeighborKind};
+
+use crate::cash::JOINT_TOLERANCE;
+use crate::flow_volume::UTILITY_TOLERANCE;
+use crate::nash::bargaining_transfer;
+use crate::utility::{evaluate, OperatingPoint};
+use crate::{Agreement, AgreementError, AgreementScenario, Result};
+
+/// How candidate pairs are drawn from the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidatePolicy {
+    /// Every existing peering link — the §VI population (a mutuality
+    /// agreement upgrades an existing settlement-free relationship).
+    PeeringAdjacent,
+    /// Every pair within `k` hops of the peering mesh: `k = 1` equals
+    /// [`PeeringAdjacent`](Self::PeeringAdjacent); larger `k` adds
+    /// prospective partners that would first have to establish peering.
+    /// `per_source_cap` bounds the pairs contributed per source AS
+    /// (`0` = unbounded) — open-peering hubs otherwise make the 2-hop
+    /// neighborhood quadratic.
+    PeeringKHop {
+        /// Maximum peering-mesh distance.
+        k: u8,
+        /// Maximum candidate pairs per source AS (0 = unbounded).
+        per_source_cap: usize,
+    },
+}
+
+/// A candidate pair, by dense node index (`x < y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// First party (dense node index).
+    pub x: u32,
+    /// Second party (dense node index).
+    pub y: u32,
+    /// Distance of the pair in the peering mesh (1 = existing peers).
+    pub peering_hops: u8,
+}
+
+/// Enumerates candidate pairs in deterministic order (ascending source
+/// index, then CSR neighbor order / BFS discovery order).
+#[must_use]
+pub fn enumerate_candidates(graph: &AsGraph, policy: CandidatePolicy) -> Vec<CandidatePair> {
+    let n = graph.node_count() as u32;
+    let mut pairs = Vec::new();
+    match policy {
+        CandidatePolicy::PeeringAdjacent => {
+            for x in 0..n {
+                for &y in graph.peer_indices(x) {
+                    if y > x {
+                        pairs.push(CandidatePair {
+                            x,
+                            y,
+                            peering_hops: 1,
+                        });
+                    }
+                }
+            }
+        }
+        CandidatePolicy::PeeringKHop { k, per_source_cap } => {
+            let k = k.max(1);
+            // Per-source BFS over peer links with a stamp array; visited
+            // nodes are collected in discovery order.
+            let mut stamp = vec![u32::MAX; n as usize];
+            let mut frontier: Vec<u32> = Vec::new();
+            let mut next: Vec<u32> = Vec::new();
+            for x in 0..n {
+                stamp[x as usize] = x;
+                frontier.clear();
+                frontier.push(x);
+                let mut contributed = 0usize;
+                'depth: for depth in 1..=k {
+                    next.clear();
+                    for &u in &frontier {
+                        for &v in graph.peer_indices(u) {
+                            if stamp[v as usize] == x {
+                                continue;
+                            }
+                            stamp[v as usize] = x;
+                            next.push(v);
+                            if v > x {
+                                pairs.push(CandidatePair {
+                                    x,
+                                    y: v,
+                                    peering_hops: depth,
+                                });
+                                contributed += 1;
+                                if per_source_cap > 0 && contributed >= per_source_cap {
+                                    break 'depth;
+                                }
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut frontier, &mut next);
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Immutable batch-evaluation context: the topology and its dense flow
+/// and pricing tables, plus precomputed per-AS flow totals.
+#[derive(Debug, Clone)]
+pub struct BatchContext<'a> {
+    graph: &'a AsGraph,
+    econ: &'a DenseEconomics,
+    flows: &'a FlowMatrix,
+    totals: Vec<f64>,
+}
+
+impl<'a> BatchContext<'a> {
+    /// Builds the context, checking that the tables match the graph shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::DimensionMismatch`] if `econ` or `flows`
+    /// were built from a different graph.
+    pub fn new(
+        graph: &'a AsGraph,
+        econ: &'a DenseEconomics,
+        flows: &'a FlowMatrix,
+    ) -> Result<Self> {
+        for actual in [econ.node_count(), flows.node_count()] {
+            if actual != graph.node_count() {
+                return Err(AgreementError::DimensionMismatch {
+                    expected: graph.node_count(),
+                    actual,
+                });
+            }
+        }
+        Ok(BatchContext {
+            graph,
+            econ,
+            flows,
+            totals: flows.totals(),
+        })
+    }
+
+    /// The topology.
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        self.graph
+    }
+
+    /// The dense pricing tables.
+    #[must_use]
+    pub fn econ(&self) -> &DenseEconomics {
+        self.econ
+    }
+
+    /// The dense baseline flows.
+    #[must_use]
+    pub fn flows(&self) -> &FlowMatrix {
+        self.flows
+    }
+}
+
+/// Configuration of a discovery sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Candidate enumeration policy.
+    pub policy: CandidatePolicy,
+    /// Share of provider traffic assumed reroutable onto new segments
+    /// (the market assumption of §IV, applied uniformly).
+    pub reroute_share: f64,
+    /// Share of customer/end-host traffic assumed attractable.
+    pub attract_share: f64,
+    /// Grid points per operating-point axis (`[0, 1]` inclusive, ≥ 2).
+    pub grid: usize,
+    /// Relative jitter applied per pair to both shares (drawn from the
+    /// pair's sweep stream; `0` disables randomness entirely).
+    pub noise: f64,
+    /// Keep only the `top` highest-surplus outcomes in the report
+    /// (`0` = keep every evaluated pair).
+    pub top: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            policy: CandidatePolicy::PeeringAdjacent,
+            reroute_share: 0.5,
+            attract_share: 0.2,
+            grid: 5,
+            noise: 0.0,
+            top: 0,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    fn validate(&self) -> Result<()> {
+        for share in [self.reroute_share, self.attract_share, self.noise] {
+            if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+                return Err(AgreementError::InvalidFraction { value: share });
+            }
+        }
+        if self.grid < 2 {
+            return Err(AgreementError::DimensionMismatch {
+                expected: 2,
+                actual: self.grid,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The flow-volume optimum of a pair (§IV-A over the uniform grid).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowVolumePoint {
+    /// Reroute fraction at the optimum.
+    pub reroute: f64,
+    /// Attract fraction at the optimum.
+    pub attract: f64,
+    /// Utility of `X` at the optimum.
+    pub utility_x: f64,
+    /// Utility of `Y` at the optimum.
+    pub utility_y: f64,
+}
+
+impl FlowVolumePoint {
+    /// The achieved Nash product.
+    #[must_use]
+    pub fn nash_product(&self) -> f64 {
+        self.utility_x * self.utility_y
+    }
+}
+
+/// The cash-compensation optimum of a pair (§IV-B + NBS, Eq. 10–11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CashPoint {
+    /// Reroute fraction at the welfare optimum.
+    pub reroute: f64,
+    /// Attract fraction at the welfare optimum.
+    pub attract: f64,
+    /// Joint utility `u_X + u_Y` (the NBS surplus).
+    pub joint_utility: f64,
+    /// NBS transfer `Π_{X→Y}` (negative: `Y` pays `X`).
+    pub transfer_x_to_y: f64,
+}
+
+/// The evaluation of one candidate pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// First party.
+    pub x: Asn,
+    /// Second party.
+    pub y: Asn,
+    /// Peering-mesh distance of the pair (1 = existing peers).
+    pub peering_hops: u8,
+    /// New segments gained by `X` / by `Y`.
+    pub segments: (usize, usize),
+    /// Flow-volume optimum, if the agreement concludes under Eq. (9).
+    pub flow_volume: Option<FlowVolumePoint>,
+    /// Cash optimum, if the agreement is viable under Eq. (10).
+    pub cash: Option<CashPoint>,
+    /// The pair's NBS surplus: the best joint utility, clamped at zero.
+    pub surplus: f64,
+}
+
+impl PairOutcome {
+    /// `true` if either optimization method concludes the agreement.
+    #[must_use]
+    pub fn is_concluded(&self) -> bool {
+        self.flow_volume.is_some() || self.cash.is_some()
+    }
+}
+
+/// Aggregate result of a discovery sweep, ranked by surplus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryReport {
+    /// Number of candidate pairs enumerated and evaluated.
+    pub candidates: usize,
+    /// Pairs concluding under flow-volume optimization.
+    pub concluded_flow_volume: usize,
+    /// Pairs viable under cash compensation.
+    pub concluded_cash: usize,
+    /// Sum of NBS surpluses over all viable pairs.
+    pub total_surplus: f64,
+    /// Outcomes ranked by surplus (descending), truncated to
+    /// [`DiscoveryConfig::top`] when non-zero.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+impl DiscoveryReport {
+    /// Assembles a report from evaluated outcomes: aggregate counts,
+    /// the canonical ranking (surplus descending, ASN-pair tie-break),
+    /// and top-`top` truncation (`0` = keep all). The single place the
+    /// ranking rule lives — both the dense sweep and the legacy
+    /// comparison engine in `pan-bench` build their reports here, so
+    /// their outputs stay comparable by construction.
+    #[must_use]
+    pub fn from_outcomes(mut outcomes: Vec<PairOutcome>, top: usize) -> Self {
+        let concluded_flow_volume = outcomes.iter().filter(|o| o.flow_volume.is_some()).count();
+        let concluded_cash = outcomes.iter().filter(|o| o.cash.is_some()).count();
+        let total_surplus = outcomes.iter().map(|o| o.surplus).sum();
+        outcomes.sort_by(|a, b| {
+            b.surplus
+                .partial_cmp(&a.surplus)
+                .expect("surpluses are finite")
+                .then_with(|| (a.x, a.y).cmp(&(b.x, b.y)))
+        });
+        let candidates = outcomes.len();
+        if top > 0 {
+            outcomes.truncate(top);
+        }
+        DiscoveryReport {
+            candidates,
+            concluded_flow_volume,
+            concluded_cash,
+            total_surplus,
+            outcomes,
+        }
+    }
+}
+
+/// Reusable per-worker buffers for pair evaluation: per-row delta
+/// coefficients (indexed by packed row position), the touched-position
+/// lists that make resetting O(touched), and the nonlinear-entry
+/// spill lists.
+#[derive(Debug, Default)]
+pub struct PairScratch {
+    side: [SideScratch; 2],
+}
+
+#[derive(Debug, Default)]
+struct SideScratch {
+    /// Coefficient of `r` per touched row position.
+    coeff_r: Vec<f64>,
+    /// Coefficient of `a` per touched row position.
+    coeff_a: Vec<f64>,
+    /// Whether a position is already on the `touched` list (coefficients
+    /// can be zero for genuinely touched entries, so zero-ness is not a
+    /// usable marker).
+    marked: Vec<bool>,
+    touched: Vec<u32>,
+    /// Entries whose pricing does not collapse linearly:
+    /// `(baseline flow, A, B, entry index into the party's row)`.
+    nonlinear: Vec<(f64, f64, f64, u32)>,
+    /// Grant-target positions in the *partner's* row.
+    targets: Vec<u32>,
+}
+
+impl PairScratch {
+    /// Creates empty scratch (buffers grow to the hottest row and stay).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SideScratch {
+    fn ensure(&mut self, row_len: usize) {
+        if self.coeff_r.len() < row_len {
+            self.coeff_r.resize(row_len, 0.0);
+            self.coeff_a.resize(row_len, 0.0);
+            self.marked.resize(row_len, false);
+        }
+    }
+
+    fn touch(&mut self, pos: usize, dr: f64, da: f64) {
+        if !self.marked[pos] {
+            self.marked[pos] = true;
+            self.touched.push(pos as u32);
+        }
+        self.coeff_r[pos] += dr;
+        self.coeff_a[pos] += da;
+    }
+
+    fn reset(&mut self) {
+        for &pos in &self.touched {
+            self.coeff_r[pos as usize] = 0.0;
+            self.coeff_a[pos as usize] = 0.0;
+            self.marked[pos as usize] = false;
+        }
+        self.touched.clear();
+        self.nonlinear.clear();
+        self.targets.clear();
+    }
+}
+
+/// Per-party linear collapse of the touched deltas:
+/// `u(r, a) = lin_r·r + lin_a·a + Σ nonlinear residuals`.
+struct PartyProgram {
+    node: u32,
+    lin_r: f64,
+    lin_a: f64,
+    /// Δtotal coefficients (for the internal-cost term).
+    total_r: f64,
+    total_a: f64,
+    /// End-host delta coefficient of `a` (attract only).
+    end_host_a: f64,
+    end_host_linear: Option<f64>,
+    internal_linear: Option<f64>,
+    segments: usize,
+}
+
+/// The mutuality grant targets for `beneficiary` via `partner`:
+/// partner's providers and peers, minus the beneficiary itself and minus
+/// the beneficiary's customers (§VI rule) — written into
+/// `targets` as positions in the **partner's** packed row.
+fn collect_targets(graph: &AsGraph, beneficiary: u32, partner: u32, targets: &mut Vec<u32>) {
+    let (_, e_end) = graph.class_boundaries(partner);
+    let row = graph.neighbor_indices(partner);
+    for (pos, &t) in row[..e_end].iter().enumerate() {
+        if t == beneficiary {
+            continue;
+        }
+        if graph.has_neighbor_kind(beneficiary, t, NeighborKind::Customer) {
+            continue;
+        }
+        targets.push(pos as u32);
+    }
+}
+
+/// Evaluates one candidate pair on the dense tables over the uniform
+/// operating-point grid (clamped to at least 2 points per axis); the
+/// math of Eq. (3)/(7) with the default opportunity synthesis of
+/// [`AgreementScenario::with_default_opportunities`].
+///
+/// # Errors
+///
+/// Propagates pricing errors for invalid flow volumes.
+pub fn evaluate_candidate(
+    ctx: &BatchContext<'_>,
+    scratch: &mut PairScratch,
+    pair: CandidatePair,
+    reroute_share: f64,
+    attract_share: f64,
+    grid: usize,
+) -> Result<PairOutcome> {
+    let graph = ctx.graph;
+    let (x, y) = (pair.x, pair.y);
+    debug_assert!(x != y, "candidate pairs have distinct parties");
+
+    // Phase 1: grant targets of both sides (positions in partner rows).
+    let [sx, sy] = &mut scratch.side;
+    sx.reset();
+    sy.reset();
+    collect_targets(graph, x, y, &mut sx.targets); // x's gains, in y's row
+    collect_targets(graph, y, x, &mut sy.targets); // y's gains, in x's row
+    sx.ensure(graph.degree_of_index(x) + 1);
+    sy.ensure(graph.degree_of_index(y) + 1);
+
+    // Phase 2: accumulate per-entry (r, a) coefficients for both rows.
+    let mut programs = [
+        PartyProgram {
+            node: x,
+            lin_r: 0.0,
+            lin_a: 0.0,
+            total_r: 0.0,
+            total_a: 0.0,
+            end_host_a: 0.0,
+            end_host_linear: ctx.econ.end_host_price(x).linear_rate(),
+            internal_linear: ctx.econ.internal_cost(x).linear_rate(),
+            segments: sx.targets.len(),
+        },
+        PartyProgram {
+            node: y,
+            lin_r: 0.0,
+            lin_a: 0.0,
+            total_r: 0.0,
+            total_a: 0.0,
+            end_host_a: 0.0,
+            end_host_linear: ctx.econ.end_host_price(y).linear_rate(),
+            internal_linear: ctx.econ.internal_cost(y).linear_rate(),
+            segments: sy.targets.len(),
+        },
+    ];
+
+    // Beneficiary-side deltas, and the induced partner-side transit.
+    // Volume coefficients of the whole agreement (for the "any volume"
+    // conclusion test): total rerouted volume per unit of `r` and total
+    // attracted volume per unit of `a`.
+    let mut volume_r = 0.0;
+    let mut volume_a = 0.0;
+    for side in 0..2 {
+        let (bene, partner) = if side == 0 { (x, y) } else { (y, x) };
+        let nsegs = programs[side].segments;
+        if nsegs == 0 {
+            continue;
+        }
+        let (p_end, e_end) = graph.class_boundaries(bene);
+        let row = graph.neighbor_indices(bene);
+        let [s0, s1] = &mut scratch.side;
+        let (sb, sp) = if side == 0 { (s0, s1) } else { (s1, s0) };
+        // Total reroutable volume R (per unit of r) and attractable
+        // volume T (per unit of a), aggregated across the beneficiary's
+        // nsegs segments (the per-segment split cancels on its own row).
+        let mut reroutable = 0.0;
+        let mut attractable = 0.0;
+        for (pos, &p) in row[..p_end].iter().enumerate() {
+            if p == partner {
+                continue;
+            }
+            let f = ctx.flows.flow(bene, pos);
+            if f <= 0.0 {
+                continue;
+            }
+            let moved = reroute_share * f;
+            sb.touch(pos, -moved, 0.0);
+            reroutable += moved;
+        }
+        for pos in e_end..row.len() {
+            let f = ctx.flows.flow(bene, pos);
+            if f <= 0.0 {
+                continue;
+            }
+            let gained = attract_share * f;
+            sb.touch(pos, 0.0, gained);
+            attractable += gained;
+        }
+        let end_host_gain = attract_share * ctx.flows.end_host(bene);
+        attractable += end_host_gain;
+        programs[side].end_host_a = end_host_gain;
+        // The beneficiary's flow towards the partner grows by the full
+        // segment volume. The link is (or would be) settlement-free
+        // peering, so it contributes to the total only — tracked here as
+        // untouched-entry coefficients (touched entries add theirs in
+        // phase 3, and the end-host scalar adds its own).
+        programs[side].total_r += reroutable;
+        programs[side].total_a += attractable;
+
+        // Partner side: the whole volume transits the partner — in on
+        // the beneficiary link (settlement-free, totals only), out on
+        // each target link (split evenly across the nsegs segments, as
+        // the default opportunities do).
+        let per_seg_r = reroutable / nsegs as f64;
+        let per_seg_a = attractable / nsegs as f64;
+        for i in 0..sb.targets.len() {
+            sp.touch(sb.targets[i] as usize, per_seg_r, per_seg_a);
+        }
+        let other = 1 - side;
+        programs[other].total_r += reroutable;
+        programs[other].total_a += attractable;
+        volume_r += reroutable;
+        volume_a += attractable;
+    }
+
+    // Phase 3: collapse touched entries into linear coefficients,
+    // spilling nonlinear ones.
+    for (side, program) in programs.iter_mut().enumerate() {
+        let s = &mut scratch.side[side];
+        let node = program.node;
+        for &pos in &s.touched {
+            let (dr, da) = (s.coeff_r[pos as usize], s.coeff_a[pos as usize]);
+            program.total_r += dr;
+            program.total_a += da;
+            let entry = ctx.econ.entry(node, pos as usize);
+            if entry.sign == 0.0 {
+                continue;
+            }
+            if let Some(rate) = entry.price.linear_rate() {
+                program.lin_r += entry.sign * rate * dr;
+                program.lin_a += entry.sign * rate * da;
+            } else {
+                s.nonlinear
+                    .push((ctx.flows.flow(node, pos as usize), dr, da, pos));
+            }
+        }
+        // End-host revenue from attraction (a scalar, not a row entry).
+        program.total_a += program.end_host_a;
+        if program.end_host_a != 0.0 {
+            if let Some(rate) = program.end_host_linear {
+                program.lin_a += rate * program.end_host_a;
+            }
+        }
+        // Linear internal cost collapses too.
+        if let Some(rate) = program.internal_linear {
+            program.lin_r -= rate * program.total_r;
+            program.lin_a -= rate * program.total_a;
+        }
+    }
+
+    // Phase 4: scan the operating-point grid (a single point would make
+    // `step` non-finite; both engine twins clamp identically).
+    let grid = grid.max(2);
+    let step = 1.0 / (grid - 1) as f64;
+    let mut best_fv: Option<(f64, f64, f64, f64)> = None;
+    let mut best_fv_score = f64::NEG_INFINITY;
+    let mut best_cash: Option<(f64, f64, f64, f64)> = None;
+    let mut best_joint = f64::NEG_INFINITY;
+    for ri in 0..grid {
+        let r = ri as f64 * step;
+        for ai in 0..grid {
+            let a = ai as f64 * step;
+            let mut utilities = [0.0f64; 2];
+            for (side, program) in programs.iter().enumerate() {
+                let mut u = program.lin_r * r + program.lin_a * a;
+                let s = &scratch.side[side];
+                for &(f, dr, da, pos) in &s.nonlinear {
+                    let entry = ctx.econ.entry(program.node, pos as usize);
+                    u += entry.utility_delta(f, dr * r + da * a)?;
+                }
+                if program.end_host_linear.is_none() && program.end_host_a != 0.0 {
+                    let f = ctx.flows.end_host(program.node);
+                    let price = ctx.econ.end_host_price(program.node);
+                    u += price.price(f + program.end_host_a * a)? - price.price(f)?;
+                }
+                if program.internal_linear.is_none() {
+                    let total = ctx.totals[program.node as usize];
+                    let delta = program.total_r * r + program.total_a * a;
+                    let cost = ctx.econ.internal_cost(program.node);
+                    u -= cost.eval((total + delta).max(0.0))? - cost.eval(total)?;
+                }
+                utilities[side] = u;
+            }
+            let (ux, uy) = (utilities[0], utilities[1]);
+            if ux >= -UTILITY_TOLERANCE && uy >= -UTILITY_TOLERANCE {
+                let score = ux.max(0.0) * uy.max(0.0) + 1e-7 * (ux + uy);
+                if score > best_fv_score {
+                    best_fv_score = score;
+                    best_fv = Some((r, a, ux, uy));
+                }
+            }
+            let joint = ux + uy;
+            if joint > best_joint {
+                best_joint = joint;
+                best_cash = Some((r, a, ux, uy));
+            }
+        }
+    }
+
+    // Phase 5: conclusions (same semantics as the §IV optimizers).
+    let flow_volume = best_fv.and_then(|(r, a, ux, uy)| {
+        let product = ux.max(0.0) * uy.max(0.0);
+        let volume = r * volume_r + a * volume_a;
+        (product > UTILITY_TOLERANCE && volume > UTILITY_TOLERANCE).then_some(FlowVolumePoint {
+            reroute: r,
+            attract: a,
+            utility_x: ux,
+            utility_y: uy,
+        })
+    });
+    let cash = match best_cash {
+        Some((r, a, ux, uy)) if ux + uy > JOINT_TOLERANCE => Some(CashPoint {
+            reroute: r,
+            attract: a,
+            joint_utility: ux + uy,
+            transfer_x_to_y: bargaining_transfer(ux, uy)?,
+        }),
+        _ => None,
+    };
+    let surplus = cash.map_or(0.0, |c| c.joint_utility.max(0.0));
+    Ok(PairOutcome {
+        x: graph.asn_at(x),
+        y: graph.asn_at(y),
+        peering_hops: pair.peering_hops,
+        segments: (programs[0].segments, programs[1].segments),
+        flow_volume,
+        cash,
+        surplus,
+    })
+}
+
+/// Runs a full discovery sweep: enumerate candidates, evaluate each in
+/// parallel (per-worker [`PairScratch`], per-item RNG stream), rank by
+/// surplus. Output is bit-identical at any thread count of `sweep`.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidFraction`] for invalid shares or
+/// noise, and propagates evaluation errors.
+pub fn discover(
+    ctx: &BatchContext<'_>,
+    config: &DiscoveryConfig,
+    sweep: &ScenarioSweep,
+) -> Result<DiscoveryReport> {
+    config.validate()?;
+    let candidates = enumerate_candidates(ctx.graph, config.policy);
+    let evaluated: Vec<Result<PairOutcome>> = sweep.map_with(
+        &candidates,
+        PairScratch::new,
+        |scratch, _i, &pair, mut rng| {
+            let (mut reroute, mut attract) = (config.reroute_share, config.attract_share);
+            if config.noise > 0.0 {
+                use rand::Rng;
+                let jitter_r: f64 = rng.gen_range(-1.0..1.0);
+                let jitter_a: f64 = rng.gen_range(-1.0..1.0);
+                reroute = (reroute * (1.0 + config.noise * jitter_r)).clamp(0.0, 1.0);
+                attract = (attract * (1.0 + config.noise * jitter_a)).clamp(0.0, 1.0);
+            }
+            evaluate_candidate(ctx, scratch, pair, reroute, attract, config.grid)
+        },
+    );
+    let mut outcomes = Vec::with_capacity(evaluated.len());
+    for outcome in evaluated {
+        outcomes.push(outcome?);
+    }
+    Ok(DiscoveryReport::from_outcomes(outcomes, config.top))
+}
+
+/// The "before" engine: evaluates one adjacent candidate pair through
+/// the original sparse stack — [`Agreement::mutuality`],
+/// [`AgreementScenario::with_default_opportunities`], and per-point
+/// [`evaluate`] over the same uniform grid. Dense-engine oracle and the
+/// baseline side of the dense-flow-refactor benchmark.
+///
+/// # Errors
+///
+/// Propagates agreement-construction and evaluation errors (e.g. the
+/// parties not being peers).
+pub fn evaluate_candidate_legacy(
+    model: &pan_econ::BusinessModel,
+    baseline_x: &FlowVec,
+    baseline_y: &FlowVec,
+    reroute_share: f64,
+    attract_share: f64,
+    grid: usize,
+) -> Result<PairOutcome> {
+    let graph = model.graph();
+    let (ax, ay) = (baseline_x.asn(), baseline_y.asn());
+    let agreement = Agreement::mutuality(graph, ax, ay)?;
+    let scenario = AgreementScenario::with_default_opportunities(
+        model,
+        agreement,
+        baseline_x.clone(),
+        baseline_y.clone(),
+        reroute_share,
+        attract_share,
+    )?;
+    let n = scenario.dimension();
+    let segments_x = scenario
+        .opportunities()
+        .iter()
+        .filter(|o| o.segment.beneficiary == ax)
+        .count();
+    let reroutable_total: f64 = scenario
+        .opportunities()
+        .iter()
+        .map(crate::SegmentOpportunity::reroutable_total)
+        .sum();
+    let attractable_total: f64 = scenario
+        .opportunities()
+        .iter()
+        .map(crate::SegmentOpportunity::attractable_total)
+        .sum();
+
+    let step = 1.0 / (grid.max(2) - 1) as f64;
+    let mut best_fv: Option<(f64, f64, f64, f64)> = None;
+    let mut best_fv_score = f64::NEG_INFINITY;
+    let mut best_cash: Option<(f64, f64, f64, f64)> = None;
+    let mut best_joint = f64::NEG_INFINITY;
+    for ri in 0..grid.max(2) {
+        let r = ri as f64 * step;
+        for ai in 0..grid.max(2) {
+            let a = ai as f64 * step;
+            let point = OperatingPoint::uniform(n, r, a)?;
+            let eval = evaluate(&scenario, &point)?;
+            let (ux, uy) = (eval.utility_x, eval.utility_y);
+            if ux >= -UTILITY_TOLERANCE && uy >= -UTILITY_TOLERANCE {
+                let score = ux.max(0.0) * uy.max(0.0) + 1e-7 * (ux + uy);
+                if score > best_fv_score {
+                    best_fv_score = score;
+                    best_fv = Some((r, a, ux, uy));
+                }
+            }
+            let joint = ux + uy;
+            if joint > best_joint {
+                best_joint = joint;
+                best_cash = Some((r, a, ux, uy));
+            }
+        }
+    }
+    let flow_volume = best_fv.and_then(|(r, a, ux, uy)| {
+        let product = ux.max(0.0) * uy.max(0.0);
+        let volume = r * reroutable_total + a * attractable_total;
+        (product > UTILITY_TOLERANCE && volume > UTILITY_TOLERANCE).then_some(FlowVolumePoint {
+            reroute: r,
+            attract: a,
+            utility_x: ux,
+            utility_y: uy,
+        })
+    });
+    let cash = match best_cash {
+        Some((r, a, ux, uy)) if ux + uy > JOINT_TOLERANCE => Some(CashPoint {
+            reroute: r,
+            attract: a,
+            joint_utility: ux + uy,
+            transfer_x_to_y: bargaining_transfer(ux, uy)?,
+        }),
+        _ => None,
+    };
+    let surplus = cash.map_or(0.0, |c| c.joint_utility.max(0.0));
+    Ok(PairOutcome {
+        x: ax,
+        y: ay,
+        peering_hops: 1,
+        segments: (segments_x, n - segments_x),
+        flow_volume,
+        cash,
+        surplus,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::tests::{baselines, fig1_model};
+    use pan_econ::{BusinessModel, CostFunction, PricingFunction};
+    use pan_runtime::ThreadPool;
+    use pan_topology::fixtures::{asn, fig1};
+
+    /// Dense context over fig1 with the standard model and the D/E
+    /// baselines loaded (all other rows zero).
+    fn fig1_context(model: &BusinessModel) -> (DenseEconomics, FlowMatrix) {
+        let graph = model.graph();
+        let econ = DenseEconomics::from_model(model);
+        let mut flows = FlowMatrix::zeros(graph);
+        let (fd, fe) = baselines();
+        flows.set_row(graph, &fd).unwrap();
+        flows.set_row(graph, &fe).unwrap();
+        (econ, flows)
+    }
+
+    fn pair_of(graph: &AsGraph, a: char, b: char) -> CandidatePair {
+        let (i, j) = (
+            graph.index_of(asn(a)).unwrap(),
+            graph.index_of(asn(b)).unwrap(),
+        );
+        CandidatePair {
+            x: i.min(j),
+            y: i.max(j),
+            peering_hops: 1,
+        }
+    }
+
+    fn assert_outcomes_match(dense: &PairOutcome, legacy: &PairOutcome, tolerance: f64) {
+        assert_eq!((dense.x, dense.y), (legacy.x, legacy.y));
+        assert_eq!(dense.segments, legacy.segments, "{}-{}", dense.x, dense.y);
+        assert_eq!(
+            dense.flow_volume.is_some(),
+            legacy.flow_volume.is_some(),
+            "flow-volume conclusion diverged for {}-{}: {dense:?} vs {legacy:?}",
+            dense.x,
+            dense.y
+        );
+        assert_eq!(
+            dense.cash.is_some(),
+            legacy.cash.is_some(),
+            "cash conclusion diverged for {}-{}",
+            dense.x,
+            dense.y
+        );
+        if let (Some(df), Some(lf)) = (&dense.flow_volume, &legacy.flow_volume) {
+            assert_eq!((df.reroute, df.attract), (lf.reroute, lf.attract));
+            assert!(
+                (df.utility_x - lf.utility_x).abs() < tolerance,
+                "{df:?} {lf:?}"
+            );
+            assert!(
+                (df.utility_y - lf.utility_y).abs() < tolerance,
+                "{df:?} {lf:?}"
+            );
+        }
+        if let (Some(dc), Some(lc)) = (&dense.cash, &legacy.cash) {
+            assert_eq!((dc.reroute, dc.attract), (lc.reroute, lc.attract));
+            assert!(
+                (dc.joint_utility - lc.joint_utility).abs() < tolerance,
+                "{dc:?} {lc:?}"
+            );
+            assert!(
+                (dc.transfer_x_to_y - lc.transfer_x_to_y).abs() < tolerance,
+                "{dc:?} {lc:?}"
+            );
+        }
+        assert!((dense.surplus - legacy.surplus).abs() < tolerance);
+    }
+
+    #[test]
+    fn adjacent_candidates_cover_fig1_peering_links() {
+        let g = fig1();
+        let pairs = enumerate_candidates(&g, CandidatePolicy::PeeringAdjacent);
+        assert_eq!(pairs.len(), g.peering_link_count());
+        for p in &pairs {
+            assert!(p.x < p.y);
+            assert_eq!(p.peering_hops, 1);
+            assert_eq!(g.neighbor_kind_by_index(p.x, p.y), Some(NeighborKind::Peer));
+        }
+    }
+
+    #[test]
+    fn khop_candidates_extend_the_mesh() {
+        let g = fig1();
+        let one = enumerate_candidates(
+            &g,
+            CandidatePolicy::PeeringKHop {
+                k: 1,
+                per_source_cap: 0,
+            },
+        );
+        let adjacent = enumerate_candidates(&g, CandidatePolicy::PeeringAdjacent);
+        assert_eq!(one.len(), adjacent.len(), "k = 1 equals adjacency");
+        let two = enumerate_candidates(
+            &g,
+            CandidatePolicy::PeeringKHop {
+                k: 2,
+                per_source_cap: 0,
+            },
+        );
+        assert!(two.len() > one.len());
+        // C–E are peers-of-peers through D.
+        let (c, e) = (g.index_of(asn('C')).unwrap(), g.index_of(asn('E')).unwrap());
+        assert!(two
+            .iter()
+            .any(|p| (p.x, p.y) == (c.min(e), c.max(e)) && p.peering_hops == 2));
+        // A cap of one pair per source shrinks the list.
+        let capped = enumerate_candidates(
+            &g,
+            CandidatePolicy::PeeringKHop {
+                k: 2,
+                per_source_cap: 1,
+            },
+        );
+        assert!(capped.len() < two.len());
+    }
+
+    #[test]
+    fn dense_matches_legacy_on_fig1() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let mut scratch = PairScratch::new();
+        let (fd, fe) = baselines();
+        for (reroute, attract, grid) in [(0.5, 0.2, 5), (0.6, 0.4, 9), (1.0, 0.0, 3), (0.0, 1.0, 4)]
+        {
+            let dense = evaluate_candidate(
+                &ctx,
+                &mut scratch,
+                pair_of(model.graph(), 'D', 'E'),
+                reroute,
+                attract,
+                grid,
+            )
+            .unwrap();
+            // Party order: the dense pair is ordered by node index, and
+            // D (inserted before E in fig1) is party X there too.
+            let legacy =
+                evaluate_candidate_legacy(&model, &fd, &fe, reroute, attract, grid).unwrap();
+            assert_outcomes_match(&dense, &legacy, 1e-9);
+            assert!(
+                dense.is_concluded(),
+                "D-E should profit at {reroute}/{attract}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_matches_legacy_with_nonlinear_economics() {
+        // Congestion pricing on D's provider link, a power-law internal
+        // cost and congestion end-host pricing on E: exercises every
+        // nonlinear spill path of the dense engine.
+        let mut model = fig1_model();
+        model.book_mut().set_transit_price(
+            asn('A'),
+            asn('D'),
+            PricingFunction::congestion(0.05, 1.5).unwrap(),
+        );
+        model
+            .book_mut()
+            .set_end_host_price(asn('E'), PricingFunction::congestion(0.2, 1.2).unwrap());
+        model.set_internal_cost(asn('E'), CostFunction::power_law(0.01, 1.3).unwrap());
+        let (econ, mut flows) = fig1_context(&model);
+        // Give E end-host demand so the end-host path is exercised.
+        let e = model.graph().index_of(asn('E')).unwrap();
+        flows.set_end_host(e, 9.0);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let mut scratch = PairScratch::new();
+        let dense = evaluate_candidate(
+            &ctx,
+            &mut scratch,
+            pair_of(model.graph(), 'D', 'E'),
+            0.7,
+            0.5,
+            6,
+        )
+        .unwrap();
+        let (fd, mut fe) = baselines();
+        fe.set_end_host_flow(9.0);
+        let legacy = evaluate_candidate_legacy(&model, &fd, &fe, 0.7, 0.5, 6).unwrap();
+        assert_outcomes_match(&dense, &legacy, 1e-9);
+    }
+
+    #[test]
+    fn dense_matches_legacy_across_a_synthetic_internet() {
+        use pan_datasets::{InternetConfig, SyntheticInternet};
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 260,
+                tier1_count: 6,
+                ..InternetConfig::default()
+            },
+            23,
+        )
+        .unwrap();
+        let graph = &net.graph;
+        let econ = DenseEconomics::build(
+            graph,
+            |provider, customer| {
+                // Deterministic heterogeneous per-usage rates.
+                let salt = u64::from(provider.get()) * 31 + u64::from(customer.get());
+                PricingFunction::per_usage(1.0 + (salt % 17) as f64 * 0.25).unwrap()
+            },
+            |asn| PricingFunction::per_usage(2.0 + f64::from(asn.get() % 3)).unwrap(),
+            |asn| CostFunction::linear(0.02 + f64::from(asn.get() % 5) * 0.01).unwrap(),
+        );
+        let flows = FlowMatrix::degree_gravity(graph, 0.5);
+        let ctx = BatchContext::new(graph, &econ, &flows).unwrap();
+        let model = econ.to_business_model(graph);
+        let mut scratch = PairScratch::new();
+        let candidates = enumerate_candidates(graph, CandidatePolicy::PeeringAdjacent);
+        assert!(candidates.len() > 100, "need a real mesh to compare");
+        let mut concluded = 0usize;
+        for &pair in candidates.iter().step_by(7) {
+            let dense = evaluate_candidate(&ctx, &mut scratch, pair, 0.5, 0.2, 4).unwrap();
+            let fx = flows.to_flow_vec(graph, pair.x);
+            let fy = flows.to_flow_vec(graph, pair.y);
+            let legacy = evaluate_candidate_legacy(&model, &fx, &fy, 0.5, 0.2, 4).unwrap();
+            assert_outcomes_match(&dense, &legacy, 1e-6);
+            concluded += usize::from(dense.is_concluded());
+        }
+        assert!(concluded > 0, "some pair should profit");
+    }
+
+    #[test]
+    fn discover_is_thread_count_independent() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let config = DiscoveryConfig {
+            noise: 0.15,
+            ..DiscoveryConfig::default()
+        };
+        let reference = discover(&ctx, &config, &ScenarioSweep::sequential(7)).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = discover(
+                &ctx,
+                &config,
+                &ScenarioSweep::new(ThreadPool::new(threads), 7),
+            )
+            .unwrap();
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn discover_ranks_by_surplus_and_truncates() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let full = discover(
+            &ctx,
+            &DiscoveryConfig::default(),
+            &ScenarioSweep::sequential(1),
+        )
+        .unwrap();
+        assert_eq!(full.candidates, model.graph().peering_link_count());
+        assert!(full
+            .outcomes
+            .windows(2)
+            .all(|w| w[0].surplus >= w[1].surplus));
+        // Only D-E has baseline flows, so it must rank first.
+        assert_eq!(
+            (full.outcomes[0].x, full.outcomes[0].y),
+            (asn('D'), asn('E'))
+        );
+        assert!(full.concluded_cash >= 1);
+        assert!(full.total_surplus > 0.0);
+        let top = discover(
+            &ctx,
+            &DiscoveryConfig {
+                top: 1,
+                ..DiscoveryConfig::default()
+            },
+            &ScenarioSweep::sequential(1),
+        )
+        .unwrap();
+        assert_eq!(top.outcomes.len(), 1);
+        assert_eq!(top.candidates, full.candidates);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        for config in [
+            DiscoveryConfig {
+                reroute_share: 1.5,
+                ..DiscoveryConfig::default()
+            },
+            DiscoveryConfig {
+                noise: f64::NAN,
+                ..DiscoveryConfig::default()
+            },
+            DiscoveryConfig {
+                grid: 1,
+                ..DiscoveryConfig::default()
+            },
+        ] {
+            assert!(
+                discover(&ctx, &config, &ScenarioSweep::sequential(1)).is_err(),
+                "{config:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_tables_are_rejected() {
+        let model = fig1_model();
+        let econ = DenseEconomics::from_model(&model);
+        let other = pan_topology::fixtures::diamond();
+        let flows = FlowMatrix::zeros(&other);
+        assert!(BatchContext::new(model.graph(), &econ, &flows).is_err());
+    }
+
+    #[test]
+    fn degenerate_grid_clamps_instead_of_nan() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let mut scratch = PairScratch::new();
+        let pair = pair_of(model.graph(), 'D', 'E');
+        // grid = 0 and 1 behave exactly like the minimum grid of 2 —
+        // same clamp as evaluate_candidate_legacy — instead of
+        // silently producing NaN operating points.
+        let reference = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, 2).unwrap();
+        for grid in [0, 1] {
+            let clamped = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, grid).unwrap();
+            assert_eq!(clamped, reference, "grid {grid} must clamp to 2");
+        }
+        let (fd, fe) = baselines();
+        let legacy = evaluate_candidate_legacy(&model, &fd, &fe, 0.6, 0.3, 1).unwrap();
+        assert_outcomes_match(&reference, &legacy, 1e-9);
+    }
+
+    #[test]
+    fn report_assembly_ranks_and_truncates() {
+        let outcome = |x: u32, surplus: f64, cash: bool| PairOutcome {
+            x: Asn::new(x),
+            y: Asn::new(x + 100),
+            peering_hops: 1,
+            segments: (1, 1),
+            flow_volume: None,
+            cash: cash.then_some(CashPoint {
+                reroute: 1.0,
+                attract: 0.0,
+                joint_utility: surplus,
+                transfer_x_to_y: 0.0,
+            }),
+            surplus,
+        };
+        let report = DiscoveryReport::from_outcomes(
+            vec![
+                outcome(1, 2.0, true),
+                outcome(2, 5.0, true),
+                outcome(3, 0.0, false),
+            ],
+            2,
+        );
+        assert_eq!(report.candidates, 3);
+        assert_eq!(report.concluded_cash, 2);
+        assert_eq!(report.concluded_flow_volume, 0);
+        assert!((report.total_surplus - 7.0).abs() < 1e-12);
+        assert_eq!(report.outcomes.len(), 2, "truncated to top");
+        assert_eq!(report.outcomes[0].x, Asn::new(2), "highest surplus first");
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_between_pairs() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let mut scratch = PairScratch::new();
+        let pair = pair_of(model.graph(), 'D', 'E');
+        let first = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, 5).unwrap();
+        // Evaluate an unrelated pair in between, then repeat.
+        let _ = evaluate_candidate(
+            &ctx,
+            &mut scratch,
+            pair_of(model.graph(), 'A', 'B'),
+            0.6,
+            0.3,
+            5,
+        )
+        .unwrap();
+        let second = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, 5).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -16,6 +16,11 @@
 //!   and the Nash Bargaining Solution (§IV-B, Eq. 10–11).
 //! - [`negotiation`]: the claims-based bargaining game underlying §V
 //!   (the BOSCO mechanism itself lives in the `pan-bosco` crate).
+//! - [`discovery`]: the batch engine answering the paper's question at
+//!   topology scale — enumerate every candidate pair of a synthetic
+//!   internet, evaluate Eq. 3/7 incrementally on dense
+//!   [`pan_econ::FlowMatrix`]/[`pan_econ::DenseEconomics`] tables, run
+//!   Eq. 9–11 per pair, and rank concluded agreements by surplus.
 //! - [`extension`]: extension of agreement paths (§III-B3) with the
 //!   interdependency constraint on base-agreement targets.
 //!
@@ -65,6 +70,7 @@ mod error;
 mod scenario;
 
 pub mod cash;
+pub mod discovery;
 pub mod estimate;
 pub mod extension;
 pub mod flow_volume;
@@ -75,6 +81,10 @@ pub mod utility;
 
 pub use agreement::{Agreement, Grant, NewSegment};
 pub use cash::{settle, CashAgreement, CashOptimizer, CashOutcome, CashSettlement};
+pub use discovery::{
+    discover, enumerate_candidates, BatchContext, CandidatePair, CandidatePolicy, DiscoveryConfig,
+    DiscoveryReport, PairOutcome, PairScratch,
+};
 pub use error::AgreementError;
 pub use flow_volume::{FlowVolumeAgreement, FlowVolumeOptimizer, FlowVolumeOutcome};
 pub use grid::{sweep_negotiation_grid, GridCell, GridConfig};

@@ -28,6 +28,7 @@ use pan_topology::geo::{GeoAnnotations, GeoPoint};
 use pan_topology::{AsGraph, AsGraphBuilder, Asn, Relationship};
 
 use crate::rng::{self, DeterministicRng};
+use crate::sampler::WeightedSampler;
 use crate::{geolite, georel, prefix, DatasetError, Result};
 
 /// The hierarchy layer of a synthetic AS.
@@ -362,38 +363,49 @@ pub(crate) fn generate_topology(config: &InternetConfig, seed: u64) -> Result<Sk
 
     // Transit and stub ASes choose providers among earlier ASes by
     // region-biased preferential attachment on customer degree.
+    //
+    // Sampling is sublinear: two Fenwick trees hold the *region-free*
+    // attachment weights — `(customer_degree + 1)`, and the same with the
+    // 0.25 tier-1 discount stubs apply — and the same-region bias is
+    // realized by rejection (same-region proposals always accepted,
+    // cross-region ones with probability `1/bias`), which samples the
+    // exact distribution the old `O(n · pool)` weight scan did. A
+    // candidate enters the trees only once it is placed, so the "earlier
+    // ASes only" pool restriction falls out of the activation order.
+    let pool = n_tier1 + n_transit;
     let mut customer_degree = vec![0usize; n];
+    let mut transit_pool = WeightedSampler::new(pool); // weights for transit placements
+    let mut stub_pool = WeightedSampler::new(pool); // weights for stub placements
+    let stub_factor = |c: usize| if c < n_tier1 { 0.25 } else { 1.0 };
+    for c in 0..n_tier1 {
+        transit_pool.add(c, 1.0);
+        stub_pool.add(c, stub_factor(c));
+    }
+    let region_of: Vec<usize> = asns.iter().map(|a| as_region[a]).collect();
+    let mut active = n_tier1;
     for (i, &asn) in asns.iter().enumerate().skip(n_tier1) {
-        let is_transit = i < n_tier1 + n_transit;
-        // Candidate providers: tier-1 and transit ASes placed before us.
-        let pool_end = if is_transit { i } else { n_tier1 + n_transit };
-        let candidates: Vec<usize> = (0..pool_end.min(i)).collect();
-        let weights: Vec<f64> = candidates
-            .iter()
-            .map(|&c| {
-                let base = (customer_degree[c] + 1) as f64;
-                let region_factor = if as_region[&asns[c]] == as_region[&asn] {
-                    config.same_region_bias
-                } else {
-                    1.0
-                };
-                // Stubs prefer regional transit over the tier-1 core.
-                let tier_factor = match (is_transit, tiers[&asns[c]]) {
-                    (false, Tier::Tier1) => 0.25,
-                    _ => 1.0,
-                };
-                base * region_factor * tier_factor
-            })
-            .collect();
-
+        let is_transit = i < pool;
+        let sampler = if is_transit {
+            &transit_pool
+        } else {
+            &stub_pool
+        };
         let provider_count = 1 + sample_geometric(config.mean_extra_providers, &mut rng);
         let mut chosen: Vec<usize> = Vec::with_capacity(provider_count);
-        for _ in 0..provider_count.min(candidates.len()) {
-            // Rejection-sample distinct providers; the pool is large
-            // relative to provider_count, so this terminates quickly.
+        for _ in 0..provider_count.min(active) {
+            // Rejection-sample distinct, region-accepted providers; the
+            // pool is large relative to provider_count and the
+            // acceptance probability is at least 1/bias, so the attempt
+            // cap is almost never reached.
             for _ in 0..64 {
-                let pick = candidates
-                    [rng::weighted_index(&mut rng, &weights).expect("candidates non-empty")];
+                let Some(pick) = sampler.sample(&mut rng) else {
+                    break;
+                };
+                if region_of[pick] != region_of[i]
+                    && rng.gen_range(0.0..1.0) > 1.0 / config.same_region_bias
+                {
+                    continue;
+                }
                 if !chosen.contains(&pick) {
                     chosen.push(pick);
                     break;
@@ -403,6 +415,15 @@ pub(crate) fn generate_topology(config: &InternetConfig, seed: u64) -> Result<Sk
         for provider in chosen {
             builder.add_link(asns[provider], asn, Relationship::ProviderToCustomer)?;
             customer_degree[provider] += 1;
+            transit_pool.add(provider, 1.0);
+            stub_pool.add(provider, stub_factor(provider));
+        }
+        if is_transit {
+            // This transit AS becomes a candidate for everyone placed
+            // after it.
+            transit_pool.add(i, 1.0 + customer_degree[i] as f64);
+            stub_pool.add(i, 1.0 + customer_degree[i] as f64);
+            active += 1;
         }
     }
 
@@ -446,17 +467,38 @@ pub(crate) fn generate_topology(config: &InternetConfig, seed: u64) -> Result<Sk
     } else {
         Vec::new()
     };
+    // Hub attachment walks each region's member list with geometric
+    // gap-skipping: instead of flipping one Bernoulli(p) coin per AS
+    // (quadratic in hubs × ASes), it samples the gap to the next success
+    // directly, costing O(links created). The induced link distribution
+    // is identical.
+    let mut region_members: Vec<Vec<Asn>> = vec![Vec::new(); regions.len()];
+    for &asn in asns.iter().skip(n_tier1) {
+        region_members[as_region[&asn]].push(asn);
+    }
     for &hub in &hubs {
-        for &other in asns.iter().skip(n_tier1) {
-            if other == hub {
-                continue;
-            }
-            let p = if as_region[&hub] == as_region[&other] {
+        for (region, members) in region_members.iter().enumerate() {
+            let p = if region == as_region[&hub] {
                 config.hub_same_region_attach
             } else {
                 config.hub_cross_region_attach
             };
-            if rng.gen_range(0.0..1.0) < p {
+            let mut idx = 0usize;
+            while idx < members.len() {
+                let Some(gap) = geometric_gap(p, &mut rng) else {
+                    break;
+                };
+                let Some(at) = idx.checked_add(gap) else {
+                    break;
+                };
+                if at >= members.len() {
+                    break;
+                }
+                let other = members[at];
+                idx = at + 1;
+                if other == hub {
+                    continue;
+                }
                 match builder.add_link(hub, other, Relationship::PeerToPeer) {
                     Ok(_) => {}
                     // A transit link already connects the pair — skip.
@@ -515,6 +557,24 @@ fn add_peering(
         }
     }
     Ok(())
+}
+
+/// The gap (number of failures) before the next success of a
+/// Bernoulli(`p`) sequence, sampled directly via inversion —
+/// `⌊ln(1 − u) / ln(1 − p)⌋`. `None` means "no further success"
+/// (`p ≤ 0`). Replaces per-element coin flips in dense attachment loops.
+fn geometric_gap(p: f64, rng: &mut DeterministicRng) -> Option<usize> {
+    if p <= 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(0);
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    // Float-to-int conversion saturates, so absurdly long gaps simply
+    // overshoot the member list and end the walk.
+    Some(gap as usize)
 }
 
 /// Samples from a geometric-like distribution with the given mean

@@ -39,10 +39,12 @@ pub mod georel;
 pub mod internet;
 pub mod prefix;
 pub mod rng;
+pub mod sampler;
 
 pub use error::DatasetError;
 pub use internet::{InternetConfig, SyntheticInternet, Tier};
 pub use prefix::{Ipv4Prefix, PrefixTable};
+pub use sampler::WeightedSampler;
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, DatasetError>;

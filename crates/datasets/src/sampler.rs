@@ -1,0 +1,219 @@
+//! Sublinear weighted sampling for the topology generator.
+//!
+//! Preferential attachment needs "sample a provider proportionally to
+//! (customer degree + 1)" with weights that change after every link.
+//! The naive approach — rebuild a weight vector and scan it per sample —
+//! is `O(n · pool)` over the generation run and was the quadratic pass
+//! that kept the generator from internet scale. [`WeightedSampler`] is a
+//! Fenwick (binary indexed) tree over the candidate weights:
+//! activation, weight updates, and samples are all `O(log n)`.
+
+use rand::Rng;
+
+/// A dynamic weighted sampler over indices `0..len`, backed by a Fenwick
+/// tree of cumulative weights.
+///
+/// Entries start at weight zero ("inactive") and never go negative.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    /// 1-based Fenwick tree of partial sums.
+    tree: Vec<f64>,
+    len: usize,
+    /// Largest power of two ≤ `len`, for the top-down descent.
+    top_bit: usize,
+}
+
+impl WeightedSampler {
+    /// Creates a sampler over `len` indices, all with weight zero.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let mut top_bit = 1;
+        while top_bit * 2 <= len {
+            top_bit *= 2;
+        }
+        WeightedSampler {
+            tree: vec![0.0; len + 1],
+            len,
+            top_bit,
+        }
+    }
+
+    /// Number of indices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the sampler covers no indices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to the weight of `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range. Negative deltas are allowed as
+    /// long as the resulting weight stays non-negative (the caller's
+    /// responsibility; violations skew later samples).
+    pub fn add(&mut self, index: usize, delta: f64) {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Total weight over all indices.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.len)
+    }
+
+    /// Sum of weights over `0..end`.
+    #[must_use]
+    pub fn prefix_sum(&self, end: usize) -> f64 {
+        let mut i = end.min(self.len);
+        let mut sum = 0.0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Samples an index proportionally to its weight, or `None` if the
+    /// total weight is not positive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = rng.gen_range(0.0..total);
+        Some(self.find(target))
+    }
+
+    /// The smallest index whose cumulative weight exceeds `target`
+    /// (standard Fenwick descent).
+    fn find(&self, mut target: f64) -> usize {
+        let mut pos = 0usize;
+        let mut bit = self.top_bit;
+        while bit > 0 {
+            let next = pos + bit;
+            if next <= self.len && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            bit /= 2;
+        }
+        // `pos` is the count of fully covered entries; the sampled index
+        // is the next one. Clamp for the all-consumed edge case.
+        pos.min(self.len - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn respects_weights() {
+        let mut s = WeightedSampler::new(3);
+        s.add(2, 1.0);
+        let mut rng = rng::seeded(1);
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut rng), Some(2));
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_weight_yield_none() {
+        let s = WeightedSampler::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.sample(&mut rng::seeded(1)), None);
+        let s = WeightedSampler::new(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.sample(&mut rng::seeded(1)), None);
+    }
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let weights = [0.5, 0.0, 2.0, 1.25, 0.0, 3.0, 0.75];
+        let mut s = WeightedSampler::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            s.add(i, w);
+        }
+        let mut acc = 0.0;
+        for end in 0..=weights.len() {
+            assert!((s.prefix_sum(end) - acc).abs() < 1e-12, "prefix {end}");
+            if end < weights.len() {
+                acc += weights[end];
+            }
+        }
+        assert!((s.total() - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_roughly_proportional() {
+        let mut s = WeightedSampler::new(4);
+        s.add(0, 1.0);
+        s.add(2, 3.0);
+        let mut rng = rng::seeded(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[s.sample(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1] + counts[3], 0, "zero-weight entries never drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn updates_shift_the_distribution() {
+        let mut s = WeightedSampler::new(2);
+        s.add(0, 1.0);
+        s.add(1, 1.0);
+        s.add(0, -1.0); // deactivate 0 again
+        let mut rng = rng::seeded(3);
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_distributionally() {
+        // Same weights, many draws: the Fenwick sampler and the O(n)
+        // scan must agree on the induced distribution (not the draws).
+        let weights = [1.0, 5.0, 0.0, 2.0, 8.0, 0.5];
+        let mut fenwick = WeightedSampler::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            fenwick.add(i, w);
+        }
+        let trials = 20_000;
+        let mut rng_a = rng::seeded(11);
+        let mut rng_b = rng::seeded(12);
+        let mut counts_f = vec![0usize; weights.len()];
+        let mut counts_l = vec![0usize; weights.len()];
+        for _ in 0..trials {
+            counts_f[fenwick.sample(&mut rng_a).unwrap()] += 1;
+            counts_l[rng::weighted_index(&mut rng_b, &weights).unwrap()] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..weights.len() {
+            let expected = weights[i] / total;
+            let got_f = counts_f[i] as f64 / trials as f64;
+            let got_l = counts_l[i] as f64 / trials as f64;
+            assert!(
+                (got_f - expected).abs() < 0.02,
+                "fenwick {i}: {got_f} vs {expected}"
+            );
+            assert!(
+                (got_l - expected).abs() < 0.02,
+                "linear {i}: {got_l} vs {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for `datasets::internet` invariants **at scale**: the
+//! generator must hold its structural promises on the ≥10k-AS topologies
+//! the discovery engine sweeps, not just on the few-hundred-AS fixtures
+//! the unit tests use, and regeneration must be byte-identical per seed.
+
+use proptest::prelude::*;
+
+use pan_datasets::{InternetConfig, SyntheticInternet, Tier};
+use pan_topology::caida;
+
+fn scale_config(num_ases: usize) -> InternetConfig {
+    InternetConfig {
+        num_ases,
+        ..InternetConfig::default()
+    }
+}
+
+/// Every AS can reach the provider-free core by climbing provider links,
+/// and the core is a full peering clique — together these guarantee a
+/// valley-free (customer ↑ … core peer … ↓ customer) path between any
+/// two ASes.
+fn assert_valley_free_connected(net: &SyntheticInternet) {
+    let graph = &net.graph;
+    let n = graph.node_count();
+    // ASNs are assigned in placement order and providers are always
+    // placed earlier, so one forward pass settles reachability.
+    let mut reaches_core = vec![false; n];
+    for i in 0..n as u32 {
+        let providers = graph.provider_indices(i);
+        if providers.is_empty() {
+            reaches_core[i as usize] = true;
+            continue;
+        }
+        reaches_core[i as usize] = providers.iter().any(|&p| {
+            assert!(p < i, "provider hierarchy must point to earlier ASes");
+            reaches_core[p as usize]
+        });
+    }
+    let unreachable = reaches_core.iter().filter(|r| !**r).count();
+    assert_eq!(unreachable, 0, "{unreachable} ASes cannot reach the core");
+
+    let core: Vec<u32> = (0..n as u32)
+        .filter(|&i| graph.provider_indices(i).is_empty())
+        .collect();
+    for (k, &a) in core.iter().enumerate() {
+        for &b in core.iter().skip(k + 1) {
+            assert!(
+                graph.has_neighbor_kind(a, b, pan_topology::NeighborKind::Peer),
+                "core ASes {a} and {b} must peer (clique)"
+            );
+        }
+    }
+}
+
+/// Tier table and topology agree: the provider-free core is exactly the
+/// tier-1 set, stubs sell no transit, and transit ASes both buy and
+/// (in aggregate) sell it.
+fn assert_tier_consistent(net: &SyntheticInternet) {
+    let graph = &net.graph;
+    let mut transit_with_customers = 0usize;
+    let mut transit_total = 0usize;
+    for asn in graph.ases() {
+        let providers = graph.providers(asn).count();
+        let customers = graph.customers(asn).count();
+        match net.tier(asn) {
+            Tier::Tier1 => assert_eq!(providers, 0, "tier-1 {asn} has a provider"),
+            Tier::Transit => {
+                assert!(providers >= 1, "transit {asn} has no provider");
+                transit_total += 1;
+                transit_with_customers += usize::from(customers > 0);
+            }
+            Tier::Stub => {
+                assert!(providers >= 1, "stub {asn} has no provider");
+                assert_eq!(customers, 0, "stub {asn} sells transit");
+            }
+        }
+        if providers == 0 {
+            assert_eq!(
+                net.tier(asn),
+                Tier::Tier1,
+                "{asn} is provider-free non-tier-1"
+            );
+        }
+    }
+    assert!(
+        transit_with_customers * 2 > transit_total,
+        "most transit ASes should actually sell transit \
+         ({transit_with_customers}/{transit_total})"
+    );
+}
+
+proptest! {
+    // Each case generates a >=10k-AS internet (~0.2 s); keep the case
+    // count small so the suite stays CI-friendly.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn scale_invariants_hold(
+        num_ases in 10_000usize..13_000,
+        seed in 0u64..1_000,
+    ) {
+        let config = scale_config(num_ases);
+        let net = SyntheticInternet::generate(&config, seed).expect("valid config");
+        prop_assert_eq!(net.graph.node_count(), num_ases);
+        assert_valley_free_connected(&net);
+        assert_tier_consistent(&net);
+    }
+
+    #[test]
+    fn regeneration_is_byte_identical(seed in 0u64..1_000) {
+        let config = scale_config(10_000);
+        let a = SyntheticInternet::generate(&config, seed).expect("valid config");
+        let b = SyntheticInternet::generate(&config, seed).expect("valid config");
+        // The CAIDA serial-2 serialization is the canonical byte form.
+        prop_assert_eq!(caida::to_string(&a.graph), caida::to_string(&b.graph));
+        prop_assert_eq!(a.tiers, b.tiers);
+        prop_assert_eq!(a.as_region, b.as_region);
+        // And a different seed diverges.
+        let c = SyntheticInternet::generate(&config, seed.wrapping_add(1)).expect("valid config");
+        assert_ne!(caida::to_string(&a.graph), caida::to_string(&c.graph));
+    }
+}
+
+/// The heavy-tailed degree distribution survives at scale: the best-
+/// connected providers hold a disproportionate share of customer links,
+/// and open-peering hubs dominate the peering mesh (the property the
+/// §VI mutuality reach depends on).
+#[test]
+fn scale_degree_distribution_is_heavy_tailed() {
+    let net = SyntheticInternet::generate(&scale_config(10_000), 42).expect("valid config");
+    let graph = &net.graph;
+    let mut customer_degrees: Vec<usize> = (0..graph.node_count() as u32)
+        .map(|i| graph.customer_indices(i).len())
+        .collect();
+    customer_degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = customer_degrees.iter().sum();
+    let top20: usize = customer_degrees.iter().take(20).sum();
+    let providers = customer_degrees.iter().filter(|&&d| d > 0).count();
+    // The top 20 of ~1,500 providers must be over-represented by an
+    // order of magnitude relative to a uniform split.
+    let uniform_share = 20.0 / providers as f64;
+    let top_share = top20 as f64 / total as f64;
+    assert!(
+        top_share > 10.0 * uniform_share,
+        "top-20 share {top_share:.4} vs uniform {uniform_share:.4}: not heavy-tailed"
+    );
+    let mut peer_degrees: Vec<usize> = (0..graph.node_count() as u32)
+        .map(|i| graph.peer_indices(i).len())
+        .collect();
+    peer_degrees.sort_unstable_by(|a, b| b.cmp(a));
+    assert!(
+        peer_degrees[0] > 1_000,
+        "open hubs should peer with thousands of ASes, max is {}",
+        peer_degrees[0]
+    );
+}

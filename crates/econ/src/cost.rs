@@ -86,6 +86,26 @@ impl CostFunction {
         Ok(CostFunction::PowerLaw { coef, exp })
     }
 
+    /// The constant marginal rate of the cost function, if it has one
+    /// (cost *deltas* of linear and affine functions depend only on the
+    /// flow delta). `None` for genuinely nonlinear costs.
+    #[must_use]
+    pub fn linear_rate(self) -> Option<f64> {
+        match self {
+            CostFunction::Zero => Some(0.0),
+            CostFunction::Linear { rate } | CostFunction::Affine { rate, .. } => Some(rate),
+            CostFunction::PowerLaw { coef, exp } => {
+                if coef == 0.0 {
+                    Some(0.0)
+                } else if exp == 1.0 {
+                    Some(coef)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Evaluates the internal cost at total flow `f`.
     ///
     /// # Errors

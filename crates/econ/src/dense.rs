@@ -1,0 +1,573 @@
+//! Dense, index-keyed flow and pricing tables for topology-wide batch
+//! evaluation.
+//!
+//! The per-pair types of this crate ([`FlowVec`],
+//! [`PricingBook`](crate::PricingBook), [`BusinessModel`]) are
+//! `BTreeMap`/`HashMap`-keyed — fine for one
+//! hand-picked agreement, hostile to a sweep over every candidate pair of
+//! a 10k-AS internet. This module provides the batch counterparts, all
+//! aligned with the CSR adjacency of [`AsGraph`]:
+//!
+//! - [`FlowMatrix`]: the flow decomposition `f_X` of *every* AS at once,
+//!   one packed `f64` row per AS in [`AsGraph::neighbor_indices`] order
+//!   plus a trailing end-host slot — reading `f_XY` is one indexed load.
+//! - [`DenseEconomics`]: the pricing function and revenue/cost direction
+//!   of every adjacency entry, the end-host price, and the internal-cost
+//!   function of every AS, resolved once at construction so the hot loop
+//!   never touches a hash table.
+//!
+//! Together they make the agreement utilities of Eq. (1)/(3) computable
+//! per-entry and incrementally: a candidate agreement touches `O(degree)`
+//! row entries, and its utility delta is the sum of the per-entry price
+//! deltas plus the internal-cost delta — no flow-vector clones, no map
+//! lookups, no re-evaluation of untouched flows.
+
+use serde::{Deserialize, Serialize};
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::{BusinessModel, CostFunction, EconError, FlowVec, PricingFunction, Result};
+
+/// Dense per-AS flow decompositions for an entire topology.
+///
+/// Row `i` (an [`AsGraph`] node index) holds one volume per packed
+/// neighbor of `i` — same order as [`AsGraph::neighbor_indices`] — plus a
+/// trailing **end-host** slot (`f_{X,Γ_X}`), mirroring the [`FlowVec`]
+/// convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowMatrix {
+    /// `node_count + 1` prefix offsets; row `i` spans
+    /// `offsets[i]..offsets[i+1]` of `values` (length `degree(i) + 1`).
+    offsets: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl FlowMatrix {
+    /// An all-zero matrix shaped for `graph`.
+    #[must_use]
+    pub fn zeros(graph: &AsGraph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for i in 0..n as u32 {
+            total += graph.degree_of_index(i) as u32 + 1;
+            offsets.push(total);
+        }
+        FlowMatrix {
+            offsets,
+            values: vec![0.0; total as usize],
+        }
+    }
+
+    /// Degree-gravity baselines: the flow exchanged over every link is
+    /// `scale · deg(a) · deg(b)` (the same model the bandwidth analysis
+    /// of §VI-C uses for capacities), and the end-host flow of an AS is
+    /// `scale · deg(X)²` — its "self-gravity" demand. One pass over the
+    /// adjacency, no quadratic work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    #[must_use]
+    pub fn degree_gravity(graph: &AsGraph, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive and finite, got {scale}"
+        );
+        let mut matrix = FlowMatrix::zeros(graph);
+        for i in 0..graph.node_count() as u32 {
+            let di = graph.degree_of_index(i) as f64;
+            let start = matrix.offsets[i as usize] as usize;
+            for (p, &j) in graph.neighbor_indices(i).iter().enumerate() {
+                let dj = graph.degree_of_index(j) as f64;
+                matrix.values[start + p] = scale * di * dj;
+            }
+            let end = matrix.offsets[i as usize + 1] as usize;
+            matrix.values[end - 1] = scale * di * di;
+        }
+        matrix
+    }
+
+    /// Number of rows (ASes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The packed row of node `i`: neighbor volumes followed by the
+    /// end-host volume.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, node: u32) -> &[f64] {
+        &self.values[self.offsets[node as usize] as usize..self.offsets[node as usize + 1] as usize]
+    }
+
+    /// Mutable access to the packed row of node `i`.
+    #[inline]
+    pub fn row_mut(&mut self, node: u32) -> &mut [f64] {
+        &mut self.values
+            [self.offsets[node as usize] as usize..self.offsets[node as usize + 1] as usize]
+    }
+
+    /// The flow to the neighbor at packed position `pos` of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn flow(&self, node: u32, pos: usize) -> f64 {
+        self.values[self.offsets[node as usize] as usize + pos]
+    }
+
+    /// Sets the flow to the neighbor at packed position `pos` of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds for negative or non-finite volumes.
+    #[inline]
+    pub fn set(&mut self, node: u32, pos: usize, volume: f64) {
+        debug_assert!(
+            volume.is_finite() && volume >= 0.0,
+            "flow volume must be finite and non-negative, got {volume}"
+        );
+        self.values[self.offsets[node as usize] as usize + pos] = volume.max(0.0);
+    }
+
+    /// The end-host flow `f_{X,Γ_X}` of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn end_host(&self, node: u32) -> f64 {
+        self.values[self.offsets[node as usize + 1] as usize - 1]
+    }
+
+    /// Sets the end-host flow of node `i`.
+    #[inline]
+    pub fn set_end_host(&mut self, node: u32, volume: f64) {
+        debug_assert!(
+            volume.is_finite() && volume >= 0.0,
+            "flow volume must be finite and non-negative, got {volume}"
+        );
+        let at = self.offsets[node as usize + 1] as usize - 1;
+        self.values[at] = volume.max(0.0);
+    }
+
+    /// Total flow through node `i` (sum of the row, end-hosts included).
+    #[must_use]
+    pub fn total(&self, node: u32) -> f64 {
+        self.row(node).iter().sum()
+    }
+
+    /// All per-node totals in node-index order (precompute once before a
+    /// sweep instead of summing rows per candidate pair).
+    #[must_use]
+    pub fn totals(&self) -> Vec<f64> {
+        (0..self.node_count() as u32)
+            .map(|i| self.total(i))
+            .collect()
+    }
+
+    /// Overwrites the row of `flows.asn()` from a [`FlowVec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`] if the AS or one of its flow
+    /// neighbors is unknown to `graph` / not adjacent.
+    pub fn set_row(&mut self, graph: &AsGraph, flows: &FlowVec) -> Result<()> {
+        let node = graph.index_of(flows.asn())?;
+        let start = self.offsets[node as usize] as usize;
+        self.row_mut(node).fill(0.0);
+        for (neighbor, volume) in flows.iter() {
+            if neighbor == flows.asn() {
+                self.set_end_host(node, volume);
+                continue;
+            }
+            let j = graph.index_of(neighbor)?;
+            let pos = graph.neighbor_position(node, j).ok_or_else(|| {
+                EconError::Topology(pan_topology::TopologyError::UnknownLink {
+                    a: flows.asn(),
+                    b: neighbor,
+                })
+            })?;
+            self.values[start + pos] = volume;
+        }
+        Ok(())
+    }
+
+    /// Extracts the row of node `i` as an ASN-keyed [`FlowVec`]
+    /// (zero-volume entries are skipped, matching sparse conventions).
+    #[must_use]
+    pub fn to_flow_vec(&self, graph: &AsGraph, node: u32) -> FlowVec {
+        let mut flows = FlowVec::new(graph.asn_at(node));
+        for (pos, &j) in graph.neighbor_indices(node).iter().enumerate() {
+            let volume = self.flow(node, pos);
+            if volume > 0.0 {
+                flows.set(graph.asn_at(j), volume);
+            }
+        }
+        let end_host = self.end_host(node);
+        if end_host > 0.0 {
+            flows.set_end_host_flow(end_host);
+        }
+        flows
+    }
+}
+
+/// The pricing attached to one packed adjacency entry of an AS: the
+/// function, and whether its value is revenue (`+1`, customers), cost
+/// (`−1`, providers), or settlement-free (`0`, peers) for the row owner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricedEntry {
+    /// The pricing function of the link, from the row owner's side.
+    pub price: PricingFunction,
+    /// `+1.0` revenue, `−1.0` cost, `0.0` settlement-free.
+    pub sign: f64,
+}
+
+impl PricedEntry {
+    /// The signed utility delta of moving this entry from `flow` to
+    /// `flow + delta` (clamped at zero, as flows cannot go negative).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EconError::InvalidFlow`] for non-finite flows.
+    #[inline]
+    pub fn utility_delta(&self, flow: f64, delta: f64) -> Result<f64> {
+        if self.sign == 0.0 || delta == 0.0 {
+            return Ok(0.0);
+        }
+        if let Some(rate) = self.price.linear_rate() {
+            // Linear fast path — exact as long as the new flow stays
+            // non-negative, which callers guarantee (reroute never moves
+            // more than the baseline).
+            return Ok(self.sign * rate * ((flow + delta).max(0.0) - flow));
+        }
+        let new = (flow + delta).max(0.0);
+        Ok(self.sign * (self.price.price(new)? - self.price.price(flow)?))
+    }
+}
+
+/// Dense per-entry economics for an entire topology: the batch
+/// counterpart of [`BusinessModel`].
+///
+/// `entries` is parallel to the packed CSR adjacency (one [`PricedEntry`]
+/// per `(node, neighbor position)`), so evaluating or perturbing the
+/// utility of Eq. (1) is pure indexed arithmetic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseEconomics {
+    /// `node_count + 1` prefix offsets into `entries` (row `i` has
+    /// `degree(i)` entries).
+    offsets: Vec<u32>,
+    entries: Vec<PricedEntry>,
+    end_host_price: Vec<PricingFunction>,
+    internal_cost: Vec<CostFunction>,
+}
+
+impl DenseEconomics {
+    /// Builds the dense tables from closures — the constructor for
+    /// synthetic economies, where prices are derived from the topology
+    /// rather than read from a hash-keyed book.
+    ///
+    /// `transit_price(provider, customer)` returns the price `provider`
+    /// charges `customer`; it is invoked from both endpoints of a transit
+    /// link with identical arguments, so it must be a pure function of
+    /// them. `end_host_price` and `internal_cost` are invoked once per AS.
+    pub fn build(
+        graph: &AsGraph,
+        mut transit_price: impl FnMut(Asn, Asn) -> PricingFunction,
+        mut end_host_price: impl FnMut(Asn) -> PricingFunction,
+        mut internal_cost: impl FnMut(Asn) -> CostFunction,
+    ) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut entries = Vec::new();
+        let mut end_host = Vec::with_capacity(n);
+        let mut internal = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            let me = graph.asn_at(i);
+            let (p_end, e_end) = graph.class_boundaries(i);
+            for (pos, &j) in graph.neighbor_indices(i).iter().enumerate() {
+                let other = graph.asn_at(j);
+                let entry = if pos < p_end {
+                    // Provider of `me`: the provider charges `me`.
+                    PricedEntry {
+                        price: transit_price(other, me),
+                        sign: -1.0,
+                    }
+                } else if pos < e_end {
+                    PricedEntry {
+                        price: PricingFunction::free(),
+                        sign: 0.0,
+                    }
+                } else {
+                    // Customer of `me`: `me` charges the customer.
+                    PricedEntry {
+                        price: transit_price(me, other),
+                        sign: 1.0,
+                    }
+                };
+                entries.push(entry);
+            }
+            offsets.push(entries.len() as u32);
+            end_host.push(end_host_price(me));
+            internal.push(internal_cost(me));
+        }
+        DenseEconomics {
+            offsets,
+            entries,
+            end_host_price: end_host,
+            internal_cost: internal,
+        }
+    }
+
+    /// Resolves a map-keyed [`BusinessModel`] into dense tables (one
+    /// hash lookup per link at build time, zero afterwards).
+    #[must_use]
+    pub fn from_model(model: &BusinessModel) -> Self {
+        let book = model.book();
+        DenseEconomics::build(
+            model.graph(),
+            |provider, customer| book.transit_price(provider, customer),
+            |asn| book.end_host_price(asn),
+            |asn| model.internal_cost(asn),
+        )
+    }
+
+    /// Rebuilds an equivalent map-keyed [`BusinessModel`] (for the
+    /// sparse per-pair optimizers and as the oracle in equivalence
+    /// tests). `graph` must be the graph the tables were built from.
+    #[must_use]
+    pub fn to_business_model(&self, graph: &AsGraph) -> BusinessModel {
+        let mut book = crate::PricingBook::new();
+        for i in 0..graph.node_count() as u32 {
+            let me = graph.asn_at(i);
+            let (_, e_end) = graph.class_boundaries(i);
+            for (pos, &j) in graph.neighbor_indices(i).iter().enumerate() {
+                if pos >= e_end {
+                    // Record each transit price once, from the provider side.
+                    book.set_transit_price(me, graph.asn_at(j), self.entry(i, pos).price);
+                }
+            }
+            book.set_end_host_price(me, self.end_host_price(i));
+        }
+        let mut model = BusinessModel::new(graph.clone(), book);
+        for i in 0..graph.node_count() as u32 {
+            model.set_internal_cost(graph.asn_at(i), self.internal_cost(i));
+        }
+        model
+    }
+
+    /// The priced entry at packed position `pos` of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn entry(&self, node: u32, pos: usize) -> PricedEntry {
+        self.entries[self.offsets[node as usize] as usize + pos]
+    }
+
+    /// The end-host pricing function of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn end_host_price(&self, node: u32) -> PricingFunction {
+        self.end_host_price[node as usize]
+    }
+
+    /// The internal-cost function of node `i`.
+    #[inline]
+    #[must_use]
+    pub fn internal_cost(&self, node: u32) -> CostFunction {
+        self.internal_cost[node as usize]
+    }
+
+    /// Number of rows (ASes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Utility `U_X(f_X)` of node `i` per Eq. (1), evaluated from the
+    /// dense row — the batch equivalent of [`BusinessModel::utility`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EconError::InvalidFlow`] for invalid volumes.
+    pub fn utility(&self, flows: &FlowMatrix, node: u32) -> Result<f64> {
+        let row = flows.row(node);
+        let base = self.offsets[node as usize] as usize;
+        let mut utility = 0.0;
+        for (pos, &volume) in row[..row.len() - 1].iter().enumerate() {
+            let entry = self.entries[base + pos];
+            if entry.sign != 0.0 {
+                utility += entry.sign * entry.price.price(volume)?;
+            }
+        }
+        utility += self.end_host_price[node as usize].price(flows.end_host(node))?;
+        utility -= self.internal_cost[node as usize].eval(flows.total(node))?;
+        Ok(utility)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PricingBook;
+    use pan_topology::fixtures::{asn, fig1};
+
+    fn model() -> BusinessModel {
+        let g = fig1();
+        let mut book = PricingBook::new();
+        for (p, c, rate) in [
+            ('A', 'D', 2.0),
+            ('B', 'E', 2.0),
+            ('B', 'G', 2.0),
+            ('D', 'H', 3.0),
+            ('E', 'I', 3.0),
+        ] {
+            book.set_transit_price(asn(p), asn(c), PricingFunction::per_usage(rate).unwrap());
+        }
+        book.set_end_host_price(asn('D'), PricingFunction::per_usage(4.0).unwrap());
+        let mut m = BusinessModel::new(g, book);
+        m.set_internal_cost(asn('D'), CostFunction::linear(0.1).unwrap());
+        m
+    }
+
+    #[test]
+    fn flow_matrix_round_trips_flow_vecs() {
+        let g = fig1();
+        let mut matrix = FlowMatrix::zeros(&g);
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('A'), 15.0);
+        f.set(asn('H'), 10.0);
+        f.set(asn('E'), 5.0);
+        f.set_end_host_flow(3.0);
+        matrix.set_row(&g, &f).unwrap();
+        let node = g.index_of(asn('D')).unwrap();
+        assert_eq!(matrix.total(node), 33.0);
+        assert_eq!(matrix.end_host(node), 3.0);
+        let back = matrix.to_flow_vec(&g, node);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn set_row_rejects_non_neighbors() {
+        let g = fig1();
+        let mut matrix = FlowMatrix::zeros(&g);
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('I'), 1.0); // I is not adjacent to D
+        assert!(matrix.set_row(&g, &f).is_err());
+        let f2 = FlowVec::new(Asn::new(999));
+        assert!(matrix.set_row(&g, &f2).is_err());
+    }
+
+    #[test]
+    fn dense_utility_matches_business_model() {
+        let g = fig1();
+        let m = model();
+        let dense = DenseEconomics::from_model(&m);
+        let mut matrix = FlowMatrix::zeros(&g);
+        let mut f = FlowVec::new(asn('D'));
+        f.set(asn('A'), 15.0);
+        f.set(asn('H'), 10.0);
+        f.set(asn('E'), 7.0);
+        f.set_end_host_flow(5.0);
+        matrix.set_row(&g, &f).unwrap();
+        let node = g.index_of(asn('D')).unwrap();
+        let sparse = m.utility(&f).unwrap();
+        let fast = dense.utility(&matrix, node).unwrap();
+        assert!(
+            (sparse - fast).abs() < 1e-9,
+            "sparse {sparse} vs dense {fast}"
+        );
+    }
+
+    #[test]
+    fn dense_utility_matches_for_every_as() {
+        let g = fig1();
+        let m = model();
+        let dense = DenseEconomics::from_model(&m);
+        let matrix = FlowMatrix::degree_gravity(&g, 1.0);
+        for i in 0..g.node_count() as u32 {
+            let f = matrix.to_flow_vec(&g, i);
+            let sparse = m.utility(&f).unwrap();
+            let fast = dense.utility(&matrix, i).unwrap();
+            assert!(
+                (sparse - fast).abs() < 1e-9,
+                "AS {}: sparse {sparse} vs dense {fast}",
+                g.asn_at(i)
+            );
+        }
+    }
+
+    #[test]
+    fn business_model_round_trip_preserves_utilities() {
+        let g = fig1();
+        let m = model();
+        let dense = DenseEconomics::from_model(&m);
+        let rebuilt = dense.to_business_model(&g);
+        let matrix = FlowMatrix::degree_gravity(&g, 2.0);
+        for i in 0..g.node_count() as u32 {
+            let f = matrix.to_flow_vec(&g, i);
+            assert!(
+                (m.utility(&f).unwrap() - rebuilt.utility(&f).unwrap()).abs() < 1e-9,
+                "utility mismatch at {}",
+                g.asn_at(i)
+            );
+        }
+    }
+
+    #[test]
+    fn priced_entry_deltas_match_full_reevaluation() {
+        let linear = PricedEntry {
+            price: PricingFunction::per_usage(2.0).unwrap(),
+            sign: -1.0,
+        };
+        assert_eq!(linear.utility_delta(10.0, -4.0).unwrap(), 8.0);
+        let congestion = PricedEntry {
+            price: PricingFunction::congestion(0.5, 2.0).unwrap(),
+            sign: 1.0,
+        };
+        let expected = 0.5 * (12.0f64.powi(2) - 10.0f64.powi(2));
+        assert!((congestion.utility_delta(10.0, 2.0).unwrap() - expected).abs() < 1e-9);
+        let peer = PricedEntry {
+            price: PricingFunction::free(),
+            sign: 0.0,
+        };
+        assert_eq!(peer.utility_delta(10.0, 5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degree_gravity_is_symmetric_per_link() {
+        let g = fig1();
+        let matrix = FlowMatrix::degree_gravity(&g, 1.0);
+        for i in 0..g.node_count() as u32 {
+            for (pos, &j) in g.neighbor_indices(i).iter().enumerate() {
+                let back = g.neighbor_position(j, i).unwrap();
+                assert_eq!(matrix.flow(i, pos), matrix.flow(j, back));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_classification_matches_graph_roles() {
+        let g = fig1();
+        let dense = DenseEconomics::from_model(&model());
+        for i in 0..g.node_count() as u32 {
+            for (pos, &j) in g.neighbor_indices(i).iter().enumerate() {
+                let expected = match g.neighbor_kind_by_index(i, j).unwrap() {
+                    pan_topology::NeighborKind::Provider => -1.0,
+                    pan_topology::NeighborKind::Peer => 0.0,
+                    pan_topology::NeighborKind::Customer => 1.0,
+                };
+                assert_eq!(dense.entry(i, pos).sign, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn totals_and_zeros_shapes() {
+        let g = fig1();
+        let zeros = FlowMatrix::zeros(&g);
+        assert_eq!(zeros.node_count(), g.node_count());
+        assert!(zeros.totals().iter().all(|&t| t == 0.0));
+        for i in 0..g.node_count() as u32 {
+            assert_eq!(zeros.row(i).len(), g.degree_of_index(i) + 1);
+        }
+    }
+}

@@ -55,10 +55,12 @@ mod error;
 mod flow;
 mod pricing;
 
+pub mod dense;
 pub mod traffic;
 
 pub use business::{BusinessModel, PricingBook};
 pub use cost::CostFunction;
+pub use dense::{DenseEconomics, FlowMatrix, PricedEntry};
 pub use error::EconError;
 pub use flow::{FlowVec, SegmentFlows, SegmentKey};
 pub use pricing::PricingFunction;

@@ -134,6 +134,23 @@ impl PricingFunction {
         Ok(self.alpha * flow.powf(self.beta))
     }
 
+    /// The constant marginal rate of the function, if it has one: `α` for
+    /// pay-per-usage (`β = 1`) and `0` for flat-rate (`β = 0`, where the
+    /// fee does not depend on volume). `None` for genuinely nonlinear
+    /// pricing — batch evaluators use this to collapse price *deltas*
+    /// into a single per-party coefficient instead of re-pricing every
+    /// entry per candidate operating point.
+    #[must_use]
+    pub fn linear_rate(self) -> Option<f64> {
+        if self.beta == 1.0 {
+            Some(self.alpha)
+        } else if self.beta == 0.0 || self.alpha == 0.0 {
+            Some(0.0)
+        } else {
+            None
+        }
+    }
+
     /// Marginal price `dp/df` at volume `f` (used by optimizers).
     ///
     /// # Errors

@@ -93,6 +93,78 @@ impl AuthorizationTable {
             self.grant(segment.via, segment.beneficiary, segment.target);
         }
     }
+
+    /// Iterates over the normalized `(transit, low, high)` grant triples.
+    pub fn triples(&self) -> impl Iterator<Item = (Asn, Asn, Asn)> + '_ {
+        self.grants.iter().copied()
+    }
+}
+
+/// The compiled, dense form of an [`AuthorizationTable`]: per transit
+/// **node index**, a sorted list of normalized neighbor-index pairs.
+///
+/// The ASN-keyed table stays the canonical (serializable, mutable)
+/// representation; the index is what the forwarding hot loop queries —
+/// the per-hop check is CSR customer tests plus one binary search over a
+/// short pair list, with no `Asn → index` hashing and no `BTreeSet`
+/// walk. Rebuild with [`compile`](Self::compile) after table mutations
+/// ([`Network`](crate::Network) does this automatically).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuthorizationIndex {
+    /// `grants[transit]` = sorted `(low, high)` neighbor-index pairs.
+    grants: Vec<Vec<(u32, u32)>>,
+}
+
+impl AuthorizationIndex {
+    /// Compiles the table against a topology. Triples mentioning ASes
+    /// unknown to `graph` are dropped (they can never authorize a
+    /// physical forwarding step).
+    #[must_use]
+    pub fn compile(graph: &AsGraph, table: &AuthorizationTable) -> Self {
+        let mut grants = vec![Vec::new(); graph.node_count()];
+        for (transit, a, b) in table.triples() {
+            let (Ok(t), Ok(i), Ok(j)) = (
+                graph.index_of(transit),
+                graph.index_of(a),
+                graph.index_of(b),
+            ) else {
+                continue;
+            };
+            let pair = (i.min(j), i.max(j));
+            grants[t as usize].push(pair);
+        }
+        for list in &mut grants {
+            list.sort_unstable();
+            list.dedup();
+        }
+        AuthorizationIndex { grants }
+    }
+
+    /// Returns `true` if an explicit grant covers the (direction-
+    /// normalized) triple of node indices.
+    #[must_use]
+    pub fn is_granted(&self, transit: u32, from: u32, to: u32) -> bool {
+        let pair = (from.min(to), from.max(to));
+        self.grants
+            .get(transit as usize)
+            .is_some_and(|list| list.binary_search(&pair).is_ok())
+    }
+
+    /// The full authorization check on node indices: GRC-conforming
+    /// transit (at least one side is a customer) or an explicit grant.
+    /// Non-neighbors never transit.
+    #[must_use]
+    pub fn allows(&self, graph: &AsGraph, transit: u32, from: u32, to: u32) -> bool {
+        let from_kind = graph.neighbor_kind_by_index(transit, from);
+        let to_kind = graph.neighbor_kind_by_index(transit, to);
+        if from_kind.is_none() || to_kind.is_none() {
+            return false;
+        }
+        if from_kind == Some(NeighborKind::Customer) || to_kind == Some(NeighborKind::Customer) {
+            return true;
+        }
+        self.is_granted(transit, from, to)
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +211,32 @@ mod tests {
         table.revoke(asn('E'), asn('B'), asn('D'));
         assert!(!table.allows(&g, asn('E'), asn('D'), asn('B')));
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn compiled_index_matches_table_everywhere() {
+        let g = fig1();
+        let mut table = AuthorizationTable::new();
+        table.grant_agreement(&g, &Agreement::mutuality(&g, asn('D'), asn('E')).unwrap());
+        table.grant(asn('E'), asn('D'), asn('B'));
+        table.grant(Asn::new(999), asn('D'), asn('B')); // unknown transit: dropped
+        let index = AuthorizationIndex::compile(&g, &table);
+        for t in g.ases() {
+            for f in g.ases() {
+                for to in g.ases() {
+                    let (ti, fi, toi) = (
+                        g.index_of(t).unwrap(),
+                        g.index_of(f).unwrap(),
+                        g.index_of(to).unwrap(),
+                    );
+                    assert_eq!(
+                        table.allows(&g, t, f, to),
+                        index.allows(&g, ti, fi, toi),
+                        "divergence at ({t}, {f}, {to})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::{PathRegistry, Segment, SegmentKind};
 /// beacon-selection policies.
 #[must_use]
 pub fn run_beaconing(graph: &AsGraph, max_len: usize, max_per_pair: usize) -> PathRegistry {
-    let mut registry = PathRegistry::new();
+    let mut registry = PathRegistry::for_graph(graph);
     let cores: Vec<Asn> = graph.provider_free_ases().collect();
 
     // Breadth-first beacon propagation down provider→customer links.
@@ -39,11 +39,11 @@ pub fn run_beaconing(graph: &AsGraph, max_len: usize, max_per_pair: usize) -> Pa
                 let owner = segment.first();
                 let core = segment.last();
                 let kept = registry
-                    .segments_of_kind(owner, SegmentKind::Up)
+                    .segments_of_kind(graph, owner, SegmentKind::Up)
                     .filter(|s| s.last() == core)
                     .count();
                 if kept < max_per_pair {
-                    registry.register(segment);
+                    registry.register(graph, segment);
                 }
             }
         }
@@ -64,8 +64,8 @@ pub fn run_beaconing(graph: &AsGraph, max_len: usize, max_per_pair: usize) -> Pa
         for &b in cores.iter().skip(i + 1) {
             if graph.link_between(a, b).is_some() {
                 if let Ok(segment) = Segment::new(graph, SegmentKind::Core, vec![a, b]) {
-                    registry.register(segment.reversed());
-                    registry.register(segment);
+                    registry.register(graph, segment.reversed());
+                    registry.register(graph, segment);
                 }
             }
         }
@@ -85,7 +85,7 @@ mod tests {
         for label in ['D', 'E', 'G', 'H', 'I'] {
             assert!(
                 registry
-                    .segments_of_kind(asn(label), SegmentKind::Up)
+                    .segments_of_kind(&g, asn(label), SegmentKind::Up)
                     .count()
                     > 0,
                 "{label} has no up-segment"
@@ -99,7 +99,7 @@ mod tests {
         let registry = run_beaconing(&g, 6, 4);
         let cores: Vec<_> = g.provider_free_ases().collect();
         for asn_ in g.ases() {
-            for s in registry.segments_of_kind(asn_, SegmentKind::Up) {
+            for s in registry.segments_of_kind(&g, asn_, SegmentKind::Up) {
                 assert!(cores.contains(&s.last()), "{s} does not end at a core");
             }
         }
@@ -112,13 +112,13 @@ mod tests {
         // A and B peer → both directions registered.
         assert_eq!(
             registry
-                .segments_of_kind(asn('A'), SegmentKind::Core)
+                .segments_of_kind(&g, asn('A'), SegmentKind::Core)
                 .count(),
             1
         );
         assert_eq!(
             registry
-                .segments_of_kind(asn('B'), SegmentKind::Core)
+                .segments_of_kind(&g, asn('B'), SegmentKind::Core)
                 .count(),
             1
         );
@@ -130,7 +130,9 @@ mod tests {
         let registry = run_beaconing(&g, 6, 4);
         // The stub (AS 4) reaches the core (AS 1) via both L and R.
         let stub = pan_topology::Asn::new(4);
-        let ups: Vec<_> = registry.segments_of_kind(stub, SegmentKind::Up).collect();
+        let ups: Vec<_> = registry
+            .segments_of_kind(&g, stub, SegmentKind::Up)
+            .collect();
         assert_eq!(ups.len(), 2, "diamond should yield two up-segments");
     }
 
@@ -139,12 +141,15 @@ mod tests {
         let g = pan_topology::fixtures::chain(6);
         let registry = run_beaconing(&g, 3, 4);
         for asn_ in g.ases() {
-            for s in registry.segments_of(asn_) {
+            for s in registry.segments_of(&g, asn_) {
                 assert!(s.len() <= 3);
             }
         }
         // AS 4 is 3 hops from the core (1 → 2 → 3 → 4): no segment.
-        assert!(registry.segments_of(pan_topology::Asn::new(5)).is_empty());
+        assert_eq!(
+            registry.segments_of(&g, pan_topology::Asn::new(5)).count(),
+            0
+        );
     }
 
     #[test]
@@ -153,7 +158,7 @@ mod tests {
         let registry = run_beaconing(&g, 6, 1);
         let stub = pan_topology::Asn::new(4);
         assert_eq!(
-            registry.segments_of_kind(stub, SegmentKind::Up).count(),
+            registry.segments_of_kind(&g, stub, SegmentKind::Up).count(),
             1,
             "cap of one segment per (AS, core) pair"
         );
@@ -165,7 +170,7 @@ mod tests {
         let registry = run_beaconing(&g, 6, 4);
         // H's up-segments end at core A, G's at core B; the A–B core
         // peering segment splices them into H → D → A → B → G.
-        let paths = registry.lookup_paths(asn('H'), asn('G'));
+        let paths = registry.lookup_paths(&g, asn('H'), asn('G'));
         assert!(
             paths.contains(&vec![asn('H'), asn('D'), asn('A'), asn('B'), asn('G')]),
             "up ⋈ core ⋈ down combination missing: {paths:?}"

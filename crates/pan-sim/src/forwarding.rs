@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use pan_core::Agreement;
 use pan_topology::{AsGraph, Asn};
 
-use crate::{AuthorizationTable, ForwardingError};
+use crate::{AuthorizationIndex, AuthorizationTable, ForwardingError};
 
 /// A data packet with its header-embedded forwarding path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,19 +57,28 @@ pub struct Delivery {
 
 /// The forwarding plane: a topology plus the authorization state of all
 /// ASes.
+///
+/// The ASN-keyed [`AuthorizationTable`] is the canonical state; every
+/// mutation recompiles the dense [`AuthorizationIndex`] the per-hop
+/// checks run on, so forwarding itself never hashes an ASN or walks a
+/// `BTreeSet`.
 #[derive(Debug, Clone)]
 pub struct Network {
     graph: AsGraph,
     authorization: AuthorizationTable,
+    index: AuthorizationIndex,
 }
 
 impl Network {
     /// Creates a network with default (GRC-conforming) authorization.
     #[must_use]
     pub fn new(graph: AsGraph) -> Self {
+        let authorization = AuthorizationTable::new();
+        let index = AuthorizationIndex::compile(&graph, &authorization);
         Network {
             graph,
-            authorization: AuthorizationTable::new(),
+            authorization,
+            index,
         }
     }
 
@@ -85,14 +94,32 @@ impl Network {
         &self.authorization
     }
 
-    /// Mutable access to the authorization table.
-    pub fn authorization_mut(&mut self) -> &mut AuthorizationTable {
-        &mut self.authorization
+    /// The compiled authorization index the hot path queries.
+    #[must_use]
+    pub fn authorization_index(&self) -> &AuthorizationIndex {
+        &self.index
+    }
+
+    /// Authorizes transit through `transit` between `a` and `b`.
+    pub fn grant(&mut self, transit: Asn, a: Asn, b: Asn) {
+        self.authorization.grant(transit, a, b);
+        self.recompile();
+    }
+
+    /// Revokes a previously granted triple.
+    pub fn revoke(&mut self, transit: Asn, a: Asn, b: Asn) {
+        self.authorization.revoke(transit, a, b);
+        self.recompile();
     }
 
     /// Authorizes all new segments of a concluded agreement.
     pub fn authorize_agreement(&mut self, agreement: &Agreement) {
         self.authorization.grant_agreement(&self.graph, agreement);
+        self.recompile();
+    }
+
+    fn recompile(&mut self) {
+        self.index = AuthorizationIndex::compile(&self.graph, &self.authorization);
     }
 
     /// Validates a header path: at least two hops, loop-free, and every
@@ -102,26 +129,46 @@ impl Network {
     ///
     /// Returns [`ForwardingError::MalformedPath`] describing the defect.
     pub fn validate_path(&self, path: &[Asn]) -> Result<(), ForwardingError> {
+        self.resolve_path(path).map(|_| ())
+    }
+
+    /// Resolves a header path to dense node indices, validating it along
+    /// the way (length, loop-freeness, adjacency) — one ASN lookup per
+    /// hop; everything downstream is index arithmetic.
+    fn resolve_path(&self, path: &[Asn]) -> Result<Vec<u32>, ForwardingError> {
         if path.len() < 2 {
             return Err(ForwardingError::MalformedPath {
                 reason: "paths need at least a source and a destination".to_owned(),
             });
         }
-        let mut sorted = path.to_vec();
+        let mut indices = Vec::with_capacity(path.len());
+        for &asn in path {
+            let Ok(idx) = self.graph.index_of(asn) else {
+                return Err(ForwardingError::MalformedPath {
+                    reason: format!("{asn} is not part of the topology"),
+                });
+            };
+            indices.push(idx);
+        }
+        let mut sorted = indices.clone();
         sorted.sort_unstable();
         if sorted.windows(2).any(|w| w[0] == w[1]) {
             return Err(ForwardingError::MalformedPath {
                 reason: "header paths must be loop-free".to_owned(),
             });
         }
-        for pair in path.windows(2) {
-            if self.graph.link_between(pair[0], pair[1]).is_none() {
+        for (k, pair) in indices.windows(2).enumerate() {
+            if self
+                .graph
+                .neighbor_kind_by_index(pair[0], pair[1])
+                .is_none()
+            {
                 return Err(ForwardingError::MalformedPath {
-                    reason: format!("{} and {} are not adjacent", pair[0], pair[1]),
+                    reason: format!("{} and {} are not adjacent", path[k], path[k + 1]),
                 });
             }
         }
-        Ok(())
+        Ok(indices)
     }
 
     /// Forwards a packet one hop.
@@ -159,20 +206,27 @@ impl Network {
     /// Sends a packet along `path`, validating the header first and
     /// stepping until delivery.
     ///
+    /// The path is resolved to node indices once; every hop then runs on
+    /// the compiled [`AuthorizationIndex`] (CSR membership tests plus a
+    /// binary search), the batch-friendly fast path of the simulator.
+    ///
     /// # Errors
     ///
     /// Returns the first validation or authorization error encountered.
     pub fn send(&self, path: &[Asn]) -> Result<Delivery, ForwardingError> {
-        self.validate_path(path)?;
-        let mut packet = Packet::new(path.to_vec());
-        let mut hops = 0usize;
-        while !packet.delivered() {
-            self.step(&mut packet)?;
-            hops += 1;
-            debug_assert!(hops <= path.len(), "cursor strictly advances");
+        let indices = self.resolve_path(path)?;
+        for cursor in 1..indices.len() - 1 {
+            let (prev, here, next) = (indices[cursor - 1], indices[cursor], indices[cursor + 1]);
+            if !self.index.allows(&self.graph, here, prev, next) {
+                return Err(ForwardingError::NotAuthorized {
+                    at: path[cursor],
+                    from: path[cursor - 1],
+                    to: path[cursor + 1],
+                });
+            }
         }
         Ok(Delivery {
-            hops_traversed: hops,
+            hops_traversed: path.len() - 1,
         })
     }
 }
@@ -278,7 +332,40 @@ mod tests {
         let ma = Agreement::mutuality(net.graph(), asn('D'), asn('E')).unwrap();
         net.authorize_agreement(&ma);
         assert!(net.send(&[asn('D'), asn('E'), asn('B')]).is_ok());
-        net.authorization_mut().revoke(asn('E'), asn('D'), asn('B'));
+        net.revoke(asn('E'), asn('D'), asn('B'));
         assert!(net.send(&[asn('D'), asn('E'), asn('B')]).is_err());
+        // Re-granting recompiles the index too.
+        net.grant(asn('E'), asn('D'), asn('B'));
+        assert!(net.send(&[asn('D'), asn('E'), asn('B')]).is_ok());
+    }
+
+    #[test]
+    fn indexed_send_agrees_with_stepwise_forwarding() {
+        let mut net = network();
+        let ma = Agreement::mutuality(net.graph(), asn('D'), asn('E')).unwrap();
+        net.authorize_agreement(&ma);
+        let ases: Vec<_> = net.graph().ases().collect();
+        // Every 3-hop header path: `send` (dense index) and manual
+        // `step`s (ASN-keyed table) must agree on deliverability.
+        for &a in &ases {
+            for &b in &ases {
+                for &c in &ases {
+                    let path = [a, b, c];
+                    let by_send = net.send(&path).is_ok();
+                    let stepwise = net.validate_path(&path).is_ok() && {
+                        let mut packet = Packet::new(path.to_vec());
+                        let mut ok = true;
+                        while !packet.delivered() {
+                            if net.step(&mut packet).is_err() {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        ok
+                    };
+                    assert_eq!(by_send, stepwise, "divergence on {path:?}");
+                }
+            }
+        }
     }
 }

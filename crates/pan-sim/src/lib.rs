@@ -9,12 +9,14 @@
 //! - [`beaconing`]: path-segment construction beaconing (PCBs originate
 //!   at the provider-free core and flow down provider–customer links),
 //!   yielding up-/down-segments.
-//! - [`Segment`] and [`PathRegistry`]: segment registration and lookup,
-//!   including agreement segments created by mutuality-based agreements.
+//! - [`Segment`] and [`PathRegistry`]: segment registration and lookup —
+//!   segments live once in an arena keyed by [`SegmentId`], with dense
+//!   per-node id lists for lookup.
 //! - [`AuthorizationTable`]: per-AS forwarding authorization. By default
 //!   an AS forwards only GRC-conforming (valley-free) transit; concluding
 //!   an [`Agreement`](pan_core::Agreement) authorizes exactly the new
-//!   segments it creates.
+//!   segments it creates. [`AuthorizationIndex`] is its compiled dense
+//!   form, which the forwarding hot loop queries.
 //! - [`Network`] forwarding: packets carry their full AS path; each hop
 //!   checks authorization and advances the path cursor — forwarding
 //!   provably terminates and never loops, even on GRC-violating paths.
@@ -56,10 +58,10 @@ mod segment;
 
 pub mod beaconing;
 
-pub use authorization::AuthorizationTable;
+pub use authorization::{AuthorizationIndex, AuthorizationTable};
 pub use error::{ForwardingError, PanError};
 pub use forwarding::{Delivery, Network, Packet};
-pub use registry::PathRegistry;
+pub use registry::{PathRegistry, SegmentId};
 pub use segment::{Segment, SegmentKind};
 
 /// Convenience alias for results in this crate.

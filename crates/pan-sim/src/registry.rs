@@ -1,18 +1,38 @@
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
-use pan_topology::Asn;
+use pan_topology::{AsGraph, Asn};
 
 use crate::{Segment, SegmentKind};
 
-/// A path-server registry: segments registered per destination AS, as
-/// SCION path servers store up-/down-segments for lookup by end-hosts.
+/// Stable identifier of a segment registered in a [`PathRegistry`]
+/// (its index in the registry's arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SegmentId(u32);
+
+impl SegmentId {
+    /// The numeric arena index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A path-server registry: segments stored once in an arena and indexed
+/// per AS, as SCION path servers store up-/down-segments for lookup by
+/// end-hosts.
+///
+/// Lookup state is **dense**: per graph-node segment-id lists (indexed
+/// by the [`AsGraph`] node index of a segment's first AS), mirroring the
+/// per-`LinkId` tables of the geodistance/bandwidth analyses — a lookup
+/// is one indexed load, not a `BTreeMap` descent. Registration resolves
+/// the owning AS through the graph once; everything after is id-keyed.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PathRegistry {
-    /// Segments keyed by their **first** AS (the AS they are registered
-    /// for), in deterministic order.
-    by_as: BTreeMap<Asn, Vec<Segment>>,
+    /// All registered segments, in registration order.
+    segments: Vec<Segment>,
+    /// Per-node id lists (grown on demand to the owning node's index).
+    by_node: Vec<Vec<SegmentId>>,
 }
 
 impl PathRegistry {
@@ -22,42 +42,91 @@ impl PathRegistry {
         Self::default()
     }
 
-    /// Registers a segment under its first AS. Duplicate registrations
-    /// are ignored.
-    pub fn register(&mut self, segment: Segment) {
-        let entry = self.by_as.entry(segment.first()).or_default();
-        if !entry.contains(&segment) {
-            entry.push(segment);
+    /// Creates an empty registry with per-node tables pre-sized for
+    /// `graph` (avoids growth during beaconing).
+    #[must_use]
+    pub fn for_graph(graph: &AsGraph) -> Self {
+        PathRegistry {
+            segments: Vec::new(),
+            by_node: vec![Vec::new(); graph.node_count()],
         }
     }
 
-    /// All segments registered for `asn` (those starting at `asn`).
+    /// Registers a segment under its first AS, returning its id.
+    /// Duplicate registrations and segments whose first AS is unknown to
+    /// `graph` are ignored (returning the existing id or `None`).
+    pub fn register(&mut self, graph: &AsGraph, segment: Segment) -> Option<SegmentId> {
+        let node = graph.index_of(segment.first()).ok()? as usize;
+        if node >= self.by_node.len() {
+            self.by_node.resize_with(node + 1, Vec::new);
+        }
+        if let Some(&existing) = self.by_node[node]
+            .iter()
+            .find(|id| self.segments[id.index()] == segment)
+        {
+            return Some(existing);
+        }
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(segment);
+        self.by_node[node].push(id);
+        Some(id)
+    }
+
+    /// Resolves a segment id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this registry.
     #[must_use]
-    pub fn segments_of(&self, asn: Asn) -> &[Segment] {
-        self.by_as.get(&asn).map_or(&[], Vec::as_slice)
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.index()]
+    }
+
+    /// The ids of all segments registered for the AS at `node` (those
+    /// starting there), in registration order.
+    #[must_use]
+    pub fn ids_of_index(&self, node: u32) -> &[SegmentId] {
+        self.by_node.get(node as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// All segments registered for the AS at dense index `node`.
+    pub fn segments_of_index(&self, node: u32) -> impl Iterator<Item = &Segment> + '_ {
+        self.ids_of_index(node)
+            .iter()
+            .map(|id| &self.segments[id.index()])
+    }
+
+    /// All segments registered for `asn` (empty for unknown ASes).
+    pub fn segments_of<'a>(
+        &'a self,
+        graph: &AsGraph,
+        asn: Asn,
+    ) -> impl Iterator<Item = &'a Segment> + 'a {
+        let node = graph.index_of(asn).unwrap_or(u32::MAX);
+        self.segments_of_index(node)
     }
 
     /// Segments of `asn` with the given kind.
-    pub fn segments_of_kind(
-        &self,
+    pub fn segments_of_kind<'a>(
+        &'a self,
+        graph: &AsGraph,
         asn: Asn,
         kind: SegmentKind,
-    ) -> impl Iterator<Item = &Segment> + '_ {
-        self.segments_of(asn)
-            .iter()
+    ) -> impl Iterator<Item = &'a Segment> + 'a {
+        self.segments_of(graph, asn)
             .filter(move |s| s.kind() == kind)
     }
 
     /// Total number of registered segments.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.by_as.values().map(Vec::len).sum()
+        self.segments.len()
     }
 
     /// Returns `true` if the registry holds no segments.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.by_as.is_empty()
+        self.segments.is_empty()
     }
 
     /// Joins an up-segment of `src` with a (reversed) up-segment of `dst`
@@ -69,16 +138,16 @@ impl PathRegistry {
     ///
     /// Returns all distinct loop-free joined paths, shortest first.
     #[must_use]
-    pub fn lookup_paths(&self, src: Asn, dst: Asn) -> Vec<Vec<Asn>> {
+    pub fn lookup_paths(&self, graph: &AsGraph, src: Asn, dst: Asn) -> Vec<Vec<Asn>> {
         let mut paths: Vec<Vec<Asn>> = Vec::new();
         // Direct agreement/up segments from src to dst.
-        for segment in self.segments_of(src) {
+        for segment in self.segments_of(graph, src) {
             if segment.last() == dst {
                 paths.push(segment.hops().to_vec());
             }
         }
-        for up in self.segments_of_kind(src, SegmentKind::Up) {
-            for dst_up in self.segments_of_kind(dst, SegmentKind::Up) {
+        for up in self.segments_of_kind(graph, src, SegmentKind::Up) {
+            for dst_up in self.segments_of_kind(graph, dst, SegmentKind::Up) {
                 if up.last() == dst_up.last() {
                     // Shared core AS: up ⋈ down.
                     let mut joined = up.hops().to_vec();
@@ -86,7 +155,7 @@ impl PathRegistry {
                     push_if_loop_free(&mut paths, joined);
                 } else {
                     // Distinct cores: splice a registered core-segment.
-                    for core in self.segments_of_kind(up.last(), SegmentKind::Core) {
+                    for core in self.segments_of_kind(graph, up.last(), SegmentKind::Core) {
                         if core.last() != dst_up.last() {
                             continue;
                         }
@@ -125,21 +194,50 @@ mod tests {
 
     #[test]
     fn register_and_lookup() {
-        let mut reg = PathRegistry::new();
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
         let s = seg(SegmentKind::Up, &['H', 'D', 'A']);
-        reg.register(s.clone());
-        reg.register(s.clone());
+        let id = reg.register(&g, s.clone()).unwrap();
+        let dup = reg.register(&g, s.clone()).unwrap();
         assert_eq!(reg.len(), 1, "duplicates ignored");
-        assert_eq!(reg.segments_of(asn('H')), &[s]);
-        assert!(reg.segments_of(asn('D')).is_empty());
+        assert_eq!(id, dup, "duplicate registration returns the same id");
+        assert_eq!(reg.segment(id), &s);
+        let of_h: Vec<_> = reg.segments_of(&g, asn('H')).collect();
+        assert_eq!(of_h, vec![&s]);
+        assert_eq!(reg.segments_of(&g, asn('D')).count(), 0);
+        let h = g.index_of(asn('H')).unwrap();
+        assert_eq!(reg.ids_of_index(h), &[id]);
+        assert_eq!(reg.segments_of_index(h).count(), 1);
+    }
+
+    #[test]
+    fn unknown_owner_is_rejected_and_queries_are_empty() {
+        let g = fig1();
+        // A segment of a different graph whose first AS fig1 lacks.
+        let mut b = pan_topology::AsGraphBuilder::new();
+        b.add_link(
+            Asn::new(100),
+            Asn::new(101),
+            pan_topology::Relationship::ProviderToCustomer,
+        )
+        .unwrap();
+        let other = b.build().unwrap();
+        let mut reg = PathRegistry::for_graph(&g);
+        let foreign =
+            Segment::new(&other, SegmentKind::Up, vec![Asn::new(101), Asn::new(100)]).unwrap();
+        assert_eq!(reg.register(&g, foreign), None);
+        assert!(reg.is_empty());
+        assert_eq!(reg.segments_of(&g, Asn::new(999)).count(), 0);
+        assert_eq!(reg.ids_of_index(10_000), &[] as &[SegmentId]);
     }
 
     #[test]
     fn join_over_shared_core() {
-        let mut reg = PathRegistry::new();
-        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
-        reg.register(seg(SegmentKind::Up, &['G', 'B', 'A']));
-        let paths = reg.lookup_paths(asn('H'), asn('G'));
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
+        reg.register(&g, seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(&g, seg(SegmentKind::Up, &['G', 'B', 'A']));
+        let paths = reg.lookup_paths(&g, asn('H'), asn('G'));
         assert_eq!(paths.len(), 1);
         assert_eq!(
             paths[0],
@@ -149,20 +247,22 @@ mod tests {
 
     #[test]
     fn no_shared_core_no_path() {
-        let mut reg = PathRegistry::new();
-        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
-        reg.register(seg(SegmentKind::Up, &['I', 'E', 'B']));
-        assert!(reg.lookup_paths(asn('H'), asn('I')).is_empty());
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
+        reg.register(&g, seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(&g, seg(SegmentKind::Up, &['I', 'E', 'B']));
+        assert!(reg.lookup_paths(&g, asn('H'), asn('I')).is_empty());
     }
 
     #[test]
     fn core_segment_splices_distinct_cores() {
-        let mut reg = PathRegistry::new();
-        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
-        reg.register(seg(SegmentKind::Up, &['I', 'E', 'B']));
-        reg.register(seg(SegmentKind::Core, &['A', 'B']));
-        reg.register(seg(SegmentKind::Core, &['B', 'A']));
-        let paths = reg.lookup_paths(asn('H'), asn('I'));
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
+        reg.register(&g, seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(&g, seg(SegmentKind::Up, &['I', 'E', 'B']));
+        reg.register(&g, seg(SegmentKind::Core, &['A', 'B']));
+        reg.register(&g, seg(SegmentKind::Core, &['B', 'A']));
+        let paths = reg.lookup_paths(&g, asn('H'), asn('I'));
         assert_eq!(
             paths,
             vec![vec![
@@ -175,7 +275,7 @@ mod tests {
             ]]
         );
         // And the reverse direction works symmetrically.
-        let back = reg.lookup_paths(asn('I'), asn('H'));
+        let back = reg.lookup_paths(&g, asn('I'), asn('H'));
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].first(), Some(&asn('I')));
         assert_eq!(back[0].last(), Some(&asn('H')));
@@ -183,23 +283,38 @@ mod tests {
 
     #[test]
     fn agreement_segments_are_direct_paths() {
-        let mut reg = PathRegistry::new();
-        reg.register(seg(SegmentKind::Agreement, &['D', 'E', 'B']));
-        let paths = reg.lookup_paths(asn('D'), asn('B'));
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
+        reg.register(&g, seg(SegmentKind::Agreement, &['D', 'E', 'B']));
+        let paths = reg.lookup_paths(&g, asn('D'), asn('B'));
         assert_eq!(paths, vec![vec![asn('D'), asn('E'), asn('B')]]);
     }
 
     #[test]
     fn kind_filter() {
-        let mut reg = PathRegistry::new();
-        reg.register(seg(SegmentKind::Up, &['H', 'D', 'A']));
-        reg.register(seg(SegmentKind::Agreement, &['H', 'D', 'C']));
-        assert_eq!(reg.segments_of_kind(asn('H'), SegmentKind::Up).count(), 1);
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
+        reg.register(&g, seg(SegmentKind::Up, &['H', 'D', 'A']));
+        reg.register(&g, seg(SegmentKind::Agreement, &['H', 'D', 'C']));
         assert_eq!(
-            reg.segments_of_kind(asn('H'), SegmentKind::Agreement)
+            reg.segments_of_kind(&g, asn('H'), SegmentKind::Up).count(),
+            1
+        );
+        assert_eq!(
+            reg.segments_of_kind(&g, asn('H'), SegmentKind::Agreement)
                 .count(),
             1
         );
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = fig1();
+        let mut reg = PathRegistry::for_graph(&g);
+        reg.register(&g, seg(SegmentKind::Up, &['H', 'D', 'A']));
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: PathRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reg);
     }
 }

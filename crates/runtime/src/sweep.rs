@@ -134,6 +134,44 @@ impl ScenarioSweep {
             .map(items, |i, item| f(i, item, item_rng(self.master_seed, i)))
     }
 
+    /// Like [`run`](Self::run), but hands every worker a private scratch
+    /// state created by `init` (see [`ThreadPool::run_with`]) *and* every
+    /// item its derived RNG stream. The combination batch discovery
+    /// needs: reusable per-worker buffers without sacrificing
+    /// thread-count-independent randomness.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` on any worker.
+    pub fn run_with<S, R, I, F>(&self, count: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, ChaCha12Rng) -> R + Sync,
+    {
+        self.pool.run_with(count, init, |state, i| {
+            f(state, i, item_rng(self.master_seed, i))
+        })
+    }
+
+    /// Maps `f` over `items` with a per-worker scratch state and
+    /// per-item RNG streams; see [`run_with`](Self::run_with).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` on any worker.
+    pub fn map_with<S, T, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T, ChaCha12Rng) -> R + Sync,
+    {
+        self.run_with(items.len(), init, |state, i, rng| {
+            f(state, i, &items[i], rng)
+        })
+    }
+
     /// Map-reduce: maps `f` over `0..count` and folds the results in
     /// index order, so the reduction is as deterministic as the map.
     ///
@@ -179,6 +217,39 @@ mod tests {
         let concatenated =
             sweep.run_reduce(5, |i, _rng| i.to_string(), String::new(), |acc, s| acc + &s);
         assert_eq!(concatenated, "01234");
+    }
+
+    #[test]
+    fn map_with_is_thread_count_independent() {
+        let items: Vec<u32> = (0..64).collect();
+        let reference = ScenarioSweep::sequential(5).map_with(
+            &items,
+            Vec::<u64>::new,
+            |scratch, i, &item, mut rng| {
+                scratch.push(u64::from(item)); // scratch history must not leak
+                (i, rng.gen::<u64>())
+            },
+        );
+        for threads in [2, 4, 8] {
+            let parallel = ScenarioSweep::new(ThreadPool::new(threads), 5).map_with(
+                &items,
+                Vec::<u64>::new,
+                |scratch, i, &item, mut rng| {
+                    scratch.push(u64::from(item));
+                    (i, rng.gen::<u64>())
+                },
+            );
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn run_with_hands_out_item_indexed_streams() {
+        let sweep = ScenarioSweep::new(ThreadPool::new(3), 13);
+        let out = sweep.run_with(8, || 0u8, |_s, i, mut rng| rng.gen::<u64>() ^ i as u64);
+        for (i, &draw) in out.iter().enumerate() {
+            assert_eq!(draw, item_rng(13, i).gen::<u64>() ^ i as u64);
+        }
     }
 
     #[test]

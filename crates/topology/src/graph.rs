@@ -238,6 +238,31 @@ impl CsrAdjacency {
     fn contains(&self, asns: &[Asn], of: u32, neighbor: u32, class: usize) -> bool {
         Self::position_in(self.class_slice(of, class), asns, neighbor).is_some()
     }
+
+    /// Position of `neighbor` within the full packed neighbor row of
+    /// `of` (providers, then peers, then customers), if adjacent.
+    #[inline]
+    fn position_in_row(&self, asns: &[Asn], of: u32, neighbor: u32) -> Option<usize> {
+        let row_start = self.segment(of, CLASS_PROVIDER).start;
+        for class in [CLASS_PROVIDER, CLASS_PEER, CLASS_CUSTOMER] {
+            let range = self.segment(of, class);
+            if let Some(pos) = Self::position_in(&self.neighbors[range.clone()], asns, neighbor) {
+                return Some(range.start - row_start + pos);
+            }
+        }
+        None
+    }
+
+    /// The packed link-id slice parallel to the full neighbor row of
+    /// `node`.
+    #[inline]
+    fn link_row(&self, node: u32) -> &[u32] {
+        let base = node as usize * CLASSES;
+        if base + CLASSES >= self.offsets.len() {
+            return &[];
+        }
+        &self.link_ids[self.offsets[base] as usize..self.offsets[base + CLASSES] as usize]
+    }
 }
 
 /// An immutable AS-level topology: the paper's mixed graph `G = (A, L↔, L↑)`.
@@ -372,6 +397,38 @@ impl AsGraph {
     #[must_use]
     pub fn provider_peer_indices(&self, idx: u32) -> &[u32] {
         self.adjacency.span_slice(idx, CLASS_PROVIDER, CLASS_PEER)
+    }
+
+    /// Class boundaries within [`neighbor_indices`](Self::neighbor_indices):
+    /// positions `..b.0` are providers, `b.0..b.1` peers, and `b.1..` are
+    /// customers. Lets dense per-entry tables (flows, pricing) classify a
+    /// packed row position without any per-entry lookup.
+    #[inline]
+    #[must_use]
+    pub fn class_boundaries(&self, idx: u32) -> (usize, usize) {
+        let providers = self.provider_indices(idx).len();
+        let peers = self.peer_indices(idx).len();
+        (providers, providers + peers)
+    }
+
+    /// Position of `neighbor` within the packed neighbor row of `of`
+    /// ([`neighbor_indices`](Self::neighbor_indices) order), if the two
+    /// are adjacent — the dense-row counterpart of
+    /// [`neighbor_kind_by_index`](Self::neighbor_kind_by_index).
+    #[inline]
+    #[must_use]
+    pub fn neighbor_position(&self, of: u32, neighbor: u32) -> Option<usize> {
+        self.adjacency.position_in_row(&self.asns, of, neighbor)
+    }
+
+    /// The link indices parallel to [`neighbor_indices`](Self::neighbor_indices):
+    /// entry `p` is the [`LinkId`] index of the link to the `p`-th packed
+    /// neighbor, so per-[`LinkId`] tables can be joined against a row with
+    /// indexed loads only.
+    #[inline]
+    #[must_use]
+    pub fn neighbor_link_indices(&self, idx: u32) -> &[u32] {
+        self.adjacency.link_row(idx)
     }
 
     fn neighbor_iter(&self, asn: Asn, class: usize) -> NeighborIter<'_> {
@@ -717,6 +774,47 @@ mod tests {
                         g.neighbor_kind_by_index(x, y) == Some(kind),
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_position_agrees_with_packed_row() {
+        let g = fig1();
+        for x in 0..g.node_count() as u32 {
+            let row = g.neighbor_indices(x);
+            for (pos, &j) in row.iter().enumerate() {
+                assert_eq!(g.neighbor_position(x, j), Some(pos));
+            }
+            for y in 0..g.node_count() as u32 {
+                if !row.contains(&y) {
+                    assert_eq!(g.neighbor_position(x, y), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_boundaries_partition_the_row() {
+        let g = fig1();
+        for x in 0..g.node_count() as u32 {
+            let (p_end, e_end) = g.class_boundaries(x);
+            let row = g.neighbor_indices(x);
+            assert_eq!(&row[..p_end], g.provider_indices(x));
+            assert_eq!(&row[p_end..e_end], g.peer_indices(x));
+            assert_eq!(&row[e_end..], g.customer_indices(x));
+        }
+    }
+
+    #[test]
+    fn neighbor_link_indices_match_link_lookup() {
+        let g = fig1();
+        for x in 0..g.node_count() as u32 {
+            let row = g.neighbor_indices(x);
+            let links = g.neighbor_link_indices(x);
+            assert_eq!(row.len(), links.len());
+            for (&j, &l) in row.iter().zip(links) {
+                assert_eq!(g.link_id_between_indices(x, j), Some(LinkId(l)));
             }
         }
     }

@@ -10,10 +10,11 @@
 
 use pan_interconnect::agreements::extension::{remaining_allowance, PathExtension};
 use pan_interconnect::agreements::{
-    evaluate, Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer, FlowVolumeOutcome,
-    OperatingPoint,
+    evaluate, sweep_negotiation_grid, Agreement, AgreementScenario, CashOptimizer,
+    FlowVolumeOptimizer, FlowVolumeOutcome, GridConfig, OperatingPoint,
 };
 use pan_interconnect::econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
+use pan_interconnect::runtime::RunOptions;
 use pan_interconnect::topology::fixtures::{asn, fig1};
 
 fn baselines() -> (FlowVec, FlowVec) {
@@ -62,6 +63,12 @@ fn hostile_model() -> BusinessModel {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (opts, rest) = RunOptions::from_env();
+    assert!(
+        rest.is_empty(),
+        "unknown flags {rest:?}; known: --threads <N>, --seed <u64>"
+    );
+
     // ----- Classic peering (§III-B1) --------------------------------
     let model = friendly_model();
     let peering = Agreement::classic_peering(model.graph(), asn('D'), asn('E'))?;
@@ -158,6 +165,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  base target {:.2}, E's own usage {:.2}, sold to F {:.2}, remaining {:.2}",
                 target.total_allowance, own_usage, sold, remaining
+            );
+        }
+    }
+
+    // ----- Market-assumption map (§IV) -------------------------------
+    // Under which (reroute, attract) assumptions does the MA survive
+    // noisy baselines? The grid fans out over the pan-runtime pool and
+    // is bit-identical at any --threads value.
+    let model = friendly_model();
+    let ma = Agreement::mutuality(model.graph(), asn('D'), asn('E'))?;
+    let (fd, fe) = baselines();
+    let grid = GridConfig {
+        master_seed: opts.seed,
+        ..GridConfig::default()
+    };
+    let cells = sweep_negotiation_grid(&model, &ma, &fd, &fe, &grid, &opts.pool())?;
+    println!(
+        "\nscenario grid ({} cells × {} noisy trials, {} worker threads):",
+        cells.len(),
+        grid.trials_per_cell,
+        opts.threads
+    );
+    for cell in &cells {
+        if cell.attract_share == 0.0 {
+            println!(
+                "  reroute {:.2}: conclusion rate {:4.0}%, mean joint utility {:.2}",
+                cell.reroute_share,
+                cell.conclusion_rate() * 100.0,
+                cell.mean_joint_utility
             );
         }
     }

@@ -14,16 +14,22 @@
 //! end to end.
 
 use pan_interconnect::datasets::{InternetConfig, SyntheticInternet};
-use pan_interconnect::pathdiv::diversity::{analyze_sample, DiversityConfig};
+use pan_interconnect::pathdiv::diversity::{analyze_sample_pooled, DiversityConfig};
 use pan_interconnect::pathdiv::figures::{fig3_series, is_stochastically_ordered};
 use pan_interconnect::pathdiv::ma_stats::MaPopulation;
+use pan_interconnect::runtime::RunOptions;
 use pan_interconnect::topology::caida;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = match std::env::args().nth(1) {
+    let (opts, rest) = RunOptions::from_env();
+    assert!(
+        rest.len() <= 1,
+        "usage: caida_analysis [snapshot.as-rel2.txt] [--threads N] [--seed S]"
+    );
+    let graph = match rest.first() {
         Some(path) => {
             println!("parsing CAIDA snapshot {path} …");
-            let text = std::fs::read_to_string(&path)?;
+            let text = std::fs::read_to_string(path)?;
             caida::parse(&text)?
         }
         None => {
@@ -33,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     num_ases: 800,
                     ..InternetConfig::default()
                 },
-                3,
+                opts.seed,
             )?;
             let path = std::env::temp_dir().join("pan-interconnect-synthetic.as-rel2.txt");
             std::fs::write(&path, caida::to_string(&net.graph))?;
@@ -56,14 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         population.segment_count_cdf().median().unwrap_or(0.0)
     );
 
-    // Fig. 3-style diversity analysis on a sample.
-    let report = analyze_sample(
+    // Fig. 3-style diversity analysis on a sample, fanned out over the
+    // pan-runtime pool (bit-identical at any --threads value).
+    let report = analyze_sample_pooled(
         &graph,
         &DiversityConfig {
             sample_size: 200,
-            seed: 42,
+            seed: opts.seed,
             top_n: vec![1, 5, 50],
         },
+        &opts.pool(),
     );
     let series = fig3_series(&report);
     assert!(is_stochastically_ordered(&series));

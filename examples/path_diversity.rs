@@ -5,36 +5,45 @@
 //! geodistance and bandwidth analyses, printing the headline numbers the
 //! paper reports.
 //!
-//! Run with: `cargo run --release --example path_diversity`
+//! Run with: `cargo run --release --example path_diversity [--threads N] [--seed S]`
 
 use pan_interconnect::datasets::{InternetConfig, SyntheticInternet};
-use pan_interconnect::pathdiv::bandwidth::{analyze as analyze_bw, BandwidthConfig};
-use pan_interconnect::pathdiv::diversity::{analyze_sample, DiversityConfig};
-use pan_interconnect::pathdiv::geodistance::{analyze as analyze_geo, GeodistanceConfig};
+use pan_interconnect::pathdiv::bandwidth::{analyze_pooled as analyze_bw, BandwidthConfig};
+use pan_interconnect::pathdiv::diversity::{analyze_sample_pooled, DiversityConfig};
+use pan_interconnect::pathdiv::geodistance::{analyze_pooled as analyze_geo, GeodistanceConfig};
+use pan_interconnect::runtime::RunOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (opts, rest) = RunOptions::from_env();
+    assert!(
+        rest.is_empty(),
+        "unknown flags {rest:?}; known: --threads <N>, --seed <u64>"
+    );
+    let pool = opts.pool();
     let net = SyntheticInternet::generate(
         &InternetConfig {
             num_ases: 1_000,
             ..InternetConfig::default()
         },
-        7,
+        opts.seed,
     )?;
     println!(
-        "synthetic Internet: {} ASes, {} transit + {} peering links",
+        "synthetic Internet: {} ASes, {} transit + {} peering links ({} worker threads)",
         net.graph.node_count(),
         net.graph.transit_link_count(),
-        net.graph.peering_link_count()
+        net.graph.peering_link_count(),
+        opts.threads
     );
 
     // ---- Fig. 3/4: paths and destinations --------------------------
-    let report = analyze_sample(
+    let report = analyze_sample_pooled(
         &net.graph,
         &DiversityConfig {
             sample_size: 150,
-            seed: 1,
+            seed: opts.seed,
             top_n: vec![1, 5, 50],
         },
+        &pool,
     );
     println!(
         "\nlength-3 paths per AS (sample of {}):",
@@ -66,8 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &net.geo,
         &GeodistanceConfig {
             sample_size: 150,
-            seed: 1,
+            seed: opts.seed,
         },
+        &pool,
     );
     println!("\ngeodistance ({} AS pairs):", geo.pairs.len());
     println!(
@@ -91,8 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &net.capacities,
         &BandwidthConfig {
             sample_size: 150,
-            seed: 1,
+            seed: opts.seed,
         },
+        &pool,
     );
     println!("\nbandwidth ({} AS pairs):", bw.pairs.len());
     println!(

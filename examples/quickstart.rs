@@ -5,16 +5,24 @@
 //! with both optimization methods of §IV, and ships a packet over the
 //! newly authorized GRC-violating path in the PAN simulator.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart [--threads N] [--seed S]`
 
 use pan_interconnect::agreements::{
-    Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer, FlowVolumeOutcome,
+    sweep_negotiation_grid, Agreement, AgreementScenario, CashOptimizer, FlowVolumeOptimizer,
+    FlowVolumeOutcome, GridConfig,
 };
 use pan_interconnect::econ::{BusinessModel, CostFunction, FlowVec, PricingBook, PricingFunction};
 use pan_interconnect::pan::Network;
+use pan_interconnect::runtime::RunOptions;
 use pan_interconnect::topology::fixtures::{asn, fig1};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (opts, rest) = RunOptions::from_env();
+    assert!(
+        rest.is_empty(),
+        "unknown flags {rest:?}; known: --threads <N>, --seed <u64>"
+    );
+
     // 1. The Fig. 1 topology.
     let graph = fig1();
     println!(
@@ -87,7 +95,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 7. Authorize the agreement in the PAN and use a new path.
+    // 7. Market-assumption robustness: sweep the (reroute, attract)
+    //    scenario grid in parallel over the pan-runtime pool — results
+    //    are bit-identical at any --threads value.
+    let (flows_d, flows_e) = {
+        let mut fd = FlowVec::new(asn('D'));
+        fd.set(asn('A'), 30.0);
+        fd.set(asn('H'), 25.0);
+        fd.set(asn('E'), 5.0);
+        let mut fe = FlowVec::new(asn('E'));
+        fe.set(asn('B'), 28.0);
+        fe.set(asn('I'), 22.0);
+        fe.set(asn('D'), 5.0);
+        (fd, fe)
+    };
+    let grid = GridConfig {
+        master_seed: opts.seed,
+        ..GridConfig::default()
+    };
+    let cells = sweep_negotiation_grid(&model, &ma, &flows_d, &flows_e, &grid, &opts.pool())?;
+    let robust = cells.iter().filter(|c| c.conclusion_rate() > 0.5).count();
+    println!(
+        "scenario grid ({} cells × {} noisy trials, {} worker threads): \
+         {robust} cells conclude in most trials",
+        cells.len(),
+        grid.trials_per_cell,
+        opts.threads
+    );
+
+    // 8. Authorize the agreement in the PAN and use a new path.
     let mut network = Network::new(model.graph().clone());
     assert!(
         network.send(&[asn('D'), asn('E'), asn('B')]).is_err(),

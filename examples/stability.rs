@@ -10,14 +10,21 @@
 //!    forwarding follows the header path and terminates after exactly
 //!    `len − 1` hops, no matter which agreements exist.
 //!
-//! Run with: `cargo run --example stability`
+//! Run with: `cargo run --example stability [--threads N] [--seed S]`
 
 use pan_interconnect::agreements::Agreement;
+use pan_interconnect::bgp::batch::{run_schedule_batch, ScheduleBatch};
 use pan_interconnect::bgp::{gadgets, stable_paths, Engine, RunResult, Schedule};
 use pan_interconnect::pan::Network;
+use pan_interconnect::runtime::RunOptions;
 use pan_interconnect::topology::fixtures::{asn, fig1};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (opts, rest) = RunOptions::from_env();
+    assert!(
+        rest.is_empty(),
+        "unknown flags {rest:?}; known: --threads <N>, --seed <u64>"
+    );
     println!("== BGP: the next-hop principle needs the GRC ==\n");
 
     // The Fig. 1 wedgie: D and E forward provider routes to each other.
@@ -49,6 +56,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let route_d = state[&asn('D')].as_ref().map(ToString::to_string);
         println!("  {name}: D routes via {route_d:?}");
     }
+
+    // The wedgie at scale: a batch of random activation schedules over
+    // the pan-runtime pool — every run converges, but to which stable
+    // state is schedule-dependent (the non-determinism the PAN removes).
+    let batch = run_schedule_batch(
+        &wedgie,
+        &ScheduleBatch {
+            schedules: 64,
+            max_rounds: 200,
+            master_seed: opts.seed,
+        },
+        &opts.pool(),
+    );
+    println!(
+        "64 random activation schedules ({} worker threads): {} converged, \
+         {} distinct stable states — outcome depends on timing alone",
+        opts.threads, batch.converged, batch.distinct_stable_states
+    );
 
     // Adding C with similar agreements: BAD GADGET.
     let bad = gadgets::fig1_bad_gadget();

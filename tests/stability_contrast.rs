@@ -100,7 +100,11 @@ fn beaconing_discovers_provider_paths_on_synthetic_internet() {
             continue;
         }
         total += 1;
-        if registry.segments_of_kind(a, SegmentKind::Up).count() > 0 {
+        if registry
+            .segments_of_kind(&net.graph, a, SegmentKind::Up)
+            .count()
+            > 0
+        {
             covered += 1;
         }
     }
@@ -111,7 +115,7 @@ fn beaconing_discovers_provider_paths_on_synthetic_internet() {
     let network = Network::new(net.graph.clone());
     let mut checked = 0usize;
     for a in net.graph.ases().take(40) {
-        for segment in registry.segments_of_kind(a, SegmentKind::Up) {
+        for segment in registry.segments_of_kind(&net.graph, a, SegmentKind::Up) {
             network
                 .send(segment.hops())
                 .expect("beaconed segments are GRC-conforming");
