@@ -24,59 +24,12 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use pan_bench::{print_header, ScenarioSpec};
+use pan_bench::{print_header, synthetic_economics, ScenarioSpec};
 use pan_core::discovery::{
     discover, enumerate_candidates, evaluate_candidate_legacy, BatchContext, CandidatePolicy,
     DiscoveryConfig, DiscoveryReport, PairOutcome,
 };
-use pan_datasets::{SyntheticInternet, Tier};
-use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
-use pan_topology::Asn;
-
-/// Deterministic per-link price jitter in `[0.85, 1.15]` (FNV-1a over the
-/// endpoint ASNs), giving the synthetic economy the heterogeneity that
-/// makes discovery rankings non-trivial.
-fn link_jitter(a: Asn, b: Asn) -> f64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in [a.get(), b.get()] {
-        hash ^= u64::from(v);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    0.85 + (hash % 1000) as f64 * 0.0003
-}
-
-/// Tier-aware synthetic economy: stubs pay the steepest transit rates
-/// and earn the most end-host revenue; the core is cheap to run.
-fn synthetic_economics(net: &SyntheticInternet) -> DenseEconomics {
-    DenseEconomics::build(
-        &net.graph,
-        |provider, customer| {
-            let base = match net.tier(customer) {
-                Tier::Stub => 3.0,
-                Tier::Transit => 2.2,
-                Tier::Tier1 => 2.0,
-            };
-            PricingFunction::per_usage(base * link_jitter(provider, customer))
-                .expect("positive rates are valid")
-        },
-        |asn| {
-            let rate = match net.tier(asn) {
-                Tier::Stub => 3.0,
-                Tier::Transit => 1.2,
-                Tier::Tier1 => 0.8,
-            };
-            PricingFunction::per_usage(rate).expect("positive rates are valid")
-        },
-        |asn| {
-            let rate = match net.tier(asn) {
-                Tier::Stub => 0.08,
-                Tier::Transit => 0.04,
-                Tier::Tier1 => 0.02,
-            };
-            CostFunction::linear(rate).expect("positive rates are valid")
-        },
-    )
-}
+use pan_econ::FlowMatrix;
 
 #[derive(Debug, Serialize)]
 struct BenchRecord {

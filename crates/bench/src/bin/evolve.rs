@@ -1,0 +1,231 @@
+//! Multi-round agreement adoption dynamics on a synthetic internet:
+//! discover profitable mutuality agreements, adopt the best, let flows
+//! and cash respond, optionally shock the market, and repeat until the
+//! economy reaches a fixed point (or the round cap).
+//!
+//! ```console
+//! evolve --quick --threads 4                   # CI smoke: 10k ASes, 4 rounds
+//! evolve --rounds 20 --adopt-top 50 --shock 0.3
+//! evolve --khop 2 --rounds 8                   # prospective pairs create links
+//! ```
+//!
+//! Accepts the shared [`ScenarioSpec`] flags (notably `--rounds`,
+//! `--adopt-top`, `--min-surplus`, `--shock`) plus:
+//!
+//! - `--bench-out <path>`: write the round-by-round trajectory as a JSON
+//!   record (`BENCH_evolution.json`).
+//!
+//! Timings go to **stderr** so stdout stays byte-identical at any
+//! `--threads` value — the property the CI `evolution-smoke` job diffs.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pan_bench::{print_header, synthetic_economics, ScenarioSpec};
+use pan_core::discovery::{CandidatePolicy, DiscoveryConfig};
+use pan_core::dynamics::{evolve, EvolutionConfig, EvolutionReport, MarketState};
+use pan_econ::FlowMatrix;
+
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    ases: usize,
+    threads: usize,
+    rounds_configured: usize,
+    adopt_top: usize,
+    shock: f64,
+    fixed_point: bool,
+    total_adopted: usize,
+    total_surplus: f64,
+    new_links: usize,
+    seconds: f64,
+    report: EvolutionReport,
+}
+
+fn print_report(report: &EvolutionReport) {
+    println!(
+        "{:<6} {:>10} {:>9} {:>14} {:>8} {:>14} {:>6} {:>7} {:>7} {:>14}",
+        "round",
+        "candidates",
+        "cash-ok",
+        "surplus-seen",
+        "adopted",
+        "surplus-taken",
+        "links",
+        "shocks",
+        "fails",
+        "total-flow"
+    );
+    for r in &report.rounds {
+        println!(
+            "{:<6} {:>10} {:>9} {:>14.3} {:>8} {:>14.3} {:>6} {:>7} {:>7} {:>14.1}",
+            r.round,
+            r.candidates,
+            r.concluded_cash,
+            r.discovered_surplus,
+            r.adopted,
+            r.adopted_surplus,
+            r.new_links,
+            r.price_shocks,
+            r.failed_links,
+            r.total_flow,
+        );
+    }
+    println!(
+        "# {} after {} rounds: {} agreements adopted, cumulative surplus {:.3}, {} new peering links",
+        if report.fixed_point {
+            "fixed point"
+        } else {
+            "round cap"
+        },
+        report.rounds.len(),
+        report.total_adopted(),
+        report.total_surplus,
+        report.agreements.iter().filter(|a| a.new_link).count(),
+    );
+    if !report.agreements.is_empty() {
+        println!(
+            "{:<5} {:>9} {:>9} {:>5} {:>5} {:>4} {:>11} {:>14} {:>14}",
+            "#", "X", "Y", "round", "hops", "new", "point r/a", "joint", "transfer X→Y"
+        );
+        for (rank, a) in report.agreements.iter().take(10).enumerate() {
+            println!(
+                "{:<5} {:>9} {:>9} {:>5} {:>5} {:>4} {:>11} {:>14.3} {:>14.3}",
+                rank + 1,
+                a.x.to_string(),
+                a.y.to_string(),
+                a.round,
+                a.peering_hops,
+                if a.new_link { "yes" } else { "—" },
+                format!("{:.2}/{:.2}", a.reroute, a.attract),
+                a.joint_utility,
+                a.transfer_x_to_y,
+            );
+        }
+    }
+}
+
+fn main() {
+    let (mut spec, rest) = ScenarioSpec::from_args(std::env::args());
+    let mut bench_out: Option<String> = None;
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--bench-out" => {
+                bench_out = Some(
+                    rest.next()
+                        .unwrap_or_else(|| panic!("--bench-out requires a value")),
+                );
+            }
+            other => panic!("unknown flag {other:?}; evolve adds: --bench-out <path>"),
+        }
+    }
+    if spec.ases == 0 {
+        // Like `discover`, the evolution workload is internet-scale by
+        // definition; --quick keeps the grid coarse and the rounds few.
+        spec.ases = 10_000;
+    }
+    let grid = if spec.quick {
+        spec.discovery.grid.min(3)
+    } else {
+        spec.discovery.grid
+    };
+    let rounds = if spec.quick {
+        spec.evolution.rounds.min(4)
+    } else {
+        spec.evolution.rounds
+    };
+
+    print_header(
+        "Evolution",
+        "multi-round agreement adoption dynamics to a market fixed point",
+        &spec,
+    );
+    let t_gen = Instant::now();
+    let net = spec.internet();
+    eprintln!(
+        "# generated {} ASes in {:.2}s",
+        net.graph.node_count(),
+        t_gen.elapsed().as_secs_f64()
+    );
+    println!(
+        "# topology: {} ASes, {} links ({} transit, {} peering)",
+        net.graph.node_count(),
+        net.graph.link_count(),
+        net.graph.transit_link_count(),
+        net.graph.peering_link_count()
+    );
+    let econ = synthetic_economics(&net);
+    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
+    let policy = if spec.discovery.khop <= 1 {
+        CandidatePolicy::PeeringAdjacent
+    } else {
+        CandidatePolicy::PeeringKHop {
+            k: spec.discovery.khop,
+            per_source_cap: spec.discovery.khop_cap,
+        }
+    };
+    let config = EvolutionConfig {
+        discovery: DiscoveryConfig {
+            policy,
+            reroute_share: spec.discovery.reroute_share,
+            attract_share: spec.discovery.attract_share,
+            grid,
+            noise: spec.discovery.noise,
+            top: 0,
+        },
+        rounds,
+        adopt_top: spec.evolution.adopt_top,
+        min_surplus: spec.evolution.min_surplus,
+        shock: spec.evolution.shock,
+    };
+    println!(
+        "# policy: {policy:?}, shares: reroute {} / attract {}, grid {grid}×{grid}, noise {}",
+        spec.discovery.reroute_share, spec.discovery.attract_share, spec.discovery.noise
+    );
+    println!(
+        "# rounds: {rounds}, adopt-top: {}, min-surplus: {}, shock: {}",
+        config.adopt_top, config.min_surplus, config.shock
+    );
+
+    let mut state =
+        MarketState::new(net.graph.clone(), econ, flows).expect("tables match the graph");
+    let t0 = Instant::now();
+    let report = evolve(&mut state, &config, &spec.sweep()).expect("evolution succeeds");
+    let seconds = t0.elapsed().as_secs_f64();
+
+    print_report(&report);
+    eprintln!(
+        "# evolved {} rounds in {seconds:.3}s ({:.3}s/round) at {} threads",
+        report.rounds.len(),
+        seconds / report.rounds.len().max(1) as f64,
+        spec.threads
+    );
+    if spec.json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("reports serialize")
+        );
+    }
+    if let Some(path) = bench_out {
+        let record = BenchRecord {
+            ases: spec.ases,
+            threads: spec.threads,
+            rounds_configured: rounds,
+            adopt_top: config.adopt_top,
+            shock: config.shock,
+            fixed_point: report.fixed_point,
+            total_adopted: report.total_adopted(),
+            total_surplus: report.total_surplus,
+            new_links: report.agreements.iter().filter(|a| a.new_link).count(),
+            seconds,
+            report: report.clone(),
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string(&record).expect("records serialize"),
+        )
+        .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        eprintln!("# wrote trajectory record to {path}");
+    }
+}

@@ -15,6 +15,7 @@
 //! | `fig6` | Fig. 6 | bandwidth: paths beating GRC max/median/min + increase CDF |
 //! | `all_figures` | all | everything above with quick settings |
 //! | `discover` | §III–IV at scale | profitable mutuality pairs of a 10k-AS internet, ranked by surplus |
+//! | `evolve` | §III–IV iterated | multi-round adoption dynamics: discover → adopt → shock → repeat, to a fixed point |
 //!
 //! All binaries share one declarative, serde-serializable
 //! [`ScenarioSpec`] (flags, `--spec file.json`, `--dump-spec`) instead
@@ -28,9 +29,11 @@
 
 mod spec;
 
-pub use spec::{DiscoverySpec, ScenarioSpec};
+pub use spec::{DiscoverySpec, EvolutionSpec, ScenarioSpec};
 
-use pan_datasets::SyntheticInternet;
+use pan_datasets::{SyntheticInternet, Tier};
+use pan_econ::{CostFunction, DenseEconomics, PricingFunction};
+use pan_topology::Asn;
 
 /// The standard evaluation topology of the spec: the full-size variant
 /// mirrors the structural richness the §VI analysis needs; the quick
@@ -38,6 +41,54 @@ use pan_datasets::SyntheticInternet;
 #[must_use]
 pub fn evaluation_internet(spec: &ScenarioSpec) -> SyntheticInternet {
     spec.internet()
+}
+
+/// Deterministic per-link price jitter in `[0.85, 1.15]` (FNV-1a over the
+/// endpoint ASNs), giving the synthetic economy the heterogeneity that
+/// makes discovery rankings non-trivial.
+#[must_use]
+pub fn link_jitter(a: Asn, b: Asn) -> f64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [a.get(), b.get()] {
+        hash ^= u64::from(v);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    0.85 + (hash % 1000) as f64 * 0.0003
+}
+
+/// Tier-aware synthetic economy shared by `discover` and `evolve`: stubs
+/// pay the steepest transit rates and earn the most end-host revenue;
+/// the core is cheap to run.
+#[must_use]
+pub fn synthetic_economics(net: &SyntheticInternet) -> DenseEconomics {
+    DenseEconomics::build(
+        &net.graph,
+        |provider, customer| {
+            let base = match net.tier(customer) {
+                Tier::Stub => 3.0,
+                Tier::Transit => 2.2,
+                Tier::Tier1 => 2.0,
+            };
+            PricingFunction::per_usage(base * link_jitter(provider, customer))
+                .expect("positive rates are valid")
+        },
+        |asn| {
+            let rate = match net.tier(asn) {
+                Tier::Stub => 3.0,
+                Tier::Transit => 1.2,
+                Tier::Tier1 => 0.8,
+            };
+            PricingFunction::per_usage(rate).expect("positive rates are valid")
+        },
+        |asn| {
+            let rate = match net.tier(asn) {
+                Tier::Stub => 0.08,
+                Tier::Transit => 0.04,
+                Tier::Tier1 => 0.02,
+            };
+            CostFunction::linear(rate).expect("positive rates are valid")
+        },
+    )
 }
 
 /// Sample size for per-AS analyses (paper: 500), honoring `--sample`.

@@ -53,6 +53,30 @@ impl Default for DiscoverySpec {
     }
 }
 
+/// Market-evolution knobs of a [`ScenarioSpec`] (the `evolve` binary).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionSpec {
+    /// Round cap (quick mode lowers this to 4).
+    pub rounds: usize,
+    /// Maximum agreements adopted per round.
+    pub adopt_top: usize,
+    /// Minimum NBS surplus an agreement must clear to be adopted.
+    pub min_surplus: f64,
+    /// Market-shock magnitude between rounds (`[0, 1]`, 0 = none).
+    pub shock: f64,
+}
+
+impl Default for EvolutionSpec {
+    fn default() -> Self {
+        EvolutionSpec {
+            rounds: 12,
+            adopt_top: 25,
+            min_surplus: 1e-3,
+            shock: 0.0,
+        }
+    }
+}
+
 /// Command-line/JSON specification shared by the figure binaries and
 /// `discover`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,6 +96,8 @@ pub struct ScenarioSpec {
     pub sample: usize,
     /// Discovery knobs (ignored by the figure binaries).
     pub discovery: DiscoverySpec,
+    /// Market-evolution knobs (used by `evolve` only).
+    pub evolution: EvolutionSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -84,13 +110,15 @@ impl Default for ScenarioSpec {
             ases: 0,
             sample: 0,
             discovery: DiscoverySpec::default(),
+            evolution: EvolutionSpec::default(),
         }
     }
 }
 
 const USAGE: &str = "--quick, --seed <u64>, --json, --threads <N>, --ases <N>, --sample <N>, \
      --reroute <f>, --attract <f>, --grid <N>, --khop <N>, --khop-cap <N>, --noise <f>, \
-     --top <N>, --spec <file.json>, --dump-spec";
+     --top <N>, --rounds <N>, --adopt-top <N>, --min-surplus <f>, --shock <f>, \
+     --spec <file.json>, --dump-spec";
 
 impl ScenarioSpec {
     /// Parses the shared flags from an `std::env::args`-style iterator
@@ -185,6 +213,25 @@ impl ScenarioSpec {
                 }
                 "--top" => {
                     spec.discovery.top = parsed(&value(&mut args, "--top"), "--top", "a count");
+                }
+                "--rounds" => {
+                    spec.evolution.rounds =
+                        parsed(&value(&mut args, "--rounds"), "--rounds", "a count");
+                }
+                "--adopt-top" => {
+                    spec.evolution.adopt_top =
+                        parsed(&value(&mut args, "--adopt-top"), "--adopt-top", "a count");
+                }
+                "--min-surplus" => {
+                    spec.evolution.min_surplus = parsed(
+                        &value(&mut args, "--min-surplus"),
+                        "--min-surplus",
+                        "a utility",
+                    );
+                }
+                "--shock" => {
+                    spec.evolution.shock =
+                        parsed(&value(&mut args, "--shock"), "--shock", "a fraction");
                 }
                 _ => rest.push(arg),
             }
@@ -312,6 +359,25 @@ mod tests {
         assert!(rest.is_empty());
         assert_eq!(spec.pool().threads(), 4);
         assert_eq!(spec.sweep().master_seed(), 7);
+    }
+
+    #[test]
+    fn parse_evolution_flags() {
+        let (spec, rest) = ScenarioSpec::from_args(args(&[
+            "--rounds",
+            "6",
+            "--adopt-top",
+            "40",
+            "--min-surplus",
+            "0.5",
+            "--shock",
+            "0.25",
+        ]));
+        assert!(rest.is_empty());
+        assert_eq!(spec.evolution.rounds, 6);
+        assert_eq!(spec.evolution.adopt_top, 40);
+        assert_eq!(spec.evolution.min_surplus, 0.5);
+        assert_eq!(spec.evolution.shock, 0.25);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl ChoiceSet {
                 reason: "need at least one finite claim value".to_owned(),
             });
         }
-        finite.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        finite.sort_unstable_by(f64::total_cmp);
         finite.dedup();
         let mut choices = Vec::with_capacity(finite.len() + 1);
         choices.push(f64::NEG_INFINITY);

@@ -48,14 +48,23 @@ pub enum CandidatePolicy {
     PeeringAdjacent,
     /// Every pair within `k` hops of the peering mesh: `k = 1` equals
     /// [`PeeringAdjacent`](Self::PeeringAdjacent); larger `k` adds
-    /// prospective partners that would first have to establish peering.
+    /// prospective partners that would first have to establish peering —
+    /// pairs already holding a *transit* relationship are excluded, as
+    /// they cannot additionally peer.
     /// `per_source_cap` bounds the pairs contributed per source AS
     /// (`0` = unbounded) — open-peering hubs otherwise make the 2-hop
-    /// neighborhood quadratic.
+    /// neighborhood quadratic. Each BFS level is enumerated in full
+    /// before the cap applies; if the cap lands inside a level, the
+    /// level's pairs are ranked by neighbor ASN and the smallest fill
+    /// the remaining budget. The surviving set is therefore a canonical
+    /// function of the topology — it cannot depend on CSR neighbor
+    /// order, as a mid-level break would.
     PeeringKHop {
         /// Maximum peering-mesh distance.
         k: u8,
-        /// Maximum candidate pairs per source AS (0 = unbounded).
+        /// Maximum candidate pairs per source AS (0 = unbounded),
+        /// filled in BFS-level order with an ASN tie-break inside the
+        /// last level.
         per_source_cap: usize,
     },
 }
@@ -98,13 +107,15 @@ pub fn enumerate_candidates(graph: &AsGraph, policy: CandidatePolicy) -> Vec<Can
             let mut stamp = vec![u32::MAX; n as usize];
             let mut frontier: Vec<u32> = Vec::new();
             let mut next: Vec<u32> = Vec::new();
+            let mut level: Vec<u32> = Vec::new();
             for x in 0..n {
                 stamp[x as usize] = x;
                 frontier.clear();
                 frontier.push(x);
                 let mut contributed = 0usize;
-                'depth: for depth in 1..=k {
+                for depth in 1..=k {
                     next.clear();
+                    level.clear();
                     for &u in &frontier {
                         for &v in graph.peer_indices(u) {
                             if stamp[v as usize] == x {
@@ -112,18 +123,41 @@ pub fn enumerate_candidates(graph: &AsGraph, policy: CandidatePolicy) -> Vec<Can
                             }
                             stamp[v as usize] = x;
                             next.push(v);
-                            if v > x {
-                                pairs.push(CandidatePair {
-                                    x,
-                                    y: v,
-                                    peering_hops: depth,
-                                });
-                                contributed += 1;
-                                if per_source_cap > 0 && contributed >= per_source_cap {
-                                    break 'depth;
-                                }
+                            // A prospective pair must be free to establish
+                            // peering: a pair that is k hops apart in the
+                            // peering mesh can still be directly linked by
+                            // a transit relationship, which rules it out
+                            // (depth 1 pairs are peers by construction).
+                            if v > x && (depth == 1 || graph.neighbor_kind_by_index(x, v).is_none())
+                            {
+                                level.push(v);
                             }
                         }
+                    }
+                    // The cap only ever applies to a *fully enumerated*
+                    // level. When it lands inside one, the level's pairs
+                    // are ranked by neighbor ASN and the smallest fill
+                    // the remaining budget — a canonical selection that
+                    // cannot depend on CSR neighbor order, as the old
+                    // mid-level break did.
+                    let truncated =
+                        if per_source_cap > 0 && contributed + level.len() > per_source_cap {
+                            level.sort_unstable_by_key(|&v| graph.asn_at(v));
+                            level.truncate(per_source_cap - contributed);
+                            true
+                        } else {
+                            false
+                        };
+                    contributed += level.len();
+                    for &v in &level {
+                        pairs.push(CandidatePair {
+                            x,
+                            y: v,
+                            peering_hops: depth,
+                        });
+                    }
+                    if truncated || (per_source_cap > 0 && contributed >= per_source_cap) {
+                        break;
                     }
                     std::mem::swap(&mut frontier, &mut next);
                 }
@@ -224,7 +258,7 @@ impl Default for DiscoveryConfig {
 }
 
 impl DiscoveryConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         for share in [self.reroute_share, self.attract_share, self.noise] {
             if !share.is_finite() || !(0.0..=1.0).contains(&share) {
                 return Err(AgreementError::InvalidFraction { value: share });
@@ -237,6 +271,22 @@ impl DiscoveryConfig {
             });
         }
         Ok(())
+    }
+
+    /// The effective `(reroute, attract)` shares for one candidate pair:
+    /// the configured shares with the per-pair noise jitter applied from
+    /// the pair's RNG stream. The single implementation both [`discover`]
+    /// and the dynamics engine draw from, so recorded
+    /// [`PairOutcome::shares`] are reproducible everywhere.
+    pub(crate) fn jittered_shares(&self, rng: &mut impl rand::Rng) -> (f64, f64) {
+        let (mut reroute, mut attract) = (self.reroute_share, self.attract_share);
+        if self.noise > 0.0 {
+            let jitter_r: f64 = rng.gen_range(-1.0..1.0);
+            let jitter_a: f64 = rng.gen_range(-1.0..1.0);
+            reroute = (reroute * (1.0 + self.noise * jitter_r)).clamp(0.0, 1.0);
+            attract = (attract * (1.0 + self.noise * jitter_a)).clamp(0.0, 1.0);
+        }
+        (reroute, attract)
     }
 }
 
@@ -283,6 +333,11 @@ pub struct PairOutcome {
     pub y: Asn,
     /// Peering-mesh distance of the pair (1 = existing peers).
     pub peering_hops: u8,
+    /// Effective `(reroute, attract)` shares the evaluation used — the
+    /// configured shares after any per-pair noise jitter. Recording them
+    /// makes every outcome exactly reproducible (and adoptable) without
+    /// replaying the sweep's RNG streams.
+    pub shares: (f64, f64),
     /// New segments gained by `X` / by `Y`.
     pub segments: (usize, usize),
     /// Flow-volume optimum, if the agreement concludes under Eq. (9).
@@ -324,6 +379,11 @@ impl DiscoveryReport {
     /// ranking rule lives — both the dense sweep and the legacy
     /// comparison engine in `pan-bench` build their reports here, so
     /// their outputs stay comparable by construction.
+    ///
+    /// Surpluses are ordered by [`f64::total_cmp`], so assembly never
+    /// panics on unusual inputs; the engines themselves reject
+    /// non-finite utilities ([`AgreementError::InvalidUtility`]), so
+    /// engine-produced surpluses are always finite.
     #[must_use]
     pub fn from_outcomes(mut outcomes: Vec<PairOutcome>, top: usize) -> Self {
         let concluded_flow_volume = outcomes.iter().filter(|o| o.flow_volume.is_some()).count();
@@ -331,8 +391,7 @@ impl DiscoveryReport {
         let total_surplus = outcomes.iter().map(|o| o.surplus).sum();
         outcomes.sort_by(|a, b| {
             b.surplus
-                .partial_cmp(&a.surplus)
-                .expect("surpluses are finite")
+                .total_cmp(&a.surplus)
                 .then_with(|| (a.x, a.y).cmp(&(b.x, b.y)))
         });
         let candidates = outcomes.len();
@@ -434,7 +493,12 @@ struct PartyProgram {
 /// partner's providers and peers, minus the beneficiary itself and minus
 /// the beneficiary's customers (§VI rule) — written into
 /// `targets` as positions in the **partner's** packed row.
-fn collect_targets(graph: &AsGraph, beneficiary: u32, partner: u32, targets: &mut Vec<u32>) {
+pub(crate) fn collect_targets(
+    graph: &AsGraph,
+    beneficiary: u32,
+    partner: u32,
+    targets: &mut Vec<u32>,
+) {
     let (_, e_end) = graph.class_boundaries(partner);
     let row = graph.neighbor_indices(partner);
     for (pos, &t) in row[..e_end].iter().enumerate() {
@@ -449,13 +513,21 @@ fn collect_targets(graph: &AsGraph, beneficiary: u32, partner: u32, targets: &mu
 }
 
 /// Evaluates one candidate pair on the dense tables over the uniform
-/// operating-point grid (clamped to at least 2 points per axis); the
-/// math of Eq. (3)/(7) with the default opportunity synthesis of
+/// operating-point grid; the math of Eq. (3)/(7) with the default
+/// opportunity synthesis of
 /// [`AgreementScenario::with_default_opportunities`].
 ///
 /// # Errors
 ///
-/// Propagates pricing errors for invalid flow volumes.
+/// - [`AgreementError::DimensionMismatch`] if `grid < 2` (a single grid
+///   point has no well-defined step; the legacy twin rejects it
+///   identically).
+/// - [`AgreementError::InvalidFraction`] for shares outside `[0, 1]`.
+/// - [`AgreementError::InvalidUtility`] if the economics produce a
+///   non-finite utility at any grid point (e.g. overflowing power-law
+///   prices) — surfaced as an error instead of silently ranking the
+///   pair as "no agreement".
+/// - Propagates pricing errors for invalid flow volumes.
 pub fn evaluate_candidate(
     ctx: &BatchContext<'_>,
     scratch: &mut PairScratch,
@@ -464,6 +536,17 @@ pub fn evaluate_candidate(
     attract_share: f64,
     grid: usize,
 ) -> Result<PairOutcome> {
+    if grid < 2 {
+        return Err(AgreementError::DimensionMismatch {
+            expected: 2,
+            actual: grid,
+        });
+    }
+    for share in [reroute_share, attract_share] {
+        if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+            return Err(AgreementError::InvalidFraction { value: share });
+        }
+    }
     let graph = ctx.graph;
     let (x, y) = (pair.x, pair.y);
     debug_assert!(x != y, "candidate pairs have distinct parties");
@@ -607,9 +690,8 @@ pub fn evaluate_candidate(
         }
     }
 
-    // Phase 4: scan the operating-point grid (a single point would make
-    // `step` non-finite; both engine twins clamp identically).
-    let grid = grid.max(2);
+    // Phase 4: scan the operating-point grid (grid >= 2 was validated on
+    // entry, so `step` is finite).
     let step = 1.0 / (grid - 1) as f64;
     let mut best_fv: Option<(f64, f64, f64, f64)> = None;
     let mut best_fv_score = f64::NEG_INFINITY;
@@ -637,6 +719,9 @@ pub fn evaluate_candidate(
                     let delta = program.total_r * r + program.total_a * a;
                     let cost = ctx.econ.internal_cost(program.node);
                     u -= cost.eval((total + delta).max(0.0))? - cost.eval(total)?;
+                }
+                if !u.is_finite() {
+                    return Err(AgreementError::InvalidUtility { value: u });
                 }
                 utilities[side] = u;
             }
@@ -681,6 +766,7 @@ pub fn evaluate_candidate(
         x: graph.asn_at(x),
         y: graph.asn_at(y),
         peering_hops: pair.peering_hops,
+        shares: (reroute_share, attract_share),
         segments: (programs[0].segments, programs[1].segments),
         flow_volume,
         cash,
@@ -707,14 +793,7 @@ pub fn discover(
         &candidates,
         PairScratch::new,
         |scratch, _i, &pair, mut rng| {
-            let (mut reroute, mut attract) = (config.reroute_share, config.attract_share);
-            if config.noise > 0.0 {
-                use rand::Rng;
-                let jitter_r: f64 = rng.gen_range(-1.0..1.0);
-                let jitter_a: f64 = rng.gen_range(-1.0..1.0);
-                reroute = (reroute * (1.0 + config.noise * jitter_r)).clamp(0.0, 1.0);
-                attract = (attract * (1.0 + config.noise * jitter_a)).clamp(0.0, 1.0);
-            }
+            let (reroute, attract) = config.jittered_shares(&mut rng);
             evaluate_candidate(ctx, scratch, pair, reroute, attract, config.grid)
         },
     );
@@ -733,8 +812,10 @@ pub fn discover(
 ///
 /// # Errors
 ///
-/// Propagates agreement-construction and evaluation errors (e.g. the
-/// parties not being peers).
+/// Returns [`AgreementError::DimensionMismatch`] if `grid < 2` (same
+/// rejection as [`evaluate_candidate`]), and propagates
+/// agreement-construction and evaluation errors (e.g. the parties not
+/// being peers).
 pub fn evaluate_candidate_legacy(
     model: &pan_econ::BusinessModel,
     baseline_x: &FlowVec,
@@ -743,6 +824,12 @@ pub fn evaluate_candidate_legacy(
     attract_share: f64,
     grid: usize,
 ) -> Result<PairOutcome> {
+    if grid < 2 {
+        return Err(AgreementError::DimensionMismatch {
+            expected: 2,
+            actual: grid,
+        });
+    }
     let graph = model.graph();
     let (ax, ay) = (baseline_x.asn(), baseline_y.asn());
     let agreement = Agreement::mutuality(graph, ax, ay)?;
@@ -771,14 +858,14 @@ pub fn evaluate_candidate_legacy(
         .map(crate::SegmentOpportunity::attractable_total)
         .sum();
 
-    let step = 1.0 / (grid.max(2) - 1) as f64;
+    let step = 1.0 / (grid - 1) as f64;
     let mut best_fv: Option<(f64, f64, f64, f64)> = None;
     let mut best_fv_score = f64::NEG_INFINITY;
     let mut best_cash: Option<(f64, f64, f64, f64)> = None;
     let mut best_joint = f64::NEG_INFINITY;
-    for ri in 0..grid.max(2) {
+    for ri in 0..grid {
         let r = ri as f64 * step;
-        for ai in 0..grid.max(2) {
+        for ai in 0..grid {
             let a = ai as f64 * step;
             let point = OperatingPoint::uniform(n, r, a)?;
             let eval = evaluate(&scenario, &point)?;
@@ -821,6 +908,7 @@ pub fn evaluate_candidate_legacy(
         x: ax,
         y: ay,
         peering_hops: 1,
+        shares: (reroute_share, attract_share),
         segments: (segments_x, n - segments_x),
         flow_volume,
         cash,
@@ -829,7 +917,7 @@ pub fn evaluate_candidate_legacy(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::scenario::tests::{baselines, fig1_model};
     use pan_econ::{BusinessModel, CostFunction, PricingFunction};
@@ -860,7 +948,7 @@ mod tests {
         }
     }
 
-    fn assert_outcomes_match(dense: &PairOutcome, legacy: &PairOutcome, tolerance: f64) {
+    pub(crate) fn assert_outcomes_match(dense: &PairOutcome, legacy: &PairOutcome, tolerance: f64) {
         assert_eq!((dense.x, dense.y), (legacy.x, legacy.y));
         assert_eq!(dense.segments, legacy.segments, "{}-{}", dense.x, dense.y);
         assert_eq!(
@@ -948,6 +1036,113 @@ mod tests {
             },
         );
         assert!(capped.len() < two.len());
+    }
+
+    #[test]
+    fn khop_excludes_transit_linked_pairs() {
+        use pan_topology::{AsGraphBuilder, Relationship};
+        // X provides transit to Y, yet the two are also 2 peering hops
+        // apart through M. They cannot *additionally* establish peering,
+        // so the prospective enumeration must not offer them.
+        let (x, y, m) = (Asn::new(1), Asn::new(2), Asn::new(3));
+        let mut b = AsGraphBuilder::new();
+        b.add_link(x, y, Relationship::ProviderToCustomer).unwrap();
+        b.add_link(x, m, Relationship::PeerToPeer).unwrap();
+        b.add_link(m, y, Relationship::PeerToPeer).unwrap();
+        let g = b.build().unwrap();
+        let pairs = enumerate_candidates(
+            &g,
+            CandidatePolicy::PeeringKHop {
+                k: 2,
+                per_source_cap: 0,
+            },
+        );
+        let as_asns: Vec<(Asn, Asn, u8)> = pairs
+            .iter()
+            .map(|p| (g.asn_at(p.x), g.asn_at(p.y), p.peering_hops))
+            .collect();
+        assert!(
+            !as_asns.iter().any(|&(a, b, _)| (a, b) == (x, y)),
+            "transit-linked pair offered as prospective peering: {as_asns:?}"
+        );
+        assert!(as_asns.contains(&(x, m, 1)));
+        assert!(as_asns.contains(&(y, m, 1)) || as_asns.contains(&(m, y, 1)));
+    }
+
+    #[test]
+    fn khop_cap_finishes_depth_levels() {
+        use std::collections::BTreeSet;
+        // The cap is soft: once a source starts a depth level it keeps
+        // every pair of that level, so the surviving set is a function
+        // of the topology alone (a mid-level break would depend on CSR
+        // neighbor order). Check on a synthetic internet, where sources
+        // have several peers per level.
+        let net = pan_datasets::SyntheticInternet::generate(
+            &pan_datasets::InternetConfig {
+                num_ases: 200,
+                tier1_count: 5,
+                ..pan_datasets::InternetConfig::default()
+            },
+            11,
+        )
+        .unwrap();
+        let g = &net.graph;
+        let uncapped = enumerate_candidates(
+            g,
+            CandidatePolicy::PeeringKHop {
+                k: 3,
+                per_source_cap: 0,
+            },
+        );
+        let capped = enumerate_candidates(
+            g,
+            CandidatePolicy::PeeringKHop {
+                k: 3,
+                per_source_cap: 2,
+            },
+        );
+        assert!(capped.len() < uncapped.len(), "cap must bite somewhere");
+        // Oracle: per source, whole uncapped depth levels fill the cap in
+        // BFS order; the level the cap lands in is truncated to the
+        // remaining budget by ascending neighbor ASN — a canonical
+        // selection, independent of enumeration order.
+        let cap = 2usize;
+        let mut expected: BTreeSet<(u32, u32, u8)> = BTreeSet::new();
+        let mut by_source: std::collections::BTreeMap<u32, Vec<&CandidatePair>> =
+            std::collections::BTreeMap::new();
+        for p in &uncapped {
+            by_source.entry(p.x).or_default().push(p);
+        }
+        for pairs in by_source.values() {
+            let mut contributed = 0usize;
+            for depth in 1..=3u8 {
+                let mut level: Vec<u32> = pairs
+                    .iter()
+                    .filter(|p| p.peering_hops == depth)
+                    .map(|p| p.y)
+                    .collect();
+                level.sort_unstable_by_key(|&v| g.asn_at(v));
+                let truncated = contributed + level.len() > cap;
+                level.truncate(cap - contributed);
+                contributed += level.len();
+                for y in level {
+                    expected.insert((pairs[0].x, y, depth));
+                }
+                if truncated || contributed >= cap {
+                    break;
+                }
+            }
+        }
+        let capped_set: BTreeSet<(u32, u32, u8)> =
+            capped.iter().map(|p| (p.x, p.y, p.peering_hops)).collect();
+        assert_eq!(capped_set, expected);
+        assert_eq!(capped_set.len(), capped.len(), "no duplicate pairs");
+        // The cap is now hard: no source exceeds it.
+        let mut per_source = std::collections::BTreeMap::new();
+        for p in &capped {
+            *per_source.entry(p.x).or_insert(0usize) += 1;
+        }
+        assert!(per_source.values().all(|&c| c <= cap));
     }
 
     #[test]
@@ -1150,23 +1345,60 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_grid_clamps_instead_of_nan() {
+    fn degenerate_grid_is_rejected_by_both_engines() {
+        // `DiscoveryConfig::validate` rejects grid < 2; the two engine
+        // twins must agree with it instead of silently clamping — a
+        // single grid point has no well-defined step, and a silent clamp
+        // would let `discover` and a direct evaluation disagree.
         let model = fig1_model();
         let (econ, flows) = fig1_context(&model);
         let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
         let mut scratch = PairScratch::new();
         let pair = pair_of(model.graph(), 'D', 'E');
-        // grid = 0 and 1 behave exactly like the minimum grid of 2 —
-        // same clamp as evaluate_candidate_legacy — instead of
-        // silently producing NaN operating points.
-        let reference = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, 2).unwrap();
-        for grid in [0, 1] {
-            let clamped = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, grid).unwrap();
-            assert_eq!(clamped, reference, "grid {grid} must clamp to 2");
-        }
         let (fd, fe) = baselines();
-        let legacy = evaluate_candidate_legacy(&model, &fd, &fe, 0.6, 0.3, 1).unwrap();
-        assert_outcomes_match(&reference, &legacy, 1e-9);
+        for grid in [0, 1] {
+            let dense = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, grid);
+            assert!(
+                matches!(
+                    dense,
+                    Err(AgreementError::DimensionMismatch {
+                        expected: 2,
+                        actual,
+                    }) if actual == grid
+                ),
+                "dense grid {grid} must error, got {dense:?}"
+            );
+            let legacy = evaluate_candidate_legacy(&model, &fd, &fe, 0.6, 0.3, grid);
+            assert!(
+                matches!(
+                    legacy,
+                    Err(AgreementError::DimensionMismatch {
+                        expected: 2,
+                        actual,
+                    }) if actual == grid
+                ),
+                "legacy grid {grid} must error, got {legacy:?}"
+            );
+        }
+        // grid = 2 is the smallest accepted value on both paths.
+        let dense = evaluate_candidate(&ctx, &mut scratch, pair, 0.6, 0.3, 2).unwrap();
+        let legacy = evaluate_candidate_legacy(&model, &fd, &fe, 0.6, 0.3, 2).unwrap();
+        assert_outcomes_match(&dense, &legacy, 1e-9);
+    }
+
+    #[test]
+    fn invalid_shares_are_rejected_by_the_dense_engine() {
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let mut scratch = PairScratch::new();
+        let pair = pair_of(model.graph(), 'D', 'E');
+        for (reroute, attract) in [(1.5, 0.2), (-0.1, 0.2), (0.5, f64::NAN)] {
+            assert!(matches!(
+                evaluate_candidate(&ctx, &mut scratch, pair, reroute, attract, 5),
+                Err(AgreementError::InvalidFraction { .. })
+            ));
+        }
     }
 
     #[test]
@@ -1175,6 +1407,7 @@ mod tests {
             x: Asn::new(x),
             y: Asn::new(x + 100),
             peering_hops: 1,
+            shares: (0.5, 0.2),
             segments: (1, 1),
             flow_volume: None,
             cash: cash.then_some(CashPoint {
@@ -1199,6 +1432,15 @@ mod tests {
         assert!((report.total_surplus - 7.0).abs() < 1e-12);
         assert_eq!(report.outcomes.len(), 2, "truncated to top");
         assert_eq!(report.outcomes[0].x, Asn::new(2), "highest surplus first");
+        // A NaN surplus (impossible from the engines, which reject
+        // non-finite utilities, but reachable through the public
+        // constructor) must not panic the ranking.
+        let report = DiscoveryReport::from_outcomes(
+            vec![outcome(1, f64::NAN, false), outcome(2, 1.0, true)],
+            0,
+        );
+        assert_eq!(report.candidates, 2);
+        assert!(report.outcomes.iter().any(|o| o.surplus.is_nan()));
     }
 
     #[test]

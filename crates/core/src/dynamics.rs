@@ -1,0 +1,1066 @@
+//! Multi-round agreement adoption dynamics: the market evolution of the
+//! interconnection economy.
+//!
+//! The [`discovery`](crate::discovery) engine answers a *static*
+//! question: which pairs profit from a mutuality agreement on today's
+//! topology. This module iterates that question until it stops having
+//! interesting answers — the codebase's first closed-loop workload:
+//!
+//! 1. **Discover**: run the batch evaluation over every candidate pair of
+//!    the current [`MarketState`] (skipping pairs that already hold an
+//!    agreement).
+//! 2. **Adopt**: take the top-K party-disjoint outcomes with positive
+//!    NBS surplus (an AS negotiates at most one agreement per round) and
+//!    *materialize* them — the Eq. (9) flow volumes move into the
+//!    [`FlowMatrix`] (provider traffic reroutes onto the new segments,
+//!    attracted demand appears, the partner transits the whole volume),
+//!    the Eq. (10)–(11) NBS transfer lands on the parties' cash ledgers,
+//!    and a prospective (k-hop) pair first registers its new peering link
+//!    in the graph/CSR layer.
+//! 3. **Perturb** (optional): shock the market between rounds — traffic
+//!    drift per link, transit-price shocks, peering-link failures — so
+//!    the equilibrium keeps moving.
+//! 4. Repeat until **fixed point** (an unshocked round adopts nothing:
+//!    no adoptable surplus remains) or a round cap.
+//!
+//! Every random draw derives from the sweep's master seed: round `i`
+//! draws its own ChaCha sub-seed from the coordinator stream, candidate
+//! evaluations use the round's per-item streams, and perturbations use
+//! the round's coordinator stream — so an evolution run is bit-identical
+//! at any thread count, like everything else built on
+//! [`ScenarioSweep`].
+//!
+//! Adoption re-evaluates each chosen pair against the *current* state
+//! (earlier adoptions in the same round may have consumed its
+//! opportunity) using the outcome's recorded
+//! [`shares`](PairOutcome::shares), and skips it when the refreshed
+//! surplus no longer clears the threshold. Because an adopted pair is
+//! excluded from later rounds and adoption drains the rerouting
+//! opportunity it was priced on, an unshocked evolution provably
+//! terminates: each round either adopts a never-before-adopted pair or
+//! reaches the fixed point.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use pan_econ::{DenseEconomics, FlowMatrix};
+use pan_runtime::ScenarioSweep;
+use pan_topology::{AsGraph, Asn, NeighborKind};
+
+use crate::discovery::{
+    collect_targets, enumerate_candidates, evaluate_candidate, BatchContext, CandidatePair,
+    DiscoveryConfig, DiscoveryReport, PairOutcome, PairScratch,
+};
+use crate::{AgreementError, Result};
+
+/// The evolving market: a topology with its dense economic tables, the
+/// set of adopted agreements, and the parties' cumulative cash ledger.
+///
+/// The state owns its tables — adoption mutates flows (and, for
+/// prospective pairs, the graph itself), so the borrowed
+/// [`BatchContext`] of the static engine cannot express it.
+#[derive(Debug, Clone)]
+pub struct MarketState {
+    graph: AsGraph,
+    econ: DenseEconomics,
+    flows: FlowMatrix,
+    /// Cumulative NBS transfers per dense node index: positive = net
+    /// receiver of compensation.
+    cash: Vec<f64>,
+    /// Adopted pairs by dense node index (`x < y`). Never iterated —
+    /// membership tests only, so the hash order cannot leak into
+    /// results.
+    adopted: HashSet<(u32, u32)>,
+}
+
+impl MarketState {
+    /// Builds the initial state, checking that the tables match the
+    /// graph shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::DimensionMismatch`] if `econ` or
+    /// `flows` were built from a different graph.
+    pub fn new(graph: AsGraph, econ: DenseEconomics, flows: FlowMatrix) -> Result<Self> {
+        for actual in [econ.node_count(), flows.node_count()] {
+            if actual != graph.node_count() {
+                return Err(AgreementError::DimensionMismatch {
+                    expected: graph.node_count(),
+                    actual,
+                });
+            }
+        }
+        let cash = vec![0.0; graph.node_count()];
+        Ok(MarketState {
+            graph,
+            econ,
+            flows,
+            cash,
+            adopted: HashSet::new(),
+        })
+    }
+
+    /// The current topology (grows a peering link per adopted
+    /// prospective pair).
+    #[must_use]
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// The current dense pricing tables.
+    #[must_use]
+    pub fn econ(&self) -> &DenseEconomics {
+        &self.econ
+    }
+
+    /// The current dense flows.
+    #[must_use]
+    pub fn flows(&self) -> &FlowMatrix {
+        &self.flows
+    }
+
+    /// Cumulative NBS cash balance of the AS at dense index `node`
+    /// (positive = net receiver).
+    #[must_use]
+    pub fn cash_balance(&self, node: u32) -> f64 {
+        self.cash[node as usize]
+    }
+
+    /// Number of agreements adopted so far.
+    #[must_use]
+    pub fn adopted_count(&self) -> usize {
+        self.adopted.len()
+    }
+
+    /// `true` if the pair (by dense node index, either order) already
+    /// holds an adopted agreement.
+    #[must_use]
+    pub fn is_adopted(&self, a: u32, b: u32) -> bool {
+        self.adopted.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Adopts one discovered outcome if it still clears `min_surplus` on
+    /// the **current** state: re-evaluates the pair with the outcome's
+    /// recorded shares, registers the peering link for prospective
+    /// pairs, materializes the cash-optimal flow volumes, and books the
+    /// NBS transfer. Returns `None` (without mutating the state) when
+    /// the pair is already adopted or its refreshed surplus no longer
+    /// qualifies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation, remapping, and topology errors; rejects a
+    /// non-finite or negative `min_surplus`.
+    pub fn adopt_outcome(
+        &mut self,
+        outcome: &PairOutcome,
+        grid: usize,
+        min_surplus: f64,
+        round: usize,
+    ) -> Result<Option<AdoptedAgreement>> {
+        if !min_surplus.is_finite() || min_surplus < 0.0 {
+            return Err(AgreementError::InvalidFraction { value: min_surplus });
+        }
+        let (i, j) = (
+            self.graph.index_of(outcome.x)?,
+            self.graph.index_of(outcome.y)?,
+        );
+        let (x, y) = (i.min(j), i.max(j));
+        if self.adopted.contains(&(x, y)) {
+            return Ok(None);
+        }
+        // Re-evaluate against the current tables: adoptions earlier in
+        // the round may have consumed this pair's opportunity.
+        let fresh = {
+            let ctx = BatchContext::new(&self.graph, &self.econ, &self.flows)?;
+            let mut scratch = PairScratch::new();
+            let pair = CandidatePair {
+                x,
+                y,
+                peering_hops: outcome.peering_hops,
+            };
+            evaluate_candidate(
+                &ctx,
+                &mut scratch,
+                pair,
+                outcome.shares.0,
+                outcome.shares.1,
+                grid,
+            )?
+        };
+        let Some(cash) = fresh.cash else {
+            return Ok(None);
+        };
+        if cash.joint_utility <= min_surplus {
+            return Ok(None);
+        }
+        // Prospective partners first establish settlement-free peering:
+        // the new link lands in the CSR layer and the dense tables are
+        // remapped onto the extended shape (indices are preserved).
+        let new_link = !self.graph.has_neighbor_kind(x, y, NeighborKind::Peer);
+        if new_link {
+            let next = self.graph.with_added_peering_links(&[(x, y)])?;
+            self.econ = self.econ.remapped(&self.graph, &next)?;
+            self.flows = self.flows.remapped(&self.graph, &next)?;
+            self.graph = next;
+        }
+        self.materialize(x, y, outcome.shares, (cash.reroute, cash.attract));
+        // Eq. (10)–(11): X pays Π_{X→Y} to Y (negative = Y pays X).
+        self.cash[x as usize] -= cash.transfer_x_to_y;
+        self.cash[y as usize] += cash.transfer_x_to_y;
+        self.adopted.insert((x, y));
+        Ok(Some(AdoptedAgreement {
+            round,
+            x: self.graph.asn_at(x),
+            y: self.graph.asn_at(y),
+            peering_hops: outcome.peering_hops,
+            new_link,
+            shares: outcome.shares,
+            reroute: cash.reroute,
+            attract: cash.attract,
+            joint_utility: cash.joint_utility,
+            transfer_x_to_y: cash.transfer_x_to_y,
+        }))
+    }
+
+    /// Applies the Eq. (9) flow volumes of the agreement at operating
+    /// point `(r, a)` to the flow matrix — the exact flow deltas
+    /// [`evaluate_candidate`] priced, kept link-symmetric (both mirror
+    /// entries of every touched link move together).
+    ///
+    /// Both sides' deltas are computed against the same pre-adoption
+    /// snapshot before any of them are applied, matching the joint
+    /// evaluation: side `Y`'s reroutable provider flows must not include
+    /// side `X`'s freshly materialized transit.
+    fn materialize(&mut self, x: u32, y: u32, shares: (f64, f64), point: (f64, f64)) {
+        let (reroute_share, attract_share) = shares;
+        let (r, a) = point;
+        // (node, packed position, delta) — applied after both sides are
+        // collected. End-host deltas carry position == degree (the
+        // trailing slot).
+        let mut deltas: Vec<(u32, usize, f64)> = Vec::new();
+        let mut targets = Vec::new();
+        for (bene, partner) in [(x, y), (y, x)] {
+            targets.clear();
+            collect_targets(&self.graph, bene, partner, &mut targets);
+            let nsegs = targets.len();
+            if nsegs == 0 {
+                continue;
+            }
+            let (p_end, e_end) = self.graph.class_boundaries(bene);
+            let row = self.graph.neighbor_indices(bene);
+            let mut volume = 0.0;
+            for (pos, &p) in row[..p_end].iter().enumerate() {
+                if p == partner {
+                    continue;
+                }
+                let f = self.flows.flow(bene, pos);
+                if f <= 0.0 {
+                    continue;
+                }
+                let moved = r * reroute_share * f;
+                if moved <= 0.0 {
+                    continue;
+                }
+                deltas.push((bene, pos, -moved));
+                let back = self
+                    .graph
+                    .neighbor_position(p, bene)
+                    .expect("CSR adjacency is symmetric");
+                deltas.push((p, back, -moved));
+                volume += moved;
+            }
+            for (pos, &c) in row.iter().enumerate().skip(e_end) {
+                let f = self.flows.flow(bene, pos);
+                if f <= 0.0 {
+                    continue;
+                }
+                let gained = a * attract_share * f;
+                if gained <= 0.0 {
+                    continue;
+                }
+                deltas.push((bene, pos, gained));
+                let back = self
+                    .graph
+                    .neighbor_position(c, bene)
+                    .expect("CSR adjacency is symmetric");
+                deltas.push((c, back, gained));
+                volume += gained;
+            }
+            let end_host_gain = a * attract_share * self.flows.end_host(bene);
+            if end_host_gain > 0.0 {
+                deltas.push((bene, row.len(), end_host_gain));
+                volume += end_host_gain;
+            }
+            if volume <= 0.0 {
+                continue;
+            }
+            // The whole volume crosses the (settlement-free) peering link
+            // between the parties …
+            let pos_partner = self
+                .graph
+                .neighbor_position(bene, partner)
+                .expect("parties peer once adopted");
+            let pos_bene = self
+                .graph
+                .neighbor_position(partner, bene)
+                .expect("parties peer once adopted");
+            deltas.push((bene, pos_partner, volume));
+            deltas.push((partner, pos_bene, volume));
+            // … and exits the partner split evenly across the granted
+            // segments, as the default opportunities price it.
+            let per_seg = volume / nsegs as f64;
+            let partner_row = self.graph.neighbor_indices(partner);
+            for &tpos in &targets {
+                let t = partner_row[tpos as usize];
+                deltas.push((partner, tpos as usize, per_seg));
+                let back = self
+                    .graph
+                    .neighbor_position(t, partner)
+                    .expect("CSR adjacency is symmetric");
+                deltas.push((t, back, per_seg));
+            }
+        }
+        for (node, pos, delta) in deltas {
+            let updated = (self.flows.flow(node, pos) + delta).max(0.0);
+            self.flows.set(node, pos, updated);
+        }
+    }
+
+    /// Shocks the market between rounds with magnitude `shock ∈ (0, 1]`:
+    ///
+    /// - **traffic drift**: every link's (symmetric) volume scales by
+    ///   `1 + shock·U(−0.5, 1)` — growth-biased, as internet traffic is;
+    ///   each AS's end-host demand drifts the same way;
+    /// - **price shocks**: each transit link repriced with probability
+    ///   `shock/20` by a factor `1 + shock·U(−1, 1)` (both entries of
+    ///   the link move together, keeping the book consistent);
+    /// - **link failures**: each peering link fails with probability
+    ///   `shock/50` — its flows drop to zero (the traffic is lost until
+    ///   the market re-routes it in later rounds).
+    ///
+    /// Draws come strictly in node-major, position-ascending order from
+    /// `rng`, so a perturbation pass is deterministic for a given state
+    /// and stream.
+    fn perturb(&mut self, shock: f64, rng: &mut ChaCha12Rng) -> Result<PerturbationRecord> {
+        let n = self.graph.node_count() as u32;
+        // Pass 1: traffic drift, one factor per link (visited from its
+        // lower-index endpoint) plus one per end-host slot.
+        for i in 0..n {
+            let row_len = self.graph.degree_of_index(i);
+            for pos in 0..row_len {
+                let j = self.graph.neighbor_indices(i)[pos];
+                if j <= i {
+                    continue;
+                }
+                let factor = 1.0 + shock * rng.gen_range(-0.5..1.0);
+                let back = self
+                    .graph
+                    .neighbor_position(j, i)
+                    .expect("CSR adjacency is symmetric");
+                self.flows.set(i, pos, self.flows.flow(i, pos) * factor);
+                self.flows.set(j, back, self.flows.flow(j, back) * factor);
+            }
+            let factor = 1.0 + shock * rng.gen_range(-0.5..1.0);
+            self.flows.set_end_host(i, self.flows.end_host(i) * factor);
+        }
+        // Pass 2: transit-price shocks (visited from the provider side:
+        // positions past `e_end` are the row owner's customers).
+        let mut price_shocks = 0usize;
+        for i in 0..n {
+            let (_, e_end) = self.graph.class_boundaries(i);
+            let row = self.graph.neighbor_indices(i);
+            for (pos, &j) in row.iter().enumerate().skip(e_end) {
+                if rng.gen::<f64>() >= shock / 20.0 {
+                    continue;
+                }
+                let factor = 1.0 + shock * rng.gen_range(-1.0..1.0);
+                let back = self
+                    .graph
+                    .neighbor_position(j, i)
+                    .expect("CSR adjacency is symmetric");
+                self.econ.scale_entry_price(i, pos, factor)?;
+                self.econ.scale_entry_price(j, back, factor)?;
+                price_shocks += 1;
+            }
+        }
+        // Pass 3: peering-link failures.
+        let mut failed_links = 0usize;
+        for i in 0..n {
+            let (p_end, e_end) = self.graph.class_boundaries(i);
+            for pos in p_end..e_end {
+                let j = self.graph.neighbor_indices(i)[pos];
+                if j <= i {
+                    continue;
+                }
+                if rng.gen::<f64>() >= shock / 50.0 {
+                    continue;
+                }
+                let back = self
+                    .graph
+                    .neighbor_position(j, i)
+                    .expect("CSR adjacency is symmetric");
+                self.flows.set(i, pos, 0.0);
+                self.flows.set(j, back, 0.0);
+                failed_links += 1;
+            }
+        }
+        Ok(PerturbationRecord {
+            price_shocks,
+            failed_links,
+        })
+    }
+}
+
+/// Bookkeeping of one perturbation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct PerturbationRecord {
+    price_shocks: usize,
+    failed_links: usize,
+}
+
+/// Configuration of a market evolution run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionConfig {
+    /// Per-round discovery configuration. `top` is ignored — the
+    /// engine always ranks the full candidate set and applies
+    /// [`adopt_top`](Self::adopt_top) instead.
+    pub discovery: DiscoveryConfig,
+    /// Round cap (≥ 1). A run may stop earlier at a fixed point.
+    pub rounds: usize,
+    /// Maximum agreements adopted per round (≥ 1). Within a round,
+    /// adopted pairs are **party-disjoint** — an AS negotiates at most
+    /// one agreement per round — so the bound is on disjoint top-ranked
+    /// pairs.
+    pub adopt_top: usize,
+    /// Minimum NBS surplus an outcome must clear (at discovery time and
+    /// again at adoption time) to be adopted.
+    pub min_surplus: f64,
+    /// Perturbation magnitude in `[0, 1]`; `0` disables shocks, in which
+    /// case a round without adoptions is a fixed point and ends the run.
+    pub shock: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            discovery: DiscoveryConfig::default(),
+            rounds: 10,
+            adopt_top: 10,
+            min_surplus: 1e-6,
+            shock: 0.0,
+        }
+    }
+}
+
+impl EvolutionConfig {
+    fn validate(&self) -> Result<()> {
+        self.discovery.validate()?;
+        for (value, minimum) in [(self.rounds, 1), (self.adopt_top, 1)] {
+            if value < minimum {
+                return Err(AgreementError::DimensionMismatch {
+                    expected: minimum,
+                    actual: value,
+                });
+            }
+        }
+        // min_surplus is a utility, not a fraction: any finite
+        // non-negative threshold is meaningful (f64::min would swallow
+        // NaN/∞, so test finiteness directly).
+        if !self.min_surplus.is_finite() || self.min_surplus < 0.0 {
+            return Err(AgreementError::InvalidFraction {
+                value: self.min_surplus,
+            });
+        }
+        if !self.shock.is_finite() || !(0.0..=1.0).contains(&self.shock) {
+            return Err(AgreementError::InvalidFraction { value: self.shock });
+        }
+        Ok(())
+    }
+}
+
+/// One adopted agreement, as the evolution report records it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdoptedAgreement {
+    /// Round (0-based) the agreement was adopted in.
+    pub round: usize,
+    /// First party.
+    pub x: Asn,
+    /// Second party.
+    pub y: Asn,
+    /// Peering-mesh distance at discovery time (1 = existing peers).
+    pub peering_hops: u8,
+    /// Whether adoption created a new peering link (prospective pairs).
+    pub new_link: bool,
+    /// Effective `(reroute, attract)` shares the agreement was priced
+    /// with.
+    pub shares: (f64, f64),
+    /// Reroute fraction at the adopted operating point.
+    pub reroute: f64,
+    /// Attract fraction at the adopted operating point.
+    pub attract: f64,
+    /// Joint utility (NBS surplus) at adoption time.
+    pub joint_utility: f64,
+    /// NBS transfer `Π_{X→Y}` booked on the cash ledgers.
+    pub transfer_x_to_y: f64,
+}
+
+/// Per-round trajectory entry of an evolution run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Candidate pairs evaluated (adopted pairs are excluded).
+    pub candidates: usize,
+    /// Candidates concluding under flow-volume optimization.
+    pub concluded_flow_volume: usize,
+    /// Candidates viable under cash compensation.
+    pub concluded_cash: usize,
+    /// Total NBS surplus visible to this round's discovery.
+    pub discovered_surplus: f64,
+    /// Agreements adopted this round.
+    pub adopted: usize,
+    /// Joint utility realized by this round's adoptions.
+    pub adopted_surplus: f64,
+    /// Peering links created by this round's adoptions.
+    pub new_links: usize,
+    /// Transit links repriced by this round's closing shock.
+    pub price_shocks: usize,
+    /// Peering links failed by this round's closing shock.
+    pub failed_links: usize,
+    /// Total flow volume in the market after the round's adoptions
+    /// (before its closing shock).
+    pub total_flow: f64,
+}
+
+/// Result of a market evolution run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionReport {
+    /// Per-round trajectory, in round order.
+    pub rounds: Vec<RoundRecord>,
+    /// Every adopted agreement, in adoption order.
+    pub agreements: Vec<AdoptedAgreement>,
+    /// `true` if the run ended at a fixed point (an unshocked round
+    /// without adoptable surplus) rather than the round cap.
+    pub fixed_point: bool,
+    /// Total joint utility realized across all adoptions.
+    pub total_surplus: f64,
+}
+
+impl EvolutionReport {
+    /// Total number of adopted agreements.
+    #[must_use]
+    pub fn total_adopted(&self) -> usize {
+        self.agreements.len()
+    }
+}
+
+/// Runs the multi-round market evolution on `state`; see the [module
+/// docs](self) for the loop. Mutates `state` in place (callers keep it
+/// for inspection) and returns the trajectory report. Bit-identical at
+/// any thread count of `sweep`.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidFraction`] /
+/// [`AgreementError::DimensionMismatch`] for invalid configurations and
+/// propagates evaluation, remapping, and topology errors.
+pub fn evolve(
+    state: &mut MarketState,
+    config: &EvolutionConfig,
+    sweep: &ScenarioSweep,
+) -> Result<EvolutionReport> {
+    config.validate()?;
+    // Round sub-seeds come from the run's coordinator stream; each round
+    // then derives its own item streams (evaluations) and coordinator
+    // stream (perturbations), so no draw ever depends on scheduling.
+    let mut seed_rng = sweep.coordinator_rng();
+    let mut report = EvolutionReport {
+        rounds: Vec::new(),
+        agreements: Vec::new(),
+        fixed_point: false,
+        total_surplus: 0.0,
+    };
+    for round in 0..config.rounds {
+        let round_seed: u64 = seed_rng.gen();
+        let round_sweep = ScenarioSweep::new(sweep.pool().clone(), round_seed);
+
+        // 1. Discover on the current state, skipping adopted pairs.
+        let candidates: Vec<CandidatePair> =
+            enumerate_candidates(&state.graph, config.discovery.policy)
+                .into_iter()
+                .filter(|p| !state.is_adopted(p.x, p.y))
+                .collect();
+        let discovered = {
+            let ctx = BatchContext::new(&state.graph, &state.econ, &state.flows)?;
+            let evaluated = round_sweep.map_with(
+                &candidates,
+                PairScratch::new,
+                |scratch, _i, &pair, mut rng| {
+                    let (reroute, attract) = config.discovery.jittered_shares(&mut rng);
+                    evaluate_candidate(&ctx, scratch, pair, reroute, attract, config.discovery.grid)
+                },
+            );
+            let mut outcomes = Vec::with_capacity(evaluated.len());
+            for outcome in evaluated {
+                outcomes.push(outcome?);
+            }
+            DiscoveryReport::from_outcomes(outcomes, 0)
+        };
+
+        // 2. Adopt the best adoptable outcomes, best-first, with
+        // **disjoint parties**: an AS negotiates at most one agreement
+        // per round. This keeps a hub from compounding its attraction
+        // within a round and makes the round's adoptions (nearly)
+        // independent of adoption order. Outcomes are ranked by surplus,
+        // so the first one below the threshold ends the scan.
+        let mut busy: HashSet<u32> = HashSet::new();
+        let mut adopted = 0usize;
+        let mut adopted_surplus = 0.0;
+        let mut new_links = 0usize;
+        for outcome in &discovered.outcomes {
+            if adopted >= config.adopt_top {
+                break;
+            }
+            if outcome.cash.is_none() || outcome.surplus <= config.min_surplus {
+                break;
+            }
+            let (i, j) = (
+                state.graph.index_of(outcome.x)?,
+                state.graph.index_of(outcome.y)?,
+            );
+            if busy.contains(&i) || busy.contains(&j) {
+                continue;
+            }
+            if let Some(agreement) =
+                state.adopt_outcome(outcome, config.discovery.grid, config.min_surplus, round)?
+            {
+                busy.insert(i);
+                busy.insert(j);
+                adopted += 1;
+                adopted_surplus += agreement.joint_utility;
+                new_links += usize::from(agreement.new_link);
+                report.agreements.push(agreement);
+            }
+        }
+        report.total_surplus += adopted_surplus;
+        let total_flow = state.flows.totals().iter().sum();
+
+        // 3. Fixed point: an unshocked round without adoptions cannot
+        // change state — no later round would differ.
+        let fixed_point = adopted == 0 && config.shock == 0.0;
+
+        // 4. Shock the market for the next round (skipped once the run
+        // is over — a closing shock would be unobservable).
+        let last_round = fixed_point || round + 1 == config.rounds;
+        let perturbation = if config.shock > 0.0 && !last_round {
+            state.perturb(config.shock, &mut pan_runtime::coordinator_rng(round_seed))?
+        } else {
+            PerturbationRecord::default()
+        };
+
+        report.rounds.push(RoundRecord {
+            round,
+            candidates: discovered.candidates,
+            concluded_flow_volume: discovered.concluded_flow_volume,
+            concluded_cash: discovered.concluded_cash,
+            discovered_surplus: discovered.total_surplus,
+            adopted,
+            adopted_surplus,
+            new_links,
+            price_shocks: perturbation.price_shocks,
+            failed_links: perturbation.failed_links,
+            total_flow,
+        });
+        if fixed_point {
+            report.fixed_point = true;
+            break;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{evaluate_candidate_legacy, tests::assert_outcomes_match};
+    use crate::CandidatePolicy;
+    use pan_econ::{CostFunction, PricingFunction};
+    use pan_runtime::ThreadPool;
+    use pan_topology::{AsGraphBuilder, Relationship};
+
+    const P: Asn = Asn::new(1); // expensive provider of X
+    const B: Asn = Asn::new(2); // cheap provider of Y
+    const X: Asn = Asn::new(3);
+    const Y: Asn = Asn::new(4);
+    const M: Asn = Asn::new(5); // peering middleman (k-hop fixture only)
+
+    /// A market with one glaring arbitrage: X pays provider P a rate of
+    /// 5 for 10 units of traffic that Y could exit via provider B at a
+    /// rate of 1. `middleman` inserts M between X and Y (X–M–Y peering,
+    /// X and Y not adjacent) with an internal cost that makes M itself
+    /// useless as a partner — the profitable pair is then 2 hops apart.
+    fn arbitrage_state(middleman: bool) -> MarketState {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(P, X, Relationship::ProviderToCustomer).unwrap();
+        b.add_link(B, Y, Relationship::ProviderToCustomer).unwrap();
+        if middleman {
+            b.add_link(X, M, Relationship::PeerToPeer).unwrap();
+            b.add_link(M, Y, Relationship::PeerToPeer).unwrap();
+        } else {
+            b.add_link(X, Y, Relationship::PeerToPeer).unwrap();
+        }
+        let graph = b.build().unwrap();
+        let econ = DenseEconomics::build(
+            &graph,
+            |provider, _| {
+                PricingFunction::per_usage(if provider == P { 5.0 } else { 1.0 }).unwrap()
+            },
+            |_| PricingFunction::per_usage(1.0).unwrap(),
+            |asn| CostFunction::linear(if asn == M { 3.0 } else { 0.001 }).unwrap(),
+        );
+        let mut flows = FlowMatrix::zeros(&graph);
+        let (px, xp) = (graph.index_of(P).unwrap(), graph.index_of(X).unwrap());
+        let pos = graph.neighbor_position(xp, px).unwrap();
+        flows.set(xp, pos, 10.0);
+        let back = graph.neighbor_position(px, xp).unwrap();
+        flows.set(px, back, 10.0);
+        MarketState::new(graph, econ, flows).unwrap()
+    }
+
+    fn evaluate_pair(state: &MarketState, x: Asn, y: Asn, shares: (f64, f64)) -> PairOutcome {
+        let (i, j) = (
+            state.graph().index_of(x).unwrap(),
+            state.graph().index_of(y).unwrap(),
+        );
+        let ctx = BatchContext::new(state.graph(), state.econ(), state.flows()).unwrap();
+        let mut scratch = PairScratch::new();
+        evaluate_candidate(
+            &ctx,
+            &mut scratch,
+            CandidatePair {
+                x: i.min(j),
+                y: i.max(j),
+                peering_hops: 1,
+            },
+            shares.0,
+            shares.1,
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn adoption_drains_the_opportunity_to_a_fixed_point() {
+        let mut state = arbitrage_state(false);
+        let before = evaluate_pair(&state, X, Y, (1.0, 0.0));
+        let cash = before.cash.expect("the arbitrage concludes");
+        assert!(
+            before.surplus > 39.0,
+            "surplus ≈ 40, got {}",
+            before.surplus
+        );
+        assert_eq!(cash.reroute, 1.0, "all traffic moves at the optimum");
+
+        let agreement = state
+            .adopt_outcome(&before, 3, 1e-6, 0)
+            .unwrap()
+            .expect("adoptable");
+        assert!(!agreement.new_link, "the parties already peer");
+        assert!((agreement.joint_utility - before.surplus).abs() < 1e-12);
+
+        // Fixed-point sanity: the adopted operating point consumed the
+        // entire priced opportunity, so re-evaluating the same pair on
+        // the materialized flows finds ~zero residual surplus.
+        let after = evaluate_pair(&state, X, Y, (1.0, 0.0));
+        assert!(
+            after.surplus.abs() < 1e-9,
+            "residual surplus after adoption: {}",
+            after.surplus
+        );
+        assert!(after.cash.is_none() && after.flow_volume.is_none());
+
+        // The rerouted volume is on the peering link and Y's exit, and
+        // X's provider link is empty.
+        let g = state.graph();
+        let (xi, yi) = (g.index_of(X).unwrap(), g.index_of(Y).unwrap());
+        let (pi, bi) = (g.index_of(P).unwrap(), g.index_of(B).unwrap());
+        let flow = |a: u32, b: u32| state.flows().flow(a, g.neighbor_position(a, b).unwrap());
+        assert_eq!(flow(xi, pi), 0.0);
+        assert_eq!(flow(xi, yi), 10.0);
+        assert_eq!(flow(yi, bi), 10.0);
+        assert_eq!(flow(bi, yi), 10.0, "mirror entries stay symmetric");
+
+        // The NBS transfer landed on the ledgers, conserving cash.
+        assert!((state.cash_balance(xi) + agreement.transfer_x_to_y).abs() < 1e-12);
+        assert!((state.cash_balance(yi) - agreement.transfer_x_to_y).abs() < 1e-12);
+
+        // Re-adoption of an adopted pair is a no-op.
+        assert!(state.adopt_outcome(&before, 3, 1e-6, 1).unwrap().is_none());
+    }
+
+    fn arbitrage_config(policy: CandidatePolicy) -> EvolutionConfig {
+        EvolutionConfig {
+            discovery: DiscoveryConfig {
+                policy,
+                reroute_share: 1.0,
+                attract_share: 0.0,
+                grid: 3,
+                noise: 0.0,
+                top: 0,
+            },
+            rounds: 10,
+            adopt_top: 5,
+            min_surplus: 1e-6,
+            shock: 0.0,
+        }
+    }
+
+    #[test]
+    fn evolve_reaches_a_fixed_point_on_the_arbitrage_market() {
+        let mut state = arbitrage_state(false);
+        let config = arbitrage_config(CandidatePolicy::PeeringAdjacent);
+        let report = evolve(&mut state, &config, &ScenarioSweep::sequential(7)).unwrap();
+        assert!(report.fixed_point, "unshocked runs terminate");
+        assert_eq!(report.rounds.len(), 2, "adopt, then verify exhaustion");
+        assert_eq!(report.rounds[0].adopted, 1);
+        assert_eq!(report.rounds[1].adopted, 0);
+        assert_eq!(report.total_adopted(), 1);
+        assert_eq!((report.agreements[0].x, report.agreements[0].y), (X, Y));
+        assert_eq!(report.agreements[0].round, 0);
+        assert!(report.total_surplus > 39.0);
+        assert_eq!(state.adopted_count(), 1);
+    }
+
+    #[test]
+    fn prospective_adoption_registers_the_peering_link() {
+        let mut state = arbitrage_state(true);
+        let g = state.graph();
+        let (xi, yi) = (g.index_of(X).unwrap(), g.index_of(Y).unwrap());
+        assert_eq!(g.neighbor_kind_by_index(xi, yi), None, "not yet adjacent");
+        let link_count = g.link_count();
+
+        let config = arbitrage_config(CandidatePolicy::PeeringKHop {
+            k: 2,
+            per_source_cap: 0,
+        });
+        let report = evolve(&mut state, &config, &ScenarioSweep::sequential(7)).unwrap();
+        assert!(report.fixed_point);
+        let adopted = &report.agreements;
+        assert_eq!(adopted.len(), 1, "only the 2-hop pair profits: {adopted:?}");
+        assert_eq!((adopted[0].x, adopted[0].y), (X, Y));
+        assert_eq!(adopted[0].peering_hops, 2);
+        assert!(adopted[0].new_link);
+        assert_eq!(report.rounds[0].new_links, 1);
+
+        // The adjacency, tables, and flows all moved onto the new link.
+        let g = state.graph();
+        assert_eq!(g.link_count(), link_count + 1);
+        assert_eq!(
+            g.neighbor_kind_by_index(xi, yi),
+            Some(NeighborKind::Peer),
+            "adoption registered settlement-free peering"
+        );
+        let pos = g.neighbor_position(xi, yi).unwrap();
+        assert_eq!(state.econ().entry(xi, pos).sign, 0.0);
+        assert_eq!(state.flows().flow(xi, pos), 10.0, "rerouted volume");
+    }
+
+    /// Deterministic heterogeneous economics for synthetic internets —
+    /// same construction as the discovery equivalence test.
+    fn synthetic_state(ases: usize, seed: u64) -> MarketState {
+        use pan_datasets::{InternetConfig, SyntheticInternet};
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: ases,
+                tier1_count: 6,
+                ..InternetConfig::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let econ = DenseEconomics::build(
+            &net.graph,
+            |provider, customer| {
+                let salt = u64::from(provider.get()) * 31 + u64::from(customer.get());
+                PricingFunction::per_usage(1.0 + (salt % 17) as f64 * 0.25).unwrap()
+            },
+            |asn| PricingFunction::per_usage(2.0 + f64::from(asn.get() % 3)).unwrap(),
+            |asn| CostFunction::linear(0.02 + f64::from(asn.get() % 5) * 0.01).unwrap(),
+        );
+        let flows = FlowMatrix::degree_gravity(&net.graph, 0.5);
+        MarketState::new(net.graph.clone(), econ, flows).unwrap()
+    }
+
+    #[test]
+    fn evolution_is_thread_count_independent() {
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                noise: 0.15,
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 3,
+            adopt_top: 5,
+            min_surplus: 1e-3,
+            shock: 0.4,
+        };
+        let reference = {
+            let mut state = synthetic_state(200, 23);
+            evolve(&mut state, &config, &ScenarioSweep::sequential(9)).unwrap()
+        };
+        assert!(
+            reference.total_adopted() > 0,
+            "the synthetic market must trade"
+        );
+        assert!(
+            reference
+                .rounds
+                .iter()
+                .any(|r| r.price_shocks + r.failed_links > 0),
+            "shocks must fire across 3 rounds"
+        );
+        for threads in [2, 4] {
+            let mut state = synthetic_state(200, 23);
+            let parallel = evolve(
+                &mut state,
+                &config,
+                &ScenarioSweep::new(ThreadPool::new(threads), 9),
+            )
+            .unwrap();
+            assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn dense_and_legacy_agree_after_adoption() {
+        // Satellite: materializing agreements must keep the dense tables
+        // equivalent to the sparse stack — evaluate the post-adoption
+        // market with both engines.
+        let mut state = synthetic_state(260, 23);
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                grid: 4,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 1,
+            adopt_top: 8,
+            min_surplus: 1e-6,
+            shock: 0.0,
+        };
+        let report = evolve(&mut state, &config, &ScenarioSweep::sequential(5)).unwrap();
+        assert!(report.total_adopted() > 0, "nothing was adopted");
+
+        let graph = state.graph();
+        let model = state.econ().to_business_model(graph);
+        let candidates = enumerate_candidates(graph, CandidatePolicy::PeeringAdjacent);
+        let ctx = BatchContext::new(graph, state.econ(), state.flows()).unwrap();
+        let mut scratch = PairScratch::new();
+        let mut compared = 0usize;
+        for &pair in candidates.iter().step_by(11) {
+            let dense = evaluate_candidate(&ctx, &mut scratch, pair, 0.5, 0.2, 4).unwrap();
+            let fx = state.flows().to_flow_vec(graph, pair.x);
+            let fy = state.flows().to_flow_vec(graph, pair.y);
+            let legacy = evaluate_candidate_legacy(&model, &fx, &fy, 0.5, 0.2, 4).unwrap();
+            assert_outcomes_match(&dense, &legacy, 1e-6);
+            compared += 1;
+        }
+        assert!(compared > 20);
+        // And the full Eq. (1) utilities agree AS by AS.
+        for i in 0..graph.node_count() as u32 {
+            let f = state.flows().to_flow_vec(graph, i);
+            let sparse = model.utility(&f).unwrap();
+            let dense = state.econ().utility(state.flows(), i).unwrap();
+            assert!(
+                (sparse - dense).abs() < 1e-6,
+                "AS {}: {sparse} vs {dense}",
+                graph.asn_at(i)
+            );
+        }
+    }
+
+    #[test]
+    fn cash_ledger_is_conserved() {
+        let mut state = synthetic_state(200, 23);
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 2,
+            adopt_top: 10,
+            min_surplus: 1e-6,
+            shock: 0.0,
+        };
+        let report = evolve(&mut state, &config, &ScenarioSweep::sequential(3)).unwrap();
+        assert!(report.total_adopted() > 0);
+        let net: f64 = (0..state.graph().node_count() as u32)
+            .map(|i| state.cash_balance(i))
+            .sum();
+        assert!(net.abs() < 1e-9, "transfers are zero-sum, net {net}");
+        let moved: f64 = report
+            .agreements
+            .iter()
+            .map(|a| a.transfer_x_to_y.abs())
+            .sum();
+        assert!(moved > 0.0, "some compensation must flow");
+    }
+
+    #[test]
+    fn invalid_evolution_configs_are_rejected() {
+        let mut state = arbitrage_state(false);
+        let sweep = ScenarioSweep::sequential(1);
+        for config in [
+            EvolutionConfig {
+                rounds: 0,
+                ..EvolutionConfig::default()
+            },
+            EvolutionConfig {
+                adopt_top: 0,
+                ..EvolutionConfig::default()
+            },
+            EvolutionConfig {
+                shock: 1.5,
+                ..EvolutionConfig::default()
+            },
+            EvolutionConfig {
+                min_surplus: f64::NAN,
+                ..EvolutionConfig::default()
+            },
+            EvolutionConfig {
+                min_surplus: f64::INFINITY,
+                ..EvolutionConfig::default()
+            },
+            EvolutionConfig {
+                min_surplus: -1.0,
+                ..EvolutionConfig::default()
+            },
+            EvolutionConfig {
+                discovery: DiscoveryConfig {
+                    grid: 1,
+                    ..DiscoveryConfig::default()
+                },
+                ..EvolutionConfig::default()
+            },
+        ] {
+            assert!(
+                evolve(&mut state, &config, &sweep).is_err(),
+                "{config:?} must be rejected"
+            );
+        }
+        assert!(
+            state
+                .adopt_outcome(
+                    &evaluate_pair(&state, X, Y, (1.0, 0.0)),
+                    3,
+                    f64::INFINITY,
+                    0
+                )
+                .is_err(),
+            "non-finite thresholds are rejected"
+        );
+    }
+}

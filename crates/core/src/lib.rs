@@ -21,6 +21,10 @@
 //!   internet, evaluate Eq. 3/7 incrementally on dense
 //!   [`pan_econ::FlowMatrix`]/[`pan_econ::DenseEconomics`] tables, run
 //!   Eq. 9–11 per pair, and rank concluded agreements by surplus.
+//! - [`dynamics`]: multi-round market evolution on top of [`discovery`] —
+//!   adopt the top agreements, materialize their flow volumes and NBS
+//!   transfers (registering new peering links for prospective pairs),
+//!   optionally shock the market, and iterate to a fixed point.
 //! - [`extension`]: extension of agreement paths (§III-B3) with the
 //!   interdependency constraint on base-agreement targets.
 //!
@@ -71,6 +75,7 @@ mod scenario;
 
 pub mod cash;
 pub mod discovery;
+pub mod dynamics;
 pub mod estimate;
 pub mod extension;
 pub mod flow_volume;
@@ -84,6 +89,9 @@ pub use cash::{settle, CashAgreement, CashOptimizer, CashOutcome, CashSettlement
 pub use discovery::{
     discover, enumerate_candidates, BatchContext, CandidatePair, CandidatePolicy, DiscoveryConfig,
     DiscoveryReport, PairOutcome, PairScratch,
+};
+pub use dynamics::{
+    evolve, AdoptedAgreement, EvolutionConfig, EvolutionReport, MarketState, RoundRecord,
 };
 pub use error::AgreementError;
 pub use flow_volume::{FlowVolumeAgreement, FlowVolumeOptimizer, FlowVolumeOutcome};

@@ -191,6 +191,35 @@ impl FlowMatrix {
         Ok(())
     }
 
+    /// Remaps the matrix onto `new_graph`: a graph with the **same nodes
+    /// at the same dense indices** as `old_graph` (the graph this matrix
+    /// was built for) but possibly additional links — the shape produced
+    /// by [`AsGraph::with_added_peering_links`]. Every existing volume
+    /// follows its link to the link's new packed position; entries of new
+    /// links start at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`] if the graphs disagree on the node
+    /// set or `new_graph` dropped a link of `old_graph`.
+    pub fn remapped(&self, old_graph: &AsGraph, new_graph: &AsGraph) -> Result<FlowMatrix> {
+        check_same_nodes(old_graph, new_graph)?;
+        let mut out = FlowMatrix::zeros(new_graph);
+        for i in 0..old_graph.node_count() as u32 {
+            for (old_pos, &j) in old_graph.neighbor_indices(i).iter().enumerate() {
+                let new_pos = new_graph.neighbor_position(i, j).ok_or_else(|| {
+                    EconError::Topology(pan_topology::TopologyError::UnknownLink {
+                        a: old_graph.asn_at(i),
+                        b: old_graph.asn_at(j),
+                    })
+                })?;
+                out.set(i, new_pos, self.flow(i, old_pos));
+            }
+            out.set_end_host(i, self.end_host(i));
+        }
+        Ok(out)
+    }
+
     /// Extracts the row of node `i` as an ASN-keyed [`FlowVec`]
     /// (zero-volume entries are skipped, matching sparse conventions).
     #[must_use]
@@ -208,6 +237,24 @@ impl FlowMatrix {
         }
         flows
     }
+}
+
+/// Both remap targets require the node sets (and their dense indices) to
+/// be identical — only links may differ.
+fn check_same_nodes(old_graph: &AsGraph, new_graph: &AsGraph) -> Result<()> {
+    if old_graph.node_count() != new_graph.node_count()
+        || (0..old_graph.node_count() as u32).any(|i| old_graph.asn_at(i) != new_graph.asn_at(i))
+    {
+        return Err(EconError::Topology(
+            pan_topology::TopologyError::UnknownAs {
+                asn: new_graph
+                    .ases()
+                    .find(|&asn| !old_graph.contains(asn))
+                    .unwrap_or_else(|| old_graph.asn_at(0)),
+            },
+        ));
+    }
+    Ok(())
 }
 
 /// The pricing attached to one packed adjacency entry of an AS: the
@@ -353,6 +400,114 @@ impl DenseEconomics {
             model.set_internal_cost(graph.asn_at(i), self.internal_cost(i));
         }
         model
+    }
+
+    /// Remaps the tables onto `new_graph` (same nodes and indices as
+    /// `old_graph`, possibly more links — see [`FlowMatrix::remapped`]).
+    /// Existing entries follow their link; entries of new links must be
+    /// **peering** links and become settlement-free
+    /// (`sign == 0`, [`PricingFunction::free`]) — exactly what adopting a
+    /// prospective mutuality agreement creates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`] if the node sets differ, a link of
+    /// `old_graph` is missing from `new_graph`, or a new link is not a
+    /// peering link (transit links need a priced contract, which a remap
+    /// cannot invent).
+    pub fn remapped(&self, old_graph: &AsGraph, new_graph: &AsGraph) -> Result<DenseEconomics> {
+        check_same_nodes(old_graph, new_graph)?;
+        let n = new_graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut entries = Vec::new();
+        for i in 0..n as u32 {
+            let (p_end, e_end) = new_graph.class_boundaries(i);
+            let mut carried = 0usize;
+            for (pos, &j) in new_graph.neighbor_indices(i).iter().enumerate() {
+                let entry = match old_graph.neighbor_position(i, j) {
+                    Some(old_pos) => {
+                        carried += 1;
+                        self.entry(i, old_pos)
+                    }
+                    None if pos >= p_end && pos < e_end => PricedEntry {
+                        price: PricingFunction::free(),
+                        sign: 0.0,
+                    },
+                    None => {
+                        return Err(EconError::Topology(
+                            pan_topology::TopologyError::UnknownLink {
+                                a: new_graph.asn_at(i),
+                                b: new_graph.asn_at(j),
+                            },
+                        ));
+                    }
+                };
+                entries.push(entry);
+            }
+            offsets.push(entries.len() as u32);
+            // Every old link must have carried its entry into the new
+            // row — a dropped link is an error even when additions keep
+            // the row length unchanged.
+            if carried < old_graph.degree_of_index(i) {
+                let missing = old_graph
+                    .neighbor_indices(i)
+                    .iter()
+                    .find(|&&j| new_graph.neighbor_position(i, j).is_none())
+                    .copied()
+                    .unwrap_or(i);
+                return Err(EconError::Topology(
+                    pan_topology::TopologyError::UnknownLink {
+                        a: old_graph.asn_at(i),
+                        b: old_graph.asn_at(missing),
+                    },
+                ));
+            }
+        }
+        Ok(DenseEconomics {
+            offsets,
+            entries,
+            end_host_price: self.end_host_price.clone(),
+            internal_cost: self.internal_cost.clone(),
+        })
+    }
+
+    /// Scales the price of the packed adjacency entry at `pos` of `node`
+    /// by `factor` (see [`PricingFunction::scaled`]) — one side of a
+    /// market price shock. Transit links have **two** entries (one per
+    /// endpoint); shock both for a consistent book.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a negative or
+    /// non-finite factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not a position of `node`'s row — a silent
+    /// out-of-range write would reprice a different AS's link.
+    pub fn scale_entry_price(&mut self, node: u32, pos: usize, factor: f64) -> Result<()> {
+        let row = self.offsets[node as usize] as usize;
+        let row_len = self.offsets[node as usize + 1] as usize - row;
+        assert!(
+            pos < row_len,
+            "entry position {pos} out of range for node {node} (degree {row_len})"
+        );
+        let at = row + pos;
+        self.entries[at].price = self.entries[at].price.scaled(factor)?;
+        Ok(())
+    }
+
+    /// Scales the end-host price of `node` by `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a negative or
+    /// non-finite factor.
+    pub fn scale_end_host_price(&mut self, node: u32, factor: f64) -> Result<()> {
+        let price = &mut self.end_host_price[node as usize];
+        *price = price.scaled(factor)?;
+        Ok(())
     }
 
     /// The priced entry at packed position `pos` of node `i`.
@@ -558,6 +713,115 @@ mod tests {
                 assert_eq!(dense.entry(i, pos).sign, expected);
             }
         }
+    }
+
+    #[test]
+    fn remap_follows_links_onto_an_extended_graph() {
+        let g = fig1();
+        let m = model();
+        let dense = DenseEconomics::from_model(&m);
+        let flows = FlowMatrix::degree_gravity(&g, 1.0);
+        // C–E is not a link of fig1; add it as adopted peering.
+        let (c, e) = (g.index_of(asn('C')).unwrap(), g.index_of(asn('E')).unwrap());
+        let extended = g.with_added_peering_links(&[(c, e)]).unwrap();
+        let flows2 = flows.remapped(&g, &extended).unwrap();
+        let dense2 = dense.remapped(&g, &extended).unwrap();
+        assert_eq!(flows2.node_count(), flows.node_count());
+        // Every old volume and priced entry followed its link.
+        for i in 0..g.node_count() as u32 {
+            for (old_pos, &j) in g.neighbor_indices(i).iter().enumerate() {
+                let new_pos = extended.neighbor_position(i, j).unwrap();
+                assert_eq!(flows2.flow(i, new_pos), flows.flow(i, old_pos));
+                assert_eq!(dense2.entry(i, new_pos), dense.entry(i, old_pos));
+            }
+            assert_eq!(flows2.end_host(i), flows.end_host(i));
+        }
+        // The new link starts settlement-free with zero flow on both ends.
+        let pos_ce = extended.neighbor_position(c, e).unwrap();
+        let pos_ec = extended.neighbor_position(e, c).unwrap();
+        assert_eq!(flows2.flow(c, pos_ce), 0.0);
+        assert_eq!(flows2.flow(e, pos_ec), 0.0);
+        assert_eq!(dense2.entry(c, pos_ce).sign, 0.0);
+        assert_eq!(dense2.entry(e, pos_ec).sign, 0.0);
+        // Utilities are invariant under the remap (free zero-flow links
+        // contribute nothing).
+        for i in 0..g.node_count() as u32 {
+            let before = dense.utility(&flows, i).unwrap();
+            let after = dense2.utility(&flows2, i).unwrap();
+            assert!((before - after).abs() < 1e-12, "AS {}", g.asn_at(i));
+        }
+    }
+
+    #[test]
+    fn remap_detects_dropped_links_even_at_unchanged_degrees() {
+        use pan_topology::{AsGraphBuilder, Relationship};
+        // old: 1→2 and 3→4 transit. new: same nodes (same indices), the
+        // transit links dropped, 1–3 and 2–4 peering added — every row
+        // keeps its degree, so only per-link tracking can catch it.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        b.add_link(Asn::new(3), Asn::new(4), Relationship::ProviderToCustomer)
+            .unwrap();
+        let old = b.build().unwrap();
+        let mut b = AsGraphBuilder::new();
+        for n in 1..=4 {
+            b.add_as(Asn::new(n));
+        }
+        b.add_link(Asn::new(1), Asn::new(3), Relationship::PeerToPeer)
+            .unwrap();
+        b.add_link(Asn::new(2), Asn::new(4), Relationship::PeerToPeer)
+            .unwrap();
+        let new = b.build().unwrap();
+        let dense = DenseEconomics::build(
+            &old,
+            |_, _| PricingFunction::per_usage(2.0).unwrap(),
+            |_| PricingFunction::free(),
+            |_| CostFunction::linear(0.1).unwrap(),
+        );
+        let flows = FlowMatrix::degree_gravity(&old, 1.0);
+        assert!(dense.remapped(&old, &new).is_err(), "dropped link missed");
+        assert!(flows.remapped(&old, &new).is_err(), "dropped link missed");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scale_entry_price_rejects_out_of_row_positions() {
+        let g = fig1();
+        let mut dense = DenseEconomics::from_model(&model());
+        let d = g.index_of(asn('D')).unwrap();
+        // D's degree is 4; position 4 belongs to the next row.
+        dense
+            .scale_entry_price(d, g.degree_of_index(d), 1.1)
+            .unwrap();
+    }
+
+    #[test]
+    fn remap_rejects_mismatched_node_sets() {
+        let g = fig1();
+        let other = pan_topology::fixtures::diamond();
+        let dense = DenseEconomics::from_model(&model());
+        let flows = FlowMatrix::degree_gravity(&g, 1.0);
+        assert!(flows.remapped(&g, &other).is_err());
+        assert!(dense.remapped(&g, &other).is_err());
+    }
+
+    #[test]
+    fn price_scaling_shocks_one_entry() {
+        let g = fig1();
+        let mut dense = DenseEconomics::from_model(&model());
+        let d = g.index_of(asn('D')).unwrap();
+        let a = g.index_of(asn('A')).unwrap();
+        let pos = g.neighbor_position(d, a).unwrap();
+        let before = dense.entry(d, pos).price;
+        dense.scale_entry_price(d, pos, 1.5).unwrap();
+        assert_eq!(dense.entry(d, pos).price.alpha(), before.alpha() * 1.5);
+        assert_eq!(dense.entry(d, pos).price.beta(), before.beta());
+        assert!(dense.scale_entry_price(d, pos, -1.0).is_err());
+        let eh_before = dense.end_host_price(d);
+        dense.scale_end_host_price(d, 0.5).unwrap();
+        assert_eq!(dense.end_host_price(d).alpha(), eh_before.alpha() * 0.5);
+        assert!(dense.scale_end_host_price(d, f64::NAN).is_err());
     }
 
     #[test]

@@ -105,6 +105,28 @@ impl PricingFunction {
         }
     }
 
+    /// The same pricing curve with its coefficient scaled:
+    /// `α·f^β → (factor·α)·f^β`. The market-shock primitive — a price
+    /// rises or falls uniformly across all volumes without changing the
+    /// curve's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for a negative or
+    /// non-finite factor.
+    pub fn scaled(self, factor: f64) -> Result<Self> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(EconError::InvalidParameter {
+                name: "factor",
+                value: factor,
+            });
+        }
+        Ok(PricingFunction {
+            alpha: self.alpha * factor,
+            beta: self.beta,
+        })
+    }
+
     /// The coefficient `α`.
     #[must_use]
     pub const fn alpha(self) -> f64 {

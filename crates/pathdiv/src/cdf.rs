@@ -25,7 +25,7 @@ impl EmpiricalCdf {
     #[must_use]
     pub fn from_samples(samples: Vec<f64>) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|v| !v.is_nan()).collect();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        sorted.sort_unstable_by(f64::total_cmp);
         EmpiricalCdf { sorted }
     }
 
@@ -160,6 +160,19 @@ mod tests {
     fn nans_are_dropped() {
         let cdf = EmpiricalCdf::from_samples(vec![1.0, f64::NAN, 2.0]);
         assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.max(), Some(2.0));
+    }
+
+    #[test]
+    fn all_nan_samples_yield_an_empty_cdf_without_panicking() {
+        // The construction sort is total_cmp-based, so even a sample that
+        // is entirely NaN (or mixed with infinities) builds cleanly.
+        let cdf = EmpiricalCdf::from_samples(vec![f64::NAN, f64::NAN]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.cdf(0.0), 0.0);
+        let mixed = EmpiricalCdf::from_samples(vec![f64::NAN, f64::INFINITY, 1.0]);
+        assert_eq!(mixed.len(), 2);
+        assert_eq!(mixed.max(), Some(f64::INFINITY));
     }
 
     #[test]
@@ -179,7 +192,7 @@ mod tests {
     proptest! {
         #[test]
         fn cdf_is_monotone(mut samples in prop::collection::vec(-100.0..100.0f64, 1..50)) {
-            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            samples.sort_by(f64::total_cmp);
             let cdf = EmpiricalCdf::from_samples(samples.clone());
             let mut prev = 0.0;
             for step in -110..110 {

@@ -163,7 +163,7 @@ fn analyze_source(
     dsts.sort_unstable();
     for dst in dsts {
         let mut values = grc.remove(&dst).expect("key from the map");
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("metrics are finite"));
+        values.sort_unstable_by(f64::total_cmp);
         let (best, worst) = match direction {
             Direction::LowerIsBetter => (values[0], values[values.len() - 1]),
             Direction::HigherIsBetter => (values[values.len() - 1], values[0]),

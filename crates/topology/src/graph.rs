@@ -564,6 +564,67 @@ impl AsGraph {
             .count()
     }
 
+    /// Returns a copy of the graph with additional **peering** links
+    /// between the given dense node-index pairs — the topology side of
+    /// adopting a prospective (k-hop) mutuality agreement, which first
+    /// has to establish settlement-free peering between the parties.
+    ///
+    /// The node set and every dense node index are preserved, so
+    /// CSR-aligned per-node tables built against `self` can be remapped
+    /// entry-wise onto the returned graph. Existing [`LinkId`]s are
+    /// preserved too; the new links take the next identifiers in order.
+    ///
+    /// # Errors
+    ///
+    /// - [`TopologyError::SelfLoop`] if a pair connects an AS to itself.
+    /// - [`TopologyError::ConflictingLink`] if a pair (or a duplicate
+    ///   within `pairs`) is already adjacent — peering cannot be stacked
+    ///   on an existing relationship.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of bounds.
+    pub fn with_added_peering_links(&self, pairs: &[(u32, u32)]) -> Result<AsGraph> {
+        let mut links = self.links.clone();
+        let mut added: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            if a == b {
+                return Err(TopologyError::SelfLoop {
+                    asn: self.asn_at(a),
+                });
+            }
+            let key = (a.min(b), a.max(b));
+            if let Some(id) = self.link_id_between_indices(a, b) {
+                return Err(TopologyError::ConflictingLink {
+                    a: self.asn_at(a),
+                    b: self.asn_at(b),
+                    existing: self.links[id.index()].relationship,
+                    new: Relationship::PeerToPeer,
+                });
+            }
+            if added.contains(&key) {
+                return Err(TopologyError::ConflictingLink {
+                    a: self.asn_at(a),
+                    b: self.asn_at(b),
+                    existing: Relationship::PeerToPeer,
+                    new: Relationship::PeerToPeer,
+                });
+            }
+            added.push(key);
+            links.push(LinkRecord {
+                a,
+                b,
+                relationship: Relationship::PeerToPeer,
+            });
+        }
+        Ok(AsGraph {
+            adjacency: CsrAdjacency::build(self.asns.len(), &links, &self.asns),
+            asns: self.asns.clone(),
+            index: self.index.clone(),
+            links,
+        })
+    }
+
     /// Rebuilds the skipped lookup tables after deserialization.
     ///
     /// [`AsGraph`] serializes only its canonical tables (`asns` and
@@ -817,6 +878,38 @@ mod tests {
                 assert_eq!(g.link_id_between_indices(x, j), Some(LinkId(l)));
             }
         }
+    }
+
+    #[test]
+    fn added_peering_links_preserve_indices_and_extend_adjacency() {
+        let g = fig1();
+        // C and E are not adjacent in fig1 (peers-of-peers through D).
+        let (c, e) = (g.index_of(a('C')).unwrap(), g.index_of(a('E')).unwrap());
+        assert_eq!(g.neighbor_kind_by_index(c, e), None);
+        let extended = g.with_added_peering_links(&[(c, e)]).unwrap();
+        assert_eq!(extended.node_count(), g.node_count());
+        assert_eq!(extended.link_count(), g.link_count() + 1);
+        assert_eq!(extended.peering_link_count(), g.peering_link_count() + 1);
+        assert_eq!(
+            extended.neighbor_kind_by_index(c, e),
+            Some(NeighborKind::Peer)
+        );
+        // Indices and existing links are untouched.
+        for asn in g.ases() {
+            assert_eq!(
+                g.index_of(asn).unwrap(),
+                extended.index_of(asn).unwrap(),
+                "{asn} moved"
+            );
+        }
+        for link in g.links() {
+            assert_eq!(extended.link(link.id), link);
+        }
+        // Rejections: self-loops, existing links, duplicates in the batch.
+        assert!(g.with_added_peering_links(&[(c, c)]).is_err());
+        let (d, h) = (g.index_of(a('D')).unwrap(), g.index_of(a('H')).unwrap());
+        assert!(g.with_added_peering_links(&[(d, h)]).is_err());
+        assert!(g.with_added_peering_links(&[(c, e), (e, c)]).is_err());
     }
 
     #[test]
