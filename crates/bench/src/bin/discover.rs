@@ -24,12 +24,13 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use pan_bench::{print_header, synthetic_economics, ScenarioSpec};
-use pan_core::discovery::{
-    discover, enumerate_candidates, evaluate_candidate_legacy, BatchContext, CandidatePolicy,
-    DiscoveryConfig, DiscoveryReport, PairOutcome,
+use pan_bench::{
+    at_market_scale, discovery_config, market_tables, print_header, ReportSink, ScenarioSpec,
 };
-use pan_econ::FlowMatrix;
+use pan_core::discovery::{
+    discover, enumerate_candidates, evaluate_candidate_legacy, BatchContext, DiscoveryReport,
+    PairOutcome,
+};
 
 #[derive(Debug, Serialize)]
 struct BenchRecord {
@@ -74,10 +75,10 @@ fn print_report(report: &DiscoveryReport, engine: &str) {
 }
 
 fn main() {
-    let (mut spec, rest) = ScenarioSpec::from_args(std::env::args());
+    let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
+    let sink = ReportSink::from_spec(&spec, &mut rest);
     let mut engine = "dense".to_owned();
     let mut limit = 0usize;
-    let mut bench_out: Option<String> = None;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         let mut value = |flag: &str| {
@@ -92,7 +93,6 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| panic!("--limit expects a count, got {raw:?}"));
             }
-            "--bench-out" => bench_out = Some(value("--bench-out")),
             other => panic!(
                 "unknown flag {other:?}; discover adds: --engine dense|legacy, --limit <N>, \
                  --bench-out <path>"
@@ -103,19 +103,14 @@ fn main() {
         engine == "dense" || engine == "legacy",
         "--engine must be dense or legacy, got {engine:?}"
     );
-    if spec.ases == 0 {
-        // The discovery workload is internet-scale by definition; even
-        // --quick sweeps a full 10k-AS topology (with a coarser grid).
-        spec.ases = 10_000;
-    }
+    // The discovery workload is internet-scale by definition; even
+    // --quick sweeps a full 10k-AS topology (with a coarser grid).
+    let spec = at_market_scale(spec);
     if engine == "legacy" && limit == 0 {
         limit = 200;
     }
-    let grid = if spec.quick {
-        spec.discovery.grid.min(3)
-    } else {
-        spec.discovery.grid
-    };
+    let config = discovery_config(&spec);
+    let grid = config.grid;
 
     print_header(
         "Discovery",
@@ -123,7 +118,7 @@ fn main() {
         &spec,
     );
     let t_gen = Instant::now();
-    let net = spec.internet();
+    let (net, econ, flows) = market_tables(&spec);
     eprintln!(
         "# generated {} ASes in {:.2}s",
         net.graph.node_count(),
@@ -136,31 +131,16 @@ fn main() {
         net.graph.transit_link_count(),
         net.graph.peering_link_count()
     );
-    let econ = synthetic_economics(&net);
-    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
     let ctx = BatchContext::new(&net.graph, &econ, &flows).expect("tables match the graph");
-    let policy = if spec.discovery.khop <= 1 {
-        CandidatePolicy::PeeringAdjacent
-    } else {
-        CandidatePolicy::PeeringKHop {
-            k: spec.discovery.khop,
-            per_source_cap: spec.discovery.khop_cap,
-        }
-    };
     println!(
-        "# policy: {policy:?}, shares: reroute {} / attract {}, grid {grid}×{grid}, noise {}",
-        spec.discovery.reroute_share, spec.discovery.attract_share, spec.discovery.noise
+        "# policy: {:?}, shares: reroute {} / attract {}, grid {grid}×{grid}, noise {}",
+        config.policy,
+        spec.discovery.reroute_share,
+        spec.discovery.attract_share,
+        spec.discovery.noise
     );
 
     let (report, seconds) = if engine == "dense" {
-        let config = DiscoveryConfig {
-            policy,
-            reroute_share: spec.discovery.reroute_share,
-            attract_share: spec.discovery.attract_share,
-            grid,
-            noise: spec.discovery.noise,
-            top: spec.discovery.top,
-        };
         if limit > 0 {
             eprintln!("# note: --limit applies to the legacy engine; dense sweeps everything");
         }
@@ -173,7 +153,7 @@ fn main() {
         // `Agreement::mutuality` requires the parties to already peer,
         // so prospective (k-hop > 1) candidates are dense-engine-only.
         let model = econ.to_business_model(&net.graph);
-        let mut candidates = enumerate_candidates(&net.graph, policy);
+        let mut candidates = enumerate_candidates(&net.graph, config.policy);
         let before = candidates.len();
         candidates.retain(|pair| pair.peering_hops == 1);
         if candidates.len() < before {
@@ -213,26 +193,13 @@ fn main() {
         "# swept {} candidate pairs in {seconds:.3}s — {rate:.0} pairs/s at {} threads",
         report.candidates, spec.threads
     );
-    if spec.json {
-        println!(
-            "{}",
-            serde_json::to_string(&report).expect("reports serialize")
-        );
-    }
-    if let Some(path) = bench_out {
-        let record = BenchRecord {
-            engine,
-            ases: spec.ases,
-            threads: spec.threads,
-            candidate_pairs: report.candidates,
-            seconds,
-            pairs_per_second: rate,
-        };
-        std::fs::write(
-            &path,
-            serde_json::to_string(&record).expect("records serialize"),
-        )
-        .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
-        eprintln!("# wrote timing record to {path}");
-    }
+    sink.emit_json(&report);
+    sink.write_record(&BenchRecord {
+        engine,
+        ases: spec.ases,
+        threads: spec.threads,
+        candidate_pairs: report.candidates,
+        seconds,
+        pairs_per_second: rate,
+    });
 }

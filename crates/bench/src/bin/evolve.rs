@@ -22,10 +22,10 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use pan_bench::{print_header, synthetic_economics, ScenarioSpec};
-use pan_core::discovery::{CandidatePolicy, DiscoveryConfig};
-use pan_core::dynamics::{evolve, EvolutionConfig, EvolutionReport, MarketState};
-use pan_econ::FlowMatrix;
+use pan_bench::{
+    at_market_scale, evolution_config, market_state, print_header, ReportSink, ScenarioSpec,
+};
+use pan_core::dynamics::{evolve, EvolutionReport};
 
 #[derive(Debug, Serialize)]
 struct BenchRecord {
@@ -106,35 +106,14 @@ fn print_report(report: &EvolutionReport) {
 }
 
 fn main() {
-    let (mut spec, rest) = ScenarioSpec::from_args(std::env::args());
-    let mut bench_out: Option<String> = None;
-    let mut rest = rest.into_iter();
-    while let Some(arg) = rest.next() {
-        match arg.as_str() {
-            "--bench-out" => {
-                bench_out = Some(
-                    rest.next()
-                        .unwrap_or_else(|| panic!("--bench-out requires a value")),
-                );
-            }
-            other => panic!("unknown flag {other:?}; evolve adds: --bench-out <path>"),
-        }
-    }
-    if spec.ases == 0 {
-        // Like `discover`, the evolution workload is internet-scale by
-        // definition; --quick keeps the grid coarse and the rounds few.
-        spec.ases = 10_000;
-    }
-    let grid = if spec.quick {
-        spec.discovery.grid.min(3)
-    } else {
-        spec.discovery.grid
-    };
-    let rounds = if spec.quick {
-        spec.evolution.rounds.min(4)
-    } else {
-        spec.evolution.rounds
-    };
+    let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
+    let sink = ReportSink::from_spec(&spec, &mut rest);
+    ScenarioSpec::expect_no_extras(&rest);
+    // Like `discover`, the evolution workload is internet-scale by
+    // definition; --quick keeps the grid coarse and the rounds few.
+    let spec = at_market_scale(spec);
+    let config = evolution_config(&spec);
+    let grid = config.discovery.grid;
 
     print_header(
         "Evolution",
@@ -142,7 +121,7 @@ fn main() {
         &spec,
     );
     let t_gen = Instant::now();
-    let net = spec.internet();
+    let (net, mut state) = market_state(&spec);
     eprintln!(
         "# generated {} ASes in {:.2}s",
         net.graph.node_count(),
@@ -155,41 +134,18 @@ fn main() {
         net.graph.transit_link_count(),
         net.graph.peering_link_count()
     );
-    let econ = synthetic_economics(&net);
-    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
-    let policy = if spec.discovery.khop <= 1 {
-        CandidatePolicy::PeeringAdjacent
-    } else {
-        CandidatePolicy::PeeringKHop {
-            k: spec.discovery.khop,
-            per_source_cap: spec.discovery.khop_cap,
-        }
-    };
-    let config = EvolutionConfig {
-        discovery: DiscoveryConfig {
-            policy,
-            reroute_share: spec.discovery.reroute_share,
-            attract_share: spec.discovery.attract_share,
-            grid,
-            noise: spec.discovery.noise,
-            top: 0,
-        },
-        rounds,
-        adopt_top: spec.evolution.adopt_top,
-        min_surplus: spec.evolution.min_surplus,
-        shock: spec.evolution.shock,
-    };
     println!(
-        "# policy: {policy:?}, shares: reroute {} / attract {}, grid {grid}×{grid}, noise {}",
-        spec.discovery.reroute_share, spec.discovery.attract_share, spec.discovery.noise
+        "# policy: {:?}, shares: reroute {} / attract {}, grid {grid}×{grid}, noise {}",
+        config.discovery.policy,
+        spec.discovery.reroute_share,
+        spec.discovery.attract_share,
+        spec.discovery.noise
     );
     println!(
-        "# rounds: {rounds}, adopt-top: {}, min-surplus: {}, shock: {}",
-        config.adopt_top, config.min_surplus, config.shock
+        "# rounds: {}, adopt-top: {}, min-surplus: {}, shock: {}",
+        config.rounds, config.adopt_top, config.min_surplus, config.shock
     );
 
-    let mut state =
-        MarketState::new(net.graph.clone(), econ, flows).expect("tables match the graph");
     let t0 = Instant::now();
     let report = evolve(&mut state, &config, &spec.sweep()).expect("evolution succeeds");
     let seconds = t0.elapsed().as_secs_f64();
@@ -201,31 +157,20 @@ fn main() {
         seconds / report.rounds.len().max(1) as f64,
         spec.threads
     );
-    if spec.json {
-        println!(
-            "{}",
-            serde_json::to_string(&report).expect("reports serialize")
-        );
-    }
-    if let Some(path) = bench_out {
-        let record = BenchRecord {
-            ases: spec.ases,
-            threads: spec.threads,
-            rounds_configured: rounds,
-            adopt_top: config.adopt_top,
-            shock: config.shock,
-            fixed_point: report.fixed_point,
-            total_adopted: report.total_adopted(),
-            total_surplus: report.total_surplus,
-            new_links: report.agreements.iter().filter(|a| a.new_link).count(),
-            seconds,
-            report: report.clone(),
-        };
-        std::fs::write(
-            &path,
-            serde_json::to_string(&record).expect("records serialize"),
-        )
-        .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
-        eprintln!("# wrote trajectory record to {path}");
-    }
+    // stdout must stay byte-identical at any thread count: the JSON dump
+    // zeroes the per-round wall-clock; the bench record keeps it.
+    sink.emit_json(&report.with_zeroed_timings());
+    sink.write_record(&BenchRecord {
+        ases: spec.ases,
+        threads: spec.threads,
+        rounds_configured: config.rounds,
+        adopt_top: config.adopt_top,
+        shock: config.shock,
+        fixed_point: report.fixed_point,
+        total_adopted: report.total_adopted(),
+        total_surplus: report.total_surplus,
+        new_links: report.agreements.iter().filter(|a| a.new_link).count(),
+        seconds,
+        report: report.clone(),
+    });
 }

@@ -1,0 +1,150 @@
+//! Resident market-state server over the standard synthetic markets:
+//! keep a 10k-AS `MarketState` loaded and answer advisory queries,
+//! stream evolution rounds, and checkpoint/restore trajectories without
+//! rebuilding the world per request.
+//!
+//! ```console
+//! serve --quick --threads 4                    # defaults: 127.0.0.1:4780
+//! serve --addr 127.0.0.1:0                     # OS-assigned port (logged)
+//! serve-client --send '{"verb":"load","market":{}}' ...   # drive it
+//! ```
+//!
+//! Accepts the shared [`ScenarioSpec`] flags as the **base spec** of
+//! synthetic loads; a `load` request's `market` object overrides
+//! individual fields per load (`{"ases":500,"seed":7,"shock":0.2,…}`,
+//! same vocabulary as the spec flags). Plus:
+//!
+//! - `--addr <host:port>`: listen address (default `127.0.0.1:4780`);
+//! - `--bench-out <path>`: write a service summary record on shutdown.
+//!
+//! The listen address and all timings go to **stderr**; protocol replies
+//! are deterministic at any `--threads` value (the CI `serve-smoke` job
+//! diffs streamed `step` rounds against an `evolve` trajectory).
+
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use pan_bench::{at_market_scale, evolution_config, market_state, ReportSink, ScenarioSpec};
+use pan_serve::{LoadedMarket, MarketServer};
+
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    addr: String,
+    threads: usize,
+    connections: usize,
+    requests: usize,
+}
+
+/// Applies a `load` request's `market` object onto the base spec. The
+/// vocabulary mirrors the command-line flags, so a spec file, a flag,
+/// and a load request all say `"ases"`, `"seed"`, `"shock"`, … for the
+/// same knob.
+fn apply_overrides(base: ScenarioSpec, market: &Value) -> Result<ScenarioSpec, String> {
+    let Value::Map(entries) = market else {
+        return Err(format!(
+            "\"market\" must be an object, got {}",
+            market.kind()
+        ));
+    };
+    let mut spec = base;
+    for (key, value) in entries {
+        let bad = |kind: &str| format!("market field {key:?} must be {kind}");
+        let as_u64 = || match value {
+            Value::I64(n) if *n >= 0 => Ok(*n as u64),
+            Value::U64(n) => Ok(*n),
+            _ => Err(bad("a non-negative integer")),
+        };
+        let as_usize = || as_u64().map(|n| n as usize);
+        let as_f64 = || match value {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(bad("a number")),
+        };
+        let as_bool = || match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(bad("a boolean")),
+        };
+        match key.as_str() {
+            "quick" => spec.quick = as_bool()?,
+            "seed" => spec.seed = as_u64()?,
+            "ases" => spec.ases = as_usize()?,
+            "reroute" => spec.discovery.reroute_share = as_f64()?,
+            "attract" => spec.discovery.attract_share = as_f64()?,
+            "grid" => spec.discovery.grid = as_usize()?,
+            "khop" => {
+                spec.discovery.khop =
+                    u8::try_from(as_u64()?).map_err(|_| bad("a small hop count"))?;
+            }
+            "khop_cap" => spec.discovery.khop_cap = as_usize()?,
+            "noise" => spec.discovery.noise = as_f64()?,
+            "adopt_top" => spec.evolution.adopt_top = as_usize()?,
+            "min_surplus" => spec.evolution.min_surplus = as_f64()?,
+            "shock" => spec.evolution.shock = as_f64()?,
+            other => {
+                return Err(format!(
+                    "unknown market field {other:?}; known: quick, seed, ases, reroute, \
+                     attract, grid, khop, khop_cap, noise, adopt_top, min_surplus, shock"
+                ));
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn main() {
+    let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
+    let sink = ReportSink::from_spec(&spec, &mut rest);
+    let mut addr = "127.0.0.1:4780".to_owned();
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = rest
+                    .next()
+                    .unwrap_or_else(|| panic!("--addr requires a value"));
+            }
+            other => {
+                panic!("unknown flag {other:?}; serve adds: --addr <host:port>, --bench-out <path>")
+            }
+        }
+    }
+
+    let server = MarketServer::bind(&addr, spec.threads)
+        .unwrap_or_else(|e| panic!("cannot bind {addr:?}: {e}"));
+    let local = server.local_addr().expect("bound sockets have an address");
+    eprintln!(
+        "# serving on {local} at {} threads (base spec: seed {}, quick {})",
+        spec.threads, spec.seed, spec.quick
+    );
+
+    let loader = move |market: &Value| -> Result<LoadedMarket, String> {
+        let loaded_spec = at_market_scale(apply_overrides(spec, market)?);
+        let t0 = Instant::now();
+        let (net, state) = market_state(&loaded_spec);
+        eprintln!(
+            "# built {}-AS market (seed {}) in {:.2}s",
+            net.graph.node_count(),
+            loaded_spec.seed,
+            t0.elapsed().as_secs_f64()
+        );
+        Ok(LoadedMarket {
+            state,
+            config: evolution_config(&loaded_spec),
+            seed: loaded_spec.seed,
+            label: format!(
+                "synthetic:{}-as:seed-{}",
+                net.graph.node_count(),
+                loaded_spec.seed
+            ),
+        })
+    };
+    let summary = server.serve(&loader).expect("the serve loop runs");
+    sink.write_record(&BenchRecord {
+        addr: local.to_string(),
+        threads: spec.threads,
+        connections: summary.connections,
+        requests: summary.requests,
+    });
+}

@@ -1,0 +1,223 @@
+//! Scripted client for the `serve` binary — the driver tests and CI use
+//! to exercise the serving layer without hand-typed netcat sessions.
+//!
+//! ```console
+//! serve-client --addr 127.0.0.1:4780 \
+//!   --send '{"verb":"load","market":{}}' \
+//!   --send '{"verb":"step","rounds":4}' \
+//!   --send '{"verb":"quit"}' \
+//!   --expect-trajectory BENCH_evolution.json
+//! ```
+//!
+//! Every request is sent in order; every reply line is echoed to stdout
+//! verbatim. Exit codes: `0` success, `1` trajectory mismatch or a
+//! reply with `"ok":false` (unless `--allow-errors`), `2` usage or
+//! connection failure.
+//!
+//! - `--addr <host:port>`: server address (default `127.0.0.1:4780`);
+//! - `--send <json>`: a request line (repeatable, sent in order);
+//! - `--script <file>`: requests from a file, one JSON object per line
+//!   (`#` comments and blank lines skipped), sent before any `--send`;
+//! - `--connect-timeout-ms <n>`: retry budget while the server starts
+//!   (default 15000);
+//! - `--allow-errors`: do not fail on `"ok":false` replies (for scripts
+//!   probing error paths);
+//! - `--expect-trajectory <path>`: after the script, compare the
+//!   streamed `round` records against the `report.rounds` of an
+//!   `evolve --bench-out` record, wall-clock fields zeroed — the CI
+//!   check that a served trajectory is byte-identical to the batch one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Value};
+
+use pan_core::dynamics::RoundRecord;
+
+struct Options {
+    addr: String,
+    requests: Vec<String>,
+    connect_timeout: Duration,
+    allow_errors: bool,
+    expect_trajectory: Option<String>,
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!(
+        "error: {message}\nusage: serve-client [--addr <host:port>] [--script <file>] \
+         [--send <json>]... [--connect-timeout-ms <n>] [--allow-errors] \
+         [--expect-trajectory <bench.json>]"
+    );
+    exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        addr: "127.0.0.1:4780".to_owned(),
+        requests: Vec::new(),
+        connect_timeout: Duration::from_millis(15_000),
+        allow_errors: false,
+        expect_trajectory: None,
+    };
+    let mut sends = Vec::new();
+    let mut script: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr"),
+            "--send" => sends.push(value("--send")),
+            "--script" => script = Some(value("--script")),
+            "--connect-timeout-ms" => {
+                let raw = value("--connect-timeout-ms");
+                let ms: u64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --connect-timeout-ms {raw:?}")));
+                options.connect_timeout = Duration::from_millis(ms);
+            }
+            "--allow-errors" => options.allow_errors = true,
+            "--expect-trajectory" => options.expect_trajectory = Some(value("--expect-trajectory")),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(path) = script {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage(&format!("cannot read script {path:?}: {e}")));
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                options.requests.push(line.to_owned());
+            }
+        }
+    }
+    options.requests.extend(sends);
+    if options.requests.is_empty() {
+        usage("nothing to send; give --send or --script");
+    }
+    options
+}
+
+fn connect(addr: &str, budget: Duration) -> TcpStream {
+    let started = Instant::now();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                if started.elapsed() >= budget {
+                    eprintln!("error: cannot connect to {addr}: {e}");
+                    exit(2);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn is_ok(reply: &Value) -> bool {
+    matches!(reply.field("ok"), Ok(Value::Bool(true)))
+}
+
+fn reply_verb(reply: &Value) -> &str {
+    match reply.field("verb") {
+        Ok(Value::Str(s)) => s.as_str(),
+        _ => "",
+    }
+}
+
+fn main() {
+    let options = parse_options();
+    let stream = connect(&options.addr, options.connect_timeout);
+    let mut writer = stream.try_clone().expect("streams clone");
+    let mut reader = BufReader::new(stream);
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut failures = 0usize;
+
+    for request in &options.requests {
+        writeln!(writer, "{request}").expect("request writes");
+        // Every verb answers with exactly one line, except `step`, which
+        // streams `round` lines until its closing `step` summary (or an
+        // error line) — so: read lines until something other than a
+        // `round` arrives.
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).expect("reply reads") == 0 {
+                eprintln!("error: server closed the connection mid-reply");
+                exit(2);
+            }
+            let line = line.trim_end();
+            println!("{line}");
+            let reply: Value = serde_json::from_str(line).unwrap_or_else(|e| {
+                eprintln!("error: unparseable reply {line:?}: {e}");
+                exit(2);
+            });
+            if !is_ok(&reply) {
+                failures += 1;
+                break;
+            }
+            if reply_verb(&reply) == "round" {
+                let record = reply
+                    .field("record")
+                    .and_then(RoundRecord::from_value)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: malformed round record in {line:?}: {e}");
+                        exit(2);
+                    });
+                rounds.push(record);
+                continue;
+            }
+            break;
+        }
+    }
+
+    if failures > 0 && !options.allow_errors {
+        eprintln!("error: {failures} request(s) failed");
+        exit(1);
+    }
+
+    if let Some(path) = &options.expect_trajectory {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read trajectory {path:?}: {e}");
+            exit(2);
+        });
+        let record: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: malformed trajectory record {path:?}: {e}");
+            exit(2);
+        });
+        let expected: Vec<RoundRecord> = record
+            .field("report")
+            .and_then(|report| report.field("rounds"))
+            .and_then(Vec::<RoundRecord>::from_value)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {path:?} is not an evolve bench record: {e}");
+                exit(2);
+            });
+        let streamed: Vec<RoundRecord> = rounds.iter().map(|r| r.with_zeroed_timing()).collect();
+        let expected: Vec<RoundRecord> = expected.iter().map(|r| r.with_zeroed_timing()).collect();
+        if streamed != expected {
+            eprintln!(
+                "error: served trajectory diverged from {path:?} ({} streamed vs {} expected \
+                 rounds)",
+                streamed.len(),
+                expected.len()
+            );
+            for (i, (s, e)) in streamed.iter().zip(&expected).enumerate() {
+                if s != e {
+                    eprintln!(
+                        "  first divergent round {i}:\n    served:   {s:?}\n    expected: {e:?}"
+                    );
+                    break;
+                }
+            }
+            exit(1);
+        }
+        eprintln!(
+            "# served trajectory matches {path:?} ({} rounds, timings zeroed)",
+            streamed.len()
+        );
+    }
+}

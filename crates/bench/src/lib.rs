@@ -31,9 +31,13 @@ mod spec;
 
 pub use spec::{DiscoverySpec, EvolutionSpec, ScenarioSpec};
 
+use pan_core::discovery::CandidatePolicy;
+use pan_core::dynamics::MarketState;
+use pan_core::{DiscoveryConfig, EvolutionConfig};
 use pan_datasets::{SyntheticInternet, Tier};
-use pan_econ::{CostFunction, DenseEconomics, PricingFunction};
+use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
 use pan_topology::Asn;
+use serde::Serialize;
 
 /// The standard evaluation topology of the spec: the full-size variant
 /// mirrors the structural richness the §VI analysis needs; the quick
@@ -91,6 +95,156 @@ pub fn synthetic_economics(net: &SyntheticInternet) -> DenseEconomics {
     )
 }
 
+/// The spec at market scale: `--ases 0` defaults to the 10,000-AS
+/// internet the discovery/evolution/serving workloads target (the figure
+/// binaries keep their smaller per-figure defaults).
+#[must_use]
+pub fn at_market_scale(mut spec: ScenarioSpec) -> ScenarioSpec {
+    if spec.ases == 0 {
+        spec.ases = 10_000;
+    }
+    spec
+}
+
+/// The discovery configuration of a spec: candidate policy from the
+/// k-hop knobs, quick-mode grid clamp, `--top` for report truncation.
+/// The single translation `discover`, `evolve`, and `serve` share.
+#[must_use]
+pub fn discovery_config(spec: &ScenarioSpec) -> DiscoveryConfig {
+    let policy = if spec.discovery.khop <= 1 {
+        CandidatePolicy::PeeringAdjacent
+    } else {
+        CandidatePolicy::PeeringKHop {
+            k: spec.discovery.khop,
+            per_source_cap: spec.discovery.khop_cap,
+        }
+    };
+    DiscoveryConfig {
+        policy,
+        reroute_share: spec.discovery.reroute_share,
+        attract_share: spec.discovery.attract_share,
+        grid: if spec.quick {
+            spec.discovery.grid.min(3)
+        } else {
+            spec.discovery.grid
+        },
+        noise: spec.discovery.noise,
+        top: spec.discovery.top,
+    }
+}
+
+/// The evolution configuration of a spec (quick mode caps the rounds;
+/// the per-round discovery always ranks the full candidate set, so its
+/// `top` is zeroed).
+#[must_use]
+pub fn evolution_config(spec: &ScenarioSpec) -> EvolutionConfig {
+    EvolutionConfig {
+        discovery: DiscoveryConfig {
+            top: 0,
+            ..discovery_config(spec)
+        },
+        rounds: if spec.quick {
+            spec.evolution.rounds.min(4)
+        } else {
+            spec.evolution.rounds
+        },
+        adopt_top: spec.evolution.adopt_top,
+        min_surplus: spec.evolution.min_surplus,
+        shock: spec.evolution.shock,
+    }
+}
+
+/// The standard market tables of a spec: synthetic internet, tier-aware
+/// economics, degree-gravity flows.
+#[must_use]
+pub fn market_tables(spec: &ScenarioSpec) -> (SyntheticInternet, DenseEconomics, FlowMatrix) {
+    let net = spec.internet();
+    let econ = synthetic_economics(&net);
+    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
+    (net, econ, flows)
+}
+
+/// The standard resident market of a spec ([`market_tables`] assembled
+/// into a [`MarketState`]) — what `evolve` and `serve` operate on.
+#[must_use]
+pub fn market_state(spec: &ScenarioSpec) -> (SyntheticInternet, MarketState) {
+    let (net, econ, flows) = market_tables(spec);
+    let state = MarketState::new(net.graph.clone(), econ, flows).expect("tables match the graph");
+    (net, state)
+}
+
+/// Unified `--json` / `--bench-out` report emission — the one
+/// implementation `discover`, `evolve`, and `serve` share: the
+/// deterministic report JSON goes to stdout (diffable across thread
+/// counts), the timing-bearing bench record goes to the `--bench-out`
+/// file with a stderr note.
+#[derive(Debug, Clone)]
+pub struct ReportSink {
+    json: bool,
+    bench_out: Option<String>,
+}
+
+impl ReportSink {
+    /// Couples the spec's `--json` flag with a `--bench-out <path>` flag
+    /// extracted (and removed) from the binary-specific leftover
+    /// arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--bench-out` is given without a value.
+    #[must_use]
+    pub fn from_spec(spec: &ScenarioSpec, rest: &mut Vec<String>) -> ReportSink {
+        let mut bench_out = None;
+        if let Some(at) = rest.iter().position(|arg| arg == "--bench-out") {
+            rest.remove(at);
+            if at >= rest.len() {
+                panic!("--bench-out requires a value");
+            }
+            bench_out = Some(rest.remove(at));
+        }
+        ReportSink {
+            json: spec.json,
+            bench_out,
+        }
+    }
+
+    /// `true` when `--bench-out` was given.
+    #[must_use]
+    pub fn wants_record(&self) -> bool {
+        self.bench_out.is_some()
+    }
+
+    /// Prints `report` as one JSON line on stdout when `--json` was
+    /// given. The report must be deterministic at any thread count —
+    /// strip wall-clock fields first (e.g.
+    /// [`pan_core::EvolutionReport::with_zeroed_timings`]).
+    pub fn emit_json<T: Serialize>(&self, report: &T) {
+        if self.json {
+            println!(
+                "{}",
+                serde_json::to_string(report).expect("reports serialize")
+            );
+        }
+    }
+
+    /// Writes the bench record when `--bench-out` was given, with a
+    /// stderr note (stdout stays deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written.
+    pub fn write_record<T: Serialize>(&self, record: &T) {
+        if let Some(path) = &self.bench_out {
+            std::fs::write(
+                path,
+                serde_json::to_string(record).expect("records serialize"),
+            )
+            .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+            eprintln!("# wrote bench record to {path}");
+        }
+    }
+}
+
 /// Sample size for per-AS analyses (paper: 500), honoring `--sample`.
 #[must_use]
 pub fn sample_size(spec: &ScenarioSpec) -> usize {
@@ -141,5 +295,67 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.5), " 50.0%");
+    }
+
+    #[test]
+    fn shared_configs_translate_the_spec() {
+        let mut spec = ScenarioSpec {
+            quick: true,
+            ..ScenarioSpec::default()
+        };
+        spec.discovery.grid = 5;
+        spec.discovery.top = 17;
+        spec.evolution.rounds = 12;
+        let discovery = discovery_config(&spec);
+        assert_eq!(discovery.grid, 3, "quick clamps the grid");
+        assert_eq!(discovery.top, 17);
+        assert_eq!(discovery.policy, CandidatePolicy::PeeringAdjacent);
+        let evolution = evolution_config(&spec);
+        assert_eq!(evolution.rounds, 4, "quick caps the rounds");
+        assert_eq!(evolution.discovery.top, 0, "evolution ranks everything");
+
+        spec.discovery.khop = 2;
+        spec.discovery.khop_cap = 9;
+        assert_eq!(
+            discovery_config(&spec).policy,
+            CandidatePolicy::PeeringKHop {
+                k: 2,
+                per_source_cap: 9
+            }
+        );
+        assert_eq!(at_market_scale(spec).ases, 10_000);
+        assert_eq!(at_market_scale(ScenarioSpec { ases: 77, ..spec }).ases, 77);
+    }
+
+    #[test]
+    fn report_sink_extracts_bench_out() {
+        let spec = ScenarioSpec::default();
+        let mut rest = vec![
+            "--engine".to_owned(),
+            "dense".to_owned(),
+            "--bench-out".to_owned(),
+            "out.json".to_owned(),
+        ];
+        let sink = ReportSink::from_spec(&spec, &mut rest);
+        assert!(sink.wants_record());
+        assert_eq!(rest, vec!["--engine".to_owned(), "dense".to_owned()]);
+        let mut rest = Vec::new();
+        let sink = ReportSink::from_spec(&spec, &mut rest);
+        assert!(!sink.wants_record());
+    }
+
+    #[test]
+    fn market_state_matches_the_tables() {
+        let spec = ScenarioSpec {
+            quick: true,
+            ases: 120,
+            ..ScenarioSpec::default()
+        };
+        let (net, econ, flows) = market_tables(&spec);
+        let (net2, state) = market_state(&spec);
+        assert_eq!(net.graph.node_count(), 120);
+        assert_eq!(net2.graph.node_count(), 120);
+        assert_eq!(state.econ(), &econ);
+        assert_eq!(state.flows(), &flows);
     }
 }

@@ -167,6 +167,82 @@ pub fn enumerate_candidates(graph: &AsGraph, policy: CandidatePolicy) -> Vec<Can
     pairs
 }
 
+/// Enumerates only the candidate pairs involving one AS — the serving
+/// fast path behind per-AS advisory queries: instead of sweeping every
+/// candidate of the topology, walk just `node`'s peering neighborhood
+/// under the same policy rules as [`enumerate_candidates`].
+///
+/// The policy is applied from `node`'s perspective: its peers for
+/// [`CandidatePolicy::PeeringAdjacent`], a BFS over the peering mesh for
+/// [`CandidatePolicy::PeeringKHop`] (transit-linked pairs excluded, the
+/// per-source cap filled in level order with the same canonical ASN
+/// tie-break inside the last level). Unlike the full enumeration — where
+/// each pair is emitted from its lower-indexed endpoint only — every
+/// partner of `node` counts, on either side; pairs are normalized
+/// (`x < y`) and returned in deterministic neighborhood order.
+#[must_use]
+pub fn enumerate_candidates_for(
+    graph: &AsGraph,
+    policy: CandidatePolicy,
+    node: u32,
+) -> Vec<CandidatePair> {
+    let normalized = |partner: u32, depth: u8| CandidatePair {
+        x: node.min(partner),
+        y: node.max(partner),
+        peering_hops: depth,
+    };
+    let mut pairs = Vec::new();
+    match policy {
+        CandidatePolicy::PeeringAdjacent => {
+            for &y in graph.peer_indices(node) {
+                pairs.push(normalized(y, 1));
+            }
+        }
+        CandidatePolicy::PeeringKHop { k, per_source_cap } => {
+            let k = k.max(1);
+            let mut stamp = vec![false; graph.node_count()];
+            stamp[node as usize] = true;
+            let mut frontier = vec![node];
+            let mut next: Vec<u32> = Vec::new();
+            let mut level: Vec<u32> = Vec::new();
+            let mut contributed = 0usize;
+            for depth in 1..=k {
+                next.clear();
+                level.clear();
+                for &u in &frontier {
+                    for &v in graph.peer_indices(u) {
+                        if stamp[v as usize] {
+                            continue;
+                        }
+                        stamp[v as usize] = true;
+                        next.push(v);
+                        if depth == 1 || graph.neighbor_kind_by_index(node, v).is_none() {
+                            level.push(v);
+                        }
+                    }
+                }
+                let truncated = if per_source_cap > 0 && contributed + level.len() > per_source_cap
+                {
+                    level.sort_unstable_by_key(|&v| graph.asn_at(v));
+                    level.truncate(per_source_cap - contributed);
+                    true
+                } else {
+                    false
+                };
+                contributed += level.len();
+                for &v in &level {
+                    pairs.push(normalized(v, depth));
+                }
+                if truncated || (per_source_cap > 0 && contributed >= per_source_cap) {
+                    break;
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+        }
+    }
+    pairs
+}
+
 /// Immutable batch-evaluation context: the topology and its dense flow
 /// and pricing tables, plus precomputed per-AS flow totals.
 #[derive(Debug, Clone)]
@@ -988,6 +1064,73 @@ pub(crate) mod tests {
             );
         }
         assert!((dense.surplus - legacy.surplus).abs() < tolerance);
+    }
+
+    fn sorted_pairs(mut pairs: Vec<CandidatePair>) -> Vec<CandidatePair> {
+        pairs.sort_by_key(|p| (p.x, p.y));
+        pairs
+    }
+
+    #[test]
+    fn per_as_candidates_match_the_full_enumeration() {
+        let g = fig1();
+        for policy in [
+            CandidatePolicy::PeeringAdjacent,
+            CandidatePolicy::PeeringKHop {
+                k: 2,
+                per_source_cap: 0,
+            },
+            CandidatePolicy::PeeringKHop {
+                k: 3,
+                per_source_cap: 0,
+            },
+        ] {
+            let full = enumerate_candidates(&g, policy);
+            for node in 0..g.node_count() as u32 {
+                let mine = sorted_pairs(enumerate_candidates_for(&g, policy, node));
+                let expected = sorted_pairs(
+                    full.iter()
+                        .copied()
+                        .filter(|p| p.x == node || p.y == node)
+                        .collect(),
+                );
+                assert_eq!(mine, expected, "node {node} under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_as_cap_truncates_levels_canonically() {
+        let g = fig1();
+        let uncapped = enumerate_candidates_for(
+            &g,
+            CandidatePolicy::PeeringKHop {
+                k: 3,
+                per_source_cap: 0,
+            },
+            g.index_of(asn('C')).unwrap(),
+        );
+        assert!(uncapped.len() > 2, "fixture must have depth to truncate");
+        let capped = enumerate_candidates_for(
+            &g,
+            CandidatePolicy::PeeringKHop {
+                k: 3,
+                per_source_cap: 2,
+            },
+            g.index_of(asn('C')).unwrap(),
+        );
+        assert_eq!(capped.len(), 2);
+        // The cap keeps whole levels first; a straddled level is ranked by
+        // neighbor ASN, so the capped set is a canonical prefix selection.
+        for pair in &capped {
+            assert!(uncapped.contains(pair), "{pair:?} not in uncapped set");
+        }
+        let max_depth = capped.iter().map(|p| p.peering_hops).max().unwrap();
+        for pair in &uncapped {
+            if pair.peering_hops < max_depth {
+                assert!(capped.contains(pair), "dropped a complete level {pair:?}");
+            }
+        }
     }
 
     #[test]

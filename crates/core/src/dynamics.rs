@@ -24,11 +24,19 @@
 //!    no adoptable surplus remains) or a round cap.
 //!
 //! Every random draw derives from the sweep's master seed: round `i`
-//! draws its own ChaCha sub-seed from the coordinator stream, candidate
-//! evaluations use the round's per-item streams, and perturbations use
-//! the round's coordinator stream — so an evolution run is bit-identical
-//! at any thread count, like everything else built on
-//! [`ScenarioSweep`].
+//! draws its own ChaCha sub-seed as the `i`-th draw of the coordinator
+//! stream, candidate evaluations use the round's per-item streams, and
+//! perturbations use the round's coordinator stream — so an evolution
+//! run is bit-identical at any thread count, like everything else built
+//! on [`ScenarioSweep`].
+//!
+//! The loop itself lives in the resumable [`EvolutionDriver`]: rounds
+//! can be stepped one at a time (the serving layer's `step` verb),
+//! checkpointed into a versioned [`MarketSnapshot`], and restored to
+//! continue the exact trajectory — the round counter is the only RNG
+//! state, so a restored run re-derives the same sub-seed sequence an
+//! uninterrupted one would. [`advise`] answers the per-AS version of
+//! the discovery question on a resident state without a full sweep.
 //!
 //! Adoption re-evaluates each chosen pair against the *current* state
 //! (earlier adoptions in the same round may have consumed its
@@ -41,18 +49,19 @@
 //! reaches the fixed point.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use pan_econ::{DenseEconomics, FlowMatrix};
-use pan_runtime::ScenarioSweep;
+use pan_runtime::{ScenarioSweep, ThreadPool};
 use pan_topology::{AsGraph, Asn, NeighborKind};
 
 use crate::discovery::{
-    collect_targets, enumerate_candidates, evaluate_candidate, BatchContext, CandidatePair,
-    DiscoveryConfig, DiscoveryReport, PairOutcome, PairScratch,
+    collect_targets, enumerate_candidates, enumerate_candidates_for, evaluate_candidate,
+    BatchContext, CandidatePair, DiscoveryConfig, DiscoveryReport, PairOutcome, PairScratch,
 };
 use crate::{AgreementError, Result};
 
@@ -103,6 +112,62 @@ impl MarketState {
         })
     }
 
+    /// Reassembles a state from its serialized parts (the checkpoint
+    /// path, used by [`MarketSnapshot::restore`]): shape-checks the
+    /// tables like [`new`](Self::new), and additionally validates the
+    /// ledger (finite balances) and the adopted set (normalized `x < y`
+    /// in-range pairs without duplicates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::DimensionMismatch`] for mis-shaped
+    /// tables and [`AgreementError::Snapshot`] for an invalid ledger or
+    /// adopted set.
+    pub fn from_parts(
+        graph: AsGraph,
+        econ: DenseEconomics,
+        flows: FlowMatrix,
+        cash: Vec<f64>,
+        adopted: Vec<(u32, u32)>,
+    ) -> Result<Self> {
+        let n = graph.node_count();
+        for actual in [econ.node_count(), flows.node_count(), cash.len()] {
+            if actual != n {
+                return Err(AgreementError::DimensionMismatch {
+                    expected: n,
+                    actual,
+                });
+            }
+        }
+        for &balance in &cash {
+            if !balance.is_finite() {
+                return Err(AgreementError::Snapshot {
+                    reason: format!("non-finite cash balance {balance}"),
+                });
+            }
+        }
+        let mut set = HashSet::with_capacity(adopted.len());
+        for &(x, y) in &adopted {
+            if x >= y || y >= n as u32 {
+                return Err(AgreementError::Snapshot {
+                    reason: format!("adopted pair ({x}, {y}) is not a normalized node-index pair"),
+                });
+            }
+            if !set.insert((x, y)) {
+                return Err(AgreementError::Snapshot {
+                    reason: format!("adopted pair ({x}, {y}) appears twice"),
+                });
+            }
+        }
+        Ok(MarketState {
+            graph,
+            econ,
+            flows,
+            cash,
+            adopted: set,
+        })
+    }
+
     /// The current topology (grows a peering link per adopted
     /// prospective pair).
     #[must_use]
@@ -140,6 +205,16 @@ impl MarketState {
     #[must_use]
     pub fn is_adopted(&self, a: u32, b: u32) -> bool {
         self.adopted.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// The adopted pairs as a **sorted** list of normalized node-index
+    /// pairs — the canonical order every serialization uses, so the hash
+    /// set's iteration order can never leak into a wire format.
+    #[must_use]
+    pub fn adopted_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self.adopted.iter().copied().collect();
+        pairs.sort_unstable();
+        pairs
     }
 
     /// Adopts one discovered outcome if it still clears `min_surplus` on
@@ -534,6 +609,22 @@ pub struct RoundRecord {
     /// Total flow volume in the market after the round's adoptions
     /// (before its closing shock).
     pub total_flow: f64,
+    /// Wall-clock seconds the round took (discovery, adoption, and the
+    /// closing shock). The only non-deterministic field: comparisons and
+    /// determinism diffs must go through
+    /// [`RoundRecord::with_zeroed_timing`] /
+    /// [`EvolutionReport::with_zeroed_timings`].
+    pub seconds: f64,
+}
+
+impl RoundRecord {
+    /// The record with its wall-clock field zeroed — the canonical form
+    /// for byte-identical trajectory comparisons.
+    #[must_use]
+    pub fn with_zeroed_timing(mut self) -> Self {
+        self.seconds = 0.0;
+        self
+    }
 }
 
 /// Result of a market evolution run.
@@ -556,37 +647,126 @@ impl EvolutionReport {
     pub fn total_adopted(&self) -> usize {
         self.agreements.len()
     }
+
+    /// The report with every round's wall-clock field zeroed — what the
+    /// determinism gates diff and what binaries print to stdout (timing
+    /// stays on stderr and in bench records, per the workspace's
+    /// byte-identical-output rule).
+    #[must_use]
+    pub fn with_zeroed_timings(&self) -> Self {
+        let mut report = self.clone();
+        for round in &mut report.rounds {
+            round.seconds = 0.0;
+        }
+        report
+    }
 }
 
-/// Runs the multi-round market evolution on `state`; see the [module
-/// docs](self) for the loop. Mutates `state` in place (callers keep it
-/// for inspection) and returns the trajectory report. Bit-identical at
-/// any thread count of `sweep`.
+/// Everything one evolution round produced, as
+/// [`EvolutionDriver::step`] returns it: the trajectory record, the
+/// agreements adopted in the round, and whether the market reached a
+/// fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// The round's trajectory entry.
+    pub record: RoundRecord,
+    /// The agreements adopted this round, in adoption order.
+    pub agreements: Vec<AdoptedAgreement>,
+    /// `true` if this was an unshocked round without adoptable surplus —
+    /// no later round can differ, the market is at a fixed point.
+    pub fixed_point: bool,
+}
+
+/// The resumable round-stepping engine behind [`evolve`].
 ///
-/// # Errors
+/// A driver owns the evolution configuration and the **round counter** —
+/// the only RNG state of an evolution: round `i` derives its sub-seed as
+/// the `i`-th draw of the sweep's coordinator stream, reconstructed by
+/// position on every step. A driver resumed at counter `n`
+/// ([`EvolutionDriver::resume`], [`MarketSnapshot::restore`]) therefore
+/// continues the exact seed sequence an uninterrupted run would have
+/// drawn, which is what makes checkpoint → restore → step reproduce an
+/// uninterrupted trajectory byte for byte at any thread count.
 ///
-/// Returns [`AgreementError::InvalidFraction`] /
-/// [`AgreementError::DimensionMismatch`] for invalid configurations and
-/// propagates evaluation, remapping, and topology errors.
-pub fn evolve(
-    state: &mut MarketState,
-    config: &EvolutionConfig,
-    sweep: &ScenarioSweep,
-) -> Result<EvolutionReport> {
-    config.validate()?;
-    // Round sub-seeds come from the run's coordinator stream; each round
-    // then derives its own item streams (evaluations) and coordinator
-    // stream (perturbations), so no draw ever depends on scheduling.
-    let mut seed_rng = sweep.coordinator_rng();
-    let mut report = EvolutionReport {
-        rounds: Vec::new(),
-        agreements: Vec::new(),
-        fixed_point: false,
-        total_surplus: 0.0,
-    };
-    for round in 0..config.rounds {
-        let round_seed: u64 = seed_rng.gen();
-        let round_sweep = ScenarioSweep::new(sweep.pool().clone(), round_seed);
+/// Unlike the batch [`evolve`] loop, a driver has no notion of a final
+/// round: every shocked round applies its closing perturbation, because
+/// a resident market can always be stepped again later (the shock a
+/// batch run would deem "unobservable" is observable after a restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionDriver {
+    config: EvolutionConfig,
+    rounds_done: usize,
+}
+
+impl EvolutionDriver {
+    /// Creates a driver at round 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidFraction`] /
+    /// [`AgreementError::DimensionMismatch`] for invalid configurations.
+    pub fn new(config: EvolutionConfig) -> Result<Self> {
+        Self::resume(config, 0)
+    }
+
+    /// Creates a driver that continues after `rounds_done` earlier
+    /// rounds — the restore path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidFraction`] /
+    /// [`AgreementError::DimensionMismatch`] for invalid configurations.
+    pub fn resume(config: EvolutionConfig, rounds_done: usize) -> Result<Self> {
+        config.validate()?;
+        Ok(EvolutionDriver {
+            config,
+            rounds_done,
+        })
+    }
+
+    /// The evolution configuration.
+    #[must_use]
+    pub fn config(&self) -> &EvolutionConfig {
+        &self.config
+    }
+
+    /// Rounds applied so far — the RNG round counter a checkpoint
+    /// persists.
+    #[must_use]
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// The sub-seed of the next round: the `rounds_done`-th draw of the
+    /// sweep's coordinator stream, reconstructed by position so the
+    /// sequence is independent of how the driver reached its counter.
+    fn next_round_seed(&self, sweep: &ScenarioSweep) -> u64 {
+        let mut rng = sweep.coordinator_rng();
+        let mut seed = rng.gen();
+        for _ in 0..self.rounds_done {
+            seed = rng.gen();
+        }
+        seed
+    }
+
+    /// Runs one evolution round on `state`: discover on the current
+    /// tables, adopt the best party-disjoint outcomes, apply the closing
+    /// shock (if configured), and advance the round counter. Heavy work
+    /// fans out over `sweep`; the result is bit-identical at any thread
+    /// count.
+    ///
+    /// Stepping past a fixed point is well-defined: an unshocked
+    /// exhausted market keeps producing zero-adoption rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation, remapping, and topology errors.
+    pub fn step(&mut self, state: &mut MarketState, sweep: &ScenarioSweep) -> Result<RoundOutcome> {
+        let started = Instant::now();
+        let round = self.rounds_done;
+        let round_seed = self.next_round_seed(sweep);
+        let round_sweep = sweep.reseeded(round_seed);
+        let config = &self.config;
 
         // 1. Discover on the current state, skipping adopted pairs.
         let candidates: Vec<CandidatePair> =
@@ -618,11 +798,11 @@ pub fn evolve(
         // independent of adoption order. Outcomes are ranked by surplus,
         // so the first one below the threshold ends the scan.
         let mut busy: HashSet<u32> = HashSet::new();
-        let mut adopted = 0usize;
+        let mut agreements = Vec::new();
         let mut adopted_surplus = 0.0;
         let mut new_links = 0usize;
         for outcome in &discovered.outcomes {
-            if adopted >= config.adopt_top {
+            if agreements.len() >= config.adopt_top {
                 break;
             }
             if outcome.cash.is_none() || outcome.surplus <= config.min_surplus {
@@ -640,47 +820,259 @@ pub fn evolve(
             {
                 busy.insert(i);
                 busy.insert(j);
-                adopted += 1;
                 adopted_surplus += agreement.joint_utility;
                 new_links += usize::from(agreement.new_link);
-                report.agreements.push(agreement);
+                agreements.push(agreement);
             }
         }
-        report.total_surplus += adopted_surplus;
         let total_flow = state.flows.totals().iter().sum();
 
         // 3. Fixed point: an unshocked round without adoptions cannot
         // change state — no later round would differ.
-        let fixed_point = adopted == 0 && config.shock == 0.0;
+        let fixed_point = agreements.is_empty() && config.shock == 0.0;
 
-        // 4. Shock the market for the next round (skipped once the run
-        // is over — a closing shock would be unobservable).
-        let last_round = fixed_point || round + 1 == config.rounds;
-        let perturbation = if config.shock > 0.0 && !last_round {
+        // 4. Shock the market for the next round. Every shocked round
+        // perturbs — a resident market can always be stepped later, so
+        // there is no "unobservable" closing shock.
+        let perturbation = if config.shock > 0.0 {
             state.perturb(config.shock, &mut pan_runtime::coordinator_rng(round_seed))?
         } else {
             PerturbationRecord::default()
         };
 
-        report.rounds.push(RoundRecord {
-            round,
-            candidates: discovered.candidates,
-            concluded_flow_volume: discovered.concluded_flow_volume,
-            concluded_cash: discovered.concluded_cash,
-            discovered_surplus: discovered.total_surplus,
-            adopted,
-            adopted_surplus,
-            new_links,
-            price_shocks: perturbation.price_shocks,
-            failed_links: perturbation.failed_links,
-            total_flow,
-        });
-        if fixed_point {
+        self.rounds_done += 1;
+        Ok(RoundOutcome {
+            record: RoundRecord {
+                round,
+                candidates: discovered.candidates,
+                concluded_flow_volume: discovered.concluded_flow_volume,
+                concluded_cash: discovered.concluded_cash,
+                discovered_surplus: discovered.total_surplus,
+                adopted: agreements.len(),
+                adopted_surplus,
+                new_links,
+                price_shocks: perturbation.price_shocks,
+                failed_links: perturbation.failed_links,
+                total_flow,
+                seconds: started.elapsed().as_secs_f64(),
+            },
+            agreements,
+            fixed_point,
+        })
+    }
+}
+
+/// Runs the multi-round market evolution on `state`; see the [module
+/// docs](self) for the loop. Mutates `state` in place (callers keep it
+/// for inspection) and returns the trajectory report. Bit-identical at
+/// any thread count of `sweep` (timing fields aside — diff via
+/// [`EvolutionReport::with_zeroed_timings`]).
+///
+/// The batch convenience over [`EvolutionDriver`]: steps until the round
+/// cap or a fixed point.
+///
+/// # Errors
+///
+/// Returns [`AgreementError::InvalidFraction`] /
+/// [`AgreementError::DimensionMismatch`] for invalid configurations and
+/// propagates evaluation, remapping, and topology errors.
+pub fn evolve(
+    state: &mut MarketState,
+    config: &EvolutionConfig,
+    sweep: &ScenarioSweep,
+) -> Result<EvolutionReport> {
+    let mut driver = EvolutionDriver::new(*config)?;
+    let mut report = EvolutionReport {
+        rounds: Vec::new(),
+        agreements: Vec::new(),
+        fixed_point: false,
+        total_surplus: 0.0,
+    };
+    for _ in 0..config.rounds {
+        let outcome = driver.step(state, sweep)?;
+        report.total_surplus += outcome.record.adopted_surplus;
+        report.agreements.extend(outcome.agreements);
+        report.rounds.push(outcome.record);
+        if outcome.fixed_point {
             report.fixed_point = true;
             break;
         }
     }
     Ok(report)
+}
+
+/// Per-AS advisory query: "what should AS X do next?" — evaluate only
+/// the candidate pairs involving `asn` on the current market state,
+/// ranked by NBS surplus. The serving fast path: a resident 10k-AS
+/// market answers in milliseconds because the sweep covers one AS's
+/// neighborhood (see [`enumerate_candidates_for`]) instead of all ~157k
+/// candidate pairs.
+///
+/// Already-adopted pairs are excluded. The evaluation uses the
+/// configuration's base shares without the per-pair noise jitter: an
+/// advisory answer must not depend on which sweep stream a pair would
+/// have landed on. Deterministic at any thread count of `pool` (results
+/// come back in candidate order and no RNG is involved).
+///
+/// # Errors
+///
+/// Returns [`pan_topology::TopologyError::UnknownAs`] (via
+/// [`AgreementError::Topology`]) for an AS outside the market, rejects
+/// invalid configurations, and propagates evaluation errors.
+pub fn advise(
+    state: &MarketState,
+    config: &DiscoveryConfig,
+    asn: Asn,
+    top: usize,
+    pool: &ThreadPool,
+) -> Result<DiscoveryReport> {
+    config.validate()?;
+    let node = state.graph.index_of(asn)?;
+    let candidates: Vec<CandidatePair> =
+        enumerate_candidates_for(&state.graph, config.policy, node)
+            .into_iter()
+            .filter(|p| !state.is_adopted(p.x, p.y))
+            .collect();
+    let ctx = BatchContext::new(&state.graph, &state.econ, &state.flows)?;
+    let evaluated = pool.map_with(&candidates, PairScratch::new, |scratch, _i, &pair| {
+        evaluate_candidate(
+            &ctx,
+            scratch,
+            pair,
+            config.reroute_share,
+            config.attract_share,
+            config.grid,
+        )
+    });
+    let mut outcomes = Vec::with_capacity(evaluated.len());
+    for outcome in evaluated {
+        outcomes.push(outcome?);
+    }
+    Ok(DiscoveryReport::from_outcomes(outcomes, top))
+}
+
+/// Wire-format tag of market checkpoints (the first header field).
+pub const SNAPSHOT_FORMAT: &str = "pan-interconnect/market-state";
+
+/// Current version of the checkpoint wire format. Bumped on any change
+/// to the serialized shape; [`MarketSnapshot::from_json`] rejects other
+/// versions instead of misinterpreting them.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, self-contained checkpoint of an evolving market: the
+/// graph (CSR is rebuilt on restore), the dense pricing and flow tables,
+/// the cash ledger, the adopted set (canonically sorted), the RNG round
+/// counter, and the run parameters (master seed + evolution config) —
+/// everything needed to resume a trajectory or diff it across code
+/// versions.
+///
+/// The JSON encoding round-trips **byte-stably**:
+/// `capture → to_json → from_json → restore → capture → to_json`
+/// produces identical bytes (floats print in shortest round-trip form,
+/// the adopted set is sorted, and no skipped/derived table is part of
+/// the wire format).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarketSnapshot {
+    format: String,
+    version: u32,
+    /// Master seed of the evolution's sweeps (restored runs must derive
+    /// the same round sub-seed sequence).
+    pub seed: u64,
+    /// The RNG round counter: rounds already applied to the state.
+    pub rounds_done: usize,
+    /// The evolution configuration the trajectory is running under.
+    pub config: EvolutionConfig,
+    graph: AsGraph,
+    econ: DenseEconomics,
+    flows: FlowMatrix,
+    cash: Vec<f64>,
+    adopted: Vec<(u32, u32)>,
+}
+
+impl MarketSnapshot {
+    /// Captures the state and its driver position into a checkpoint.
+    #[must_use]
+    pub fn capture(state: &MarketState, driver: &EvolutionDriver, seed: u64) -> Self {
+        MarketSnapshot {
+            format: SNAPSHOT_FORMAT.to_owned(),
+            version: SNAPSHOT_VERSION,
+            seed,
+            rounds_done: driver.rounds_done(),
+            config: *driver.config(),
+            graph: state.graph.clone(),
+            econ: state.econ.clone(),
+            flows: state.flows.clone(),
+            cash: state.cash.clone(),
+            adopted: state.adopted_pairs(),
+        }
+    }
+
+    /// Serializes the checkpoint as one line of JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoints serialize")
+    }
+
+    /// Parses a checkpoint, rejecting unknown formats and versions
+    /// before looking at the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::Snapshot`] for malformed JSON, a
+    /// foreign format tag, or an unsupported version.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let snapshot: MarketSnapshot =
+            serde_json::from_str(text).map_err(|e| AgreementError::Snapshot {
+                reason: format!("malformed checkpoint: {e}"),
+            })?;
+        if snapshot.format != SNAPSHOT_FORMAT {
+            return Err(AgreementError::Snapshot {
+                reason: format!(
+                    "format tag {:?} is not {SNAPSHOT_FORMAT:?}",
+                    snapshot.format
+                ),
+            });
+        }
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(AgreementError::Snapshot {
+                reason: format!(
+                    "version {} is not the supported version {SNAPSHOT_VERSION}",
+                    snapshot.version
+                ),
+            });
+        }
+        Ok(snapshot)
+    }
+
+    /// Validates the payload, rebuilds the graph's derived tables (ASN
+    /// index + CSR adjacency), and reassembles the market and its
+    /// driver. The checkpoint's [`seed`](Self::seed) is the master seed
+    /// the caller must resume sweeps with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::Snapshot`] /
+    /// [`AgreementError::Topology`] / [`AgreementError::Econ`] when any
+    /// component fails its wire-integrity check.
+    pub fn restore(self) -> Result<(MarketState, EvolutionDriver)> {
+        let MarketSnapshot {
+            config,
+            rounds_done,
+            mut graph,
+            econ,
+            flows,
+            cash,
+            adopted,
+            ..
+        } = self;
+        graph.validate()?;
+        graph.rebuild_indices();
+        econ.validate_shape(&graph)?;
+        flows.validate_shape(&graph)?;
+        let state = MarketState::from_parts(graph, econ, flows, cash, adopted)?;
+        let driver = EvolutionDriver::resume(config, rounds_done)?;
+        Ok((state, driver))
+    }
 }
 
 #[cfg(test)]
@@ -931,7 +1323,11 @@ mod tests {
                 &ScenarioSweep::new(ThreadPool::new(threads), 9),
             )
             .unwrap();
-            assert_eq!(reference, parallel, "{threads} threads diverged");
+            assert_eq!(
+                reference.with_zeroed_timings(),
+                parallel.with_zeroed_timings(),
+                "{threads} threads diverged"
+            );
         }
     }
 
@@ -1007,6 +1403,227 @@ mod tests {
             .map(|a| a.transfer_x_to_y.abs())
             .sum();
         assert!(moved > 0.0, "some compensation must flow");
+    }
+
+    #[test]
+    fn driver_steps_reproduce_the_batch_evolve_loop() {
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                noise: 0.1,
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 4,
+            adopt_top: 6,
+            min_surplus: 1e-3,
+            shock: 0.35,
+        };
+        let sweep = ScenarioSweep::sequential(11);
+        let batch = {
+            let mut state = synthetic_state(200, 23);
+            evolve(&mut state, &config, &sweep).unwrap()
+        };
+        let mut state = synthetic_state(200, 23);
+        let mut driver = EvolutionDriver::new(config).unwrap();
+        for (i, expected) in batch.rounds.iter().enumerate() {
+            assert_eq!(driver.rounds_done(), i);
+            let outcome = driver.step(&mut state, &sweep).unwrap();
+            assert_eq!(
+                outcome.record.with_zeroed_timing(),
+                expected.with_zeroed_timing(),
+                "round {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_stable_and_restores_the_state() {
+        let mut state = synthetic_state(200, 23);
+        let config = arbitrage_config(CandidatePolicy::PeeringAdjacent);
+        let sweep = ScenarioSweep::sequential(5);
+        let mut driver = EvolutionDriver::new(config).unwrap();
+        driver.step(&mut state, &sweep).unwrap();
+        assert!(state.adopted_count() > 0, "the fixture must trade");
+
+        let snapshot = MarketSnapshot::capture(&state, &driver, sweep.master_seed());
+        let json = snapshot.to_json();
+        let (restored, restored_driver) =
+            MarketSnapshot::from_json(&json).unwrap().restore().unwrap();
+        assert_eq!(restored_driver, driver);
+        // Byte-stable: re-capturing the restored state reproduces the
+        // exact checkpoint bytes.
+        let json2 =
+            MarketSnapshot::capture(&restored, &restored_driver, sweep.master_seed()).to_json();
+        assert_eq!(json, json2, "checkpoint round trip must be byte-stable");
+        // And the restored market behaves identically.
+        assert_eq!(restored.adopted_pairs(), state.adopted_pairs());
+        for i in 0..state.graph().node_count() as u32 {
+            assert_eq!(restored.cash_balance(i), state.cash_balance(i));
+        }
+    }
+
+    #[test]
+    fn restore_continues_the_uninterrupted_trajectory() {
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                noise: 0.1,
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 6,
+            adopt_top: 5,
+            min_surplus: 1e-3,
+            shock: 0.3,
+        };
+        let sweep = ScenarioSweep::sequential(17);
+        let uninterrupted = {
+            let mut state = synthetic_state(200, 23);
+            evolve(&mut state, &config, &sweep).unwrap()
+        };
+        assert_eq!(uninterrupted.rounds.len(), 6, "shocked runs hit the cap");
+
+        // Step 3 rounds, checkpoint, drop everything, restore, step 3 more.
+        let mut state = synthetic_state(200, 23);
+        let mut driver = EvolutionDriver::new(config).unwrap();
+        let mut records = Vec::new();
+        for _ in 0..3 {
+            records.push(driver.step(&mut state, &sweep).unwrap().record);
+        }
+        let json = MarketSnapshot::capture(&state, &driver, sweep.master_seed()).to_json();
+        drop((state, driver));
+
+        let (mut state, mut driver) = MarketSnapshot::from_json(&json).unwrap().restore().unwrap();
+        // Resume on a *different* thread count to prove both properties at
+        // once: the trajectory is seed-positional, not schedule-dependent.
+        let resumed_sweep = ScenarioSweep::new(ThreadPool::new(4), json_seed(&json));
+        for _ in 0..3 {
+            records.push(driver.step(&mut state, &resumed_sweep).unwrap().record);
+        }
+        let stitched: Vec<RoundRecord> = records
+            .into_iter()
+            .map(RoundRecord::with_zeroed_timing)
+            .collect();
+        let reference: Vec<RoundRecord> = uninterrupted
+            .rounds
+            .iter()
+            .map(|r| r.with_zeroed_timing())
+            .collect();
+        assert_eq!(stitched, reference, "restored trajectory diverged");
+    }
+
+    /// Reads the master seed back out of a checkpoint, as a serving
+    /// layer would.
+    fn json_seed(json: &str) -> u64 {
+        MarketSnapshot::from_json(json).unwrap().seed
+    }
+
+    #[test]
+    fn snapshots_reject_foreign_headers_and_corrupt_payloads() {
+        let mut state = arbitrage_state(false);
+        let config = arbitrage_config(CandidatePolicy::PeeringAdjacent);
+        let sweep = ScenarioSweep::sequential(5);
+        let mut driver = EvolutionDriver::new(config).unwrap();
+        driver.step(&mut state, &sweep).unwrap();
+        let snapshot = MarketSnapshot::capture(&state, &driver, 5);
+
+        assert!(matches!(
+            MarketSnapshot::from_json("not json"),
+            Err(AgreementError::Snapshot { .. })
+        ));
+        let mut wrong = snapshot.clone();
+        wrong.format = "something-else".to_owned();
+        assert!(matches!(
+            MarketSnapshot::from_json(&wrong.to_json()),
+            Err(AgreementError::Snapshot { .. })
+        ));
+        let mut wrong = snapshot.clone();
+        wrong.version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            MarketSnapshot::from_json(&wrong.to_json()),
+            Err(AgreementError::Snapshot { .. })
+        ));
+        // Corrupt payloads die in restore's validation, not in a panic.
+        let mut wrong = snapshot.clone();
+        wrong.adopted.push((3, 3));
+        assert!(wrong.restore().is_err(), "non-normalized adopted pair");
+        let mut wrong = snapshot.clone();
+        wrong.cash[0] = f64::INFINITY;
+        assert!(wrong.restore().is_err(), "non-finite ledger balance");
+        let mut wrong = snapshot.clone();
+        wrong.cash.pop();
+        assert!(wrong.restore().is_err(), "mis-sized ledger");
+        snapshot.restore().expect("the pristine snapshot restores");
+    }
+
+    #[test]
+    fn advise_finds_the_arbitrage_pair_for_both_parties() {
+        let state = arbitrage_state(false);
+        let config = DiscoveryConfig {
+            reroute_share: 1.0,
+            attract_share: 0.0,
+            grid: 3,
+            ..DiscoveryConfig::default()
+        };
+        let pool = ThreadPool::new(1);
+        for party in [X, Y] {
+            let report = advise(&state, &config, party, 0, &pool).unwrap();
+            assert_eq!(report.candidates, 1, "one peer, one candidate");
+            let best = &report.outcomes[0];
+            assert_eq!((best.x, best.y), (X, Y));
+            assert!(best.surplus > 39.0, "advise must see the arbitrage");
+        }
+        // A bystander has no profitable agreement to be advised about.
+        let report = advise(&state, &config, P, 0, &pool).unwrap();
+        assert!(report.outcomes.iter().all(|o| o.cash.is_none()));
+        // Unknown ASes error instead of answering emptily.
+        assert!(advise(&state, &config, Asn::new(999), 0, &pool).is_err());
+    }
+
+    #[test]
+    fn advise_skips_adopted_pairs_and_matches_the_full_sweep() {
+        let mut state = synthetic_state(200, 23);
+        let config = DiscoveryConfig {
+            grid: 3,
+            ..DiscoveryConfig::default()
+        };
+        let pool = ThreadPool::new(2);
+        // Pick the AS with the most peers so the advisory list is rich.
+        let graph = state.graph();
+        let node = (0..graph.node_count() as u32)
+            .max_by_key(|&i| graph.peer_indices(i).len())
+            .unwrap();
+        let asn = graph.asn_at(node);
+
+        let report = advise(&state, &config, asn, 0, &pool).unwrap();
+        assert!(report.candidates > 1);
+        // Every advisory outcome matches the corresponding pair of a full
+        // (noise-free) discovery sweep.
+        let ctx = BatchContext::new(state.graph(), state.econ(), state.flows()).unwrap();
+        let full =
+            crate::discovery::discover(&ctx, &config, &ScenarioSweep::sequential(1)).unwrap();
+        for outcome in &report.outcomes {
+            let twin = full
+                .outcomes
+                .iter()
+                .find(|o| (o.x, o.y) == (outcome.x, outcome.y))
+                .expect("advisory pairs are a subset of the full sweep");
+            assert_eq!(outcome, twin, "advise diverged from discover");
+        }
+
+        // Adopt the best advisory outcome; it must vanish from the next
+        // advisory answer.
+        let best = report.outcomes[0].clone();
+        assert!(best.cash.is_some(), "the synthetic market must trade");
+        state
+            .adopt_outcome(&best, config.grid, 1e-9, 0)
+            .unwrap()
+            .unwrap();
+        let after = advise(&state, &config, asn, 0, &pool).unwrap();
+        assert_eq!(after.candidates, report.candidates - 1);
+        assert!(after
+            .outcomes
+            .iter()
+            .all(|o| (o.x, o.y) != (best.x, best.y)));
     }
 
     #[test]

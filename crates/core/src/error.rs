@@ -45,6 +45,11 @@ pub enum AgreementError {
         /// The rejected value.
         value: f64,
     },
+    /// A market checkpoint could not be parsed or failed validation.
+    Snapshot {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// An underlying economic computation failed.
     Econ(pan_econ::EconError),
     /// An underlying topology operation failed.
@@ -80,6 +85,9 @@ impl fmt::Display for AgreementError {
             }
             AgreementError::InvalidUtility { value } => {
                 write!(f, "utilities must be finite, got {value}")
+            }
+            AgreementError::Snapshot { reason } => {
+                write!(f, "invalid market checkpoint: {reason}")
             }
             AgreementError::Econ(err) => write!(f, "economic model error: {err}"),
             AgreementError::Topology(err) => write!(f, "topology error: {err}"),

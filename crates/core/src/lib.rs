@@ -87,11 +87,12 @@ pub mod utility;
 pub use agreement::{Agreement, Grant, NewSegment};
 pub use cash::{settle, CashAgreement, CashOptimizer, CashOutcome, CashSettlement};
 pub use discovery::{
-    discover, enumerate_candidates, BatchContext, CandidatePair, CandidatePolicy, DiscoveryConfig,
-    DiscoveryReport, PairOutcome, PairScratch,
+    discover, enumerate_candidates, enumerate_candidates_for, BatchContext, CandidatePair,
+    CandidatePolicy, DiscoveryConfig, DiscoveryReport, PairOutcome, PairScratch,
 };
 pub use dynamics::{
-    evolve, AdoptedAgreement, EvolutionConfig, EvolutionReport, MarketState, RoundRecord,
+    advise, evolve, AdoptedAgreement, EvolutionConfig, EvolutionDriver, EvolutionReport,
+    MarketSnapshot, MarketState, RoundOutcome, RoundRecord,
 };
 pub use error::AgreementError;
 pub use flow_volume::{FlowVolumeAgreement, FlowVolumeOptimizer, FlowVolumeOutcome};

@@ -106,6 +106,23 @@ impl CostFunction {
         }
     }
 
+    /// Re-runs the constructor validation — the deserialization hook for
+    /// cost functions read from an untrusted wire format, where the
+    /// derive bypasses the constructors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for parameters outside the
+    /// constructor domain.
+    pub fn validate_params(self) -> Result<()> {
+        match self {
+            CostFunction::Zero => Ok(()),
+            CostFunction::Linear { rate } => Self::linear(rate).map(|_| ()),
+            CostFunction::Affine { base, rate } => Self::affine(base, rate).map(|_| ()),
+            CostFunction::PowerLaw { coef, exp } => Self::power_law(coef, exp).map(|_| ()),
+        }
+    }
+
     /// Evaluates the internal cost at total flow `f`.
     ///
     /// # Errors

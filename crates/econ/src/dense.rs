@@ -220,6 +220,34 @@ impl FlowMatrix {
         Ok(out)
     }
 
+    /// Deserialization hook: checks that the matrix is internally
+    /// consistent and shaped for `graph` (one row per node, each of
+    /// length `degree + 1`, finite non-negative volumes). The derive
+    /// bypasses every constructor, so a matrix read from a checkpoint
+    /// must pass here before any indexed accessor touches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`] /
+    /// [`pan_topology::TopologyError::CorruptWire`] naming the first
+    /// violation, or [`EconError::InvalidFlow`] for an invalid volume.
+    pub fn validate_shape(&self, graph: &AsGraph) -> Result<()> {
+        validate_offsets(&self.offsets, graph, 1, "flow matrix")?;
+        if self.values.len() != *self.offsets.last().expect("validated non-empty") as usize {
+            return Err(corrupt(format!(
+                "flow matrix stores {} values for {} row slots",
+                self.values.len(),
+                self.offsets.last().expect("validated non-empty")
+            )));
+        }
+        for &volume in &self.values {
+            if !volume.is_finite() || volume < 0.0 {
+                return Err(EconError::InvalidFlow { volume });
+            }
+        }
+        Ok(())
+    }
+
     /// Extracts the row of node `i` as an ASN-keyed [`FlowVec`]
     /// (zero-volume entries are skipped, matching sparse conventions).
     #[must_use]
@@ -237,6 +265,38 @@ impl FlowMatrix {
         }
         flows
     }
+}
+
+fn corrupt(reason: String) -> EconError {
+    EconError::Topology(pan_topology::TopologyError::CorruptWire { reason })
+}
+
+/// Shared offset-table check for the dense wire formats: `node_count + 1`
+/// monotone offsets starting at 0, with row `i` spanning
+/// `degree(i) + extra_slots` entries.
+fn validate_offsets(
+    offsets: &[u32],
+    graph: &AsGraph,
+    extra_slots: usize,
+    what: &str,
+) -> Result<()> {
+    let n = graph.node_count();
+    if offsets.len() != n + 1 || offsets[0] != 0 {
+        return Err(corrupt(format!(
+            "{what} has {} offsets for {n} nodes",
+            offsets.len()
+        )));
+    }
+    for i in 0..n {
+        let expected = graph.degree_of_index(i as u32) + extra_slots;
+        let actual = offsets[i + 1].checked_sub(offsets[i]).map(|w| w as usize);
+        if actual != Some(expected) {
+            return Err(corrupt(format!(
+                "{what} row {i} spans {actual:?} entries, graph degree implies {expected}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Both remap targets require the node sets (and their dense indices) to
@@ -507,6 +567,64 @@ impl DenseEconomics {
     pub fn scale_end_host_price(&mut self, node: u32, factor: f64) -> Result<()> {
         let price = &mut self.end_host_price[node as usize];
         *price = price.scaled(factor)?;
+        Ok(())
+    }
+
+    /// Deserialization hook: checks that the tables are internally
+    /// consistent and shaped for `graph` — one entry per packed adjacency
+    /// slot, per-AS end-host and internal-cost tables of the right
+    /// length, every pricing/cost function inside its constructor domain,
+    /// and every entry sign consistent with the link's class (providers
+    /// cost, customers earn, peers are settlement-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::Topology`] /
+    /// [`pan_topology::TopologyError::CorruptWire`] naming the first
+    /// shape violation, or [`EconError::InvalidParameter`] for a function
+    /// outside its domain.
+    pub fn validate_shape(&self, graph: &AsGraph) -> Result<()> {
+        let n = graph.node_count();
+        validate_offsets(&self.offsets, graph, 0, "pricing table")?;
+        if self.entries.len() != *self.offsets.last().expect("validated non-empty") as usize {
+            return Err(corrupt(format!(
+                "pricing table stores {} entries for {} adjacency slots",
+                self.entries.len(),
+                self.offsets.last().expect("validated non-empty")
+            )));
+        }
+        for (name, len) in [
+            ("end-host price", self.end_host_price.len()),
+            ("internal cost", self.internal_cost.len()),
+        ] {
+            if len != n {
+                return Err(corrupt(format!(
+                    "{name} table has {len} rows for {n} nodes"
+                )));
+            }
+        }
+        for i in 0..n as u32 {
+            let (p_end, e_end) = graph.class_boundaries(i);
+            for pos in 0..graph.degree_of_index(i) {
+                let entry = self.entry(i, pos);
+                entry.price.validate_params()?;
+                let expected_sign = if pos < p_end {
+                    -1.0
+                } else if pos < e_end {
+                    0.0
+                } else {
+                    1.0
+                };
+                if entry.sign != expected_sign {
+                    return Err(corrupt(format!(
+                        "pricing entry ({i}, {pos}) has sign {}, link class implies {expected_sign}",
+                        entry.sign
+                    )));
+                }
+            }
+            self.end_host_price(i).validate_params()?;
+            self.internal_cost(i).validate_params()?;
+        }
         Ok(())
     }
 
@@ -822,6 +940,56 @@ mod tests {
         dense.scale_end_host_price(d, 0.5).unwrap();
         assert_eq!(dense.end_host_price(d).alpha(), eh_before.alpha() * 0.5);
         assert!(dense.scale_end_host_price(d, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn shape_validation_accepts_round_trips_and_rejects_corruption() {
+        let g = fig1();
+        let dense = DenseEconomics::from_model(&model());
+        let flows = FlowMatrix::degree_gravity(&g, 1.0);
+        flows.validate_shape(&g).expect("fresh matrix is valid");
+        dense.validate_shape(&g).expect("fresh tables are valid");
+
+        // Serde round trips stay valid.
+        let flows_rt: FlowMatrix =
+            serde_json::from_str(&serde_json::to_string(&flows).unwrap()).unwrap();
+        flows_rt.validate_shape(&g).expect("round-tripped matrix");
+        let dense_rt: DenseEconomics =
+            serde_json::from_str(&serde_json::to_string(&dense).unwrap()).unwrap();
+        dense_rt.validate_shape(&g).expect("round-tripped tables");
+
+        // Wrong graph: fig1 tables against the diamond fixture.
+        let other = pan_topology::fixtures::diamond();
+        assert!(flows.validate_shape(&other).is_err());
+        assert!(dense.validate_shape(&other).is_err());
+
+        // Truncated values / negative volume.
+        let mut corrupt = flows.clone();
+        corrupt.values.pop();
+        assert!(corrupt.validate_shape(&g).is_err());
+        let mut corrupt = flows.clone();
+        corrupt.values[0] = -1.0;
+        assert!(matches!(
+            corrupt.validate_shape(&g),
+            Err(EconError::InvalidFlow { .. })
+        ));
+
+        // A sign inconsistent with the link class.
+        let mut corrupt = dense.clone();
+        corrupt.entries[0].sign = 0.5;
+        assert!(corrupt.validate_shape(&g).is_err());
+        let mut corrupt = dense.clone();
+        // The derive bypasses the constructors, so a checkpoint can smuggle
+        // in out-of-domain parameters — exactly what the hook must catch.
+        corrupt.entries[0].price =
+            serde_json::from_str(r#"{"alpha":-1.0,"beta":1.0}"#).expect("derive skips validation");
+        assert!(corrupt.validate_shape(&g).is_err());
+        let mut corrupt = dense.clone();
+        corrupt.internal_cost[0] = CostFunction::Linear { rate: -3.0 };
+        assert!(matches!(
+            corrupt.validate_shape(&g),
+            Err(EconError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

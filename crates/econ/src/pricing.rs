@@ -127,6 +127,18 @@ impl PricingFunction {
         })
     }
 
+    /// Re-runs the constructor validation — the deserialization hook for
+    /// pricing functions read from an untrusted wire format, where the
+    /// derive bypasses [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EconError::InvalidParameter`] for parameters outside the
+    /// constructor domain.
+    pub fn validate_params(self) -> Result<()> {
+        Self::new(self.alpha, self.beta).map(|_| ())
+    }
+
     /// The coefficient `α`.
     #[must_use]
     pub const fn alpha(self) -> f64 {

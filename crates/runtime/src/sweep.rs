@@ -85,6 +85,17 @@ impl ScenarioSweep {
         self.master_seed
     }
 
+    /// A sweep over the **same pool** with a different master seed — the
+    /// handle pattern for long-running owners (e.g. a serving loop) that
+    /// keep one pool alive across many independently-seeded workloads.
+    #[must_use]
+    pub fn reseeded(&self, master_seed: u64) -> ScenarioSweep {
+        ScenarioSweep {
+            pool: self.pool.clone(),
+            master_seed,
+        }
+    }
+
     /// The underlying pool.
     #[must_use]
     pub fn pool(&self) -> &ThreadPool {
@@ -209,6 +220,19 @@ mod tests {
         for _ in 0..8 {
             assert_eq!(legacy.gen::<u64>(), coordinator.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn reseeded_sweeps_share_the_pool_but_not_the_streams() {
+        let sweep = ScenarioSweep::new(ThreadPool::new(3), 7);
+        let other = sweep.reseeded(8);
+        assert_eq!(other.threads(), sweep.threads());
+        assert_eq!(other.master_seed(), 8);
+        let a: Vec<u64> = sweep.run(4, |_i, mut rng| rng.gen());
+        let b: Vec<u64> = other.run(4, |_i, mut rng| rng.gen());
+        assert_ne!(a, b, "a reseeded sweep derives different streams");
+        let reference: Vec<u64> = ScenarioSweep::sequential(8).run(4, |_i, mut rng| rng.gen());
+        assert_eq!(b, reference, "reseeding matches a fresh sweep bit for bit");
     }
 
     #[test]

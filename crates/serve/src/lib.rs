@@ -1,0 +1,237 @@
+//! Resident market-state serving layer for the DSN'21 reproduction.
+//!
+//! The batch binaries (`discover`, `evolve`) rebuild the 10k-AS
+//! internet, its dense economics tables, and the flow matrix on every
+//! invocation. This crate keeps a [`pan_core::MarketState`] **resident**
+//! behind a TCP socket instead, so interactive traffic gets
+//! millisecond answers:
+//!
+//! - [`MarketServer`]: a std-only, non-blocking readiness loop (the
+//!   workspace is offline — no tokio/mio) whose owner thread holds the
+//!   market and fans heavy work out over the deterministic
+//!   [`pan_runtime`] sweep machinery;
+//! - [`protocol`]: the newline-delimited JSON wire format — `load`,
+//!   `advise` (per-AS top-K agreements without a topology-wide sweep),
+//!   `step` (streamed evolution rounds), `snapshot`/`restore`
+//!   (versioned byte-stable checkpoints via
+//!   [`pan_core::MarketSnapshot`]), `stats`, and `quit`;
+//! - [`LoadedMarket`] + [`MarketLoader`]: the callback through which the
+//!   embedding binary defines what a synthetic market spec means
+//!   (`pan-bench`'s `serve` binary plugs in the standard synthetic
+//!   internet + tiered economics).
+//!
+//! Replies are deterministic at any worker-thread count — the property
+//! the CI `serve-smoke` job checks by diffing streamed `step` rounds
+//! against an uninterrupted `evolve` trajectory.
+//!
+//! ```no_run
+//! use pan_serve::{LoadedMarket, MarketServer};
+//!
+//! let server = MarketServer::bind("127.0.0.1:4780", 4)?;
+//! eprintln!("# serving on {}", server.local_addr()?);
+//! server.serve(&|_spec| Err("this embedding serves checkpoints only".into()))?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod protocol;
+mod server;
+
+pub use protocol::Request;
+pub use server::{LoadedMarket, MarketLoader, MarketServer, ServeSummary};
+
+#[cfg(test)]
+mod tests {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    use serde::Value;
+
+    use pan_core::dynamics::MarketState;
+    use pan_core::{CandidatePolicy, DiscoveryConfig, EvolutionConfig};
+    use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+    use pan_topology::{AsGraphBuilder, Asn, Relationship};
+
+    use super::*;
+
+    const P: Asn = Asn::new(1);
+    const B: Asn = Asn::new(2);
+    const X: Asn = Asn::new(3);
+    const Y: Asn = Asn::new(4);
+
+    /// The arbitrage fixture of the dynamics tests: X pays provider P a
+    /// rate of 5 for traffic that peer Y could exit via provider B at 1.
+    fn arbitrage_market() -> LoadedMarket {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(P, X, Relationship::ProviderToCustomer).unwrap();
+        b.add_link(B, Y, Relationship::ProviderToCustomer).unwrap();
+        b.add_link(X, Y, Relationship::PeerToPeer).unwrap();
+        let graph = b.build().unwrap();
+        let econ = DenseEconomics::build(
+            &graph,
+            |provider, _| {
+                PricingFunction::per_usage(if provider == P { 5.0 } else { 1.0 }).unwrap()
+            },
+            |_| PricingFunction::per_usage(1.0).unwrap(),
+            |_| CostFunction::linear(0.001).unwrap(),
+        );
+        let mut flows = FlowMatrix::zeros(&graph);
+        let (px, xp) = (graph.index_of(P).unwrap(), graph.index_of(X).unwrap());
+        let pos = graph.neighbor_position(xp, px).unwrap();
+        flows.set(xp, pos, 10.0);
+        let back = graph.neighbor_position(px, xp).unwrap();
+        flows.set(px, back, 10.0);
+        LoadedMarket {
+            state: MarketState::new(graph, econ, flows).unwrap(),
+            config: EvolutionConfig {
+                discovery: DiscoveryConfig {
+                    policy: CandidatePolicy::PeeringAdjacent,
+                    reroute_share: 1.0,
+                    attract_share: 0.0,
+                    grid: 3,
+                    noise: 0.0,
+                    top: 0,
+                },
+                rounds: 10,
+                adopt_top: 5,
+                min_surplus: 1e-6,
+                shock: 0.0,
+            },
+            seed: 7,
+            label: "arbitrage fixture".to_owned(),
+        }
+    }
+
+    fn field<'a>(value: &'a Value, key: &str) -> &'a Value {
+        value.field(key).unwrap_or_else(|e| panic!("{key}: {e}"))
+    }
+
+    /// Integer field regardless of the parser's signed/unsigned choice.
+    fn int(value: &Value, key: &str) -> u64 {
+        match field(value, key) {
+            Value::I64(n) => u64::try_from(*n).unwrap(),
+            Value::U64(n) => *n,
+            other => panic!("{key} is not an integer: {other:?}"),
+        }
+    }
+
+    fn assert_ok(value: &Value) {
+        assert_eq!(field(value, "ok"), &Value::Bool(true), "reply: {value:?}");
+    }
+
+    /// Drives a full session over a real socket: the end-to-end contract
+    /// of the serving layer on a market small enough for a unit test.
+    #[test]
+    fn serves_a_full_session_over_tcp() {
+        let server = MarketServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(&|_spec| Ok(arbitrage_market())));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut send = |line: &str| writeln!(writer, "{line}").unwrap();
+        let mut recv = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            serde_json::from_str::<Value>(line.trim()).unwrap()
+        };
+
+        // Unknown verbs and queries before load fail without closing the
+        // connection.
+        send(r#"{"verb":"dance"}"#);
+        assert_eq!(field(&recv(), "ok"), &Value::Bool(false));
+        send(r#"{"verb":"stats"}"#);
+        let reply = recv();
+        assert_eq!(field(&reply, "ok"), &Value::Bool(false));
+
+        send(r#"{"verb":"load","market":{}}"#);
+        let reply = recv();
+        assert_ok(&reply);
+        assert_eq!(int(&reply, "ases"), 4);
+        assert_eq!(int(&reply, "rounds_done"), 0);
+
+        send(r#"{"verb":"advise","asn":3}"#);
+        let reply = recv();
+        assert_ok(&reply);
+        assert_eq!(int(&reply, "candidates"), 1);
+        let outcomes = field(&reply, "outcomes").seq().unwrap();
+        assert_eq!(outcomes.len(), 1);
+
+        // Two rounds: the first adopts the arbitrage, the second proves
+        // exhaustion (fixed point) and ends the stream early.
+        send(r#"{"verb":"step","rounds":5}"#);
+        let round1 = recv();
+        assert_ok(&round1);
+        assert_eq!(
+            int(field(&round1, "record"), "adopted"),
+            1,
+            "round 0 adopts the arbitrage: {round1:?}"
+        );
+        let round2 = recv();
+        assert_eq!(int(field(&round2, "record"), "adopted"), 0);
+        let summary = recv();
+        assert_ok(&summary);
+        assert_eq!(field(&summary, "verb"), &Value::Str("step".into()));
+        assert_eq!(field(&summary, "fixed_point"), &Value::Bool(true));
+        assert_eq!(int(&summary, "rounds"), 2);
+        assert_eq!(int(&summary, "rounds_done"), 2);
+
+        // Snapshot → restore round-trips the resident market.
+        let path = std::env::temp_dir().join(format!("pan-serve-test-{}.json", std::process::id()));
+        send(&format!(
+            r#"{{"verb":"snapshot","path":{}}}"#,
+            serde_json::to_string(&path.to_str().unwrap()).unwrap()
+        ));
+        assert_ok(&recv());
+        send(&format!(
+            r#"{{"verb":"restore","path":{}}}"#,
+            serde_json::to_string(&path.to_str().unwrap()).unwrap()
+        ));
+        let reply = recv();
+        assert_ok(&reply);
+        assert_eq!(field(&reply, "verb"), &Value::Str("restore".into()));
+        assert_eq!(int(&reply, "rounds_done"), 2);
+        assert_eq!(int(&reply, "adopted"), 1);
+
+        send(r#"{"verb":"stats"}"#);
+        let reply = recv();
+        assert_ok(&reply);
+        assert_eq!(int(&reply, "adopted"), 1);
+        assert_eq!(int(&reply, "threads"), 2);
+
+        send(r#"{"verb":"quit"}"#);
+        assert_ok(&recv());
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loader_errors_surface_as_protocol_errors() {
+        let server = MarketServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || server.serve(&|_spec| Err("no such dataset".into())));
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, r#"{{"verb":"load","market":{{}}}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("no such dataset"), "{line}");
+        writeln!(
+            writer,
+            r#"{{"verb":"restore","path":"/definitely/missing"}}"#
+        )
+        .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("cannot read checkpoint"), "{line}");
+        writeln!(writer, r#"{{"verb":"quit"}}"#).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,336 @@
+//! The newline-delimited JSON wire protocol of the market server.
+//!
+//! Every request is one JSON object per line carrying a `"verb"` field;
+//! every reply is one JSON object per line carrying `"ok"` (and, on
+//! success, the echoed `"verb"`). The `step` verb additionally streams
+//! one `"round"` line per evolution round before its closing summary —
+//! the only multi-line reply.
+//!
+//! | verb | request fields | reply |
+//! |------|----------------|-------|
+//! | `load` | `market` (object, loader-defined) **or** `checkpoint` (path) | market summary |
+//! | `advise` | `asn` (required), `top` (default 10) | ranked [`pan_core::PairOutcome`]s |
+//! | `step` | `rounds` (default 1), `shock` (optional override) | `round` lines + summary |
+//! | `snapshot` | `path` | bytes written |
+//! | `restore` | `path` | market summary |
+//! | `stats` | — | resident-market statistics |
+//! | `quit` | — | ack, then the server shuts down |
+//!
+//! Replies are **deterministic at any thread count** — wall-clock goes
+//! to the server's stderr log and the per-round `seconds` field only
+//! (the same field the batch `evolve` trajectory records).
+
+use serde::{Serialize, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Make a market resident: from a loader-defined synthetic spec or
+    /// from a checkpoint file.
+    Load {
+        /// Loader-defined market description (`{}` for the defaults).
+        /// Mutually exclusive with `checkpoint`.
+        market: Option<Value>,
+        /// Path of a [`pan_core::MarketSnapshot`] checkpoint.
+        checkpoint: Option<String>,
+    },
+    /// Top-K profitable agreements involving one AS.
+    Advise {
+        /// The AS to advise.
+        asn: u32,
+        /// Outcomes to return (0 = all).
+        top: usize,
+    },
+    /// Run evolution rounds, streaming one line per round.
+    Step {
+        /// Rounds to run.
+        rounds: usize,
+        /// Shock-magnitude override for this and later rounds.
+        shock: Option<f64>,
+    },
+    /// Write the resident market to a checkpoint file.
+    Snapshot {
+        /// Destination path (server-side).
+        path: String,
+    },
+    /// Replace the resident market from a checkpoint file.
+    Restore {
+        /// Source path (server-side).
+        path: String,
+    },
+    /// Resident-market statistics.
+    Stats,
+    /// Shut the server down cleanly.
+    Quit,
+}
+
+/// Looks up an object field (unlike [`Value::field`], absence is `None`,
+/// not an error — most protocol fields are optional).
+fn get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn get_str(value: &Value, key: &str) -> Result<Option<String>, String> {
+    match get(value, key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!(
+            "field {key:?} must be a string, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn get_usize(value: &Value, key: &str) -> Result<Option<usize>, String> {
+    match get(value, key) {
+        None => Ok(None),
+        Some(Value::I64(n)) if *n >= 0 => Ok(Some(*n as usize)),
+        Some(Value::U64(n)) => Ok(Some(*n as usize)),
+        Some(other) => Err(format!(
+            "field {key:?} must be a non-negative integer, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn get_f64(value: &Value, key: &str) -> Result<Option<f64>, String> {
+    match get(value, key) {
+        None => Ok(None),
+        Some(Value::F64(x)) => Ok(Some(*x)),
+        Some(Value::I64(n)) => Ok(Some(*n as f64)),
+        Some(Value::U64(n)) => Ok(Some(*n as f64)),
+        Some(other) => Err(format!(
+            "field {key:?} must be a number, got {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Rejects fields outside the verb's vocabulary — a typoed knob must
+/// fail loudly instead of silently running with defaults.
+fn check_fields(value: &Value, allowed: &[&str]) -> Result<(), String> {
+    if let Value::Map(entries) = value {
+        for (key, _) in entries {
+            if key != "verb" && !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field {key:?}; this verb accepts {allowed:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing or
+    /// unknown verb, missing required fields, or fields outside the
+    /// verb's vocabulary.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
+        let verb = get_str(&value, "verb")?
+            .ok_or_else(|| "request must carry a \"verb\" field".to_owned())?;
+        match verb.as_str() {
+            "load" => {
+                check_fields(&value, &["market", "checkpoint"])?;
+                let market = get(&value, "market").cloned();
+                let checkpoint = get_str(&value, "checkpoint")?;
+                if market.is_some() && checkpoint.is_some() {
+                    return Err("load takes either \"market\" or \"checkpoint\", not both".into());
+                }
+                Ok(Request::Load { market, checkpoint })
+            }
+            "advise" => {
+                check_fields(&value, &["asn", "top"])?;
+                let asn = get_usize(&value, "asn")?
+                    .ok_or_else(|| "advise requires an \"asn\" field".to_owned())?;
+                let asn = u32::try_from(asn).map_err(|_| format!("asn {asn} exceeds u32"))?;
+                let top = get_usize(&value, "top")?.unwrap_or(10);
+                Ok(Request::Advise { asn, top })
+            }
+            "step" => {
+                check_fields(&value, &["rounds", "shock"])?;
+                let rounds = get_usize(&value, "rounds")?.unwrap_or(1);
+                if rounds == 0 {
+                    return Err("step requires rounds >= 1".into());
+                }
+                let shock = get_f64(&value, "shock")?;
+                Ok(Request::Step { rounds, shock })
+            }
+            "snapshot" | "restore" => {
+                check_fields(&value, &["path"])?;
+                let path = get_str(&value, "path")?
+                    .ok_or_else(|| format!("{verb} requires a \"path\" field"))?;
+                Ok(if verb == "snapshot" {
+                    Request::Snapshot { path }
+                } else {
+                    Request::Restore { path }
+                })
+            }
+            "stats" => {
+                check_fields(&value, &[])?;
+                Ok(Request::Stats)
+            }
+            "quit" => {
+                check_fields(&value, &[])?;
+                Ok(Request::Quit)
+            }
+            other => Err(format!(
+                "unknown verb {other:?}; known: load, advise, step, snapshot, restore, stats, quit"
+            )),
+        }
+    }
+}
+
+/// Builds a JSON object from field pairs (insertion order is the wire
+/// order, so replies are byte-deterministic).
+#[must_use]
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(key, value)| (key.to_owned(), value))
+            .collect(),
+    )
+}
+
+/// Serializes any value onto the wire data model.
+#[must_use]
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// One successful reply line: `{"ok":true,"verb":...,<fields>}`.
+#[must_use]
+pub fn reply_ok(verb: &str, fields: Vec<(&str, Value)>) -> String {
+    let mut all = vec![
+        ("ok".to_owned(), Value::Bool(true)),
+        ("verb".to_owned(), Value::Str(verb.to_owned())),
+    ];
+    all.extend(
+        fields
+            .into_iter()
+            .map(|(key, value)| (key.to_owned(), value)),
+    );
+    serde_json::to_string(&Value::Map(all)).expect("replies serialize")
+}
+
+/// One error reply line: `{"ok":false,"error":...}`.
+#[must_use]
+pub fn reply_error(message: &str) -> String {
+    serde_json::to_string(&object(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.to_owned())),
+    ]))
+    .expect("replies serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            Request::parse(r#"{"verb":"load"}"#).unwrap(),
+            Request::Load {
+                market: None,
+                checkpoint: None
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"load","market":{"ases":500}}"#).unwrap(),
+            Request::Load {
+                market: Some(Value::Map(vec![("ases".to_owned(), Value::I64(500))])),
+                checkpoint: None
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"load","checkpoint":"state.json"}"#).unwrap(),
+            Request::Load {
+                market: None,
+                checkpoint: Some("state.json".to_owned())
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"advise","asn":77}"#).unwrap(),
+            Request::Advise { asn: 77, top: 10 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"advise","asn":77,"top":0}"#).unwrap(),
+            Request::Advise { asn: 77, top: 0 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"step"}"#).unwrap(),
+            Request::Step {
+                rounds: 1,
+                shock: None
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"step","rounds":3,"shock":0.2}"#).unwrap(),
+            Request::Step {
+                rounds: 3,
+                shock: Some(0.2)
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"snapshot","path":"s.json"}"#).unwrap(),
+            Request::Snapshot {
+                path: "s.json".to_owned()
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"restore","path":"s.json"}"#).unwrap(),
+            Request::Restore {
+                path: "s.json".to_owned()
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"verb":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(Request::parse(r#"{"verb":"quit"}"#).unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, expected) in [
+            ("not json", "malformed request"),
+            ("42", "\"verb\" field"),
+            (r#"{"verb":"dance"}"#, "unknown verb"),
+            (r#"{"verb":"advise"}"#, "requires an \"asn\""),
+            (
+                r#"{"verb":"advise","asn":"x"}"#,
+                "must be a non-negative integer",
+            ),
+            (r#"{"verb":"step","rounds":0}"#, "rounds >= 1"),
+            (r#"{"verb":"snapshot"}"#, "requires a \"path\""),
+            (r#"{"verb":"step","shokc":0.2}"#, "unknown field"),
+            (
+                r#"{"verb":"load","market":{},"checkpoint":"x"}"#,
+                "not both",
+            ),
+            (r#"{"verb":"quit","force":true}"#, "unknown field"),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(expected), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn replies_are_single_deterministic_lines() {
+        let ok = reply_ok("stats", vec![("ases", Value::U64(10))]);
+        assert_eq!(ok, r#"{"ok":true,"verb":"stats","ases":10}"#);
+        assert!(!ok.contains('\n'));
+        let err = reply_error("boom");
+        assert_eq!(err, r#"{"ok":false,"error":"boom"}"#);
+    }
+}

@@ -1,0 +1,558 @@
+//! The resident-market server: a std-only, non-blocking TCP readiness
+//! loop around one owner thread that holds the [`MarketState`].
+//!
+//! # Concurrency model
+//!
+//! The thread that calls [`MarketServer::serve`] **owns** the market: it
+//! accepts connections, reads complete request lines, and handles them
+//! sequentially, so the state needs no locks and replies cannot
+//! interleave. Heavy work inside a handler — candidate evaluation, round
+//! stepping — fans out over the server's [`ThreadPool`] through the same
+//! deterministic [`ScenarioSweep`] machinery the batch binaries use, so
+//! every reply is byte-identical at any `--threads` value.
+//!
+//! The socket layer is a hand-rolled readiness loop over
+//! [`std::net`] with [`TcpListener::set_nonblocking`] (the workspace is
+//! offline: no tokio, no mio): each iteration drains pending accepts and
+//! per-client reads, then sleeps for a millisecond when nothing
+//! progressed. At the request rates a resident market serves (handler
+//! cost is milliseconds to seconds), the poll granularity is noise.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use pan_core::dynamics::{advise, EvolutionDriver, MarketSnapshot, MarketState};
+use pan_core::EvolutionConfig;
+use pan_runtime::{ScenarioSweep, ThreadPool};
+
+use crate::protocol::{reply_error, reply_ok, to_value, Request};
+
+/// A market made resident by the `load` verb — what the server's loader
+/// callback returns for synthetic specs (checkpoint loads are handled by
+/// the server itself via [`MarketSnapshot`]).
+#[derive(Debug)]
+pub struct LoadedMarket {
+    /// The market to make resident.
+    pub state: MarketState,
+    /// Evolution configuration for `advise`/`step` on this market.
+    pub config: EvolutionConfig,
+    /// Master seed of the market's sweeps.
+    pub seed: u64,
+    /// Human-readable description echoed in replies.
+    pub label: String,
+}
+
+/// The loader callback interpreting the `load` verb's `market` object.
+///
+/// Kept as a callback so the server crate stays decoupled from dataset
+/// generation: the `serve` binary supplies a loader that builds the
+/// standard synthetic internet + economics from spec-like fields.
+pub type MarketLoader<'a> = dyn Fn(&Value) -> Result<LoadedMarket, String> + 'a;
+
+/// Counters [`MarketServer::serve`] reports after a clean shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted over the server's lifetime.
+    pub connections: usize,
+    /// Request lines handled (including ones answered with an error).
+    pub requests: usize,
+}
+
+/// The resident market and its stepping engine.
+struct Market {
+    state: MarketState,
+    driver: EvolutionDriver,
+    seed: u64,
+    label: String,
+}
+
+/// Handler-visible session state: the pool outlives every market.
+struct Session {
+    pool: ThreadPool,
+    market: Option<Market>,
+}
+
+enum Flow {
+    Continue,
+    Quit,
+}
+
+/// A long-running TCP server holding one market resident; see the
+/// [crate docs](crate) for the concurrency model and
+/// [`crate::protocol`] for the wire format.
+#[derive(Debug)]
+pub struct MarketServer {
+    listener: TcpListener,
+    pool: ThreadPool,
+}
+
+/// Longest accepted request line. A client streaming bytes without a
+/// newline must not grow the resident server's memory without bound;
+/// real requests are well under a kilobyte.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Give a stalled reader this long to drain its socket before the
+/// owner thread abandons the reply and closes the client — a
+/// non-reading client must not wedge the single-threaded server.
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// One connected client: its non-blocking stream and the bytes of the
+/// next, not yet complete request line.
+struct Client {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+    closed: bool,
+}
+
+impl Client {
+    /// Reads whatever is available; `true` if any bytes arrived. A
+    /// request line exceeding [`MAX_REQUEST_BYTES`] closes the client
+    /// (with a final error reply, best-effort).
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut progressed = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.closed = true;
+                    return progressed;
+                }
+                Ok(n) => {
+                    self.buffer.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                    if self.buffer.len() > MAX_REQUEST_BYTES
+                        && !self.buffer[..MAX_REQUEST_BYTES].contains(&b'\n')
+                    {
+                        self.send_line(&reply_error(&format!(
+                            "request line exceeds {MAX_REQUEST_BYTES} bytes"
+                        )));
+                        self.closed = true;
+                        return progressed;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return progressed,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    return progressed;
+                }
+            }
+        }
+    }
+
+    /// Pops the next complete line off the buffer.
+    fn next_line(&mut self) -> Option<String> {
+        let end = self.buffer.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buffer.drain(..=end).collect();
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Writes one reply line, retrying short non-blocking writes. A
+    /// disconnected client is marked closed; the request keeps executing
+    /// (state mutations must not half-apply because a reader went away).
+    /// A reader that stalls past [`WRITE_STALL_LIMIT`] is abandoned and
+    /// closed — one client that stops draining its socket must not wedge
+    /// the single-threaded owner loop for everyone else.
+    fn send_line(&mut self, line: &str) {
+        if self.closed {
+            return;
+        }
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        let mut written = 0;
+        let mut stalled_since: Option<Instant> = None;
+        while written < bytes.len() {
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => {
+                    self.closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    written += n;
+                    stalled_since = None;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= WRITE_STALL_LIMIT {
+                        eprintln!("# dropping client: reply stalled for {WRITE_STALL_LIMIT:?}");
+                        self.closed = true;
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl MarketServer {
+    /// Binds the listener (non-blocking) and sizes the worker pool the
+    /// handlers fan out over. Use port `0` to let the OS pick one; read
+    /// it back via [`local_addr`](Self::local_addr).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, threads: usize) -> io::Result<MarketServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(MarketServer {
+            listener,
+            pool: ThreadPool::new(threads),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the serving loop until a client sends `quit`. The calling
+    /// thread becomes the market's owner thread; see the [crate
+    /// docs](crate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than the non-blocking
+    /// `WouldBlock`. Per-client read/write failures only close that
+    /// client.
+    pub fn serve(&self, loader: &MarketLoader<'_>) -> io::Result<ServeSummary> {
+        let mut session = Session {
+            pool: self.pool.clone(),
+            market: None,
+        };
+        let mut clients: Vec<Client> = Vec::new();
+        let mut summary = ServeSummary::default();
+        let mut quit = false;
+        while !quit {
+            let mut progressed = false;
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, peer)) => {
+                        stream.set_nonblocking(true)?;
+                        eprintln!("# client connected: {peer}");
+                        clients.push(Client {
+                            stream,
+                            buffer: Vec::new(),
+                            closed: false,
+                        });
+                        summary.connections += 1;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            for client in &mut clients {
+                progressed |= client.fill();
+                while let Some(line) = client.next_line() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    progressed = true;
+                    summary.requests += 1;
+                    match handle_line(&line, &mut session, loader, client) {
+                        Flow::Continue => {}
+                        Flow::Quit => quit = true,
+                    }
+                    if quit {
+                        break;
+                    }
+                }
+                if quit {
+                    break;
+                }
+            }
+            clients.retain(|c| !c.closed);
+            if !progressed && !quit {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        eprintln!(
+            "# quit: served {} requests over {} connections",
+            summary.requests, summary.connections
+        );
+        Ok(summary)
+    }
+}
+
+fn handle_line(
+    line: &str,
+    session: &mut Session,
+    loader: &MarketLoader<'_>,
+    client: &mut Client,
+) -> Flow {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            client.send_line(&reply_error(&message));
+            return Flow::Continue;
+        }
+    };
+    let started = Instant::now();
+    let flow = match request {
+        Request::Quit => {
+            client.send_line(&reply_ok("quit", Vec::new()));
+            return Flow::Quit;
+        }
+        Request::Load { market, checkpoint } => match checkpoint {
+            Some(path) => handle_restore(session, &path, client, "load"),
+            None => handle_load(
+                session,
+                &market.unwrap_or_else(|| Value::Map(Vec::new())),
+                loader,
+                client,
+            ),
+        },
+        Request::Restore { path } => handle_restore(session, &path, client, "restore"),
+        Request::Advise { asn, top } => handle_advise(session, asn, top, client),
+        Request::Step { rounds, shock } => handle_step(session, rounds, shock, client),
+        Request::Snapshot { path } => handle_snapshot(session, &path, client),
+        Request::Stats => handle_stats(session, client),
+    };
+    eprintln!(
+        "# handled {line:?} in {:.1} ms",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    flow
+}
+
+/// The market summary `load`/`restore` reply with.
+fn market_summary(verb: &str, market: &Market) -> String {
+    let graph = market.state.graph();
+    reply_ok(
+        verb,
+        vec![
+            ("ases", to_value(&graph.node_count())),
+            ("links", to_value(&graph.link_count())),
+            ("peering_links", to_value(&graph.peering_link_count())),
+            ("transit_links", to_value(&graph.transit_link_count())),
+            ("adopted", to_value(&market.state.adopted_count())),
+            ("rounds_done", to_value(&market.driver.rounds_done())),
+            ("seed", to_value(&market.seed)),
+            ("label", Value::Str(market.label.clone())),
+        ],
+    )
+}
+
+fn handle_load(
+    session: &mut Session,
+    market_spec: &Value,
+    loader: &MarketLoader<'_>,
+    client: &mut Client,
+) -> Flow {
+    match loader(market_spec) {
+        Ok(loaded) => match EvolutionDriver::new(loaded.config) {
+            Ok(driver) => {
+                let market = Market {
+                    state: loaded.state,
+                    driver,
+                    seed: loaded.seed,
+                    label: loaded.label,
+                };
+                client.send_line(&market_summary("load", &market));
+                session.market = Some(market);
+            }
+            Err(e) => client.send_line(&reply_error(&format!("invalid market config: {e}"))),
+        },
+        Err(message) => client.send_line(&reply_error(&message)),
+    }
+    Flow::Continue
+}
+
+/// `verb` is echoed in the success reply: a `load` with a `checkpoint`
+/// field answers as `load`, the dedicated verb as `restore`.
+fn handle_restore(session: &mut Session, path: &str, client: &mut Client, verb: &str) -> Flow {
+    let restored = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint {path:?}: {e}"))
+        .and_then(|text| {
+            MarketSnapshot::from_json(&text).map_err(|e| format!("checkpoint {path:?}: {e}"))
+        })
+        .and_then(|snapshot| {
+            let seed = snapshot.seed;
+            snapshot
+                .restore()
+                .map(|(state, driver)| (state, driver, seed))
+                .map_err(|e| format!("checkpoint {path:?}: {e}"))
+        });
+    match restored {
+        Ok((state, driver, seed)) => {
+            let market = Market {
+                state,
+                driver,
+                seed,
+                label: format!("checkpoint:{path}"),
+            };
+            client.send_line(&market_summary(verb, &market));
+            session.market = Some(market);
+        }
+        Err(message) => client.send_line(&reply_error(&message)),
+    }
+    Flow::Continue
+}
+
+fn handle_advise(session: &mut Session, asn: u32, top: usize, client: &mut Client) -> Flow {
+    let Some(market) = session.market.as_ref() else {
+        client.send_line(&reply_error("no market resident; send load first"));
+        return Flow::Continue;
+    };
+    match advise(
+        &market.state,
+        &market.driver.config().discovery,
+        pan_topology::Asn::new(asn),
+        top,
+        &session.pool,
+    ) {
+        Ok(report) => client.send_line(&reply_ok(
+            "advise",
+            vec![
+                ("asn", to_value(&asn)),
+                ("candidates", to_value(&report.candidates)),
+                ("concluded_cash", to_value(&report.concluded_cash)),
+                ("total_surplus", to_value(&report.total_surplus)),
+                ("outcomes", to_value(&report.outcomes)),
+            ],
+        )),
+        Err(e) => client.send_line(&reply_error(&format!("advise failed: {e}"))),
+    }
+    Flow::Continue
+}
+
+fn handle_step(
+    session: &mut Session,
+    rounds: usize,
+    shock: Option<f64>,
+    client: &mut Client,
+) -> Flow {
+    let Some(market) = session.market.as_mut() else {
+        client.send_line(&reply_error("no market resident; send load first"));
+        return Flow::Continue;
+    };
+    if let Some(shock) = shock {
+        // Re-validate through the driver constructor so an out-of-range
+        // override cannot poison the resident config.
+        let config = EvolutionConfig {
+            shock,
+            ..*market.driver.config()
+        };
+        match EvolutionDriver::resume(config, market.driver.rounds_done()) {
+            Ok(driver) => market.driver = driver,
+            Err(e) => {
+                client.send_line(&reply_error(&format!("invalid shock override: {e}")));
+                return Flow::Continue;
+            }
+        }
+    }
+    let sweep = ScenarioSweep::new(session.pool.clone(), market.seed);
+    let mut stepped = 0usize;
+    let mut adopted = 0usize;
+    let mut adopted_surplus = 0.0;
+    let mut fixed_point = false;
+    for _ in 0..rounds {
+        match market.driver.step(&mut market.state, &sweep) {
+            Ok(outcome) => {
+                stepped += 1;
+                adopted += outcome.record.adopted;
+                adopted_surplus += outcome.record.adopted_surplus;
+                fixed_point = outcome.fixed_point;
+                client.send_line(&reply_ok(
+                    "round",
+                    vec![
+                        ("record", to_value(&outcome.record)),
+                        ("agreements", to_value(&outcome.agreements)),
+                    ],
+                ));
+                if fixed_point {
+                    break;
+                }
+            }
+            Err(e) => {
+                client.send_line(&reply_error(&format!("step failed: {e}")));
+                return Flow::Continue;
+            }
+        }
+    }
+    client.send_line(&reply_ok(
+        "step",
+        vec![
+            ("rounds", to_value(&stepped)),
+            ("adopted", to_value(&adopted)),
+            ("adopted_surplus", to_value(&adopted_surplus)),
+            ("fixed_point", Value::Bool(fixed_point)),
+            ("rounds_done", to_value(&market.driver.rounds_done())),
+        ],
+    ));
+    Flow::Continue
+}
+
+fn handle_snapshot(session: &mut Session, path: &str, client: &mut Client) -> Flow {
+    let Some(market) = session.market.as_ref() else {
+        client.send_line(&reply_error("no market resident; send load first"));
+        return Flow::Continue;
+    };
+    let json = MarketSnapshot::capture(&market.state, &market.driver, market.seed).to_json();
+    match std::fs::write(path, &json) {
+        Ok(()) => client.send_line(&reply_ok(
+            "snapshot",
+            vec![
+                ("path", Value::Str(path.to_owned())),
+                ("bytes", to_value(&json.len())),
+                ("rounds_done", to_value(&market.driver.rounds_done())),
+            ],
+        )),
+        Err(e) => client.send_line(&reply_error(&format!("cannot write {path:?}: {e}"))),
+    }
+    Flow::Continue
+}
+
+fn handle_stats(session: &mut Session, client: &mut Client) -> Flow {
+    let Some(market) = session.market.as_ref() else {
+        client.send_line(&reply_error("no market resident; send load first"));
+        return Flow::Continue;
+    };
+    let graph = market.state.graph();
+    let total_flow: f64 = market.state.flows().totals().iter().sum();
+    let n = graph.node_count() as u32;
+    let mut cash_min = 0.0f64;
+    let mut cash_max = 0.0f64;
+    for i in 0..n {
+        let balance = market.state.cash_balance(i);
+        cash_min = cash_min.min(balance);
+        cash_max = cash_max.max(balance);
+    }
+    client.send_line(&reply_ok(
+        "stats",
+        vec![
+            ("label", Value::Str(market.label.clone())),
+            ("ases", to_value(&graph.node_count())),
+            ("links", to_value(&graph.link_count())),
+            ("peering_links", to_value(&graph.peering_link_count())),
+            ("transit_links", to_value(&graph.transit_link_count())),
+            ("adopted", to_value(&market.state.adopted_count())),
+            ("rounds_done", to_value(&market.driver.rounds_done())),
+            ("total_flow", to_value(&total_flow)),
+            ("cash_min", to_value(&cash_min)),
+            ("cash_max", to_value(&cash_max)),
+            ("seed", to_value(&market.seed)),
+            ("threads", to_value(&session.pool.threads())),
+        ],
+    ));
+    Flow::Continue
+}

@@ -66,6 +66,12 @@ pub enum TopologyError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A deserialized graph failed its wire-integrity check
+    /// ([`AsGraph::validate`](crate::AsGraph::validate)).
+    CorruptWire {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -101,6 +107,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "invalid geographic coordinate ({lat_deg}, {lon_deg})")
             }
             TopologyError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),
+            TopologyError::CorruptWire { reason } => {
+                write!(f, "corrupt serialized graph: {reason}")
+            }
         }
     }
 }

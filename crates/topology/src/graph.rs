@@ -625,11 +625,57 @@ impl AsGraph {
         })
     }
 
+    /// Integrity check for graphs read from an untrusted wire format
+    /// (e.g. a checkpoint file): every link endpoint must be an in-range
+    /// node index, links must not be self-loops, ASNs must be unique, and
+    /// no AS pair may carry two links. Call **before**
+    /// [`rebuild_indices`](Self::rebuild_indices) — a corrupt link table
+    /// would otherwise panic inside the CSR rebuild instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::CorruptWire`] naming the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let corrupt = |reason: String| Err(TopologyError::CorruptWire { reason });
+        let n = self.asns.len() as u32;
+        let mut seen_asns = std::collections::HashSet::with_capacity(self.asns.len());
+        for &asn in &self.asns {
+            if !seen_asns.insert(asn) {
+                return corrupt(format!("{asn} appears twice in the node table"));
+            }
+        }
+        let mut seen_links = std::collections::HashSet::with_capacity(self.links.len());
+        for (id, link) in self.links.iter().enumerate() {
+            if link.a >= n || link.b >= n {
+                return corrupt(format!(
+                    "link#{id} references node index {} of {n} nodes",
+                    link.a.max(link.b)
+                ));
+            }
+            if link.a == link.b {
+                return corrupt(format!(
+                    "link#{id} connects {} to itself",
+                    self.asns[link.a as usize]
+                ));
+            }
+            let key = (link.a.min(link.b), link.a.max(link.b));
+            if !seen_links.insert(key) {
+                return corrupt(format!(
+                    "duplicate link between {} and {}",
+                    self.asns[link.a as usize], self.asns[link.b as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuilds the skipped lookup tables after deserialization.
     ///
     /// [`AsGraph`] serializes only its canonical tables (`asns` and
     /// `links`); call this after deserializing to restore the
-    /// `Asn → index` map and the CSR adjacency.
+    /// `Asn → index` map and the CSR adjacency. For input that may have
+    /// been hand-edited or corrupted, run [`validate`](Self::validate)
+    /// first.
     pub fn rebuild_indices(&mut self) {
         self.index = self
             .asns
@@ -785,6 +831,49 @@ mod tests {
         assert_eq!(back.degree_of_index(0), 0);
         assert_eq!(back.neighbor_kind_by_index(0, 1), None);
         assert_eq!(back.stub_ases().count(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_rejects_corrupt_wire_graphs() {
+        let g = fig1();
+        g.validate().expect("builder output is well-formed");
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AsGraph = serde_json::from_str(&json).unwrap();
+        back.validate().expect("round-tripped graph is well-formed");
+
+        // Out-of-range endpoint.
+        let mut corrupt = back.clone();
+        corrupt.links[0].a = corrupt.asns.len() as u32 + 7;
+        assert!(matches!(
+            corrupt.validate(),
+            Err(TopologyError::CorruptWire { .. })
+        ));
+        // Self-loop.
+        let mut corrupt = back.clone();
+        corrupt.links[0].b = corrupt.links[0].a;
+        assert!(matches!(
+            corrupt.validate(),
+            Err(TopologyError::CorruptWire { .. })
+        ));
+        // Duplicate link (reversed endpoints still collide).
+        let mut corrupt = back.clone();
+        let dup = LinkRecord {
+            a: corrupt.links[0].b,
+            b: corrupt.links[0].a,
+            relationship: corrupt.links[0].relationship,
+        };
+        corrupt.links.push(dup);
+        assert!(matches!(
+            corrupt.validate(),
+            Err(TopologyError::CorruptWire { .. })
+        ));
+        // Duplicate ASN.
+        let mut corrupt = back.clone();
+        corrupt.asns[1] = corrupt.asns[0];
+        assert!(matches!(
+            corrupt.validate(),
+            Err(TopologyError::CorruptWire { .. })
+        ));
     }
 
     #[test]

@@ -17,5 +17,6 @@ pub use pan_datasets as datasets;
 pub use pan_econ as econ;
 pub use pan_pathdiv as pathdiv;
 pub use pan_runtime as runtime;
+pub use pan_serve as serve;
 pub use pan_sim as pan;
 pub use pan_topology as topology;
