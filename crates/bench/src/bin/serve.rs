@@ -15,6 +15,8 @@
 //! same vocabulary as the spec flags). Plus:
 //!
 //! - `--addr <host:port>`: listen address (default `127.0.0.1:4780`);
+//! - `--engine <full|incremental>`: discovery engine resident markets
+//!   step with (default `full`; replies are byte-identical either way);
 //! - `--bench-out <path>`: write a service summary record on shutdown.
 //!
 //! The listen address and all timings go to **stderr**; protocol replies
@@ -97,6 +99,7 @@ fn main() {
     let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
     let sink = ReportSink::from_spec(&spec, &mut rest);
     let mut addr = "127.0.0.1:4780".to_owned();
+    let mut engine = pan_core::Engine::Full;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -105,17 +108,27 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| panic!("--addr requires a value"));
             }
+            "--engine" => {
+                let value = rest
+                    .next()
+                    .unwrap_or_else(|| panic!("--engine requires a value: full, incremental"));
+                engine = value.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
             other => {
-                panic!("unknown flag {other:?}; serve adds: --addr <host:port>, --bench-out <path>")
+                panic!(
+                    "unknown flag {other:?}; serve adds: --addr <host:port>, \
+                     --engine <full|incremental>, --bench-out <path>"
+                )
             }
         }
     }
 
     let server = MarketServer::bind(&addr, spec.threads)
-        .unwrap_or_else(|e| panic!("cannot bind {addr:?}: {e}"));
+        .unwrap_or_else(|e| panic!("cannot bind {addr:?}: {e}"))
+        .with_engine(engine);
     let local = server.local_addr().expect("bound sockets have an address");
     eprintln!(
-        "# serving on {local} at {} threads (base spec: seed {}, quick {})",
+        "# serving on {local} at {} threads, {engine} engine (base spec: seed {}, quick {})",
         spec.threads, spec.seed, spec.quick
     );
 

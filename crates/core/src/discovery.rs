@@ -23,6 +23,17 @@
 //!    streams) and returns the concluded agreements ranked by NBS
 //!    surplus — bit-identical at any thread count.
 //!
+//! The evolution engines (`dynamics`/`incremental`) run the hotter
+//! *programmed* variant instead: `NodePrograms` precomputes each
+//! node's linear reroute/attract collapse **and** its transit-price
+//! collapse (Σ sign·rate over the row, plus the nonlinear residue), and
+//! a per-pair `PairTransit` summary subtracts the handful of excluded
+//! targets (the beneficiary and its customers) from those per-node
+//! totals. The per-round cost of the transit correction thus scales
+//! with the excluded few instead of the ~1,500 targets an average hub
+//! pair fans out to — the difference between streaming ~234M row
+//! entries per 157k-pair round and touching almost none.
+//!
 //! [`evaluate_candidate_legacy`] runs the same grid through the original
 //! allocation-heavy [`AgreementScenario`] path; it is the correctness
 //! oracle for the dense engine and the "before" side of the
@@ -850,6 +861,546 @@ pub fn evaluate_candidate(
     })
 }
 
+/// The once-per-round, per-node collapse behind
+/// [`evaluate_candidate_with`]: every quantity of a pair evaluation
+/// that depends on one endpoint's row alone — the beneficiary-side
+/// reroute / attract deltas of phase 2 and their linear collapse of
+/// phase 3 — computed once per node instead of once per candidate. A
+/// hub AS with thousands of customer links sits on hundreds of
+/// candidate pairs, and the per-pair evaluator walks its full row for
+/// every one of them; a sweep's evaluation cost was
+/// `Σ_pairs (deg(x) + deg(y))` where `Σ_nodes deg(n)` plus per-pair
+/// target work suffices.
+///
+/// The collapse fixes the `(reroute, attract)` shares at build time, so
+/// it serves noise-free configurations only: share jitter makes the
+/// deltas per-pair again, and those sweeps keep using
+/// [`evaluate_candidate`].
+#[derive(Debug, Clone)]
+pub(crate) struct NodePrograms {
+    reroute_share: f64,
+    attract_share: f64,
+    nodes: Vec<NodeSide>,
+    /// CSR spill of nonlinear own-row entries per node, the same tuple
+    /// shape as the per-pair scratch: `(baseline flow, A, B, position)`.
+    nonlinear: Vec<(f64, f64, f64, u32)>,
+    /// `node_count + 1` prefix offsets into `nonlinear`.
+    nonlinear_off: Vec<u32>,
+    /// Per node, `Σ sign·rate` over the linear provider/peer entries of
+    /// its row (position order) — the transit-side twin of the own-row
+    /// collapse. A pair's grant targets are the partner's providers and
+    /// peers minus a small §VI exclusion set, so the per-target linear
+    /// fold becomes this sum minus the pair's [`SideTransit::excl_lin`].
+    transit_lin: Vec<f64>,
+    /// CSR of nonlinear provider/peer entry positions per node
+    /// (ascending); the rare targets that still price per grid point.
+    transit_nonlinear: Vec<u32>,
+    /// `node_count + 1` prefix offsets into `transit_nonlinear`.
+    transit_nonlinear_off: Vec<u32>,
+}
+
+/// One node's collapsed beneficiary-side program: what the node's own
+/// packed row contributes to any agreement in which it is a
+/// beneficiary, independent of the partner.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeSide {
+    /// Total reroutable provider volume per unit of `r`.
+    reroutable: f64,
+    /// Total attractable volume per unit of `a`, end-host included.
+    attractable: f64,
+    /// The end-host share of `attractable`.
+    end_host_gain: f64,
+    /// Linear utility coefficient of `r` over the own-row deltas.
+    lin_r: f64,
+    /// Linear utility coefficient of `a` over the own-row deltas.
+    lin_a: f64,
+    /// Δtotal coefficient of `r` (own-row deltas plus the flow gained
+    /// on the settlement-free partner link).
+    total_r: f64,
+    /// Δtotal coefficient of `a`, end-host arrivals double-counted as
+    /// in the per-pair evaluator (they enter and terminate at the node).
+    total_a: f64,
+}
+
+impl NodePrograms {
+    /// Collapses every node's beneficiary-side deltas at fixed shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::InvalidFraction`] for shares outside
+    /// `[0, 1]` — the validation [`evaluate_candidate`] applies per
+    /// pair, hoisted to build time.
+    pub(crate) fn build(
+        ctx: &BatchContext<'_>,
+        reroute_share: f64,
+        attract_share: f64,
+    ) -> Result<NodePrograms> {
+        for share in [reroute_share, attract_share] {
+            if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+                return Err(AgreementError::InvalidFraction { value: share });
+            }
+        }
+        let n = ctx.graph.node_count();
+        let mut programs = NodePrograms {
+            reroute_share,
+            attract_share,
+            nodes: Vec::with_capacity(n),
+            nonlinear: Vec::new(),
+            nonlinear_off: Vec::with_capacity(n + 1),
+            transit_lin: Vec::with_capacity(n),
+            transit_nonlinear: Vec::new(),
+            transit_nonlinear_off: Vec::with_capacity(n + 1),
+        };
+        programs.nonlinear_off.push(0);
+        programs.transit_nonlinear_off.push(0);
+        for node in 0..n as u32 {
+            let side = collapse_node(
+                ctx,
+                node,
+                None,
+                reroute_share,
+                attract_share,
+                &mut programs.nonlinear,
+            );
+            programs.nodes.push(side);
+            programs.nonlinear_off.push(programs.nonlinear.len() as u32);
+            // Transit collapse: the per-target fold of the per-pair
+            // evaluator, summed once over the node's full provider/peer
+            // segment in position order.
+            let (_, e_end) = ctx.graph.class_boundaries(node);
+            let mut lin = 0.0f64;
+            for pos in 0..e_end {
+                let entry = ctx.econ.entry(node, pos);
+                if entry.sign == 0.0 {
+                    continue;
+                }
+                if let Some(rate) = entry.price.linear_rate() {
+                    lin += entry.sign * rate;
+                } else {
+                    programs.transit_nonlinear.push(pos as u32);
+                }
+            }
+            programs.transit_lin.push(lin);
+            programs
+                .transit_nonlinear_off
+                .push(programs.transit_nonlinear.len() as u32);
+        }
+        Ok(programs)
+    }
+
+    /// The nonlinear own-row spill of `node`.
+    fn nonlinear_of(&self, node: u32) -> &[(f64, f64, f64, u32)] {
+        let (lo, hi) = (
+            self.nonlinear_off[node as usize] as usize,
+            self.nonlinear_off[node as usize + 1] as usize,
+        );
+        &self.nonlinear[lo..hi]
+    }
+
+    /// The nonlinear provider/peer entry positions of `node`.
+    fn transit_nonlinear_of(&self, node: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.transit_nonlinear_off[node as usize] as usize,
+            self.transit_nonlinear_off[node as usize + 1] as usize,
+        );
+        &self.transit_nonlinear[lo..hi]
+    }
+}
+
+/// Collapses one node's own-row deltas: provider reroutes
+/// (`-share·f` per provider entry with positive flow), customer
+/// attraction (`+share·f` per customer entry), the end-host gain, and
+/// the linear utility collapse of all of them; nonlinear entries spill
+/// into `spill` for per-grid-point evaluation. `skip_provider` excludes
+/// the partner from the provider walk for (prospective k-hop) pairs
+/// whose partner is simultaneously a provider — the per-pair
+/// evaluator's `p == partner` skip.
+fn collapse_node(
+    ctx: &BatchContext<'_>,
+    node: u32,
+    skip_provider: Option<u32>,
+    reroute_share: f64,
+    attract_share: f64,
+    spill: &mut Vec<(f64, f64, f64, u32)>,
+) -> NodeSide {
+    let graph = ctx.graph;
+    let (p_end, e_end) = graph.class_boundaries(node);
+    let row = graph.neighbor_indices(node);
+    let mut side = NodeSide::default();
+    let mut touch = |side: &mut NodeSide, pos: usize, dr: f64, da: f64| {
+        side.total_r += dr;
+        side.total_a += da;
+        let entry = ctx.econ.entry(node, pos);
+        if entry.sign == 0.0 {
+            return;
+        }
+        if let Some(rate) = entry.price.linear_rate() {
+            side.lin_r += entry.sign * rate * dr;
+            side.lin_a += entry.sign * rate * da;
+        } else {
+            spill.push((ctx.flows.flow(node, pos), dr, da, pos as u32));
+        }
+    };
+    for (pos, &p) in row[..p_end].iter().enumerate() {
+        if Some(p) == skip_provider {
+            continue;
+        }
+        let f = ctx.flows.flow(node, pos);
+        if f <= 0.0 {
+            continue;
+        }
+        let moved = reroute_share * f;
+        side.reroutable += moved;
+        touch(&mut side, pos, -moved, 0.0);
+    }
+    for pos in e_end..row.len() {
+        let f = ctx.flows.flow(node, pos);
+        if f <= 0.0 {
+            continue;
+        }
+        let gained = attract_share * f;
+        side.attractable += gained;
+        touch(&mut side, pos, 0.0, gained);
+    }
+    let end_host_gain = attract_share * ctx.flows.end_host(node);
+    side.attractable += end_host_gain;
+    side.end_host_gain = end_host_gain;
+    // The flow gained toward the partner (the full segment volume) and
+    // the end-host arrivals enter the node's Δtotal too, mirroring the
+    // per-pair evaluator's phase-2 + end-of-phase-3 accounting.
+    side.total_r += side.reroutable;
+    side.total_a += side.attractable;
+    side.total_a += end_host_gain;
+    side
+}
+
+/// The pair-specific transit structure of one candidate: everything
+/// [`evaluate_candidate_with`] needs beyond the per-node programs, and
+/// a pure function of the graph and the (transit) pricing tables alone —
+/// flows never enter, so the incremental engine caches these across
+/// rounds and only rebuilds them when topology or pricing changes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PairTransit {
+    /// `[x-side, y-side]`, beneficiary order as in [`CandidatePair`].
+    sides: [SideTransit; 2],
+}
+
+/// One beneficiary side of a [`PairTransit`]: the §VI grant-target set
+/// of the pair, reduced to the partner's whole provider/peer segment
+/// minus this exclusion summary.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SideTransit {
+    /// Grant-target count: the partner's provider/peer segment length
+    /// minus the exclusions (the beneficiary itself and its customers).
+    nsegs: u32,
+    /// `true` if the partner is simultaneously the beneficiary's
+    /// provider (possible for prospective k-hop pairs), which
+    /// invalidates the node's cached own-row collapse.
+    provider_adjacent: bool,
+    /// `Σ sign·rate` over the excluded linear entries (position order),
+    /// subtracted from the partner's [`NodePrograms::transit_lin`] sum.
+    excl_lin: f64,
+    /// Excluded nonlinear entry positions (ascending), skipped when the
+    /// partner's nonlinear transit entries are merged.
+    excl_nonlinear: Vec<u32>,
+}
+
+/// Derives the transit structure of `pair`; see [`PairTransit`]. The
+/// exclusion walk merges the partner's ASN-sorted provider and peer
+/// segments against the beneficiary's ASN-sorted customer segment, so
+/// the cost is `O(provpeer(partner) + customers(beneficiary))` — no
+/// per-target membership probes and no materialized target list.
+pub(crate) fn derive_pair_transit(ctx: &BatchContext<'_>, pair: CandidatePair) -> PairTransit {
+    PairTransit {
+        sides: [
+            derive_side_transit(ctx, pair.x, pair.y),
+            derive_side_transit(ctx, pair.y, pair.x),
+        ],
+    }
+}
+
+/// One side of [`derive_pair_transit`]: the exclusion summary of
+/// `beneficiary`'s grant targets in `partner`'s row.
+fn derive_side_transit(ctx: &BatchContext<'_>, beneficiary: u32, partner: u32) -> SideTransit {
+    let graph = ctx.graph;
+    let (p_end, e_end) = graph.class_boundaries(partner);
+    let row = graph.neighbor_indices(partner);
+    let (_, b_e_end) = graph.class_boundaries(beneficiary);
+    let customers = &graph.neighbor_indices(beneficiary)[b_e_end..];
+    let mut excluded = 0usize;
+    let mut excl_lin = 0.0f64;
+    let mut excl_nonlinear = Vec::new();
+    // Each class segment is sorted by neighbor ASN, as is the customer
+    // segment — one two-pointer pass per segment finds every excluded
+    // position in ascending position order.
+    for (start, end) in [(0, p_end), (p_end, e_end)] {
+        let mut c = 0usize;
+        for (pos, &t) in row[start..end].iter().enumerate() {
+            let pos = start + pos;
+            if t != beneficiary {
+                let target_asn = graph.asn_at(t);
+                while c < customers.len() && graph.asn_at(customers[c]) < target_asn {
+                    c += 1;
+                }
+                if customers.get(c) != Some(&t) {
+                    continue;
+                }
+            }
+            excluded += 1;
+            let entry = ctx.econ.entry(partner, pos);
+            if entry.sign == 0.0 {
+                continue;
+            }
+            if let Some(rate) = entry.price.linear_rate() {
+                excl_lin += entry.sign * rate;
+            } else {
+                excl_nonlinear.push(pos as u32);
+            }
+        }
+    }
+    SideTransit {
+        nsegs: (e_end - excluded) as u32,
+        provider_adjacent: graph.has_neighbor_kind(beneficiary, partner, NeighborKind::Provider),
+        excl_lin,
+        excl_nonlinear,
+    }
+}
+
+/// The programmed twin of [`evaluate_candidate`]: evaluates one
+/// candidate pair at the shares fixed in `programs`, reusing the
+/// per-node collapse for everything row-local and the pair's
+/// [`PairTransit`] exclusion summary for the grant-target fold (see
+/// [`derive_pair_transit`]), leaving only scalar arithmetic, the rare
+/// nonlinear merges, and the operating-point grid per call — `O(grid² +
+/// nonlinear)` instead of `O(deg(x) + deg(y))`.
+///
+/// Results are a pure function of the endpoint rows (plus their
+/// end-host and totals scalars), deterministic at any thread count, and
+/// agree with [`evaluate_candidate`] up to f64 re-association — the
+/// collapse sums the same model terms in a different order. Both
+/// evolution engines evaluate through this function on noise-free
+/// configurations, which is what makes their rounds bit-identical.
+///
+/// # Errors
+///
+/// Same surface as [`evaluate_candidate`]: `grid < 2` is rejected, and
+/// non-finite utilities / pricing failures propagate.
+pub(crate) fn evaluate_candidate_with(
+    ctx: &BatchContext<'_>,
+    programs: &NodePrograms,
+    transit: &PairTransit,
+    scratch: &mut PairScratch,
+    pair: CandidatePair,
+    grid: usize,
+) -> Result<PairOutcome> {
+    if grid < 2 {
+        return Err(AgreementError::DimensionMismatch {
+            expected: 2,
+            actual: grid,
+        });
+    }
+    let graph = ctx.graph;
+    let (x, y) = (pair.x, pair.y);
+    debug_assert!(x != y, "candidate pairs have distinct parties");
+
+    let [sx, sy] = &mut scratch.side;
+    sx.reset();
+    sy.reset();
+    let nsegs = [
+        transit.sides[0].nsegs as usize,
+        transit.sides[1].nsegs as usize,
+    ];
+
+    // Own-side programs. A side with no grant targets contributes
+    // nothing (the per-pair evaluator skips it wholesale); a partner
+    // that doubles as the beneficiary's provider (possible for
+    // prospective k-hop pairs) invalidates the node's cached collapse,
+    // which is then rebuilt locally with the provider skip.
+    let mut own = [NodeSide::default(); 2];
+    for (i, s) in [&mut *sx, &mut *sy].into_iter().enumerate() {
+        let (bene, partner) = if i == 0 { (x, y) } else { (y, x) };
+        if nsegs[i] == 0 {
+            continue;
+        }
+        if transit.sides[i].provider_adjacent {
+            own[i] = collapse_node(
+                ctx,
+                bene,
+                Some(partner),
+                programs.reroute_share,
+                programs.attract_share,
+                &mut s.nonlinear,
+            );
+        } else {
+            own[i] = programs.nodes[bene as usize];
+            s.nonlinear.extend_from_slice(programs.nonlinear_of(bene));
+        }
+    }
+
+    let mut lin = [(own[0].lin_r, own[0].lin_a), (own[1].lin_r, own[1].lin_a)];
+    let mut total = [
+        (own[0].total_r, own[0].total_a),
+        (own[1].total_r, own[1].total_a),
+    ];
+    let mut volume_r = 0.0;
+    let mut volume_a = 0.0;
+
+    // Partner-transit corrections: side i's whole segment volume
+    // transits the partner — in on the settlement-free beneficiary link
+    // (totals only), out on each of side i's target links in the
+    // partner's row, split evenly across the segments. The per-target
+    // linear fold collapses to the partner's precomputed segment sum
+    // minus the pair's exclusions; nonlinear target entries merge with
+    // the partner's own spill so combined coefficients price exactly
+    // once, as the per-pair accumulation does.
+    for (i, (own_side, side)) in own.iter().zip(&transit.sides).enumerate() {
+        if side.nsegs == 0 {
+            continue;
+        }
+        let o = 1 - i;
+        let partner = if i == 0 { y } else { x };
+        let nsegs_f = f64::from(side.nsegs);
+        let per_seg_r = own_side.reroutable / nsegs_f;
+        let per_seg_a = own_side.attractable / nsegs_f;
+        total[o].0 += own_side.reroutable + per_seg_r * nsegs_f;
+        total[o].1 += own_side.attractable + per_seg_a * nsegs_f;
+        volume_r += own_side.reroutable;
+        volume_a += own_side.attractable;
+        let lin_sum = programs.transit_lin[partner as usize] - side.excl_lin;
+        lin[o].0 += lin_sum * per_seg_r;
+        lin[o].1 += lin_sum * per_seg_a;
+        let merged = if i == 0 {
+            &mut sy.nonlinear
+        } else {
+            &mut sx.nonlinear
+        };
+        let mut excl = side.excl_nonlinear.iter().copied().peekable();
+        for &pos in programs.transit_nonlinear_of(partner) {
+            while excl.peek().is_some_and(|&e| e < pos) {
+                excl.next();
+            }
+            if excl.peek() == Some(&pos) {
+                excl.next();
+                continue;
+            }
+            if let Some(slot) = merged.iter_mut().find(|e| e.3 == pos) {
+                slot.1 += per_seg_r;
+                slot.2 += per_seg_a;
+            } else {
+                merged.push((
+                    ctx.flows.flow(partner, pos as usize),
+                    per_seg_r,
+                    per_seg_a,
+                    pos,
+                ));
+            }
+        }
+    }
+
+    // Per-party scalar folds: linear end-host revenue and linear
+    // internal cost collapse into the coefficients; nonlinear ones are
+    // evaluated per grid point below.
+    let parties = [x, y];
+    let mut end_host_linear = [None, None];
+    let mut internal_linear = [None, None];
+    for i in 0..2 {
+        let node = parties[i];
+        end_host_linear[i] = ctx.econ.end_host_price(node).linear_rate();
+        internal_linear[i] = ctx.econ.internal_cost(node).linear_rate();
+        if own[i].end_host_gain != 0.0 {
+            if let Some(rate) = end_host_linear[i] {
+                lin[i].1 += rate * own[i].end_host_gain;
+            }
+        }
+        if let Some(rate) = internal_linear[i] {
+            lin[i].0 -= rate * total[i].0;
+            lin[i].1 -= rate * total[i].1;
+        }
+    }
+
+    // Operating-point grid and conclusions — the same scan as the
+    // per-pair evaluator, over the collapsed coefficients.
+    let step = 1.0 / (grid - 1) as f64;
+    let mut best_fv: Option<(f64, f64, f64, f64)> = None;
+    let mut best_fv_score = f64::NEG_INFINITY;
+    let mut best_cash: Option<(f64, f64, f64, f64)> = None;
+    let mut best_joint = f64::NEG_INFINITY;
+    for ri in 0..grid {
+        let r = ri as f64 * step;
+        for ai in 0..grid {
+            let a = ai as f64 * step;
+            let mut utilities = [0.0f64; 2];
+            for i in 0..2 {
+                let node = parties[i];
+                let mut u = lin[i].0 * r + lin[i].1 * a;
+                for &(f, dr, da, pos) in &scratch.side[i].nonlinear {
+                    let entry = ctx.econ.entry(node, pos as usize);
+                    u += entry.utility_delta(f, dr * r + da * a)?;
+                }
+                if end_host_linear[i].is_none() && own[i].end_host_gain != 0.0 {
+                    let f = ctx.flows.end_host(node);
+                    let price = ctx.econ.end_host_price(node);
+                    u += price.price(f + own[i].end_host_gain * a)? - price.price(f)?;
+                }
+                if internal_linear[i].is_none() {
+                    let base = ctx.totals[node as usize];
+                    let delta = total[i].0 * r + total[i].1 * a;
+                    let cost = ctx.econ.internal_cost(node);
+                    u -= cost.eval((base + delta).max(0.0))? - cost.eval(base)?;
+                }
+                if !u.is_finite() {
+                    return Err(AgreementError::InvalidUtility { value: u });
+                }
+                utilities[i] = u;
+            }
+            let (ux, uy) = (utilities[0], utilities[1]);
+            if ux >= -UTILITY_TOLERANCE && uy >= -UTILITY_TOLERANCE {
+                let score = ux.max(0.0) * uy.max(0.0) + 1e-7 * (ux + uy);
+                if score > best_fv_score {
+                    best_fv_score = score;
+                    best_fv = Some((r, a, ux, uy));
+                }
+            }
+            let joint = ux + uy;
+            if joint > best_joint {
+                best_joint = joint;
+                best_cash = Some((r, a, ux, uy));
+            }
+        }
+    }
+
+    let flow_volume = best_fv.and_then(|(r, a, ux, uy)| {
+        let product = ux.max(0.0) * uy.max(0.0);
+        let volume = r * volume_r + a * volume_a;
+        (product > UTILITY_TOLERANCE && volume > UTILITY_TOLERANCE).then_some(FlowVolumePoint {
+            reroute: r,
+            attract: a,
+            utility_x: ux,
+            utility_y: uy,
+        })
+    });
+    let cash = match best_cash {
+        Some((r, a, ux, uy)) if ux + uy > JOINT_TOLERANCE => Some(CashPoint {
+            reroute: r,
+            attract: a,
+            joint_utility: ux + uy,
+            transfer_x_to_y: bargaining_transfer(ux, uy)?,
+        }),
+        _ => None,
+    };
+    let surplus = cash.map_or(0.0, |c| c.joint_utility.max(0.0));
+    Ok(PairOutcome {
+        x: graph.asn_at(x),
+        y: graph.asn_at(y),
+        peering_hops: pair.peering_hops,
+        shares: (programs.reroute_share, programs.attract_share),
+        segments: (nsegs[0], nsegs[1]),
+        flow_volume,
+        cash,
+        surplus,
+    })
+}
+
 /// Runs a full discovery sweep: enumerate candidates, evaluate each in
 /// parallel (per-worker [`PairScratch`], per-item RNG stream), rank by
 /// surplus. Output is bit-identical at any thread count of `sweep`.
@@ -1393,6 +1944,135 @@ pub(crate) mod tests {
             concluded += usize::from(dense.is_concluded());
         }
         assert!(concluded > 0, "some pair should profit");
+    }
+
+    /// The programmed evaluation as the engines run it: derive the
+    /// pair's transit structure, then evaluate through it.
+    fn eval_programmed(
+        ctx: &BatchContext<'_>,
+        programs: &NodePrograms,
+        scratch: &mut PairScratch,
+        pair: CandidatePair,
+        grid: usize,
+    ) -> Result<PairOutcome> {
+        let transit = derive_pair_transit(ctx, pair);
+        evaluate_candidate_with(ctx, programs, &transit, scratch, pair, grid)
+    }
+
+    #[test]
+    fn programmed_evaluator_matches_the_per_pair_evaluator() {
+        // `evaluate_candidate_with` sums the same model terms as
+        // `evaluate_candidate` in a different association, so the two
+        // must agree to oracle tolerance on every candidate shape:
+        // share extremes, nonlinear spill paths, and a provider-adjacent
+        // partner (the cached collapse is invalid there and is rebuilt
+        // with the provider skip).
+        let model = fig1_model();
+        let (econ, flows) = fig1_context(&model);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let mut scratch = PairScratch::new();
+        for (reroute, attract, grid) in [(0.5, 0.2, 5), (0.6, 0.4, 9), (1.0, 0.0, 3), (0.0, 1.0, 4)]
+        {
+            let programs = NodePrograms::build(&ctx, reroute, attract).unwrap();
+            let pair = pair_of(model.graph(), 'D', 'E');
+            let programmed = eval_programmed(&ctx, &programs, &mut scratch, pair, grid).unwrap();
+            let classic =
+                evaluate_candidate(&ctx, &mut scratch, pair, reroute, attract, grid).unwrap();
+            assert_outcomes_match(&programmed, &classic, 1e-9);
+            // A pair whose partner is also a provider: exercised
+            // directly (the enumerators never emit transit-adjacent
+            // pairs, but the evaluator contract covers them).
+            let transit = pair_of(model.graph(), 'A', 'D');
+            let programmed = eval_programmed(&ctx, &programs, &mut scratch, transit, grid).unwrap();
+            let classic =
+                evaluate_candidate(&ctx, &mut scratch, transit, reroute, attract, grid).unwrap();
+            assert_outcomes_match(&programmed, &classic, 1e-9);
+        }
+        assert!(matches!(
+            eval_programmed(
+                &ctx,
+                &NodePrograms::build(&ctx, 0.5, 0.2).unwrap(),
+                &mut scratch,
+                pair_of(model.graph(), 'D', 'E'),
+                1,
+            ),
+            Err(AgreementError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            NodePrograms::build(&ctx, 1.5, 0.2),
+            Err(AgreementError::InvalidFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn programmed_evaluator_matches_with_nonlinear_economics() {
+        // Congestion pricing, power-law internal cost, and congestion
+        // end-host pricing: every nonlinear spill and merge path of the
+        // programmed evaluator, against the per-pair evaluator.
+        let mut model = fig1_model();
+        model.book_mut().set_transit_price(
+            asn('A'),
+            asn('D'),
+            PricingFunction::congestion(0.05, 1.5).unwrap(),
+        );
+        model
+            .book_mut()
+            .set_end_host_price(asn('E'), PricingFunction::congestion(0.2, 1.2).unwrap());
+        model.set_internal_cost(asn('E'), CostFunction::power_law(0.01, 1.3).unwrap());
+        let (econ, mut flows) = fig1_context(&model);
+        let e = model.graph().index_of(asn('E')).unwrap();
+        flows.set_end_host(e, 9.0);
+        let ctx = BatchContext::new(model.graph(), &econ, &flows).unwrap();
+        let programs = NodePrograms::build(&ctx, 0.7, 0.5).unwrap();
+        let mut scratch = PairScratch::new();
+        let pair = pair_of(model.graph(), 'D', 'E');
+        let programmed = eval_programmed(&ctx, &programs, &mut scratch, pair, 6).unwrap();
+        let classic = evaluate_candidate(&ctx, &mut scratch, pair, 0.7, 0.5, 6).unwrap();
+        assert_outcomes_match(&programmed, &classic, 1e-9);
+    }
+
+    #[test]
+    fn programmed_evaluator_matches_across_a_synthetic_internet() {
+        use pan_datasets::{InternetConfig, SyntheticInternet};
+        let net = SyntheticInternet::generate(
+            &InternetConfig {
+                num_ases: 260,
+                tier1_count: 6,
+                ..InternetConfig::default()
+            },
+            23,
+        )
+        .unwrap();
+        let graph = &net.graph;
+        let econ = DenseEconomics::build(
+            graph,
+            |provider, customer| {
+                let salt = u64::from(provider.get()) * 31 + u64::from(customer.get());
+                PricingFunction::per_usage(1.0 + (salt % 17) as f64 * 0.25).unwrap()
+            },
+            |asn| PricingFunction::per_usage(2.0 + f64::from(asn.get() % 3)).unwrap(),
+            |asn| CostFunction::linear(0.02 + f64::from(asn.get() % 5) * 0.01).unwrap(),
+        );
+        let flows = FlowMatrix::degree_gravity(graph, 0.5);
+        let ctx = BatchContext::new(graph, &econ, &flows).unwrap();
+        let programs = NodePrograms::build(&ctx, 0.5, 0.2).unwrap();
+        let mut scratch = PairScratch::new();
+        // Adjacent peers and prospective k-hop pairs (which include
+        // zero-segment sides on stub sources).
+        let mut candidates = enumerate_candidates(graph, CandidatePolicy::PeeringAdjacent);
+        candidates.extend(enumerate_candidates(
+            graph,
+            CandidatePolicy::PeeringKHop {
+                k: 2,
+                per_source_cap: 3,
+            },
+        ));
+        assert!(candidates.len() > 200, "need a real mesh to compare");
+        for &pair in &candidates {
+            let programmed = eval_programmed(&ctx, &programs, &mut scratch, pair, 4).unwrap();
+            let classic = evaluate_candidate(&ctx, &mut scratch, pair, 0.5, 0.2, 4).unwrap();
+            assert_outcomes_match(&programmed, &classic, 1e-6);
+        }
     }
 
     #[test]

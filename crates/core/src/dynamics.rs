@@ -47,23 +47,85 @@
 //! opportunity it was priced on, an unshocked evolution provably
 //! terminates: each round either adopts a never-before-adopted pair or
 //! reaches the fixed point.
+//!
+//! # Discovery engines: full resweep vs incremental
+//!
+//! A driver steps with one of two [`Engine`]s. [`Engine::Full`]
+//! re-evaluates every non-adopted candidate each round — the reference
+//! implementation. [`Engine::Incremental`] re-evaluates only candidates
+//! whose inputs changed, which on a large static-graph market is a small
+//! fraction of the candidate set per round. Both produce **byte-identical
+//! trajectories at any thread count**; the full engine stays the
+//! equivalence oracle the differential test suite compares against.
+//!
+//! ## Dirty-set semantics
+//!
+//! A candidate evaluation reads only the two endpoint ASes' dense-table
+//! rows (adjacency, pricing entries, flow entries, row totals), so the
+//! state tracks changes at row granularity in a [`pan_econ::DirtyRows`]
+//! journal:
+//!
+//! - every flow/price mutation of adoption goes through the dense
+//!   tables' `*_tracked` hooks, marking the mutated row;
+//! - [`MarketState::adopt_outcome`] additionally marks both parties
+//!   (covering the graph-row change of a new peering link and the
+//!   adopted-set change);
+//! - a perturbation pass marks **all** rows — its traffic-drift pass
+//!   genuinely touches every row, so shocked rounds are full resweeps by
+//!   construction, not by approximation;
+//! - a freshly built, cloned, or restored state starts all-dirty: a
+//!   consumer that has never drained the journal has never seen any row.
+//!
+//! A pair is re-evaluated when either endpoint is dirty. Over-marking is
+//! always sound (a clean re-evaluation reproduces the cached outcome bit
+//! for bit); **under**-marking is the only way to break equivalence, so
+//! every mutation path above errs conservative.
+//!
+//! ## Heap determinism contract
+//!
+//! The incremental engine keeps evaluated candidates in a persistent
+//! max-heap ordered exactly like the discovery report ranking — surplus
+//! descending under [`f64::total_cmp`], ties by ascending ASN pair — with
+//! lazy invalidation: re-evaluating a pair pushes a new entry under a
+//! bumped generation, and superseded entries are dropped when popped.
+//! Round aggregates (candidate counts, `discovered_surplus`) are
+//! re-summed in enumeration order rather than updated with deltas, so
+//! f64 summation order matches the full engine's. The crate-private
+//! `incremental` module documents the full exactness argument.
+//! Per-pair share jitter ([`DiscoveryConfig::noise`] `> 0`) makes
+//! outcomes depend on sweep-stream positions rather than rows alone, so
+//! those configurations silently run the full path.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
-use pan_econ::{DenseEconomics, FlowMatrix};
+use pan_econ::{DenseEconomics, DirtyDrain, DirtyRows, FlowMatrix};
 use pan_runtime::{ScenarioSweep, ThreadPool};
 use pan_topology::{AsGraph, Asn, NeighborKind};
 
 use crate::discovery::{
-    collect_targets, enumerate_candidates, enumerate_candidates_for, evaluate_candidate,
-    BatchContext, CandidatePair, DiscoveryConfig, DiscoveryReport, PairOutcome, PairScratch,
+    collect_targets, derive_pair_transit, enumerate_candidates_for, evaluate_candidate,
+    evaluate_candidate_with, BatchContext, CandidatePair, DiscoveryConfig, DiscoveryReport,
+    NodePrograms, PairOutcome, PairScratch,
 };
+use crate::incremental::{ensure, refresh_enumeration, EnumerationCache, IncrementalState};
 use crate::{AgreementError, Result};
+
+/// Monotonic source of [`MarketState`] identity tokens: the caches on an
+/// [`EvolutionDriver`] describe *one specific state*, and the token is
+/// how they recognize it. Fresh on every construction, restore, and
+/// clone, so a driver pointed at a different (or copied) state rebuilds
+/// its caches instead of trusting stale ones.
+static NEXT_STATE_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+fn next_state_token() -> u64 {
+    NEXT_STATE_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The evolving market: a topology with its dense economic tables, the
 /// set of adopted agreements, and the parties' cumulative cash ledger.
@@ -71,7 +133,7 @@ use crate::{AgreementError, Result};
 /// The state owns its tables — adoption mutates flows (and, for
 /// prospective pairs, the graph itself), so the borrowed
 /// [`BatchContext`] of the static engine cannot express it.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MarketState {
     graph: AsGraph,
     econ: DenseEconomics,
@@ -83,6 +145,41 @@ pub struct MarketState {
     /// membership tests only, so the hash order cannot leak into
     /// results.
     adopted: HashSet<(u32, u32)>,
+    /// Row-granular change journal feeding the incremental discovery
+    /// engine; see the [module docs](self) for the marking rules. Not
+    /// part of any wire format — a restored state starts all-dirty.
+    dirty: DirtyRows,
+    /// Identity token the driver-side caches key on; fresh per
+    /// construction/clone (see [`NEXT_STATE_TOKEN`]).
+    token: u64,
+    /// Bumped whenever adoption registers a new peering link — the
+    /// enumeration-cache invalidation signal.
+    graph_version: u64,
+    /// Bumped whenever a pricing table mutates (perturbation price
+    /// shocks) — the invalidation signal for caches derived from
+    /// pricing but not flows (the incremental engine's per-pair transit
+    /// structures). Flow mutations never bump it.
+    pricing_epoch: u64,
+}
+
+impl Clone for MarketState {
+    /// Clones the market. The clone gets a fresh identity token and an
+    /// all-dirty journal: driver caches built against the original must
+    /// not be trusted for the copy, and treating every row as changed is
+    /// always sound.
+    fn clone(&self) -> Self {
+        MarketState {
+            graph: self.graph.clone(),
+            econ: self.econ.clone(),
+            flows: self.flows.clone(),
+            cash: self.cash.clone(),
+            adopted: self.adopted.clone(),
+            dirty: DirtyRows::new(self.graph.node_count()),
+            token: next_state_token(),
+            graph_version: self.graph_version,
+            pricing_epoch: self.pricing_epoch,
+        }
+    }
 }
 
 impl MarketState {
@@ -103,12 +200,17 @@ impl MarketState {
             }
         }
         let cash = vec![0.0; graph.node_count()];
+        let dirty = DirtyRows::new(graph.node_count());
         Ok(MarketState {
             graph,
             econ,
             flows,
             cash,
             adopted: HashSet::new(),
+            dirty,
+            token: next_state_token(),
+            graph_version: 0,
+            pricing_epoch: 0,
         })
     }
 
@@ -159,13 +261,52 @@ impl MarketState {
                 });
             }
         }
+        let dirty = DirtyRows::new(graph.node_count());
         Ok(MarketState {
             graph,
             econ,
             flows,
             cash,
             adopted: set,
+            dirty,
+            token: next_state_token(),
+            graph_version: 0,
+            pricing_epoch: 0,
         })
+    }
+
+    /// Identity token of this state instance; driver-side caches use it
+    /// to recognize the state they were built against.
+    pub(crate) fn cache_token(&self) -> u64 {
+        self.token
+    }
+
+    /// Topology revision: bumped when adoption registers a new peering
+    /// link, invalidating cached candidate enumerations.
+    pub(crate) fn graph_version(&self) -> u64 {
+        self.graph_version
+    }
+
+    /// Pricing revision: bumped whenever a pricing table mutates; see
+    /// the field docs.
+    pub(crate) fn pricing_epoch(&self) -> u64 {
+        self.pricing_epoch
+    }
+
+    /// Takes the accumulated dirty-row journal (and resets it).
+    pub(crate) fn drain_dirty(&mut self) -> DirtyDrain {
+        self.dirty.drain()
+    }
+
+    /// Conservatively flags every row as changed.
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.dirty.mark_all();
+    }
+
+    /// `true` if `node`'s row changed since the last drain.
+    #[cfg(test)]
+    pub(crate) fn is_dirty_row(&self, node: u32) -> bool {
+        self.dirty.is_dirty(node)
     }
 
     /// The current topology (grows a peering link per adopted
@@ -281,7 +422,15 @@ impl MarketState {
             self.econ = self.econ.remapped(&self.graph, &next)?;
             self.flows = self.flows.remapped(&self.graph, &next)?;
             self.graph = next;
+            // Remapping is index-stable and only the parties' rows gain a
+            // slot, but cached enumerations are now stale.
+            self.graph_version += 1;
         }
+        // The parties' rows change by construction (new adjacency entry
+        // and/or the peering-link volume below); mark them even when the
+        // materialized deltas happen to vanish.
+        self.dirty.mark(x);
+        self.dirty.mark(y);
         self.materialize(x, y, outcome.shares, (cash.reroute, cash.attract));
         // Eq. (10)–(11): X pays Π_{X→Y} to Y (negative = Y pays X).
         self.cash[x as usize] -= cash.transfer_x_to_y;
@@ -401,7 +550,9 @@ impl MarketState {
         }
         for (node, pos, delta) in deltas {
             let updated = (self.flows.flow(node, pos) + delta).max(0.0);
-            self.flows.set(node, pos, updated);
+            // `pos == degree` addresses the trailing end-host slot; the
+            // tracked hook marks the row either way.
+            self.flows.set_tracked(&mut self.dirty, node, pos, updated);
         }
     }
 
@@ -421,6 +572,10 @@ impl MarketState {
     /// `rng`, so a perturbation pass is deterministic for a given state
     /// and stream.
     fn perturb(&mut self, shock: f64, rng: &mut ChaCha12Rng) -> Result<PerturbationRecord> {
+        // The drift pass below rescales every link and end-host volume,
+        // so flagging every row is *precise*, not conservative: a shocked
+        // round is necessarily a full resweep.
+        self.dirty.mark_all();
         let n = self.graph.node_count() as u32;
         // Pass 1: traffic drift, one factor per link (visited from its
         // lower-index endpoint) plus one per end-host slot.
@@ -461,6 +616,9 @@ impl MarketState {
                 self.econ.scale_entry_price(j, back, factor)?;
                 price_shocks += 1;
             }
+        }
+        if price_shocks > 0 {
+            self.pricing_epoch = self.pricing_epoch.wrapping_add(1);
         }
         // Pass 3: peering-link failures.
         let mut failed_links = 0usize;
@@ -677,6 +835,69 @@ pub struct RoundOutcome {
     pub fixed_point: bool,
 }
 
+/// Discovery-engine selection for an [`EvolutionDriver`]; see the
+/// [module docs](self) for the equivalence contract between the two.
+///
+/// The engine is **not** part of [`EvolutionConfig`] or the snapshot
+/// wire format: both engines produce byte-identical trajectories, so
+/// the choice is an execution detail (like the thread count), applied
+/// per driver and re-applied by serving layers after a restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Re-evaluate every non-adopted candidate each round — the
+    /// reference engine and differential oracle.
+    #[default]
+    Full,
+    /// Re-evaluate only candidates intersecting the dirty-AS set,
+    /// served from a persistent lazily-invalidated surplus heap.
+    Incremental,
+}
+
+impl Engine {
+    /// Canonical lowercase name (the `--engine` CLI vocabulary).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Full => "full",
+            Engine::Incremental => "incremental",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(Engine::Full),
+            "incremental" => Ok(Engine::Incremental),
+            other => Err(format!(
+                "unknown engine {other:?}; known: full, incremental"
+            )),
+        }
+    }
+}
+
+/// What one round's discovery-and-adoption scan produced — the
+/// engine-independent payload both [`Engine`] implementations return,
+/// assembled into the [`RoundRecord`] by [`EvolutionDriver::step`].
+#[derive(Debug)]
+pub(crate) struct RoundScan {
+    pub(crate) candidates: usize,
+    pub(crate) concluded_flow_volume: usize,
+    pub(crate) concluded_cash: usize,
+    pub(crate) discovered_surplus: f64,
+    pub(crate) agreements: Vec<AdoptedAgreement>,
+    pub(crate) adopted_surplus: f64,
+    pub(crate) new_links: usize,
+}
+
 /// The resumable round-stepping engine behind [`evolve`].
 ///
 /// A driver owns the evolution configuration and the **round counter** —
@@ -692,14 +913,32 @@ pub struct RoundOutcome {
 /// round: every shocked round applies its closing perturbation, because
 /// a resident market can always be stepped again later (the shock a
 /// batch run would deem "unobservable" is observable after a restore).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The driver additionally owns the per-state caches of its [`Engine`]
+/// (candidate enumeration, incremental evaluation slots + surplus
+/// heap). The caches never influence results — they are keyed on the
+/// state's identity token and rebuilt cold whenever they do not
+/// recognize the state — and are excluded from equality: two drivers
+/// compare equal iff they would continue a trajectory identically.
+#[derive(Debug, Clone)]
 pub struct EvolutionDriver {
     config: EvolutionConfig,
     rounds_done: usize,
+    engine: Engine,
+    enumeration: Option<EnumerationCache>,
+    incremental: Option<IncrementalState>,
+}
+
+impl PartialEq for EvolutionDriver {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.rounds_done == other.rounds_done
+            && self.engine == other.engine
+    }
 }
 
 impl EvolutionDriver {
-    /// Creates a driver at round 0.
+    /// Creates a driver at round 0 with the [`Engine::Full`] engine.
     ///
     /// # Errors
     ///
@@ -710,7 +949,9 @@ impl EvolutionDriver {
     }
 
     /// Creates a driver that continues after `rounds_done` earlier
-    /// rounds — the restore path.
+    /// rounds — the restore path. Restored drivers start on
+    /// [`Engine::Full`]; serving layers re-apply their engine choice via
+    /// [`set_engine`](Self::set_engine).
     ///
     /// # Errors
     ///
@@ -721,7 +962,35 @@ impl EvolutionDriver {
         Ok(EvolutionDriver {
             config,
             rounds_done,
+            engine: Engine::Full,
+            enumeration: None,
+            incremental: None,
         })
+    }
+
+    /// The driver with the given engine selected (builder form of
+    /// [`set_engine`](Self::set_engine)).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.set_engine(engine);
+        self
+    }
+
+    /// Selects the discovery engine for subsequent steps. Switching
+    /// engines drops the incremental cache — a cold cache re-evaluates
+    /// everything on its next round, which is always sound — and keeps
+    /// the engine-independent enumeration cache.
+    pub fn set_engine(&mut self, engine: Engine) {
+        if self.engine != engine {
+            self.incremental = None;
+        }
+        self.engine = engine;
+    }
+
+    /// The selected discovery engine.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The evolution configuration.
@@ -753,7 +1022,7 @@ impl EvolutionDriver {
     /// tables, adopt the best party-disjoint outcomes, apply the closing
     /// shock (if configured), and advance the round counter. Heavy work
     /// fans out over `sweep`; the result is bit-identical at any thread
-    /// count.
+    /// count **and any engine** (see the [module docs](self)).
     ///
     /// Stepping past a fixed point is well-defined: an unshocked
     /// exhausted market keeps producing zero-adoption rounds.
@@ -766,72 +1035,40 @@ impl EvolutionDriver {
         let round = self.rounds_done;
         let round_seed = self.next_round_seed(sweep);
         let round_sweep = sweep.reseeded(round_seed);
-        let config = &self.config;
+        let config = self.config;
 
-        // 1. Discover on the current state, skipping adopted pairs.
-        let candidates: Vec<CandidatePair> =
-            enumerate_candidates(&state.graph, config.discovery.policy)
-                .into_iter()
-                .filter(|p| !state.is_adopted(p.x, p.y))
-                .collect();
-        let discovered = {
-            let ctx = BatchContext::new(&state.graph, &state.econ, &state.flows)?;
-            let evaluated = round_sweep.map_with(
-                &candidates,
-                PairScratch::new,
-                |scratch, _i, &pair, mut rng| {
-                    let (reroute, attract) = config.discovery.jittered_shares(&mut rng);
-                    evaluate_candidate(&ctx, scratch, pair, reroute, attract, config.discovery.grid)
-                },
-            );
-            let mut outcomes = Vec::with_capacity(evaluated.len());
-            for outcome in evaluated {
-                outcomes.push(outcome?);
-            }
-            DiscoveryReport::from_outcomes(outcomes, 0)
+        // Candidate enumeration is engine-independent and cached across
+        // rounds; it re-runs only when the peering graph (or the state
+        // identity) changed.
+        refresh_enumeration(&mut self.enumeration, state, config.discovery.policy);
+        let pairs = &self
+            .enumeration
+            .as_ref()
+            .expect("enumeration cache was just refreshed")
+            .pairs;
+
+        // Per-pair noise draws a jitter from the pair's *filtered-list*
+        // stream, which shifts as pairs are adopted — cached evaluations
+        // would be unsound, so the incremental engine only engages when
+        // the shares are deterministic.
+        let scan = if self.engine == Engine::Incremental && config.discovery.noise == 0.0 {
+            ensure(&mut self.incremental, state, pairs).round(
+                state,
+                &config,
+                &round_sweep,
+                pairs,
+                round,
+            )?
+        } else {
+            full_round(state, &config, &round_sweep, pairs, round)?
         };
-
-        // 2. Adopt the best adoptable outcomes, best-first, with
-        // **disjoint parties**: an AS negotiates at most one agreement
-        // per round. This keeps a hub from compounding its attraction
-        // within a round and makes the round's adoptions (nearly)
-        // independent of adoption order. Outcomes are ranked by surplus,
-        // so the first one below the threshold ends the scan.
-        let mut busy: HashSet<u32> = HashSet::new();
-        let mut agreements = Vec::new();
-        let mut adopted_surplus = 0.0;
-        let mut new_links = 0usize;
-        for outcome in &discovered.outcomes {
-            if agreements.len() >= config.adopt_top {
-                break;
-            }
-            if outcome.cash.is_none() || outcome.surplus <= config.min_surplus {
-                break;
-            }
-            let (i, j) = (
-                state.graph.index_of(outcome.x)?,
-                state.graph.index_of(outcome.y)?,
-            );
-            if busy.contains(&i) || busy.contains(&j) {
-                continue;
-            }
-            if let Some(agreement) =
-                state.adopt_outcome(outcome, config.discovery.grid, config.min_surplus, round)?
-            {
-                busy.insert(i);
-                busy.insert(j);
-                adopted_surplus += agreement.joint_utility;
-                new_links += usize::from(agreement.new_link);
-                agreements.push(agreement);
-            }
-        }
         let total_flow = state.flows.totals().iter().sum();
 
-        // 3. Fixed point: an unshocked round without adoptions cannot
+        // Fixed point: an unshocked round without adoptions cannot
         // change state — no later round would differ.
-        let fixed_point = agreements.is_empty() && config.shock == 0.0;
+        let fixed_point = scan.agreements.is_empty() && config.shock == 0.0;
 
-        // 4. Shock the market for the next round. Every shocked round
+        // Shock the market for the next round. Every shocked round
         // perturbs — a resident market can always be stepped later, so
         // there is no "unobservable" closing shock.
         let perturbation = if config.shock > 0.0 {
@@ -844,22 +1081,140 @@ impl EvolutionDriver {
         Ok(RoundOutcome {
             record: RoundRecord {
                 round,
-                candidates: discovered.candidates,
-                concluded_flow_volume: discovered.concluded_flow_volume,
-                concluded_cash: discovered.concluded_cash,
-                discovered_surplus: discovered.total_surplus,
-                adopted: agreements.len(),
-                adopted_surplus,
-                new_links,
+                candidates: scan.candidates,
+                concluded_flow_volume: scan.concluded_flow_volume,
+                concluded_cash: scan.concluded_cash,
+                discovered_surplus: scan.discovered_surplus,
+                adopted: scan.agreements.len(),
+                adopted_surplus: scan.adopted_surplus,
+                new_links: scan.new_links,
                 price_shocks: perturbation.price_shocks,
                 failed_links: perturbation.failed_links,
                 total_flow,
                 seconds: started.elapsed().as_secs_f64(),
             },
-            agreements,
+            agreements: scan.agreements,
             fixed_point,
         })
     }
+
+    /// The enumeration cache, for cache-behavior tests.
+    #[cfg(test)]
+    pub(crate) fn enumeration_cache(&self) -> Option<&EnumerationCache> {
+        self.enumeration.as_ref()
+    }
+
+    /// The incremental-engine cache, for soundness tests.
+    #[cfg(test)]
+    pub(crate) fn incremental_cache(&self) -> Option<&IncrementalState> {
+        self.incremental.as_ref()
+    }
+}
+
+/// The reference engine: evaluate every non-adopted candidate from
+/// scratch, rank, and run the party-disjoint adoption scan. The
+/// incremental engine replicates this function's observable behavior
+/// bit for bit (see the [module docs](self)).
+fn full_round(
+    state: &mut MarketState,
+    config: &EvolutionConfig,
+    round_sweep: &ScenarioSweep,
+    pairs: &[CandidatePair],
+    round: usize,
+) -> Result<RoundScan> {
+    // 1. Discover on the current state, skipping adopted pairs.
+    let candidates: Vec<CandidatePair> = pairs
+        .iter()
+        .filter(|p| !state.is_adopted(p.x, p.y))
+        .copied()
+        .collect();
+    let discovered = {
+        let ctx = BatchContext::new(&state.graph, &state.econ, &state.flows)?;
+        let evaluated = if config.discovery.noise == 0.0 {
+            // Noise-free sweeps evaluate through the shared per-node
+            // collapse — one row walk per node per round instead of one
+            // per candidate, and the exact path the incremental engine
+            // re-evaluates stale candidates through, which is what makes
+            // the engines' rounds bit-identical. The reference engine
+            // stays stateless: each pair's transit structure is derived
+            // fresh every round (the incremental engine caches them).
+            let programs = NodePrograms::build(
+                &ctx,
+                config.discovery.reroute_share,
+                config.discovery.attract_share,
+            )?;
+            round_sweep.map_with(&candidates, PairScratch::new, |scratch, _i, &pair, _rng| {
+                let transit = derive_pair_transit(&ctx, pair);
+                evaluate_candidate_with(
+                    &ctx,
+                    &programs,
+                    &transit,
+                    scratch,
+                    pair,
+                    config.discovery.grid,
+                )
+            })
+        } else {
+            round_sweep.map_with(
+                &candidates,
+                PairScratch::new,
+                |scratch, _i, &pair, mut rng| {
+                    let (reroute, attract) = config.discovery.jittered_shares(&mut rng);
+                    evaluate_candidate(&ctx, scratch, pair, reroute, attract, config.discovery.grid)
+                },
+            )
+        };
+        let mut outcomes = Vec::with_capacity(evaluated.len());
+        for outcome in evaluated {
+            outcomes.push(outcome?);
+        }
+        DiscoveryReport::from_outcomes(outcomes, 0)
+    };
+
+    // 2. Adopt the best adoptable outcomes, best-first, with
+    // **disjoint parties**: an AS negotiates at most one agreement
+    // per round. This keeps a hub from compounding its attraction
+    // within a round and makes the round's adoptions (nearly)
+    // independent of adoption order. Outcomes are ranked by surplus,
+    // so the first one below the threshold ends the scan.
+    let mut busy: HashSet<u32> = HashSet::new();
+    let mut agreements = Vec::new();
+    let mut adopted_surplus = 0.0;
+    let mut new_links = 0usize;
+    for outcome in &discovered.outcomes {
+        if agreements.len() >= config.adopt_top {
+            break;
+        }
+        if outcome.cash.is_none() || outcome.surplus <= config.min_surplus {
+            break;
+        }
+        let (i, j) = (
+            state.graph.index_of(outcome.x)?,
+            state.graph.index_of(outcome.y)?,
+        );
+        if busy.contains(&i) || busy.contains(&j) {
+            continue;
+        }
+        if let Some(agreement) =
+            state.adopt_outcome(outcome, config.discovery.grid, config.min_surplus, round)?
+        {
+            busy.insert(i);
+            busy.insert(j);
+            adopted_surplus += agreement.joint_utility;
+            new_links += usize::from(agreement.new_link);
+            agreements.push(agreement);
+        }
+    }
+
+    Ok(RoundScan {
+        candidates: discovered.candidates,
+        concluded_flow_volume: discovered.concluded_flow_volume,
+        concluded_cash: discovered.concluded_cash,
+        discovered_surplus: discovered.total_surplus,
+        agreements,
+        adopted_surplus,
+        new_links,
+    })
 }
 
 /// Runs the multi-round market evolution on `state`; see the [module
@@ -881,7 +1236,23 @@ pub fn evolve(
     config: &EvolutionConfig,
     sweep: &ScenarioSweep,
 ) -> Result<EvolutionReport> {
-    let mut driver = EvolutionDriver::new(*config)?;
+    evolve_with_engine(state, config, sweep, Engine::Full)
+}
+
+/// [`evolve`] with an explicit [`Engine`] selection. Both engines
+/// produce byte-identical reports (timing fields aside); see the
+/// [module docs](self) for the equivalence contract.
+///
+/// # Errors
+///
+/// As [`evolve`].
+pub fn evolve_with_engine(
+    state: &mut MarketState,
+    config: &EvolutionConfig,
+    sweep: &ScenarioSweep,
+    engine: Engine,
+) -> Result<EvolutionReport> {
+    let mut driver = EvolutionDriver::new(*config)?.with_engine(engine);
     let mut report = EvolutionReport {
         rounds: Vec::new(),
         agreements: Vec::new(),
@@ -1352,7 +1723,8 @@ mod tests {
 
         let graph = state.graph();
         let model = state.econ().to_business_model(graph);
-        let candidates = enumerate_candidates(graph, CandidatePolicy::PeeringAdjacent);
+        let candidates =
+            crate::discovery::enumerate_candidates(graph, CandidatePolicy::PeeringAdjacent);
         let ctx = BatchContext::new(graph, state.econ(), state.flows()).unwrap();
         let mut scratch = PairScratch::new();
         let mut compared = 0usize;
@@ -1679,5 +2051,295 @@ mod tests {
                 .is_err(),
             "non-finite thresholds are rejected"
         );
+    }
+
+    /// Steps a fresh synthetic market `rounds` times under `engine` and
+    /// returns everything the equivalence contract promises to preserve:
+    /// the (timing-zeroed) round records, the adopted agreements, and
+    /// the exact checkpoint bytes of the final state.
+    fn trajectory(
+        ases: usize,
+        net_seed: u64,
+        config: EvolutionConfig,
+        sweep: &ScenarioSweep,
+        engine: Engine,
+        rounds: usize,
+    ) -> (Vec<RoundRecord>, Vec<AdoptedAgreement>, String) {
+        let mut state = synthetic_state(ases, net_seed);
+        let mut driver = EvolutionDriver::new(config).unwrap().with_engine(engine);
+        let mut records = Vec::new();
+        let mut agreements = Vec::new();
+        for _ in 0..rounds {
+            let outcome = driver.step(&mut state, sweep).unwrap();
+            records.push(outcome.record.with_zeroed_timing());
+            agreements.extend(outcome.agreements);
+        }
+        let json = MarketSnapshot::capture(&state, &driver, sweep.master_seed()).to_json();
+        (records, agreements, json)
+    }
+
+    #[test]
+    fn incremental_engine_matches_the_full_resweep_byte_for_byte() {
+        // Unshocked (warm heap every round) and shocked (mark_all forces
+        // full re-evaluation mid-trajectory) variants, each compared at
+        // threads 1 and 4 against the single-threaded full resweep.
+        for shock in [0.0, 0.35] {
+            let config = EvolutionConfig {
+                discovery: DiscoveryConfig {
+                    grid: 3,
+                    ..DiscoveryConfig::default()
+                },
+                rounds: 4,
+                adopt_top: 6,
+                min_surplus: 1e-3,
+                shock,
+            };
+            let t1 = ScenarioSweep::sequential(9);
+            let full = trajectory(300, 23, config, &t1, Engine::Full, 4);
+            assert!(
+                !full.1.is_empty(),
+                "the shock={shock} fixture must adopt something"
+            );
+            let incremental_t1 = trajectory(300, 23, config, &t1, Engine::Incremental, 4);
+            assert_eq!(full, incremental_t1, "shock={shock}: t1 diverged");
+            let t4 = ScenarioSweep::new(ThreadPool::new(4), 9);
+            let incremental_t4 = trajectory(300, 23, config, &t4, Engine::Incremental, 4);
+            assert_eq!(full, incremental_t4, "shock={shock}: t4 diverged");
+        }
+    }
+
+    #[test]
+    fn noisy_configs_delegate_the_incremental_engine_to_the_full_path() {
+        // Per-pair noise makes cached evaluations unsound (the jitter
+        // depends on a pair's filtered-list position), so a noisy config
+        // must bypass the cache entirely — and still agree with the full
+        // engine, which is what it delegates to.
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                noise: 0.15,
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 3,
+            adopt_top: 5,
+            min_surplus: 1e-3,
+            shock: 0.4,
+        };
+        let sweep = ScenarioSweep::sequential(9);
+        let full = trajectory(200, 23, config, &sweep, Engine::Full, 3);
+        let mut state = synthetic_state(200, 23);
+        let mut driver = EvolutionDriver::new(config)
+            .unwrap()
+            .with_engine(Engine::Incremental);
+        let mut records = Vec::new();
+        let mut agreements = Vec::new();
+        for _ in 0..3 {
+            let outcome = driver.step(&mut state, &sweep).unwrap();
+            records.push(outcome.record.with_zeroed_timing());
+            agreements.extend(outcome.agreements);
+        }
+        assert!(
+            driver.incremental_cache().is_none(),
+            "noise > 0 must never engage the evaluation cache"
+        );
+        let json = MarketSnapshot::capture(&state, &driver, sweep.master_seed()).to_json();
+        assert_eq!(full, (records, agreements, json));
+    }
+
+    #[test]
+    fn clean_cached_outcomes_match_fresh_evaluation_to_the_bit() {
+        // Dirty-set soundness: after each incremental round, any cached
+        // outcome whose endpoint rows are both clean must equal a fresh
+        // from-scratch evaluation bit for bit — if it does not, the
+        // dirty journal missed a mutation.
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 8,
+            adopt_top: 6,
+            min_surplus: 1e-3,
+            shock: 0.0,
+        };
+        let sweep = ScenarioSweep::sequential(9);
+        let mut state = synthetic_state(300, 23);
+        let mut driver = EvolutionDriver::new(config)
+            .unwrap()
+            .with_engine(Engine::Incremental);
+        let mut checked = 0usize;
+        for round in 0..4 {
+            driver.step(&mut state, &sweep).unwrap();
+            let cache = driver.incremental_cache().expect("incremental engaged");
+            let pairs = &driver.enumeration_cache().expect("cached").pairs;
+            let ctx = BatchContext::new(state.graph(), state.econ(), state.flows()).unwrap();
+            let programs = NodePrograms::build(
+                &ctx,
+                config.discovery.reroute_share,
+                config.discovery.attract_share,
+            )
+            .unwrap();
+            let mut scratch = PairScratch::new();
+            for (index, &pair) in pairs.iter().enumerate() {
+                if state.is_adopted(pair.x, pair.y)
+                    || state.is_dirty_row(pair.x)
+                    || state.is_dirty_row(pair.y)
+                {
+                    continue;
+                }
+                let Some(cached) = cache.cached_outcome(index) else {
+                    continue;
+                };
+                let transit = derive_pair_transit(&ctx, pair);
+                let fresh = evaluate_candidate_with(
+                    &ctx,
+                    &programs,
+                    &transit,
+                    &mut scratch,
+                    pair,
+                    config.discovery.grid,
+                )
+                .unwrap();
+                assert_eq!(
+                    cached, &fresh,
+                    "round {round}: cached outcome of clean pair {pair:?} went stale"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 50, "only {checked} clean pairs sampled");
+    }
+
+    #[test]
+    fn candidate_enumeration_is_cached_until_the_graph_changes() {
+        // Static peering graph (PeeringAdjacent adoptions never create
+        // links): one rebuild, then reuses.
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 3,
+            adopt_top: 5,
+            min_surplus: 1e-3,
+            shock: 0.0,
+        };
+        let sweep = ScenarioSweep::sequential(9);
+        let mut state = synthetic_state(200, 23);
+        let mut driver = EvolutionDriver::new(config)
+            .unwrap()
+            .with_engine(Engine::Incremental);
+        for _ in 0..3 {
+            driver.step(&mut state, &sweep).unwrap();
+        }
+        let cache = driver.enumeration_cache().unwrap();
+        assert_eq!(cache.rebuilds, 1, "static graphs enumerate once");
+        assert_eq!(cache.reuses, 2);
+
+        // A cloned state is a *different* state (fresh identity token):
+        // stepping it through the same driver must not reuse the cache.
+        let mut other = state.clone();
+        driver.step(&mut other, &sweep).unwrap();
+        assert_eq!(driver.enumeration_cache().unwrap().rebuilds, 2);
+
+        // A prospective (k-hop) adoption registers a new peering link,
+        // which invalidates the enumeration on the next round — on the
+        // full engine too, since the cache is engine-independent.
+        let mut state = arbitrage_state(true);
+        let config = arbitrage_config(CandidatePolicy::PeeringKHop {
+            k: 2,
+            per_source_cap: 0,
+        });
+        let sweep = ScenarioSweep::sequential(7);
+        let mut driver = EvolutionDriver::new(config).unwrap();
+        let adopted = driver.step(&mut state, &sweep).unwrap();
+        assert_eq!(adopted.record.new_links, 1, "the fixture adds a link");
+        driver.step(&mut state, &sweep).unwrap();
+        let cache = driver.enumeration_cache().unwrap();
+        assert_eq!(cache.rebuilds, 2, "the new link forces a re-enumeration");
+        assert_eq!(cache.reuses, 0);
+    }
+
+    /// Out-of-band mutation between driver rounds, mimicking a serving
+    /// layer adopting an advisory answer on the resident market: the
+    /// dirty journal — not any engine bookkeeping — must carry the
+    /// change into the next incremental round.
+    fn external_adopt(state: &mut MarketState, config: &EvolutionConfig, round: usize) {
+        let graph = state.graph();
+        let node = (0..graph.node_count() as u32)
+            .max_by_key(|&i| graph.peer_indices(i).len())
+            .unwrap();
+        let asn = graph.asn_at(node);
+        let report = advise(state, &config.discovery, asn, 0, &ThreadPool::new(1)).unwrap();
+        let best = report
+            .outcomes
+            .iter()
+            .find(|o| o.cash.is_some() && o.surplus > config.min_surplus)
+            .cloned();
+        if let Some(best) = best {
+            state
+                .adopt_outcome(&best, config.discovery.grid, config.min_surplus, round)
+                .unwrap();
+        }
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            /// Satellite: random markets, random run parameters, random
+            /// interleavings of {rounds, shocks, external adoptions} —
+            /// the two engines must produce byte-identical trajectories
+            /// and checkpoints at threads 1 and 4.
+            #[test]
+            fn random_markets_evolve_identically_under_both_engines(
+                ases in 200usize..320,
+                net_seed in 0u64..64,
+                master_seed in 0u64..64,
+                shock in prop_oneof![Just(0.0), Just(0.3)],
+                adopt_top in 3usize..9,
+                rounds in 2usize..5,
+                external in prop::bool::ANY,
+            ) {
+                let config = EvolutionConfig {
+                    discovery: DiscoveryConfig {
+                        grid: 3,
+                        ..DiscoveryConfig::default()
+                    },
+                    rounds,
+                    adopt_top,
+                    min_surplus: 1e-3,
+                    shock,
+                };
+                let run = |sweep: &ScenarioSweep, engine: Engine| {
+                    let mut state = synthetic_state(ases, net_seed);
+                    let mut driver =
+                        EvolutionDriver::new(config).unwrap().with_engine(engine);
+                    let mut records = Vec::new();
+                    let mut agreements = Vec::new();
+                    for round in 0..rounds {
+                        let outcome = driver.step(&mut state, sweep).unwrap();
+                        records.push(outcome.record.with_zeroed_timing());
+                        agreements.extend(outcome.agreements);
+                        if external && round == 0 {
+                            external_adopt(&mut state, &config, round);
+                        }
+                    }
+                    let json =
+                        MarketSnapshot::capture(&state, &driver, sweep.master_seed()).to_json();
+                    (records, agreements, json)
+                };
+                let t1 = ScenarioSweep::sequential(master_seed);
+                let t4 = ScenarioSweep::new(ThreadPool::new(4), master_seed);
+                let full = run(&t1, Engine::Full);
+                let incremental_t1 = run(&t1, Engine::Incremental);
+                prop_assert_eq!(&full, &incremental_t1, "t1 diverged");
+                let incremental_t4 = run(&t4, Engine::Incremental);
+                prop_assert_eq!(&full, &incremental_t4, "t4 diverged");
+            }
+        }
     }
 }

@@ -1,0 +1,193 @@
+//! Dirty-row tracking for the dense tables.
+//!
+//! The dense batch layer ([`FlowMatrix`](crate::FlowMatrix) /
+//! [`DenseEconomics`](crate::DenseEconomics)) stores one packed row per
+//! AS. Every quantity a candidate-pair evaluation reads lives in the two
+//! endpoint rows (plus their row totals), so an incremental consumer
+//! only needs to know **which rows changed** since it last looked —
+//! entry-level granularity would buy nothing. [`DirtyRows`] is that
+//! row-level change journal: mutation hooks mark rows, the incremental
+//! discovery engine drains the accumulated set once per round.
+//!
+//! The tracker is epoch-stamped so a drain is `O(marked)`, not
+//! `O(nodes)`: each row records the epoch it was last marked in, and a
+//! drain simply advances the epoch. [`DirtyRows::mark_all`] is the
+//! conservative escape hatch (used after whole-table perturbations and
+//! on freshly built states) — it flags every row without touching any
+//! of them.
+
+/// What a [`DirtyRows::drain`] found: either everything (no per-row
+/// list was kept) or the sorted set of marked rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirtyDrain {
+    /// Every row must be treated as changed.
+    All,
+    /// Exactly these rows changed (sorted ascending, deduplicated).
+    Rows(Vec<u32>),
+}
+
+/// An epoch-stamped set of dense-table rows that changed since the last
+/// [`drain`](DirtyRows::drain); see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DirtyRows {
+    /// Epoch a row was last marked in; `epoch` means "currently dirty".
+    stamp: Vec<u32>,
+    /// Rows marked in the current epoch, in mark order (deduplicated by
+    /// the stamp check, sorted on drain).
+    marked: Vec<u32>,
+    epoch: u32,
+    all: bool,
+}
+
+impl DirtyRows {
+    /// A tracker for `nodes` rows with **every row initially dirty** —
+    /// a consumer that has never drained has never seen any row.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        DirtyRows {
+            stamp: vec![0; nodes],
+            marked: Vec::new(),
+            epoch: 1,
+            all: true,
+        }
+    }
+
+    /// Number of rows tracked.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Marks one row as changed. Out-of-range rows are ignored (the
+    /// trailing end-host slot of a packed row belongs to its row).
+    pub fn mark(&mut self, row: u32) {
+        if self.all {
+            return;
+        }
+        let Some(stamp) = self.stamp.get_mut(row as usize) else {
+            return;
+        };
+        if *stamp != self.epoch {
+            *stamp = self.epoch;
+            self.marked.push(row);
+        }
+    }
+
+    /// Marks every row as changed without touching per-row state — the
+    /// conservative hook for whole-table mutations (perturbation passes,
+    /// table rebuilds). Any superset of the true change set is sound for
+    /// an exact incremental consumer; it only costs re-evaluations.
+    pub fn mark_all(&mut self) {
+        self.all = true;
+        self.marked.clear();
+    }
+
+    /// `true` if the row changed since the last drain.
+    #[must_use]
+    pub fn is_dirty(&self, row: u32) -> bool {
+        self.all || self.stamp.get(row as usize) == Some(&self.epoch)
+    }
+
+    /// `true` if every row is flagged via [`mark_all`](Self::mark_all).
+    #[must_use]
+    pub fn all_dirty(&self) -> bool {
+        self.all
+    }
+
+    /// `true` if nothing changed since the last drain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.all && self.marked.is_empty()
+    }
+
+    /// Takes the accumulated change set and resets the tracker to
+    /// "nothing dirty".
+    pub fn drain(&mut self) -> DirtyDrain {
+        let drained = if self.all {
+            self.all = false;
+            DirtyDrain::All
+        } else {
+            let mut rows = std::mem::take(&mut self.marked);
+            rows.sort_unstable();
+            DirtyDrain::Rows(rows)
+        };
+        self.advance_epoch();
+        drained
+    }
+
+    fn advance_epoch(&mut self) {
+        self.marked.clear();
+        if self.epoch == u32::MAX {
+            // Stamp wrap-around: reset every stamp so no stale epoch can
+            // alias the restarted counter.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_fresh_tracker_is_all_dirty_until_drained() {
+        let mut dirty = DirtyRows::new(4);
+        assert!(dirty.all_dirty());
+        assert!(dirty.is_dirty(0) && dirty.is_dirty(3));
+        assert!(!dirty.is_empty());
+        assert_eq!(dirty.drain(), DirtyDrain::All);
+        assert!(dirty.is_empty());
+        assert!(!dirty.is_dirty(0));
+    }
+
+    #[test]
+    fn marks_accumulate_sorted_and_deduplicated() {
+        let mut dirty = DirtyRows::new(8);
+        dirty.drain();
+        for row in [5, 1, 5, 7, 1, 0] {
+            dirty.mark(row);
+        }
+        assert!(dirty.is_dirty(1) && dirty.is_dirty(7));
+        assert!(!dirty.is_dirty(2));
+        assert_eq!(dirty.drain(), DirtyDrain::Rows(vec![0, 1, 5, 7]));
+        // The drain reset everything.
+        assert!(!dirty.is_dirty(1));
+        assert_eq!(dirty.drain(), DirtyDrain::Rows(Vec::new()));
+    }
+
+    #[test]
+    fn mark_all_supersedes_individual_marks() {
+        let mut dirty = DirtyRows::new(3);
+        dirty.drain();
+        dirty.mark(1);
+        dirty.mark_all();
+        dirty.mark(2); // absorbed: everything is already dirty
+        assert!(dirty.is_dirty(0));
+        assert_eq!(dirty.drain(), DirtyDrain::All);
+        assert_eq!(dirty.drain(), DirtyDrain::Rows(Vec::new()));
+    }
+
+    #[test]
+    fn out_of_range_marks_are_ignored() {
+        let mut dirty = DirtyRows::new(2);
+        dirty.drain();
+        dirty.mark(9);
+        assert!(dirty.is_empty());
+        assert!(!dirty.is_dirty(9));
+        assert_eq!(dirty.drain(), DirtyDrain::Rows(Vec::new()));
+    }
+
+    #[test]
+    fn epochs_do_not_alias_across_many_drains() {
+        let mut dirty = DirtyRows::new(2);
+        dirty.drain();
+        for round in 0..100u32 {
+            dirty.mark(round % 2);
+            assert_eq!(dirty.drain(), DirtyDrain::Rows(vec![round % 2]));
+            assert!(dirty.is_empty(), "round {round} left residue");
+        }
+    }
+}

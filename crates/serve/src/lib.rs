@@ -210,6 +210,152 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Satellite: every malformed or failing request must answer with a
+    /// structured `{"ok":false,...}` line and leave the resident market
+    /// fully functional — errors poison neither the connection nor the
+    /// state. Runs on the incremental engine so the error paths cross
+    /// the same driver the serving layer deploys for large markets.
+    #[test]
+    fn protocol_errors_do_not_poison_the_resident_market() {
+        let server = MarketServer::bind("127.0.0.1:0", 2)
+            .unwrap()
+            .with_engine(pan_core::Engine::Incremental);
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(&|_spec| Ok(arbitrage_market())));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut send = |line: &str| writeln!(writer, "{line}").unwrap();
+        let mut recv = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            serde_json::from_str::<Value>(line.trim()).unwrap()
+        };
+        let error_of = |reply: &Value| -> String {
+            assert_eq!(field(reply, "ok"), &Value::Bool(false), "reply: {reply:?}");
+            match field(reply, "error") {
+                Value::Str(s) => s.clone(),
+                other => panic!("error is not a string: {other:?}"),
+            }
+        };
+
+        send(r#"{"verb":"load","market":{}}"#);
+        assert_ok(&recv());
+
+        // Malformed JSON, unknown verb, unknown field, zero rounds: each
+        // one structured error line, connection stays up.
+        send("{ this is not json");
+        assert!(error_of(&recv()).contains("malformed request"));
+        send(r#"{"verb":"dance"}"#);
+        assert!(error_of(&recv()).contains("unknown verb"));
+        send(r#"{"verb":"step","shokc":0.2}"#);
+        assert!(error_of(&recv()).contains("unknown field"));
+        send(r#"{"verb":"step","rounds":0}"#);
+        assert!(error_of(&recv()).contains("rounds >= 1"));
+        send(r#"{"verb":"step","shock":7.0}"#);
+        assert!(error_of(&recv()).contains("invalid shock override"));
+
+        // A checkpoint that is truncated mid-payload and one that is
+        // outright corrupted both fail in validation — and the failed
+        // restore keeps the previous resident market.
+        let dir = std::env::temp_dir();
+        let id = std::process::id();
+        let good = dir.join(format!("pan-serve-errors-good-{id}.json"));
+        let bad = dir.join(format!("pan-serve-errors-bad-{id}.json"));
+        let path_json = |p: &std::path::Path| serde_json::to_string(&p.to_str().unwrap()).unwrap();
+        send(&format!(
+            r#"{{"verb":"snapshot","path":{}}}"#,
+            path_json(&good)
+        ));
+        assert_ok(&recv());
+        let bytes = std::fs::read_to_string(&good).unwrap();
+        std::fs::write(&bad, &bytes[..bytes.len() / 2]).unwrap();
+        send(&format!(
+            r#"{{"verb":"restore","path":{}}}"#,
+            path_json(&bad)
+        ));
+        assert!(error_of(&recv()).contains("checkpoint"));
+        std::fs::write(&bad, bytes.replace("\"cash\":[", "\"cash\":[1e999,")).unwrap();
+        send(&format!(
+            r#"{{"verb":"restore","path":{}}}"#,
+            path_json(&bad)
+        ));
+        assert!(error_of(&recv()).contains("checkpoint"));
+
+        // The resident market survived it all: stats answers on the
+        // incremental engine and stepping still adopts the arbitrage.
+        send(r#"{"verb":"stats"}"#);
+        let stats = recv();
+        assert_ok(&stats);
+        assert_eq!(field(&stats, "engine"), &Value::Str("incremental".into()));
+        assert_eq!(
+            field(&stats, "label"),
+            &Value::Str("arbitrage fixture".into())
+        );
+        send(r#"{"verb":"step","rounds":5}"#);
+        let round1 = recv();
+        assert_ok(&round1);
+        assert_eq!(int(field(&round1, "record"), "adopted"), 1);
+        let round2 = recv();
+        assert_eq!(int(field(&round2, "record"), "adopted"), 0);
+        let summary = recv();
+        assert_ok(&summary);
+        assert_eq!(field(&summary, "fixed_point"), &Value::Bool(true));
+
+        send(r#"{"verb":"quit"}"#);
+        assert_ok(&recv());
+        handle.join().unwrap().unwrap();
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    /// Satellite: a request line exceeding the 1 MiB cap closes that
+    /// connection (after a best-effort error reply) without taking the
+    /// server down: a fresh connection is served normally afterwards.
+    #[test]
+    fn oversized_request_lines_close_the_connection_but_not_the_server() {
+        let server = MarketServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(&|_spec| Ok(arbitrage_market())));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // The server closes us as soon as the cap trips; the tail of
+        // this write may die on the reset, and the reset may even
+        // discard the best-effort error reply — both are fine, the
+        // contract under test is that the *server* survives.
+        let junk = vec![b'x'; 2 << 20];
+        let _ = writer.write_all(&junk).and_then(|()| writer.flush());
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => {
+                assert!(line.contains("exceeds"), "{line}");
+                line.clear();
+                assert!(
+                    matches!(reader.read_line(&mut line), Ok(0) | Err(_)),
+                    "the connection must be closed, got {line:?}"
+                );
+            }
+        }
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, r#"{{"verb":"load","market":{{}}}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        writeln!(writer, r#"{{"verb":"quit"}}"#).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 2);
+    }
+
     #[test]
     fn loader_errors_surface_as_protocol_errors() {
         let server = MarketServer::bind("127.0.0.1:0", 1).unwrap();

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 
-use pan_core::dynamics::{advise, EvolutionDriver, MarketSnapshot, MarketState};
+use pan_core::dynamics::{advise, Engine, EvolutionDriver, MarketSnapshot, MarketState};
 use pan_core::EvolutionConfig;
 use pan_runtime::{ScenarioSweep, ThreadPool};
 
@@ -69,9 +69,11 @@ struct Market {
     label: String,
 }
 
-/// Handler-visible session state: the pool outlives every market.
+/// Handler-visible session state: the pool and engine choice outlive
+/// every market.
 struct Session {
     pool: ThreadPool,
+    engine: Engine,
     market: Option<Market>,
 }
 
@@ -87,6 +89,7 @@ enum Flow {
 pub struct MarketServer {
     listener: TcpListener,
     pool: ThreadPool,
+    engine: Engine,
 }
 
 /// Longest accepted request line. A client streaming bytes without a
@@ -211,7 +214,18 @@ impl MarketServer {
         Ok(MarketServer {
             listener,
             pool: ThreadPool::new(threads),
+            engine: Engine::Full,
         })
+    }
+
+    /// Selects the discovery engine every resident market steps with
+    /// (default [`Engine::Full`]). The engine is an execution detail —
+    /// replies are byte-identical either way — so it is a server-level
+    /// choice, re-applied after every `load` and `restore`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The bound address (the actual port when bound with port 0).
@@ -235,6 +249,7 @@ impl MarketServer {
     pub fn serve(&self, loader: &MarketLoader<'_>) -> io::Result<ServeSummary> {
         let mut session = Session {
             pool: self.pool.clone(),
+            engine: self.engine,
             market: None,
         };
         let mut clients: Vec<Client> = Vec::new();
@@ -363,7 +378,7 @@ fn handle_load(
             Ok(driver) => {
                 let market = Market {
                     state: loaded.state,
-                    driver,
+                    driver: driver.with_engine(session.engine),
                     seed: loaded.seed,
                     label: loaded.label,
                 };
@@ -396,7 +411,7 @@ fn handle_restore(session: &mut Session, path: &str, client: &mut Client, verb: 
         Ok((state, driver, seed)) => {
             let market = Market {
                 state,
-                driver,
+                driver: driver.with_engine(session.engine),
                 seed,
                 label: format!("checkpoint:{path}"),
             };
@@ -452,8 +467,9 @@ fn handle_step(
             shock,
             ..*market.driver.config()
         };
+        let engine = market.driver.engine();
         match EvolutionDriver::resume(config, market.driver.rounds_done()) {
-            Ok(driver) => market.driver = driver,
+            Ok(driver) => market.driver = driver.with_engine(engine),
             Err(e) => {
                 client.send_line(&reply_error(&format!("invalid shock override: {e}")));
                 return Flow::Continue;
@@ -552,6 +568,7 @@ fn handle_stats(session: &mut Session, client: &mut Client) -> Flow {
             ("cash_max", to_value(&cash_max)),
             ("seed", to_value(&market.seed)),
             ("threads", to_value(&session.pool.threads())),
+            ("engine", Value::Str(market.driver.engine().to_string())),
         ],
     ));
     Flow::Continue
