@@ -1,12 +1,15 @@
-//! Resident market-state server over the standard synthetic markets:
-//! keep a 10k-AS `MarketState` loaded and answer advisory queries,
-//! stream evolution rounds, and checkpoint/restore trajectories without
-//! rebuilding the world per request.
+//! Multi-tenant market server over the standard synthetic markets: keep
+//! a table of resident `MarketState`s loaded and answer advisory
+//! queries (cached per AS), stream evolution rounds, and
+//! checkpoint/restore trajectories without rebuilding the world per
+//! request. Speaks the v2 protocol (see `pan_serve::protocol`): every
+//! request carries `"v": 2`, `load` returns a server-assigned market id
+//! (`"m1"`, …), and the other verbs are market-scoped.
 //!
 //! ```console
 //! serve --quick --threads 4                    # defaults: 127.0.0.1:4780
-//! serve --addr 127.0.0.1:0                     # OS-assigned port (logged)
-//! serve-client --send '{"verb":"load","market":{}}' ...   # drive it
+//! serve --addr 127.0.0.1:0 --max-markets 4     # OS-assigned port (logged)
+//! serve-client --send '{"v":2,"verb":"load","market":{}}' ...   # drive it
 //! ```
 //!
 //! Accepts the shared [`ScenarioSpec`] flags as the **base spec** of
@@ -17,6 +20,8 @@
 //! - `--addr <host:port>`: listen address (default `127.0.0.1:4780`);
 //! - `--engine <full|incremental>`: discovery engine resident markets
 //!   step with (default `full`; replies are byte-identical either way);
+//! - `--max-markets <n>`: session-table cap — further `load`s answer
+//!   the `market_limit` error code (default 8);
 //! - `--bench-out <path>`: write a service summary record on shutdown.
 //!
 //! The listen address and all timings go to **stderr**; protocol replies
@@ -100,6 +105,7 @@ fn main() {
     let sink = ReportSink::from_spec(&spec, &mut rest);
     let mut addr = "127.0.0.1:4780".to_owned();
     let mut engine = pan_core::Engine::Full;
+    let mut max_markets = pan_serve::DEFAULT_MAX_MARKETS;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -114,10 +120,18 @@ fn main() {
                     .unwrap_or_else(|| panic!("--engine requires a value: full, incremental"));
                 engine = value.parse().unwrap_or_else(|e| panic!("{e}"));
             }
+            "--max-markets" => {
+                let value = rest
+                    .next()
+                    .unwrap_or_else(|| panic!("--max-markets requires a value"));
+                max_markets = value
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--max-markets: {e}"));
+            }
             other => {
                 panic!(
                     "unknown flag {other:?}; serve adds: --addr <host:port>, \
-                     --engine <full|incremental>, --bench-out <path>"
+                     --engine <full|incremental>, --max-markets <n>, --bench-out <path>"
                 )
             }
         }
@@ -125,10 +139,12 @@ fn main() {
 
     let server = MarketServer::bind(&addr, spec.threads)
         .unwrap_or_else(|e| panic!("cannot bind {addr:?}: {e}"))
-        .with_engine(engine);
+        .with_engine(engine)
+        .with_max_markets(max_markets);
     let local = server.local_addr().expect("bound sockets have an address");
     eprintln!(
-        "# serving on {local} at {} threads, {engine} engine (base spec: seed {}, quick {})",
+        "# serving on {local} at {} threads, {engine} engine, up to {max_markets} markets \
+         (base spec: seed {}, quick {})",
         spec.threads, spec.seed, spec.quick
     );
 

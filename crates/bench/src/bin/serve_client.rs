@@ -1,11 +1,14 @@
 //! Scripted client for the `serve` binary — the driver tests and CI use
 //! to exercise the serving layer without hand-typed netcat sessions.
+//! Scripts speak the v2 protocol: every request carries `"v": 2`,
+//! `load` assigns a market id (the first load of a fresh server is
+//! always `"m1"`), and the other verbs name their market.
 //!
 //! ```console
 //! serve-client --addr 127.0.0.1:4780 \
-//!   --send '{"verb":"load","market":{}}' \
-//!   --send '{"verb":"step","rounds":4}' \
-//!   --send '{"verb":"quit"}' \
+//!   --send '{"v":2,"verb":"load","market":{}}' \
+//!   --send '{"v":2,"verb":"step","market":"m1","rounds":4}' \
+//!   --send '{"v":2,"verb":"quit"}' \
 //!   --expect-trajectory BENCH_evolution.json
 //! ```
 //!

@@ -83,8 +83,10 @@ impl Client {
 
     /// Sends a `step` request and collects the streamed round records;
     /// asserts the closing summary matches the round count.
-    fn step(&mut self, rounds: usize) -> Vec<RoundRecord> {
-        self.send(&format!(r#"{{"verb":"step","rounds":{rounds}}}"#));
+    fn step(&mut self, market: &str, rounds: usize) -> Vec<RoundRecord> {
+        self.send(&format!(
+            r#"{{"v":2,"verb":"step","market":"{market}","rounds":{rounds}}}"#
+        ));
         let mut records = Vec::new();
         loop {
             let reply = self.recv_ok();
@@ -155,8 +157,13 @@ fn snapshot_restore_reproduces_the_uninterrupted_trajectory() {
         let handle =
             std::thread::spawn(move || server.serve(&move |_| Ok(loaded_market(&load_spec))));
         let mut client = Client::connect(addr);
-        client.send(r#"{"verb":"load","market":{}}"#);
+        client.send(r#"{"v":2,"verb":"load","market":{}}"#);
         let reply = client.recv_ok();
+        assert_eq!(
+            reply.field("market").unwrap(),
+            &Value::Str("m1".to_owned()),
+            "the first load of a fresh server is m1"
+        );
         assert_eq!(reply.field("ases").unwrap(), &Value::I64(500));
 
         // The advisory query answers from the resident state, sweeping
@@ -169,7 +176,9 @@ fn snapshot_restore_reproduces_the_uninterrupted_trajectory() {
             net.graph.asn_at(hub).get()
         };
         let started = std::time::Instant::now();
-        client.send(&format!(r#"{{"verb":"advise","asn":{asn},"top":5}}"#));
+        client.send(&format!(
+            r#"{{"v":2,"verb":"advise","market":"m1","asn":{asn},"top":5}}"#
+        ));
         let reply = client.recv_ok();
         let advise_ms = started.elapsed().as_secs_f64() * 1e3;
         let candidates = match reply.field("candidates").unwrap() {
@@ -180,12 +189,12 @@ fn snapshot_restore_reproduces_the_uninterrupted_trajectory() {
         assert!(candidates > 0, "the hub has peers to advise about");
         eprintln!("# advise answered in {advise_ms:.1} ms over {candidates} candidates");
 
-        let records = client.step(3);
+        let records = client.step("m1", 3);
         client.send(&format!(
-            r#"{{"verb":"snapshot","path":{checkpoint_json}}}"#
+            r#"{{"v":2,"verb":"snapshot","market":"m1","path":{checkpoint_json}}}"#
         ));
         client.recv_ok();
-        client.send(r#"{"verb":"quit"}"#);
+        client.send(r#"{"v":2,"verb":"quit"}"#);
         client.recv_ok();
         handle.join().unwrap().unwrap();
         records
@@ -201,7 +210,7 @@ fn snapshot_restore_reproduces_the_uninterrupted_trajectory() {
             std::thread::spawn(move || server.serve(&|_| Err("restore-only session".to_owned())));
         let mut client = Client::connect(addr);
         client.send(&format!(
-            r#"{{"verb":"load","checkpoint":{checkpoint_json}}}"#
+            r#"{{"v":2,"verb":"load","checkpoint":{checkpoint_json}}}"#
         ));
         let reply = client.recv_ok();
         assert_eq!(
@@ -210,8 +219,8 @@ fn snapshot_restore_reproduces_the_uninterrupted_trajectory() {
             "checkpoint loads echo the request's verb"
         );
         assert_eq!(reply.field("rounds_done").unwrap(), &Value::I64(3));
-        let records = client.step(3);
-        client.send(r#"{"verb":"quit"}"#);
+        let records = client.step("m1", 3);
+        client.send(r#"{"v":2,"verb":"quit"}"#);
         client.recv_ok();
         handle.join().unwrap().unwrap();
         records

@@ -160,6 +160,12 @@ pub struct MarketState {
     /// pricing but not flows (the incremental engine's per-pair transit
     /// structures). Flow mutations never bump it.
     pricing_epoch: u64,
+    /// Coarse market revision: bumped on every adoption and every
+    /// perturbation pass (which covers traffic drift, price shocks —
+    /// i.e. pricing-epoch changes — and link failures). The serving
+    /// layer keys its per-AS advise cache on this counter; see
+    /// [`generation`](Self::generation) for the contract.
+    generation: u64,
 }
 
 impl Clone for MarketState {
@@ -178,6 +184,7 @@ impl Clone for MarketState {
             token: next_state_token(),
             graph_version: self.graph_version,
             pricing_epoch: self.pricing_epoch,
+            generation: self.generation,
         }
     }
 }
@@ -211,6 +218,7 @@ impl MarketState {
             token: next_state_token(),
             graph_version: 0,
             pricing_epoch: 0,
+            generation: 0,
         })
     }
 
@@ -272,6 +280,7 @@ impl MarketState {
             token: next_state_token(),
             graph_version: 0,
             pricing_epoch: 0,
+            generation: 0,
         })
     }
 
@@ -291,6 +300,22 @@ impl MarketState {
     /// the field docs.
     pub(crate) fn pricing_epoch(&self) -> u64 {
         self.pricing_epoch
+    }
+
+    /// Coarse market revision for result caches (the serving layer's
+    /// per-AS advise cache): bumped by every successful
+    /// [`adopt_outcome`](Self::adopt_outcome) and every perturbation
+    /// pass of [`EvolutionDriver::step`] — i.e. whenever a cached
+    /// discovery answer computed on this state could change.
+    ///
+    /// The counter is **per state instance**: a clone inherits the
+    /// current value and a restored checkpoint starts at 0, so caches
+    /// must be dropped together with the instance they were built
+    /// against (equality of `generation` across instances means
+    /// nothing).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Takes the accumulated dirty-row journal (and resets it).
@@ -436,6 +461,7 @@ impl MarketState {
         self.cash[x as usize] -= cash.transfer_x_to_y;
         self.cash[y as usize] += cash.transfer_x_to_y;
         self.adopted.insert((x, y));
+        self.generation += 1;
         Ok(Some(AdoptedAgreement {
             round,
             x: self.graph.asn_at(x),
@@ -576,6 +602,7 @@ impl MarketState {
         // so flagging every row is *precise*, not conservative: a shocked
         // round is necessarily a full resweep.
         self.dirty.mark_all();
+        self.generation += 1;
         let n = self.graph.node_count() as u32;
         // Pass 1: traffic drift, one factor per link (visited from its
         // lower-index endpoint) plus one per end-host slot.
@@ -2144,6 +2171,27 @@ mod tests {
         );
         let json = MarketSnapshot::capture(&state, &driver, sweep.master_seed()).to_json();
         assert_eq!(full, (records, agreements, json));
+    }
+
+    #[test]
+    fn generation_tracks_adoptions_and_perturbations() {
+        let mut state = arbitrage_state(false);
+        assert_eq!(state.generation(), 0);
+        let outcome = evaluate_pair(&state, X, Y, (1.0, 0.0));
+        state.adopt_outcome(&outcome, 3, 1e-6, 0).unwrap().unwrap();
+        assert_eq!(state.generation(), 1, "adoption bumps the revision");
+        // A refused re-adoption leaves the state (and counter) untouched.
+        assert!(state.adopt_outcome(&outcome, 3, 1e-6, 1).unwrap().is_none());
+        assert_eq!(state.generation(), 1);
+        // Every perturbation pass bumps, whatever it ends up drawing.
+        let mut rng = pan_runtime::coordinator_rng(9);
+        state.perturb(0.2, &mut rng).unwrap();
+        assert_eq!(state.generation(), 2);
+        // Clones inherit the counter (they inherit the state it counts);
+        // a rebuilt state starts over — cross-instance comparisons are
+        // meaningless, which is why caches die with the instance.
+        assert_eq!(state.clone().generation(), 2);
+        assert_eq!(arbitrage_state(false).generation(), 0);
     }
 
     #[test]

@@ -1,34 +1,66 @@
-//! The resident-market server: a std-only, non-blocking TCP readiness
-//! loop around one owner thread that holds the [`MarketState`].
+//! The multi-tenant market server: a std-only, non-blocking TCP
+//! readiness loop around one owner thread that holds the session table.
 //!
 //! # Concurrency model
 //!
-//! The thread that calls [`MarketServer::serve`] **owns** the market: it
-//! accepts connections, reads complete request lines, and handles them
-//! sequentially, so the state needs no locks and replies cannot
-//! interleave. Heavy work inside a handler — candidate evaluation, round
-//! stepping — fans out over the server's [`ThreadPool`] through the same
-//! deterministic [`ScenarioSweep`] machinery the batch binaries use, so
-//! every reply is byte-identical at any `--threads` value.
+//! The thread that calls [`MarketServer::serve`] **owns** every resident
+//! market: it accepts connections, reads complete request lines, and
+//! handles them sequentially, so the session table needs no locks and
+//! replies cannot interleave. Heavy work inside a handler — candidate
+//! evaluation, round stepping — fans out over the server's
+//! [`ThreadPool`] through the same deterministic [`ScenarioSweep`]
+//! machinery the batch binaries use, so every reply is byte-identical at
+//! any `--threads` value. Each market session carries its own
+//! [`EvolutionDriver`] and seed, and every `step` rebuilds the sweep
+//! from that seed, so interleaved sessions stepping "concurrently"
+//! produce trajectories byte-identical to each market run in isolation.
 //!
-//! The socket layer is a hand-rolled readiness loop over
-//! [`std::net`] with [`TcpListener::set_nonblocking`] (the workspace is
-//! offline: no tokio, no mio): each iteration drains pending accepts and
-//! per-client reads, then sleeps for a millisecond when nothing
-//! progressed. At the request rates a resident market serves (handler
-//! cost is milliseconds to seconds), the poll granularity is noise.
+//! # Session table and advise cache
+//!
+//! `load` creates a [`MarketSession`] (up to the
+//! [`with_max_markets`](MarketServer::with_max_markets) cap) and returns
+//! its server-assigned id; `unload` destroys one. Each session holds a
+//! per-AS `advise` cache keyed by the market's
+//! [generation counter](MarketState::generation), which pan-core bumps
+//! on every adoption and every perturbation pass (traffic drift, price
+//! shocks / pricing-epoch changes, link failures) — so a repeat query
+//! against an unchanged market answers from memory in microseconds,
+//! and any state change invalidates exactly by key comparison.
+//! `restore` replaces the state *instance*, whose generation counter
+//! restarts, so it drops the session's cache wholesale instead.
+//!
+//! The cache stores each AS's **full** ranked report (top = 0) and
+//! slices it to the request's `top` at reply time: report aggregates
+//! are truncation-independent by construction
+//! ([`DiscoveryReport::from_outcomes`]), so cold and warm replies are
+//! byte-identical for every `top`, and one entry serves them all.
+//!
+//! # Socket layer
+//!
+//! A hand-rolled readiness loop over [`std::net`] with
+//! [`TcpListener::set_nonblocking`] (the workspace is offline: no
+//! tokio, no mio): each iteration drains pending accepts and per-client
+//! reads. When nothing progresses the loop first spins politely
+//! ([`std::thread::yield_now`]) for a bounded number of iterations —
+//! keeping request-to-request latency in the microseconds for
+//! interactive bursts — and only then falls back to millisecond sleeps.
 
+use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
+use std::mem::size_of;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use serde::Value;
 
 use pan_core::dynamics::{advise, Engine, EvolutionDriver, MarketSnapshot, MarketState};
-use pan_core::EvolutionConfig;
+use pan_core::{DiscoveryReport, EvolutionConfig, PairOutcome};
 use pan_runtime::{ScenarioSweep, ThreadPool};
 
-use crate::protocol::{reply_error, reply_ok, to_value, Request};
+use crate::protocol::{
+    object, reply_error, reply_ok, to_value, Envelope, ErrorCode, MarketId, Request, WireError,
+};
 
 /// A market made resident by the `load` verb — what the server's loader
 /// callback returns for synthetic specs (checkpoint loads are handled by
@@ -50,6 +82,7 @@ pub struct LoadedMarket {
 /// Kept as a callback so the server crate stays decoupled from dataset
 /// generation: the `serve` binary supplies a loader that builds the
 /// standard synthetic internet + economics from spec-like fields.
+/// Loader errors surface as [`ErrorCode::InvalidConfig`].
 pub type MarketLoader<'a> = dyn Fn(&Value) -> Result<LoadedMarket, String> + 'a;
 
 /// Counters [`MarketServer::serve`] reports after a clean shutdown.
@@ -61,20 +94,119 @@ pub struct ServeSummary {
     pub requests: usize,
 }
 
-/// The resident market and its stepping engine.
-struct Market {
+/// One AS's cached full advise report, valid while the market's
+/// generation counter still matches.
+struct CachedAdvice {
+    generation: u64,
+    report: DiscoveryReport,
+}
+
+/// One resident market: its state, driver, advise cache, and counters.
+struct MarketSession {
+    id: MarketId,
     state: MarketState,
     driver: EvolutionDriver,
     seed: u64,
     label: String,
+    cache: HashMap<u32, CachedAdvice>,
+    advises: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    rounds_stepped: u64,
 }
 
-/// Handler-visible session state: the pool and engine choice outlive
-/// every market.
-struct Session {
+impl MarketSession {
+    /// The summary fields `load`/`unload`/`restore`/`list` reply with.
+    fn summary_fields(&self) -> Vec<(&'static str, Value)> {
+        let graph = self.state.graph();
+        vec![
+            ("market", self.id.to_value()),
+            ("label", Value::Str(self.label.clone())),
+            ("ases", to_value(&graph.node_count())),
+            ("links", to_value(&graph.link_count())),
+            ("peering_links", to_value(&graph.peering_link_count())),
+            ("transit_links", to_value(&graph.transit_link_count())),
+            ("adopted", to_value(&self.state.adopted_count())),
+            ("rounds_done", to_value(&self.driver.rounds_done())),
+            ("seed", to_value(&self.seed)),
+        ]
+    }
+
+    /// Order-of-magnitude resident-size estimate: the dominant dense
+    /// arrays of the state (flow matrix, balances, links, adoptions)
+    /// plus the advise cache's outcome vectors. An accounting aid for
+    /// capacity planning, not an allocator measurement.
+    fn resident_bytes(&self) -> usize {
+        let graph = self.state.graph();
+        let n = graph.node_count();
+        let state = n * n * size_of::<f64>()
+            + n * size_of::<f64>()
+            + graph.link_count() * 4 * size_of::<u32>()
+            + self.state.adopted_count() * size_of::<(u32, u32)>();
+        let cache: usize = self
+            .cache
+            .values()
+            .map(|c| size_of::<CachedAdvice>() + c.report.outcomes.len() * size_of::<PairOutcome>())
+            .sum();
+        state + cache
+    }
+}
+
+/// Handler-visible service state: the pool, engine choice, cap, and the
+/// session table. Market ids come off a monotonic counter starting at 1
+/// (never reused within a server lifetime), so the first `load` of a
+/// fresh server is always `"m1"` — static scripts can rely on it.
+struct Service {
     pool: ThreadPool,
     engine: Engine,
-    market: Option<Market>,
+    max_markets: usize,
+    next_id: u64,
+    markets: BTreeMap<u64, MarketSession>,
+}
+
+impl Service {
+    fn market_mut(&mut self, id: MarketId) -> Result<&mut MarketSession, WireError> {
+        self.markets.get_mut(&id.0).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownMarket,
+                format!("no resident market {id}; \"list\" shows the session table"),
+            )
+        })
+    }
+
+    /// Inserts a freshly loaded market, enforcing the session cap.
+    fn admit(
+        &mut self,
+        state: MarketState,
+        driver: EvolutionDriver,
+        seed: u64,
+        label: String,
+    ) -> Result<&MarketSession, WireError> {
+        if self.markets.len() >= self.max_markets {
+            return Err(WireError::new(
+                ErrorCode::MarketLimit,
+                format!(
+                    "session table is full ({} markets); unload one or raise --max-markets",
+                    self.max_markets
+                ),
+            ));
+        }
+        let id = MarketId(self.next_id);
+        self.next_id += 1;
+        let session = MarketSession {
+            id,
+            state,
+            driver: driver.with_engine(self.engine),
+            seed,
+            label,
+            cache: HashMap::new(),
+            advises: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            rounds_stepped: 0,
+        };
+        Ok(self.markets.entry(id.0).or_insert(session))
+    }
 }
 
 enum Flow {
@@ -82,15 +214,20 @@ enum Flow {
     Quit,
 }
 
-/// A long-running TCP server holding one market resident; see the
-/// [crate docs](crate) for the concurrency model and
+/// A long-running TCP server hosting a table of resident markets; see
+/// the [crate docs](crate) for the concurrency model and
 /// [`crate::protocol`] for the wire format.
 #[derive(Debug)]
 pub struct MarketServer {
     listener: TcpListener,
     pool: ThreadPool,
     engine: Engine,
+    max_markets: usize,
 }
+
+/// Default session-table cap; override with
+/// [`MarketServer::with_max_markets`].
+pub const DEFAULT_MAX_MARKETS: usize = 8;
 
 /// Longest accepted request line. A client streaming bytes without a
 /// newline must not grow the resident server's memory without bound;
@@ -101,6 +238,17 @@ const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// owner thread abandons the reply and closes the client — a
 /// non-reading client must not wedge the single-threaded server.
 const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// Idle loop iterations spent yielding before falling back to
+/// millisecond sleeps. Within a request burst the next line usually
+/// arrives within a handful of yields, keeping cached-advise round
+/// trips in the microseconds; a genuinely idle server reaches the
+/// sleep tier in well under ten milliseconds and stops burning cycles.
+const IDLE_SPIN_ITERS: u32 = 500;
+
+/// Only log requests at least this slow: the hot cached-advise path
+/// answers in microseconds and per-line logging would dominate it.
+const LOG_THRESHOLD: Duration = Duration::from_millis(1);
 
 /// One connected client: its non-blocking stream and the bytes of the
 /// next, not yet complete request line.
@@ -129,9 +277,12 @@ impl Client {
                     if self.buffer.len() > MAX_REQUEST_BYTES
                         && !self.buffer[..MAX_REQUEST_BYTES].contains(&b'\n')
                     {
-                        self.send_line(&reply_error(&format!(
-                            "request line exceeds {MAX_REQUEST_BYTES} bytes"
-                        )));
+                        self.send_line(&reply_error(
+                            None,
+                            &WireError::bad_request(format!(
+                                "request line exceeds {MAX_REQUEST_BYTES} bytes"
+                            )),
+                        ));
                         self.closed = true;
                         return progressed;
                     }
@@ -215,16 +366,26 @@ impl MarketServer {
             listener,
             pool: ThreadPool::new(threads),
             engine: Engine::Full,
+            max_markets: DEFAULT_MAX_MARKETS,
         })
     }
 
     /// Selects the discovery engine every resident market steps with
     /// (default [`Engine::Full`]). The engine is an execution detail —
     /// replies are byte-identical either way — so it is a server-level
-    /// choice, re-applied after every `load` and `restore`.
+    /// choice, applied to every `load` and `restore`.
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Caps the session table (default [`DEFAULT_MAX_MARKETS`]); `load`
+    /// beyond the cap answers [`ErrorCode::MarketLimit`]. A cap of 0 is
+    /// treated as 1 — a server that can host nothing serves no purpose.
+    #[must_use]
+    pub fn with_max_markets(mut self, max_markets: usize) -> Self {
+        self.max_markets = max_markets.max(1);
         self
     }
 
@@ -238,7 +399,7 @@ impl MarketServer {
     }
 
     /// Runs the serving loop until a client sends `quit`. The calling
-    /// thread becomes the market's owner thread; see the [crate
+    /// thread becomes the owner thread of every market; see the [crate
     /// docs](crate).
     ///
     /// # Errors
@@ -247,13 +408,16 @@ impl MarketServer {
     /// `WouldBlock`. Per-client read/write failures only close that
     /// client.
     pub fn serve(&self, loader: &MarketLoader<'_>) -> io::Result<ServeSummary> {
-        let mut session = Session {
+        let mut service = Service {
             pool: self.pool.clone(),
             engine: self.engine,
-            market: None,
+            max_markets: self.max_markets,
+            next_id: 1,
+            markets: BTreeMap::new(),
         };
         let mut clients: Vec<Client> = Vec::new();
         let mut summary = ServeSummary::default();
+        let mut idle_iters = 0u32;
         let mut quit = false;
         while !quit {
             let mut progressed = false;
@@ -283,7 +447,7 @@ impl MarketServer {
                     }
                     progressed = true;
                     summary.requests += 1;
-                    match handle_line(&line, &mut session, loader, client) {
+                    match handle_line(&line, &mut service, loader, client, &summary) {
                         Flow::Continue => {}
                         Flow::Quit => quit = true,
                     }
@@ -296,8 +460,15 @@ impl MarketServer {
                 }
             }
             clients.retain(|c| !c.closed);
-            if !progressed && !quit {
-                std::thread::sleep(Duration::from_millis(1));
+            if progressed {
+                idle_iters = 0;
+            } else if !quit {
+                idle_iters = idle_iters.saturating_add(1);
+                if idle_iters < IDLE_SPIN_ITERS {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
             }
         }
         eprintln!(
@@ -310,266 +481,391 @@ impl MarketServer {
 
 fn handle_line(
     line: &str,
-    session: &mut Session,
+    service: &mut Service,
     loader: &MarketLoader<'_>,
     client: &mut Client,
+    summary: &ServeSummary,
 ) -> Flow {
-    let request = match Request::parse(line) {
-        Ok(request) => request,
-        Err(message) => {
-            client.send_line(&reply_error(&message));
+    let Envelope { id, request } = match Request::parse(line) {
+        Ok(envelope) => envelope,
+        Err(error) => {
+            client.send_line(&reply_error(None, &error));
             return Flow::Continue;
         }
     };
+    let id = id.as_ref();
     let started = Instant::now();
-    let flow = match request {
+    let result = match request {
         Request::Quit => {
-            client.send_line(&reply_ok("quit", Vec::new()));
+            client.send_line(&reply_ok(id, "quit", Vec::new()));
             return Flow::Quit;
         }
         Request::Load { market, checkpoint } => match checkpoint {
-            Some(path) => handle_restore(session, &path, client, "load"),
+            Some(path) => handle_load_checkpoint(service, &path, id, client),
             None => handle_load(
-                session,
+                service,
                 &market.unwrap_or_else(|| Value::Map(Vec::new())),
                 loader,
+                id,
                 client,
             ),
         },
-        Request::Restore { path } => handle_restore(session, &path, client, "restore"),
-        Request::Advise { asn, top } => handle_advise(session, asn, top, client),
-        Request::Step { rounds, shock } => handle_step(session, rounds, shock, client),
-        Request::Snapshot { path } => handle_snapshot(session, &path, client),
-        Request::Stats => handle_stats(session, client),
+        Request::Unload { market } => handle_unload(service, market, id, client),
+        Request::List => handle_list(service, id, client),
+        Request::Advise { market, asn, top } => {
+            handle_advise(service, market, asn, top, id, client)
+        }
+        Request::Step {
+            market,
+            rounds,
+            shock,
+        } => handle_step(service, market, rounds, shock, id, client),
+        Request::Snapshot { market, path } => handle_snapshot(service, market, &path, id, client),
+        Request::Restore { market, path } => handle_restore(service, market, &path, id, client),
+        Request::Stats { market } => handle_stats(service, market, id, client, summary),
     };
-    eprintln!(
-        "# handled {line:?} in {:.1} ms",
-        started.elapsed().as_secs_f64() * 1e3
-    );
-    flow
+    if let Err(error) = result {
+        client.send_line(&reply_error(id, &error));
+    }
+    let elapsed = started.elapsed();
+    if elapsed >= LOG_THRESHOLD {
+        eprintln!(
+            "# handled {line:?} in {:.1} ms",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    Flow::Continue
 }
 
-/// The market summary `load`/`restore` reply with.
-fn market_summary(verb: &str, market: &Market) -> String {
-    let graph = market.state.graph();
-    reply_ok(
-        verb,
-        vec![
-            ("ases", to_value(&graph.node_count())),
-            ("links", to_value(&graph.link_count())),
-            ("peering_links", to_value(&graph.peering_link_count())),
-            ("transit_links", to_value(&graph.transit_link_count())),
-            ("adopted", to_value(&market.state.adopted_count())),
-            ("rounds_done", to_value(&market.driver.rounds_done())),
-            ("seed", to_value(&market.seed)),
-            ("label", Value::Str(market.label.clone())),
-        ],
-    )
+/// Reads and restores a checkpoint file; every failure mode — missing
+/// file, bad JSON, validation — is [`ErrorCode::CorruptCheckpoint`].
+fn read_checkpoint(path: &str) -> Result<(MarketState, EvolutionDriver, u64), WireError> {
+    let corrupt = |detail: String| WireError::new(ErrorCode::CorruptCheckpoint, detail);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| corrupt(format!("cannot read checkpoint {path:?}: {e}")))?;
+    let snapshot = MarketSnapshot::from_json(&text)
+        .map_err(|e| corrupt(format!("checkpoint {path:?}: {e}")))?;
+    let seed = snapshot.seed;
+    let (state, driver) = snapshot
+        .restore()
+        .map_err(|e| corrupt(format!("checkpoint {path:?}: {e}")))?;
+    Ok((state, driver, seed))
 }
 
 fn handle_load(
-    session: &mut Session,
+    service: &mut Service,
     market_spec: &Value,
     loader: &MarketLoader<'_>,
+    id: Option<&Value>,
     client: &mut Client,
-) -> Flow {
-    match loader(market_spec) {
-        Ok(loaded) => match EvolutionDriver::new(loaded.config) {
-            Ok(driver) => {
-                let market = Market {
-                    state: loaded.state,
-                    driver: driver.with_engine(session.engine),
-                    seed: loaded.seed,
-                    label: loaded.label,
-                };
-                client.send_line(&market_summary("load", &market));
-                session.market = Some(market);
-            }
-            Err(e) => client.send_line(&reply_error(&format!("invalid market config: {e}"))),
-        },
-        Err(message) => client.send_line(&reply_error(&message)),
-    }
-    Flow::Continue
+) -> Result<(), WireError> {
+    let loaded =
+        loader(market_spec).map_err(|message| WireError::new(ErrorCode::InvalidConfig, message))?;
+    let driver = EvolutionDriver::new(loaded.config).map_err(|e| {
+        WireError::new(
+            ErrorCode::InvalidConfig,
+            format!("invalid market config: {e}"),
+        )
+    })?;
+    let session = service.admit(loaded.state, driver, loaded.seed, loaded.label)?;
+    client.send_line(&reply_ok(id, "load", session.summary_fields()));
+    Ok(())
 }
 
-/// `verb` is echoed in the success reply: a `load` with a `checkpoint`
-/// field answers as `load`, the dedicated verb as `restore`.
-fn handle_restore(session: &mut Session, path: &str, client: &mut Client, verb: &str) -> Flow {
-    let restored = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read checkpoint {path:?}: {e}"))
-        .and_then(|text| {
-            MarketSnapshot::from_json(&text).map_err(|e| format!("checkpoint {path:?}: {e}"))
-        })
-        .and_then(|snapshot| {
-            let seed = snapshot.seed;
-            snapshot
-                .restore()
-                .map(|(state, driver)| (state, driver, seed))
-                .map_err(|e| format!("checkpoint {path:?}: {e}"))
-        });
-    match restored {
-        Ok((state, driver, seed)) => {
-            let market = Market {
-                state,
-                driver: driver.with_engine(session.engine),
-                seed,
-                label: format!("checkpoint:{path}"),
-            };
-            client.send_line(&market_summary(verb, &market));
-            session.market = Some(market);
-        }
-        Err(message) => client.send_line(&reply_error(&message)),
-    }
-    Flow::Continue
+fn handle_load_checkpoint(
+    service: &mut Service,
+    path: &str,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    let (state, driver, seed) = read_checkpoint(path)?;
+    let session = service.admit(state, driver, seed, format!("checkpoint:{path}"))?;
+    client.send_line(&reply_ok(id, "load", session.summary_fields()));
+    Ok(())
 }
 
-fn handle_advise(session: &mut Session, asn: u32, top: usize, client: &mut Client) -> Flow {
-    let Some(market) = session.market.as_ref() else {
-        client.send_line(&reply_error("no market resident; send load first"));
-        return Flow::Continue;
+fn handle_unload(
+    service: &mut Service,
+    market: MarketId,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    // Look up first so a miss answers `unknown_market` before anything
+    // is touched.
+    service.market_mut(market)?;
+    let session = service.markets.remove(&market.0).expect("looked up above");
+    client.send_line(&reply_ok(id, "unload", session.summary_fields()));
+    Ok(())
+}
+
+fn handle_list(
+    service: &mut Service,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    let markets: Vec<Value> = service
+        .markets
+        .values()
+        .map(|session| object(session.summary_fields()))
+        .collect();
+    client.send_line(&reply_ok(
+        id,
+        "list",
+        vec![
+            ("count", to_value(&markets.len())),
+            ("max_markets", to_value(&service.max_markets)),
+            ("markets", Value::Seq(markets)),
+        ],
+    ));
+    Ok(())
+}
+
+fn handle_advise(
+    service: &mut Service,
+    market: MarketId,
+    asn: u32,
+    top: usize,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    let pool = service.pool.clone();
+    let session = service.market_mut(market)?;
+    let generation = session.state.generation();
+    session.advises += 1;
+    let cached = matches!(session.cache.get(&asn), Some(entry) if entry.generation == generation);
+    if cached {
+        session.cache_hits += 1;
+    } else {
+        // Evaluate the full ranking once (top = 0) so this entry serves
+        // every future `top`; aggregates are truncation-independent, so
+        // slicing below reproduces the direct reply byte for byte.
+        let report = advise(
+            &session.state,
+            &session.driver.config().discovery,
+            pan_topology::Asn::new(asn),
+            0,
+            &pool,
+        )
+        .map_err(|e| WireError::new(ErrorCode::EvaluationFailed, format!("advise failed: {e}")))?;
+        session.cache_misses += 1;
+        session
+            .cache
+            .insert(asn, CachedAdvice { generation, report });
+    }
+    let entry = &session.cache[&asn];
+    let outcomes: Vec<PairOutcome> = match top {
+        0 => entry.report.outcomes.clone(),
+        t => entry.report.outcomes.iter().take(t).cloned().collect(),
     };
-    match advise(
-        &market.state,
-        &market.driver.config().discovery,
-        pan_topology::Asn::new(asn),
-        top,
-        &session.pool,
-    ) {
-        Ok(report) => client.send_line(&reply_ok(
-            "advise",
-            vec![
-                ("asn", to_value(&asn)),
-                ("candidates", to_value(&report.candidates)),
-                ("concluded_cash", to_value(&report.concluded_cash)),
-                ("total_surplus", to_value(&report.total_surplus)),
-                ("outcomes", to_value(&report.outcomes)),
-            ],
-        )),
-        Err(e) => client.send_line(&reply_error(&format!("advise failed: {e}"))),
-    }
-    Flow::Continue
+    client.send_line(&reply_ok(
+        id,
+        "advise",
+        vec![
+            ("market", market.to_value()),
+            ("asn", to_value(&asn)),
+            ("cached", Value::Bool(cached)),
+            ("generation", to_value(&generation)),
+            ("candidates", to_value(&entry.report.candidates)),
+            ("concluded_cash", to_value(&entry.report.concluded_cash)),
+            ("total_surplus", to_value(&entry.report.total_surplus)),
+            ("outcomes", to_value(&outcomes)),
+        ],
+    ));
+    Ok(())
 }
 
 fn handle_step(
-    session: &mut Session,
+    service: &mut Service,
+    market: MarketId,
     rounds: usize,
     shock: Option<f64>,
+    id: Option<&Value>,
     client: &mut Client,
-) -> Flow {
-    let Some(market) = session.market.as_mut() else {
-        client.send_line(&reply_error("no market resident; send load first"));
-        return Flow::Continue;
-    };
+) -> Result<(), WireError> {
+    let pool = service.pool.clone();
+    let session = service.market_mut(market)?;
     if let Some(shock) = shock {
         // Re-validate through the driver constructor so an out-of-range
         // override cannot poison the resident config.
         let config = EvolutionConfig {
             shock,
-            ..*market.driver.config()
+            ..*session.driver.config()
         };
-        let engine = market.driver.engine();
-        match EvolutionDriver::resume(config, market.driver.rounds_done()) {
-            Ok(driver) => market.driver = driver.with_engine(engine),
-            Err(e) => {
-                client.send_line(&reply_error(&format!("invalid shock override: {e}")));
-                return Flow::Continue;
-            }
-        }
+        let engine = session.driver.engine();
+        let driver =
+            EvolutionDriver::resume(config, session.driver.rounds_done()).map_err(|e| {
+                WireError::new(
+                    ErrorCode::InvalidConfig,
+                    format!("invalid shock override: {e}"),
+                )
+            })?;
+        session.driver = driver.with_engine(engine);
     }
-    let sweep = ScenarioSweep::new(session.pool.clone(), market.seed);
+    let sweep = ScenarioSweep::new(pool, session.seed);
     let mut stepped = 0usize;
     let mut adopted = 0usize;
     let mut adopted_surplus = 0.0;
     let mut fixed_point = false;
     for _ in 0..rounds {
-        match market.driver.step(&mut market.state, &sweep) {
-            Ok(outcome) => {
-                stepped += 1;
-                adopted += outcome.record.adopted;
-                adopted_surplus += outcome.record.adopted_surplus;
-                fixed_point = outcome.fixed_point;
-                client.send_line(&reply_ok(
-                    "round",
-                    vec![
-                        ("record", to_value(&outcome.record)),
-                        ("agreements", to_value(&outcome.agreements)),
-                    ],
-                ));
-                if fixed_point {
-                    break;
-                }
-            }
-            Err(e) => {
-                client.send_line(&reply_error(&format!("step failed: {e}")));
-                return Flow::Continue;
-            }
+        let outcome = session
+            .driver
+            .step(&mut session.state, &sweep)
+            .map_err(|e| {
+                WireError::new(ErrorCode::EvaluationFailed, format!("step failed: {e}"))
+            })?;
+        stepped += 1;
+        session.rounds_stepped += 1;
+        adopted += outcome.record.adopted;
+        adopted_surplus += outcome.record.adopted_surplus;
+        fixed_point = outcome.fixed_point;
+        client.send_line(&reply_ok(
+            id,
+            "round",
+            vec![
+                ("market", market.to_value()),
+                ("record", to_value(&outcome.record)),
+                ("agreements", to_value(&outcome.agreements)),
+            ],
+        ));
+        if fixed_point {
+            break;
         }
     }
     client.send_line(&reply_ok(
+        id,
         "step",
         vec![
+            ("market", market.to_value()),
             ("rounds", to_value(&stepped)),
             ("adopted", to_value(&adopted)),
             ("adopted_surplus", to_value(&adopted_surplus)),
             ("fixed_point", Value::Bool(fixed_point)),
-            ("rounds_done", to_value(&market.driver.rounds_done())),
+            ("rounds_done", to_value(&session.driver.rounds_done())),
         ],
     ));
-    Flow::Continue
+    Ok(())
 }
 
-fn handle_snapshot(session: &mut Session, path: &str, client: &mut Client) -> Flow {
-    let Some(market) = session.market.as_ref() else {
-        client.send_line(&reply_error("no market resident; send load first"));
-        return Flow::Continue;
-    };
-    let json = MarketSnapshot::capture(&market.state, &market.driver, market.seed).to_json();
-    match std::fs::write(path, &json) {
-        Ok(()) => client.send_line(&reply_ok(
-            "snapshot",
+fn handle_snapshot(
+    service: &mut Service,
+    market: MarketId,
+    path: &str,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    let session = service.market_mut(market)?;
+    let json = MarketSnapshot::capture(&session.state, &session.driver, session.seed).to_json();
+    std::fs::write(path, &json)
+        .map_err(|e| WireError::new(ErrorCode::IoError, format!("cannot write {path:?}: {e}")))?;
+    client.send_line(&reply_ok(
+        id,
+        "snapshot",
+        vec![
+            ("market", market.to_value()),
+            ("path", Value::Str(path.to_owned())),
+            ("bytes", to_value(&json.len())),
+            ("rounds_done", to_value(&session.driver.rounds_done())),
+        ],
+    ));
+    Ok(())
+}
+
+fn handle_restore(
+    service: &mut Service,
+    market: MarketId,
+    path: &str,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    let engine = service.engine;
+    let session = service.market_mut(market)?;
+    let (state, driver, seed) = read_checkpoint(path)?;
+    session.state = state;
+    session.driver = driver.with_engine(engine);
+    session.seed = seed;
+    session.label = format!("checkpoint:{path}");
+    // The restored state is a fresh instance whose generation counter
+    // restarts, so generation keys from the old instance are
+    // meaningless — drop the cache wholesale.
+    session.cache.clear();
+    client.send_line(&reply_ok(id, "restore", session.summary_fields()));
+    Ok(())
+}
+
+fn handle_stats(
+    service: &mut Service,
+    market: Option<MarketId>,
+    id: Option<&Value>,
+    client: &mut Client,
+    summary: &ServeSummary,
+) -> Result<(), WireError> {
+    let threads = service.pool.threads();
+    let Some(market) = market else {
+        // Process-level totals plus the session table.
+        let markets: Vec<Value> = service
+            .markets
+            .values()
+            .map(|session| {
+                object(vec![
+                    ("market", session.id.to_value()),
+                    ("label", Value::Str(session.label.clone())),
+                    ("rounds_done", to_value(&session.driver.rounds_done())),
+                    ("advises", to_value(&session.advises)),
+                ])
+            })
+            .collect();
+        client.send_line(&reply_ok(
+            id,
+            "stats",
             vec![
-                ("path", Value::Str(path.to_owned())),
-                ("bytes", to_value(&json.len())),
-                ("rounds_done", to_value(&market.driver.rounds_done())),
+                ("connections", to_value(&summary.connections)),
+                ("requests", to_value(&summary.requests)),
+                ("threads", to_value(&threads)),
+                ("engine", Value::Str(service.engine.to_string())),
+                ("max_markets", to_value(&service.max_markets)),
+                ("count", to_value(&service.markets.len())),
+                ("markets", Value::Seq(markets)),
             ],
-        )),
-        Err(e) => client.send_line(&reply_error(&format!("cannot write {path:?}: {e}"))),
-    }
-    Flow::Continue
-}
-
-fn handle_stats(session: &mut Session, client: &mut Client) -> Flow {
-    let Some(market) = session.market.as_ref() else {
-        client.send_line(&reply_error("no market resident; send load first"));
-        return Flow::Continue;
+        ));
+        return Ok(());
     };
-    let graph = market.state.graph();
-    let total_flow: f64 = market.state.flows().totals().iter().sum();
+    let session = service.market_mut(market)?;
+    let graph = session.state.graph();
+    let total_flow: f64 = session.state.flows().totals().iter().sum();
     let n = graph.node_count() as u32;
     let mut cash_min = 0.0f64;
     let mut cash_max = 0.0f64;
     for i in 0..n {
-        let balance = market.state.cash_balance(i);
+        let balance = session.state.cash_balance(i);
         cash_min = cash_min.min(balance);
         cash_max = cash_max.max(balance);
     }
     client.send_line(&reply_ok(
+        id,
         "stats",
         vec![
-            ("label", Value::Str(market.label.clone())),
+            ("market", session.id.to_value()),
+            ("label", Value::Str(session.label.clone())),
             ("ases", to_value(&graph.node_count())),
             ("links", to_value(&graph.link_count())),
             ("peering_links", to_value(&graph.peering_link_count())),
             ("transit_links", to_value(&graph.transit_link_count())),
-            ("adopted", to_value(&market.state.adopted_count())),
-            ("rounds_done", to_value(&market.driver.rounds_done())),
+            ("adopted", to_value(&session.state.adopted_count())),
+            ("rounds_done", to_value(&session.driver.rounds_done())),
+            ("rounds_stepped", to_value(&session.rounds_stepped)),
+            ("advises", to_value(&session.advises)),
+            ("cache_hits", to_value(&session.cache_hits)),
+            ("cache_misses", to_value(&session.cache_misses)),
+            ("cache_entries", to_value(&session.cache.len())),
+            ("generation", to_value(&session.state.generation())),
+            ("resident_bytes", to_value(&session.resident_bytes())),
             ("total_flow", to_value(&total_flow)),
             ("cash_min", to_value(&cash_min)),
             ("cash_max", to_value(&cash_max)),
-            ("seed", to_value(&market.seed)),
-            ("threads", to_value(&session.pool.threads())),
-            ("engine", Value::Str(market.driver.engine().to_string())),
+            ("seed", to_value(&session.seed)),
+            ("threads", to_value(&threads)),
+            ("engine", Value::Str(session.driver.engine().to_string())),
         ],
     ));
-    Flow::Continue
+    Ok(())
 }
