@@ -25,12 +25,18 @@ use std::time::Instant;
 use serde::Serialize;
 
 use pan_bench::{
-    at_market_scale, discovery_config, market_tables, print_header, ReportSink, ScenarioSpec,
+    at_market_scale, discovery_config, market_tables, print_header, CountingAllocator,
+    MemoryReport, ReportSink, ScenarioSpec,
 };
 use pan_core::discovery::{
     discover, enumerate_candidates, evaluate_candidate_legacy, BatchContext, DiscoveryReport,
     PairOutcome,
 };
+
+/// Count every heap allocation so the bench record's memory section can
+/// distinguish steady-state allocation-free sweeps from regressions.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 #[derive(Debug, Serialize)]
 struct BenchRecord {
@@ -40,6 +46,7 @@ struct BenchRecord {
     candidate_pairs: usize,
     seconds: f64,
     pairs_per_second: f64,
+    memory: MemoryReport,
 }
 
 fn print_report(report: &DiscoveryReport, engine: &str) {
@@ -201,5 +208,6 @@ fn main() {
         candidate_pairs: report.candidates,
         seconds,
         pairs_per_second: rate,
+        memory: MemoryReport::capture(),
     });
 }

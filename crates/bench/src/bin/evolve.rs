@@ -29,9 +29,15 @@ use std::time::Instant;
 use serde::Serialize;
 
 use pan_bench::{
-    at_market_scale, evolution_config, market_state, print_header, ReportSink, ScenarioSpec,
+    at_market_scale, evolution_config, market_state, print_header, CountingAllocator, MemoryReport,
+    ReportSink, ScenarioSpec,
 };
 use pan_core::dynamics::{evolve_with_engine, Engine, EvolutionReport};
+
+/// Count every heap allocation so the bench record's memory section can
+/// distinguish allocation-free steady-state rounds from regressions.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 #[derive(Debug, Serialize)]
 struct BenchRecord {
@@ -45,6 +51,7 @@ struct BenchRecord {
     total_surplus: f64,
     new_links: usize,
     seconds: f64,
+    memory: MemoryReport,
     report: EvolutionReport,
 }
 
@@ -71,6 +78,7 @@ struct CompareRecord {
     warm_speedup: f64,
     full_round_seconds: Vec<f64>,
     incremental_round_seconds: Vec<f64>,
+    memory: MemoryReport,
     report: EvolutionReport,
 }
 
@@ -249,6 +257,7 @@ fn main() {
             warm_speedup,
             full_round_seconds: full_rounds,
             incremental_round_seconds: incremental_rounds,
+            memory: MemoryReport::capture(),
             report: full,
         });
         return;
@@ -282,6 +291,7 @@ fn main() {
         total_surplus: report.total_surplus,
         new_links: report.agreements.iter().filter(|a| a.new_link).count(),
         seconds,
+        memory: MemoryReport::capture(),
         report: report.clone(),
     });
 }

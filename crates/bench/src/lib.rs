@@ -24,11 +24,15 @@
 //! item index)` via `pan-runtime`, and the thread count is deliberately
 //! never printed.
 
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace's `forbid`: the `mem` module needs
+// one `allow(unsafe_code)` island for its `GlobalAlloc` shim.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod mem;
 mod spec;
 
+pub use mem::{allocation_counts, peak_rss_bytes, CountingAllocator, MemoryReport};
 pub use spec::{DiscoverySpec, EvolutionSpec, ScenarioSpec};
 
 use pan_core::discovery::CandidatePolicy;

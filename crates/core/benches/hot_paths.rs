@@ -1,0 +1,91 @@
+//! Criterion microbenches for the three hot primitives of the dense
+//! discovery engine — the units the raw-speed pass tiles and caches:
+//!
+//! - [`NodePrograms::build`]: the once-per-round collapse of every
+//!   node's beneficiary-side deltas at fixed shares (amortized across
+//!   all pairs of a noise-free round);
+//! - [`derive_pair_transit`]: the per-pair, flow-independent exclusion
+//!   scan the full engine caches across static rounds;
+//! - [`evaluate_candidate_with`]: the per-pair grid search that remains
+//!   on the hot path every round.
+//!
+//! Together they decompose the cost of one full-engine round, so a
+//! regression in any layer shows up here before it shows up in the
+//! `evolve` wall-clock. Runs in the CI `bench-smoke` job via
+//! `cargo bench -p pan-core -- --quick`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pan_core::discovery::{
+    derive_pair_transit, enumerate_candidates, evaluate_candidate_with, BatchContext,
+    CandidatePolicy, NodePrograms, PairScratch,
+};
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+
+fn testbed() -> (SyntheticInternet, DenseEconomics, FlowMatrix) {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 600,
+            tier1_count: 8,
+            ..InternetConfig::default()
+        },
+        42,
+    )
+    .expect("valid config");
+    let econ = DenseEconomics::build(
+        &net.graph,
+        |p, c| PricingFunction::per_usage(2.0 + f64::from((p.get() + c.get()) % 5) * 0.2).unwrap(),
+        |_| PricingFunction::per_usage(2.5).unwrap(),
+        |_| CostFunction::linear(0.05).unwrap(),
+    );
+    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
+    (net, econ, flows)
+}
+
+fn hot_paths(c: &mut Criterion) {
+    let (net, econ, flows) = testbed();
+    let ctx = BatchContext::new(&net.graph, &econ, &flows).expect("tables match");
+    let candidates = enumerate_candidates(&net.graph, CandidatePolicy::PeeringAdjacent);
+    let sample: Vec<_> = candidates.iter().copied().step_by(97).take(24).collect();
+    let mut group = c.benchmark_group("hot_paths");
+
+    group.bench_function("node_programs_build_600as", |b| {
+        b.iter(|| black_box(NodePrograms::build(&ctx, 0.5, 0.2).expect("valid shares")));
+    });
+
+    group.bench_function("derive_pair_transit_24_pairs", |b| {
+        b.iter(|| {
+            let mut excluded = 0usize;
+            for &pair in &sample {
+                let transit = derive_pair_transit(&ctx, pair);
+                excluded += transit.heap_bytes();
+            }
+            black_box(excluded)
+        });
+    });
+
+    group.bench_function("evaluate_candidate_with_24_pairs", |b| {
+        let programs = NodePrograms::build(&ctx, 0.5, 0.2).expect("valid shares");
+        let transits: Vec<_> = sample
+            .iter()
+            .map(|&pair| derive_pair_transit(&ctx, pair))
+            .collect();
+        let mut scratch = PairScratch::new();
+        b.iter(|| {
+            let mut surplus = 0.0;
+            for (&pair, transit) in sample.iter().zip(&transits) {
+                surplus += evaluate_candidate_with(&ctx, &programs, transit, &mut scratch, pair, 5)
+                    .expect("evaluation succeeds")
+                    .surplus;
+            }
+            black_box(surplus)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hot_paths);
+criterion_main!(benches);

@@ -51,6 +51,16 @@ use crate::nash::bargaining_transfer;
 use crate::utility::{evaluate, OperatingPoint};
 use crate::{Agreement, AgreementError, AgreementScenario, Result};
 
+/// Tile width for candidate sweeps: workers claim runs of this many
+/// consecutive candidates at a time. The enumeration is sorted by
+/// primary row, so a tile's candidates share their `x`-side rows and
+/// the touched `FlowMatrix`/`DenseEconomics` lanes stay cache-resident
+/// across the run. Tiling only changes worker assignment, never what a
+/// candidate computes (see `ThreadPool::run_with_tiled`), so any value
+/// here is bit-identical; 256 candidates cover a few hub rows' worth of
+/// entries without starving short sweeps of parallelism.
+pub(crate) const CANDIDATE_TILE: usize = 256;
+
 /// How candidate pairs are drawn from the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CandidatePolicy {
@@ -292,6 +302,48 @@ impl<'a> BatchContext<'a> {
         })
     }
 
+    /// Like [`new`](Self::new), but fills a caller-provided totals
+    /// buffer instead of allocating one — the allocation-free path for
+    /// callers that rebuild a context every adoption
+    /// (`MarketState::adopt_outcome`). The buffer's previous contents
+    /// are discarded; recover it with
+    /// [`into_totals_buffer`](Self::into_totals_buffer). The computed
+    /// totals are bitwise those of [`new`](Self::new)
+    /// ([`FlowMatrix::totals_into`] runs the same per-row summation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::DimensionMismatch`] if `econ` or
+    /// `flows` were built from a different graph.
+    pub fn with_totals_buffer(
+        graph: &'a AsGraph,
+        econ: &'a DenseEconomics,
+        flows: &'a FlowMatrix,
+        mut totals: Vec<f64>,
+    ) -> Result<Self> {
+        for actual in [econ.node_count(), flows.node_count()] {
+            if actual != graph.node_count() {
+                return Err(AgreementError::DimensionMismatch {
+                    expected: graph.node_count(),
+                    actual,
+                });
+            }
+        }
+        flows.totals_into(&mut totals);
+        Ok(BatchContext {
+            graph,
+            econ,
+            flows,
+            totals,
+        })
+    }
+
+    /// Consumes the context and returns its totals buffer for reuse.
+    #[must_use]
+    pub fn into_totals_buffer(self) -> Vec<f64> {
+        self.totals
+    }
+
     /// The topology.
     #[must_use]
     pub fn graph(&self) -> &AsGraph {
@@ -528,6 +580,22 @@ impl PairScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Bytes resident in the scratch buffers — feeds the workspace's
+    /// memory-budget accounting.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.side
+            .iter()
+            .map(|s| {
+                (s.coeff_r.capacity() + s.coeff_a.capacity()) * size_of::<f64>()
+                    + s.marked.capacity() * size_of::<bool>()
+                    + (s.touched.capacity() + s.targets.capacity()) * size_of::<u32>()
+                    + s.nonlinear.capacity() * size_of::<(f64, f64, f64, u32)>()
+            })
+            .sum()
+    }
 }
 
 impl SideScratch {
@@ -747,20 +815,21 @@ pub fn evaluate_candidate(
     for (side, program) in programs.iter_mut().enumerate() {
         let s = &mut scratch.side[side];
         let node = program.node;
+        // SoA lanes replace the per-entry enum dispatch; the zero rates
+        // stored for skipped entries make the unconditional accumulate a
+        // bitwise identity with the skip loop (see `signed_rate_row`).
+        let rates = ctx.econ.signed_rate_row(node);
+        let nonlinear = ctx.econ.nonlinear_row(node);
         for &pos in &s.touched {
             let (dr, da) = (s.coeff_r[pos as usize], s.coeff_a[pos as usize]);
             program.total_r += dr;
             program.total_a += da;
-            let entry = ctx.econ.entry(node, pos as usize);
-            if entry.sign == 0.0 {
-                continue;
-            }
-            if let Some(rate) = entry.price.linear_rate() {
-                program.lin_r += entry.sign * rate * dr;
-                program.lin_a += entry.sign * rate * da;
-            } else {
+            if nonlinear[pos as usize] {
                 s.nonlinear
                     .push((ctx.flows.flow(node, pos as usize), dr, da, pos));
+            } else {
+                program.lin_r += rates[pos as usize] * dr;
+                program.lin_a += rates[pos as usize] * da;
             }
         }
         // End-host revenue from attraction (a scalar, not a row entry).
@@ -877,7 +946,7 @@ pub fn evaluate_candidate(
 /// deltas per-pair again, and those sweeps keep using
 /// [`evaluate_candidate`].
 #[derive(Debug, Clone)]
-pub(crate) struct NodePrograms {
+pub struct NodePrograms {
     reroute_share: f64,
     attract_share: f64,
     nodes: Vec<NodeSide>,
@@ -930,7 +999,7 @@ impl NodePrograms {
     /// Returns [`AgreementError::InvalidFraction`] for shares outside
     /// `[0, 1]` — the validation [`evaluate_candidate`] applies per
     /// pair, hoisted to build time.
-    pub(crate) fn build(
+    pub fn build(
         ctx: &BatchContext<'_>,
         reroute_share: f64,
         attract_share: f64,
@@ -966,17 +1035,18 @@ impl NodePrograms {
             programs.nonlinear_off.push(programs.nonlinear.len() as u32);
             // Transit collapse: the per-target fold of the per-pair
             // evaluator, summed once over the node's full provider/peer
-            // segment in position order.
+            // segment in position order. The SoA rate lane streams
+            // branch-free: skipped entries hold `0.0` there, and adding
+            // a zero to a `+0.0`-seeded accumulator is a bitwise no-op,
+            // so this sum matches the dispatching loop bit for bit.
             let (_, e_end) = ctx.graph.class_boundaries(node);
+            let rates = ctx.econ.signed_rate_row(node);
             let mut lin = 0.0f64;
-            for pos in 0..e_end {
-                let entry = ctx.econ.entry(node, pos);
-                if entry.sign == 0.0 {
-                    continue;
-                }
-                if let Some(rate) = entry.price.linear_rate() {
-                    lin += entry.sign * rate;
-                } else {
+            for &rate in &rates[..e_end] {
+                lin += rate;
+            }
+            for (pos, &nl) in ctx.econ.nonlinear_row(node)[..e_end].iter().enumerate() {
+                if nl {
                     programs.transit_nonlinear.push(pos as u32);
                 }
             }
@@ -1027,18 +1097,20 @@ fn collapse_node(
     let (p_end, e_end) = graph.class_boundaries(node);
     let row = graph.neighbor_indices(node);
     let mut side = NodeSide::default();
+    // SoA lanes: one f64 load + one bool test per touched entry instead
+    // of enum dispatch. `rates[pos]` is `sign·rate` (zero for peers), so
+    // accumulating it unconditionally only ever adds `±0.0` where the
+    // dispatching loop skipped — a bitwise summation identity.
+    let rates = ctx.econ.signed_rate_row(node);
+    let nonlinear = ctx.econ.nonlinear_row(node);
     let mut touch = |side: &mut NodeSide, pos: usize, dr: f64, da: f64| {
         side.total_r += dr;
         side.total_a += da;
-        let entry = ctx.econ.entry(node, pos);
-        if entry.sign == 0.0 {
-            return;
-        }
-        if let Some(rate) = entry.price.linear_rate() {
-            side.lin_r += entry.sign * rate * dr;
-            side.lin_a += entry.sign * rate * da;
-        } else {
+        if nonlinear[pos] {
             spill.push((ctx.flows.flow(node, pos), dr, da, pos as u32));
+        } else {
+            side.lin_r += rates[pos] * dr;
+            side.lin_a += rates[pos] * da;
         }
     };
     for (pos, &p) in row[..p_end].iter().enumerate() {
@@ -1080,9 +1152,22 @@ fn collapse_node(
 /// flows never enter, so the incremental engine caches these across
 /// rounds and only rebuilds them when topology or pricing changes.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct PairTransit {
+pub struct PairTransit {
     /// `[x-side, y-side]`, beneficiary order as in [`CandidatePair`].
     sides: [SideTransit; 2],
+}
+
+impl PairTransit {
+    /// Bytes held **beyond** `size_of::<PairTransit>()` — the sides'
+    /// exclusion-list capacity. Feeds the engines' resident-set
+    /// accounting.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.sides
+            .iter()
+            .map(|s| s.excl_nonlinear.capacity() * std::mem::size_of::<u32>())
+            .sum()
+    }
 }
 
 /// One beneficiary side of a [`PairTransit`]: the §VI grant-target set
@@ -1110,7 +1195,7 @@ pub(crate) struct SideTransit {
 /// segments against the beneficiary's ASN-sorted customer segment, so
 /// the cost is `O(provpeer(partner) + customers(beneficiary))` — no
 /// per-target membership probes and no materialized target list.
-pub(crate) fn derive_pair_transit(ctx: &BatchContext<'_>, pair: CandidatePair) -> PairTransit {
+pub fn derive_pair_transit(ctx: &BatchContext<'_>, pair: CandidatePair) -> PairTransit {
     PairTransit {
         sides: [
             derive_side_transit(ctx, pair.x, pair.y),
@@ -1130,6 +1215,11 @@ fn derive_side_transit(ctx: &BatchContext<'_>, beneficiary: u32, partner: u32) -
     let mut excluded = 0usize;
     let mut excl_lin = 0.0f64;
     let mut excl_nonlinear = Vec::new();
+    // SoA lanes for the excluded entries: zero rates are stored for the
+    // entries the dispatching loop skipped, so accumulating them keeps
+    // `excl_lin` bit-identical (see `signed_rate_row`).
+    let rates = ctx.econ.signed_rate_row(partner);
+    let nonlinear = ctx.econ.nonlinear_row(partner);
     // Each class segment is sorted by neighbor ASN, as is the customer
     // segment — one two-pointer pass per segment finds every excluded
     // position in ascending position order.
@@ -1147,14 +1237,10 @@ fn derive_side_transit(ctx: &BatchContext<'_>, beneficiary: u32, partner: u32) -
                 }
             }
             excluded += 1;
-            let entry = ctx.econ.entry(partner, pos);
-            if entry.sign == 0.0 {
-                continue;
-            }
-            if let Some(rate) = entry.price.linear_rate() {
-                excl_lin += entry.sign * rate;
-            } else {
+            if nonlinear[pos] {
                 excl_nonlinear.push(pos as u32);
+            } else {
+                excl_lin += rates[pos];
             }
         }
     }
@@ -1185,7 +1271,7 @@ fn derive_side_transit(ctx: &BatchContext<'_>, beneficiary: u32, partner: u32) -
 ///
 /// Same surface as [`evaluate_candidate`]: `grid < 2` is rejected, and
 /// non-finite utilities / pricing failures propagate.
-pub(crate) fn evaluate_candidate_with(
+pub fn evaluate_candidate_with(
     ctx: &BatchContext<'_>,
     programs: &NodePrograms,
     transit: &PairTransit,
@@ -1416,8 +1502,9 @@ pub fn discover(
 ) -> Result<DiscoveryReport> {
     config.validate()?;
     let candidates = enumerate_candidates(ctx.graph, config.policy);
-    let evaluated: Vec<Result<PairOutcome>> = sweep.map_with(
+    let evaluated: Vec<Result<PairOutcome>> = sweep.map_with_tiled(
         &candidates,
+        CANDIDATE_TILE,
         PairScratch::new,
         |scratch, _i, &pair, mut rng| {
             let (reroute, attract) = config.jittered_shares(&mut rng);

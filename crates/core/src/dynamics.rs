@@ -111,7 +111,7 @@ use pan_topology::{AsGraph, Asn, NeighborKind};
 use crate::discovery::{
     collect_targets, derive_pair_transit, enumerate_candidates_for, evaluate_candidate,
     evaluate_candidate_with, BatchContext, CandidatePair, DiscoveryConfig, DiscoveryReport,
-    NodePrograms, PairOutcome, PairScratch,
+    NodePrograms, PairOutcome, PairScratch, PairTransit, CANDIDATE_TILE,
 };
 use crate::incremental::{ensure, refresh_enumeration, EnumerationCache, IncrementalState};
 use crate::{AgreementError, Result};
@@ -166,6 +166,37 @@ pub struct MarketState {
     /// layer keys its per-AS advise cache on this counter; see
     /// [`generation`](Self::generation) for the contract.
     generation: u64,
+    /// Reusable adoption buffers — see [`AdoptScratch`]. Pure scratch:
+    /// never serialized, never compared, reset-by-default on clone.
+    adopt_scratch: AdoptScratch,
+}
+
+/// Reusable buffers for [`MarketState::adopt_outcome`] /
+/// `materialize`, so the K adoptions of a round allocate nothing after
+/// the first. Contents are dead between calls — every user clears or
+/// overwrites before reading — so carrying them across rounds (or
+/// losing them on an error path) cannot affect results.
+#[derive(Debug, Default)]
+struct AdoptScratch {
+    /// Evaluator scratch for the adoption-time re-evaluation.
+    eval: PairScratch,
+    /// Per-AS flow totals buffer lent to [`BatchContext`].
+    totals: Vec<f64>,
+    /// `(node, packed position, delta)` staging of `materialize`.
+    deltas: Vec<(u32, usize, f64)>,
+    /// Grant-target positions buffer of `materialize`.
+    targets: Vec<u32>,
+}
+
+impl AdoptScratch {
+    /// Bytes resident in the adoption buffers.
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.eval.resident_bytes()
+            + self.totals.capacity() * size_of::<f64>()
+            + self.deltas.capacity() * size_of::<(u32, usize, f64)>()
+            + self.targets.capacity() * size_of::<u32>()
+    }
 }
 
 impl Clone for MarketState {
@@ -185,6 +216,7 @@ impl Clone for MarketState {
             graph_version: self.graph_version,
             pricing_epoch: self.pricing_epoch,
             generation: self.generation,
+            adopt_scratch: AdoptScratch::default(),
         }
     }
 }
@@ -219,6 +251,7 @@ impl MarketState {
             graph_version: 0,
             pricing_epoch: 0,
             generation: 0,
+            adopt_scratch: AdoptScratch::default(),
         })
     }
 
@@ -281,6 +314,7 @@ impl MarketState {
             graph_version: 0,
             pricing_epoch: 0,
             generation: 0,
+            adopt_scratch: AdoptScratch::default(),
         })
     }
 
@@ -373,6 +407,23 @@ impl MarketState {
         self.adopted.contains(&(a.min(b), a.max(b)))
     }
 
+    /// Approximate bytes the state keeps resident: the topology, the
+    /// dense pricing/flow tables (including their SoA lanes), the cash
+    /// ledger, the adopted set, the dirty journal, and the adoption
+    /// scratch. Computed from actual container capacities — the serving
+    /// layer's `stats` verb and the scale benchmarks report this.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.graph.resident_bytes()
+            + self.econ.resident_bytes()
+            + self.flows.resident_bytes()
+            + self.cash.capacity() * size_of::<f64>()
+            + self.adopted.capacity() * (size_of::<(u32, u32)>() + size_of::<u64>())
+            + self.dirty.resident_bytes()
+            + self.adopt_scratch.resident_bytes()
+    }
+
     /// The adopted pairs as a **sorted** list of normalized node-index
     /// pairs — the canonical order every serialization uses, so the hash
     /// set's iteration order can never leak into a wire format.
@@ -414,23 +465,29 @@ impl MarketState {
             return Ok(None);
         }
         // Re-evaluate against the current tables: adoptions earlier in
-        // the round may have consumed this pair's opportunity.
+        // the round may have consumed this pair's opportunity. The
+        // context borrows the scratch totals buffer (returned below) and
+        // the evaluator its scratch, so repeated adoptions allocate
+        // nothing here.
         let fresh = {
-            let ctx = BatchContext::new(&self.graph, &self.econ, &self.flows)?;
-            let mut scratch = PairScratch::new();
+            let totals = std::mem::take(&mut self.adopt_scratch.totals);
+            let ctx =
+                BatchContext::with_totals_buffer(&self.graph, &self.econ, &self.flows, totals)?;
             let pair = CandidatePair {
                 x,
                 y,
                 peering_hops: outcome.peering_hops,
             };
-            evaluate_candidate(
+            let evaluated = evaluate_candidate(
                 &ctx,
-                &mut scratch,
+                &mut self.adopt_scratch.eval,
                 pair,
                 outcome.shares.0,
                 outcome.shares.1,
                 grid,
-            )?
+            );
+            self.adopt_scratch.totals = ctx.into_totals_buffer();
+            evaluated?
         };
         let Some(cash) = fresh.cash else {
             return Ok(None);
@@ -490,9 +547,12 @@ impl MarketState {
         let (r, a) = point;
         // (node, packed position, delta) — applied after both sides are
         // collected. End-host deltas carry position == degree (the
-        // trailing slot).
-        let mut deltas: Vec<(u32, usize, f64)> = Vec::new();
-        let mut targets = Vec::new();
+        // trailing slot). Both lists live in the adoption scratch
+        // (taken here, returned at the end) so repeated adoptions reuse
+        // their capacity.
+        let mut deltas = std::mem::take(&mut self.adopt_scratch.deltas);
+        deltas.clear();
+        let mut targets = std::mem::take(&mut self.adopt_scratch.targets);
         for (bene, partner) in [(x, y), (y, x)] {
             targets.clear();
             collect_targets(&self.graph, bene, partner, &mut targets);
@@ -574,12 +634,14 @@ impl MarketState {
                 deltas.push((t, back, per_seg));
             }
         }
-        for (node, pos, delta) in deltas {
+        for &(node, pos, delta) in &deltas {
             let updated = (self.flows.flow(node, pos) + delta).max(0.0);
             // `pos == degree` addresses the trailing end-host slot; the
             // tracked hook marks the row either way.
             self.flows.set_tracked(&mut self.dirty, node, pos, updated);
         }
+        self.adopt_scratch.deltas = deltas;
+        self.adopt_scratch.targets = targets;
     }
 
     /// Shocks the market between rounds with magnitude `shock ∈ (0, 1]`:
@@ -954,6 +1016,94 @@ pub struct EvolutionDriver {
     engine: Engine,
     enumeration: Option<EnumerationCache>,
     incremental: Option<IncrementalState>,
+    full: Option<FullEngineCache>,
+}
+
+/// The full engine's cross-round cache: per-candidate [`PairTransit`]
+/// structures plus the round's reusable index buffers.
+///
+/// Transit structures are pure functions of the graph and the transit
+/// pricing tables (flows never enter — see [`derive_pair_transit`]), so
+/// on a static-graph, stable-pricing market they are derived once and
+/// reused every round; deriving them used to be roughly half of a full
+/// resweep's work. Like the other driver caches this one never
+/// influences results: a cache hit returns bitwise what a fresh
+/// derivation would, and any key mismatch rebuilds cold.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FullEngineCache {
+    token: u64,
+    graph_version: u64,
+    /// Pricing revision the cached transits were derived under; a bump
+    /// drops them all (cheaper than tracking which links repriced).
+    pricing_epoch: u64,
+    /// Parallel to the enumeration: the pair's transit structure,
+    /// derived lazily on the first round that evaluates it.
+    transit: Vec<Option<PairTransit>>,
+    /// Round scratch: this round's non-adopted enumeration indices.
+    filtered: Vec<u32>,
+    /// Round scratch: filtered indices whose transit slot is empty.
+    missing: Vec<u32>,
+    /// Times the transit table was (re)built cold, including the first.
+    pub(crate) rebuilds: usize,
+    /// Rounds served with at least a partially warm table.
+    pub(crate) reuses: usize,
+}
+
+impl FullEngineCache {
+    /// Bytes resident in the cache's tables and buffers.
+    #[must_use]
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.transit.capacity() * std::mem::size_of::<Option<PairTransit>>()
+            + self
+                .transit
+                .iter()
+                .flatten()
+                .map(PairTransit::heap_bytes)
+                .sum::<usize>()
+            + (self.filtered.capacity() + self.missing.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Ensures `cache` targets the current `(state, graph)` pair: rebuilds
+/// the transit table cold on an identity/topology mismatch, drops every
+/// cached transit (in place) on a pricing-epoch bump, and reuses it
+/// otherwise. The round scratch buffers carry over in all cases.
+fn ensure_full<'a>(
+    cache: &'a mut Option<FullEngineCache>,
+    state: &MarketState,
+    pairs: &[CandidatePair],
+) -> &'a mut FullEngineCache {
+    let (token, graph_version, pricing_epoch) = (
+        state.cache_token(),
+        state.graph_version(),
+        state.pricing_epoch(),
+    );
+    let stale = match cache {
+        Some(c) => c.token != token || c.graph_version != graph_version,
+        None => true,
+    };
+    if stale {
+        let carried = cache.take().unwrap_or_default();
+        *cache = Some(FullEngineCache {
+            token,
+            graph_version,
+            pricing_epoch,
+            transit: vec![None; pairs.len()],
+            filtered: carried.filtered,
+            missing: carried.missing,
+            rebuilds: carried.rebuilds + 1,
+            reuses: carried.reuses,
+        });
+    } else {
+        let c = cache.as_mut().expect("non-stale cache exists");
+        if c.pricing_epoch != pricing_epoch {
+            c.pricing_epoch = pricing_epoch;
+            c.transit.iter_mut().for_each(|t| *t = None);
+        } else {
+            c.reuses += 1;
+        }
+    }
+    cache.as_mut().expect("just ensured")
 }
 
 impl PartialEq for EvolutionDriver {
@@ -992,6 +1142,7 @@ impl EvolutionDriver {
             engine: Engine::Full,
             enumeration: None,
             incremental: None,
+            full: None,
         })
     }
 
@@ -1031,6 +1182,24 @@ impl EvolutionDriver {
     #[must_use]
     pub fn rounds_done(&self) -> usize {
         self.rounds_done
+    }
+
+    /// Approximate bytes the driver's caches keep resident: the shared
+    /// candidate enumeration, the incremental engine's slots/transit
+    /// table/heap, and the full engine's transit cache. Add to
+    /// [`MarketState::resident_bytes`] for a session's total footprint.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.enumeration.as_ref().map_or(0, |e| {
+            e.pairs.capacity() * std::mem::size_of::<CandidatePair>()
+        }) + self
+            .incremental
+            .as_ref()
+            .map_or(0, IncrementalState::resident_bytes)
+            + self
+                .full
+                .as_ref()
+                .map_or(0, FullEngineCache::resident_bytes)
     }
 
     /// The sub-seed of the next round: the `rounds_done`-th draw of the
@@ -1087,9 +1256,10 @@ impl EvolutionDriver {
                 round,
             )?
         } else {
-            full_round(state, &config, &round_sweep, pairs, round)?
+            let cache = ensure_full(&mut self.full, state, pairs);
+            full_round(state, &config, &round_sweep, pairs, cache, round)?
         };
-        let total_flow = state.flows.totals().iter().sum();
+        let total_flow = state.flows.grand_total();
 
         // Fixed point: an unshocked round without adoptions cannot
         // change state — no later round would differ.
@@ -1136,6 +1306,12 @@ impl EvolutionDriver {
     pub(crate) fn incremental_cache(&self) -> Option<&IncrementalState> {
         self.incremental.as_ref()
     }
+
+    /// The full engine's transit cache, for cache-behavior tests.
+    #[cfg(test)]
+    pub(crate) fn full_cache(&self) -> Option<&FullEngineCache> {
+        self.full.as_ref()
+    }
 }
 
 /// The reference engine: evaluate every non-adopted candidate from
@@ -1147,14 +1323,24 @@ fn full_round(
     config: &EvolutionConfig,
     round_sweep: &ScenarioSweep,
     pairs: &[CandidatePair],
+    cache: &mut FullEngineCache,
     round: usize,
 ) -> Result<RoundScan> {
-    // 1. Discover on the current state, skipping adopted pairs.
-    let candidates: Vec<CandidatePair> = pairs
-        .iter()
-        .filter(|p| !state.is_adopted(p.x, p.y))
-        .copied()
-        .collect();
+    // 1. This round's candidate view: the non-adopted enumeration
+    // indices, in enumeration order (reusing the cache's buffer). The
+    // sweeps below hand workers row-locality tiles of consecutive
+    // candidates (see `CANDIDATE_TILE`); per-item RNG streams are still
+    // assigned by filtered position, so the jittered path draws exactly
+    // what the old filtered-list sweep drew.
+    let mut filtered = std::mem::take(&mut cache.filtered);
+    filtered.clear();
+    filtered.extend(
+        pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !state.is_adopted(p.x, p.y))
+            .map(|(index, _)| index as u32),
+    );
     let discovered = {
         let ctx = BatchContext::new(&state.graph, &state.econ, &state.flows)?;
         let evaluated = if config.discovery.noise == 0.0 {
@@ -1162,32 +1348,68 @@ fn full_round(
             // collapse — one row walk per node per round instead of one
             // per candidate, and the exact path the incremental engine
             // re-evaluates stale candidates through, which is what makes
-            // the engines' rounds bit-identical. The reference engine
-            // stays stateless: each pair's transit structure is derived
-            // fresh every round (the incremental engine caches them).
+            // the engines' rounds bit-identical. Transit structures are
+            // flow-independent, so they live in the driver's cache
+            // across rounds; only the slots emptied by a key change are
+            // (re)derived here, in parallel.
             let programs = NodePrograms::build(
                 &ctx,
                 config.discovery.reroute_share,
                 config.discovery.attract_share,
             )?;
-            round_sweep.map_with(&candidates, PairScratch::new, |scratch, _i, &pair, _rng| {
-                let transit = derive_pair_transit(&ctx, pair);
-                evaluate_candidate_with(
-                    &ctx,
-                    &programs,
-                    &transit,
-                    scratch,
-                    pair,
-                    config.discovery.grid,
-                )
-            })
-        } else {
-            round_sweep.map_with(
-                &candidates,
+            let mut missing = std::mem::take(&mut cache.missing);
+            missing.clear();
+            missing.extend(
+                filtered
+                    .iter()
+                    .copied()
+                    .filter(|&index| cache.transit[index as usize].is_none()),
+            );
+            if !missing.is_empty() {
+                let derived = round_sweep.map_with_tiled(
+                    &missing,
+                    CANDIDATE_TILE,
+                    || (),
+                    |(), _i, &index, _rng| derive_pair_transit(&ctx, pairs[index as usize]),
+                );
+                for (&index, transit) in missing.iter().zip(derived) {
+                    cache.transit[index as usize] = Some(transit);
+                }
+            }
+            cache.missing = missing;
+            let transit = &cache.transit;
+            round_sweep.map_with_tiled(
+                &filtered,
+                CANDIDATE_TILE,
                 PairScratch::new,
-                |scratch, _i, &pair, mut rng| {
+                |scratch, _i, &index, _rng| {
+                    evaluate_candidate_with(
+                        &ctx,
+                        &programs,
+                        transit[index as usize]
+                            .as_ref()
+                            .expect("every filtered pair's transit slot was just filled"),
+                        scratch,
+                        pairs[index as usize],
+                        config.discovery.grid,
+                    )
+                },
+            )
+        } else {
+            round_sweep.map_with_tiled(
+                &filtered,
+                CANDIDATE_TILE,
+                PairScratch::new,
+                |scratch, _i, &index, mut rng| {
                     let (reroute, attract) = config.discovery.jittered_shares(&mut rng);
-                    evaluate_candidate(&ctx, scratch, pair, reroute, attract, config.discovery.grid)
+                    evaluate_candidate(
+                        &ctx,
+                        scratch,
+                        pairs[index as usize],
+                        reroute,
+                        attract,
+                        config.discovery.grid,
+                    )
                 },
             )
         };
@@ -1197,6 +1419,7 @@ fn full_round(
         }
         DiscoveryReport::from_outcomes(outcomes, 0)
     };
+    cache.filtered = filtered;
 
     // 2. Adopt the best adoptable outcomes, best-first, with
     // **disjoint parties**: an AS negotiates at most one agreement
@@ -2306,6 +2529,50 @@ mod tests {
         let cache = driver.enumeration_cache().unwrap();
         assert_eq!(cache.rebuilds, 2, "the new link forces a re-enumeration");
         assert_eq!(cache.reuses, 0);
+    }
+
+    #[test]
+    fn full_engine_transit_cache_reuses_across_static_rounds() {
+        // Static peering graph, no shocks: the transit table fills on
+        // round 0 and later rounds reuse it — while producing exactly
+        // the trajectory a cache-less driver (fresh per round, so every
+        // transit re-derived) produces.
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                grid: 3,
+                ..DiscoveryConfig::default()
+            },
+            rounds: 3,
+            adopt_top: 5,
+            min_surplus: 1e-3,
+            shock: 0.0,
+        };
+        let sweep = ScenarioSweep::sequential(9);
+        let mut state = synthetic_state(200, 23);
+        let mut driver = EvolutionDriver::new(config).unwrap();
+        let mut warm = Vec::new();
+        for _ in 0..3 {
+            warm.push(driver.step(&mut state, &sweep).unwrap());
+        }
+        let cache = driver.full_cache().expect("full engine engaged");
+        assert_eq!(cache.rebuilds, 1, "static graphs derive transits once");
+        assert_eq!(cache.reuses, 2);
+        assert!(
+            driver.resident_bytes() > 0 && state.resident_bytes() > 0,
+            "resident accounting covers the caches and the state"
+        );
+
+        let mut cold_state = synthetic_state(200, 23);
+        for (round, outcome) in warm.iter().enumerate() {
+            let mut cold = EvolutionDriver::resume(config, round).unwrap();
+            let fresh = cold.step(&mut cold_state, &sweep).unwrap();
+            assert_eq!(
+                fresh.record.with_zeroed_timing(),
+                outcome.record.with_zeroed_timing(),
+                "round {round} diverged from the cold reference"
+            );
+            assert_eq!(fresh.agreements, outcome.agreements);
+        }
     }
 
     /// Out-of-band mutation between driver rounds, mimicking a serving

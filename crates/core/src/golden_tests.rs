@@ -1,0 +1,162 @@
+//! Bit-exactness goldens for the evaluator hot path.
+//!
+//! The SoA pricing-lane layout (PR 8) rearranges *how* the collapse
+//! loops read the dense tables without changing a single f64 operation
+//! or its order. These tests pin that claim to golden digests captured
+//! from the pre-SoA evaluator: every outcome of a fixed candidate set,
+//! through both the per-pair evaluator and the programmed twin, hashed
+//! bit-for-bit. Any re-association, reordering, or dropped term changes
+//! the digest.
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+
+use crate::discovery::{
+    derive_pair_transit, enumerate_candidates, evaluate_candidate, evaluate_candidate_with,
+    BatchContext, CandidatePolicy, NodePrograms, PairOutcome, PairScratch,
+};
+
+/// FNV-1a over a stream of u64 words — stable, dependency-free digest.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Every f64 an outcome carries, as raw bits in a fixed field order.
+fn outcome_words(o: &PairOutcome) -> Vec<u64> {
+    let mut words = vec![
+        u64::from(o.x.get()),
+        u64::from(o.y.get()),
+        u64::from(o.peering_hops),
+        o.shares.0.to_bits(),
+        o.shares.1.to_bits(),
+        o.segments.0 as u64,
+        o.segments.1 as u64,
+        o.surplus.to_bits(),
+    ];
+    if let Some(fv) = &o.flow_volume {
+        words.extend([
+            1,
+            fv.reroute.to_bits(),
+            fv.attract.to_bits(),
+            fv.utility_x.to_bits(),
+            fv.utility_y.to_bits(),
+        ]);
+    } else {
+        words.push(0);
+    }
+    if let Some(c) = &o.cash {
+        words.extend([
+            1,
+            c.reroute.to_bits(),
+            c.attract.to_bits(),
+            c.joint_utility.to_bits(),
+            c.transfer_x_to_y.to_bits(),
+        ]);
+    } else {
+        words.push(0);
+    }
+    words
+}
+
+/// A 260-AS synthetic market with deliberately mixed pricing: most
+/// links pay-per-usage, a salted minority on congestion curves (the
+/// nonlinear side table), a few flat-rate (linear_rate == 0), plus
+/// nonlinear end-host prices and internal costs on a second salt — so
+/// the goldens cover every dispatch class the SoA split handles.
+fn mixed_fixture() -> (SyntheticInternet, DenseEconomics, FlowMatrix) {
+    let net = SyntheticInternet::generate(
+        &InternetConfig {
+            num_ases: 260,
+            tier1_count: 6,
+            ..InternetConfig::default()
+        },
+        77,
+    )
+    .expect("fixture generates");
+    let econ = DenseEconomics::build(
+        &net.graph,
+        |provider, customer| {
+            let salt = u64::from(provider.get()) * 31 + u64::from(customer.get());
+            match salt % 7 {
+                0 => PricingFunction::congestion(0.02 + (salt % 5) as f64 * 0.01, 1.3).unwrap(),
+                1 => PricingFunction::flat_rate(4.0).unwrap(),
+                _ => PricingFunction::per_usage(1.0 + (salt % 17) as f64 * 0.25).unwrap(),
+            }
+        },
+        |asn| {
+            if asn.get() % 11 == 0 {
+                PricingFunction::congestion(0.5, 1.2).unwrap()
+            } else {
+                PricingFunction::per_usage(2.0 + f64::from(asn.get() % 3)).unwrap()
+            }
+        },
+        |asn| {
+            if asn.get() % 13 == 0 {
+                CostFunction::power_law(0.01, 1.4).unwrap()
+            } else {
+                CostFunction::linear(0.02 + f64::from(asn.get() % 5) * 0.01).unwrap()
+            }
+        },
+    );
+    let flows = FlowMatrix::degree_gravity(&net.graph, 0.5);
+    (net, econ, flows)
+}
+
+/// Golden digest of the per-pair evaluator on the mixed fixture,
+/// captured from the pre-SoA (enum-dispatch) evaluator.
+const GOLDEN_PER_PAIR: u64 = 0xdefb_c264_fcde_4d76;
+/// Golden digest of the programmed evaluator on the same candidates,
+/// captured from the pre-SoA (enum-dispatch) evaluator.
+const GOLDEN_PROGRAMMED: u64 = 0x3434_9137_c679_3dd6;
+
+#[test]
+fn per_pair_evaluator_matches_pre_soa_golden() {
+    let (net, econ, flows) = mixed_fixture();
+    let ctx = BatchContext::new(&net.graph, &econ, &flows).unwrap();
+    let candidates = enumerate_candidates(&net.graph, CandidatePolicy::PeeringAdjacent);
+    let mut scratch = PairScratch::new();
+    let mut words = Vec::new();
+    let mut evaluated = 0usize;
+    for &pair in candidates.iter().step_by(3) {
+        let outcome = evaluate_candidate(&ctx, &mut scratch, pair, 0.5, 0.2, 4).unwrap();
+        words.extend(outcome_words(&outcome));
+        evaluated += 1;
+    }
+    assert!(evaluated > 100, "fixture too small: {evaluated} pairs");
+    let digest = fnv1a(words);
+    assert_eq!(
+        digest, GOLDEN_PER_PAIR,
+        "per-pair evaluator drifted from the pre-SoA golden: 0x{digest:016x}"
+    );
+}
+
+#[test]
+fn programmed_evaluator_matches_pre_soa_golden() {
+    let (net, econ, flows) = mixed_fixture();
+    let ctx = BatchContext::new(&net.graph, &econ, &flows).unwrap();
+    let candidates = enumerate_candidates(&net.graph, CandidatePolicy::PeeringAdjacent);
+    let programs = NodePrograms::build(&ctx, 0.5, 0.2).unwrap();
+    let mut scratch = PairScratch::new();
+    let mut words = Vec::new();
+    let mut evaluated = 0usize;
+    for &pair in candidates.iter().step_by(3) {
+        let transit = derive_pair_transit(&ctx, pair);
+        let outcome =
+            evaluate_candidate_with(&ctx, &programs, &transit, &mut scratch, pair, 4).unwrap();
+        words.extend(outcome_words(&outcome));
+        evaluated += 1;
+    }
+    assert!(evaluated > 100, "fixture too small: {evaluated} pairs");
+    let digest = fnv1a(words);
+    assert_eq!(
+        digest, GOLDEN_PROGRAMMED,
+        "programmed evaluator drifted from the pre-SoA golden: 0x{digest:016x}"
+    );
+}

@@ -72,6 +72,7 @@ use pan_topology::Asn;
 use crate::discovery::{
     derive_pair_transit, enumerate_candidates, evaluate_candidate_with, BatchContext,
     CandidatePair, CandidatePolicy, NodePrograms, PairOutcome, PairScratch, PairTransit,
+    CANDIDATE_TILE,
 };
 use crate::dynamics::{EvolutionConfig, MarketState, RoundScan};
 use crate::Result;
@@ -196,6 +197,13 @@ pub(crate) struct IncrementalState {
     transit: Vec<Option<PairTransit>>,
     /// Lazily-invalidated max-heap over evaluated candidates.
     heap: BinaryHeap<HeapEntry>,
+    /// Round scratch: the dirty-row bitmap, reused across rounds
+    /// (cleared and resized at the top of every round).
+    dirty_rows: Vec<bool>,
+    /// Round scratch: this round's filtered candidate view.
+    filtered: Vec<u32>,
+    /// Round scratch: the stale subset of the filtered view.
+    stale: Vec<u32>,
 }
 
 /// Ensures `cache` targets the current `(state, graph)` pair, rebuilding
@@ -213,6 +221,12 @@ pub(crate) fn ensure<'a>(
         None => true,
     };
     if stale {
+        // Rebuilding keys and tables but carrying the round scratch
+        // buffers keeps warm rounds allocation-free across rebuilds.
+        let carried = cache.take();
+        let (dirty_rows, filtered, stale) = carried
+            .map(|c| (c.dirty_rows, c.filtered, c.stale))
+            .unwrap_or_default();
         *cache = Some(IncrementalState {
             token,
             graph_version,
@@ -220,6 +234,9 @@ pub(crate) fn ensure<'a>(
             slots: vec![Slot::default(); pairs.len()],
             transit: vec![None; pairs.len()],
             heap: BinaryHeap::with_capacity(pairs.len()),
+            dirty_rows,
+            filtered,
+            stale,
         });
     }
     cache.as_mut().expect("just ensured")
@@ -240,10 +257,14 @@ impl IncrementalState {
     ) -> Result<RoundScan> {
         let discovery = &config.discovery;
 
-        // 1. Union the rows mutated since the last round into a bitmap.
+        // 1. Union the rows mutated since the last round into a bitmap
+        // (the bitmap and index buffers below are round scratch taken
+        // from `self`, so warm rounds allocate nothing).
         let drained = state.drain_dirty();
         let all_dirty = matches!(drained, DirtyDrain::All);
-        let mut dirty_rows = vec![false; state.graph().node_count()];
+        let mut dirty_rows = std::mem::take(&mut self.dirty_rows);
+        dirty_rows.clear();
+        dirty_rows.resize(state.graph().node_count(), false);
         if let DirtyDrain::Rows(rows) = &drained {
             for &row in rows {
                 dirty_rows[row as usize] = true;
@@ -252,8 +273,10 @@ impl IncrementalState {
 
         // 2. This round's filtered candidate view, in enumeration order,
         // and the subset whose cached outcome is stale.
-        let mut filtered: Vec<u32> = Vec::with_capacity(pairs.len());
-        let mut stale: Vec<u32> = Vec::new();
+        let mut filtered = std::mem::take(&mut self.filtered);
+        filtered.clear();
+        let mut stale = std::mem::take(&mut self.stale);
+        stale.clear();
         for (index, pair) in pairs.iter().enumerate() {
             if state.is_adopted(pair.x, pair.y) {
                 continue;
@@ -297,18 +320,23 @@ impl IncrementalState {
                 }
             }
             let transit = &self.transit;
-            round_sweep.map_with(&stale, PairScratch::new, |scratch, _i, &index, _rng| {
-                evaluate_candidate_with(
-                    &ctx,
-                    &programs,
-                    transit[index as usize]
-                        .as_ref()
-                        .expect("every stale pair's transit structure was just derived"),
-                    scratch,
-                    pairs[index as usize],
-                    discovery.grid,
-                )
-            })
+            round_sweep.map_with_tiled(
+                &stale,
+                CANDIDATE_TILE,
+                PairScratch::new,
+                |scratch, _i, &index, _rng| {
+                    evaluate_candidate_with(
+                        &ctx,
+                        &programs,
+                        transit[index as usize]
+                            .as_ref()
+                            .expect("every stale pair's transit structure was just derived"),
+                        scratch,
+                        pairs[index as usize],
+                        discovery.grid,
+                    )
+                },
+            )
         };
         let mut fresh = Vec::with_capacity(evaluated.len());
         for outcome in evaluated {
@@ -414,8 +442,13 @@ impl IncrementalState {
             self.compact(state, pairs);
         }
 
+        let candidates = filtered.len();
+        self.dirty_rows = dirty_rows;
+        self.filtered = filtered;
+        self.stale = stale;
+
         Ok(RoundScan {
-            candidates: filtered.len(),
+            candidates,
             concluded_flow_volume,
             concluded_cash,
             discovered_surplus,
@@ -447,6 +480,24 @@ impl IncrementalState {
             })
             .collect();
         self.heap = BinaryHeap::from(entries);
+    }
+
+    /// Bytes resident in the engine's slot table, transit cache, heap,
+    /// and round scratch — the incremental engine's contribution to a
+    /// driver's memory footprint.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.slots.capacity() * size_of::<Slot>()
+            + self.transit.capacity() * size_of::<Option<PairTransit>>()
+            + self
+                .transit
+                .iter()
+                .flatten()
+                .map(PairTransit::heap_bytes)
+                .sum::<usize>()
+            + self.heap.capacity() * size_of::<HeapEntry>()
+            + self.dirty_rows.capacity() * size_of::<bool>()
+            + (self.filtered.capacity() + self.stale.capacity()) * size_of::<u32>()
     }
 
     /// The cached outcome of enumeration entry `index`, if evaluated —

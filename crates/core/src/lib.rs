@@ -80,6 +80,9 @@ mod scenario;
 
 mod incremental;
 
+#[cfg(test)]
+mod golden_tests;
+
 pub mod cash;
 pub mod discovery;
 pub mod dynamics;

@@ -182,6 +182,31 @@ impl FlowMatrix {
             .collect()
     }
 
+    /// Writes the per-node totals into `out` (cleared first) — the
+    /// allocation-free twin of [`totals`](Self::totals), bitwise
+    /// identical output.
+    pub fn totals_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.node_count() as u32).map(|i| self.total(i)));
+    }
+
+    /// Total flow through the whole matrix: the sum of the per-node
+    /// totals in node order, without materializing them — bitwise
+    /// identical to `totals().iter().sum()` (same per-row partial sums,
+    /// same outer summation order).
+    #[must_use]
+    pub fn grand_total(&self) -> f64 {
+        (0..self.node_count() as u32).map(|i| self.total(i)).sum()
+    }
+
+    /// Bytes resident in this matrix's heap allocations (capacities, not
+    /// lengths — what the allocator actually holds).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<u32>() + self.values.capacity() * size_of::<f64>()
+    }
+
     /// Overwrites the row of `flows.asn()` from a [`FlowVec`].
     ///
     /// # Errors
@@ -369,13 +394,42 @@ impl PricedEntry {
     }
 }
 
+/// The SoA lane classification of one entry. Mirrors the hot-loop
+/// dispatch order exactly: settlement-free entries are skipped *before*
+/// the price is inspected, so a peer entry with a nonlinear price is
+/// `(0.0, false)` — not nonlinear — just as the dispatching loops never
+/// pushed it to their nonlinear side lists.
+#[inline]
+fn lane_of(entry: &PricedEntry) -> (f64, bool) {
+    if entry.sign == 0.0 {
+        (0.0, false)
+    } else {
+        match entry.price.linear_rate() {
+            Some(rate) => (entry.sign * rate, false),
+            None => (0.0, true),
+        }
+    }
+}
+
 /// Dense per-entry economics for an entire topology: the batch
 /// counterpart of [`BusinessModel`].
 ///
 /// `entries` is parallel to the packed CSR adjacency (one [`PricedEntry`]
 /// per `(node, neighbor position)`), so evaluating or perturbing the
 /// utility of Eq. (1) is pure indexed arithmetic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Alongside the entry table the struct maintains two derived
+/// structure-of-arrays lanes, also parallel to the adjacency:
+/// [`signed_rate_row`](Self::signed_rate_row) holds `sign · linear_rate`
+/// for every linearly priced entry (and `0.0` for peers and nonlinear
+/// entries), and [`nonlinear_row`](Self::nonlinear_row) flags the entries
+/// whose price has no linear rate. The Σ sign·rate transit collapses of
+/// the discovery engine stream the `f64` lane branch-free instead of
+/// dispatching on the pricing enum per entry. The lanes are derived
+/// state: they are rebuilt by every constructor and mutator and are
+/// excluded from the wire format (the serialized form is unchanged from
+/// pre-SoA checkpoints).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DenseEconomics {
     /// `node_count + 1` prefix offsets into `entries` (row `i` has
     /// `degree(i)` entries).
@@ -383,6 +437,33 @@ pub struct DenseEconomics {
     entries: Vec<PricedEntry>,
     end_host_price: Vec<PricingFunction>,
     internal_cost: Vec<CostFunction>,
+    /// SoA lane: `sign · linear_rate` per entry, `0.0` where the entry is
+    /// settlement-free or nonlinear. Derived from `entries`; not wired.
+    #[serde(skip)]
+    signed_rate: Vec<f64>,
+    /// SoA lane: `true` where the entry carries a nonlinear price that
+    /// the linear lane cannot represent. Derived from `entries`.
+    #[serde(skip)]
+    nonlinear: Vec<bool>,
+}
+
+/// The wire format of [`DenseEconomics`] predates the SoA lanes, so
+/// deserialization mirrors the derive field-by-field and then rebuilds
+/// the derived lanes — every instance read from a checkpoint has valid
+/// lanes without caller cooperation.
+impl Deserialize for DenseEconomics {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let mut econ = DenseEconomics {
+            offsets: Deserialize::from_value(v.field("offsets")?)?,
+            entries: Deserialize::from_value(v.field("entries")?)?,
+            end_host_price: Deserialize::from_value(v.field("end_host_price")?)?,
+            internal_cost: Deserialize::from_value(v.field("internal_cost")?)?,
+            signed_rate: Vec::new(),
+            nonlinear: Vec::new(),
+        };
+        econ.rebuild_lanes();
+        Ok(econ)
+    }
 }
 
 impl DenseEconomics {
@@ -435,12 +516,16 @@ impl DenseEconomics {
             end_host.push(end_host_price(me));
             internal.push(internal_cost(me));
         }
-        DenseEconomics {
+        let mut econ = DenseEconomics {
             offsets,
             entries,
             end_host_price: end_host,
             internal_cost: internal,
-        }
+            signed_rate: Vec::new(),
+            nonlinear: Vec::new(),
+        };
+        econ.rebuild_lanes();
+        econ
     }
 
     /// Resolves a map-keyed [`BusinessModel`] into dense tables (one
@@ -542,12 +627,16 @@ impl DenseEconomics {
                 ));
             }
         }
-        Ok(DenseEconomics {
+        let mut out = DenseEconomics {
             offsets,
             entries,
             end_host_price: self.end_host_price.clone(),
             internal_cost: self.internal_cost.clone(),
-        })
+            signed_rate: Vec::new(),
+            nonlinear: Vec::new(),
+        };
+        out.rebuild_lanes();
+        Ok(out)
     }
 
     /// Scales the price of the packed adjacency entry at `pos` of `node`
@@ -573,6 +662,9 @@ impl DenseEconomics {
         );
         let at = row + pos;
         self.entries[at].price = self.entries[at].price.scaled(factor)?;
+        let (rate, nonlinear) = lane_of(&self.entries[at]);
+        self.signed_rate[at] = rate;
+        self.nonlinear[at] = nonlinear;
         Ok(())
     }
 
@@ -667,11 +759,62 @@ impl DenseEconomics {
         Ok(())
     }
 
+    /// Recomputes the SoA lanes from the entry table. Every constructor
+    /// and entry mutator must leave the lanes in sync; this is the single
+    /// place that derives them.
+    fn rebuild_lanes(&mut self) {
+        self.signed_rate.clear();
+        self.nonlinear.clear();
+        self.signed_rate.reserve_exact(self.entries.len());
+        self.nonlinear.reserve_exact(self.entries.len());
+        for entry in &self.entries {
+            let (rate, nonlinear) = lane_of(entry);
+            self.signed_rate.push(rate);
+            self.nonlinear.push(nonlinear);
+        }
+    }
+
     /// The priced entry at packed position `pos` of node `i`.
     #[inline]
     #[must_use]
     pub fn entry(&self, node: u32, pos: usize) -> PricedEntry {
         self.entries[self.offsets[node as usize] as usize + pos]
+    }
+
+    /// SoA lane of node `i`: `sign · linear_rate` per packed adjacency
+    /// position (`0.0` for settlement-free and nonlinear entries), in
+    /// [`AsGraph::neighbor_indices`] order. Summing a prefix of this row
+    /// is bitwise identical to the dispatching loop it replaces: the
+    /// skipped entries contribute `+0.0`, and an accumulator that starts
+    /// at `+0.0` is unchanged by adding either zero.
+    #[inline]
+    #[must_use]
+    pub fn signed_rate_row(&self, node: u32) -> &[f64] {
+        &self.signed_rate
+            [self.offsets[node as usize] as usize..self.offsets[node as usize + 1] as usize]
+    }
+
+    /// SoA lane of node `i`: which packed adjacency positions carry a
+    /// nonlinear price (and therefore need the [`entry`](Self::entry)
+    /// side table). Parallel to [`signed_rate_row`](Self::signed_rate_row).
+    #[inline]
+    #[must_use]
+    pub fn nonlinear_row(&self, node: u32) -> &[bool] {
+        &self.nonlinear
+            [self.offsets[node as usize] as usize..self.offsets[node as usize + 1] as usize]
+    }
+
+    /// Bytes resident in this table's heap allocations (capacities, not
+    /// lengths — what the allocator actually holds).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<u32>()
+            + self.entries.capacity() * size_of::<PricedEntry>()
+            + self.end_host_price.capacity() * size_of::<PricingFunction>()
+            + self.internal_cost.capacity() * size_of::<CostFunction>()
+            + self.signed_rate.capacity() * size_of::<f64>()
+            + self.nonlinear.capacity() * size_of::<bool>()
     }
 
     /// The end-host pricing function of node `i`.
@@ -721,6 +864,7 @@ mod tests {
     use super::*;
     use crate::PricingBook;
     use pan_topology::fixtures::{asn, fig1};
+    use proptest::prelude::*;
 
     fn model() -> BusinessModel {
         let g = fig1();
@@ -1039,6 +1183,117 @@ mod tests {
         assert!(zeros.totals().iter().all(|&t| t == 0.0));
         for i in 0..g.node_count() as u32 {
             assert_eq!(zeros.row(i).len(), g.degree_of_index(i) + 1);
+        }
+    }
+
+    #[test]
+    fn totals_twins_are_bitwise_identical() {
+        let g = fig1();
+        let flows = FlowMatrix::degree_gravity(&g, 0.37);
+        let allocated = flows.totals();
+        let mut reused = vec![f64::NAN; 3];
+        flows.totals_into(&mut reused);
+        assert_eq!(allocated.len(), reused.len());
+        for (a, b) in allocated.iter().zip(&reused) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let grand: f64 = allocated.iter().sum();
+        assert_eq!(grand.to_bits(), flows.grand_total().to_bits());
+    }
+
+    #[test]
+    fn resident_bytes_track_the_tables() {
+        let g = fig1();
+        let flows = FlowMatrix::degree_gravity(&g, 1.0);
+        let dense = DenseEconomics::from_model(&model());
+        let n = g.node_count();
+        let slots: usize = (0..n as u32).map(|i| g.degree_of_index(i)).sum();
+        assert!(flows.resident_bytes() >= (n + 1) * 4 + (slots + n) * 8);
+        // Entry table + both SoA lanes + per-AS tables.
+        assert!(dense.resident_bytes() >= (n + 1) * 4 + slots * (24 + 8 + 1));
+    }
+
+    /// The wire format must not grow the SoA lanes (pre-SoA checkpoints
+    /// stay readable and new checkpoints stay readable by the pre-SoA
+    /// code), and deserialization must rebuild them.
+    #[test]
+    fn soa_lanes_stay_off_the_wire() {
+        let g = fig1();
+        let dense = DenseEconomics::from_model(&model());
+        let json = serde_json::to_string(&dense).unwrap();
+        assert!(!json.contains("signed_rate"));
+        assert!(!json.contains("nonlinear"));
+        let back: DenseEconomics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dense);
+        back.validate_shape(&g).unwrap();
+        for i in 0..g.node_count() as u32 {
+            assert_eq!(back.signed_rate_row(i), dense.signed_rate_row(i));
+            assert_eq!(back.nonlinear_row(i), dense.nonlinear_row(i));
+        }
+    }
+
+    /// What the dispatching hot loops computed per entry, for the
+    /// differential lane tests: skip settlement-free entries before
+    /// looking at the price, then split on the linear rate.
+    fn dispatch_lane(entry: PricedEntry) -> (f64, bool) {
+        if entry.sign == 0.0 {
+            return (0.0, false);
+        }
+        match entry.price.linear_rate() {
+            Some(rate) => (entry.sign * rate, false),
+            None => (0.0, true),
+        }
+    }
+
+    proptest! {
+        /// SoA lanes agree bitwise with per-entry enum dispatch on random
+        /// economics, including after a repricing mutation, and the
+        /// branch-free stream sum over the rate lane reproduces the
+        /// dispatching skip-loop's sum bit for bit (the `+0.0` terms the
+        /// stream adds for skipped entries are summation identities).
+        #[test]
+        fn soa_lanes_agree_with_enum_dispatch(
+            alphas in prop::collection::vec(0.0..50.0f64, 16),
+            betas in prop::collection::vec(0.0..3.0f64, 16),
+            end_alpha in 0.0..10.0f64,
+            factor in 0.1..4.0f64,
+        ) {
+            let g = fig1();
+            let mut next = 0usize;
+            let mut pick = move || {
+                let p = PricingFunction::new(alphas[next % 16], betas[next % 16]).unwrap();
+                next += 1;
+                p
+            };
+            let mut econ = DenseEconomics::build(
+                &g,
+                |_, _| pick(),
+                |_| PricingFunction::new(end_alpha, 1.0).unwrap(),
+                |_| CostFunction::linear(0.05).unwrap(),
+            );
+            // A mutation must keep the lanes in sync too.
+            let node = 0u32;
+            if g.degree_of_index(node) > 0 {
+                econ.scale_entry_price(node, 0, factor).unwrap();
+            }
+            for i in 0..g.node_count() as u32 {
+                let rates = econ.signed_rate_row(i);
+                let nonlinear = econ.nonlinear_row(i);
+                let mut dispatched = 0.0f64;
+                for pos in 0..g.degree_of_index(i) {
+                    let entry = econ.entry(i, pos);
+                    let (want_rate, want_nonlinear) = dispatch_lane(entry);
+                    prop_assert_eq!(rates[pos].to_bits(), want_rate.to_bits());
+                    prop_assert_eq!(nonlinear[pos], want_nonlinear);
+                    if entry.sign != 0.0 {
+                        if let Some(rate) = entry.price.linear_rate() {
+                            dispatched += entry.sign * rate;
+                        }
+                    }
+                }
+                let streamed: f64 = rates.iter().sum();
+                prop_assert_eq!(streamed.to_bits(), dispatched.to_bits());
+            }
         }
     }
 }

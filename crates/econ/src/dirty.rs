@@ -58,6 +58,13 @@ impl DirtyRows {
         self.stamp.len()
     }
 
+    /// Bytes resident in the journal's stamp and mark lists — feeds the
+    /// workspace's memory-budget accounting.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        (self.stamp.capacity() + self.marked.capacity()) * std::mem::size_of::<u32>()
+    }
+
     /// Marks one row as changed. Out-of-range rows are ignored (the
     /// trailing end-host slot of a packed row belongs to its row).
     pub fn mark(&mut self, row: u32) {

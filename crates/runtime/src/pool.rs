@@ -84,10 +84,37 @@ impl ThreadPool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> R + Sync,
     {
+        self.run_with_tiled(count, 1, init, f)
+    }
+
+    /// Like [`run_with`](Self::run_with), but workers claim **contiguous
+    /// tiles** of `tile` indices at a time instead of single items. `f`
+    /// still receives the original item index and results still come
+    /// back in index order, so the output is identical to
+    /// [`run_with`](Self::run_with) for any `tile` — tiling only changes
+    /// which worker runs which items, never what an item computes.
+    ///
+    /// Use a tile when consecutive items touch overlapping memory (e.g.
+    /// candidate pairs sorted by row): one worker then sweeps a run of
+    /// neighboring items while the rows are cache-resident, instead of
+    /// interleaving them with the other workers. A `tile` of zero is
+    /// clamped to one (item-granularity stealing).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` on any worker.
+    pub fn run_with_tiled<S, R, I, F>(&self, count: usize, tile: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
         if count == 0 {
             return Vec::new();
         }
-        let workers = self.threads.min(count);
+        let tile = tile.max(1);
+        let tiles = count.div_ceil(tile);
+        let workers = self.threads.min(tiles);
         if workers == 1 {
             // Inline fast path: no spawn, no synchronization. Identical
             // results by construction since `f` sees the same (state,
@@ -104,11 +131,15 @@ impl ThreadPool {
                     let mut state = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        if index >= count {
+                        let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                        if claimed >= tiles {
                             break;
                         }
-                        local.push((index, f(&mut state, index)));
+                        let start = claimed * tile;
+                        let end = (start + tile).min(count);
+                        for index in start..end {
+                            local.push((index, f(&mut state, index)));
+                        }
                     }
                     collected
                         .lock()
@@ -260,6 +291,40 @@ mod tests {
             total += seqs.len();
         }
         assert_eq!(total, 16, "the per-worker groups partition the items");
+    }
+
+    #[test]
+    fn tiled_runs_match_item_granularity_for_any_tile() {
+        let items: Vec<usize> = (0..101).collect();
+        let reference: Vec<usize> = items.iter().map(|x| x * 7 + 1).collect();
+        for threads in [1, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            for tile in [0, 1, 2, 16, 101, 500] {
+                let out = pool.run_with_tiled(items.len(), tile, || (), |(), i| items[i] * 7 + 1);
+                assert_eq!(out, reference, "tile {tile} at {threads} threads diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_keep_consecutive_items_on_one_worker() {
+        // With tiles of 8, the worker that claims a tile must process all
+        // of its items; record worker ids per item and check each tile is
+        // single-owner.
+        let pool = ThreadPool::new(4);
+        let next_id = AtomicUsize::new(0);
+        let owners = pool.run_with_tiled(
+            64,
+            8,
+            || next_id.fetch_add(1, Ordering::Relaxed),
+            |worker, _i| *worker,
+        );
+        for tile in owners.chunks(8) {
+            assert!(
+                tile.iter().all(|&w| w == tile[0]),
+                "a tile was split across workers: {tile:?}"
+            );
+        }
     }
 
     #[test]

@@ -183,6 +183,28 @@ impl ScenarioSweep {
         })
     }
 
+    /// [`map_with`](Self::map_with) with locality tiling: workers claim
+    /// contiguous runs of `tile` items (see
+    /// [`ThreadPool::run_with_tiled`]). Item RNG streams stay keyed by
+    /// the item's index, so the output is bit-identical to
+    /// [`map_with`](Self::map_with) for any tile and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init` or `f` on any worker.
+    pub fn map_with_tiled<S, T, R, I, F>(&self, items: &[T], tile: usize, init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T, ChaCha12Rng) -> R + Sync,
+    {
+        self.pool
+            .run_with_tiled(items.len(), tile, init, |state, i| {
+                f(state, i, &items[i], item_rng(self.master_seed, i))
+            })
+    }
+
     /// Map-reduce: maps `f` over `0..count` and folds the results in
     /// index order, so the reduction is as deterministic as the map.
     ///
@@ -264,6 +286,36 @@ mod tests {
                 },
             );
             assert_eq!(reference, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn tiled_map_matches_untiled_bit_for_bit() {
+        let items: Vec<u32> = (0..64).collect();
+        let reference = ScenarioSweep::sequential(5).map_with(
+            &items,
+            Vec::<u64>::new,
+            |scratch, i, &item, mut rng| {
+                scratch.push(u64::from(item));
+                (i, rng.gen::<u64>())
+            },
+        );
+        for threads in [1, 2, 4] {
+            for tile in [1, 7, 64, 1000] {
+                let tiled = ScenarioSweep::new(ThreadPool::new(threads), 5).map_with_tiled(
+                    &items,
+                    tile,
+                    Vec::<u64>::new,
+                    |scratch, i, &item, mut rng| {
+                        scratch.push(u64::from(item));
+                        (i, rng.gen::<u64>())
+                    },
+                );
+                assert_eq!(
+                    reference, tiled,
+                    "tile {tile} at {threads} threads diverged"
+                );
+            }
         }
     }
 

@@ -132,23 +132,17 @@ impl MarketSession {
         ]
     }
 
-    /// Order-of-magnitude resident-size estimate: the dominant dense
-    /// arrays of the state (flow matrix, balances, links, adoptions)
-    /// plus the advise cache's outcome vectors. An accounting aid for
-    /// capacity planning, not an allocator measurement.
+    /// Resident size of the session: the state's and driver's own
+    /// capacity-based accounting plus the advise cache's outcome
+    /// vectors. Capacity-based, so it tracks what the allocator holds
+    /// rather than a shape-derived estimate.
     fn resident_bytes(&self) -> usize {
-        let graph = self.state.graph();
-        let n = graph.node_count();
-        let state = n * n * size_of::<f64>()
-            + n * size_of::<f64>()
-            + graph.link_count() * 4 * size_of::<u32>()
-            + self.state.adopted_count() * size_of::<(u32, u32)>();
         let cache: usize = self
             .cache
             .values()
             .map(|c| size_of::<CachedAdvice>() + c.report.outcomes.len() * size_of::<PairOutcome>())
             .sum();
-        state + cache
+        self.state.resident_bytes() + self.driver.resident_bytes() + cache
     }
 }
 
@@ -868,4 +862,85 @@ fn handle_stats(
         ],
     ));
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use pan_core::{CandidatePolicy, DiscoveryConfig};
+    use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+    use pan_topology::{AsGraphBuilder, Asn, Relationship};
+
+    use super::*;
+
+    /// Satellite regression: the `stats` resident-bytes figure is the
+    /// state's and driver's own capacity-based accounting plus the
+    /// advise cache — not the old shape-derived `n²` flow estimate,
+    /// which overstated a packed flow matrix quadratically.
+    #[test]
+    fn session_resident_bytes_tracks_state_driver_and_cache() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(Asn::new(1), Asn::new(2), Relationship::ProviderToCustomer)
+            .unwrap();
+        b.add_link(Asn::new(1), Asn::new(3), Relationship::ProviderToCustomer)
+            .unwrap();
+        let graph = b.build().unwrap();
+        let econ = DenseEconomics::build(
+            &graph,
+            |_, _| PricingFunction::per_usage(2.0).unwrap(),
+            |_| PricingFunction::per_usage(1.0).unwrap(),
+            |_| CostFunction::linear(0.001).unwrap(),
+        );
+        let flows = FlowMatrix::zeros(&graph);
+        let state = MarketState::new(graph, econ, flows).unwrap();
+        let config = EvolutionConfig {
+            discovery: DiscoveryConfig {
+                policy: CandidatePolicy::PeeringAdjacent,
+                reroute_share: 1.0,
+                attract_share: 0.0,
+                grid: 3,
+                noise: 0.0,
+                top: 0,
+            },
+            rounds: 1,
+            adopt_top: 1,
+            min_surplus: 1e-6,
+            shock: 0.0,
+        };
+        let mut session = MarketSession {
+            id: MarketId(1),
+            state,
+            driver: EvolutionDriver::resume(config, 0).unwrap(),
+            seed: 7,
+            label: "fixture".into(),
+            cache: HashMap::new(),
+            advises: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            rounds_stepped: 0,
+        };
+
+        let base = session.resident_bytes();
+        assert_eq!(
+            base,
+            session.state.resident_bytes() + session.driver.resident_bytes(),
+            "an empty advise cache must contribute nothing"
+        );
+        // The n²-estimate bug this replaces was only visible at scale;
+        // the capacity-based figure is exact at any size, so a cached
+        // advise report must grow the total by its accounted footprint.
+        session.cache.insert(
+            0,
+            CachedAdvice {
+                generation: session.state.generation(),
+                report: DiscoveryReport {
+                    candidates: 0,
+                    concluded_flow_volume: 0,
+                    concluded_cash: 0,
+                    total_surplus: 0.0,
+                    outcomes: Vec::new(),
+                },
+            },
+        );
+        assert_eq!(base + size_of::<CachedAdvice>(), session.resident_bytes());
+    }
 }

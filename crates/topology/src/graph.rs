@@ -100,6 +100,12 @@ pub(crate) struct CsrAdjacency {
 }
 
 impl CsrAdjacency {
+    /// Bytes resident in the packed CSR arrays.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.neighbors.capacity() + self.link_ids.capacity())
+            * std::mem::size_of::<u32>()
+    }
+
     pub(crate) fn build(node_count: usize, links: &[LinkRecord], asns: &[Asn]) -> Self {
         let seg = |node: u32, class: usize| node as usize * CLASSES + class;
         let mut offsets = vec![0u32; node_count * CLASSES + 1];
@@ -316,6 +322,20 @@ impl AsGraph {
     #[must_use]
     pub fn link_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Approximate bytes this graph keeps resident: the ASN list, the
+    /// ASN→index map (estimated at the map's capacity times its entry
+    /// footprint), the packed CSR adjacency, and the link records.
+    /// Feeds the workspace's memory-budget accounting; not a wire or
+    /// equality concern.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.asns.capacity() * size_of::<Asn>()
+            + self.index.capacity() * (size_of::<(Asn, u32)>() + size_of::<u64>())
+            + self.adjacency.resident_bytes()
+            + self.links.capacity() * size_of::<LinkRecord>()
     }
 
     /// Returns `true` if the graph contains no ASes.
