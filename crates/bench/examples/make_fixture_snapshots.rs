@@ -1,0 +1,102 @@
+//! Regenerates the committed CAIDA fixture snapshots under
+//! `fixtures/caida/` — the tiny two-year corpus the `--caida` tests and
+//! the CI `longitudinal-smoke` job run against.
+//!
+//! ```console
+//! cargo run -p pan-bench --example make_fixture_snapshots
+//! ```
+//!
+//! The 2023 snapshot is a 30-AS synthetic internet dumped in CAIDA
+//! serial-2 form, with geolocation and prefix-to-AS sidecars for a
+//! subset of its ASes (real sidecars are partial too). The 2024 snapshot
+//! is the same internet a year later: one peering broke up, a new stub
+//! AS (9001) joined under a provider and brought one peering of its own,
+//! and no sidecars were published. Deterministic — rerunning writes the
+//! same bytes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_topology::caida;
+
+const SEED: u64 = 11;
+
+fn main() {
+    let config = InternetConfig {
+        num_ases: 30,
+        tier1_count: 3,
+        ..InternetConfig::default()
+    };
+    let net = SyntheticInternet::generate(&config, SEED).expect("valid fixture config");
+    let relationships_2023 = caida::to_string(&net.graph);
+
+    // Geo sidecar: measured locations for the first 8 ASes (sorted, so
+    // the subset is stable across runs).
+    let mut ases: Vec<_> = net.graph.ases().collect();
+    ases.sort_unstable();
+    let mut geo = String::from("# <asn>|<lat>|<lon>\n");
+    for &asn in ases.iter().take(8) {
+        let point = net
+            .geo
+            .as_location(asn)
+            .expect("generated ASes are located");
+        let _ = writeln!(
+            geo,
+            "{}|{:.4}|{:.4}",
+            asn.get(),
+            point.lat_deg(),
+            point.lon_deg()
+        );
+    }
+
+    // Prefix sidecar: the portfolios of the first 12 ASes.
+    let mut pfx = String::from("# <addr> <len> <origin-asn>\n");
+    for &asn in ases.iter().take(12) {
+        for &prefix in net.prefixes.prefixes_of(asn) {
+            let a = prefix.addr();
+            let _ = writeln!(
+                pfx,
+                "{}.{}.{}.{}\t{}\t{}",
+                a >> 24,
+                (a >> 16) & 0xff,
+                (a >> 8) & 0xff,
+                a & 0xff,
+                prefix.len(),
+                asn.get()
+            );
+        }
+    }
+
+    // 2024: drop the first peering of 2023, connect new stub AS 9001
+    // under the first peer (as provider) with a peering to the second.
+    let mut removed_peering = None;
+    let mut relationships_2024 = String::new();
+    for line in relationships_2023.lines() {
+        if removed_peering.is_none() && !line.starts_with('#') && line.contains("|0|") {
+            let mut fields = line.split('|');
+            let a = fields.next().expect("peering lines have fields").to_owned();
+            let b = fields.next().expect("peering lines have fields").to_owned();
+            removed_peering = Some((a, b));
+            continue;
+        }
+        relationships_2024.push_str(line);
+        relationships_2024.push('\n');
+    }
+    let (a, b) = removed_peering.expect("the fixture net has peering links");
+    let _ = writeln!(relationships_2024, "{a}|9001|-1|synthetic");
+    let _ = writeln!(relationships_2024, "{b}|9001|0|synthetic");
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/caida");
+    let write = |rel: &str, text: &str| {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture files have parents"))
+            .expect("fixture directories are writable");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    };
+    write("2023/relationships.txt", &relationships_2023);
+    write("2023/geo.txt", &geo);
+    write("2023/prefix2as.txt", &pfx);
+    write("2024/relationships.txt", &relationships_2024);
+}

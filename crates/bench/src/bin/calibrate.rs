@@ -8,7 +8,7 @@
 //! table.
 
 use pan_bench::ScenarioSpec;
-use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_datasets::{InternetConfig, MarketSource};
 use pan_pathdiv::bandwidth::{analyze_pooled as analyze_bw, BandwidthConfig};
 use pan_pathdiv::geodistance::{analyze_pooled as analyze_geo, GeodistanceConfig};
 use pan_runtime::ThreadPool;
@@ -48,17 +48,21 @@ fn main() {
     let pool = ThreadPool::new(options.threads.min(cells.len()));
     let inner = ThreadPool::new((options.threads / pool.threads()).max(1));
     let rows = pool.map(&cells, |_idx, &(n, tp, sp, hf, hs, hc)| {
+        // Each cell is a variation of the run's standard config, built
+        // through the unified source layer — the same path the workload
+        // binaries use, so calibration measures what they will get.
         let config = InternetConfig {
             num_ases: n,
-            tier1_count: 8,
             transit_peer_degree: tp,
             stub_peer_degree: sp,
             hub_fraction: hf,
             hub_same_region_attach: hs,
             hub_cross_region_attach: hc,
-            ..InternetConfig::default()
+            ..options.internet_config()
         };
-        let net = SyntheticInternet::generate(&config, options.seed).expect("valid");
+        let net = MarketSource::Synthetic(config)
+            .build(options.seed)
+            .expect("valid");
         let geo = analyze_geo(
             &net.graph,
             &net.geo,

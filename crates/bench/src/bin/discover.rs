@@ -1,9 +1,11 @@
-//! Topology-wide agreement discovery: sweep an entire synthetic internet
-//! for profitable mutuality agreements (§III–§IV at scale).
+//! Topology-wide agreement discovery: sweep an entire internet —
+//! synthetic or loaded from a CAIDA snapshot — for profitable mutuality
+//! agreements (§III–§IV at scale).
 //!
 //! ```console
 //! discover --quick --json --threads 4          # CI smoke: 10k ASes, 3×3 grid
 //! discover --ases 20000 --khop 2 --top 50      # bigger net, prospective pairs
+//! discover --caida snapshots --snapshot 2024   # real-internet snapshot
 //! discover --engine legacy --limit 200         # "before" engine, for benchmarking
 //! ```
 //!
@@ -203,7 +205,7 @@ fn main() {
     sink.emit_json(&report);
     sink.write_record(&BenchRecord {
         engine,
-        ases: spec.ases,
+        ases: net.graph.node_count(),
         threads: spec.threads,
         candidate_pairs: report.candidates,
         seconds,

@@ -1,12 +1,14 @@
-//! Multi-round agreement adoption dynamics on a synthetic internet:
-//! discover profitable mutuality agreements, adopt the best, let flows
-//! and cash respond, optionally shock the market, and repeat until the
-//! economy reaches a fixed point (or the round cap).
+//! Multi-round agreement adoption dynamics on an internet — synthetic
+//! or loaded from a CAIDA snapshot: discover profitable mutuality
+//! agreements, adopt the best, let flows and cash respond, optionally
+//! shock the market, and repeat until the economy reaches a fixed point
+//! (or the round cap).
 //!
 //! ```console
 //! evolve --quick --threads 4                   # CI smoke: 10k ASes, 4 rounds
 //! evolve --rounds 20 --adopt-top 50 --shock 0.3
 //! evolve --khop 2 --rounds 8                   # prospective pairs create links
+//! evolve --caida snapshots --snapshot 2024     # real-internet snapshot
 //! ```
 //!
 //! Accepts the shared [`ScenarioSpec`] flags (notably `--rounds`,
@@ -242,7 +244,7 @@ fn main() {
         );
         sink.emit_json(&full.with_zeroed_timings());
         sink.write_record(&CompareRecord {
-            ases: spec.ases,
+            ases: net.graph.node_count(),
             threads: spec.threads,
             rounds_configured: config.rounds,
             adopt_top: config.adopt_top,
@@ -281,7 +283,7 @@ fn main() {
     // keeps it.
     sink.emit_json(&report.with_zeroed_timings());
     sink.write_record(&BenchRecord {
-        ases: spec.ases,
+        ases: net.graph.node_count(),
         threads: spec.threads,
         rounds_configured: config.rounds,
         adopt_top: config.adopt_top,

@@ -1,4 +1,5 @@
-//! Multi-tenant market server over the standard synthetic markets: keep
+//! Multi-tenant market server over the standard markets (synthetic or
+//! CAIDA-loaded through the unified source layer): keep
 //! a table of resident `MarketState`s loaded and answer advisory
 //! queries (cached per AS), stream evolution rounds, and
 //! checkpoint/restore trajectories without rebuilding the world per
@@ -13,9 +14,11 @@
 //! ```
 //!
 //! Accepts the shared [`ScenarioSpec`] flags as the **base spec** of
-//! synthetic loads; a `load` request's `market` object overrides
-//! individual fields per load (`{"ases":500,"seed":7,"shock":0.2,…}`,
-//! same vocabulary as the spec flags). Plus:
+//! loads (including `--caida <dir>`/`--snapshot <name>` for real-internet
+//! snapshots); a `load` request's `market` object overrides individual
+//! fields per load (`{"ases":500,"seed":7,"shock":0.2,…}`, same
+//! vocabulary as the spec flags, plus `"source"` — `"synthetic"` or
+//! `{"caida": <dir>, "snapshot": <name>}`). Plus:
 //!
 //! - `--addr <host:port>`: listen address (default `127.0.0.1:4780`);
 //! - `--engine <full|incremental>`: discovery engine resident markets
@@ -32,7 +35,7 @@ use std::time::Instant;
 
 use serde::{Serialize, Value};
 
-use pan_bench::{at_market_scale, evolution_config, market_state, ReportSink, ScenarioSpec};
+use pan_bench::{load_market_request, ReportSink, ScenarioSpec};
 use pan_serve::{LoadedMarket, MarketServer};
 
 #[derive(Debug, Serialize)]
@@ -41,63 +44,6 @@ struct BenchRecord {
     threads: usize,
     connections: usize,
     requests: usize,
-}
-
-/// Applies a `load` request's `market` object onto the base spec. The
-/// vocabulary mirrors the command-line flags, so a spec file, a flag,
-/// and a load request all say `"ases"`, `"seed"`, `"shock"`, … for the
-/// same knob.
-fn apply_overrides(base: ScenarioSpec, market: &Value) -> Result<ScenarioSpec, String> {
-    let Value::Map(entries) = market else {
-        return Err(format!(
-            "\"market\" must be an object, got {}",
-            market.kind()
-        ));
-    };
-    let mut spec = base;
-    for (key, value) in entries {
-        let bad = |kind: &str| format!("market field {key:?} must be {kind}");
-        let as_u64 = || match value {
-            Value::I64(n) if *n >= 0 => Ok(*n as u64),
-            Value::U64(n) => Ok(*n),
-            _ => Err(bad("a non-negative integer")),
-        };
-        let as_usize = || as_u64().map(|n| n as usize);
-        let as_f64 = || match value {
-            Value::F64(x) => Ok(*x),
-            Value::I64(n) => Ok(*n as f64),
-            Value::U64(n) => Ok(*n as f64),
-            _ => Err(bad("a number")),
-        };
-        let as_bool = || match value {
-            Value::Bool(b) => Ok(*b),
-            _ => Err(bad("a boolean")),
-        };
-        match key.as_str() {
-            "quick" => spec.quick = as_bool()?,
-            "seed" => spec.seed = as_u64()?,
-            "ases" => spec.ases = as_usize()?,
-            "reroute" => spec.discovery.reroute_share = as_f64()?,
-            "attract" => spec.discovery.attract_share = as_f64()?,
-            "grid" => spec.discovery.grid = as_usize()?,
-            "khop" => {
-                spec.discovery.khop =
-                    u8::try_from(as_u64()?).map_err(|_| bad("a small hop count"))?;
-            }
-            "khop_cap" => spec.discovery.khop_cap = as_usize()?,
-            "noise" => spec.discovery.noise = as_f64()?,
-            "adopt_top" => spec.evolution.adopt_top = as_usize()?,
-            "min_surplus" => spec.evolution.min_surplus = as_f64()?,
-            "shock" => spec.evolution.shock = as_f64()?,
-            other => {
-                return Err(format!(
-                    "unknown market field {other:?}; known: quick, seed, ases, reroute, \
-                     attract, grid, khop, khop_cap, noise, adopt_top, min_surplus, shock"
-                ));
-            }
-        }
-    }
-    Ok(spec)
 }
 
 fn main() {
@@ -148,26 +94,17 @@ fn main() {
         spec.threads, spec.seed, spec.quick
     );
 
+    let base = spec.clone();
     let loader = move |market: &Value| -> Result<LoadedMarket, String> {
-        let loaded_spec = at_market_scale(apply_overrides(spec, market)?);
         let t0 = Instant::now();
-        let (net, state) = market_state(&loaded_spec);
+        let loaded: LoadedMarket = load_market_request(&base, market)?;
         eprintln!(
-            "# built {}-AS market (seed {}) in {:.2}s",
-            net.graph.node_count(),
-            loaded_spec.seed,
+            "# built {}-AS market ({}) in {:.2}s",
+            loaded.state.graph().node_count(),
+            loaded.label,
             t0.elapsed().as_secs_f64()
         );
-        Ok(LoadedMarket {
-            state,
-            config: evolution_config(&loaded_spec),
-            seed: loaded_spec.seed,
-            label: format!(
-                "synthetic:{}-as:seed-{}",
-                net.graph.node_count(),
-                loaded_spec.seed
-            ),
-        })
+        Ok(loaded)
     };
     let summary = server.serve(&loader).expect("the serve loop runs");
     sink.write_record(&BenchRecord {

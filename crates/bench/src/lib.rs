@@ -16,6 +16,7 @@
 //! | `all_figures` | all | everything above with quick settings |
 //! | `discover` | §III–IV at scale | profitable mutuality pairs of a 10k-AS internet, ranked by surplus |
 //! | `evolve` | §III–IV iterated | multi-round adoption dynamics: discover → adopt → shock → repeat, to a fixed point |
+//! | `longitudinal` | §III–IV over time | per-snapshot evolution over a directory of yearly CAIDA snapshots, with cross-year adopted-set diffs |
 //!
 //! All binaries share one declarative, serde-serializable
 //! [`ScenarioSpec`] (flags, `--spec file.json`, `--dump-spec`) instead
@@ -33,15 +34,18 @@ mod mem;
 mod spec;
 
 pub use mem::{allocation_counts, peak_rss_bytes, CountingAllocator, MemoryReport};
-pub use spec::{DiscoverySpec, EvolutionSpec, ScenarioSpec};
+pub use spec::{DiscoverySpec, EvolutionSpec, ScenarioSpec, SourceSpec};
 
 use pan_core::discovery::CandidatePolicy;
 use pan_core::dynamics::MarketState;
 use pan_core::{DiscoveryConfig, EvolutionConfig};
 use pan_datasets::{SyntheticInternet, Tier};
-use pan_econ::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+use pan_econ::{DenseEconomics, FlowMatrix, MarketTier};
+use pan_serve::LoadedMarket;
 use pan_topology::Asn;
-use serde::Serialize;
+use serde::{Serialize, Value};
+
+pub use pan_econ::market::link_jitter;
 
 /// The standard evaluation topology of the spec: the full-size variant
 /// mirrors the structural richness the §VI analysis needs; the quick
@@ -51,52 +55,25 @@ pub fn evaluation_internet(spec: &ScenarioSpec) -> SyntheticInternet {
     spec.internet()
 }
 
-/// Deterministic per-link price jitter in `[0.85, 1.15]` (FNV-1a over the
-/// endpoint ASNs), giving the synthetic economy the heterogeneity that
-/// makes discovery rankings non-trivial.
+/// Maps a dataset tier onto the economy's [`MarketTier`] vocabulary —
+/// the glue between the source layer (which knows how an AS was
+/// generated or loaded) and the shared table synthesis in
+/// [`pan_econ::market`].
 #[must_use]
-pub fn link_jitter(a: Asn, b: Asn) -> f64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in [a.get(), b.get()] {
-        hash ^= u64::from(v);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+pub fn market_tier(net: &SyntheticInternet, asn: Asn) -> MarketTier {
+    match net.tier(asn) {
+        Tier::Tier1 => MarketTier::Core,
+        Tier::Transit => MarketTier::Transit,
+        Tier::Stub => MarketTier::Stub,
     }
-    0.85 + (hash % 1000) as f64 * 0.0003
 }
 
-/// Tier-aware synthetic economy shared by `discover` and `evolve`: stubs
-/// pay the steepest transit rates and earn the most end-host revenue;
-/// the core is cheap to run.
+/// Tier-aware synthetic economy shared by `discover` and `evolve`: the
+/// shared [`pan_econ::market::standard_economics`] rates keyed by the
+/// net's tier table.
 #[must_use]
 pub fn synthetic_economics(net: &SyntheticInternet) -> DenseEconomics {
-    DenseEconomics::build(
-        &net.graph,
-        |provider, customer| {
-            let base = match net.tier(customer) {
-                Tier::Stub => 3.0,
-                Tier::Transit => 2.2,
-                Tier::Tier1 => 2.0,
-            };
-            PricingFunction::per_usage(base * link_jitter(provider, customer))
-                .expect("positive rates are valid")
-        },
-        |asn| {
-            let rate = match net.tier(asn) {
-                Tier::Stub => 3.0,
-                Tier::Transit => 1.2,
-                Tier::Tier1 => 0.8,
-            };
-            PricingFunction::per_usage(rate).expect("positive rates are valid")
-        },
-        |asn| {
-            let rate = match net.tier(asn) {
-                Tier::Stub => 0.08,
-                Tier::Transit => 0.04,
-                Tier::Tier1 => 0.02,
-            };
-            CostFunction::linear(rate).expect("positive rates are valid")
-        },
-    )
+    pan_econ::market::standard_economics(&net.graph, |asn| market_tier(net, asn))
 }
 
 /// The spec at market scale: `--ases 0` defaults to the 10,000-AS
@@ -158,23 +135,170 @@ pub fn evolution_config(spec: &ScenarioSpec) -> EvolutionConfig {
     }
 }
 
-/// The standard market tables of a spec: synthetic internet, tier-aware
-/// economics, degree-gravity flows.
+/// The standard market tables of a spec: the source-built internet
+/// (synthetic or CAIDA) with the shared tier-aware economics and
+/// degree-gravity flows from [`pan_econ::market::standard_tables`].
 #[must_use]
 pub fn market_tables(spec: &ScenarioSpec) -> (SyntheticInternet, DenseEconomics, FlowMatrix) {
     let net = spec.internet();
-    let econ = synthetic_economics(&net);
-    let flows = FlowMatrix::degree_gravity(&net.graph, 1.0);
+    let (econ, flows) =
+        pan_econ::market::standard_tables(&net.graph, |asn| market_tier(&net, asn), 1.0);
     (net, econ, flows)
+}
+
+/// Fallible [`market_state`]: the one construction path `discover`,
+/// `evolve`, `serve`, and `longitudinal` share, with source errors (a
+/// missing snapshot directory, a malformed relationships file) reported
+/// instead of aborting the process — what a server loading markets on
+/// behalf of clients needs.
+///
+/// # Errors
+///
+/// The rendered [`pan_datasets::DatasetError`] when the source cannot be
+/// built.
+pub fn try_market_state(spec: &ScenarioSpec) -> Result<(SyntheticInternet, MarketState), String> {
+    let net = spec
+        .market_source()
+        .build(spec.seed)
+        .map_err(|e| e.to_string())?;
+    let state = MarketState::standard(net.graph.clone(), |asn| market_tier(&net, asn))
+        .map_err(|e| e.to_string())?;
+    Ok((net, state))
 }
 
 /// The standard resident market of a spec ([`market_tables`] assembled
 /// into a [`MarketState`]) — what `evolve` and `serve` operate on.
+///
+/// # Panics
+///
+/// Panics when the market source cannot be built — the behavior every
+/// binary wants for a bad command line; servers use
+/// [`try_market_state`].
 #[must_use]
 pub fn market_state(spec: &ScenarioSpec) -> (SyntheticInternet, MarketState) {
-    let (net, econ, flows) = market_tables(spec);
-    let state = MarketState::new(net.graph.clone(), econ, flows).expect("tables match the graph");
-    (net, state)
+    try_market_state(spec).unwrap_or_else(|e| panic!("cannot build market: {e}"))
+}
+
+fn apply_source_override(source: &mut SourceSpec, value: &Value) -> Result<(), String> {
+    match value {
+        Value::Str(name) if name == "synthetic" => {
+            *source = SourceSpec::default();
+            Ok(())
+        }
+        Value::Map(fields) => {
+            let mut next = SourceSpec::default();
+            for (key, field) in fields {
+                let Value::Str(text) = field else {
+                    return Err(format!("source field {key:?} must be a string"));
+                };
+                match key.as_str() {
+                    "caida" => next.caida.clone_from(text),
+                    "snapshot" => next.snapshot.clone_from(text),
+                    other => {
+                        return Err(format!(
+                            "unknown source field {other:?}; known: caida, snapshot"
+                        ));
+                    }
+                }
+            }
+            if next.caida.is_empty() {
+                return Err("source object requires a \"caida\" directory".to_owned());
+            }
+            *source = next;
+            Ok(())
+        }
+        other => Err(format!(
+            "\"source\" must be \"synthetic\" or {{\"caida\": <dir>, \"snapshot\": <name>}}, \
+             got {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Applies a `load` request's `market` object onto the base spec. The
+/// vocabulary mirrors the command-line flags, so a spec file, a flag,
+/// and a load request all say `"ases"`, `"seed"`, `"shock"`, … for the
+/// same knob; `"source"` selects the market source (`"synthetic"` or
+/// `{"caida": <dir>, "snapshot": <name>}`), mirroring
+/// `--caida`/`--snapshot`.
+///
+/// # Errors
+///
+/// A rendered protocol error for non-object `market` values, unknown
+/// fields, and ill-typed field values.
+pub fn apply_market_overrides(base: &ScenarioSpec, market: &Value) -> Result<ScenarioSpec, String> {
+    let Value::Map(entries) = market else {
+        return Err(format!(
+            "\"market\" must be an object, got {}",
+            market.kind()
+        ));
+    };
+    let mut spec = base.clone();
+    for (key, value) in entries {
+        let bad = |kind: &str| format!("market field {key:?} must be {kind}");
+        let as_u64 = || match value {
+            Value::I64(n) if *n >= 0 => Ok(*n as u64),
+            Value::U64(n) => Ok(*n),
+            _ => Err(bad("a non-negative integer")),
+        };
+        let as_usize = || as_u64().map(|n| n as usize);
+        let as_f64 = || match value {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(bad("a number")),
+        };
+        let as_bool = || match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(bad("a boolean")),
+        };
+        match key.as_str() {
+            "quick" => spec.quick = as_bool()?,
+            "seed" => spec.seed = as_u64()?,
+            "ases" => spec.ases = as_usize()?,
+            "reroute" => spec.discovery.reroute_share = as_f64()?,
+            "attract" => spec.discovery.attract_share = as_f64()?,
+            "grid" => spec.discovery.grid = as_usize()?,
+            "khop" => {
+                spec.discovery.khop =
+                    u8::try_from(as_u64()?).map_err(|_| bad("a small hop count"))?;
+            }
+            "khop_cap" => spec.discovery.khop_cap = as_usize()?,
+            "noise" => spec.discovery.noise = as_f64()?,
+            "adopt_top" => spec.evolution.adopt_top = as_usize()?,
+            "min_surplus" => spec.evolution.min_surplus = as_f64()?,
+            "shock" => spec.evolution.shock = as_f64()?,
+            "source" => apply_source_override(&mut spec.source, value)?,
+            other => {
+                return Err(format!(
+                    "unknown market field {other:?}; known: quick, seed, ases, reroute, \
+                     attract, grid, khop, khop_cap, noise, adopt_top, min_surplus, shock, source"
+                ));
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// The shared `load`-verb implementation: overrides applied onto the
+/// base spec, scaled to market size, built through the unified source
+/// layer, labelled by its source. `serve` wraps this in a closure that
+/// adds a stderr timing line; tests call it directly to predict what a
+/// server built.
+///
+/// # Errors
+///
+/// A rendered protocol error for malformed `market` objects or
+/// unbuildable sources.
+pub fn load_market_request(base: &ScenarioSpec, market: &Value) -> Result<LoadedMarket, String> {
+    let spec = at_market_scale(apply_market_overrides(base, market)?);
+    let (_, state) = try_market_state(&spec)?;
+    Ok(LoadedMarket {
+        config: evolution_config(&spec),
+        seed: spec.seed,
+        label: format!("{}:seed-{}", spec.market_source().label(), spec.seed),
+        state,
+    })
 }
 
 /// Unified `--json` / `--bench-out` report emission — the one
@@ -327,8 +451,92 @@ mod tests {
                 per_source_cap: 9
             }
         );
-        assert_eq!(at_market_scale(spec).ases, 10_000);
+        assert_eq!(at_market_scale(spec.clone()).ases, 10_000);
         assert_eq!(at_market_scale(ScenarioSpec { ases: 77, ..spec }).ases, 77);
+    }
+
+    #[test]
+    fn market_overrides_apply_onto_the_base_spec() {
+        let base = ScenarioSpec::default();
+        let market = Value::Map(vec![
+            ("ases".to_owned(), Value::U64(500)),
+            ("seed".to_owned(), Value::I64(7)),
+            ("shock".to_owned(), Value::F64(0.2)),
+        ]);
+        let spec = apply_market_overrides(&base, &market).unwrap();
+        assert_eq!(spec.ases, 500);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.evolution.shock, 0.2);
+
+        let err = apply_market_overrides(&base, &Value::Bool(true)).unwrap_err();
+        assert!(err.contains("must be an object"), "{err}");
+        let err =
+            apply_market_overrides(&base, &Value::Map(vec![("wat".to_owned(), Value::U64(1))]))
+                .unwrap_err();
+        assert!(err.contains("unknown market field"), "{err}");
+        assert!(err.contains("source"), "source is advertised: {err}");
+    }
+
+    #[test]
+    fn source_overrides_select_the_market_source() {
+        let mut base = ScenarioSpec::default();
+        base.source.caida = "/data/caida".to_owned();
+
+        // "synthetic" resets a CAIDA base back to the generator.
+        let market = Value::Map(vec![(
+            "source".to_owned(),
+            Value::Str("synthetic".to_owned()),
+        )]);
+        let spec = apply_market_overrides(&base, &market).unwrap();
+        assert_eq!(spec.source, SourceSpec::default());
+
+        // An object selects a snapshot directory.
+        let market = Value::Map(vec![(
+            "source".to_owned(),
+            Value::Map(vec![
+                ("caida".to_owned(), Value::Str("/snaps".to_owned())),
+                ("snapshot".to_owned(), Value::Str("2024".to_owned())),
+            ]),
+        )]);
+        let spec = apply_market_overrides(&ScenarioSpec::default(), &market).unwrap();
+        assert_eq!(spec.source.caida, "/snaps");
+        assert_eq!(spec.source.snapshot, "2024");
+
+        for bad in [
+            Value::Str("wat".to_owned()),
+            Value::Map(vec![("snapshot".to_owned(), Value::Str("2024".to_owned()))]),
+            Value::Map(vec![("caida".to_owned(), Value::U64(3))]),
+        ] {
+            let market = Value::Map(vec![("source".to_owned(), bad)]);
+            assert!(
+                apply_market_overrides(&ScenarioSpec::default(), &market).is_err(),
+                "{market:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn load_market_request_labels_by_source() {
+        let base = ScenarioSpec {
+            quick: true,
+            ases: 80,
+            ..ScenarioSpec::default()
+        };
+        let market = Value::Map(vec![("seed".to_owned(), Value::U64(9))]);
+        let loaded = load_market_request(&base, &market).unwrap();
+        assert_eq!(loaded.label, "synthetic:80-as:seed-9");
+        assert_eq!(loaded.seed, 9);
+        assert_eq!(loaded.state.graph().node_count(), 80);
+
+        let market = Value::Map(vec![(
+            "source".to_owned(),
+            Value::Map(vec![(
+                "caida".to_owned(),
+                Value::Str("/nonexistent-snapshots".to_owned()),
+            )]),
+        )]);
+        let err = load_market_request(&base, &market).unwrap_err();
+        assert!(err.contains("nonexistent-snapshots"), "{err}");
     }
 
     #[test]

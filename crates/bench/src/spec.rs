@@ -17,8 +17,23 @@
 
 use serde::{Deserialize, Serialize};
 
-use pan_datasets::{InternetConfig, SyntheticInternet};
+use pan_datasets::{InternetConfig, MarketSource, SyntheticInternet};
 use pan_runtime::{ScenarioSweep, ThreadPool};
+
+/// Market-source selection of a [`ScenarioSpec`].
+///
+/// Empty strings are the "unset" sentinel (the vendored serde has no
+/// per-field defaults, so `Option` round-trips poorly through spec
+/// files): an empty `caida` means the synthetic generator, an empty
+/// `snapshot` means "resolve the newest snapshot in the directory".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// CAIDA snapshot directory (`--caida <dir>`); empty = synthetic.
+    pub caida: String,
+    /// Snapshot name under the directory (`--snapshot <name>`); empty =
+    /// newest.
+    pub snapshot: String,
+}
 
 /// Discovery-sweep knobs of a [`ScenarioSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,7 +94,7 @@ impl Default for EvolutionSpec {
 
 /// Command-line/JSON specification shared by the figure binaries and
 /// `discover`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Use reduced problem sizes for a fast smoke run.
     pub quick: bool,
@@ -98,6 +113,8 @@ pub struct ScenarioSpec {
     pub discovery: DiscoverySpec,
     /// Market-evolution knobs (used by `evolve` only).
     pub evolution: EvolutionSpec,
+    /// Market-source selection (synthetic generator vs CAIDA snapshot).
+    pub source: SourceSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -111,6 +128,7 @@ impl Default for ScenarioSpec {
             sample: 0,
             discovery: DiscoverySpec::default(),
             evolution: EvolutionSpec::default(),
+            source: SourceSpec::default(),
         }
     }
 }
@@ -118,7 +136,7 @@ impl Default for ScenarioSpec {
 const USAGE: &str = "--quick, --seed <u64>, --json, --threads <N>, --ases <N>, --sample <N>, \
      --reroute <f>, --attract <f>, --grid <N>, --khop <N>, --khop-cap <N>, --noise <f>, \
      --top <N>, --rounds <N>, --adopt-top <N>, --min-surplus <f>, --shock <f>, \
-     --spec <file.json>, --dump-spec";
+     --caida <dir>, --snapshot <name>, --spec <file.json>, --dump-spec";
 
 impl ScenarioSpec {
     /// Parses the shared flags from an `std::env::args`-style iterator
@@ -233,6 +251,8 @@ impl ScenarioSpec {
                     spec.evolution.shock =
                         parsed(&value(&mut args, "--shock"), "--shock", "a fraction");
                 }
+                "--caida" => spec.source.caida = value(&mut args, "--caida"),
+                "--snapshot" => spec.source.snapshot = value(&mut args, "--snapshot"),
                 _ => rest.push(arg),
             }
         }
@@ -303,11 +323,38 @@ impl ScenarioSpec {
         }
     }
 
-    /// Generates the run's synthetic internet.
+    /// The run's [`MarketSource`]: the CAIDA snapshot named by
+    /// `--caida`/`--snapshot` when given, the spec-derived synthetic
+    /// generator otherwise.
+    #[must_use]
+    pub fn market_source(&self) -> MarketSource {
+        if self.source.caida.is_empty() {
+            MarketSource::Synthetic(self.internet_config())
+        } else {
+            MarketSource::Caida {
+                dir: self.source.caida.clone().into(),
+                snapshot: if self.source.snapshot.is_empty() {
+                    None
+                } else {
+                    Some(self.source.snapshot.clone())
+                },
+            }
+        }
+    }
+
+    /// Builds the run's market input data from its [`market_source`](Self::market_source).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the source error when the market cannot be built
+    /// (e.g. a missing snapshot directory) — the behavior every binary
+    /// wants for a bad command line. Fallible callers use
+    /// [`MarketSource::build`] directly.
     #[must_use]
     pub fn internet(&self) -> SyntheticInternet {
-        SyntheticInternet::generate(&self.internet_config(), self.seed)
-            .expect("spec-derived configs are valid")
+        self.market_source()
+            .build(self.seed)
+            .unwrap_or_else(|e| panic!("cannot build market source: {e}"))
     }
 }
 
@@ -420,6 +467,36 @@ mod tests {
         assert_eq!(loaded.threads, 3);
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn source_flags_select_the_market_source() {
+        let (spec, rest) = ScenarioSpec::from_args(args(&[]));
+        assert!(rest.is_empty());
+        assert_eq!(
+            spec.market_source(),
+            MarketSource::Synthetic(spec.internet_config())
+        );
+
+        let (spec, rest) =
+            ScenarioSpec::from_args(args(&["--caida", "/data/caida", "--snapshot", "2024"]));
+        assert!(rest.is_empty());
+        assert_eq!(
+            spec.market_source(),
+            MarketSource::Caida {
+                dir: "/data/caida".into(),
+                snapshot: Some("2024".to_owned()),
+            }
+        );
+
+        let (spec, _) = ScenarioSpec::from_args(args(&["--caida", "/data/caida"]));
+        assert_eq!(
+            spec.market_source(),
+            MarketSource::Caida {
+                dir: "/data/caida".into(),
+                snapshot: None,
+            }
+        );
     }
 
     #[test]

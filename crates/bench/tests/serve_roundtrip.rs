@@ -153,7 +153,7 @@ fn snapshot_restore_reproduces_the_uninterrupted_trajectory() {
     let first_half = {
         let server = MarketServer::bind("127.0.0.1:0", 2).unwrap();
         let addr = server.local_addr().unwrap();
-        let load_spec = spec;
+        let load_spec = spec.clone();
         let handle =
             std::thread::spawn(move || server.serve(&move |_| Ok(loaded_market(&load_spec))));
         let mut client = Client::connect(addr);

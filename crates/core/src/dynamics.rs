@@ -255,6 +255,28 @@ impl MarketState {
         })
     }
 
+    /// Builds the standard resident market from any source graph: the
+    /// shared [`pan_econ::market::standard_tables`] economy (tier-aware
+    /// rates, degree-gravity flows at scale 1) assembled into a state.
+    ///
+    /// This is the one market constructor `evolve`, `serve`, the bench
+    /// harness, and the tests share, so a market built from a synthetic
+    /// generator run and one built from a real-internet snapshot differ
+    /// only in the graph and the tier classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AgreementError::DimensionMismatch`] only if the shared
+    /// table synthesis produced mis-shaped tables (i.e. never, absent a
+    /// bug in `pan-econ`).
+    pub fn standard(
+        graph: AsGraph,
+        tier_of: impl Fn(pan_topology::Asn) -> pan_econ::MarketTier,
+    ) -> Result<Self> {
+        let (econ, flows) = pan_econ::market::standard_tables(&graph, tier_of, 1.0);
+        Self::new(graph, econ, flows)
+    }
+
     /// Reassembles a state from its serialized parts (the checkpoint
     /// path, used by [`MarketSnapshot::restore`]): shape-checks the
     /// tables like [`new`](Self::new), and additionally validates the

@@ -18,6 +18,24 @@ pub enum DatasetError {
         /// The offending text.
         text: String,
     },
+    /// A `addr<TAB>len<TAB>asn` prefix-to-AS sidecar line could not be
+    /// parsed, or referenced an AS outside the snapshot graph.
+    MalformedPrefixLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        text: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A snapshot directory could not be turned into a market (missing
+    /// files, sidecar/graph mismatches, unresolvable snapshot names).
+    Snapshot {
+        /// Path of the offending snapshot directory or file.
+        path: String,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -29,6 +47,12 @@ impl fmt::Display for DatasetError {
             DatasetError::Topology(err) => write!(f, "topology error: {err}"),
             DatasetError::InvalidPrefix { text } => {
                 write!(f, "cannot parse {text:?} as an IPv4 prefix")
+            }
+            DatasetError::MalformedPrefixLine { line, text, reason } => {
+                write!(f, "malformed prefix-to-AS line {line} ({reason}): {text:?}")
+            }
+            DatasetError::Snapshot { path, reason } => {
+                write!(f, "cannot load snapshot {path}: {reason}")
             }
         }
     }

@@ -259,18 +259,51 @@ impl SyntheticInternet {
         config.validate()?;
 
         let skeleton = generate_topology(config, seed)?;
-        let prefixes = prefix::generate(&skeleton, &mut rng::substream(seed, "prefixes"));
+        Ok(Self::assemble(
+            skeleton,
+            None,
+            None,
+            seed,
+            config.capacity_scale,
+        ))
+    }
+
+    /// Runs the annotation stages of the pipeline on a prepared skeleton:
+    /// prefix table → prefix geolocation → AS centroids → link facilities →
+    /// link capacities, each on an independent random substream of `seed`.
+    ///
+    /// This is the convergence point of every market source: the synthetic
+    /// generator passes `None` for both sidecars, while snapshot loading
+    /// passes whatever the snapshot directory provided (`prefixes` replaces
+    /// the synthetic prefix portfolio, `geo_overrides` pins AS centroids to
+    /// measured locations after the prefix join). The substream labels are
+    /// part of the determinism contract — changing them changes every
+    /// committed synthetic figure.
+    pub(crate) fn assemble(
+        skeleton: Skeleton,
+        prefixes: Option<prefix::PrefixTable>,
+        geo_overrides: Option<&[(Asn, GeoPoint)]>,
+        seed: u64,
+        capacity_scale: f64,
+    ) -> Self {
+        let prefixes = prefixes
+            .unwrap_or_else(|| prefix::generate(&skeleton, &mut rng::substream(seed, "prefixes")));
         let locations =
             geolite::locate_prefixes(&skeleton, &prefixes, &mut rng::substream(seed, "geolite"));
         let mut geo = geolite::as_centroids(&prefixes, &locations);
+        if let Some(overrides) = geo_overrides {
+            for &(asn, point) in overrides {
+                geo.set_as_location(asn, point);
+            }
+        }
         georel::add_facilities(
             &skeleton.graph,
             &mut geo,
             &mut rng::substream(seed, "facilities"),
         );
-        let capacities = LinkCapacities::degree_gravity(&skeleton.graph, config.capacity_scale);
+        let capacities = LinkCapacities::degree_gravity(&skeleton.graph, capacity_scale);
 
-        Ok(SyntheticInternet {
+        SyntheticInternet {
             graph: skeleton.graph,
             tiers: skeleton.tiers,
             as_region: skeleton.as_region,
@@ -278,7 +311,7 @@ impl SyntheticInternet {
             prefixes,
             geo,
             capacities,
-        })
+        }
     }
 
     /// Tier of an AS (defaults to [`Tier::Stub`] for unknown ASes).

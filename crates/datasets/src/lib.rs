@@ -17,7 +17,10 @@
 //!
 //! The one-stop entry point is [`SyntheticInternet::generate`], which runs
 //! the full pipeline and performs the same dataset joins as the paper
-//! (prefix → location → AS centroid).
+//! (prefix → location → AS centroid). [`MarketSource`] generalizes it:
+//! the same pipeline output built either synthetically or from a
+//! real-internet snapshot directory ([`source`]), with the synthetic
+//! generators filling any fields a snapshot lacks.
 //!
 //! ```
 //! use pan_datasets::{InternetConfig, SyntheticInternet};
@@ -40,11 +43,13 @@ pub mod internet;
 pub mod prefix;
 pub mod rng;
 pub mod sampler;
+pub mod source;
 
 pub use error::DatasetError;
 pub use internet::{InternetConfig, SyntheticInternet, Tier};
 pub use prefix::{Ipv4Prefix, PrefixTable};
 pub use sampler::WeightedSampler;
+pub use source::{MarketSource, SourceStatus};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, DatasetError>;

@@ -190,6 +190,62 @@ impl PrefixTable {
 /// tens of prefixes, transit ASes a handful, stubs one to four. Prefixes
 /// are allocated from disjoint /16 blocks per AS, so the table never
 /// contains duplicate origins.
+/// Parses a Routeviews-style prefix-to-AS sidecar document into a
+/// [`PrefixTable`].
+///
+/// Each data line is `address`, `length`, `origin-asn` separated by
+/// whitespace (real pfx2as files use tabs); `#` comments and blank lines
+/// are skipped. The parse is strict: bad addresses/lengths/ASNs, repeated
+/// prefixes, and origins absent from `graph` are all rejected with 1-based
+/// line numbers so a mismatched relationships/prefix pair fails loudly.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::MalformedPrefixLine`] on any invalid row.
+pub fn parse_pfx2as(text: &str, graph: &pan_topology::AsGraph) -> crate::Result<PrefixTable> {
+    let mut table = PrefixTable::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let malformed = |reason: String| DatasetError::MalformedPrefixLine {
+            line: lineno + 1,
+            text: raw.to_owned(),
+            reason,
+        };
+        let mut fields = line.split_whitespace();
+        let (Some(addr), Some(len), Some(asn)) = (fields.next(), fields.next(), fields.next())
+        else {
+            return Err(malformed("expected <addr> <len> <origin-asn>".to_owned()));
+        };
+        if fields.next().is_some() {
+            return Err(malformed("trailing fields after origin ASN".to_owned()));
+        }
+        let len: u8 = len
+            .parse()
+            .ok()
+            .filter(|l| *l <= 32)
+            .ok_or_else(|| malformed(format!("bad prefix length {len:?}")))?;
+        let prefix: Ipv4Prefix = format!("{addr}/{len}")
+            .parse()
+            .map_err(|_| malformed(format!("bad address {addr:?}")))?;
+        let asn: Asn = asn
+            .parse()
+            .map_err(|_| malformed(format!("bad AS number {asn:?}")))?;
+        if !graph.contains(asn) {
+            return Err(malformed(format!(
+                "{asn} is not in the relationships graph"
+            )));
+        }
+        if let Some(prev) = table.origin(prefix) {
+            return Err(malformed(format!("{prefix} already originated by {prev}")));
+        }
+        table.insert(prefix, asn);
+    }
+    Ok(table)
+}
+
 pub(crate) fn generate(skeleton: &Skeleton, rng: &mut DeterministicRng) -> PrefixTable {
     let mut table = PrefixTable::new();
     for (block, asn) in skeleton.graph.ases().enumerate() {
@@ -290,6 +346,51 @@ mod tests {
         assert_eq!(p.len(), 16);
         let (_, asn) = t.lookup(0x0a02_0001).unwrap();
         assert_eq!(asn, Asn::new(1));
+    }
+
+    #[test]
+    fn parse_pfx2as_accepts_tabs_comments_and_blank_lines() {
+        let graph = pan_topology::caida::parse("7|9|-1\n").unwrap();
+        let table = parse_pfx2as("# pfx2as\n\n10.0.0.0\t24\t7\n10.1.0.0 16 9\n", &graph).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(
+            table.origin("10.0.0.0/24".parse().unwrap()),
+            Some(Asn::new(7))
+        );
+        assert_eq!(table.prefixes_of(Asn::new(9)).len(), 1);
+    }
+
+    #[test]
+    fn parse_pfx2as_malformed_input_table() {
+        let graph = pan_topology::caida::parse("7|9|-1\n").unwrap();
+        for (doc, want_line, want_reason) in [
+            ("10.0.0.0\t24", 1, "expected <addr> <len> <origin-asn>"),
+            ("10.0.0.0\t24\t7\textra", 1, "trailing fields"),
+            ("10.0.0\t24\t7", 1, "bad address"),
+            ("10.0.0.0\t33\t7", 1, "bad prefix length"),
+            ("10.0.0.0\t24\tx", 1, "bad AS number"),
+            (
+                "10.0.0.0\t24\t5",
+                1,
+                "AS5 is not in the relationships graph",
+            ),
+            (
+                "10.0.0.0\t24\t7\n10.0.0.0\t24\t9",
+                2,
+                "already originated by AS7",
+            ),
+        ] {
+            match parse_pfx2as(doc, &graph) {
+                Err(DatasetError::MalformedPrefixLine { line, reason, .. }) => {
+                    assert_eq!(line, want_line, "doc: {doc:?}");
+                    assert!(
+                        reason.contains(want_reason),
+                        "doc: {doc:?}, reason: {reason}"
+                    );
+                }
+                other => panic!("doc {doc:?}: expected prefix-line error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

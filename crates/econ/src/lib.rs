@@ -57,6 +57,7 @@ mod pricing;
 
 pub mod dense;
 pub mod dirty;
+pub mod market;
 pub mod traffic;
 
 pub use business::{BusinessModel, PricingBook};
@@ -65,6 +66,7 @@ pub use dense::{DenseEconomics, FlowMatrix, PricedEntry};
 pub use dirty::{DirtyDrain, DirtyRows};
 pub use error::EconError;
 pub use flow::{FlowVec, SegmentFlows, SegmentKey};
+pub use market::MarketTier;
 pub use pricing::PricingFunction;
 
 /// Convenience alias for results in this crate.

@@ -1,0 +1,131 @@
+//! Standard market-table synthesis: the one set of economic parameters
+//! every binary, server, and test builds its market from.
+//!
+//! The rates were originally hard-coded in `pan-bench`; they live here so
+//! `discover`, `evolve`, `serve`, `calibrate`, and the test suites all
+//! construct byte-identical [`DenseEconomics`]/[`FlowMatrix`] tables from
+//! any source graph — synthetic or a real-internet snapshot. The only
+//! input beyond the graph is a tier classifier, so callers that know
+//! their tiers from generation (`pan-datasets`) and callers that derive
+//! them from the provider hierarchy (snapshot loading) share the rest.
+
+use pan_topology::{AsGraph, Asn};
+
+use crate::{CostFunction, DenseEconomics, FlowMatrix, PricingFunction};
+
+/// The market-level hierarchy class of an AS, as the economy sees it.
+///
+/// Deliberately distinct from `pan-datasets`' generator tier enum: this
+/// crate sits below the dataset layer, and snapshot-derived markets
+/// classify ASes by their position in the provider hierarchy rather than
+/// by how they were generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarketTier {
+    /// Provider-free core AS (tier-1 clique member).
+    Core,
+    /// Sells transit to customers while buying it above.
+    Transit,
+    /// Pure transit customer.
+    Stub,
+}
+
+/// Deterministic per-link price jitter in `[0.85, 1.15]` (FNV-1a over the
+/// endpoint ASNs), giving the synthetic economy the heterogeneity that
+/// makes discovery rankings non-trivial.
+#[must_use]
+pub fn link_jitter(a: Asn, b: Asn) -> f64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [a.get(), b.get()] {
+        hash ^= u64::from(v);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    0.85 + (hash % 1000) as f64 * 0.0003
+}
+
+/// The standard tier-aware economy: stubs pay the steepest transit rates
+/// and earn the most end-host revenue; the core is cheap to run.
+///
+/// `tier_of` classifies every AS of `graph`; unknown ASes should map to
+/// [`MarketTier::Stub`].
+#[must_use]
+pub fn standard_economics(graph: &AsGraph, tier_of: impl Fn(Asn) -> MarketTier) -> DenseEconomics {
+    // `Fn`, not `FnMut`: all three rate closures share the classifier.
+    let tier_of = &tier_of;
+    DenseEconomics::build(
+        graph,
+        |provider: Asn, customer: Asn| {
+            let base = match tier_of(customer) {
+                MarketTier::Stub => 3.0,
+                MarketTier::Transit => 2.2,
+                MarketTier::Core => 2.0,
+            };
+            PricingFunction::per_usage(base * link_jitter(provider, customer))
+                .expect("positive rates are valid")
+        },
+        |asn| {
+            let rate = match tier_of(asn) {
+                MarketTier::Stub => 3.0,
+                MarketTier::Transit => 1.2,
+                MarketTier::Core => 0.8,
+            };
+            PricingFunction::per_usage(rate).expect("positive rates are valid")
+        },
+        |asn| {
+            let rate = match tier_of(asn) {
+                MarketTier::Stub => 0.08,
+                MarketTier::Transit => 0.04,
+                MarketTier::Core => 0.02,
+            };
+            CostFunction::linear(rate).expect("positive rates are valid")
+        },
+    )
+}
+
+/// The standard market tables from any source graph: tier-aware
+/// [`standard_economics`] plus degree-gravity flows at `gravity_scale`.
+#[must_use]
+pub fn standard_tables(
+    graph: &AsGraph,
+    tier_of: impl Fn(Asn) -> MarketTier,
+    gravity_scale: f64,
+) -> (DenseEconomics, FlowMatrix) {
+    let econ = standard_economics(graph, tier_of);
+    let flows = FlowMatrix::degree_gravity(graph, gravity_scale);
+    (econ, flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_jitter_is_deterministic_and_bounded() {
+        let a = Asn::new(17);
+        let b = Asn::new(4242);
+        assert_eq!(link_jitter(a, b), link_jitter(a, b));
+        assert_ne!(link_jitter(a, b), link_jitter(b, a), "direction matters");
+        for x in 1..200u32 {
+            let j = link_jitter(Asn::new(x), Asn::new(x + 1));
+            assert!((0.85..=1.15).contains(&j), "jitter {j} out of range");
+        }
+    }
+
+    #[test]
+    fn standard_tables_cover_the_graph() {
+        let graph = pan_topology::fixtures::fig1();
+        let provider_free: Vec<Asn> = graph.provider_free_ases().collect();
+        let (econ, flows) = standard_tables(
+            &graph,
+            |asn| {
+                if provider_free.contains(&asn) {
+                    MarketTier::Core
+                } else {
+                    MarketTier::Stub
+                }
+            },
+            1.0,
+        );
+        assert_eq!(econ.node_count(), graph.node_count());
+        assert_eq!(flows.node_count(), graph.node_count());
+    }
+}

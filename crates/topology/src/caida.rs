@@ -31,20 +31,24 @@
 //! # Ok::<(), pan_topology::TopologyError>(())
 //! ```
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::{AsGraph, AsGraphBuilder, Asn, Relationship, Result, TopologyError};
 
 /// Parses a CAIDA serial-2 document into an [`AsGraph`].
 ///
-/// Empty lines and lines starting with `#` are skipped. Duplicate identical
-/// rows are tolerated (CAIDA snapshots occasionally contain them).
+/// Empty lines and lines starting with `#` are skipped. Each unordered AS
+/// pair may appear at most once: a second row for the same pair — whether a
+/// verbatim duplicate or a conflicting relationship — is rejected with the
+/// line numbers of both occurrences, so corrupted or concatenated snapshots
+/// fail loudly instead of silently collapsing rows.
 ///
 /// # Errors
 ///
-/// Returns [`TopologyError::MalformedCaidaLine`] for syntactically invalid
-/// rows, and propagates builder errors ([`TopologyError::SelfLoop`],
-/// [`TopologyError::ConflictingLink`], [`TopologyError::ProviderCycle`]).
+/// Returns [`TopologyError::MalformedCaidaLine`] for syntactically invalid,
+/// duplicate, or conflicting rows (self-loops included), and propagates
+/// whole-document builder errors ([`TopologyError::ProviderCycle`]).
 pub fn parse(text: &str) -> Result<AsGraph> {
     let mut builder = AsGraphBuilder::new();
     parse_into(text, &mut builder)?;
@@ -54,23 +58,45 @@ pub fn parse(text: &str) -> Result<AsGraph> {
 /// Parses a CAIDA serial-2 document into an existing builder.
 ///
 /// Useful for merging several snapshots before a single
-/// [`AsGraphBuilder::build`].
+/// [`AsGraphBuilder::build`]. Duplicate detection is per *document*: a pair
+/// repeated across two `parse_into` calls on the same builder is caught by
+/// the builder's own conflict check, without line numbers.
 ///
 /// # Errors
 ///
 /// Same as [`parse`].
 pub fn parse_into(text: &str, builder: &mut AsGraphBuilder) -> Result<()> {
+    // Unordered pair -> (first line number, relationship as written, ordered
+    // endpoints as written) so a repeat can name the earlier row exactly.
+    let mut seen: HashMap<(Asn, Asn), (usize, Asn, Relationship)> = HashMap::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (a, b, rel) = parse_line(line).map_err(|reason| TopologyError::MalformedCaidaLine {
+        let malformed = |reason: String| TopologyError::MalformedCaidaLine {
             line: lineno + 1,
             text: raw.to_owned(),
             reason,
-        })?;
-        builder.add_link(a, b, rel)?;
+        };
+        let (a, b, rel) = parse_line(line).map_err(malformed)?;
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&(first_line, first_a, first_rel)) = seen.get(&key) {
+            // Peering rows are undirected, so a reversed repeat is still a
+            // duplicate; reversed transit rows swap provider and customer
+            // and therefore conflict.
+            let same_row = first_rel == rel && (first_a == a || rel == Relationship::PeerToPeer);
+            let reason = if same_row {
+                format!("duplicate of line {first_line}")
+            } else {
+                format!("conflicts with line {first_line} ({first_rel})")
+            };
+            return Err(malformed(reason));
+        }
+        seen.insert(key, (lineno + 1, a, rel));
+        builder
+            .add_link(a, b, rel)
+            .map_err(|e| malformed(e.to_string()))?;
     }
     Ok(())
 }
@@ -164,14 +190,71 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_rows_are_tolerated() {
-        let g = parse("1|2|-1\n1|2|-1\n").unwrap();
-        assert_eq!(g.link_count(), 1);
+    fn duplicate_rows_are_rejected_with_both_line_numbers() {
+        let err = parse("# header\n1|2|-1\n1|2|-1\n").unwrap_err();
+        match err {
+            TopologyError::MalformedCaidaLine { line, reason, .. } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("duplicate of line 2"), "reason: {reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
-    fn conflicting_rows_are_rejected() {
-        assert!(parse("1|2|-1\n1|2|0\n").is_err());
+    fn conflicting_rows_are_rejected_with_both_line_numbers() {
+        // A transit row written in the reverse direction is a conflict
+        // too: 2 cannot be both provider and customer of 1.
+        for doc in ["1|2|-1\n1|2|0\n", "1|2|-1\n2|1|-1\n"] {
+            let err = parse(doc).unwrap_err();
+            match err {
+                TopologyError::MalformedCaidaLine { line, reason, .. } => {
+                    assert_eq!(line, 2, "doc: {doc:?}");
+                    assert!(
+                        reason.contains("conflicts with line 1"),
+                        "doc: {doc:?}, reason: {reason}"
+                    );
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_are_rejected_with_line_numbers() {
+        let err = parse("1|2|0\n3|3|-1\n").unwrap_err();
+        match err {
+            TopologyError::MalformedCaidaLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_input_table() {
+        // (document, 1-based line of the bad row, substring of the reason)
+        let table: &[(&str, usize, &str)] = &[
+            ("1|2\n", 1, "missing relationship"),
+            ("|2|0\n", 1, "bad AS number"),
+            ("1||0\n", 1, "bad AS number"),
+            ("1|2|\n", 1, "bad relationship code"),
+            ("1|2|2\n", 1, "unknown relationship code"),
+            ("1|2|0\n-3|4|-1\n", 2, "bad AS number"),
+            ("1|2|0\n1|2|0|bgp\n", 2, "duplicate of line 1"),
+            ("1|2|0\n2|1|0\n", 2, "duplicate of line 1"),
+            ("1|2|-1\n3|4|0\n2|1|0\n", 3, "conflicts with line 1"),
+        ];
+        for &(doc, want_line, want_reason) in table {
+            match parse(doc) {
+                Err(TopologyError::MalformedCaidaLine { line, reason, .. }) => {
+                    assert_eq!(line, want_line, "doc: {doc:?}");
+                    assert!(
+                        reason.contains(want_reason),
+                        "doc: {doc:?}, reason: {reason}"
+                    );
+                }
+                other => panic!("doc {doc:?}: expected malformed-line error, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -187,5 +270,15 @@ mod tests {
                 assert_eq!(back.neighbor_kind(x, y), g.neighbor_kind(x, y));
             }
         }
+    }
+
+    #[test]
+    fn parse_to_string_parse_is_byte_stable() {
+        // One full cycle canonicalizes (link order, `synthetic` source
+        // column); a second cycle must reproduce the text byte-for-byte.
+        let doc = "# snapshot\n7|9|0|bgp\n1|7|-1|bgp\n1|9|-1\n9|12|-1|mlp|x\n";
+        let once = to_string(&parse(doc).unwrap());
+        let twice = to_string(&parse(&once).unwrap());
+        assert_eq!(once, twice);
     }
 }

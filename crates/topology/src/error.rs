@@ -72,6 +72,32 @@ pub enum TopologyError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A snapshot file could not be read from disk.
+    ///
+    /// Stored as strings (not [`std::io::Error`]) so the error stays
+    /// `Clone + PartialEq` like the rest of this enum.
+    Io {
+        /// Path of the file the operation touched.
+        path: String,
+        /// Human-readable reason from the underlying I/O error.
+        reason: String,
+    },
+    /// A `asn|lat|lon` geolocation sidecar line could not be parsed.
+    MalformedGeoLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        text: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A snapshot directory was missing, empty, or structurally invalid.
+    InvalidSnapshot {
+        /// Path of the offending directory or file.
+        path: String,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -109,6 +135,15 @@ impl fmt::Display for TopologyError {
             TopologyError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),
             TopologyError::CorruptWire { reason } => {
                 write!(f, "corrupt serialized graph: {reason}")
+            }
+            TopologyError::Io { path, reason } => {
+                write!(f, "cannot read {path}: {reason}")
+            }
+            TopologyError::MalformedGeoLine { line, text, reason } => {
+                write!(f, "malformed geolocation line {line} ({reason}): {text:?}")
+            }
+            TopologyError::InvalidSnapshot { path, reason } => {
+                write!(f, "invalid snapshot {path}: {reason}")
             }
         }
     }

@@ -17,6 +17,9 @@
 //! - [`AsGraphBuilder`]: a validating builder for [`AsGraph`].
 //! - [`caida`]: a parser and writer for the CAIDA AS-relationship
 //!   *serial-2* text format, so real CAIDA snapshots can be loaded directly.
+//! - [`snapshot`]: snapshot-directory loading — relationships with a
+//!   serialized-graph cache, the `asn|lat|lon` geolocation sidecar, and
+//!   snapshot enumeration for longitudinal runs.
 //! - [`geo`]: geographic annotations (AS centroids and interconnection
 //!   facilities) and great-circle distances, used by the paper's
 //!   geodistance analysis (§VI-B).
@@ -61,6 +64,7 @@ pub mod caida;
 pub mod fixtures;
 pub mod geo;
 pub mod path;
+pub mod snapshot;
 
 pub use asn::Asn;
 pub use builder::AsGraphBuilder;
