@@ -20,7 +20,10 @@
 //! - `--compare-engines`: run the trajectory under both engines,
 //!   assert equality, and record per-round timings of each;
 //! - `--bench-out <path>`: write the round-by-round trajectory as a JSON
-//!   record (`BENCH_evolution.json`).
+//!   record (`BENCH_evolution.json`);
+//! - `--metrics-out <path>`: enable engine-wide telemetry and write the
+//!   final registry snapshot (per-round phase breakdown, cache hit
+//!   rates, pool accounting) as JSON.
 //!
 //! Timings (and the engine note) go to **stderr** so stdout stays
 //! byte-identical at any `--threads` value and either `--engine` — the
@@ -32,7 +35,7 @@ use serde::Serialize;
 
 use pan_bench::{
     at_market_scale, evolution_config, market_state, print_header, CountingAllocator, MemoryReport,
-    ReportSink, ScenarioSpec,
+    MetricsSink, ReportSink, ScenarioSpec,
 };
 use pan_core::dynamics::{evolve_with_engine, Engine, EvolutionReport};
 
@@ -150,6 +153,7 @@ fn print_report(report: &EvolutionReport) {
 fn main() {
     let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
     let sink = ReportSink::from_spec(&spec, &mut rest);
+    let metrics = MetricsSink::from_args(&mut rest);
     let mut engine = Engine::Full;
     let mut compare = false;
     let mut extras = Vec::new();
@@ -262,6 +266,7 @@ fn main() {
             memory: MemoryReport::capture(),
             report: full,
         });
+        metrics.write();
         return;
     }
 
@@ -296,4 +301,5 @@ fn main() {
         memory: MemoryReport::capture(),
         report: report.clone(),
     });
+    metrics.write();
 }

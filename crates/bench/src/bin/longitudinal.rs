@@ -17,8 +17,11 @@
 //! the market, not the method. Plus:
 //!
 //! - `--bench-out <path>`: write the record `BENCH_longitudinal.json`
-//!   commits — per-year build/evolve timings and cache temperature on
-//!   top of the deterministic report.
+//!   commits — per-year build/evolve timings, allocation counts, peak
+//!   RSS, and cache temperature on top of the deterministic report;
+//! - `--metrics-out <path>`: enable engine-wide telemetry and write the
+//!   final registry snapshot (snapshot parse/cache-load timings, phase
+//!   breakdowns) as JSON.
 //!
 //! Timings and cache temperature go to **stderr**: stdout (and the
 //! `--json` dump) is byte-identical at any `--threads` value and cache
@@ -30,10 +33,18 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use pan_bench::{evolution_config, market_tier, print_header, ReportSink, ScenarioSpec};
+use pan_bench::{
+    evolution_config, market_tier, print_header, CountingAllocator, MemoryReport, MetricsSink,
+    ReportSink, ScenarioSpec,
+};
 use pan_core::dynamics::{evolve, MarketState};
 use pan_datasets::MarketSource;
 use pan_topology::snapshot;
+
+/// Count every heap allocation so the per-year memory sections can
+/// distinguish build-heavy years from evolve-heavy ones.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Deterministic per-snapshot summary (no wall-clock, no cache state).
 #[derive(Debug, Clone, Serialize)]
@@ -70,13 +81,16 @@ struct LongitudinalReport {
     diffs: Vec<YearDiff>,
 }
 
-/// Wall-clock and cache-state facts, kept out of stdout.
+/// Wall-clock, cache-state, and memory facts, kept out of stdout.
 #[derive(Debug, Serialize)]
 struct YearTiming {
     snapshot: String,
     cache_warm: bool,
     build_seconds: f64,
     evolve_seconds: f64,
+    /// Cumulative allocation counters and peak RSS as of this year's
+    /// finish — consecutive records subtract to per-year figures.
+    memory: MemoryReport,
 }
 
 /// The `--bench-out` record (`BENCH_longitudinal.json`).
@@ -96,6 +110,7 @@ fn sorted_pair(x: u32, y: u32) -> (u32, u32) {
 fn main() {
     let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
     let sink = ReportSink::from_spec(&spec, &mut rest);
+    let metrics = MetricsSink::from_args(&mut rest);
     ScenarioSpec::expect_no_extras(&rest);
     assert!(
         !spec.source.caida.is_empty(),
@@ -174,6 +189,7 @@ fn main() {
             cache_warm,
             build_seconds,
             evolve_seconds,
+            memory: MemoryReport::capture(),
         });
         adopted_sets.push(adopted);
     }
@@ -230,4 +246,5 @@ fn main() {
         timings,
         report,
     });
+    metrics.write();
 }

@@ -25,17 +25,22 @@
 //!   step with (default `full`; replies are byte-identical either way);
 //! - `--max-markets <n>`: session-table cap — further `load`s answer
 //!   the `market_limit` error code (default 8);
-//! - `--bench-out <path>`: write a service summary record on shutdown.
+//! - `--slow-ms <ms>`: only stderr-log requests at least this slow
+//!   (default 1 ms; `0` logs every request);
+//! - `--bench-out <path>`: write a service summary record on shutdown;
+//! - `--metrics-out <path>`: also dump the final telemetry registry
+//!   snapshot on shutdown (the live registry is always queryable via
+//!   the `metrics` verb while the server runs).
 //!
 //! The listen address and all timings go to **stderr**; protocol replies
 //! are deterministic at any `--threads` value (the CI `serve-smoke` job
 //! diffs streamed `step` rounds against an `evolve` trajectory).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Serialize, Value};
 
-use pan_bench::{load_market_request, ReportSink, ScenarioSpec};
+use pan_bench::{load_market_request, MetricsSink, ReportSink, ScenarioSpec};
 use pan_serve::{LoadedMarket, MarketServer};
 
 #[derive(Debug, Serialize)]
@@ -49,9 +54,11 @@ struct BenchRecord {
 fn main() {
     let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
     let sink = ReportSink::from_spec(&spec, &mut rest);
+    let metrics = MetricsSink::from_args(&mut rest);
     let mut addr = "127.0.0.1:4780".to_owned();
     let mut engine = pan_core::Engine::Full;
     let mut max_markets = pan_serve::DEFAULT_MAX_MARKETS;
+    let mut slow_ms = 1.0f64;
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -74,10 +81,21 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|e| panic!("--max-markets: {e}"));
             }
+            "--slow-ms" => {
+                let value = rest
+                    .next()
+                    .unwrap_or_else(|| panic!("--slow-ms requires a value"));
+                slow_ms = value.parse().unwrap_or_else(|e| panic!("--slow-ms: {e}"));
+                assert!(
+                    slow_ms >= 0.0 && slow_ms.is_finite(),
+                    "--slow-ms must be a non-negative number of milliseconds"
+                );
+            }
             other => {
                 panic!(
                     "unknown flag {other:?}; serve adds: --addr <host:port>, \
-                     --engine <full|incremental>, --max-markets <n>, --bench-out <path>"
+                     --engine <full|incremental>, --max-markets <n>, --slow-ms <ms>, \
+                     --bench-out <path>, --metrics-out <path>"
                 )
             }
         }
@@ -86,7 +104,8 @@ fn main() {
     let server = MarketServer::bind(&addr, spec.threads)
         .unwrap_or_else(|e| panic!("cannot bind {addr:?}: {e}"))
         .with_engine(engine)
-        .with_max_markets(max_markets);
+        .with_max_markets(max_markets)
+        .with_slow_log(Duration::from_secs_f64(slow_ms / 1e3));
     let local = server.local_addr().expect("bound sockets have an address");
     eprintln!(
         "# serving on {local} at {} threads, {engine} engine, up to {max_markets} markets \
@@ -113,4 +132,5 @@ fn main() {
         connections: summary.connections,
         requests: summary.requests,
     });
+    metrics.write();
 }

@@ -32,7 +32,9 @@
 //! - `--clients <n>`: concurrent advise connections (default 4);
 //! - `--requests <n>`: advises per client per concurrent phase
 //!   (default 100 quick / 400 full);
-//! - `--quit`: shut the server down when done.
+//! - `--quit`: shut the server down when done;
+//! - `--metrics-out <path>`: write the client-side latency histograms
+//!   (`serve_bench.phase.*_us`) as a telemetry snapshot.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -40,7 +42,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Serialize, Value};
 
-use pan_bench::{ReportSink, ScenarioSpec};
+use pan_bench::{MetricsSink, ReportSink, ScenarioSpec};
 
 struct Options {
     addr: String,
@@ -150,13 +152,25 @@ struct PhaseStats {
 
 impl PhaseStats {
     /// Aggregates per-request round-trip latencies measured over
-    /// `seconds` of wall clock.
-    fn from_latencies(mut millis: Vec<f64>, seconds: f64) -> PhaseStats {
+    /// `seconds` of wall clock, and mirrors them into the (opt-in)
+    /// telemetry registry as `serve_bench.phase.<name>_us`.
+    fn from_latencies(name: &str, mut millis: Vec<f64>, seconds: f64) -> PhaseStats {
         assert!(!millis.is_empty(), "a phase must measure something");
+        let sink = pan_telemetry::histogram(&format!("serve_bench.phase.{name}_us"));
+        if sink.is_live() {
+            for &ms in &millis {
+                sink.record((ms * 1e3) as u64);
+            }
+        }
         millis.sort_by(f64::total_cmp);
+        // Nearest-rank on the sorted sample: the smallest observation
+        // covering at least `p` of the distribution. The previous
+        // `round(p * (len-1))` index math could pick an observation
+        // *below* the requested rank, under-reporting p50/p99 on the
+        // small sequential phases.
         let percentile = |p: f64| {
-            let idx = (p * (millis.len() - 1) as f64).round() as usize;
-            millis[idx]
+            let rank = (p * millis.len() as f64).ceil().max(1.0) as usize;
+            millis[rank.min(millis.len()) - 1]
         };
         PhaseStats {
             requests: millis.len(),
@@ -250,6 +264,7 @@ fn concurrent_advises(
 fn main() {
     let (spec, mut rest) = ScenarioSpec::from_args(std::env::args());
     let sink = ReportSink::from_spec(&spec, &mut rest);
+    let metrics = MetricsSink::from_args(&mut rest);
     let mut options = Options {
         addr: "127.0.0.1:4780".to_owned(),
         markets: 2,
@@ -277,7 +292,7 @@ fn main() {
             "--quit" => options.quit = true,
             other => panic!(
                 "unknown flag {other:?}; serve-bench adds: --addr <host:port>, --markets <n>, \
-                 --clients <n>, --requests <n>, --quit, --bench-out <path>"
+                 --clients <n>, --requests <n>, --quit, --bench-out <path>, --metrics-out <path>"
             ),
         }
     }
@@ -312,7 +327,7 @@ fn main() {
         cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
         assert!(!bool_field(&reply, "cached"), "cold advise hit the cache");
     }
-    let cold = PhaseStats::from_latencies(cold_ms, t0.elapsed().as_secs_f64());
+    let cold = PhaseStats::from_latencies("cold", cold_ms, t0.elapsed().as_secs_f64());
     eprintln!(
         "# cold: {} advises, p50 {:.3} ms, p99 {:.3} ms",
         cold.requests, cold.p50_ms, cold.p99_ms
@@ -332,7 +347,7 @@ fn main() {
             assert!(bool_field(&reply, "cached"), "warm advise missed the cache");
         }
     }
-    let warm = PhaseStats::from_latencies(warm_ms, t0.elapsed().as_secs_f64());
+    let warm = PhaseStats::from_latencies("warm", warm_ms, t0.elapsed().as_secs_f64());
     eprintln!(
         "# warm: {} advises, p50 {:.3} ms, p99 {:.3} ms ({:.1}x over cold)",
         warm.requests,
@@ -346,7 +361,7 @@ fn main() {
     // single owner thread; the warm phase above is the clean number).
     let (concurrent_ms, concurrent_secs) =
         concurrent_advises(addr, &pairs, options.clients, options.requests);
-    let concurrent = PhaseStats::from_latencies(concurrent_ms, concurrent_secs);
+    let concurrent = PhaseStats::from_latencies("concurrent", concurrent_ms, concurrent_secs);
     eprintln!(
         "# concurrent: {} advises over {} clients, {:.0} qps, p50 {:.3} ms, p99 {:.3} ms",
         concurrent.requests, options.clients, concurrent.qps, concurrent.p50_ms, concurrent.p99_ms
@@ -367,7 +382,7 @@ fn main() {
         stepper.join().expect("the stepper joins");
         result
     });
-    let mixed = PhaseStats::from_latencies(mixed_ms, mixed_secs);
+    let mixed = PhaseStats::from_latencies("mixed", mixed_ms, mixed_secs);
     eprintln!(
         "# mixed: {} advises + {} steps, {:.0} qps, p50 {:.3} ms, p99 {:.3} ms",
         mixed.requests,
@@ -422,4 +437,30 @@ fn main() {
         record.cache.hit_ratio
     );
     sink.write_record(&record);
+    metrics.write();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::PhaseStats;
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_sample() {
+        // Ten samples 1..=10 ms: nearest-rank p50 is the 5th smallest
+        // (5.0) — the old round(p·(len-1)) index picked the 6th — and
+        // p99 is the ⌈9.9⌉ = 10th (the maximum).
+        let millis: Vec<f64> = (1..=10).map(f64::from).collect();
+        let stats = PhaseStats::from_latencies("test", millis, 1.0);
+        assert_eq!(stats.p50_ms, 5.0);
+        assert_eq!(stats.p99_ms, 10.0);
+        // Order of arrival must not matter.
+        let shuffled = vec![9.0, 2.0, 10.0, 4.0, 6.0, 8.0, 1.0, 3.0, 7.0, 5.0];
+        let stats = PhaseStats::from_latencies("test", shuffled, 1.0);
+        assert_eq!(stats.p50_ms, 5.0);
+        assert_eq!(stats.p99_ms, 10.0);
+        // A single observation is every percentile.
+        let one = PhaseStats::from_latencies("test", vec![3.0], 1.0);
+        assert_eq!(one.p50_ms, 3.0);
+        assert_eq!(one.p99_ms, 3.0);
+    }
 }

@@ -373,6 +373,63 @@ impl ReportSink {
     }
 }
 
+/// Unified `--metrics-out <path>` handling for the bench binaries: when
+/// the flag is present the process-wide [`pan_telemetry`] registry is
+/// enabled up front (so every instrumented layer starts recording) and
+/// [`write`](Self::write) dumps its final snapshot as JSON with a
+/// stderr note. Without the flag every telemetry call in the engines
+/// stays a disabled no-op and stdout bytes are untouched either way —
+/// metrics never reach a deterministic output channel.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    metrics_out: Option<String>,
+}
+
+impl MetricsSink {
+    /// Extracts (and removes) `--metrics-out <path>` from the
+    /// binary-specific leftover arguments, enabling the global
+    /// telemetry registry when present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--metrics-out` is given without a value.
+    #[must_use]
+    pub fn from_args(rest: &mut Vec<String>) -> MetricsSink {
+        let mut metrics_out = None;
+        if let Some(at) = rest.iter().position(|arg| arg == "--metrics-out") {
+            rest.remove(at);
+            if at >= rest.len() {
+                panic!("--metrics-out requires a value");
+            }
+            metrics_out = Some(rest.remove(at));
+        }
+        if metrics_out.is_some() {
+            pan_telemetry::enable();
+        }
+        MetricsSink { metrics_out }
+    }
+
+    /// `true` when `--metrics-out` was given.
+    #[must_use]
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics_out.is_some()
+    }
+
+    /// Writes the global registry snapshot when `--metrics-out` was
+    /// given, with a stderr note (stdout stays deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written.
+    pub fn write(&self) {
+        if let Some(path) = &self.metrics_out {
+            let json = pan_telemetry::global().snapshot().to_json();
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+            eprintln!("# wrote telemetry snapshot to {path}");
+        }
+    }
+}
+
 /// Sample size for per-AS analyses (paper: 500), honoring `--sample`.
 #[must_use]
 pub fn sample_size(spec: &ScenarioSpec) -> usize {
@@ -554,6 +611,23 @@ mod tests {
         let mut rest = Vec::new();
         let sink = ReportSink::from_spec(&spec, &mut rest);
         assert!(!sink.wants_record());
+    }
+
+    #[test]
+    fn metrics_sink_extracts_metrics_out_and_enables_telemetry() {
+        let mut rest = vec![
+            "--threads".to_owned(),
+            "2".to_owned(),
+            "--metrics-out".to_owned(),
+            "metrics.json".to_owned(),
+        ];
+        let sink = MetricsSink::from_args(&mut rest);
+        assert!(sink.wants_metrics());
+        assert!(pan_telemetry::is_enabled());
+        assert_eq!(rest, vec!["--threads".to_owned(), "2".to_owned()]);
+        let mut rest = Vec::new();
+        let sink = MetricsSink::from_args(&mut rest);
+        assert!(!sink.wants_metrics());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Telemetry must be a pure observer: enabling it (`--metrics-out`)
+//! must leave `evolve`'s stdout byte-identical at every thread count,
+//! and the written snapshot must actually carry the per-round phase
+//! breakdown — the tentpole contract of the observability layer.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_evolve(args: &[&str]) -> std::process::Output {
+    let output = Command::new(env!("CARGO_BIN_EXE_evolve"))
+        .args(args)
+        .output()
+        .expect("evolve runs");
+    assert!(
+        output.status.success(),
+        "evolve {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pan-telemetry-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn metrics_collection_leaves_stdout_byte_identical() {
+    let base = ["--quick", "--ases", "300", "--json"];
+    let metrics_path = scratch("t1.json");
+    let metrics = metrics_path.to_str().unwrap();
+
+    // Thread count 1: with vs without telemetry.
+    let plain_t1 = run_evolve(&[&base[..], &["--threads", "1"]].concat());
+    let metered_t1 =
+        run_evolve(&[&base[..], &["--threads", "1", "--metrics-out", metrics]].concat());
+    assert_eq!(
+        String::from_utf8_lossy(&plain_t1.stdout),
+        String::from_utf8_lossy(&metered_t1.stdout),
+        "telemetry changed stdout at 1 thread"
+    );
+
+    // Thread count 4: telemetry on, still identical to the 1-thread run.
+    let metrics4_path = scratch("t4.json");
+    let metered_t4 = run_evolve(
+        &[
+            &base[..],
+            &[
+                "--threads",
+                "4",
+                "--metrics-out",
+                metrics4_path.to_str().unwrap(),
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&metered_t1.stdout),
+        String::from_utf8_lossy(&metered_t4.stdout),
+        "telemetry broke thread-count determinism"
+    );
+
+    // The snapshot itself must hold the phase breakdown the run traced.
+    let snapshot = std::fs::read_to_string(&metrics_path).expect("snapshot written");
+    for key in [
+        "core.phase.enumerate_ns",
+        "core.phase.evaluate_ns",
+        "core.phase.adopt_ns",
+        "core.round_ns",
+        "runtime.worker.busy_ns",
+    ] {
+        assert!(snapshot.contains(key), "snapshot lacks {key}:\n{snapshot}");
+    }
+
+    std::fs::remove_file(&metrics_path).ok();
+    std::fs::remove_file(&metrics4_path).ok();
+}

@@ -730,6 +730,7 @@ impl MarketState {
         }
         if price_shocks > 0 {
             self.pricing_epoch = self.pricing_epoch.wrapping_add(1);
+            pan_telemetry::counter("econ.pricing.epoch_bumps").inc();
         }
         // Pass 3: peering-link failures.
         let mut failed_links = 0usize;
@@ -1106,6 +1107,7 @@ fn ensure_full<'a>(
     };
     if stale {
         let carried = cache.take().unwrap_or_default();
+        pan_telemetry::counter("core.cache.full_engine.rebuilds").inc();
         *cache = Some(FullEngineCache {
             token,
             graph_version,
@@ -1121,8 +1123,10 @@ fn ensure_full<'a>(
         if c.pricing_epoch != pricing_epoch {
             c.pricing_epoch = pricing_epoch;
             c.transit.iter_mut().for_each(|t| *t = None);
+            pan_telemetry::counter("core.cache.full_engine.pricing_drops").inc();
         } else {
             c.reuses += 1;
+            pan_telemetry::counter("core.cache.full_engine.reuses").inc();
         }
     }
     cache.as_mut().expect("just ensured")
@@ -1258,7 +1262,10 @@ impl EvolutionDriver {
         // Candidate enumeration is engine-independent and cached across
         // rounds; it re-runs only when the peering graph (or the state
         // identity) changed.
-        refresh_enumeration(&mut self.enumeration, state, config.discovery.policy);
+        {
+            let _span = pan_telemetry::histogram("core.phase.enumerate_ns").start();
+            refresh_enumeration(&mut self.enumeration, state, config.discovery.policy);
+        }
         let pairs = &self
             .enumeration
             .as_ref()
@@ -1291,12 +1298,14 @@ impl EvolutionDriver {
         // perturbs — a resident market can always be stepped later, so
         // there is no "unobservable" closing shock.
         let perturbation = if config.shock > 0.0 {
+            let _span = pan_telemetry::histogram("core.phase.shock_ns").start();
             state.perturb(config.shock, &mut pan_runtime::coordinator_rng(round_seed))?
         } else {
             PerturbationRecord::default()
         };
 
         self.rounds_done += 1;
+        pan_telemetry::histogram("core.round_ns").record_duration(started.elapsed());
         Ok(RoundOutcome {
             record: RoundRecord {
                 round,
@@ -1388,6 +1397,7 @@ fn full_round(
                     .filter(|&index| cache.transit[index as usize].is_none()),
             );
             if !missing.is_empty() {
+                let _span = pan_telemetry::histogram("core.phase.derive_transit_ns").start();
                 let derived = round_sweep.map_with_tiled(
                     &missing,
                     CANDIDATE_TILE,
@@ -1400,6 +1410,7 @@ fn full_round(
             }
             cache.missing = missing;
             let transit = &cache.transit;
+            let _span = pan_telemetry::histogram("core.phase.evaluate_ns").start();
             round_sweep.map_with_tiled(
                 &filtered,
                 CANDIDATE_TILE,
@@ -1418,6 +1429,7 @@ fn full_round(
                 },
             )
         } else {
+            let _span = pan_telemetry::histogram("core.phase.evaluate_ns").start();
             round_sweep.map_with_tiled(
                 &filtered,
                 CANDIDATE_TILE,
@@ -1449,6 +1461,7 @@ fn full_round(
     // within a round and makes the round's adoptions (nearly)
     // independent of adoption order. Outcomes are ranked by surplus,
     // so the first one below the threshold ends the scan.
+    let _adopt_span = pan_telemetry::histogram("core.phase.adopt_ns").start();
     let mut busy: HashSet<u32> = HashSet::new();
     let mut agreements = Vec::new();
     let mut adopted_surplus = 0.0;

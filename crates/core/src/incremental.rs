@@ -104,9 +104,11 @@ pub(crate) fn refresh_enumeration(
     if let Some(cached) = cache {
         if cached.token == token && cached.graph_version == graph_version {
             cached.reuses += 1;
+            pan_telemetry::counter("core.cache.enumeration.reuses").inc();
             return;
         }
     }
+    pan_telemetry::counter("core.cache.enumeration.rebuilds").inc();
     let (rebuilds, reuses) = cache.as_ref().map_or((0, 0), |c| (c.rebuilds, c.reuses));
     *cache = Some(EnumerationCache {
         token,
@@ -270,6 +272,10 @@ impl IncrementalState {
                 dirty_rows[row as usize] = true;
             }
         }
+        pan_telemetry::histogram("core.incremental.dirty_rows").record(match &drained {
+            DirtyDrain::All => state.graph().node_count() as u64,
+            DirtyDrain::Rows(rows) => rows.len() as u64,
+        });
 
         // 2. This round's filtered candidate view, in enumeration order,
         // and the subset whose cached outcome is stale.
@@ -307,19 +313,24 @@ impl IncrementalState {
             self.pricing_epoch = state.pricing_epoch();
             self.transit.iter_mut().for_each(|t| *t = None);
         }
+        pan_telemetry::histogram("core.incremental.stale_candidates").record(stale.len() as u64);
         let evaluated = if stale.is_empty() {
             Vec::new()
         } else {
             let ctx = BatchContext::new(state.graph(), state.econ(), state.flows())?;
             let programs =
                 NodePrograms::build(&ctx, discovery.reroute_share, discovery.attract_share)?;
-            for &index in &stale {
-                let slot = &mut self.transit[index as usize];
-                if slot.is_none() {
-                    *slot = Some(derive_pair_transit(&ctx, pairs[index as usize]));
+            {
+                let _span = pan_telemetry::histogram("core.phase.derive_transit_ns").start();
+                for &index in &stale {
+                    let slot = &mut self.transit[index as usize];
+                    if slot.is_none() {
+                        *slot = Some(derive_pair_transit(&ctx, pairs[index as usize]));
+                    }
                 }
             }
             let transit = &self.transit;
+            let _span = pan_telemetry::histogram("core.phase.evaluate_ns").start();
             round_sweep.map_with_tiled(
                 &stale,
                 CANDIDATE_TILE,
@@ -387,15 +398,18 @@ impl IncrementalState {
         // 6. Adoption scan: drain the heap best-first, mirroring the
         // full engine's sorted scan (see the module docs for why each
         // skip/break is exact).
+        let _adopt_span = pan_telemetry::histogram("core.phase.adopt_ns").start();
         let mut busy: HashSet<u32> = HashSet::new();
         let mut agreements = Vec::new();
         let mut adopted_surplus = 0.0f64;
         let mut new_links = 0usize;
+        let mut heap_pops = 0u64;
         let mut deferred: Vec<HeapEntry> = Vec::new();
         while agreements.len() < config.adopt_top {
             let Some(entry) = self.heap.pop() else {
                 break;
             };
+            heap_pops += 1;
             let slot = &self.slots[entry.index as usize];
             if entry.generation != slot.generation {
                 continue; // superseded by a re-evaluation: drop lazily
@@ -434,6 +448,7 @@ impl IncrementalState {
             }
         }
         self.heap.extend(deferred);
+        pan_telemetry::counter("core.incremental.heap_pops").add(heap_pops);
 
         // 7. Compact once stale entries dominate the heap: rebuild from
         // the live slots. Determinism is unaffected — the heap's pop

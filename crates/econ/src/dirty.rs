@@ -112,10 +112,12 @@ impl DirtyRows {
     pub fn drain(&mut self) -> DirtyDrain {
         let drained = if self.all {
             self.all = false;
+            pan_telemetry::counter("econ.dirty.drain_all").inc();
             DirtyDrain::All
         } else {
             let mut rows = std::mem::take(&mut self.marked);
             rows.sort_unstable();
+            pan_telemetry::histogram("econ.dirty.drain_rows").record(rows.len() as u64);
             DirtyDrain::Rows(rows)
         };
         self.advance_epoch();

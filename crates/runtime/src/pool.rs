@@ -11,6 +11,7 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A fixed-width pool of worker threads for deterministic parallel maps.
 ///
@@ -115,31 +116,57 @@ impl ThreadPool {
         let tile = tile.max(1);
         let tiles = count.div_ceil(tile);
         let workers = self.threads.min(tiles);
+        // Handles acquired once per dispatch (noop until telemetry is
+        // enabled); workers accumulate locally and flush once on exit,
+        // so the per-item loop stays instrumentation-free.
+        let busy_ns = pan_telemetry::histogram("runtime.worker.busy_ns");
+        let enabled = busy_ns.is_live();
         if workers == 1 {
             // Inline fast path: no spawn, no synchronization. Identical
             // results by construction since `f` sees the same (state,
             // index) pairs a worker would.
+            let _span = busy_ns.start();
             let mut state = init();
             return (0..count).map(|i| f(&mut state, i)).collect();
         }
 
+        let start_delay_ns = pan_telemetry::histogram("runtime.worker.start_delay_ns");
+        let tiles_claimed = pan_telemetry::counter("runtime.tiles.claimed");
+        let cursor_overshoot = pan_telemetry::counter("runtime.cursor.overshoot");
+        let dispatched = enabled.then(Instant::now);
         let cursor = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(count));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    // Queue wait: dispatch-to-first-instruction latency.
+                    if let Some(t0) = dispatched {
+                        start_delay_ns.record_duration(t0.elapsed());
+                    }
+                    let begun = enabled.then(Instant::now);
+                    let mut claimed_tiles = 0u64;
+                    let mut overshoots = 0u64;
                     let mut state = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let claimed = cursor.fetch_add(1, Ordering::Relaxed);
                         if claimed >= tiles {
+                            // A cursor bump past the end is a wasted
+                            // fetch_add — the drain-contention signal.
+                            overshoots += 1;
                             break;
                         }
+                        claimed_tiles += 1;
                         let start = claimed * tile;
                         let end = (start + tile).min(count);
                         for index in start..end {
                             local.push((index, f(&mut state, index)));
                         }
+                    }
+                    if let Some(begun) = begun {
+                        busy_ns.record_duration(begun.elapsed());
+                        tiles_claimed.add(claimed_tiles);
+                        cursor_overshoot.add(overshoots);
                     }
                     collected
                         .lock()
@@ -325,6 +352,29 @@ mod tests {
                 "a tile was split across workers: {tile:?}"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_records_worker_activity_when_enabled() {
+        pan_telemetry::enable();
+        let pool = ThreadPool::new(4);
+        let out = pool.run_with_tiled(64, 4, || (), |(), i| i);
+        assert_eq!(out.len(), 64);
+        let snapshot = pan_telemetry::global().snapshot();
+        let busy = snapshot
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "runtime.worker.busy_ns")
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        assert!(busy >= 4, "each worker records one busy span, got {busy}");
+        let claimed = snapshot
+            .counters
+            .iter()
+            .find(|(name, _)| name == "runtime.tiles.claimed")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        assert!(claimed >= 16, "all 16 tiles were claimed, got {claimed}");
     }
 
     #[test]

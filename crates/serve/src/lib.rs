@@ -19,8 +19,10 @@
 //! - [`protocol`]: the **v2** newline-delimited JSON wire format — a
 //!   versioned envelope (`"v": 2`, optional echoed request `id`),
 //!   market-scoped verbs (`advise`, `step`, `snapshot`, `restore`,
-//!   `stats`), session-table verbs (`load`, `unload`, `list`), and
-//!   structured `{code, message}` errors ([`ErrorCode`]);
+//!   `stats`), session-table verbs (`load`, `unload`, `list`), the
+//!   process-wide `metrics` verb (the live [`pan_telemetry`] registry
+//!   plus per-market advise-cache hit rates), and structured
+//!   `{code, message}` errors ([`ErrorCode`]);
 //! - [`LoadedMarket`] + [`MarketLoader`]: the callback through which the
 //!   embedding binary defines what a synthetic market spec means
 //!   (`pan-bench`'s `serve` binary plugs in the standard synthetic
@@ -529,6 +531,76 @@ mod tests {
         assert!(line.contains(r#""ok":true"#), "{line}");
         let summary = handle.join().unwrap().unwrap();
         assert_eq!(summary.connections, 2);
+    }
+
+    /// Satellite + tentpole: the `metrics` verb answers with the live
+    /// telemetry registry (per-verb latency histograms populated by the
+    /// requests this very session made) and per-market cache hit rates,
+    /// and the process-level `stats` reply carries uptime and the
+    /// per-error-code reply counters.
+    #[test]
+    fn metrics_verb_reports_registry_and_cache_rates() {
+        let server = MarketServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.serve(&|_spec| Ok(arbitrage_market())));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut send = |line: &str| writeln!(writer, "{line}").unwrap();
+        let mut recv = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            serde_json::from_str::<Value>(line.trim()).unwrap()
+        };
+
+        send(r#"{"v":2,"verb":"load","market":{}}"#);
+        assert_ok(&recv());
+        send(r#"{"v":2,"verb":"advise","market":"m1","asn":3}"#);
+        assert_ok(&recv());
+        send(r#"{"v":2,"verb":"advise","market":"m1","asn":3}"#);
+        assert_ok(&recv());
+        // One deliberate error so the stats error table has an entry.
+        send(r#"{"v":2,"verb":"dance"}"#);
+        assert_eq!(error_code(&recv()), "unknown_verb");
+
+        // Satellite: process-level stats gained uptime and per-code
+        // error counters (this service saw exactly one unknown_verb).
+        send(r#"{"v":2,"verb":"stats"}"#);
+        let stats = recv();
+        assert_ok(&stats);
+        match field(&stats, "uptime_seconds") {
+            Value::F64(s) => assert!(*s >= 0.0, "uptime went backwards: {s}"),
+            other => panic!("uptime_seconds is not a float: {other:?}"),
+        }
+        let errors = field(&stats, "errors");
+        assert_eq!(int(errors, "unknown_verb"), 1);
+        assert_eq!(int(errors, "bad_request"), 0);
+
+        send(r#"{"v":2,"id":"m","verb":"metrics"}"#);
+        let metrics = recv();
+        assert_ok(&metrics);
+        assert_eq!(field(&metrics, "id"), &Value::Str("m".into()));
+        assert_eq!(field(&metrics, "verb"), &Value::Str("metrics".into()));
+        assert_eq!(field(&metrics, "enabled"), &Value::Bool(true));
+        // The registry is process-global, so counts are lower bounds
+        // (other servers in this test binary share it); the two advises
+        // above guarantee the verb histogram is populated.
+        let advise_ns = field(field(&metrics, "histograms"), "serve.verb.advise_ns");
+        assert!(int(advise_ns, "count") >= 2, "{advise_ns:?}");
+        assert!(int(advise_ns, "p99") >= int(advise_ns, "p50"));
+        assert!(int(field(&metrics, "counters"), "serve.advise.cache_hits") >= 1);
+        // The markets array is per-service, so it is exact: one cold
+        // advise, one warm.
+        let markets = field(&metrics, "markets").seq().unwrap();
+        assert_eq!(markets.len(), 1);
+        assert_eq!(int(&markets[0], "cache_hits"), 1);
+        assert_eq!(int(&markets[0], "cache_misses"), 1);
+        assert_eq!(field(&markets[0], "hit_rate"), &Value::F64(0.5));
+
+        send(r#"{"v":2,"verb":"quit"}"#);
+        assert_ok(&recv());
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! | `snapshot` | `market`, `path` | bytes written |
 //! | `restore` | `market`, `path` | session summary (state replaced in place) |
 //! | `stats` | `market` (optional) | per-market counters, or process totals + all sessions |
+//! | `metrics` | — | telemetry registry snapshot: per-verb latency histograms, per-market advise-cache hit rates, engine phase timings |
 //! | `quit` | — | ack, then the server shuts down |
 //!
 //! `step` additionally streams one `"round"` line per evolution round
@@ -76,6 +77,34 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code, in wire-name order — the indexing base for the
+    /// per-code reply counters the `stats` verb reports.
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownVerb,
+        ErrorCode::UnknownMarket,
+        ErrorCode::MarketLimit,
+        ErrorCode::CorruptCheckpoint,
+        ErrorCode::InvalidConfig,
+        ErrorCode::EvaluationFailed,
+        ErrorCode::IoError,
+    ];
+
+    /// The code's position in [`ALL`](Self::ALL).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::UnknownVerb => 1,
+            ErrorCode::UnknownMarket => 2,
+            ErrorCode::MarketLimit => 3,
+            ErrorCode::CorruptCheckpoint => 4,
+            ErrorCode::InvalidConfig => 5,
+            ErrorCode::EvaluationFailed => 6,
+            ErrorCode::IoError => 7,
+        }
+    }
+
     /// The wire name of the code.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -231,8 +260,31 @@ pub enum Request {
         /// The session to report on, or `None` for process totals.
         market: Option<MarketId>,
     },
+    /// The live telemetry registry snapshot plus per-market cache
+    /// counters — the observability surface of a resident server.
+    Metrics,
     /// Shut the server down cleanly.
     Quit,
+}
+
+impl Request {
+    /// The verb name of this request — the label its latency histogram
+    /// (`serve.verb.<verb>_ns`) records under.
+    #[must_use]
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Unload { .. } => "unload",
+            Request::List => "list",
+            Request::Advise { .. } => "advise",
+            Request::Step { .. } => "step",
+            Request::Snapshot { .. } => "snapshot",
+            Request::Restore { .. } => "restore",
+            Request::Stats { .. } => "stats",
+            Request::Metrics => "metrics",
+            Request::Quit => "quit",
+        }
+    }
 }
 
 /// Looks up an object field (unlike [`Value::field`], absence is `None`,
@@ -414,6 +466,10 @@ impl Request {
                 };
                 Request::Stats { market }
             }
+            "metrics" => {
+                check_fields(&value, &[])?;
+                Request::Metrics
+            }
             "quit" => {
                 check_fields(&value, &[])?;
                 Request::Quit
@@ -423,7 +479,7 @@ impl Request {
                     ErrorCode::UnknownVerb,
                     format!(
                         "unknown verb {other:?}; known: load, unload, list, advise, step, \
-                         snapshot, restore, stats, quit"
+                         snapshot, restore, stats, metrics, quit"
                     ),
                 ));
             }
@@ -587,7 +643,25 @@ mod tests {
                 market: Some(MarketId(1))
             }
         );
+        assert_eq!(parse(r#"{"v":2,"verb":"metrics"}"#), Request::Metrics);
         assert_eq!(parse(r#"{"v":2,"verb":"quit"}"#), Request::Quit);
+    }
+
+    #[test]
+    fn verbs_name_themselves() {
+        assert_eq!(parse(r#"{"v":2,"verb":"metrics"}"#).verb(), "metrics");
+        assert_eq!(parse(r#"{"v":2,"verb":"list"}"#).verb(), "list");
+        assert_eq!(
+            parse(r#"{"v":2,"verb":"stats","market":"m1"}"#).verb(),
+            "stats"
+        );
+    }
+
+    #[test]
+    fn error_codes_index_their_table() {
+        for (i, code) in ErrorCode::ALL.iter().enumerate() {
+            assert_eq!(code.index(), i, "{code}");
+        }
     }
 
     #[test]
@@ -683,6 +757,11 @@ mod tests {
             ),
             (
                 r#"{"v":2,"verb":"list","market":"m1"}"#,
+                ErrorCode::BadRequest,
+                "unknown field",
+            ),
+            (
+                r#"{"v":2,"verb":"metrics","market":"m1"}"#,
                 ErrorCode::BadRequest,
                 "unknown field",
             ),

@@ -156,6 +156,11 @@ struct Service {
     max_markets: usize,
     next_id: u64,
     markets: BTreeMap<u64, MarketSession>,
+    /// When the serving loop started — `stats`/`metrics` uptime.
+    started: Instant,
+    /// Error replies sent, indexed by [`ErrorCode::index`]. Plain
+    /// integers, not atomics: only the owner thread touches them.
+    errors: [u64; ErrorCode::ALL.len()],
 }
 
 impl Service {
@@ -217,6 +222,7 @@ pub struct MarketServer {
     pool: ThreadPool,
     engine: Engine,
     max_markets: usize,
+    slow_log: Duration,
 }
 
 /// Default session-table cap; override with
@@ -361,6 +367,7 @@ impl MarketServer {
             pool: ThreadPool::new(threads),
             engine: Engine::Full,
             max_markets: DEFAULT_MAX_MARKETS,
+            slow_log: LOG_THRESHOLD,
         })
     }
 
@@ -383,6 +390,17 @@ impl MarketServer {
         self
     }
 
+    /// Only stderr-log requests at least this slow (default
+    /// `LOG_THRESHOLD`, 1 ms); the `serve` binary exposes it as
+    /// `--slow-ms`. Raising it silences the log on machines where even
+    /// cached replies cross the default; `Duration::ZERO` logs every
+    /// request.
+    #[must_use]
+    pub fn with_slow_log(mut self, threshold: Duration) -> Self {
+        self.slow_log = threshold;
+        self
+    }
+
     /// The bound address (the actual port when bound with port 0).
     ///
     /// # Errors
@@ -402,18 +420,30 @@ impl MarketServer {
     /// `WouldBlock`. Per-client read/write failures only close that
     /// client.
     pub fn serve(&self, loader: &MarketLoader<'_>) -> io::Result<ServeSummary> {
+        // Telemetry is always on in a resident server: metrics reach
+        // clients only through the `metrics` verb and stderr, never a
+        // deterministic reply, so there is nothing to gate.
+        pan_telemetry::enable();
         let mut service = Service {
             pool: self.pool.clone(),
             engine: self.engine,
             max_markets: self.max_markets,
             next_id: 1,
             markets: BTreeMap::new(),
+            started: Instant::now(),
+            errors: [0; ErrorCode::ALL.len()],
         };
         let mut clients: Vec<Client> = Vec::new();
         let mut summary = ServeSummary::default();
         let mut idle_iters = 0u32;
         let mut quit = false;
+        // Reactor accounting: how the owner thread splits its time
+        // between handling work (busy), polite spinning, and sleeping.
+        let idle_spins = pan_telemetry::counter("serve.reactor.idle_spins");
+        let idle_sleeps = pan_telemetry::counter("serve.reactor.idle_sleeps");
+        let busy_ns = pan_telemetry::histogram("serve.reactor.busy_ns");
         while !quit {
+            let iteration = busy_ns.is_live().then(Instant::now);
             let mut progressed = false;
             loop {
                 match self.listener.accept() {
@@ -441,7 +471,8 @@ impl MarketServer {
                     }
                     progressed = true;
                     summary.requests += 1;
-                    match handle_line(&line, &mut service, loader, client, &summary) {
+                    match handle_line(&line, &mut service, loader, client, &summary, self.slow_log)
+                    {
                         Flow::Continue => {}
                         Flow::Quit => quit = true,
                     }
@@ -456,11 +487,16 @@ impl MarketServer {
             clients.retain(|c| !c.closed);
             if progressed {
                 idle_iters = 0;
+                if let Some(begun) = iteration {
+                    busy_ns.record_duration(begun.elapsed());
+                }
             } else if !quit {
                 idle_iters = idle_iters.saturating_add(1);
                 if idle_iters < IDLE_SPIN_ITERS {
+                    idle_spins.inc();
                     std::thread::yield_now();
                 } else {
+                    idle_sleeps.inc();
                     std::thread::sleep(Duration::from_millis(1));
                 }
             }
@@ -473,26 +509,38 @@ impl MarketServer {
     }
 }
 
+/// Bumps both the owner-thread error table and the global telemetry
+/// counter for one error reply.
+fn count_error(service: &mut Service, error: &WireError) {
+    service.errors[error.code.index()] += 1;
+    pan_telemetry::counter(&format!("serve.error.{}", error.code.as_str())).inc();
+}
+
 fn handle_line(
     line: &str,
     service: &mut Service,
     loader: &MarketLoader<'_>,
     client: &mut Client,
     summary: &ServeSummary,
+    slow_log: Duration,
 ) -> Flow {
     let Envelope { id, request } = match Request::parse(line) {
         Ok(envelope) => envelope,
         Err(error) => {
+            count_error(service, &error);
             client.send_line(&reply_error(None, &error));
             return Flow::Continue;
         }
     };
     let id = id.as_ref();
+    let verb = request.verb();
     let started = Instant::now();
+    let mut flow = Flow::Continue;
     let result = match request {
         Request::Quit => {
             client.send_line(&reply_ok(id, "quit", Vec::new()));
-            return Flow::Quit;
+            flow = Flow::Quit;
+            Ok(())
         }
         Request::Load { market, checkpoint } => match checkpoint {
             Some(path) => handle_load_checkpoint(service, &path, id, client),
@@ -517,18 +565,21 @@ fn handle_line(
         Request::Snapshot { market, path } => handle_snapshot(service, market, &path, id, client),
         Request::Restore { market, path } => handle_restore(service, market, &path, id, client),
         Request::Stats { market } => handle_stats(service, market, id, client, summary),
+        Request::Metrics => handle_metrics(service, id, client),
     };
     if let Err(error) = result {
+        count_error(service, &error);
         client.send_line(&reply_error(id, &error));
     }
     let elapsed = started.elapsed();
-    if elapsed >= LOG_THRESHOLD {
+    pan_telemetry::histogram(&format!("serve.verb.{verb}_ns")).record_duration(elapsed);
+    if elapsed >= slow_log {
         eprintln!(
             "# handled {line:?} in {:.1} ms",
             elapsed.as_secs_f64() * 1e3
         );
     }
-    Flow::Continue
+    flow
 }
 
 /// Reads and restores a checkpoint file; every failure mode — missing
@@ -629,7 +680,9 @@ fn handle_advise(
     let cached = matches!(session.cache.get(&asn), Some(entry) if entry.generation == generation);
     if cached {
         session.cache_hits += 1;
+        pan_telemetry::counter("serve.advise.cache_hits").inc();
     } else {
+        pan_telemetry::counter("serve.advise.cache_misses").inc();
         // Evaluate the full ranking once (top = 0) so this entry serves
         // every future `top`; aggregates are truncation-independent, so
         // slicing below reproduces the direct reply byte for byte.
@@ -808,12 +861,21 @@ fn handle_stats(
                 ])
             })
             .collect();
+        let errors: Vec<(&'static str, Value)> = ErrorCode::ALL
+            .iter()
+            .map(|&code| (code.as_str(), to_value(&service.errors[code.index()])))
+            .collect();
         client.send_line(&reply_ok(
             id,
             "stats",
             vec![
                 ("connections", to_value(&summary.connections)),
                 ("requests", to_value(&summary.requests)),
+                (
+                    "uptime_seconds",
+                    Value::F64(service.started.elapsed().as_secs_f64()),
+                ),
+                ("errors", object(errors)),
                 ("threads", to_value(&threads)),
                 ("engine", Value::Str(service.engine.to_string())),
                 ("max_markets", to_value(&service.max_markets)),
@@ -859,6 +921,83 @@ fn handle_stats(
             ("seed", to_value(&session.seed)),
             ("threads", to_value(&threads)),
             ("engine", Value::Str(session.driver.engine().to_string())),
+        ],
+    ));
+    Ok(())
+}
+
+/// One histogram's wire shape: totals plus nearest-rank percentiles.
+fn histogram_fields(snapshot: &pan_telemetry::HistogramSnapshot) -> Value {
+    object(vec![
+        ("count", to_value(&snapshot.count)),
+        ("sum", to_value(&snapshot.sum)),
+        ("mean", Value::F64(snapshot.mean())),
+        ("p50", to_value(&snapshot.p50())),
+        ("p90", to_value(&snapshot.p90())),
+        ("p99", to_value(&snapshot.p99())),
+    ])
+}
+
+/// `metrics`: the live telemetry registry — every counter, gauge, and
+/// histogram the engine layers recorded since startup — plus per-market
+/// advise-cache effectiveness. Values are observations, not market
+/// state, so the reply is the one verb whose payload is *not*
+/// deterministic; determinism gates must never diff it.
+fn handle_metrics(
+    service: &mut Service,
+    id: Option<&Value>,
+    client: &mut Client,
+) -> Result<(), WireError> {
+    let snapshot = pan_telemetry::global().snapshot();
+    let counters: Vec<(String, Value)> = snapshot
+        .counters
+        .iter()
+        .map(|(name, value)| (name.clone(), to_value(value)))
+        .collect();
+    let gauges: Vec<(String, Value)> = snapshot
+        .gauges
+        .iter()
+        .map(|(name, value)| (name.clone(), to_value(value)))
+        .collect();
+    let histograms: Vec<(String, Value)> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, histogram)| (name.clone(), histogram_fields(histogram)))
+        .collect();
+    let markets: Vec<Value> = service
+        .markets
+        .values()
+        .map(|session| {
+            let lookups = session.cache_hits + session.cache_misses;
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                session.cache_hits as f64 / lookups as f64
+            };
+            object(vec![
+                ("market", session.id.to_value()),
+                ("label", Value::Str(session.label.clone())),
+                ("advises", to_value(&session.advises)),
+                ("cache_hits", to_value(&session.cache_hits)),
+                ("cache_misses", to_value(&session.cache_misses)),
+                ("cache_entries", to_value(&session.cache.len())),
+                ("hit_rate", Value::F64(hit_rate)),
+            ])
+        })
+        .collect();
+    client.send_line(&reply_ok(
+        id,
+        "metrics",
+        vec![
+            (
+                "uptime_seconds",
+                Value::F64(service.started.elapsed().as_secs_f64()),
+            ),
+            ("enabled", Value::Bool(pan_telemetry::is_enabled())),
+            ("counters", Value::Map(counters)),
+            ("gauges", Value::Map(gauges)),
+            ("histograms", Value::Map(histograms)),
+            ("markets", Value::Seq(markets)),
         ],
     ));
     Ok(())

@@ -112,10 +112,18 @@ pub fn load_relationships(path: &Path) -> Result<(AsGraph, CacheStatus)> {
     })?;
     let hash = content_hash(text.as_bytes());
     let cache_path = cache_path_for(path);
-    if let Some(graph) = read_cache(&cache_path, hash) {
-        return Ok((graph, CacheStatus::Warm));
+    {
+        let _span = pan_telemetry::histogram("topology.snapshot.cache_load_ns").start();
+        if let Some(graph) = read_cache(&cache_path, hash) {
+            pan_telemetry::counter("topology.snapshot.cache_hits").inc();
+            return Ok((graph, CacheStatus::Warm));
+        }
     }
-    let graph = caida::parse(&text)?;
+    pan_telemetry::counter("topology.snapshot.cache_misses").inc();
+    let graph = {
+        let _span = pan_telemetry::histogram("topology.snapshot.parse_ns").start();
+        caida::parse(&text)?
+    };
     write_cache(&cache_path, hash, &graph);
     Ok((graph, CacheStatus::Cold))
 }
